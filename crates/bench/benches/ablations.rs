@@ -1,0 +1,134 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * canonical symmetry reduction during enumeration (§VI-A) on vs. off;
+//! * relation-aware execution branching: enumerating `co_pa` orders only
+//!   when the MTM mentions them (x86t_elt does not);
+//! * the explicit operational backend vs. the relational/SAT backend;
+//! * the cost of modeling dirty-bit updates as writes instead of RMWs
+//!   (§III-A2) — measured as the bound headroom it buys back.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use transform_core::exec::{EltBuilder, Execution};
+use transform_core::ids::{Pa, Va};
+use transform_synth::engine::Backend;
+use transform_synth::programs::{programs, EnumOptions};
+use transform_synth::{execs, satgen, synthesize_suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+fn remap_skeleton() -> Execution {
+    let mut b = EltBuilder::new();
+    let t = b.thread();
+    let w = b.pte_write(t, Va(0), Pa(1));
+    let i = b.invlpg(t, Va(0));
+    b.remap(w, i);
+    b.read_walk(t, Va(0));
+    b.build()
+}
+
+fn bench_symmetry_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/symmetry_reduction");
+    group.sample_size(10);
+    for on in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| {
+                let mut opts = EnumOptions::new(5);
+                opts.allow_fences = false;
+                opts.allow_rmw = false;
+                opts.symmetry_reduction = on;
+                b.iter(|| programs(&opts).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_co_pa_branching(c: &mut Criterion) {
+    // Two PTE writes aliasing one PA: branching multiplies executions.
+    let mut b = EltBuilder::new();
+    let t = b.thread();
+    let w1 = b.pte_write(t, Va(0), Pa(2));
+    let i1 = b.invlpg(t, Va(0));
+    b.remap(w1, i1);
+    let w2 = b.pte_write(t, Va(1), Pa(2));
+    let i2 = b.invlpg(t, Va(1));
+    b.remap(w2, i2);
+    let skel = b.build();
+    let mut group = c.benchmark_group("ablations/co_pa_branching");
+    for branch in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if branch { "branch" } else { "default" }),
+            &branch,
+            |bch, &branch| bch.iter(|| execs::executions(&skel, branch).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let skel = remap_skeleton();
+    let mut group = c.benchmark_group("ablations/backend");
+    group.sample_size(10);
+    group.bench_function("explicit_filter", |b| {
+        b.iter(|| {
+            execs::executions(&skel, false)
+                .into_iter()
+                .filter(|x| mtm.permits(x).violates("invlpg"))
+                .count()
+        })
+    });
+    group.bench_function("relational_sat", |b| {
+        b.iter(|| satgen::violating_executions(&skel, &mtm, "invlpg", false, usize::MAX).len())
+    });
+    group.finish();
+}
+
+fn bench_backend_full_suite(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let mut group = c.benchmark_group("ablations/backend_suite_bound4");
+    group.sample_size(10);
+    for backend in [Backend::Explicit, Backend::Relational] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                let mut opts = SynthOptions::new(4);
+                opts.enumeration.allow_fences = false;
+                opts.enumeration.allow_rmw = false;
+                opts.backend = backend;
+                b.iter(|| synthesize_suite(&mtm, "invlpg", &opts).elts.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dirty_bit_modeling(c: &mut Criterion) {
+    // §III-A2: modeling the dirty-bit update as a Write costs 2 events per
+    // user write; as an RMW it would cost 3. Synthesizing the same
+    // write-bearing space one event deeper approximates the RMW tax.
+    let mtm = x86t_elt();
+    let mut group = c.benchmark_group("ablations/dirty_bit_as_write_vs_rmw");
+    group.sample_size(10);
+    for (label, bound) in [("write_model_bound4", 4usize), ("rmw_tax_bound5", 5usize)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bound, |b, &bound| {
+            let mut opts = SynthOptions::new(bound);
+            opts.enumeration.allow_fences = false;
+            opts.enumeration.allow_rmw = false;
+            b.iter(|| synthesize_suite(&mtm, "sc_per_loc", &opts).elts.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_symmetry_reduction,
+    bench_co_pa_branching,
+    bench_backends,
+    bench_backend_full_suite,
+    bench_dirty_bit_modeling
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §VI-B — the COATCheck comparison pipeline: classification of the
+//! 40-test reconstructed suite against synthesized program keys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use transform_bench::all_suites;
+use transform_x86::{coatcheck, compare, x86t_elt};
+
+fn bench_classification(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    // Build the synthesized keys once; the bench measures classification.
+    let suites = all_suites(&mtm, 5, Duration::from_secs(120));
+    let keys = compare::synthesized_keys(suites.values());
+    let tests = coatcheck::suite();
+
+    let mut group = c.benchmark_group("comparison");
+    group.sample_size(10);
+    group.bench_function("classify_40_tests", |b| {
+        b.iter(|| compare::compare_suite(&tests, &keys))
+    });
+    group.finish();
+}
+
+fn bench_canonicalization(c: &mut Criterion) {
+    use transform_synth::canon::canonical_key;
+    use transform_synth::programs::Program;
+    let progs: Vec<Program> = coatcheck::suite()
+        .iter()
+        .filter_map(|t| t.execution.as_ref().map(Program::from_execution))
+        .collect();
+    let mut group = c.benchmark_group("comparison/canonical_key");
+    group.bench_function("suite_programs", |b| {
+        b.iter(|| {
+            progs
+                .iter()
+                .map(|p| canonical_key(p).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_canonicalization);
+criterion_main!(benches);

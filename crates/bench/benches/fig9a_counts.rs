@@ -1,0 +1,42 @@
+//! Fig. 9a — per-axiom spanning-set synthesis (counts are printed by the
+//! `fig9` binary; this bench measures the cost of producing each
+//! per-axiom suite at the minimum interesting bounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use transform_synth::{synthesize_suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+fn opts(bound: usize) -> SynthOptions {
+    let mut o = SynthOptions::new(bound);
+    o.enumeration.allow_fences = false;
+    o.enumeration.allow_rmw = false;
+    o
+}
+
+fn bench_per_axiom_suites(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let mut group = c.benchmark_group("fig9a/per_axiom_suite");
+    group.sample_size(10);
+    for axiom in ["sc_per_loc", "causality", "invlpg", "tlb_causality"] {
+        group.bench_with_input(BenchmarkId::new(axiom, 4), &4usize, |b, &bound| {
+            b.iter(|| synthesize_suite(&mtm, axiom, &opts(bound)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rmw_suite_needs_rmw_ops(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let mut group = c.benchmark_group("fig9a/rmw_atomicity");
+    group.sample_size(10);
+    group.bench_function("bound4_with_rmw", |b| {
+        let mut o = SynthOptions::new(4);
+        o.enumeration.allow_fences = false;
+        o.enumeration.allow_rmw = true;
+        b.iter(|| synthesize_suite(&mtm, "rmw_atomicity", &o))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_axiom_suites, bench_rmw_suite_needs_rmw_ops);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 9b — synthesis runtime growth with instruction bound.
+//!
+//! The paper reports super-exponential runtime growth; this bench measures
+//! the `sc_per_loc` and `invlpg` suites at bounds 4 and 5 so Criterion can
+//! track the growth factor across changes to the engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use transform_synth::{synthesize_suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+fn opts(bound: usize) -> SynthOptions {
+    let mut o = SynthOptions::new(bound);
+    o.enumeration.allow_fences = false;
+    o.enumeration.allow_rmw = false;
+    o
+}
+
+fn bench_bound_growth(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let mut group = c.benchmark_group("fig9b/bound_growth");
+    group.sample_size(10);
+    for axiom in ["sc_per_loc", "invlpg"] {
+        for bound in [4usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(axiom, bound),
+                &bound,
+                |b, &bound| b.iter(|| synthesize_suite(&mtm, axiom, &opts(bound))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_program_enumeration_only(c: &mut Criterion) {
+    // The candidate-generation stage of Fig. 7, isolated from pruning.
+    let mut group = c.benchmark_group("fig9b/program_enumeration");
+    group.sample_size(10);
+    for bound in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            let mut opts = transform_synth::EnumOptions::new(bound);
+            opts.allow_fences = false;
+            opts.allow_rmw = false;
+            b.iter(|| transform_synth::programs::programs(&opts).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_growth, bench_program_enumeration_only);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Empirical-validation benchmark — the cost of running ELTs against an
+//! implementation (the paper's proposed future work, with the operational
+//! reference machine standing in for silicon).
+//!
+//! Three series:
+//! * `explore` — exhaustive interleaving exploration per figure program;
+//! * `conformance` — exploration plus the permitted-outcome oracle
+//!   (observed ⊆ permitted);
+//! * `detect` — whole-suite bug detection (invlpg suite vs the broken
+//!   TLB-shootdown machine).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use transform_core::figures;
+use transform_sim::{check_conformance, detect_with_suite, explore, Bugs, SimConfig, SimProgram};
+use transform_synth::engine::{synthesize_suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_explore");
+    for (name, exec, _) in figures::all_figures() {
+        let prog = SimProgram::from_execution(&exec);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || prog.clone(),
+                |p| explore(&p, &SimConfig::correct()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_conformance(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let mut g = c.benchmark_group("sim_conformance");
+    for name in ["fig10a_ptwalk2", "fig11_cross_core_invlpg", "fig2b_sb_elt"] {
+        let exec = figures::all_figures()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("figure exists")
+            .1;
+        let prog = SimProgram::from_execution(&exec);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || prog.clone(),
+                |p| check_conformance(&p, &mtm, &SimConfig::correct()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mtm = x86t_elt();
+    let mut opts = SynthOptions::new(5);
+    opts.enumeration.allow_fences = false;
+    opts.enumeration.allow_rmw = false;
+    let suite = synthesize_suite(&mtm, "invlpg", &opts);
+    let broken = SimConfig::buggy(Bugs {
+        missing_remote_shootdown: true,
+        ..Bugs::none()
+    });
+    let mut g = c.benchmark_group("sim_detect");
+    g.sample_size(10);
+    g.bench_function("invlpg_suite_vs_broken_shootdown", |b| {
+        b.iter(|| detect_with_suite(&suite, &mtm, &broken))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_conformance, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates the §VI-B comparison against the (reconstructed)
+//! COATCheck suite and the §V-A per-axiom attribution.
+//!
+//! Usage: `comparison [bound] [budget_seconds]` (defaults: bound 6,
+//! 300 s per per-axiom suite).
+
+use std::time::Duration;
+use transform_bench::all_suites;
+use transform_synth::{exclusive_attribution, unique_union};
+use transform_x86::{coatcheck, compare, x86t_elt};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bound: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let budget = Duration::from_secs(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300));
+
+    let mtm = x86t_elt();
+    eprintln!("synthesizing all per-axiom suites at bound {bound} (budget {budget:?} each)…");
+    let suites = all_suites(&mtm, bound, budget);
+
+    println!("per-axiom suite sizes at bound {bound}:");
+    for (name, suite) in &suites {
+        println!(
+            "  {name:<16} {:>4} ELTs   ({} programs examined, {} executions, {:.2}s{})",
+            suite.elts.len(),
+            suite.stats.programs,
+            suite.stats.executions,
+            suite.stats.elapsed.as_secs_f64(),
+            if suite.stats.timed_out { ", timed out" } else { "" },
+        );
+    }
+    let union = unique_union(suites.values());
+    println!("unique ELT programs across all suites: {}", union.len());
+
+    println!("\nper-axiom exclusive attribution (§V-A):");
+    for (name, count) in exclusive_attribution(&suites) {
+        println!("  {name:<16} {count:>4}");
+    }
+
+    println!("\nCOATCheck suite comparison (§VI-B):");
+    let keys = compare::synthesized_keys(suites.values());
+    let cmp = compare::compare_suite(&coatcheck::suite(), &keys);
+    println!("{}", compare::render(&cmp));
+}

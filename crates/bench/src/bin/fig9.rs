@@ -1,0 +1,52 @@
+//! Regenerates Fig. 9a (ELT counts per per-axiom suite by instruction
+//! bound) and Fig. 9b (synthesis runtimes).
+//!
+//! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]`
+//!
+//! The paper ran each point under a one-week timeout on a server; the
+//! default budget here is 60 s per point, and points that exceed it are
+//! printed as `t/o` (the paper plots them as missing).
+
+use std::time::Duration;
+use transform_bench::{render_sweep, sweep, SweepConfig};
+use transform_x86::x86t_elt;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SweepConfig::default();
+    let mut positional = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--fences" => cfg.allow_fences = true,
+            "--rmw" => cfg.allow_rmw = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(b) = positional.first().and_then(|s| s.parse().ok()) {
+        cfg.max_bound = b;
+    }
+    if let Some(s) = positional.get(1).and_then(|s| s.parse().ok()) {
+        cfg.budget = Duration::from_secs(s);
+    }
+
+    let mtm = x86t_elt();
+    eprintln!(
+        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {})",
+        cfg.min_bound, cfg.max_bound, cfg.budget, cfg.allow_fences, cfg.allow_rmw
+    );
+    let points = sweep(&mtm, &cfg);
+    println!("{}", render_sweep(&points));
+
+    let total: usize = {
+        use std::collections::BTreeMap;
+        let mut best: BTreeMap<&str, usize> = BTreeMap::new();
+        for p in &points {
+            if !p.timed_out {
+                let e = best.entry(p.axiom.as_str()).or_insert(0);
+                *e = (*e).max(p.elts);
+            }
+        }
+        best.values().sum()
+    };
+    println!("total ELTs across per-axiom suites (largest completed bound each): {total}");
+}

@@ -1,0 +1,24 @@
+//! Targeted run: the rmw_atomicity suite at bound 7 (its minimum bound in
+//! this reproduction's cost model), with RMW operations enabled.
+use std::time::Duration;
+use transform_synth::{synthesize_suite, SynthOptions};
+use transform_x86::x86t_elt;
+fn main() {
+    let budget = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(900);
+    let mtm = x86t_elt();
+    let mut opts = SynthOptions::new(7);
+    opts.enumeration.allow_fences = false;
+    opts.enumeration.allow_rmw = true;
+    opts.timeout = Some(Duration::from_secs(budget));
+    let suite = synthesize_suite(&mtm, "rmw_atomicity", &opts);
+    println!(
+        "rmw_atomicity @ bound 7: {} ELTs ({} programs, {} executions, {:.1}s{})",
+        suite.elts.len(), suite.stats.programs, suite.stats.executions,
+        suite.stats.elapsed.as_secs_f64(),
+        if suite.stats.timed_out { ", TIMED OUT" } else { "" }
+    );
+    for elt in &suite.elts {
+        let a = elt.witness.analyze().unwrap();
+        println!("{}", transform_core::pretty::render(&a));
+    }
+}

@@ -1,0 +1,174 @@
+//! `transform-bench` — the harness that regenerates every table and
+//! figure of the TransForm paper's evaluation.
+//!
+//! * `fig9` binary — the per-axiom suite sweep of Fig. 9a (ELT counts per
+//!   instruction bound) and Fig. 9b (synthesis runtimes), under a
+//!   configurable time budget standing in for the paper's one-week
+//!   timeout.
+//! * `comparison` binary — the §VI-B comparison against the reconstructed
+//!   COATCheck suite, plus the §V-A per-axiom attribution.
+//! * Criterion benches (`fig9a_counts`, `fig9b_runtime`, `comparison`,
+//!   `ablations`) measure the same pipelines.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use transform_core::axiom::Mtm;
+use transform_synth::{synthesize_suite, Suite, SynthOptions};
+
+/// One point of the Fig. 9 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Axiom under synthesis.
+    pub axiom: String,
+    /// Instruction bound.
+    pub bound: usize,
+    /// Number of spanning-set ELTs synthesized.
+    pub elts: usize,
+    /// Synthesis wall-clock time.
+    pub runtime: Duration,
+    /// Whether the point hit the time budget (plotted as missing in the
+    /// paper).
+    pub timed_out: bool,
+}
+
+/// Sweep configuration for the Fig. 9 reproduction.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Lowest instruction bound to try.
+    pub min_bound: usize,
+    /// Highest instruction bound to try.
+    pub max_bound: usize,
+    /// Per-point time budget (the paper used one week per run).
+    pub budget: Duration,
+    /// Include `MFENCE` in the program space.
+    pub allow_fences: bool,
+    /// Include RMW pairs in the program space.
+    pub allow_rmw: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            min_bound: 4,
+            max_bound: 6,
+            budget: Duration::from_secs(60),
+            allow_fences: false,
+            allow_rmw: false,
+        }
+    }
+}
+
+/// Runs the per-axiom bound sweep of Fig. 9, one suite per (axiom,
+/// bound). Sweeping stops per axiom once a bound times out, exactly as
+/// the paper's missing data points.
+pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for ax in mtm.axioms() {
+        for bound in cfg.min_bound..=cfg.max_bound {
+            let mut opts = SynthOptions::new(bound);
+            opts.enumeration.allow_fences = cfg.allow_fences;
+            opts.enumeration.allow_rmw = cfg.allow_rmw;
+            opts.timeout = Some(cfg.budget);
+            let suite = synthesize_suite(mtm, &ax.name, &opts);
+            let timed_out = suite.stats.timed_out;
+            out.push(SweepPoint {
+                axiom: ax.name.clone(),
+                bound,
+                elts: suite.elts.len(),
+                runtime: suite.stats.elapsed,
+                timed_out,
+            });
+            if timed_out {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 9a table (ELT counts) and Fig. 9b table (runtimes).
+pub fn render_sweep(points: &[SweepPoint]) -> String {
+    let mut bounds: Vec<usize> = points.iter().map(|p| p.bound).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut axes: Vec<&str> = points.iter().map(|p| p.axiom.as_str()).collect();
+    axes.dedup();
+
+    let by: BTreeMap<(&str, usize), &SweepPoint> = points
+        .iter()
+        .map(|p| ((p.axiom.as_str(), p.bound), p))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("Fig. 9a — number of ELTs per per-axiom suite, by instruction bound\n");
+    out.push_str(&format!("{:<16}", "axiom"));
+    for b in &bounds {
+        out.push_str(&format!("{b:>8}"));
+    }
+    out.push('\n');
+    for ax in &axes {
+        out.push_str(&format!("{ax:<16}"));
+        for b in &bounds {
+            match by.get(&(ax, *b)) {
+                Some(p) if !p.timed_out => out.push_str(&format!("{:>8}", p.elts)),
+                Some(_) => out.push_str(&format!("{:>8}", "t/o")),
+                None => out.push_str(&format!("{:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("\nFig. 9b — synthesis runtime (seconds), by instruction bound\n");
+    out.push_str(&format!("{:<16}", "axiom"));
+    for b in &bounds {
+        out.push_str(&format!("{b:>8}"));
+    }
+    out.push('\n');
+    for ax in &axes {
+        out.push_str(&format!("{ax:<16}"));
+        for b in &bounds {
+            match by.get(&(ax, *b)) {
+                Some(p) if !p.timed_out => {
+                    out.push_str(&format!("{:>8.3}", p.runtime.as_secs_f64()))
+                }
+                Some(_) => out.push_str(&format!("{:>8}", "t/o")),
+                None => out.push_str(&format!("{:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Synthesizes every per-axiom suite at one bound (used by the comparison
+/// pipeline and benches).
+pub fn all_suites(mtm: &Mtm, bound: usize, budget: Duration) -> BTreeMap<String, Suite> {
+    let mut opts = SynthOptions::new(bound);
+    opts.enumeration.allow_fences = false;
+    opts.enumeration.allow_rmw = false;
+    opts.timeout = Some(budget);
+    transform_synth::synthesize_all(mtm, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_x86::x86t_elt;
+
+    #[test]
+    fn sweep_produces_points_for_every_axiom() {
+        let mtm = x86t_elt();
+        let cfg = SweepConfig {
+            min_bound: 4,
+            max_bound: 4,
+            budget: Duration::from_secs(60),
+            allow_fences: false,
+            allow_rmw: false,
+        };
+        let points = sweep(&mtm, &cfg);
+        assert_eq!(points.len(), mtm.axioms().len());
+        let table = render_sweep(&points);
+        assert!(table.contains("sc_per_loc"));
+        assert!(table.contains("Fig. 9a"));
+        assert!(table.contains("Fig. 9b"));
+    }
+}

@@ -1,0 +1,354 @@
+//! `transform-cli` — the `transform` command-line tool.
+//!
+//! A thin, dependency-free front end over the TransForm workspace:
+//!
+//! * `table1` — print the paper's Table I (the MTM vocabulary);
+//! * `figures` — evaluate every paper figure under `x86t_elt`;
+//! * `check` — parse an ELT file and report its verdict;
+//! * `synthesize` — generate a per-axiom spanning-set suite;
+//! * `compare` — the §VI-B COATCheck comparison;
+//! * `simulate` — run an ELT program on the operational reference
+//!   machine, optionally with an injected bug.
+//!
+//! The command logic lives in this library crate (returning the output as
+//! a `String`) so it is unit-testable; `main.rs` only prints.
+
+mod opts;
+
+use opts::Opts;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use transform_core::axiom::Mtm;
+use transform_core::spec::parse_mtm;
+use transform_core::{figures, pretty, vocab};
+use transform_litmus::format::{parse_elt, print_elt};
+use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
+use transform_synth::engine::{synthesize_suite, SynthOptions};
+use transform_synth::programs::Program;
+use transform_x86::{compare_suite, synthesized_keys, x86_tso, x86t_elt};
+
+/// The usage banner printed on errors.
+pub const USAGE: &str = "\
+usage: transform <command> [options]
+
+commands:
+  table1                        print the MTM vocabulary (Table I)
+  figures [--dot NAME]          evaluate the paper figures under x86t_elt
+  check FILE [--mtm M]          verdict for an ELT file (text syntax)
+  synthesize --axiom A --bound N [--mtm M] [--max-threads T]
+             [--fences] [--rmw] [--timeout-secs S] [--quiet]
+  compare --bound N [--timeout-secs S]
+  simulate FILE [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
+
+--mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.";
+
+/// Runs a command line, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags,
+/// unreadable files, and parse failures.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut opts = Opts::new(args);
+    let cmd = opts.positional().ok_or("missing command")?;
+    match cmd.as_str() {
+        "table1" => {
+            opts.finish()?;
+            Ok(vocab::render_table_i())
+        }
+        "figures" => cmd_figures(opts),
+        "check" => cmd_check(opts),
+        "synthesize" => cmd_synthesize(opts),
+        "compare" => cmd_compare(opts),
+        "simulate" => cmd_simulate(opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_mtm(spec: Option<String>) -> Result<Mtm, String> {
+    match spec.as_deref() {
+        None | Some("x86t_elt") => Ok(x86t_elt()),
+        Some("x86tso") | Some("x86-tso") => Ok(x86_tso()),
+        Some(path) => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read MTM spec `{path}`: {e}"))?;
+            parse_mtm(&src).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn cmd_figures(mut opts: Opts) -> Result<String, String> {
+    let dot = opts.value("--dot");
+    opts.finish()?;
+    let mtm = x86t_elt();
+    let mut out = String::new();
+    for (name, x, expect) in figures::all_figures() {
+        if let Some(want) = &dot {
+            if want == name {
+                let a = x.analyze().map_err(|e| e.to_string())?;
+                return Ok(pretty::dot(&a));
+            }
+            continue;
+        }
+        let v = mtm.permits(&x);
+        let verdict = if v.is_permitted() {
+            "permitted".to_string()
+        } else {
+            format!("forbidden ({})", v.violated.join(", "))
+        };
+        debug_assert_eq!(v.is_permitted(), expect);
+        out.push_str(&format!("{name:28} {:2} events  {verdict}\n", x.size()));
+    }
+    if out.is_empty() {
+        return Err("no figure with that name (try without --dot for the list)".into());
+    }
+    Ok(out)
+}
+
+fn cmd_check(mut opts: Opts) -> Result<String, String> {
+    let file = opts.positional().ok_or("check needs an ELT file")?;
+    let mtm = load_mtm(opts.value("--mtm"))?;
+    opts.finish()?;
+    let src =
+        std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let (name, x) = parse_elt(&src).map_err(|e| format!("{file}: {e}"))?;
+    let a = x
+        .analyze()
+        .map_err(|e| format!("`{name}` is not a well-formed ELT: {e}"))?;
+    let v = mtm.evaluate(&a);
+    let mut out = pretty::render(&a);
+    out.push_str(&format!(
+        "\n{} under {}: {}\n",
+        if name.is_empty() { "<elt>" } else { &name },
+        mtm.name(),
+        if v.is_permitted() {
+            "permitted".to_string()
+        } else {
+            format!("forbidden — violates {}", v.violated.join(", "))
+        }
+    ));
+    Ok(out)
+}
+
+fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
+    let axiom = opts
+        .value("--axiom")
+        .ok_or("synthesize needs --axiom <name>")?;
+    let bound: usize = opts
+        .value("--bound")
+        .ok_or("synthesize needs --bound <events>")?
+        .parse()
+        .map_err(|_| "--bound must be a number")?;
+    let mtm = load_mtm(opts.value("--mtm"))?;
+    let mut sopts = SynthOptions::new(bound);
+    if let Some(t) = opts.value("--max-threads") {
+        sopts.enumeration.max_threads =
+            Some(t.parse().map_err(|_| "--max-threads must be a number")?);
+    }
+    sopts.enumeration.allow_fences = opts.flag("--fences");
+    sopts.enumeration.allow_rmw = opts.flag("--rmw");
+    if let Some(s) = opts.value("--timeout-secs") {
+        sopts.timeout = Some(Duration::from_secs(
+            s.parse().map_err(|_| "--timeout-secs must be a number")?,
+        ));
+    }
+    let quiet = opts.flag("--quiet");
+    opts.finish()?;
+    if mtm.axiom(&axiom).is_none() {
+        return Err(format!(
+            "axiom `{axiom}` is not part of {}; it has: {}",
+            mtm.name(),
+            mtm.axioms()
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    let suite = synthesize_suite(&mtm, &axiom, &sopts);
+    let mut out = String::new();
+    if !quiet {
+        for (i, elt) in suite.elts.iter().enumerate() {
+            out.push_str(&print_elt(&format!("{axiom}_{i}"), &elt.witness));
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "suite `{}` @ bound {}: {} ELTs ({} programs explored, {} executions, {} forbidden, {} minimal) in {:.2?}{}\n",
+        axiom,
+        bound,
+        suite.elts.len(),
+        suite.stats.programs,
+        suite.stats.executions,
+        suite.stats.forbidden,
+        suite.stats.minimal,
+        suite.stats.elapsed,
+        if suite.stats.timed_out { " [timed out]" } else { "" },
+    ));
+    Ok(out)
+}
+
+fn cmd_compare(mut opts: Opts) -> Result<String, String> {
+    let bound: usize = opts
+        .value("--bound")
+        .unwrap_or_else(|| "7".into())
+        .parse()
+        .map_err(|_| "--bound must be a number")?;
+    let timeout = Duration::from_secs(
+        opts.value("--timeout-secs")
+            .unwrap_or_else(|| "60".into())
+            .parse()
+            .map_err(|_| "--timeout-secs must be a number")?,
+    );
+    opts.finish()?;
+    let mtm = x86t_elt();
+    let mut suites = BTreeMap::new();
+    for ax in mtm.axioms() {
+        let mut sopts = SynthOptions::new(bound);
+        sopts.timeout = Some(timeout);
+        suites.insert(ax.name.clone(), synthesize_suite(&mtm, &ax.name, &sopts));
+    }
+    let keys = synthesized_keys(suites.values());
+    let cmp = compare_suite(&transform_x86::coatcheck::suite(), &keys);
+    Ok(transform_x86::compare::render(&cmp))
+}
+
+fn cmd_simulate(mut opts: Opts) -> Result<String, String> {
+    let file = opts.positional().ok_or("simulate needs an ELT file")?;
+    let mut cfg = SimConfig::correct();
+    if let Some(bug) = opts.value("--bug") {
+        cfg.bugs = match bug.as_str() {
+            "invlpg-noop" => Bugs {
+                invlpg_noop: true,
+                ..Bugs::none()
+            },
+            "shootdown" => Bugs {
+                missing_remote_shootdown: true,
+                ..Bugs::none()
+            },
+            "dirty-bit" => Bugs {
+                missing_dirty_update: true,
+                ..Bugs::none()
+            },
+            other => return Err(format!("unknown --bug `{other}`")),
+        };
+    }
+    cfg.capacity_evictions = opts.flag("--evictions");
+    let mtm = load_mtm(opts.value("--mtm"))?;
+    opts.finish()?;
+    let src =
+        std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let (name, x) = parse_elt(&src).map_err(|e| format!("{file}: {e}"))?;
+    let prog = SimProgram::from_execution(&x);
+    let exploration = explore(&prog, &cfg);
+    let conf = check_conformance(&prog, &mtm, &cfg);
+    let mut out = format!(
+        "{}: {} outcomes over {} states{}\n",
+        if name.is_empty() { "<elt>" } else { &name },
+        exploration.outcomes.len(),
+        exploration.stats.states,
+        if exploration.stats.truncated {
+            " [truncated]"
+        } else {
+            ""
+        }
+    );
+    for o in &exploration.outcomes {
+        let mark = if conf.violations.contains(o) {
+            "  FORBIDDEN "
+        } else {
+            "  ok        "
+        };
+        out.push_str(&format!("{mark}{}\n", o.render()));
+    }
+    out.push_str(&format!(
+        "conformance vs {}: {}\n",
+        mtm.name(),
+        if conf.conforms() {
+            "observed ⊆ permitted".to_string()
+        } else {
+            format!("{} forbidden outcome(s) observed", conf.violations.len())
+        }
+    ));
+    Ok(out)
+}
+
+/// Re-export for tests: the program-level canonical key of a synthesized
+/// witness (used to deduplicate CLI output).
+pub fn program_of(x: &transform_core::exec::Execution) -> Program {
+    Program::from_execution(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(line: &str) -> Result<String, String> {
+        let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn table1_lists_the_vocabulary() {
+        let out = run_str("table1").expect("runs");
+        for name in ["rf_ptw", "rf_pa", "co_pa", "fr_pa", "fr_va", "remap", "ghost"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn figures_reports_verdicts() {
+        let out = run_str("figures").expect("runs");
+        assert!(out.contains("fig10a_ptwalk2"));
+        assert!(out.contains("forbidden"));
+        assert!(out.contains("permitted"));
+        assert!(out.contains("ext_cross_core_flush"));
+    }
+
+    #[test]
+    fn figures_dot_produces_graphviz() {
+        let out = run_str("figures --dot fig10a_ptwalk2").expect("runs");
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn synthesize_minimal_invlpg_suite() {
+        let out = run_str("synthesize --axiom invlpg --bound 4 --quiet").expect("runs");
+        assert!(out.contains("suite `invlpg` @ bound 4"), "{out}");
+    }
+
+    #[test]
+    fn synthesize_rejects_unknown_axiom() {
+        let e = run_str("synthesize --axiom nope --bound 4").unwrap_err();
+        assert!(e.contains("nope"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let e = run_str("table1 --frobnicate").unwrap_err();
+        assert!(e.contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn check_and_simulate_roundtrip_through_a_file() {
+        let dir = std::env::temp_dir().join("transform-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ptwalk2.elt");
+        std::fs::write(
+            &path,
+            print_elt("ptwalk2", &figures::fig10a_ptwalk2()),
+        )
+        .expect("write");
+        let p = path.to_str().expect("utf-8 path");
+
+        let out = run_str(&format!("check {p}")).expect("runs");
+        assert!(out.contains("forbidden"), "{out}");
+        assert!(out.contains("invlpg"), "{out}");
+
+        let out = run_str(&format!("simulate {p}")).expect("runs");
+        assert!(out.contains("observed ⊆ permitted"), "{out}");
+
+        let out = run_str(&format!("simulate {p} --bug shootdown")).expect("runs");
+        assert!(out.contains("outcomes"), "{out}");
+    }
+}

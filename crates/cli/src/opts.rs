@@ -1,0 +1,114 @@
+//! A tiny argument parser: positionals, `--flag`, and `--key value`.
+//!
+//! The workspace avoids external dependencies (DESIGN.md); ELT tooling
+//! needs nothing fancier than this.
+
+/// Parsed-on-demand command-line options.
+pub struct Opts {
+    args: Vec<Option<String>>,
+}
+
+impl Opts {
+    /// Wraps an argument list.
+    pub fn new(args: &[String]) -> Opts {
+        Opts {
+            args: args.iter().cloned().map(Some).collect(),
+        }
+    }
+
+    /// Takes the next unconsumed positional (non-`--`) argument.
+    pub fn positional(&mut self) -> Option<String> {
+        for slot in &mut self.args {
+            if slot.as_deref().is_some_and(|s| !s.starts_with("--")) {
+                return slot.take();
+            }
+            if slot.is_some() {
+                // A flag (and possibly its value) lies between positionals;
+                // stop so commands keep a predictable argument order? No —
+                // flags may appear anywhere, keep scanning.
+                continue;
+            }
+        }
+        None
+    }
+
+    /// Takes `--name value`, if present.
+    pub fn value(&mut self, name: &str) -> Option<String> {
+        let at = self
+            .args
+            .iter()
+            .position(|s| s.as_deref() == Some(name))?;
+        self.args[at] = None;
+        let v = self.args.get_mut(at + 1)?.take();
+        v
+    }
+
+    /// Takes the boolean flag `--name`, returning whether it was present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        match self.args.iter().position(|s| s.as_deref() == Some(name)) {
+            Some(at) => {
+                self.args[at] = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Errors on any argument that was never consumed.
+    pub fn finish(self) -> Result<(), String> {
+        let leftover: Vec<String> = self.args.into_iter().flatten().collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", leftover.join(" ")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(line: &str) -> Opts {
+        Opts::new(
+            &line
+                .split_whitespace()
+                .map(str::to_string)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn positionals_skip_flags() {
+        let mut o = opts("check file.elt --mtm x86tso");
+        assert_eq!(o.positional().as_deref(), Some("check"));
+        assert_eq!(o.positional().as_deref(), Some("file.elt"));
+        assert_eq!(o.value("--mtm").as_deref(), Some("x86tso"));
+        o.finish().expect("all consumed");
+    }
+
+    #[test]
+    fn flags_and_values_anywhere() {
+        let mut o = opts("--quiet synthesize --bound 5");
+        assert!(o.flag("--quiet"));
+        assert_eq!(o.positional().as_deref(), Some("synthesize"));
+        assert_eq!(o.value("--bound").as_deref(), Some("5"));
+        assert!(!o.flag("--quiet"), "consumed once");
+        o.finish().expect("all consumed");
+    }
+
+    #[test]
+    fn leftovers_are_errors() {
+        let mut o = opts("table1 --bogus");
+        assert_eq!(o.positional().as_deref(), Some("table1"));
+        let e = o.finish().unwrap_err();
+        assert!(e.contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_value_is_none() {
+        let mut o = opts("synthesize --bound");
+        assert_eq!(o.positional().as_deref(), Some("synthesize"));
+        assert_eq!(o.value("--bound"), None);
+    }
+}

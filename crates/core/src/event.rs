@@ -1,0 +1,186 @@
+//! Events — the micro-operations of an enhanced litmus test.
+//!
+//! TransForm distinguishes three strata of events (§III of the paper):
+//!
+//! * **user-facing** instructions fetched from the program stream
+//!   (`Read`, `Write`, `Fence`);
+//! * **support** instructions issued by the OS on the program's behalf
+//!   (`PteWrite` from remapping system calls, `Invlpg` TLB invalidations);
+//! * **ghost** instructions executed by hardware on behalf of a user
+//!   instruction (`Ptw` page-table walks, `DirtyBitWrite` updates). Ghosts
+//!   are *not* in program order; they attach to their invoker through the
+//!   `ghost` relation.
+
+use crate::ids::{EventId, Pa, ThreadId, Va};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation an event performs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// User-facing load from a virtual address.
+    Read,
+    /// User-facing store to a virtual address.
+    Write,
+    /// `MFENCE` — orders everything across it.
+    Fence,
+    /// Support instruction: a system call rewrites the PTE of the event's
+    /// VA, remapping it to `new_pa` (§III-B1).
+    PteWrite {
+        /// The PA the VA is remapped to.
+        new_pa: Pa,
+    },
+    /// Support instruction: evict the TLB entry for the event's VA on this
+    /// event's core (§III-B2).
+    Invlpg,
+    /// Support instruction: evict *every* TLB entry on this event's core —
+    /// a full TLB flush, the x86 effect of reloading CR3. The paper names
+    /// additional IPI types as a future TransForm extension (§III-B2);
+    /// this is the first one. Like `INVLPG` it can be remap-invoked (a
+    /// shootdown handler that flushes instead of invalidating one page) or
+    /// spurious.
+    TlbFlush,
+    /// Ghost instruction: a hardware page-table walk reading the PTE of the
+    /// event's VA into the local TLB (§III-A1).
+    Ptw,
+    /// Ghost instruction: the dirty-bit update a user-facing write performs
+    /// on the PTE of its effective VA, modeled as a plain write (§III-A2).
+    DirtyBitWrite,
+}
+
+impl EventKind {
+    /// `true` for ghost instructions (not in program order).
+    pub fn is_ghost(self) -> bool {
+        matches!(self, EventKind::Ptw | EventKind::DirtyBitWrite)
+    }
+
+    /// `true` for OS support instructions.
+    pub fn is_support(self) -> bool {
+        matches!(
+            self,
+            EventKind::PteWrite { .. } | EventKind::Invlpg | EventKind::TlbFlush
+        )
+    }
+
+    /// `true` for the TLB-eviction support instructions (`INVLPG` and the
+    /// full flush) that a PTE write may remap-invoke.
+    pub fn is_tlb_eviction(self) -> bool {
+        matches!(self, EventKind::Invlpg | EventKind::TlbFlush)
+    }
+
+    /// `true` for user-facing instructions.
+    pub fn is_user(self) -> bool {
+        matches!(self, EventKind::Read | EventKind::Write | EventKind::Fence)
+    }
+
+    /// `true` when the event reads shared memory (user read or PT walk).
+    pub fn is_read(self) -> bool {
+        matches!(self, EventKind::Read | EventKind::Ptw)
+    }
+
+    /// `true` when the event writes shared memory (user write, PTE write,
+    /// or dirty-bit write).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            EventKind::Write | EventKind::PteWrite { .. } | EventKind::DirtyBitWrite
+        )
+    }
+
+    /// `true` when the event accesses shared memory at all.
+    pub fn is_memory(self) -> bool {
+        self.is_read() || self.is_write()
+    }
+
+    /// `true` for user-facing `MemoryEvent`s in the paper's sense: the
+    /// loads and stores of the user program.
+    pub fn is_user_memory(self) -> bool {
+        matches!(self, EventKind::Read | EventKind::Write)
+    }
+}
+
+/// One event of a candidate execution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Event {
+    /// Dense id within the owning execution.
+    pub id: EventId,
+    /// The core the event executes on.
+    pub thread: ThreadId,
+    /// What the event does.
+    pub kind: EventKind,
+    /// The effective VA, for every kind except `Fence`.
+    pub va: Option<Va>,
+}
+
+impl Event {
+    /// The VA of a non-fence event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a fence.
+    pub fn va_unwrap(&self) -> Va {
+        self.va.expect("fence events have no VA")
+    }
+
+    /// The label prefix used in the paper's figures.
+    pub fn mnemonic(&self) -> &'static str {
+        match self.kind {
+            EventKind::Read => "R",
+            EventKind::Write => "W",
+            EventKind::Fence => "MFENCE",
+            EventKind::PteWrite { .. } => "WPTE",
+            EventKind::Invlpg => "INVLPG",
+            EventKind::TlbFlush => "FLUSH",
+            EventKind::Ptw => "Rptw",
+            EventKind::DirtyBitWrite => "Wdb",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.va {
+            Some(va) => write!(f, "{}{} {}", self.mnemonic(), self.id.0, va),
+            None => write!(f, "{}{}", self.mnemonic(), self.id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strata_are_partition() {
+        let all = [
+            EventKind::Read,
+            EventKind::Write,
+            EventKind::Fence,
+            EventKind::PteWrite { new_pa: Pa(0) },
+            EventKind::Invlpg,
+            EventKind::TlbFlush,
+            EventKind::Ptw,
+            EventKind::DirtyBitWrite,
+        ];
+        for k in all {
+            let strata = [k.is_user(), k.is_support(), k.is_ghost()];
+            assert_eq!(
+                strata.iter().filter(|&&b| b).count(),
+                1,
+                "{k:?} must belong to exactly one stratum"
+            );
+        }
+    }
+
+    #[test]
+    fn read_write_classification() {
+        assert!(EventKind::Ptw.is_read());
+        assert!(!EventKind::Ptw.is_write());
+        assert!(EventKind::DirtyBitWrite.is_write());
+        assert!(EventKind::PteWrite { new_pa: Pa(1) }.is_write());
+        assert!(!EventKind::Fence.is_memory());
+        assert!(!EventKind::Invlpg.is_memory());
+        assert!(EventKind::Read.is_user_memory());
+        assert!(!EventKind::Ptw.is_user_memory());
+    }
+}

@@ -1,0 +1,450 @@
+//! Candidate executions of enhanced litmus tests (ELTs).
+//!
+//! A [`Execution`] is the paper's *candidate execution*: a program —
+//! events placed in program order with ghost attachments — plus the
+//! communication choices (`rf`, `co`, and optionally `co_pa`) that pick one
+//! dynamic outcome. Everything else in Table I (`fr`, `rf_ptw`, `rf_pa`,
+//! `fr_pa`, `fr_va`, `po_loc`, `ppo`, `com`, `ptw_source`, …) is *derived*;
+//! see [`crate::derive`].
+//!
+//! Executions are built with [`EltBuilder`], which enforces the ghost
+//! invariants of §III-A at construction time (every write gets its
+//! dirty-bit update; walks attach to the access that missed the TLB).
+
+use crate::event::{Event, EventKind};
+use crate::ids::{EventId, Pa, ThreadId, Va};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of directed event pairs — the concrete value of a relation.
+pub type PairSet = BTreeSet<(EventId, EventId)>;
+
+/// A candidate execution of an enhanced litmus test.
+///
+/// # Examples
+///
+/// ```
+/// use transform_core::exec::EltBuilder;
+/// use transform_core::ids::Va;
+///
+/// // A single-core coherence test: W x = 1; R x = 0 (reads stale).
+/// let mut b = EltBuilder::new();
+/// let t = b.thread();
+/// let (w, _wdb, _ptw) = b.write_walk(t, Va(0));
+/// let r = b.read(t, Va(0)); // TLB hit: reuses the walk above
+/// let exec = b.build();
+/// assert_eq!(exec.events().len(), 4);
+/// let _ = (w, r);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Execution {
+    pub(crate) events: Vec<Event>,
+    pub(crate) num_threads: usize,
+    pub(crate) num_vas: usize,
+    pub(crate) num_pas: usize,
+    /// Per-thread program order over non-ghost events.
+    pub(crate) po: Vec<Vec<EventId>>,
+    /// ghost → invoker.
+    pub(crate) ghost_invoker: BTreeMap<EventId, EventId>,
+    /// read → sourcing write (absent ⇒ reads the initial state).
+    pub(crate) rf: BTreeMap<EventId, EventId>,
+    /// Strict total order per physical location over writes (all pairs).
+    pub(crate) co: PairSet,
+    /// Read → write pairs of read-modify-write operations.
+    pub(crate) rmw: PairSet,
+    /// PTE write → the INVLPGs it invokes (one per core).
+    pub(crate) remap: PairSet,
+    /// Optional explicit alias-creation order (all pairs, per target PA).
+    /// When absent, a deterministic default is derived; see
+    /// [`crate::derive`].
+    pub(crate) co_pa: Option<PairSet>,
+}
+
+impl Execution {
+    /// All events, indexed by [`EventId`].
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// Number of threads (cores).
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Number of distinct VAs referenced.
+    pub fn num_vas(&self) -> usize {
+        self.num_vas
+    }
+
+    /// Number of distinct PAs referenced.
+    pub fn num_pas(&self) -> usize {
+        self.num_pas
+    }
+
+    /// Program order (non-ghost events) of one thread.
+    pub fn po_of(&self, t: ThreadId) -> &[EventId] {
+        &self.po[t.0]
+    }
+
+    /// The initial VA → PA mapping: VA *i* maps to PA *i* (simplifying
+    /// assumption 2 of §III-C — each VA starts at a unique PA).
+    pub fn initial_pa(&self, va: Va) -> Pa {
+        Pa(va.0)
+    }
+
+    /// The invoker of a ghost instruction, if `e` is a ghost.
+    pub fn invoker(&self, e: EventId) -> Option<EventId> {
+        self.ghost_invoker.get(&e).copied()
+    }
+
+    /// The ghost instructions invoked by `e`.
+    pub fn ghosts_of(&self, e: EventId) -> Vec<EventId> {
+        self.ghost_invoker
+            .iter()
+            .filter(|&(_, &inv)| inv == e)
+            .map(|(&g, _)| g)
+            .collect()
+    }
+
+    /// The write sourcing read `r`, or `None` when `r` reads the initial
+    /// state.
+    pub fn rf_source(&self, r: EventId) -> Option<EventId> {
+        self.rf.get(&r).copied()
+    }
+
+    /// The raw `rf` pairs (write → read).
+    pub fn rf_pairs(&self) -> PairSet {
+        self.rf.iter().map(|(&r, &w)| (w, r)).collect()
+    }
+
+    /// The coherence-order pairs.
+    pub fn co_pairs(&self) -> &PairSet {
+        &self.co
+    }
+
+    /// The `rmw` dependency pairs.
+    pub fn rmw_pairs(&self) -> &PairSet {
+        &self.rmw
+    }
+
+    /// The `remap` pairs (PTE write → INVLPG).
+    pub fn remap_pairs(&self) -> &PairSet {
+        &self.remap
+    }
+
+    /// Total number of events — the paper's instruction bound counts every
+    /// event including ghosts (Fig. 10a is a 4-instruction ELT).
+    pub fn size(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events of the given kind.
+    pub fn events_of_kind(&self, pred: impl Fn(EventKind) -> bool) -> Vec<EventId> {
+        self.events
+            .iter()
+            .filter(|e| pred(e.kind))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// `true` when the execution contains at least one write of any stratum
+    /// — the first spanning-set criterion of §IV-B.
+    pub fn has_write(&self) -> bool {
+        self.events.iter().any(|e| e.kind.is_write())
+    }
+}
+
+/// The raw fields of an [`Execution`], for tools (such as the synthesis
+/// engine's relaxation machinery) that construct or rewrite executions
+/// wholesale. Obtained with [`Execution::to_parts`] and turned back with
+/// [`Execution::from_parts`]; the result is validated lazily by
+/// [`Execution::analyze`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecParts {
+    /// All events; ids must be dense and match positions.
+    pub events: Vec<Event>,
+    /// Number of threads.
+    pub num_threads: usize,
+    /// Number of VAs.
+    pub num_vas: usize,
+    /// Number of PAs (at least `num_vas`).
+    pub num_pas: usize,
+    /// Per-thread program order over non-ghost events.
+    pub po: Vec<Vec<EventId>>,
+    /// ghost → invoker.
+    pub ghost_invoker: BTreeMap<EventId, EventId>,
+    /// read → sourcing write.
+    pub rf: BTreeMap<EventId, EventId>,
+    /// Coherence order (all pairs).
+    pub co: PairSet,
+    /// RMW pairs.
+    pub rmw: PairSet,
+    /// remap pairs.
+    pub remap: PairSet,
+    /// Optional explicit alias-creation order.
+    pub co_pa: Option<PairSet>,
+}
+
+impl Execution {
+    /// Decomposes into raw parts.
+    pub fn to_parts(&self) -> ExecParts {
+        ExecParts {
+            events: self.events.clone(),
+            num_threads: self.num_threads,
+            num_vas: self.num_vas,
+            num_pas: self.num_pas,
+            po: self.po.clone(),
+            ghost_invoker: self.ghost_invoker.clone(),
+            rf: self.rf.clone(),
+            co: self.co.clone(),
+            rmw: self.rmw.clone(),
+            remap: self.remap.clone(),
+            co_pa: self.co_pa.clone(),
+        }
+    }
+
+    /// Reassembles an execution from raw parts (unvalidated; run
+    /// [`Execution::analyze`] to check well-formedness).
+    pub fn from_parts(parts: ExecParts) -> Execution {
+        Execution {
+            events: parts.events,
+            num_threads: parts.num_threads,
+            num_vas: parts.num_vas,
+            num_pas: parts.num_pas,
+            po: parts.po,
+            ghost_invoker: parts.ghost_invoker,
+            rf: parts.rf,
+            co: parts.co,
+            rmw: parts.rmw,
+            remap: parts.remap,
+            co_pa: parts.co_pa,
+        }
+    }
+}
+
+/// Builder for [`Execution`]s.
+///
+/// The builder enforces the construction-time ghost rules: user writes
+/// always carry a dirty-bit update (§III-A2), and walks are attached to the
+/// access that invokes them. Communication (`rf`, `co`) is added after the
+/// events.
+#[derive(Clone, Debug, Default)]
+pub struct EltBuilder {
+    events: Vec<Event>,
+    po: Vec<Vec<EventId>>,
+    ghost_invoker: BTreeMap<EventId, EventId>,
+    rf: BTreeMap<EventId, EventId>,
+    co_groups: Vec<Vec<EventId>>,
+    co_pa_groups: Vec<Vec<EventId>>,
+    rmw: PairSet,
+    remap: PairSet,
+}
+
+impl EltBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> EltBuilder {
+        EltBuilder::default()
+    }
+
+    /// Adds a new thread (core).
+    pub fn thread(&mut self) -> ThreadId {
+        self.po.push(Vec::new());
+        ThreadId(self.po.len() - 1)
+    }
+
+    fn push(&mut self, thread: ThreadId, kind: EventKind, va: Option<Va>) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        self.events.push(Event {
+            id,
+            thread,
+            kind,
+            va,
+        });
+        if !kind.is_ghost() {
+            self.po[thread.0].push(id);
+        }
+        id
+    }
+
+    /// A user read with a TLB hit (no walk of its own).
+    pub fn read(&mut self, t: ThreadId, va: Va) -> EventId {
+        self.push(t, EventKind::Read, Some(va))
+    }
+
+    /// A user read that misses the TLB: returns `(read, walk)`.
+    pub fn read_walk(&mut self, t: ThreadId, va: Va) -> (EventId, EventId) {
+        let r = self.push(t, EventKind::Read, Some(va));
+        let p = self.push(t, EventKind::Ptw, Some(va));
+        self.ghost_invoker.insert(p, r);
+        (r, p)
+    }
+
+    /// A user write with a TLB hit: returns `(write, dirty-bit write)`.
+    pub fn write(&mut self, t: ThreadId, va: Va) -> (EventId, EventId) {
+        let w = self.push(t, EventKind::Write, Some(va));
+        let d = self.push(t, EventKind::DirtyBitWrite, Some(va));
+        self.ghost_invoker.insert(d, w);
+        (w, d)
+    }
+
+    /// A user write that misses the TLB: returns
+    /// `(write, dirty-bit write, walk)`.
+    pub fn write_walk(&mut self, t: ThreadId, va: Va) -> (EventId, EventId, EventId) {
+        let (w, d) = self.write(t, va);
+        let p = self.push(t, EventKind::Ptw, Some(va));
+        self.ghost_invoker.insert(p, w);
+        (w, d, p)
+    }
+
+    /// An `MFENCE`.
+    pub fn fence(&mut self, t: ThreadId) -> EventId {
+        self.push(t, EventKind::Fence, None)
+    }
+
+    /// A support PTE write remapping `va` to `new_pa`.
+    pub fn pte_write(&mut self, t: ThreadId, va: Va, new_pa: Pa) -> EventId {
+        self.push(t, EventKind::PteWrite { new_pa }, Some(va))
+    }
+
+    /// A support `INVLPG` evicting `va`'s TLB entry on thread `t`.
+    pub fn invlpg(&mut self, t: ThreadId, va: Va) -> EventId {
+        self.push(t, EventKind::Invlpg, Some(va))
+    }
+
+    /// A support full TLB flush on thread `t` (the extended IPI type,
+    /// §III-B2 future work).
+    pub fn tlb_flush(&mut self, t: ThreadId) -> EventId {
+        self.push(t, EventKind::TlbFlush, None)
+    }
+
+    /// Marks `(r, w)` as the read and write of an RMW operation.
+    pub fn rmw(&mut self, r: EventId, w: EventId) {
+        self.rmw.insert((r, w));
+    }
+
+    /// Records that `wpte` invokes `inv` (a `remap` edge).
+    pub fn remap(&mut self, wpte: EventId, inv: EventId) {
+        self.remap.insert((wpte, inv));
+    }
+
+    /// Records that read `r` reads from write `w`.
+    pub fn rf(&mut self, w: EventId, r: EventId) {
+        self.rf.insert(r, w);
+    }
+
+    /// Appends a coherence order over same-location writes, earliest first.
+    /// All ordered pairs implied by the sequence are added.
+    pub fn co<I: IntoIterator<Item = EventId>>(&mut self, order: I) {
+        self.co_groups.push(order.into_iter().collect());
+    }
+
+    /// Appends an explicit alias-creation (`co_pa`) order for one PA.
+    pub fn co_pa<I: IntoIterator<Item = EventId>>(&mut self, order: I) {
+        self.co_pa_groups.push(order.into_iter().collect());
+    }
+
+    /// Finalizes the execution.
+    pub fn build(self) -> Execution {
+        let mut num_vas = 0;
+        let mut num_pas = 0;
+        for e in &self.events {
+            if let Some(va) = e.va {
+                num_vas = num_vas.max(va.0 + 1);
+            }
+            if let EventKind::PteWrite { new_pa } = e.kind {
+                num_pas = num_pas.max(new_pa.0 + 1);
+            }
+        }
+        // Every VA has an initial PA (VA i ↦ PA i).
+        num_pas = num_pas.max(num_vas);
+        let co = expand_groups(&self.co_groups);
+        let co_pa = if self.co_pa_groups.is_empty() {
+            None
+        } else {
+            Some(expand_groups(&self.co_pa_groups))
+        };
+        Execution {
+            num_threads: self.po.len(),
+            num_vas,
+            num_pas,
+            events: self.events,
+            po: self.po,
+            ghost_invoker: self.ghost_invoker,
+            rf: self.rf,
+            co,
+            rmw: self.rmw,
+            remap: self.remap,
+            co_pa,
+        }
+    }
+}
+
+fn expand_groups(groups: &[Vec<EventId>]) -> PairSet {
+    let mut out = PairSet::new();
+    for g in groups {
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                out.insert((g[i], g[j]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_attaches_ghosts() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        let (w, d, p) = b.write_walk(t, Va(0));
+        let x = b.build();
+        assert_eq!(x.invoker(d), Some(w));
+        assert_eq!(x.invoker(p), Some(w));
+        assert_eq!(x.ghosts_of(w).len(), 2);
+        assert_eq!(x.po_of(t), &[w]); // ghosts are not in po
+        assert!(x.has_write());
+        assert_eq!(x.size(), 3);
+    }
+
+    #[test]
+    fn co_groups_expand_to_all_pairs() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        let (w1, _) = b.write(t, Va(0));
+        let (w2, _) = b.write(t, Va(0));
+        let (w3, _) = b.write(t, Va(0));
+        b.co([w1, w2, w3]);
+        let x = b.build();
+        assert_eq!(x.co_pairs().len(), 3);
+        assert!(x.co_pairs().contains(&(w1, w3)));
+    }
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        b.read_walk(t, Va(1));
+        let x = b.build();
+        assert_eq!(x.initial_pa(Va(1)), Pa(1));
+        assert_eq!(x.num_vas(), 2);
+        assert!(x.num_pas() >= 2);
+    }
+
+    #[test]
+    fn reads_default_to_initial_state() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        let (r, _) = b.read_walk(t, Va(0));
+        let x = b.build();
+        assert_eq!(x.rf_source(r), None);
+        assert!(!x.has_write());
+    }
+}

@@ -1,0 +1,306 @@
+//! The paper's figure ELTs, reconstructed as candidate executions.
+//!
+//! Each constructor returns the candidate execution drawn in the
+//! corresponding figure of the paper, with the same events, communication
+//! choices, and (consequently) permitted/forbidden status under
+//! `x86t_elt`. These are used throughout the test suites and examples.
+
+use crate::exec::{EltBuilder, Execution};
+use crate::ids::{Pa, Va};
+
+const X: Va = Va(0);
+const Y: Va = Va(1);
+const A: Pa = Pa(0);
+const B: Pa = Pa(1);
+const C: Pa = Pa(2);
+
+/// Fig. 2b — the store-buffering (sb) test mapped to an ELT where the
+/// outcome `R1 y = 2, R3 x = 1` (the sequentially consistent outcome)
+/// remains **permitted**. Ten events: four user instructions plus their
+/// walks and dirty-bit updates.
+pub fn fig2b_sb_elt() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    let (w0, _db0, _p0) = b.write_walk(c0, X);
+    let (r1, _p1) = b.read_walk(c0, Y);
+    let (w2, _db2, _p2) = b.write_walk(c1, Y);
+    let (r3, _p3) = b.read_walk(c1, X);
+    b.rf(w2, r1); // R1 y reads W2
+    b.rf(w0, r3); // R3 x reads W0
+    b.build()
+}
+
+/// Fig. 2c — sb mapped to an ELT where a PTE write on C1 remaps `y` to
+/// alias `x`'s physical page, making the outcome a **forbidden** coherence
+/// violation (`sc_per_loc`).
+pub fn fig2c_sb_elt_aliased() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    // C0: W0 x; INVLPG1 y; R2 y.
+    let (w0, _db0, _p0) = b.write_walk(c0, X);
+    let i1 = b.invlpg(c0, Y);
+    let (r2, p2) = b.read_walk(c0, Y);
+    // C1: WPTE3 v = y → a; INVLPG4 y; W5 y; R6 x.
+    let wpte3 = b.pte_write(c1, Y, A);
+    let i4 = b.invlpg(c1, Y);
+    let (w5, db5, p5) = b.write_walk(c1, Y);
+    let (r6, _p6) = b.read_walk(c1, X);
+    b.remap(wpte3, i1);
+    b.remap(wpte3, i4);
+    // Both post-remap walks load the new mapping y → a.
+    b.rf(wpte3, p2);
+    b.rf(wpte3, p5);
+    // Data: everything is now PA a. R2 reads W5; R6 reads W0.
+    b.rf(w5, r2);
+    b.rf(w0, r6);
+    b.co([w0, w5]);
+    // PTE location v coherence: the remap, then W5's dirty-bit update.
+    b.co([wpte3, db5]);
+    b.build()
+}
+
+/// Fig. 3a — a user read invoking a PT walk.
+pub fn fig3a_read_walk() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    b.read_walk(c0, X);
+    b.build()
+}
+
+/// Fig. 3b — a user write invoking a PT walk and a dirty-bit update.
+pub fn fig3b_write_walk() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    b.write_walk(c0, X);
+    b.build()
+}
+
+/// Fig. 4 — both `x` and `y` are remapped to alias PA `c`; the reads
+/// before and after each remap exercise every `pa` edge (`rf_pa`, `co_pa`,
+/// `fr_pa`, `fr_va`). Permitted.
+pub fn fig4_remap_chain() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    b.read_walk(c0, X); // R0 x = 0 (via x → a)
+    b.read_walk(c0, Y); // R1 y = 0 (via y → b)
+    let wpte2 = b.pte_write(c0, Y, C);
+    let i3 = b.invlpg(c0, Y);
+    b.remap(wpte2, i3);
+    let (_r4, p4) = b.read_walk(c0, Y); // R4 y via y → c
+    b.rf(wpte2, p4);
+    let wpte5 = b.pte_write(c0, X, C);
+    let i6 = b.invlpg(c0, X);
+    b.remap(wpte5, i6);
+    let (_r7, p7) = b.read_walk(c0, X); // R7 x via x → c
+    b.rf(wpte5, p7);
+    // Alias-creation order on PA c: y first, then x (as drawn).
+    b.co_pa([wpte2, wpte5]);
+    b.build()
+}
+
+/// Fig. 5a — two reads sharing the TLB entry of one walk.
+pub fn fig5a_tlb_hit() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    b.read_walk(c0, X);
+    b.read(c0, X);
+    b.build()
+}
+
+/// Fig. 5b — a spurious `INVLPG` between same-VA reads forces a re-walk.
+pub fn fig5b_spurious_invlpg() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    b.read_walk(c0, X);
+    b.invlpg(c0, X); // spurious: no remap edge
+    b.read_walk(c0, X);
+    b.build()
+}
+
+/// Fig. 6c/6d — the remap test whose MCM rendering (Fig. 6b) is ambiguous
+/// about which write `R4`/`R6` reads; the ELT disambiguates it. Permitted.
+pub fn fig6_remap_disambiguated() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    // C0: R0 x (via x → a); WPTE1 z = x → b; INVLPG2 x; W3 x (via x → b).
+    b.read_walk(c0, X);
+    let wpte1 = b.pte_write(c0, X, B);
+    let i2 = b.invlpg(c0, X);
+    let (w3, db3, p3) = b.write_walk(c0, X);
+    // C1: W4 x (via x → a); INVLPG5 x; R6 x (via x → b).
+    let (_w4, db4, _p4) = b.write_walk(c1, X);
+    let i5 = b.invlpg(c1, X);
+    let (r6, p6) = b.read_walk(c1, X);
+    b.remap(wpte1, i2);
+    b.remap(wpte1, i5);
+    b.rf(wpte1, p3);
+    b.rf(wpte1, p6);
+    b.rf(w3, r6); // disambiguated: R6 reads W3 (both via x → b)
+    // PTE-location z coherence: W4's dirty bit (old mapping), the remap,
+    // then W3's dirty bit (new mapping).
+    b.co([db4, wpte1, db3]);
+    b.build()
+}
+
+/// Fig. 10a — the COATCheck `ptwalk2` ELT, synthesized verbatim by
+/// TransForm. The walk reads the *stale* mapping despite the preceding
+/// remap and INVLPG: **forbidden** (violates both `sc_per_loc` and
+/// `invlpg`).
+pub fn fig10a_ptwalk2() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let wpte0 = b.pte_write(c0, X, B);
+    let i1 = b.invlpg(c0, X);
+    b.remap(wpte0, i1);
+    b.read_walk(c0, X); // walk reads the initial PTE (no rf): stale
+    b.build()
+}
+
+/// Fig. 10b — the COATCheck `dirtybit3` ELT: **permitted**, and not
+/// minimal (removing `{W3}` exposes the `ptwalk2` program).
+pub fn fig10b_dirtybit3() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let wpte0 = b.pte_write(c0, X, B);
+    let i1 = b.invlpg(c0, X);
+    b.remap(wpte0, i1);
+    let (_r2, p2) = b.read_walk(c0, X);
+    b.rf(wpte0, p2); // reads the fresh mapping x → b
+    let (_w3, db3, p3) = b.write_walk(c0, X); // capacity-evicted: re-walks
+    b.rf(wpte0, p3);
+    b.co([wpte0, db3]);
+    b.build()
+}
+
+/// Fig. 11 — a newly synthesized ELT: the remap's INVLPG on the *other*
+/// core precedes a read that still uses the stale mapping. **Forbidden**
+/// (violates `invlpg` only — the cycle crosses cores through `remap`).
+pub fn fig11_cross_core_invlpg() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    let wpte0 = b.pte_write(c0, X, B);
+    let i1 = b.invlpg(c0, X);
+    let i2 = b.invlpg(c1, X);
+    b.remap(wpte0, i1);
+    b.remap(wpte0, i2);
+    b.read_walk(c1, X); // stale walk: reads the initial PTE
+    b.build()
+}
+
+/// Extension (§III-B2 future work) — Fig. 11 with the remote `INVLPG`
+/// replaced by a full TLB flush: the remap's flush on the other core
+/// precedes a read that still walks to the stale mapping. **Forbidden**
+/// (violates `invlpg`) for exactly the same `fr_va + remap + ^po` cycle —
+/// the coarser IPI provides no weaker guarantee.
+pub fn ext_cross_core_flush() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    let wpte0 = b.pte_write(c0, X, B);
+    let i1 = b.invlpg(c0, X);
+    let f2 = b.tlb_flush(c1);
+    b.remap(wpte0, i1);
+    b.remap(wpte0, f2);
+    b.read_walk(c1, X); // stale walk: reads the initial PTE
+    b.build()
+}
+
+/// Extension (§III-B2 future work) — a spurious full flush forces the
+/// next access to re-walk (the flush analogue of Fig. 5b): **permitted**.
+pub fn ext_spurious_flush() -> Execution {
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let (_r0, p0) = b.read_walk(c0, X);
+    b.tlb_flush(c0);
+    let (_r2, p2) = b.read_walk(c0, X);
+    let _ = (p0, p2);
+    b.build()
+}
+
+/// Every figure execution, with its name and expected `x86t_elt` status —
+/// used by the integration tests and by EXPERIMENTS.md generation.
+pub fn all_figures() -> Vec<(&'static str, Execution, bool)> {
+    vec![
+        ("fig2b_sb_elt", fig2b_sb_elt(), true),
+        ("fig2c_sb_elt_aliased", fig2c_sb_elt_aliased(), false),
+        ("fig3a_read_walk", fig3a_read_walk(), true),
+        ("fig3b_write_walk", fig3b_write_walk(), true),
+        ("fig4_remap_chain", fig4_remap_chain(), true),
+        ("fig5a_tlb_hit", fig5a_tlb_hit(), true),
+        ("fig5b_spurious_invlpg", fig5b_spurious_invlpg(), true),
+        ("fig6_remap_disambiguated", fig6_remap_disambiguated(), true),
+        ("fig10a_ptwalk2", fig10a_ptwalk2(), false),
+        ("fig10b_dirtybit3", fig10b_dirtybit3(), true),
+        ("fig11_cross_core_invlpg", fig11_cross_core_invlpg(), false),
+        ("ext_cross_core_flush", ext_cross_core_flush(), false),
+        ("ext_spurious_flush", ext_spurious_flush(), true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_is_well_formed() {
+        for (name, x, _) in all_figures() {
+            assert!(x.is_well_formed(), "{name}: {:?}", x.analyze().err());
+        }
+    }
+
+    #[test]
+    fn event_counts_match_the_paper() {
+        assert_eq!(fig2b_sb_elt().size(), 10);
+        assert_eq!(fig2c_sb_elt_aliased().size(), 13);
+        assert_eq!(fig3a_read_walk().size(), 2);
+        assert_eq!(fig3b_write_walk().size(), 3);
+        assert_eq!(fig10a_ptwalk2().size(), 4);
+        assert_eq!(fig11_cross_core_invlpg().size(), 5);
+    }
+
+    #[test]
+    fn flush_evicts_everything_placement_rules() {
+        // A hit across a full flush is rejected just like a hit across a
+        // same-VA INVLPG (Fig. 5b's rule, lifted to the coarser IPI).
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        b.read_walk(t, X);
+        b.tlb_flush(t);
+        b.read(t, X); // claims a TLB hit across the flush
+        let x = b.build();
+        assert!(!x.is_well_formed());
+        assert!(matches!(
+            x.analyze().unwrap_err(),
+            crate::wellformed::WellformedError::StaleTlbEntry { .. }
+        ));
+    }
+
+    #[test]
+    fn flush_may_serve_as_remap_invalidation_for_any_va() {
+        // The remap edge to a full flush carries no VA constraint.
+        let x = ext_cross_core_flush();
+        assert!(x.is_well_formed(), "{:?}", x.analyze().err());
+        assert_eq!(x.size(), 5);
+    }
+
+    #[test]
+    fn fig10a_has_the_fr_va_remap_po_cycle() {
+        use crate::derive::BaseRel;
+        let x = fig10a_ptwalk2();
+        let a = x.analyze().expect("well-formed");
+        let fr_va = a.relation(BaseRel::FrVa);
+        let remap = a.relation(BaseRel::Remap);
+        let po = a.relation(BaseRel::Po);
+        // R2 -fr_va-> WPTE0 -remap-> INVLPG1 -po-> R2.
+        assert_eq!(fr_va.len(), 1);
+        assert_eq!(remap.len(), 1);
+        let (r, wpte) = *fr_va.iter().next().expect("one fr_va edge");
+        let (wpte2, inv) = *remap.iter().next().expect("one remap edge");
+        assert_eq!(wpte, wpte2);
+        assert!(po.contains(&(inv, r)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Identifier newtypes for the MTM vocabulary.
+//!
+//! TransForm represents all values symbolically (§II-A of the paper);
+//! virtual addresses, physical addresses, threads, and events are dense
+//! indices wrapped in newtypes so they cannot be confused.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hardware thread (core). The paper assumes one thread per core
+/// (simplifying assumption 1, §III-C), so `ThreadId` doubles as a core id.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct ThreadId(pub usize);
+
+/// A virtual address. The paper names these `x, y, u, …`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Va(pub usize);
+
+/// A physical address. The paper names these `a, b, c, …`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Pa(pub usize);
+
+/// An event in a candidate execution, densely numbered.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The dense index of this event.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A physical shared-memory location, the granularity at which coherence
+/// (`rf`/`co`/`fr`) is defined.
+///
+/// Data locations are *physical* addresses — two user accesses communicate
+/// exactly when their effective PAs coincide (§III-B1). Page-table entries
+/// live in their own namespace, keyed by the VA they translate (the paper
+/// stores the PTE for VA `x` at VA `z`; we identify that location as
+/// `Pte(x)`). The two namespaces never overlap (no recursive page tables,
+/// simplifying assumption 3, §III-C).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum Location {
+    /// A data location, identified by physical address.
+    Data(Pa),
+    /// The page-table entry holding the mapping for a VA.
+    Pte(Va),
+}
+
+/// A virtual-to-physical address mapping, as stored in a PTE.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Mapping {
+    /// The virtual address being translated.
+    pub va: Va,
+    /// The physical address it maps to.
+    pub pa: Pa,
+}
+
+/// Conventional display names matching the paper's figures.
+pub mod names {
+    /// VA names: `x, y, u, s, t, …`.
+    pub fn va(i: usize) -> String {
+        const NAMES: [&str; 5] = ["x", "y", "u", "s", "t"];
+        NAMES
+            .get(i)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("va{i}"))
+    }
+
+    /// PTE-location names: `z, v, w, …` (the paper stores the PTE for `x`
+    /// at `z` and for `y` at `v`).
+    pub fn pte(i: usize) -> String {
+        const NAMES: [&str; 5] = ["z", "v", "w", "q", "r"];
+        NAMES
+            .get(i)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("pte{i}"))
+    }
+
+    /// PA names: `a, b, c, …`.
+    pub fn pa(i: usize) -> String {
+        const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+        NAMES
+            .get(i)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("pa{i}"))
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for Va {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", names::va(self.0))
+    }
+}
+
+impl fmt::Display for Pa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", names::pa(self.0))
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA {} → PA {}", self.va, self.pa)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Data(pa) => write!(f, "PA {pa}"),
+            Location::Pte(va) => write!(f, "{}", names::pte(va.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper_conventions() {
+        assert_eq!(Va(0).to_string(), "x");
+        assert_eq!(Va(1).to_string(), "y");
+        assert_eq!(Pa(0).to_string(), "a");
+        assert_eq!(names::pte(0), "z");
+        assert_eq!(names::pte(1), "v");
+        assert_eq!(ThreadId(1).to_string(), "C1");
+        assert_eq!(
+            Mapping { va: Va(0), pa: Pa(0) }.to_string(),
+            "VA x → PA a"
+        );
+    }
+
+    #[test]
+    fn names_degrade_gracefully_past_the_alphabet() {
+        assert_eq!(names::va(7), "va7");
+        assert_eq!(names::pa(9), "pa9");
+    }
+
+    #[test]
+    fn locations_are_distinct_namespaces() {
+        assert_ne!(Location::Data(Pa(0)), Location::Pte(Va(0)));
+    }
+}

@@ -1,0 +1,296 @@
+//! A textual DSL for MTM specifications.
+//!
+//! The paper specifies MTMs in Alloy; this module provides the equivalent
+//! surface syntax for this reproduction, so models can be written, stored,
+//! and diffed as text:
+//!
+//! ```text
+//! mtm x86t_elt {
+//!   axiom sc_per_loc:     acyclic(rf | co | fr | po_loc)
+//!   axiom rmw_atomicity:  empty(rmw & (fr ; co))
+//!   axiom causality:      acyclic(rfe | co | fr | ppo | fence)
+//!   axiom invlpg:         acyclic(fr_va | ^po | remap)
+//!   axiom tlb_causality:  acyclic(ptw_source | com)
+//! }
+//! ```
+//!
+//! Operator precedence, loosest to tightest: `|`, `\`, `&`, `;`; the unary
+//! prefixes `~` (inverse) and `^` (transitive closure) bind tightest.
+//! `#`-comments run to end of line.
+
+use crate::axiom::{Axiom, Mtm, RelExpr};
+use crate::derive::BaseRel;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseSpecError {}
+
+/// Parses an MTM specification.
+///
+/// # Errors
+///
+/// Returns a [`ParseSpecError`] describing the first syntax problem.
+///
+/// # Examples
+///
+/// ```
+/// use transform_core::spec::parse_mtm;
+/// let mtm = parse_mtm("mtm demo { axiom coh: acyclic(rf | co | fr | po_loc) }")?;
+/// assert_eq!(mtm.name(), "demo");
+/// # Ok::<(), transform_core::spec::ParseSpecError>(())
+/// ```
+pub fn parse_mtm(src: &str) -> Result<Mtm, ParseSpecError> {
+    let mut p = Parser::new(src);
+    let mtm = p.mtm()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after mtm block"));
+    }
+    Ok(mtm)
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Parser<'s> {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, message: &str) -> ParseSpecError {
+        ParseSpecError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn rest(&self) -> &'s str {
+        &self.src[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let r = self.rest();
+            let trimmed = r.trim_start();
+            self.pos += r.len() - trimmed.len();
+            if self.rest().starts_with('#') {
+                match self.rest().find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseSpecError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{tok}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'s str, ParseSpecError> {
+        self.skip_ws();
+        let r = self.rest();
+        let end = r
+            .char_indices()
+            .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|(i, _)| i)
+            .unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let id = &r[..end];
+        self.pos += end;
+        Ok(id)
+    }
+
+    fn mtm(&mut self) -> Result<Mtm, ParseSpecError> {
+        self.expect("mtm")?;
+        let name = self.ident()?.to_string();
+        self.expect("{")?;
+        let mut mtm = Mtm::new(&name);
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                return Ok(mtm);
+            }
+            self.expect("axiom")?;
+            let ax_name = self.ident()?.to_string();
+            self.expect(":")?;
+            let shape = self.ident()?.to_string();
+            self.expect("(")?;
+            let expr = self.expr()?;
+            self.expect(")")?;
+            let axiom = match shape.as_str() {
+                "acyclic" => Axiom::Acyclic(expr),
+                "irreflexive" => Axiom::Irreflexive(expr),
+                "empty" => Axiom::Empty(expr),
+                other => {
+                    return Err(self.err(&format!(
+                        "unknown axiom shape `{other}` (expected acyclic, irreflexive, or empty)"
+                    )))
+                }
+            };
+            mtm.add_axiom(&ax_name, axiom);
+        }
+    }
+
+    /// expr := diff ('|' diff)*
+    fn expr(&mut self) -> Result<RelExpr, ParseSpecError> {
+        let mut e = self.diff()?;
+        while self.eat("|") {
+            e = e.union(self.diff()?);
+        }
+        Ok(e)
+    }
+
+    /// diff := inter ('\' inter)*
+    fn diff(&mut self) -> Result<RelExpr, ParseSpecError> {
+        let mut e = self.inter()?;
+        while self.eat("\\") {
+            e = e.diff(self.inter()?);
+        }
+        Ok(e)
+    }
+
+    /// inter := seq ('&' seq)*
+    fn inter(&mut self) -> Result<RelExpr, ParseSpecError> {
+        let mut e = self.seq()?;
+        while self.eat("&") {
+            e = e.inter(self.seq()?);
+        }
+        Ok(e)
+    }
+
+    /// seq := unary (';' unary)*
+    fn seq(&mut self) -> Result<RelExpr, ParseSpecError> {
+        let mut e = self.unary()?;
+        while self.eat(";") {
+            e = e.seq(self.unary()?);
+        }
+        Ok(e)
+    }
+
+    /// unary := '~' unary | '^' unary | '(' expr ')' | base
+    fn unary(&mut self) -> Result<RelExpr, ParseSpecError> {
+        if self.eat("~") {
+            return Ok(self.unary()?.inverse());
+        }
+        if self.eat("^") {
+            return Ok(self.unary()?.closure());
+        }
+        if self.eat("(") {
+            let e = self.expr()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        let name = self.ident()?;
+        match BaseRel::parse(name) {
+            Some(r) => Ok(RelExpr::base(r)),
+            None => Err(self.err(&format!("unknown relation `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::RelExpr;
+
+    #[test]
+    fn parses_the_x86t_elt_surface_syntax() {
+        let src = r"
+            # the estimated Intel x86 MTM of §V
+            mtm x86t_elt {
+              axiom sc_per_loc:    acyclic(rf | co | fr | po_loc)
+              axiom rmw_atomicity: empty(rmw & (fr ; co))
+              axiom causality:     acyclic(rfe | co | fr | ppo | fence)
+              axiom invlpg:        acyclic(fr_va | ^po | remap)
+              axiom tlb_causality: acyclic(ptw_source | com)
+            }
+        ";
+        let mtm = parse_mtm(src).expect("parses");
+        assert_eq!(mtm.name(), "x86t_elt");
+        assert_eq!(mtm.axioms().len(), 5);
+        assert!(mtm.axiom("invlpg").is_some());
+        assert!(mtm.mentions(BaseRel::Remap));
+        assert!(!mtm.mentions(BaseRel::CoPa));
+    }
+
+    #[test]
+    fn precedence_binds_seq_tighter_than_union() {
+        let m = parse_mtm("mtm m { axiom a: empty(rf | fr ; co) }").expect("parses");
+        let expected = RelExpr::base(BaseRel::Rf)
+            .union(RelExpr::base(BaseRel::Fr).seq(RelExpr::base(BaseRel::Co)));
+        assert_eq!(m.axioms()[0].axiom.expr(), &expected);
+    }
+
+    #[test]
+    fn closure_is_prefix() {
+        let m = parse_mtm("mtm m { axiom a: acyclic(^po | remap) }").expect("parses");
+        let expected = RelExpr::base(BaseRel::Po)
+            .closure()
+            .union(RelExpr::base(BaseRel::Remap));
+        assert_eq!(m.axioms()[0].axiom.expr(), &expected);
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        let e = parse_mtm("mtm m { axiom a: acyclic(bogus) }").unwrap_err();
+        assert!(e.message.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_shape() {
+        let e = parse_mtm("mtm m { axiom a: total(po) }").unwrap_err();
+        assert!(e.message.contains("total"), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_mtm("mtm m { } extra").is_err());
+    }
+
+    #[test]
+    fn display_of_parsed_model_reparses() {
+        let src = "mtm m { axiom a: acyclic(rf | co | fr | po_loc) axiom b: empty(rmw & (fr ; co)) }";
+        let m1 = parse_mtm(src).expect("parses");
+        let m2 = parse_mtm(&m1.to_string()).expect("round-trips");
+        assert_eq!(m1, m2);
+    }
+}

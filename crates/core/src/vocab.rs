@@ -1,0 +1,173 @@
+//! The MTM vocabulary summary — the paper's Table I, as introspectable
+//! data.
+
+use crate::derive::BaseRel;
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VocabEntry {
+    /// The element's name as printed in the paper.
+    pub element: &'static str,
+    /// The paper's one-line description.
+    pub description: &'static str,
+    /// `true` for baseline MCM vocabulary (grayed in the paper's table);
+    /// `false` for the new MTM additions.
+    pub baseline_mcm: bool,
+    /// The corresponding derived relation, when the element is a relation.
+    pub relation: Option<BaseRel>,
+}
+
+/// The full vocabulary table (Table I of the paper).
+pub fn table_i() -> Vec<VocabEntry> {
+    use BaseRel::*;
+    vec![
+        VocabEntry {
+            element: "Event",
+            description: "instruction representing a micro-op in a program",
+            baseline_mcm: true,
+            relation: None,
+        },
+        VocabEntry {
+            element: "MemoryEvent",
+            description: "Read or Write memory access in a program",
+            baseline_mcm: true,
+            relation: None,
+        },
+        VocabEntry {
+            element: "address",
+            description: "relates MemoryEvent to Location being accessed",
+            baseline_mcm: true,
+            relation: None,
+        },
+        VocabEntry {
+            element: "po",
+            description: "program order, same-thread sequencing of Events",
+            baseline_mcm: true,
+            relation: Some(Po),
+        },
+        VocabEntry {
+            element: "rf",
+            description: "relates Write to Reads it sources",
+            baseline_mcm: true,
+            relation: Some(Rf),
+        },
+        VocabEntry {
+            element: "co",
+            description: "relates Write to other Writes in coherence order",
+            baseline_mcm: true,
+            relation: Some(Co),
+        },
+        VocabEntry {
+            element: "fr",
+            description: "relates Read to co-successors of Write it reads from",
+            baseline_mcm: true,
+            relation: Some(Fr),
+        },
+        VocabEntry {
+            element: "ghost",
+            description: "relates user-facing MemoryEvent to induced ghost instructions",
+            baseline_mcm: false,
+            relation: Some(Ghost),
+        },
+        VocabEntry {
+            element: "rf_ptw",
+            description: "relates PT walk to user-facing MemoryEvents that read from loaded TLB entry",
+            baseline_mcm: false,
+            relation: Some(RfPtw),
+        },
+        VocabEntry {
+            element: "rf_pa",
+            description: "relates PTE Write to user-facing MemoryEvents that access written address mapping",
+            baseline_mcm: false,
+            relation: Some(RfPa),
+        },
+        VocabEntry {
+            element: "co_pa",
+            description: "relates PTE Write to other subsequent PTE Writes for same PA in coherence order",
+            baseline_mcm: false,
+            relation: Some(CoPa),
+        },
+        VocabEntry {
+            element: "fr_pa",
+            description: "relates user-facing MemoryEvent to co_pa-successors of PTE Write they read address mapping from",
+            baseline_mcm: false,
+            relation: Some(FrPa),
+        },
+        VocabEntry {
+            element: "fr_va",
+            description: "relates user-facing MemoryEvent to subsequent PTE Write that changes address mapping for accessed VA",
+            baseline_mcm: false,
+            relation: Some(FrVa),
+        },
+        VocabEntry {
+            element: "remap",
+            description: "relates PTE Write to invoked INVLPGs",
+            baseline_mcm: false,
+            relation: Some(Remap),
+        },
+    ]
+}
+
+/// Renders Table I as aligned plain text.
+pub fn render_table_i() -> String {
+    let rows = table_i();
+    let width = rows.iter().map(|r| r.element.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:w$}  {}  {}\n",
+        "element",
+        "mcm?",
+        "description",
+        w = width
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:w$}  {}  {}\n",
+            r.element,
+            if r.baseline_mcm { "mcm " } else { "mtm+" },
+            r.description,
+            w = width
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_fourteen_rows_like_the_paper() {
+        assert_eq!(table_i().len(), 14);
+    }
+
+    #[test]
+    fn mtm_additions_are_the_new_relations() {
+        let additions: Vec<&str> = table_i()
+            .iter()
+            .filter(|e| !e.baseline_mcm)
+            .map(|e| e.element)
+            .collect();
+        assert_eq!(
+            additions,
+            ["ghost", "rf_ptw", "rf_pa", "co_pa", "fr_pa", "fr_va", "remap"]
+        );
+    }
+
+    #[test]
+    fn relation_names_agree_with_base_rel() {
+        for e in table_i() {
+            if let Some(r) = e.relation {
+                assert_eq!(e.element, r.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_contains_every_element() {
+        let s = render_table_i();
+        for e in table_i() {
+            assert!(s.contains(e.element));
+        }
+    }
+}

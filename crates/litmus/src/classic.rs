@@ -1,0 +1,247 @@
+//! Classic MCM litmus tests (the user-level view of Fig. 2a).
+//!
+//! A [`McmTest`] is a traditional consistency litmus test: user-facing
+//! reads/writes/fences over virtual addresses, with an outcome given by
+//! reads-from choices. MCM tests know nothing about translation — the
+//! [`crate::enhance`](mod@crate::enhance) module lifts them to ELTs.
+
+use transform_core::ids::Va;
+
+/// One user-level instruction of an MCM test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum McmOp {
+    /// Load from a VA.
+    Read(Va),
+    /// Store to a VA.
+    Write(Va),
+    /// `MFENCE`.
+    Fence,
+}
+
+/// A position in an MCM test: `(thread, instruction index)`.
+pub type Pos = (usize, usize);
+
+/// A classic litmus test with one distinguished outcome.
+#[derive(Clone, Debug)]
+pub struct McmTest {
+    /// Conventional name (sb, mp, …).
+    pub name: &'static str,
+    /// Instructions per thread.
+    pub threads: Vec<Vec<McmOp>>,
+    /// Reads-from choices: `(writer position, reader position)`. Reads
+    /// absent as targets read the initial value (zero).
+    pub rf: Vec<(Pos, Pos)>,
+    /// Coherence order per VA as sequences of writer positions (omitted
+    /// for single-writer locations).
+    pub co: Vec<Vec<Pos>>,
+    /// Whether x86-TSO permits this outcome.
+    pub permitted_by_tso: bool,
+}
+
+const X: Va = Va(0);
+const Y: Va = Va(1);
+
+/// Store buffering, weak outcome (`r1 = r2 = 0`): **permitted** by TSO —
+/// the store buffer lets both reads bypass the remote writes.
+pub fn sb_weak() -> McmTest {
+    McmTest {
+        name: "sb",
+        threads: vec![
+            vec![McmOp::Write(X), McmOp::Read(Y)],
+            vec![McmOp::Write(Y), McmOp::Read(X)],
+        ],
+        rf: vec![], // both reads see the initial state
+        co: vec![],
+        permitted_by_tso: true,
+    }
+}
+
+/// Store buffering with fences: the weak outcome becomes **forbidden**.
+pub fn sb_fenced_weak() -> McmTest {
+    McmTest {
+        name: "sb+mfences",
+        threads: vec![
+            vec![McmOp::Write(X), McmOp::Fence, McmOp::Read(Y)],
+            vec![McmOp::Write(Y), McmOp::Fence, McmOp::Read(X)],
+        ],
+        rf: vec![],
+        co: vec![],
+        permitted_by_tso: false,
+    }
+}
+
+/// Store buffering, sequentially consistent outcome (Fig. 2a): both reads
+/// observe the other core's write. **Permitted.**
+pub fn sb_sc() -> McmTest {
+    McmTest {
+        name: "sb-sc",
+        threads: vec![
+            vec![McmOp::Write(X), McmOp::Read(Y)],
+            vec![McmOp::Write(Y), McmOp::Read(X)],
+        ],
+        rf: vec![(((1, 0)), (0, 1)), (((0, 0)), (1, 1))],
+        co: vec![],
+        permitted_by_tso: true,
+    }
+}
+
+/// Message passing, reordered outcome (`r1 = 1, r2 = 0`): **forbidden**
+/// by TSO (stores are not reordered; loads are not reordered).
+pub fn mp_weak() -> McmTest {
+    McmTest {
+        name: "mp",
+        threads: vec![
+            vec![McmOp::Write(X), McmOp::Write(Y)],
+            vec![McmOp::Read(Y), McmOp::Read(X)],
+        ],
+        rf: vec![(((0, 1)), (1, 0))], // r(y) sees w(y); r(x) sees 0
+        co: vec![],
+        permitted_by_tso: false,
+    }
+}
+
+/// Load buffering (`r1 = r2 = 1` with no writes sourcing them… expressed
+/// TSO-legally): reads take initial values. **Permitted** trivially.
+pub fn lb_safe() -> McmTest {
+    McmTest {
+        name: "lb-safe",
+        threads: vec![
+            vec![McmOp::Read(X), McmOp::Write(Y)],
+            vec![McmOp::Read(Y), McmOp::Write(X)],
+        ],
+        rf: vec![],
+        co: vec![],
+        permitted_by_tso: true,
+    }
+}
+
+/// coRR: two same-address reads on one core observe writes in opposite
+/// order. **Forbidden** (coherence).
+pub fn corr_weak() -> McmTest {
+    McmTest {
+        name: "corr",
+        threads: vec![
+            vec![McmOp::Write(X)],
+            vec![McmOp::Read(X), McmOp::Read(X)],
+        ],
+        rf: vec![(((0, 0)), (1, 0))], // first read sees the write,
+        co: vec![],                   // second reads the initial value
+        permitted_by_tso: false,
+    }
+}
+
+/// n6 (Owens et al.): a read forwards from the local store buffer while
+/// the remote write is already coherence-ordered after the local one.
+/// `r1 = 1 (own store), r2 = 0` with `co: Wx(C0) → Wx(C1)`:
+/// **permitted** — the signature TSO behavior distinguishing it from SC.
+pub fn n6_forwarding() -> McmTest {
+    McmTest {
+        name: "n6",
+        threads: vec![
+            vec![McmOp::Write(X), McmOp::Read(X), McmOp::Read(Y)],
+            vec![McmOp::Write(Y), McmOp::Write(X)],
+        ],
+        rf: vec![(((0, 0)), (0, 1))], // forwarded; r(y) reads 0
+        co: vec![vec![(0, 0), (1, 1)]],
+        permitted_by_tso: true,
+    }
+}
+
+/// Write-to-read causality (wrc-style, three cores): C1 observes C0's
+/// write and publishes `y`; C2 observes `y` but not `x`. **Forbidden** —
+/// TSO stores are multi-copy atomic.
+pub fn wrc_weak() -> McmTest {
+    McmTest {
+        name: "wrc",
+        threads: vec![
+            vec![McmOp::Write(X)],
+            vec![McmOp::Read(X), McmOp::Write(Y)],
+            vec![McmOp::Read(Y), McmOp::Read(X)],
+        ],
+        rf: vec![(((0, 0)), (1, 0)), (((1, 1)), (2, 0))], // C2's r(x) reads 0
+        co: vec![],
+        permitted_by_tso: false,
+    }
+}
+
+/// IRIW: two observers disagree on the order of independent writes.
+/// **Forbidden** on TSO (multi-copy atomicity again).
+pub fn iriw_weak() -> McmTest {
+    McmTest {
+        name: "iriw",
+        threads: vec![
+            vec![McmOp::Write(X)],
+            vec![McmOp::Write(Y)],
+            vec![McmOp::Read(X), McmOp::Read(Y)], // sees x, not y
+            vec![McmOp::Read(Y), McmOp::Read(X)], // sees y, not x
+        ],
+        rf: vec![(((0, 0)), (2, 0)), (((1, 0)), (3, 0))],
+        co: vec![],
+        permitted_by_tso: false,
+    }
+}
+
+/// 2+2W: both locations end in the "other" order. **Forbidden** — a
+/// `co + po_loc`… actually a `co + ppo` cycle: TSO never reorders stores.
+pub fn two_plus_two_w() -> McmTest {
+    McmTest {
+        name: "2+2w",
+        threads: vec![
+            vec![McmOp::Write(X), McmOp::Write(Y)],
+            vec![McmOp::Write(Y), McmOp::Write(X)],
+        ],
+        // Each core's first write is coherence-last at its location.
+        co: vec![
+            vec![(1, 1), (0, 0)],
+            vec![(0, 1), (1, 0)],
+        ],
+        rf: vec![],
+        permitted_by_tso: false,
+    }
+}
+
+/// All classic tests with their expected TSO verdicts.
+pub fn all_tests() -> Vec<McmTest> {
+    vec![
+        sb_weak(),
+        sb_fenced_weak(),
+        sb_sc(),
+        mp_weak(),
+        lb_safe(),
+        corr_weak(),
+        n6_forwarding(),
+        wrc_weak(),
+        iriw_weak(),
+        two_plus_two_w(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_catalog_is_well_formed() {
+        for t in all_tests() {
+            assert!(!t.threads.is_empty(), "{}", t.name);
+            for ((wt, wi), (rt, ri)) in &t.rf {
+                assert!(matches!(t.threads[*wt][*wi], McmOp::Write(_)), "{}", t.name);
+                assert!(matches!(t.threads[*rt][*ri], McmOp::Read(_)), "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rf_pairs_reference_same_va() {
+        for t in all_tests() {
+            for ((wt, wi), (rt, ri)) in &t.rf {
+                let (McmOp::Write(wv), McmOp::Read(rv)) =
+                    (t.threads[*wt][*wi], t.threads[*rt][*ri])
+                else {
+                    panic!("checked above");
+                };
+                assert_eq!(wv, rv, "{}", t.name);
+            }
+        }
+    }
+}

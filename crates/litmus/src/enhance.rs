@@ -1,0 +1,128 @@
+//! The MCM-test → ELT enhancement of Fig. 2 (a → b).
+//!
+//! The paper calls this "an algorithmic translation that expands
+//! user-level instructions to include ghost instructions executing on
+//! their behalf": every access whose VA is cold in its core's TLB gains a
+//! PT walk, every write gains a dirty-bit update, and the user-level
+//! outcome (reads-from, coherence) carries over unchanged.
+
+use crate::classic::{McmOp, McmTest};
+use std::collections::{BTreeMap, BTreeSet};
+use transform_core::exec::{EltBuilder, Execution};
+use transform_core::ids::EventId;
+
+/// Expands an MCM litmus test into the corresponding ELT (the Fig. 2b
+/// mapping): walks on first access, dirty-bit updates on writes, the same
+/// communication structure.
+pub fn enhance(test: &McmTest) -> Execution {
+    let mut b = EltBuilder::new();
+    let mut ids: BTreeMap<(usize, usize), EventId> = BTreeMap::new();
+    let mut db_of: BTreeMap<EventId, EventId> = BTreeMap::new();
+    for (ti, ops) in test.threads.iter().enumerate() {
+        let t = b.thread();
+        let mut warm: BTreeSet<usize> = BTreeSet::new();
+        for (ii, op) in ops.iter().enumerate() {
+            let id = match *op {
+                McmOp::Read(va) => {
+                    if warm.insert(va.0) {
+                        b.read_walk(t, va).0
+                    } else {
+                        b.read(t, va)
+                    }
+                }
+                McmOp::Write(va) => {
+                    let (w, d) = if warm.insert(va.0) {
+                        let (w, d, _) = b.write_walk(t, va);
+                        (w, d)
+                    } else {
+                        b.write(t, va)
+                    };
+                    db_of.insert(w, d);
+                    w
+                }
+                McmOp::Fence => b.fence(t),
+            };
+            ids.insert((ti, ii), id);
+        }
+    }
+    for (w, r) in &test.rf {
+        b.rf(ids[w], ids[r]);
+    }
+
+    // Coherence per location: the explicit groups first, then any
+    // remaining writers in (thread, index) order. The dirty-bit updates
+    // share each VA's PTE location, so they are ordered too — mirroring
+    // their parents (one total order among the valid choices).
+    let mut order: BTreeMap<usize, Vec<EventId>> = BTreeMap::new();
+    let mut placed: BTreeSet<EventId> = BTreeSet::new();
+    let va_of = |p: &(usize, usize)| match test.threads[p.0][p.1] {
+        McmOp::Write(va) => va.0,
+        _ => unreachable!("co groups hold writes"),
+    };
+    for group in &test.co {
+        for p in group {
+            let id = ids[p];
+            if placed.insert(id) {
+                order.entry(va_of(p)).or_default().push(id);
+            }
+        }
+    }
+    for (ti, ops) in test.threads.iter().enumerate() {
+        for (ii, op) in ops.iter().enumerate() {
+            if let McmOp::Write(va) = op {
+                let id = ids[&(ti, ii)];
+                if placed.insert(id) {
+                    order.entry(va.0).or_default().push(id);
+                }
+            }
+        }
+    }
+    for group in order.into_values() {
+        if group.len() > 1 {
+            b.co(group.iter().copied());
+            b.co(group.iter().map(|w| db_of[w]));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use transform_core::event::EventKind;
+
+    #[test]
+    fn sb_enhances_to_the_fig2b_shape() {
+        let elt = enhance(&classic::sb_sc());
+        // 4 user ops + 2 dirty-bit writes + 4 walks = 10 events (Fig. 2b).
+        assert_eq!(elt.size(), 10);
+        assert!(elt.is_well_formed(), "{:?}", elt.analyze().err());
+        let walks = elt
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Ptw)
+            .count();
+        assert_eq!(walks, 4);
+    }
+
+    #[test]
+    fn every_classic_enhancement_is_well_formed() {
+        for t in classic::all_tests() {
+            let elt = enhance(&t);
+            assert!(elt.is_well_formed(), "{}: {:?}", t.name, elt.analyze().err());
+        }
+    }
+
+    #[test]
+    fn repeat_accesses_share_tlb_entries() {
+        let elt = enhance(&classic::corr_weak());
+        // Thread 1 reads x twice: one walk, shared.
+        let walks = elt
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Ptw && e.thread.0 == 1)
+            .count();
+        assert_eq!(walks, 1);
+    }
+}

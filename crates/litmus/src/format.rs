@@ -1,0 +1,538 @@
+//! A concrete text syntax for enhanced litmus tests.
+//!
+//! The paper's synthesis engine emits ELTs as Alloy XML and post-processes
+//! them with external tooling; an open-source release needs a syntax that
+//! humans can read, diff, and check into suites. This module defines one:
+//!
+//! ```text
+//! elt "ptwalk2" {
+//!   thread C0 {
+//!     WPTE x -> pa1
+//!     INVLPG x
+//!     R x walk
+//!   }
+//!   remap C0:0 -> C0:1
+//! }
+//! ```
+//!
+//! * One `thread` block per core; slots are implicitly numbered from 0.
+//! * `R`/`W` take a VA name (`x`, `y`, `u`, … or `vaN`) and an optional
+//!   `walk` marker (a TLB miss — the access invokes a page-table walk).
+//!   Writes always carry their implicit dirty-bit update.
+//! * `WPTE <va> -> <pa>` remaps a VA; PAs are `a`, `b`, `c`, … or `paN`.
+//! * `INVLPG <va>`, `FLUSH`, and `MFENCE` are the support/fence forms.
+//! * Event references are `C<t>:<slot>` for program-order slots,
+//!   `C<t>:<slot>.walk` for a slot's page-table walk, and `C<t>:<slot>.db`
+//!   for a write's dirty-bit update.
+//! * `rmw`, `remap`, `rf`, `co`, and `co_pa` clauses add the dependency,
+//!   invocation, and communication structure; `co`/`co_pa` list writes
+//!   oldest-first.
+//!
+//! [`print_elt`] and [`parse_elt`] round-trip every well-formed execution.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use transform_core::event::EventKind;
+use transform_core::exec::{EltBuilder, Execution};
+use transform_core::ids::{EventId, Pa, ThreadId, Va};
+
+/// A parse failure, with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEltError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseEltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseEltError {}
+
+fn va_name(va: Va) -> String {
+    const NAMES: [&str; 5] = ["x", "y", "u", "s", "t"];
+    NAMES
+        .get(va.0)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("va{}", va.0))
+}
+
+fn pa_name(pa: Pa) -> String {
+    const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+    NAMES
+        .get(pa.0)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("pa{}", pa.0))
+}
+
+fn parse_va(s: &str) -> Option<Va> {
+    const NAMES: [&str; 5] = ["x", "y", "u", "s", "t"];
+    if let Some(i) = NAMES.iter().position(|&n| n == s) {
+        return Some(Va(i));
+    }
+    s.strip_prefix("va").and_then(|n| n.parse().ok()).map(Va)
+}
+
+fn parse_pa(s: &str) -> Option<Pa> {
+    const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+    if let Some(i) = NAMES.iter().position(|&n| n == s) {
+        return Some(Pa(i));
+    }
+    s.strip_prefix("pa").and_then(|n| n.parse().ok()).map(Pa)
+}
+
+/// A reference to an event: a program-order slot, its walk, or its
+/// dirty-bit update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Part {
+    Main,
+    Walk,
+    Db,
+}
+
+fn event_ref(x: &Execution, e: EventId) -> String {
+    let ev = x.event(e);
+    let (anchor, part) = match ev.kind {
+        EventKind::Ptw => (x.invoker(e).expect("walks have invokers"), ".walk"),
+        EventKind::DirtyBitWrite => (x.invoker(e).expect("dbs have invokers"), ".db"),
+        _ => (e, ""),
+    };
+    let t = x.event(anchor).thread;
+    let slot = x
+        .po_of(t)
+        .iter()
+        .position(|&p| p == anchor)
+        .expect("anchored events are in po");
+    format!("C{}:{}{}", t.0, slot, part)
+}
+
+/// Renders an execution in the ELT text syntax.
+///
+/// # Examples
+///
+/// ```
+/// use transform_core::figures;
+/// use transform_litmus::format::{parse_elt, print_elt};
+///
+/// let x = figures::fig10a_ptwalk2();
+/// let text = print_elt("ptwalk2", &x);
+/// assert_eq!(parse_elt(&text).unwrap().1, x);
+/// ```
+pub fn print_elt(name: &str, x: &Execution) -> String {
+    let mut out = format!("elt \"{name}\" {{\n");
+    for t in 0..x.num_threads() {
+        out.push_str(&format!("  thread C{t} {{\n"));
+        for &e in x.po_of(ThreadId(t)) {
+            let ev = x.event(e);
+            let walk = x
+                .ghosts_of(e)
+                .iter()
+                .any(|&g| x.event(g).kind == EventKind::Ptw);
+            let walk_suffix = if walk { " walk" } else { "" };
+            let line = match ev.kind {
+                EventKind::Read => format!("R {}{walk_suffix}", va_name(ev.va_unwrap())),
+                EventKind::Write => format!("W {}{walk_suffix}", va_name(ev.va_unwrap())),
+                EventKind::Fence => "MFENCE".to_string(),
+                EventKind::PteWrite { new_pa } => {
+                    format!("WPTE {} -> {}", va_name(ev.va_unwrap()), pa_name(new_pa))
+                }
+                EventKind::Invlpg => format!("INVLPG {}", va_name(ev.va_unwrap())),
+                EventKind::TlbFlush => "FLUSH".to_string(),
+                EventKind::Ptw | EventKind::DirtyBitWrite => {
+                    unreachable!("ghosts are not in po")
+                }
+            };
+            out.push_str(&format!("    {line}\n"));
+        }
+        out.push_str("  }\n");
+    }
+    for &(r, w) in x.rmw_pairs() {
+        out.push_str(&format!(
+            "  rmw {} {}\n",
+            event_ref(x, r),
+            event_ref(x, w)
+        ));
+    }
+    for &(w, i) in x.remap_pairs() {
+        out.push_str(&format!(
+            "  remap {} -> {}\n",
+            event_ref(x, w),
+            event_ref(x, i)
+        ));
+    }
+    for (w, r) in x.rf_pairs() {
+        out.push_str(&format!(
+            "  rf {} -> {}\n",
+            event_ref(x, w),
+            event_ref(x, r)
+        ));
+    }
+    for chain in linearize(x, x.co_pairs()) {
+        out.push_str("  co");
+        for e in chain {
+            out.push_str(&format!(" {}", event_ref(x, e)));
+        }
+        out.push('\n');
+    }
+    if let Some(co_pa) = explicit_co_pa(x) {
+        for chain in linearize(x, &co_pa) {
+            out.push_str("  co_pa");
+            for e in chain {
+                out.push_str(&format!(" {}", event_ref(x, e)));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn explicit_co_pa(x: &Execution) -> Option<transform_core::exec::PairSet> {
+    x.to_parts().co_pa
+}
+
+/// Splits a union of total orders into per-group chains (oldest first).
+fn linearize(
+    x: &Execution,
+    pairs: &transform_core::exec::PairSet,
+) -> Vec<Vec<EventId>> {
+    let mut members: BTreeMap<EventId, usize> = BTreeMap::new();
+    for &(a, b) in pairs {
+        let succs = pairs.iter().filter(|&&(s, _)| s == a).count();
+        members.insert(a, succs.max(members.get(&a).copied().unwrap_or(0)));
+        let succs_b = pairs.iter().filter(|&&(s, _)| s == b).count();
+        members.insert(b, succs_b.max(members.get(&b).copied().unwrap_or(0)));
+    }
+    // Group: two events belong together when they are ordered either way.
+    let mut groups: Vec<Vec<EventId>> = Vec::new();
+    let mut assigned: BTreeMap<EventId, usize> = BTreeMap::new();
+    for (&e, _) in &members {
+        if assigned.contains_key(&e) {
+            continue;
+        }
+        let gi = groups.len();
+        groups.push(vec![e]);
+        assigned.insert(e, gi);
+        let mut frontier = vec![e];
+        while let Some(f) = frontier.pop() {
+            for &(a, b) in pairs {
+                let other = if a == f {
+                    b
+                } else if b == f {
+                    a
+                } else {
+                    continue;
+                };
+                if !assigned.contains_key(&other) {
+                    assigned.insert(other, gi);
+                    groups[gi].push(other);
+                    frontier.push(other);
+                }
+            }
+        }
+    }
+    // Sort each group by descending successor count (total order rank).
+    for g in &mut groups {
+        let _ = x;
+        g.sort_by_key(|&e| {
+            std::cmp::Reverse(pairs.iter().filter(|&&(s, _)| s == e).count())
+        });
+    }
+    groups
+}
+
+struct SlotIds {
+    main: BTreeMap<(usize, usize), EventId>,
+    walk: BTreeMap<(usize, usize), EventId>,
+    db: BTreeMap<(usize, usize), EventId>,
+}
+
+fn resolve(
+    ids: &SlotIds,
+    spec: &str,
+    line: usize,
+) -> Result<EventId, ParseEltError> {
+    let err = |m: String| ParseEltError { line, message: m };
+    let (core, part) = match spec.split_once('.') {
+        Some((c, "walk")) => (c, Part::Walk),
+        Some((c, "db")) => (c, Part::Db),
+        Some((_, other)) => {
+            return Err(err(format!("unknown event part `.{other}`")))
+        }
+        None => (spec, Part::Main),
+    };
+    let rest = core
+        .strip_prefix('C')
+        .ok_or_else(|| err(format!("expected C<t>:<slot>, got `{spec}`")))?;
+    let (t, s) = rest
+        .split_once(':')
+        .ok_or_else(|| err(format!("expected C<t>:<slot>, got `{spec}`")))?;
+    let key = (
+        t.parse::<usize>()
+            .map_err(|_| err(format!("bad thread in `{spec}`")))?,
+        s.parse::<usize>()
+            .map_err(|_| err(format!("bad slot in `{spec}`")))?,
+    );
+    let table = match part {
+        Part::Main => &ids.main,
+        Part::Walk => &ids.walk,
+        Part::Db => &ids.db,
+    };
+    table
+        .get(&key)
+        .copied()
+        .ok_or_else(|| err(format!("no such event `{spec}`")))
+}
+
+/// Parses the ELT text syntax, returning the test name and the execution.
+///
+/// # Errors
+///
+/// Returns a [`ParseEltError`] naming the offending line. The execution is
+/// *not* checked for well-formedness — callers run
+/// [`Execution::analyze`](transform_core::exec::Execution) as usual.
+pub fn parse_elt(src: &str) -> Result<(String, Execution), ParseEltError> {
+    let mut b = EltBuilder::new();
+    let mut ids = SlotIds {
+        main: BTreeMap::new(),
+        walk: BTreeMap::new(),
+        db: BTreeMap::new(),
+    };
+    let mut name = String::new();
+    let mut current: Option<(ThreadId, usize)> = None;
+    let mut seen_header = false;
+    let mut pending: Vec<(usize, Vec<String>)> = Vec::new();
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let err = |m: String| ParseEltError { line, message: m };
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let toks: Vec<String> = text
+            .replace('{', " { ")
+            .replace('}', " } ")
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        match toks[0].as_str() {
+            "elt" => {
+                if seen_header {
+                    return Err(err("duplicate elt header".into()));
+                }
+                seen_header = true;
+                name = toks
+                    .get(1)
+                    .map(|s| s.trim_matches('"').to_string())
+                    .unwrap_or_default();
+            }
+            "thread" => {
+                if toks.last().map(String::as_str) != Some("{") || toks.len() > 3 {
+                    return Err(err(
+                        "thread blocks open with `thread C<t> {` and hold one \
+                         instruction per line"
+                            .into(),
+                    ));
+                }
+                let t = b.thread();
+                current = Some((t, 0));
+            }
+            "}" => {
+                if toks.len() > 1 {
+                    return Err(err("`}` must stand alone on its line".into()));
+                }
+                current = None;
+            }
+            "R" | "W" | "MFENCE" | "WPTE" | "INVLPG" | "FLUSH" => {
+                if toks.iter().any(|t| t == "{" || t == "}") {
+                    return Err(err("one statement per line (stray brace)".into()));
+                }
+                let (t, slot) = current
+                    .as_mut()
+                    .map(|(t, s)| (*t, s))
+                    .ok_or_else(|| err("instruction outside a thread block".into()))?;
+                let key = (t.0, *slot);
+                *slot += 1;
+                let va = |i: usize| -> Result<Va, ParseEltError> {
+                    toks.get(i)
+                        .and_then(|s| parse_va(s))
+                        .ok_or_else(|| err(format!("expected a VA in `{text}`")))
+                };
+                match toks[0].as_str() {
+                    "R" => {
+                        let walk = toks.iter().any(|t| t == "walk");
+                        let id = if walk {
+                            let (r, p) = b.read_walk(t, va(1)?);
+                            ids.walk.insert(key, p);
+                            r
+                        } else {
+                            b.read(t, va(1)?)
+                        };
+                        ids.main.insert(key, id);
+                    }
+                    "W" => {
+                        let walk = toks.iter().any(|t| t == "walk");
+                        let id = if walk {
+                            let (w, d, p) = b.write_walk(t, va(1)?);
+                            ids.db.insert(key, d);
+                            ids.walk.insert(key, p);
+                            w
+                        } else {
+                            let (w, d) = b.write(t, va(1)?);
+                            ids.db.insert(key, d);
+                            w
+                        };
+                        ids.main.insert(key, id);
+                    }
+                    "MFENCE" => {
+                        ids.main.insert(key, b.fence(t));
+                    }
+                    "WPTE" => {
+                        let pa = toks
+                            .iter()
+                            .skip_while(|s| s.as_str() != "->")
+                            .nth(1)
+                            .and_then(|s| parse_pa(s))
+                            .ok_or_else(|| {
+                                err(format!("expected `WPTE <va> -> <pa>` in `{text}`"))
+                            })?;
+                        ids.main.insert(key, b.pte_write(t, va(1)?, pa));
+                    }
+                    "INVLPG" => {
+                        ids.main.insert(key, b.invlpg(t, va(1)?));
+                    }
+                    "FLUSH" => {
+                        ids.main.insert(key, b.tlb_flush(t));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "rmw" | "remap" | "rf" | "co" | "co_pa" => {
+                pending.push((line, toks));
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    if !seen_header {
+        return Err(ParseEltError {
+            line: 1,
+            message: "missing `elt \"name\" {` header".into(),
+        });
+    }
+
+    // Structural clauses resolve after all threads exist.
+    for (line, toks) in pending {
+        let err = |m: String| ParseEltError { line, message: m };
+        let args: Vec<&String> = toks[1..].iter().filter(|s| s.as_str() != "->").collect();
+        match toks[0].as_str() {
+            "rmw" => {
+                let [r, w] = args[..] else {
+                    return Err(err("rmw takes two event refs".into()));
+                };
+                b.rmw(resolve(&ids, r, line)?, resolve(&ids, w, line)?);
+            }
+            "remap" => {
+                let [w, i] = args[..] else {
+                    return Err(err("remap takes two event refs".into()));
+                };
+                b.remap(resolve(&ids, w, line)?, resolve(&ids, i, line)?);
+            }
+            "rf" => {
+                let [w, r] = args[..] else {
+                    return Err(err("rf takes two event refs".into()));
+                };
+                b.rf(resolve(&ids, w, line)?, resolve(&ids, r, line)?);
+            }
+            "co" => {
+                let chain = args
+                    .iter()
+                    .map(|s| resolve(&ids, s, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                b.co(chain);
+            }
+            "co_pa" => {
+                let chain = args
+                    .iter()
+                    .map(|s| resolve(&ids, s, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                b.co_pa(chain);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    Ok((name, b.build()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::figures;
+
+    #[test]
+    fn roundtrips_every_figure() {
+        for (name, x, _) in figures::all_figures() {
+            let text = print_elt(name, &x);
+            let (parsed_name, parsed) =
+                parse_elt(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            assert_eq!(parsed_name, name);
+            assert_eq!(parsed, x, "{name} round-trip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parses_the_doc_example() {
+        let (name, x) = parse_elt(
+            "elt \"ptwalk2\" {\n\
+               thread C0 {\n\
+                 WPTE x -> pa1\n\
+                 INVLPG x\n\
+                 R x walk\n\
+               }\n\
+               remap C0:0 -> C0:1\n\
+             }",
+        )
+        .expect("parses");
+        assert_eq!(name, "ptwalk2");
+        assert_eq!(x, figures::fig10a_ptwalk2());
+    }
+
+    #[test]
+    fn reports_unknown_directives_with_line() {
+        let e = parse_elt("elt \"t\" {\n  bogus\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn reports_bad_event_refs() {
+        let e = parse_elt(
+            "elt \"t\" {\n  thread C0 {\n    R x walk\n  }\n  rf C0:7 -> C0:0\n}",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("no such event"));
+    }
+
+    #[test]
+    fn instructions_outside_threads_fail() {
+        let e = parse_elt("elt \"t\" {\n  R x\n}").unwrap_err();
+        assert!(e.message.contains("outside a thread"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored
+    () {
+        let (_, x) = parse_elt(
+            "# suite: demo\nelt \"t\" {\n\n  thread C0 { # core 0\n    R x walk\n  }\n}",
+        )
+        .expect("parses");
+        assert_eq!(x.size(), 2);
+    }
+}

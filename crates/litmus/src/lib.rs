@@ -1,0 +1,24 @@
+//! `transform-litmus` — classic MCM litmus tests and their enhancement
+//! into ELTs.
+//!
+//! Traditional litmus tests ([`classic`]) capture only user-level shared
+//! memory behavior; [`enhance`](mod@enhance) performs the paper's Fig. 2a → Fig. 2b
+//! translation, attaching page-table walks and dirty-bit updates so the
+//! tests can be evaluated under a transistency model.
+//!
+//! # Examples
+//!
+//! ```
+//! use transform_litmus::{classic, enhance::enhance};
+//!
+//! let elt = enhance(&classic::sb_sc());
+//! assert_eq!(elt.size(), 10); // Fig. 2b: 4 user ops + 6 ghosts
+//! ```
+
+pub mod classic;
+pub mod enhance;
+pub mod format;
+
+pub use classic::{McmOp, McmTest};
+pub use enhance::enhance;
+pub use format::{parse_elt, print_elt, ParseEltError};

@@ -1,0 +1,166 @@
+//! A tiny Tseitin circuit layer over the `tsat` solver.
+
+use tsat::{Lit, Solver};
+
+/// A boolean value in the circuit: constant or literal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum B {
+    T,
+    F,
+    L(Lit),
+}
+
+/// Builds Tseitin-encoded gates directly into a [`Solver`].
+pub(crate) struct Circuit {
+    pub(crate) solver: Solver,
+}
+
+impl Circuit {
+    pub(crate) fn new() -> Circuit {
+        Circuit {
+            solver: Solver::new(),
+        }
+    }
+
+    pub(crate) fn fresh(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    pub(crate) fn not(&self, a: B) -> B {
+        match a {
+            B::T => B::F,
+            B::F => B::T,
+            B::L(l) => B::L(!l),
+        }
+    }
+
+    pub(crate) fn and2(&mut self, a: B, b: B) -> B {
+        match (a, b) {
+            (B::F, _) | (_, B::F) => B::F,
+            (B::T, x) | (x, B::T) => x,
+            (B::L(x), B::L(y)) => {
+                if x == y {
+                    return B::L(x);
+                }
+                if x == !y {
+                    return B::F;
+                }
+                let g = self.fresh();
+                self.solver.add_clause([!g, x]);
+                self.solver.add_clause([!g, y]);
+                self.solver.add_clause([g, !x, !y]);
+                B::L(g)
+            }
+        }
+    }
+
+    pub(crate) fn or2(&mut self, a: B, b: B) -> B {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and2(na, nb);
+        self.not(n)
+    }
+
+    pub(crate) fn and_all<I: IntoIterator<Item = B>>(&mut self, items: I) -> B {
+        let mut lits = Vec::new();
+        for x in items {
+            match x {
+                B::F => return B::F,
+                B::T => {}
+                B::L(l) => lits.push(l),
+            }
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        if lits.iter().any(|&l| lits.binary_search(&!l).is_ok()) {
+            return B::F;
+        }
+        match lits.len() {
+            0 => B::T,
+            1 => B::L(lits[0]),
+            _ => {
+                let g = self.fresh();
+                for &l in &lits {
+                    self.solver.add_clause([!g, l]);
+                }
+                let mut long: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                long.push(g);
+                self.solver.add_clause(long);
+                B::L(g)
+            }
+        }
+    }
+
+    pub(crate) fn or_all<I: IntoIterator<Item = B>>(&mut self, items: I) -> B {
+        let negated: Vec<B> = items.into_iter().map(|x| self.not(x)).collect();
+        let n = self.and_all(negated);
+        self.not(n)
+    }
+
+    /// At most one of `items` is true (pairwise encoding).
+    pub(crate) fn at_most_one(&mut self, items: &[B]) -> B {
+        let mut constraints = Vec::new();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let ni = self.not(items[i]);
+                let nj = self.not(items[j]);
+                constraints.push(self.or2(ni, nj));
+            }
+        }
+        self.and_all(constraints)
+    }
+
+    /// Asserts that `b` holds.
+    pub(crate) fn assert_true(&mut self, b: B) {
+        match b {
+            B::T => {}
+            B::F => {
+                // An unsatisfiable assertion: add the empty clause.
+                self.solver.add_clause([]);
+            }
+            B::L(l) => {
+                self.solver.add_clause([l]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut c = Circuit::new();
+        let x = B::L(c.fresh());
+        assert_eq!(c.and2(B::T, x), x);
+        assert_eq!(c.and2(B::F, x), B::F);
+        assert_eq!(c.or2(B::T, x), B::T);
+        assert_eq!(c.or2(B::F, x), x);
+        assert_eq!(c.not(B::T), B::F);
+        assert_eq!(c.and_all([]), B::T);
+        assert_eq!(c.or_all([]), B::F);
+    }
+
+    #[test]
+    fn contradictory_conjunction_folds_to_false() {
+        let mut c = Circuit::new();
+        let x = c.fresh();
+        assert_eq!(c.and_all([B::L(x), B::L(!x)]), B::F);
+        assert_eq!(c.and2(B::L(x), B::L(!x)), B::F);
+        assert_eq!(c.and2(B::L(x), B::L(x)), B::L(x));
+    }
+
+    #[test]
+    fn gate_semantics() {
+        let mut c = Circuit::new();
+        let x = c.fresh();
+        let y = c.fresh();
+        let g = c.and2(B::L(x), B::L(y));
+        let B::L(gl) = g else { panic!("expected literal") };
+        c.assert_true(B::L(gl));
+        assert!(c.solver.solve().is_sat());
+        assert_eq!(c.solver.value(x.var()), Some(true));
+        assert_eq!(c.solver.value(y.var()), Some(true));
+    }
+}

@@ -1,0 +1,50 @@
+//! Ground evaluation of expressions and formulas against an [`Instance`].
+//!
+//! This is the semantic reference for the SAT translation: the randomized
+//! tests in this crate enumerate SAT models and re-check them here.
+
+use crate::expr::{Expr, Formula};
+use crate::problem::Instance;
+use crate::tuples::TupleSet;
+
+impl Instance {
+    /// Evaluates a relational expression to a concrete tuple set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a relation not present in this
+    /// instance or combines mismatched arities.
+    pub fn eval(&self, e: &Expr) -> TupleSet {
+        match e {
+            Expr::Rel(r) => self.values[r.0].clone(),
+            Expr::Const(ts) => (**ts).clone(),
+            Expr::Iden => TupleSet::iden(&self.universe),
+            Expr::None(a) => TupleSet::empty(*a),
+            Expr::Univ(a) => TupleSet::full(&self.universe, *a),
+            Expr::Union(a, b) => self.eval(a).union(&self.eval(b)),
+            Expr::Inter(a, b) => self.eval(a).intersection(&self.eval(b)),
+            Expr::Diff(a, b) => self.eval(a).difference(&self.eval(b)),
+            Expr::Join(a, b) => self.eval(a).join(&self.eval(b)),
+            Expr::Product(a, b) => self.eval(a).product(&self.eval(b)),
+            Expr::Transpose(a) => self.eval(a).transpose(),
+            Expr::Closure(a) => self.eval(a).closure(),
+        }
+    }
+
+    /// Evaluates a formula to a boolean.
+    pub fn holds(&self, f: &Formula) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Subset(a, b) => self.eval(a).is_subset(&self.eval(b)),
+            Formula::Equal(a, b) => self.eval(a) == self.eval(b),
+            Formula::Some(e) => !self.eval(e).is_empty(),
+            Formula::NoneOf(e) => self.eval(e).is_empty(),
+            Formula::Lone(e) => self.eval(e).len() <= 1,
+            Formula::One(e) => self.eval(e).len() == 1,
+            Formula::And(fs) => fs.iter().all(|f| self.holds(f)),
+            Formula::Or(fs) => fs.iter().any(|f| self.holds(f)),
+            Formula::Not(f) => !self.holds(f),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Relational expressions and formulas — the bounded relational logic AST.
+
+use crate::problem::RelId;
+use crate::tuples::TupleSet;
+use std::sync::Arc;
+
+/// A relational expression denoting a tuple set.
+///
+/// Expressions are immutable trees; the combinator methods consume `self`
+/// and share subtrees via [`Arc`], so cloning is cheap.
+///
+/// # Examples
+///
+/// ```
+/// use relational::{Expr, Formula};
+/// // rf ∪ co ∪ fr must be acyclic:
+/// # let (rf, co, fr) = (Expr::none(2), Expr::none(2), Expr::none(2));
+/// let f = Formula::acyclic(rf.union(co).union(fr));
+/// ```
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A declared relation variable.
+    Rel(RelId),
+    /// A constant tuple set.
+    Const(Arc<TupleSet>),
+    /// The identity relation over the universe.
+    Iden,
+    /// The empty relation of the given arity.
+    None(usize),
+    /// Every tuple of the given arity over the universe.
+    Univ(usize),
+    /// Set union.
+    Union(Arc<Expr>, Arc<Expr>),
+    /// Set intersection.
+    Inter(Arc<Expr>, Arc<Expr>),
+    /// Set difference.
+    Diff(Arc<Expr>, Arc<Expr>),
+    /// Relational join (`.` in Alloy).
+    Join(Arc<Expr>, Arc<Expr>),
+    /// Cartesian product (`->` in Alloy).
+    Product(Arc<Expr>, Arc<Expr>),
+    /// Transpose (`~` in Alloy).
+    Transpose(Arc<Expr>),
+    /// Transitive closure (`^` in Alloy).
+    Closure(Arc<Expr>),
+}
+
+impl Expr {
+    /// A declared relation.
+    pub fn rel(r: RelId) -> Expr {
+        Expr::Rel(r)
+    }
+
+    /// A constant tuple set.
+    pub fn constant(ts: TupleSet) -> Expr {
+        Expr::Const(Arc::new(ts))
+    }
+
+    /// The singleton unary set `{atom}`.
+    pub fn atom(atom: usize) -> Expr {
+        Expr::constant(TupleSet::from_atoms([atom]))
+    }
+
+    /// The singleton binary set `{(a, b)}`.
+    pub fn pair(a: usize, b: usize) -> Expr {
+        Expr::constant(TupleSet::from_pairs([(a, b)]))
+    }
+
+    /// The identity relation.
+    pub fn iden() -> Expr {
+        Expr::Iden
+    }
+
+    /// The empty relation of arity `arity`.
+    pub fn none(arity: usize) -> Expr {
+        Expr::None(arity)
+    }
+
+    /// Every tuple of arity `arity`.
+    pub fn univ(arity: usize) -> Expr {
+        Expr::Univ(arity)
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Arc::new(self), Arc::new(other))
+    }
+
+    /// `self ∩ other`.
+    pub fn inter(self, other: Expr) -> Expr {
+        Expr::Inter(Arc::new(self), Arc::new(other))
+    }
+
+    /// `self \ other`.
+    pub fn diff(self, other: Expr) -> Expr {
+        Expr::Diff(Arc::new(self), Arc::new(other))
+    }
+
+    /// Relational join `self . other`.
+    pub fn join(self, other: Expr) -> Expr {
+        Expr::Join(Arc::new(self), Arc::new(other))
+    }
+
+    /// Cartesian product `self -> other`.
+    pub fn product(self, other: Expr) -> Expr {
+        Expr::Product(Arc::new(self), Arc::new(other))
+    }
+
+    /// Transpose `~self`.
+    pub fn transpose(self) -> Expr {
+        Expr::Transpose(Arc::new(self))
+    }
+
+    /// Transitive closure `^self`.
+    pub fn closure(self) -> Expr {
+        Expr::Closure(Arc::new(self))
+    }
+
+    /// Reflexive transitive closure `*self` (defined as `^self ∪ iden`).
+    pub fn rclosure(self) -> Expr {
+        self.closure().union(Expr::iden())
+    }
+
+    /// Union of several expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator.
+    pub fn union_all<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        let mut it = exprs.into_iter();
+        let first = it.next().expect("union_all of empty iterator");
+        it.fold(first, Expr::union)
+    }
+
+    /// The arity of this expression, given a lookup for relation arities.
+    pub(crate) fn arity(&self, rel_arity: &dyn Fn(RelId) -> usize) -> usize {
+        match self {
+            Expr::Rel(r) => rel_arity(*r),
+            Expr::Const(ts) => ts.arity(),
+            Expr::Iden => 2,
+            Expr::None(a) | Expr::Univ(a) => *a,
+            Expr::Union(a, _) | Expr::Inter(a, _) | Expr::Diff(a, _) => a.arity(rel_arity),
+            Expr::Join(a, b) => a.arity(rel_arity) + b.arity(rel_arity) - 2,
+            Expr::Product(a, b) => a.arity(rel_arity) + b.arity(rel_arity),
+            Expr::Transpose(_) => 2,
+            Expr::Closure(_) => 2,
+        }
+    }
+}
+
+/// A boolean constraint over relational expressions.
+#[derive(Clone, Debug)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// `a ⊆ b`.
+    Subset(Arc<Expr>, Arc<Expr>),
+    /// `a = b`.
+    Equal(Arc<Expr>, Arc<Expr>),
+    /// `e` is non-empty (`some e`).
+    Some(Arc<Expr>),
+    /// `e` is empty (`no e`).
+    NoneOf(Arc<Expr>),
+    /// `e` has at most one tuple (`lone e`).
+    Lone(Arc<Expr>),
+    /// `e` has exactly one tuple (`one e`).
+    One(Arc<Expr>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Arc<Formula>),
+}
+
+impl Formula {
+    /// `a ⊆ b`.
+    pub fn subset(a: Expr, b: Expr) -> Formula {
+        Formula::Subset(Arc::new(a), Arc::new(b))
+    }
+
+    /// `a = b`.
+    pub fn equal(a: Expr, b: Expr) -> Formula {
+        Formula::Equal(Arc::new(a), Arc::new(b))
+    }
+
+    /// `some e` — the expression is non-empty.
+    pub fn some(e: Expr) -> Formula {
+        Formula::Some(Arc::new(e))
+    }
+
+    /// `no e` — the expression is empty.
+    pub fn no(e: Expr) -> Formula {
+        Formula::NoneOf(Arc::new(e))
+    }
+
+    /// `lone e` — at most one tuple.
+    pub fn lone(e: Expr) -> Formula {
+        Formula::Lone(Arc::new(e))
+    }
+
+    /// `one e` — exactly one tuple.
+    pub fn one(e: Expr) -> Formula {
+        Formula::One(Arc::new(e))
+    }
+
+    /// Acyclicity of a binary relation: `no (iden ∩ ^e)`.
+    ///
+    /// This is the workhorse of axiomatic memory-model specification — the
+    /// paper's `sc_per_loc`, `causality`, `invlpg`, and `tlb_causality`
+    /// axioms are all acyclicity requirements.
+    pub fn acyclic(e: Expr) -> Formula {
+        Formula::no(e.closure().inter(Expr::iden()))
+    }
+
+    /// Irreflexivity of a binary relation: `no (iden ∩ e)`.
+    pub fn irreflexive(e: Expr) -> Formula {
+        Formula::no(e.inter(Expr::iden()))
+    }
+
+    /// Conjunction of formulas (true when empty).
+    pub fn and<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        Formula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction of formulas (false when empty).
+    pub fn or<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        Formula::Or(fs.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Arc::new(f))
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::or([Formula::not(self), other])
+    }
+
+    /// Biconditional `self ↔ other`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::and([
+            self.clone().implies(other.clone()),
+            other.implies(self),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_arities() {
+        let lookup = |_: RelId| 2usize;
+        assert_eq!(Expr::iden().arity(&lookup), 2);
+        assert_eq!(Expr::atom(0).arity(&lookup), 1);
+        assert_eq!(Expr::atom(0).join(Expr::iden()).arity(&lookup), 1);
+        assert_eq!(Expr::atom(0).product(Expr::atom(1)).arity(&lookup), 2);
+        assert_eq!(Expr::iden().join(Expr::iden()).arity(&lookup), 2);
+    }
+}

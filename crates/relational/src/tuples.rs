@@ -1,0 +1,332 @@
+//! Tuples and tuple sets — the concrete values of relations.
+
+use crate::universe::Universe;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple of atom indices.
+pub type Tuple = Vec<usize>;
+
+/// A set of same-arity tuples over some universe.
+///
+/// `TupleSet` is both the value of a relation in an [`crate::Instance`] and
+/// the representation of lower/upper bounds in a [`crate::Problem`].
+///
+/// # Examples
+///
+/// ```
+/// use relational::TupleSet;
+/// let mut s = TupleSet::empty(2);
+/// s.insert(vec![0, 1]);
+/// s.insert(vec![1, 2]);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(&[0, 1]));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleSet {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl TupleSet {
+    /// The empty set of the given arity.
+    pub fn empty(arity: usize) -> TupleSet {
+        assert!(arity >= 1, "arity must be at least 1");
+        TupleSet {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// All tuples of the given arity over `universe`.
+    pub fn full(universe: &Universe, arity: usize) -> TupleSet {
+        let mut s = TupleSet::empty(arity);
+        let n = universe.size();
+        let mut t = vec![0usize; arity];
+        loop {
+            s.tuples.insert(t.clone());
+            // Odometer increment.
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    return s;
+                }
+                i -= 1;
+                t[i] += 1;
+                if t[i] < n {
+                    break;
+                }
+                t[i] = 0;
+            }
+        }
+    }
+
+    /// The identity relation `{(a, a)}` over `universe`.
+    pub fn iden(universe: &Universe) -> TupleSet {
+        let mut s = TupleSet::empty(2);
+        for a in universe.atoms() {
+            s.insert(vec![a, a]);
+        }
+        s
+    }
+
+    /// Builds a tuple set from an iterator of tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tuples disagree on arity.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(arity: usize, tuples: I) -> TupleSet {
+        let mut s = TupleSet::empty(arity);
+        for t in tuples {
+            s.insert(t);
+        }
+        s
+    }
+
+    /// Convenience constructor for binary tuple sets from `(a, b)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(pairs: I) -> TupleSet {
+        TupleSet::from_tuples(2, pairs.into_iter().map(|(a, b)| vec![a, b]))
+    }
+
+    /// Convenience constructor for unary tuple sets from atom indices.
+    pub fn from_atoms<I: IntoIterator<Item = usize>>(atoms: I) -> TupleSet {
+        TupleSet::from_tuples(1, atoms.into_iter().map(|a| vec![a]))
+    }
+
+    /// The arity of the tuples in this set.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the set contains no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's length differs from the set's arity.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(tuple)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[usize]) -> bool {
+        tuple.len() == self.arity && self.tuples.contains(tuple)
+    }
+
+    /// Iterates over the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Set union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn union(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity);
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn intersection(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity);
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn difference(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity);
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &TupleSet) -> bool {
+        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Relational join: drops the last column of `self` and the first of
+    /// `other` where they agree. Result arity is `m + n - 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result arity would be zero.
+    pub fn join(&self, other: &TupleSet) -> TupleSet {
+        let result_arity = self.arity + other.arity - 2;
+        assert!(result_arity >= 1, "join would produce arity 0");
+        let mut out = TupleSet::empty(result_arity);
+        for a in &self.tuples {
+            for b in &other.tuples {
+                if a[self.arity - 1] == b[0] {
+                    let mut t = Vec::with_capacity(result_arity);
+                    t.extend_from_slice(&a[..self.arity - 1]);
+                    t.extend_from_slice(&b[1..]);
+                    out.tuples.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Cartesian product; result arity is `m + n`.
+    pub fn product(&self, other: &TupleSet) -> TupleSet {
+        let mut out = TupleSet::empty(self.arity + other.arity);
+        for a in &self.tuples {
+            for b in &other.tuples {
+                let mut t = a.clone();
+                t.extend_from_slice(b);
+                out.tuples.insert(t);
+            }
+        }
+        out
+    }
+
+    /// Transpose of a binary relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless arity is 2.
+    pub fn transpose(&self) -> TupleSet {
+        assert_eq!(self.arity, 2, "transpose requires arity 2");
+        TupleSet {
+            arity: 2,
+            tuples: self.tuples.iter().map(|t| vec![t[1], t[0]]).collect(),
+        }
+    }
+
+    /// Transitive closure of a binary relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless arity is 2.
+    pub fn closure(&self) -> TupleSet {
+        assert_eq!(self.arity, 2, "closure requires arity 2");
+        let mut out = self.clone();
+        loop {
+            let step = out.join(&out);
+            let next = out.union(&step);
+            if next == out {
+                return out;
+            }
+            out = next;
+        }
+    }
+
+    /// `true` when a binary relation has no cycle (its closure is
+    /// irreflexive).
+    pub fn is_acyclic(&self) -> bool {
+        let c = self.closure();
+        c.tuples.iter().all(|t| t[0] != t[1])
+    }
+}
+
+impl fmt::Debug for TupleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for TupleSet {
+    /// Collects tuples into a set, inferring arity from the first tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator (arity is unknown) or mixed arities.
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> TupleSet {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().expect("cannot infer arity of empty set").len();
+        TupleSet::from_tuples(arity, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_enumerates_all_tuples() {
+        let u = Universe::new(["a", "b", "c"]);
+        assert_eq!(TupleSet::full(&u, 1).len(), 3);
+        assert_eq!(TupleSet::full(&u, 2).len(), 9);
+        assert_eq!(TupleSet::full(&u, 3).len(), 27);
+    }
+
+    #[test]
+    fn join_matches_definition() {
+        let a = TupleSet::from_pairs([(0, 1), (1, 2)]);
+        let b = TupleSet::from_pairs([(1, 5), (2, 6)]);
+        let j = a.join(&b);
+        assert!(j.contains(&[0, 5]));
+        assert!(j.contains(&[1, 6]));
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn unary_binary_join_projects() {
+        let s = TupleSet::from_atoms([0]);
+        let r = TupleSet::from_pairs([(0, 1), (0, 2), (1, 2)]);
+        let img = s.join(&r);
+        assert_eq!(img, TupleSet::from_atoms([1, 2]));
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let r = TupleSet::from_pairs([(0, 1), (1, 2), (2, 3)]);
+        let c = r.closure();
+        assert!(c.contains(&[0, 3]));
+        assert_eq!(c.len(), 6);
+        assert!(r.is_acyclic());
+        let cyc = TupleSet::from_pairs([(0, 1), (1, 0)]);
+        assert!(!cyc.is_acyclic());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TupleSet::from_atoms([0, 1]);
+        let b = TupleSet::from_atoms([1, 2]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b), TupleSet::from_atoms([1]));
+        assert_eq!(a.difference(&b), TupleSet::from_atoms([0]));
+        assert!(TupleSet::from_atoms([1]).is_subset(&a));
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let r = TupleSet::from_pairs([(0, 1), (2, 1)]);
+        assert_eq!(r.transpose().transpose(), r);
+    }
+}

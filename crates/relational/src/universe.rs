@@ -1,0 +1,96 @@
+//! The finite universe of atoms.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An ordered, finite set of named atoms.
+///
+/// Atom indices are dense (`0..size`), and all tuple sets and relation
+/// bounds of a [`crate::Problem`] range over one universe. Cloning is cheap
+/// (the name table is shared).
+///
+/// # Examples
+///
+/// ```
+/// use relational::Universe;
+/// let u = Universe::new(["e0", "e1", "e2"]);
+/// assert_eq!(u.size(), 3);
+/// assert_eq!(u.atom("e1"), Some(1));
+/// assert_eq!(u.name(2), "e2");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Universe {
+    names: Arc<Vec<String>>,
+}
+
+impl Universe {
+    /// Creates a universe from atom names, indexed in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two atoms share a name.
+    pub fn new<I, S>(names: I) -> Universe
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate atom names");
+        Universe {
+            names: Arc::new(names),
+        }
+    }
+
+    /// Number of atoms.
+    pub fn size(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Index of the atom called `name`, if present.
+    pub fn atom(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Name of atom `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Iterates over all atom indices.
+    pub fn atoms(&self) -> impl Iterator<Item = usize> {
+        0..self.size()
+    }
+}
+
+impl fmt::Debug for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Universe{:?}", self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_iteration() {
+        let u = Universe::new(["x", "y"]);
+        assert_eq!(u.size(), 2);
+        assert_eq!(u.atom("y"), Some(1));
+        assert_eq!(u.atom("z"), None);
+        assert_eq!(u.atoms().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        let _ = Universe::new(["x", "x"]);
+    }
+}

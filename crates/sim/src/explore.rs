@@ -1,0 +1,309 @@
+//! Exhaustive exploration of the reference machine.
+//!
+//! [`explore`] enumerates every reachable interleaving of scheduler
+//! choices (instruction issue, store-buffer drain, optional capacity
+//! eviction) by depth-first search with full-state memoization, and
+//! collects the set of distinct terminal [`Run`]s and their observable
+//! [`Outcome`]s. ELT programs are a handful of instructions, so the state
+//! space is small; [`SimConfig::max_states`] guards against accidents.
+
+use crate::machine::{apply, enabled_moves, SimConfig, State, WriteRef};
+use crate::program::{Pos, SimProgram};
+use crate::value::{DataVal, Outcome, PteSrc, PteVal};
+use std::collections::{BTreeMap, BTreeSet};
+use transform_core::ids::{Location, Pa, Va};
+
+/// One terminated run: its observable outcome plus the trace facts needed
+/// to reconstruct an axiomatic candidate execution ([`crate::trace`]).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Run {
+    /// The architecturally observable result.
+    pub outcome: Outcome,
+    /// Accesses that missed the TLB, with the PTE value provenance their
+    /// walk read.
+    pub walks: BTreeMap<Pos, PteSrc>,
+    /// Per-location commit order of every write.
+    pub commits: BTreeMap<Location, Vec<WriteRef>>,
+    /// Global commit order of the OS PTE writes (the operational
+    /// alias-creation order `co_pa`).
+    pub wpte_order: Vec<Pos>,
+}
+
+/// Exploration statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct machine states visited.
+    pub states: usize,
+    /// `true` when `max_states` was hit and the result is a lower bound.
+    pub truncated: bool,
+}
+
+/// The result of exhaustively running a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Exploration {
+    /// Distinct observable outcomes.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Distinct terminal runs (an outcome can be produced by several).
+    pub runs: BTreeSet<Run>,
+    /// Search statistics.
+    pub stats: ExploreStats,
+}
+
+impl Exploration {
+    /// `true` when the outcome is observable on this machine.
+    pub fn observes(&self, outcome: &Outcome) -> bool {
+        self.outcomes.contains(outcome)
+    }
+}
+
+/// Exhaustively explores `prog` under `cfg`.
+///
+/// # Examples
+///
+/// Store buffering (the paper's Fig. 2a/2b): both reads may return the
+/// initial values — the hallmark TSO relaxation.
+///
+/// ```
+/// use transform_core::ids::{Pa, Va};
+/// use transform_sim::{explore, DataVal, Instr, SimConfig, SimProgram};
+///
+/// let w = |va| Instr::Write { va: Va(va) };
+/// let r = |va| Instr::Read { va: Va(va) };
+/// let prog = SimProgram::new(vec![vec![w(0), r(1)], vec![w(1), r(0)]], [], []);
+/// let x = explore(&prog, &SimConfig::correct());
+/// assert!(x.outcomes.iter().any(|o| {
+///     o.reads[&(0, 1)] == DataVal::Init(Pa(1)) && o.reads[&(1, 1)] == DataVal::Init(Pa(0))
+/// }));
+/// ```
+pub fn explore(prog: &SimProgram, cfg: &SimConfig) -> Exploration {
+    let mut seen: BTreeSet<State> = BTreeSet::new();
+    let mut stack: Vec<State> = vec![State::initial(prog)];
+    seen.insert(stack[0].clone());
+    let mut outcomes = BTreeSet::new();
+    let mut runs = BTreeSet::new();
+    let mut truncated = false;
+
+    while let Some(st) = stack.pop() {
+        if st.is_terminal(prog) {
+            let run = finish(prog, &st);
+            outcomes.insert(run.outcome.clone());
+            runs.insert(run);
+            continue;
+        }
+        for mv in enabled_moves(prog, cfg, &st) {
+            if seen.len() >= cfg.max_states {
+                truncated = true;
+                break;
+            }
+            let next = apply(prog, cfg, &st, mv);
+            if seen.insert(next.clone()) {
+                stack.push(next);
+            }
+        }
+    }
+
+    Exploration {
+        outcomes,
+        runs,
+        stats: ExploreStats {
+            states: seen.len(),
+            truncated,
+        },
+    }
+}
+
+fn finish(prog: &SimProgram, st: &State) -> Run {
+    let mut outcome = Outcome {
+        reads: st.reads.clone(),
+        ..Outcome::default()
+    };
+    for pa in 0..prog.num_pas() {
+        let pa = Pa(pa);
+        let v = st
+            .mem_data
+            .get(&pa)
+            .map(|&w| DataVal::Write(w))
+            .unwrap_or(DataVal::Init(pa));
+        outcome.final_data.insert(pa, v);
+    }
+    for va in 0..prog.num_vas() {
+        let va = Va(va);
+        let pte = st
+            .mem_pte
+            .get(&va)
+            .copied()
+            .unwrap_or_else(|| PteVal::initial(va));
+        outcome.final_map.insert(va, pte.mapping.pa);
+        if pte.dirty {
+            outcome.final_dirty.insert(va);
+        }
+    }
+    Run {
+        outcome,
+        walks: st.walks.clone(),
+        commits: st.commits.clone(),
+        wpte_order: st.wpte_done.clone(),
+    }
+}
+
+/// Test fixture (also used by the `machine`/`check`/`trace` tests): C0
+/// remaps `x` and IPIs both cores; C1 cached the old mapping first. The
+/// canonical cross-core stale-TLB scenario.
+#[cfg(test)]
+pub(crate) fn stale_remote_program() -> SimProgram {
+    use crate::program::Instr;
+    use transform_core::ids::Va;
+    SimProgram::new(
+        vec![
+            vec![
+                Instr::PteWrite {
+                    va: Va(0),
+                    new_pa: Pa(1),
+                },
+                Instr::Invlpg { va: Va(0) },
+            ],
+            vec![
+                Instr::Read { va: Va(0) },
+                Instr::Invlpg { va: Va(0) },
+                Instr::Read { va: Va(0) },
+            ],
+        ],
+        [((0, 0), (0, 1)), ((0, 0), (1, 1))],
+        [],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Bugs;
+    use crate::program::Instr;
+
+    fn w(va: usize) -> Instr {
+        Instr::Write { va: Va(va) }
+    }
+    fn r(va: usize) -> Instr {
+        Instr::Read { va: Va(va) }
+    }
+
+    #[test]
+    fn single_read_has_one_outcome() {
+        let prog = SimProgram::new(vec![vec![r(0)]], [], []);
+        let x = explore(&prog, &SimConfig::correct());
+        assert_eq!(x.outcomes.len(), 1);
+        let o = x.outcomes.first().unwrap();
+        assert_eq!(o.reads[&(0, 0)], DataVal::Init(Pa(0)));
+        assert!(!x.stats.truncated);
+    }
+
+    #[test]
+    fn sb_with_fences_forbids_both_stale() {
+        let prog = SimProgram::new(
+            vec![
+                vec![w(0), Instr::Fence, r(1)],
+                vec![w(1), Instr::Fence, r(0)],
+            ],
+            [],
+            [],
+        );
+        let x = explore(&prog, &SimConfig::correct());
+        assert!(!x.outcomes.iter().any(|o| {
+            o.reads[&(0, 2)] == DataVal::Init(Pa(1)) && o.reads[&(1, 2)] == DataVal::Init(Pa(0))
+        }));
+    }
+
+    #[test]
+    fn rmw_pairs_never_interleave() {
+        // Two competing locked RMWs on x: one must see the other's write.
+        let prog = SimProgram::new(
+            vec![vec![r(0), w(0)], vec![r(0), w(0)]],
+            [],
+            [(0, 0), (1, 0)],
+        );
+        let x = explore(&prog, &SimConfig::correct());
+        assert!(!x.outcomes.iter().any(|o| {
+            o.reads[&(0, 0)] == DataVal::Init(Pa(0)) && o.reads[&(1, 0)] == DataVal::Init(Pa(0))
+        }));
+    }
+
+    #[test]
+    fn remap_changes_final_mapping() {
+        let prog = SimProgram::new(
+            vec![vec![
+                Instr::PteWrite {
+                    va: Va(0),
+                    new_pa: Pa(1),
+                },
+                Instr::Invlpg { va: Va(0) },
+                r(0),
+            ]],
+            [((0, 0), (0, 1))],
+            [],
+        );
+        let x = explore(&prog, &SimConfig::correct());
+        assert_eq!(x.outcomes.len(), 1);
+        let o = x.outcomes.first().unwrap();
+        assert_eq!(o.final_map[&Va(0)], Pa(1));
+        assert_eq!(o.reads[&(0, 2)], DataVal::Init(Pa(1)), "fresh page read");
+    }
+
+    #[test]
+    fn invlpg_noop_adds_stale_read_outcome() {
+        // C0: WPTE x→b; INVLPG x.  C1: R x (caches a); INVLPG x; R x.
+        // The remapping core invalidates locally at the PTE write, so the
+        // erratum is observable where it mattered historically: a remote
+        // core's shootdown INVLPG fails to evict its cached entry.
+        let prog = super::stale_remote_program();
+        let correct = explore(&prog, &SimConfig::correct());
+        assert!(
+            correct
+                .outcomes
+                .iter()
+                .all(|o| o.reads[&(1, 2)] == DataVal::Init(Pa(1))),
+            "post-shootdown reads must use the fresh page"
+        );
+
+        let buggy = explore(
+            &prog,
+            &SimConfig::buggy(Bugs {
+                invlpg_noop: true,
+                ..Bugs::none()
+            }),
+        );
+        assert!(
+            buggy
+                .outcomes
+                .iter()
+                .any(|o| o.reads[&(1, 2)] == DataVal::Init(Pa(0))),
+            "the erratum lets the post-shootdown read use the stale mapping"
+        );
+    }
+
+
+    #[test]
+    fn capacity_evictions_do_not_change_data_outcomes_here() {
+        let prog = SimProgram::new(vec![vec![r(0), r(0)]], [], []);
+        let plain = explore(&prog, &SimConfig::correct());
+        let evict = explore(
+            &prog,
+            &SimConfig {
+                capacity_evictions: true,
+                ..SimConfig::correct()
+            },
+        );
+        assert_eq!(plain.outcomes, evict.outcomes);
+        assert!(evict.stats.states > plain.stats.states);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let prog = SimProgram::new(vec![vec![w(0), w(1)], vec![w(1), w(0)]], [], []);
+        let cfg = SimConfig {
+            max_states: 4,
+            ..SimConfig::correct()
+        };
+        let x = explore(&prog, &cfg);
+        assert!(x.stats.truncated);
+        assert!(x.stats.states <= 5);
+    }
+}

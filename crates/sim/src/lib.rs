@@ -1,0 +1,63 @@
+//! `transform-sim` — an operational x86-TSO + virtual-memory reference
+//! machine for validating memory transistency models.
+//!
+//! The TransForm paper (ISCA 2020) closes by proposing to "use the
+//! synthesized ELTs to empirically validate `x86t_elt` against real-world
+//! operating systems and x86 processor implementations". Real silicon is
+//! out of scope for a library, so this crate builds the closest executable
+//! stand-in: a small multicore machine with
+//!
+//! * FIFO **store buffers** with store-to-load forwarding (the standard
+//!   operational account of x86-TSO),
+//! * per-core **TLBs** filled by hardware page-table walks that read the
+//!   committed page tables,
+//! * **dirty-bit updates** buffered alongside their stores, and
+//! * an OS-level **remap/IPI protocol**: PTE writes are fenced and become
+//!   globally visible before the `INVLPG`s they invoke may run.
+//!
+//! [`explore`] enumerates every interleaving of an ELT program and returns
+//! the set of observable [`Outcome`]s; [`check`] compares those outcomes
+//! against a formal MTM (observed ⊆ permitted), certifies individual runs
+//! by reconstructing candidate executions ([`trace`]), and — with
+//! [`Bugs`] injected — demonstrates that TransForm-synthesized ELTs detect
+//! classic transistency errata such as the AMD Athlon™ 64 / Opteron™
+//! `INVLPG` bug cited in the paper's introduction.
+//!
+//! # Examples
+//!
+//! The forbidden outcome of the paper's Fig. 11 is unobservable on the
+//! correct machine but appears once the TLB-shootdown protocol is broken:
+//!
+//! ```
+//! use transform_core::figures;
+//! use transform_sim::{witness_observed, Bugs, SimConfig};
+//!
+//! # fn main() -> Result<(), transform_core::wellformed::WellformedError> {
+//! let witness = figures::fig11_cross_core_invlpg();
+//! assert!(!witness_observed(&witness, &SimConfig::correct())?);
+//!
+//! let broken = SimConfig::buggy(Bugs {
+//!     missing_remote_shootdown: true,
+//!     ..Bugs::none()
+//! });
+//! assert!(witness_observed(&witness, &broken)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod check;
+pub mod explore;
+pub mod machine;
+pub mod program;
+pub mod trace;
+pub mod value;
+
+pub use check::{
+    certify_runs, check_conformance, detect_forbidden, detect_with_suite, permitted_outcomes,
+    witness_observed, Conformance, Detection,
+};
+pub use explore::{explore, Exploration, ExploreStats, Run};
+pub use machine::{Bugs, SimConfig, WriteRef};
+pub use program::{Instr, Pos, SimProgram};
+pub use trace::run_to_execution;
+pub use value::{witness_outcome, DataVal, Outcome, PteSrc, PteVal};

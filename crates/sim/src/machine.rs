@@ -1,0 +1,584 @@
+//! The operational reference machine: x86-TSO cores with virtual memory.
+//!
+//! Each core owns a FIFO store buffer with store-to-load forwarding (the
+//! standard operational model of x86-TSO) and a private TLB. Page tables
+//! live in coherent shared memory; hardware page-table walks read committed
+//! memory (walkers do not snoop store buffers), fill the local TLB, and are
+//! performed atomically with the access that misses. User writes enqueue
+//! both their data store and their dirty-bit PTE update; OS PTE writes
+//! drain the buffer and update the page table atomically (kernels fence
+//! around remap), then release the `INVLPG` IPIs attached to them by
+//! `remap` edges.
+//!
+//! [`Bugs`] injects implementation defects — most prominently the
+//! AMD Athlon™ 64 / Opteron™ erratum the paper's introduction cites, where
+//! `INVLPG` fails to invalidate the designated TLB entry.
+
+use crate::program::{Instr, Pos, SimProgram};
+use crate::value::{DataVal, PteSrc, PteVal};
+use std::collections::{BTreeMap, VecDeque};
+use transform_core::ids::{Location, Mapping, Pa, Va};
+
+/// Injectable implementation defects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Bugs {
+    /// `INVLPG` executes but leaves the TLB entry intact — the AMD
+    /// Athlon™ 64 / Opteron™ erratum described in the paper's introduction
+    /// (revision guide [4]): stale address mappings stay usable.
+    pub invlpg_noop: bool,
+    /// Remap `INVLPG`s on *remote* cores are delivered without
+    /// synchronizing on the PTE write becoming visible, and do not evict —
+    /// a broken TLB-shootdown protocol: remote cores may keep translating
+    /// (and re-walking) with the old mapping while the IPI has already
+    /// "run".
+    pub missing_remote_shootdown: bool,
+    /// User writes skip their dirty-bit PTE update: the OS can no longer
+    /// tell modified pages apart.
+    pub missing_dirty_update: bool,
+}
+
+impl Bugs {
+    /// A correct implementation.
+    pub fn none() -> Bugs {
+        Bugs::default()
+    }
+}
+
+/// Exploration configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// Which defects the machine exhibits.
+    pub bugs: Bugs,
+    /// Model TLB capacity/conflict evictions: any TLB entry may
+    /// spontaneously disappear between instructions (§III-B2 of the paper
+    /// treats these as a third source of TLB misses).
+    pub capacity_evictions: bool,
+    /// Abort exploration after this many distinct machine states.
+    pub max_states: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            bugs: Bugs::none(),
+            capacity_evictions: false,
+            max_states: 1 << 22,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A correct machine with default exploration limits.
+    pub fn correct() -> SimConfig {
+        SimConfig::default()
+    }
+
+    /// A machine exhibiting the given defects.
+    pub fn buggy(bugs: Bugs) -> SimConfig {
+        SimConfig {
+            bugs,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// A store-buffer entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) enum SbEntry {
+    /// A user store to a physical page.
+    Data { pa: Pa, val: Pos },
+    /// A dirty-bit PTE update. Hardware performs these as locked RMWs that
+    /// re-check the PTE (§III-A2 notes the RMW nature): if the committed
+    /// PTE descends from a different mapping era (`PteVal::origin`) when
+    /// the update lands, the update is dropped (superseded) instead of
+    /// clobbering a newer mapping.
+    Pte { va: Va, val: PteVal },
+}
+
+/// The identity of a committed write, for per-location commit logs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum WriteRef {
+    /// A user data write.
+    Data(Pos),
+    /// An OS PTE write.
+    Wpte(Pos),
+    /// A dirty-bit update (of the user write at the position).
+    Db(Pos),
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub(crate) struct Core {
+    pub pc: usize,
+    pub tlb: BTreeMap<Va, PteVal>,
+    pub sb: VecDeque<SbEntry>,
+}
+
+/// A complete machine state, including the observation log (so that two
+/// states are interchangeable exactly when their futures produce the same
+/// outcomes *and* their pasts recorded the same observations).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) struct State {
+    pub cores: Vec<Core>,
+    /// Committed data memory; absent pages hold their initial value.
+    pub mem_data: BTreeMap<Pa, Pos>,
+    /// Committed page-table entries; absent VAs hold the initial PTE.
+    pub mem_pte: BTreeMap<Va, PteVal>,
+    /// PTE writes that have become globally visible, in commit order
+    /// (used both for IPI gating and as the operational `co_pa`).
+    pub wpte_done: Vec<Pos>,
+    /// Values returned by retired user reads.
+    pub reads: BTreeMap<Pos, DataVal>,
+    /// Which accesses missed the TLB, and what their walk read.
+    pub walks: BTreeMap<Pos, PteSrc>,
+    /// Per-location commit order.
+    pub commits: BTreeMap<Location, Vec<WriteRef>>,
+}
+
+impl State {
+    pub fn initial(prog: &SimProgram) -> State {
+        State {
+            cores: vec![Core::default(); prog.num_threads()],
+            mem_data: BTreeMap::new(),
+            mem_pte: BTreeMap::new(),
+            wpte_done: Vec::new(),
+            reads: BTreeMap::new(),
+            walks: BTreeMap::new(),
+            commits: BTreeMap::new(),
+        }
+    }
+
+    /// All cores retired, all buffers drained.
+    pub fn is_terminal(&self, prog: &SimProgram) -> bool {
+        self.cores
+            .iter()
+            .enumerate()
+            .all(|(t, c)| c.pc == prog.thread(t).len() && c.sb.is_empty())
+    }
+}
+
+/// One scheduler choice.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) enum Move {
+    /// Issue the next instruction of a core.
+    Issue(usize),
+    /// Commit the oldest store-buffer entry of a core to memory.
+    Drain(usize),
+    /// Spontaneously evict one TLB entry (capacity/conflict eviction).
+    Evict(usize, Va),
+}
+
+/// Enumerates the moves enabled in `st`.
+pub(crate) fn enabled_moves(prog: &SimProgram, cfg: &SimConfig, st: &State) -> Vec<Move> {
+    let mut out = Vec::new();
+    for (t, core) in st.cores.iter().enumerate() {
+        if !core.sb.is_empty() {
+            out.push(Move::Drain(t));
+        }
+        if core.pc < prog.thread(t).len() && issue_enabled(prog, cfg, st, t) {
+            out.push(Move::Issue(t));
+        }
+        if cfg.capacity_evictions {
+            for &va in core.tlb.keys() {
+                out.push(Move::Evict(t, va));
+            }
+        }
+    }
+    out
+}
+
+fn issue_enabled(prog: &SimProgram, cfg: &SimConfig, st: &State, t: usize) -> bool {
+    let pos = (t, st.cores[t].pc);
+    match prog.instr(pos) {
+        // MFENCE, locked RMWs, and kernel remap code drain the buffer.
+        Instr::Fence | Instr::PteWrite { .. } => st.cores[t].sb.is_empty(),
+        Instr::Read { .. } if prog.is_rmw_read(pos) => st.cores[t].sb.is_empty(),
+        // A TLB miss triggers a page-table walk; walks are coherent with
+        // the core's own stores to the *walked* PTE (a buffered dirty-bit
+        // update for this VA must not be invisible to the walker), so any
+        // such entries drain first. Stores to other locations may stay
+        // buffered — that is the TSO relaxation.
+        Instr::Read { va } | Instr::Write { va } => {
+            st.cores[t].tlb.contains_key(&va)
+                || st.cores[t]
+                    .sb
+                    .iter()
+                    .all(|e| !matches!(e, SbEntry::Pte { va: eva, .. } if *eva == va))
+        }
+        Instr::Invlpg { .. } | Instr::TlbFlush => match prog.remap_source(pos) {
+            // Remap IPIs run only once their PTE write is globally
+            // visible — unless the shootdown protocol is broken and the
+            // IPI is on a remote core.
+            Some(wpte) => {
+                let broken_remote = cfg.bugs.missing_remote_shootdown && wpte.0 != t;
+                broken_remote || st.wpte_done.contains(&wpte)
+            }
+            None => true,
+        },
+    }
+}
+
+/// Applies a move, producing the successor state.
+pub(crate) fn apply(prog: &SimProgram, cfg: &SimConfig, st: &State, mv: Move) -> State {
+    let mut st = st.clone();
+    match mv {
+        Move::Evict(t, va) => {
+            st.cores[t].tlb.remove(&va);
+        }
+        Move::Drain(t) => {
+            let entry = st.cores[t].sb.pop_front().expect("Drain requires entries");
+            commit(&mut st, entry);
+        }
+        Move::Issue(t) => issue(prog, cfg, &mut st, t),
+    }
+    st
+}
+
+fn commit(st: &mut State, entry: SbEntry) {
+    match entry {
+        SbEntry::Data { pa, val } => {
+            st.mem_data.insert(pa, val);
+            st.commits
+                .entry(Location::Data(pa))
+                .or_default()
+                .push(WriteRef::Data(val));
+        }
+        SbEntry::Pte { va, val } => {
+            let wref = match val.src {
+                PteSrc::Db(pos) => WriteRef::Db(pos),
+                PteSrc::Wpte(pos) => WriteRef::Wpte(pos),
+                PteSrc::Init => unreachable!("initial PTEs are never buffered"),
+            };
+            let current = st
+                .mem_pte
+                .get(&va)
+                .copied()
+                .unwrap_or_else(|| PteVal::initial(va));
+            let log = st.commits.entry(Location::Pte(va)).or_default();
+            let lands =
+                matches!(val.src, PteSrc::Wpte(_)) || current.origin == val.origin;
+            if lands {
+                // OS PTE writes always land; a dirty-bit update lands when
+                // the PTE still belongs to the mapping era it was computed
+                // against (then it only re-asserts the mapping and sets
+                // the dirty flag).
+                st.mem_pte.insert(va, val);
+                log.push(wref);
+            } else {
+                // The locked dirty-bit RMW finds a remapped PTE and drops
+                // the update; in coherence order it is superseded — it
+                // sits immediately before the write that outran it.
+                let at = log.len().saturating_sub(1);
+                log.insert(at, wref);
+            }
+        }
+    }
+}
+
+/// Translates `va` on core `t`, walking the page table on a miss. The walk
+/// is recorded against `pos` (the access performing it). Returns the full
+/// TLB entry so stores know which PTE contents their dirty-bit update was
+/// computed against.
+fn translate(st: &mut State, t: usize, va: Va, pos: Pos) -> PteVal {
+    if let Some(entry) = st.cores[t].tlb.get(&va) {
+        return *entry;
+    }
+    // Page-table walk: read the committed PTE (walkers do not snoop store
+    // buffers), fill the TLB.
+    let pte = st
+        .mem_pte
+        .get(&va)
+        .copied()
+        .unwrap_or_else(|| PteVal::initial(va));
+    st.cores[t].tlb.insert(va, pte);
+    st.walks.insert(pos, pte.src);
+    pte
+}
+
+/// Reads `pa` on core `t`: newest matching store-buffer entry (store
+/// forwarding) or committed memory.
+fn read_data(st: &State, t: usize, pa: Pa) -> DataVal {
+    for entry in st.cores[t].sb.iter().rev() {
+        if let SbEntry::Data { pa: epa, val } = entry {
+            if *epa == pa {
+                return DataVal::Write(*val);
+            }
+        }
+    }
+    st.mem_data
+        .get(&pa)
+        .map(|&w| DataVal::Write(w))
+        .unwrap_or(DataVal::Init(pa))
+}
+
+fn issue(prog: &SimProgram, cfg: &SimConfig, st: &mut State, t: usize) {
+    let pos = (t, st.cores[t].pc);
+    match prog.instr(pos) {
+        Instr::Fence => {
+            debug_assert!(st.cores[t].sb.is_empty());
+            st.cores[t].pc += 1;
+        }
+        Instr::Read { va } => {
+            let pte = translate(st, t, va, pos);
+            if prog.is_rmw_read(pos) {
+                issue_rmw(prog, cfg, st, t, pos, pte);
+            } else {
+                let v = read_data(st, t, pte.mapping.pa);
+                st.reads.insert(pos, v);
+                st.cores[t].pc += 1;
+            }
+        }
+        Instr::Write { va } => {
+            let pte = translate(st, t, va, pos);
+            st.cores[t].sb.push_back(SbEntry::Data {
+                pa: pte.mapping.pa,
+                val: pos,
+            });
+            if !cfg.bugs.missing_dirty_update {
+                st.cores[t].sb.push_back(SbEntry::Pte {
+                    va,
+                    val: PteVal {
+                        mapping: pte.mapping,
+                        dirty: true,
+                        src: PteSrc::Db(pos),
+                        origin: pte.origin,
+                    },
+                });
+            }
+            st.cores[t].pc += 1;
+        }
+        Instr::PteWrite { va, new_pa } => {
+            debug_assert!(st.cores[t].sb.is_empty());
+            // The remapping core's own TLB entry is dropped as part of the
+            // kernel remap routine: x86t_elt's invlpg axiom forbids any
+            // same-core access po-after the PTE write from using the stale
+            // mapping (fr_va + ^po alone already cycles), so a compliant
+            // implementation must invalidate locally at the write — the
+            // remap-invoked INVLPGs only cover the *other* cores' TLBs
+            // (and the local one redundantly).
+            st.cores[t].tlb.remove(&va);
+            commit(
+                st,
+                SbEntry::Pte {
+                    va,
+                    val: PteVal {
+                        mapping: Mapping { va, pa: new_pa },
+                        dirty: false,
+                        src: PteSrc::Wpte(pos),
+                        origin: Some(pos),
+                    },
+                },
+            );
+            st.wpte_done.push(pos);
+            st.cores[t].pc += 1;
+        }
+        Instr::Invlpg { va } => {
+            let noop = cfg.bugs.invlpg_noop
+                || (cfg.bugs.missing_remote_shootdown
+                    && prog
+                        .remap_source(pos)
+                        .is_some_and(|wpte| wpte.0 != t));
+            if !noop {
+                st.cores[t].tlb.remove(&va);
+            }
+            st.cores[t].pc += 1;
+        }
+        Instr::TlbFlush => {
+            // The full flush is not subject to the INVLPG erratum, but a
+            // broken shootdown protocol drops remote IPIs of any kind.
+            let noop = cfg.bugs.missing_remote_shootdown
+                && prog
+                    .remap_source(pos)
+                    .is_some_and(|wpte| wpte.0 != t);
+            if !noop {
+                st.cores[t].tlb.clear();
+            }
+            st.cores[t].pc += 1;
+        }
+    }
+}
+
+/// A locked RMW: buffer already drained; read and write memory atomically
+/// (data store, then dirty-bit update, both globally visible at once).
+fn issue_rmw(
+    prog: &SimProgram,
+    cfg: &SimConfig,
+    st: &mut State,
+    t: usize,
+    rpos: Pos,
+    pte: PteVal,
+) {
+    debug_assert!(st.cores[t].sb.is_empty());
+    let v = read_data(st, t, pte.mapping.pa);
+    st.reads.insert(rpos, v);
+    let wpos = (t, rpos.1 + 1);
+    debug_assert!(matches!(prog.instr(wpos), Instr::Write { .. }));
+    commit(
+        st,
+        SbEntry::Data {
+            pa: pte.mapping.pa,
+            val: wpos,
+        },
+    );
+    if !cfg.bugs.missing_dirty_update {
+        commit(
+            st,
+            SbEntry::Pte {
+                va: pte.mapping.va,
+                val: PteVal {
+                    mapping: pte.mapping,
+                    dirty: true,
+                    src: PteSrc::Db(wpos),
+                    origin: pte.origin,
+                },
+            },
+        );
+    }
+    st.cores[t].pc += 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_all(prog: &SimProgram, cfg: &SimConfig, st: State, moves: &[Move]) -> State {
+        moves
+            .iter()
+            .fold(st, |st, &mv| apply(prog, cfg, &st, mv))
+    }
+
+    #[test]
+    fn store_forwarding_reads_own_buffer() {
+        // W x; R x on one core: the read forwards from the buffer before
+        // the store commits.
+        let prog = SimProgram::new(
+            vec![vec![Instr::Write { va: Va(0) }, Instr::Read { va: Va(0) }]],
+            [],
+            [],
+        );
+        let cfg = SimConfig::correct();
+        let st = run_all(
+            &prog,
+            &cfg,
+            State::initial(&prog),
+            &[Move::Issue(0), Move::Issue(0)],
+        );
+        assert_eq!(st.reads[&(0, 1)], DataVal::Write((0, 0)));
+        assert_eq!(st.cores[0].sb.len(), 2, "data store + dirty-bit update");
+        assert!(st.mem_data.is_empty(), "nothing committed yet");
+    }
+
+    #[test]
+    fn fence_blocks_until_drained() {
+        let prog = SimProgram::new(
+            vec![vec![Instr::Write { va: Va(0) }, Instr::Fence]],
+            [],
+            [],
+        );
+        let cfg = SimConfig::correct();
+        let st = run_all(&prog, &cfg, State::initial(&prog), &[Move::Issue(0)]);
+        assert!(!enabled_moves(&prog, &cfg, &st)
+            .contains(&Move::Issue(0)));
+        let st = run_all(&prog, &cfg, st, &[Move::Drain(0), Move::Drain(0)]);
+        assert!(enabled_moves(&prog, &cfg, &st).contains(&Move::Issue(0)));
+    }
+
+    #[test]
+    fn walk_fills_tlb_and_is_recorded() {
+        let prog = SimProgram::new(vec![vec![Instr::Read { va: Va(0) }]], [], []);
+        let cfg = SimConfig::correct();
+        let st = run_all(&prog, &cfg, State::initial(&prog), &[Move::Issue(0)]);
+        assert_eq!(st.walks[&(0, 0)], PteSrc::Init);
+        assert_eq!(st.cores[0].tlb[&Va(0)].mapping.pa, Pa(0));
+        assert_eq!(st.reads[&(0, 0)], DataVal::Init(Pa(0)));
+    }
+
+    #[test]
+    fn remap_invlpg_waits_for_pte_write() {
+        // C0: WPTE x→b ... C1: INVLPG x (remap-invoked).
+        let prog = SimProgram::new(
+            vec![
+                vec![
+                    Instr::PteWrite {
+                        va: Va(0),
+                        new_pa: Pa(1),
+                    },
+                    Instr::Invlpg { va: Va(0) },
+                ],
+                vec![Instr::Invlpg { va: Va(0) }],
+            ],
+            [((0, 0), (0, 1)), ((0, 0), (1, 0))],
+            [],
+        );
+        let cfg = SimConfig::correct();
+        let st = State::initial(&prog);
+        assert!(
+            !enabled_moves(&prog, &cfg, &st).contains(&Move::Issue(1)),
+            "IPI must wait for the PTE write"
+        );
+        let st = apply(&prog, &cfg, &st, Move::Issue(0));
+        assert!(enabled_moves(&prog, &cfg, &st).contains(&Move::Issue(1)));
+    }
+
+    #[test]
+    fn invlpg_evicts_unless_buggy() {
+        let prog = SimProgram::new(
+            vec![vec![Instr::Read { va: Va(0) }, Instr::Invlpg { va: Va(0) }]],
+            [],
+            [],
+        );
+        let correct = SimConfig::correct();
+        let st = run_all(
+            &prog,
+            &correct,
+            State::initial(&prog),
+            &[Move::Issue(0), Move::Issue(0)],
+        );
+        assert!(st.cores[0].tlb.is_empty());
+
+        let buggy = SimConfig::buggy(Bugs {
+            invlpg_noop: true,
+            ..Bugs::none()
+        });
+        let st = run_all(
+            &prog,
+            &buggy,
+            State::initial(&prog),
+            &[Move::Issue(0), Move::Issue(0)],
+        );
+        assert!(
+            st.cores[0].tlb.contains_key(&Va(0)),
+            "the AMD erratum keeps the stale entry"
+        );
+    }
+
+    #[test]
+    fn rmw_commits_atomically() {
+        let prog = SimProgram::new(
+            vec![vec![Instr::Read { va: Va(0) }, Instr::Write { va: Va(0) }]],
+            [],
+            [(0, 0)],
+        );
+        let cfg = SimConfig::correct();
+        let st = run_all(&prog, &cfg, State::initial(&prog), &[Move::Issue(0)]);
+        assert_eq!(st.cores[0].pc, 2, "read and write retire together");
+        assert!(st.cores[0].sb.is_empty(), "locked ops bypass the buffer");
+        assert_eq!(st.mem_data[&Pa(0)], (0, 1));
+        assert!(st.mem_pte[&Va(0)].dirty);
+    }
+
+    #[test]
+    fn capacity_evictions_only_when_enabled() {
+        let prog = SimProgram::new(vec![vec![Instr::Read { va: Va(0) }]], [], []);
+        let cfg = SimConfig::correct();
+        let st = run_all(&prog, &cfg, State::initial(&prog), &[Move::Issue(0)]);
+        assert!(enabled_moves(&prog, &cfg, &st).is_empty(), "terminal");
+        let cfg = SimConfig {
+            capacity_evictions: true,
+            ..SimConfig::correct()
+        };
+        assert_eq!(
+            enabled_moves(&prog, &cfg, &st),
+            vec![Move::Evict(0, Va(0))]
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Machine-level programs — the input the reference machine executes.
+//!
+//! An enhanced litmus test *program* is the part of an ELT that an
+//! implementation can actually run: the per-core streams of user-facing and
+//! OS-support instructions, the remap attachments between PTE writes and
+//! the `INVLPG`s they invoke, and the RMW pairings. Ghost instructions
+//! (walks, dirty-bit updates) are deliberately absent — the machine decides
+//! dynamically when hardware performs them, exactly as real hardware does.
+
+use std::collections::{BTreeMap, BTreeSet};
+use transform_core::event::EventKind;
+use transform_core::exec::Execution;
+use transform_core::ids::{Pa, ThreadId, Va};
+
+/// A `(thread, slot)` program position.
+pub type Pos = (usize, usize);
+
+/// One instruction of a machine-level program.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Instr {
+    /// User-facing load.
+    Read {
+        /// Effective virtual address.
+        va: Va,
+    },
+    /// User-facing store.
+    Write {
+        /// Effective virtual address.
+        va: Va,
+    },
+    /// `MFENCE`.
+    Fence,
+    /// OS support: a system call rewrites the PTE of `va`, remapping it to
+    /// `new_pa`.
+    PteWrite {
+        /// The VA being remapped.
+        va: Va,
+        /// The page it now maps to.
+        new_pa: Pa,
+    },
+    /// OS support: evict `va`'s TLB entry on the issuing core.
+    Invlpg {
+        /// The VA whose entry is evicted.
+        va: Va,
+    },
+    /// OS support: flush the issuing core's entire TLB (extended IPI).
+    TlbFlush,
+}
+
+impl Instr {
+    /// The VA the instruction touches, if any.
+    pub fn va(self) -> Option<Va> {
+        match self {
+            Instr::Read { va }
+            | Instr::Write { va }
+            | Instr::PteWrite { va, .. }
+            | Instr::Invlpg { va } => Some(va),
+            Instr::Fence | Instr::TlbFlush => None,
+        }
+    }
+
+    /// `true` for the user loads and stores that need address translation.
+    pub fn is_access(self) -> bool {
+        matches!(self, Instr::Read { .. } | Instr::Write { .. })
+    }
+}
+
+/// A runnable ELT program: instruction streams plus remap/RMW structure.
+///
+/// # Examples
+///
+/// ```
+/// use transform_core::figures;
+/// use transform_sim::SimProgram;
+///
+/// let p = SimProgram::from_execution(&figures::fig10a_ptwalk2());
+/// assert_eq!(p.num_threads(), 1);
+/// assert_eq!(p.thread(0).len(), 3); // WPTE; INVLPG; R — the walk is implicit
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimProgram {
+    threads: Vec<Vec<Instr>>,
+    /// `INVLPG` position → the PTE write that invoked it.
+    remap_invoker: BTreeMap<Pos, Pos>,
+    /// Positions of reads that open an RMW (the write is the next slot).
+    rmw_reads: BTreeSet<Pos>,
+    num_vas: usize,
+    num_pas: usize,
+}
+
+impl SimProgram {
+    /// Builds a program from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the remap or RMW structure refers to positions that do
+    /// not hold instructions of the right kind, or when an RMW read is not
+    /// followed by a same-VA write.
+    pub fn new(
+        threads: Vec<Vec<Instr>>,
+        remap: impl IntoIterator<Item = (Pos, Pos)>,
+        rmw_reads: impl IntoIterator<Item = Pos>,
+    ) -> SimProgram {
+        let mut num_vas = 0;
+        let mut num_pas = 0;
+        for i in threads.iter().flatten() {
+            if let Some(va) = i.va() {
+                num_vas = num_vas.max(va.0 + 1);
+            }
+            if let Instr::PteWrite { new_pa, .. } = i {
+                num_pas = num_pas.max(new_pa.0 + 1);
+            }
+        }
+        num_pas = num_pas.max(num_vas);
+        let p = SimProgram {
+            threads,
+            remap_invoker: remap.into_iter().map(|(w, i)| (i, w)).collect(),
+            rmw_reads: rmw_reads.into_iter().collect(),
+            num_vas,
+            num_pas,
+        };
+        for (&inv, &wpte) in &p.remap_invoker {
+            assert!(
+                matches!(p.instr(inv), Instr::Invlpg { .. } | Instr::TlbFlush),
+                "remap target {inv:?} is not a TLB eviction"
+            );
+            assert!(
+                matches!(p.instr(wpte), Instr::PteWrite { .. }),
+                "remap source {wpte:?} is not a PTE write"
+            );
+        }
+        for &(t, s) in &p.rmw_reads {
+            let (r, w) = (p.instr((t, s)), p.instr((t, s + 1)));
+            assert!(
+                matches!((r, w), (Instr::Read { va: rv }, Instr::Write { va: wv }) if rv == wv),
+                "rmw at {:?} is not an adjacent same-VA read/write pair",
+                (t, s)
+            );
+        }
+        p
+    }
+
+    /// Extracts the runnable program of a candidate execution, discarding
+    /// ghosts and communication. This is how synthesized ELTs are turned
+    /// into litmus *tests* to run against an implementation.
+    pub fn from_execution(x: &Execution) -> SimProgram {
+        let mut threads = Vec::new();
+        let mut pos_of = BTreeMap::new();
+        for t in 0..x.num_threads() {
+            let mut row = Vec::new();
+            for (s, &e) in x.po_of(ThreadId(t)).iter().enumerate() {
+                pos_of.insert(e, (t, s));
+                let ev = x.event(e);
+                row.push(match ev.kind {
+                    EventKind::Read => Instr::Read { va: ev.va_unwrap() },
+                    EventKind::Write => Instr::Write { va: ev.va_unwrap() },
+                    EventKind::Fence => Instr::Fence,
+                    EventKind::PteWrite { new_pa } => Instr::PteWrite {
+                        va: ev.va_unwrap(),
+                        new_pa,
+                    },
+                    EventKind::Invlpg => Instr::Invlpg { va: ev.va_unwrap() },
+                    EventKind::TlbFlush => Instr::TlbFlush,
+                    EventKind::Ptw | EventKind::DirtyBitWrite => {
+                        unreachable!("ghosts are not in program order")
+                    }
+                });
+            }
+            threads.push(row);
+        }
+        SimProgram::new(
+            threads,
+            x.remap_pairs()
+                .iter()
+                .map(|&(w, i)| (pos_of[&w], pos_of[&i])),
+            x.rmw_pairs().iter().map(|&(r, _)| pos_of[&r]),
+        )
+    }
+
+    /// Number of cores.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The instruction stream of core `t`.
+    pub fn thread(&self, t: usize) -> &[Instr] {
+        &self.threads[t]
+    }
+
+    /// The instruction at a position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of range.
+    pub fn instr(&self, pos: Pos) -> Instr {
+        self.threads[pos.0][pos.1]
+    }
+
+    /// Number of distinct VAs referenced.
+    pub fn num_vas(&self) -> usize {
+        self.num_vas
+    }
+
+    /// Size of the physical-page universe (initial pages plus remap
+    /// targets).
+    pub fn num_pas(&self) -> usize {
+        self.num_pas
+    }
+
+    /// The PTE write that invoked this `INVLPG`, or `None` for a spurious
+    /// invalidation.
+    pub fn remap_source(&self, invlpg: Pos) -> Option<Pos> {
+        self.remap_invoker.get(&invlpg).copied()
+    }
+
+    /// All `(wpte, invlpg)` remap attachments.
+    pub fn remap_pairs(&self) -> impl Iterator<Item = (Pos, Pos)> + '_ {
+        self.remap_invoker.iter().map(|(&i, &w)| (w, i))
+    }
+
+    /// `true` when the read at `pos` opens an RMW.
+    pub fn is_rmw_read(&self, pos: Pos) -> bool {
+        self.rmw_reads.contains(&pos)
+    }
+
+    /// `true` when the write at `pos` closes an RMW.
+    pub fn is_rmw_write(&self, pos: Pos) -> bool {
+        pos.1 > 0 && self.rmw_reads.contains(&(pos.0, pos.1 - 1))
+    }
+
+    /// Positions of the RMW-opening reads.
+    pub fn rmw_reads(&self) -> impl Iterator<Item = Pos> + '_ {
+        self.rmw_reads.iter().copied()
+    }
+
+    /// Every position in the program, in `(thread, slot)` order.
+    pub fn positions(&self) -> impl Iterator<Item = Pos> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .flat_map(|(t, row)| (0..row.len()).map(move |s| (t, s)))
+    }
+
+    /// Total instruction count (ghosts excluded — they are implicit).
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::figures;
+
+    #[test]
+    fn fig10a_program_strips_ghosts() {
+        let p = SimProgram::from_execution(&figures::fig10a_ptwalk2());
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.instr((0, 0)), Instr::PteWrite { .. }));
+        assert!(matches!(p.instr((0, 1)), Instr::Invlpg { .. }));
+        assert!(matches!(p.instr((0, 2)), Instr::Read { .. }));
+        assert_eq!(p.remap_source((0, 1)), Some((0, 0)));
+        assert_eq!(p.remap_source((0, 2)), None);
+    }
+
+    #[test]
+    fn fig11_program_has_cross_core_remap() {
+        let p = SimProgram::from_execution(&figures::fig11_cross_core_invlpg());
+        assert_eq!(p.num_threads(), 2);
+        let remaps: Vec<_> = p.remap_pairs().collect();
+        assert_eq!(remaps.len(), 2, "one INVLPG per core");
+        assert!(remaps.iter().all(|&(w, _)| w == (0, 0)));
+    }
+
+    #[test]
+    fn universe_counts_cover_remap_targets() {
+        let p = SimProgram::new(
+            vec![vec![
+                Instr::PteWrite {
+                    va: Va(0),
+                    new_pa: Pa(2),
+                },
+                Instr::Invlpg { va: Va(0) },
+            ]],
+            [((0, 0), (0, 1))],
+            [],
+        );
+        assert_eq!(p.num_vas(), 1);
+        assert_eq!(p.num_pas(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rmw")]
+    fn rmw_must_be_adjacent_same_va() {
+        SimProgram::new(
+            vec![vec![Instr::Read { va: Va(0) }, Instr::Write { va: Va(1) }]],
+            [],
+            [(0, 0)],
+        );
+    }
+}

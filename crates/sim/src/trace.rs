@@ -1,0 +1,190 @@
+//! Reconstructing axiomatic candidate executions from machine runs.
+//!
+//! A terminated [`Run`] records everything the axiomatic side cares about:
+//! which accesses walked (and what their walk read), who sourced every
+//! read, and the per-location commit orders. [`run_to_execution`] reassembles
+//! that into a candidate [`Execution`] in the paper's vocabulary — ghosts
+//! attached, `rf`/`co`/`co_pa` filled in from the trace — so a run can be
+//! *certified*: a correct machine must only produce runs whose
+//! reconstructions are well-formed and permitted by the transistency
+//! predicate.
+
+use crate::explore::Run;
+use crate::machine::WriteRef;
+use crate::program::{Instr, Pos, SimProgram};
+use crate::value::{DataVal, PteSrc};
+use std::collections::BTreeMap;
+use transform_core::exec::{EltBuilder, Execution};
+use transform_core::ids::EventId;
+
+/// Rebuilds the candidate execution a run corresponds to.
+///
+/// The result is *not* guaranteed well-formed: a buggy machine can produce
+/// runs (e.g. an access using a TLB entry across an `INVLPG`) that no legal
+/// ELT execution describes. Callers certify runs with
+/// [`Execution::analyze`] and the MTM's predicate.
+pub fn run_to_execution(prog: &SimProgram, run: &Run) -> Execution {
+    let mut b = EltBuilder::new();
+    let mut main: BTreeMap<Pos, EventId> = BTreeMap::new();
+    let mut walk_of: BTreeMap<Pos, EventId> = BTreeMap::new();
+    let mut db_of: BTreeMap<Pos, EventId> = BTreeMap::new();
+
+    for t in 0..prog.num_threads() {
+        let tid = b.thread();
+        for (s, &instr) in prog.thread(t).iter().enumerate() {
+            let pos = (t, s);
+            let walked = run.walks.contains_key(&pos);
+            let id = match instr {
+                Instr::Read { va } if walked => {
+                    let (r, p) = b.read_walk(tid, va);
+                    walk_of.insert(pos, p);
+                    r
+                }
+                Instr::Read { va } => b.read(tid, va),
+                Instr::Write { va } if walked => {
+                    let (w, d, p) = b.write_walk(tid, va);
+                    db_of.insert(pos, d);
+                    walk_of.insert(pos, p);
+                    w
+                }
+                Instr::Write { va } => {
+                    let (w, d) = b.write(tid, va);
+                    db_of.insert(pos, d);
+                    w
+                }
+                Instr::Fence => b.fence(tid),
+                Instr::PteWrite { va, new_pa } => b.pte_write(tid, va, new_pa),
+                Instr::Invlpg { va } => b.invlpg(tid, va),
+                Instr::TlbFlush => b.tlb_flush(tid),
+            };
+            main.insert(pos, id);
+        }
+    }
+
+    for (wpte, invlpg) in prog.remap_pairs() {
+        b.remap(main[&wpte], main[&invlpg]);
+    }
+    for rpos in prog.rmw_reads() {
+        b.rmw(main[&rpos], main[&(rpos.0, rpos.1 + 1)]);
+    }
+
+    // rf: user reads from the recorded observations, walks from the PTE
+    // provenance they loaded.
+    for (&rpos, &val) in &run.outcome.reads {
+        if let DataVal::Write(wpos) = val {
+            b.rf(main[&wpos], main[&rpos]);
+        }
+    }
+    for (&pos, &src) in &run.walks {
+        match src {
+            PteSrc::Init => {}
+            PteSrc::Wpte(p) => b.rf(main[&p], walk_of[&pos]),
+            PteSrc::Db(p) => b.rf(db_of[&p], walk_of[&pos]),
+        }
+    }
+
+    // co: per-location commit order; the buggy machine may skip dirty-bit
+    // updates, so only positions that actually committed appear.
+    for refs in run.commits.values() {
+        b.co(refs.iter().map(|&w| match w {
+            WriteRef::Data(p) | WriteRef::Wpte(p) => main[&p],
+            WriteRef::Db(p) => db_of[&p],
+        }));
+    }
+
+    // co_pa: the global PTE-write commit order, grouped by target page.
+    let mut by_pa: BTreeMap<usize, Vec<EventId>> = BTreeMap::new();
+    for &p in &run.wpte_order {
+        if let Instr::PteWrite { new_pa, .. } = prog.instr(p) {
+            by_pa.entry(new_pa.0).or_default().push(main[&p]);
+        }
+    }
+    for group in by_pa.into_values().filter(|g| g.len() > 1) {
+        b.co_pa(group);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::machine::{Bugs, SimConfig};
+    use crate::value::witness_outcome;
+    use transform_core::figures;
+    use transform_core::ids::{Pa, Va};
+
+    /// Every run of a correct machine reconstructs to a well-formed
+    /// execution with the same outcome.
+    fn assert_roundtrip(prog: &SimProgram) {
+        let x = explore(prog, &SimConfig::correct());
+        assert!(!x.runs.is_empty());
+        for run in &x.runs {
+            let exec = run_to_execution(prog, run);
+            assert!(
+                exec.is_well_formed(),
+                "reconstruction must be a legal ELT: {:?}",
+                exec.analyze().err()
+            );
+            let out = witness_outcome(&exec).expect("well-formed");
+            assert_eq!(out, run.outcome, "outcomes must agree");
+        }
+    }
+
+    #[test]
+    fn roundtrip_store_buffering() {
+        let w = |va| Instr::Write { va: Va(va) };
+        let r = |va| Instr::Read { va: Va(va) };
+        assert_roundtrip(&SimProgram::new(
+            vec![vec![w(0), r(1)], vec![w(1), r(0)]],
+            [],
+            [],
+        ));
+    }
+
+    #[test]
+    fn roundtrip_remap_program() {
+        assert_roundtrip(&SimProgram::from_execution(&figures::fig10a_ptwalk2()));
+        assert_roundtrip(&SimProgram::from_execution(
+            &figures::fig11_cross_core_invlpg(),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_rmw() {
+        assert_roundtrip(&SimProgram::new(
+            vec![
+                vec![Instr::Read { va: Va(0) }, Instr::Write { va: Va(0) }],
+                vec![Instr::Read { va: Va(0) }, Instr::Write { va: Va(0) }],
+            ],
+            [],
+            [(0, 0), (1, 0)],
+        ));
+    }
+
+    #[test]
+    fn buggy_stale_hit_reconstructs_ill_formed() {
+        // Under the INVLPG erratum the post-shootdown read on the remote
+        // core hits a stale entry; the reconstruction has no walk for it
+        // after the INVLPG, which the placement rules reject.
+        let prog = crate::explore::stale_remote_program();
+        let buggy = explore(
+            &prog,
+            &SimConfig::buggy(Bugs {
+                invlpg_noop: true,
+                ..Bugs::none()
+            }),
+        );
+        let stale = buggy
+            .runs
+            .iter()
+            .find(|r| r.outcome.reads[&(1, 2)] == DataVal::Init(Pa(0)))
+            .expect("erratum produces the stale run");
+        let exec = run_to_execution(&prog, stale);
+        assert!(
+            !exec.is_well_formed(),
+            "no legal ELT execution hits a TLB entry across an INVLPG"
+        );
+    }
+}

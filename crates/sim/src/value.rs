@@ -1,0 +1,244 @@
+//! Symbolic values and observable outcomes.
+//!
+//! TransForm represents all stored values symbolically (§II-A of the
+//! paper): a read observation is the *identity* of the write it returned,
+//! not a bit pattern. [`Outcome`] is the complete architecturally visible
+//! result of one run of an ELT program — what a litmus-testing harness
+//! would record — and is computed identically from a machine run
+//! ([`crate::explore`]) and from an axiomatic candidate execution
+//! ([`witness_outcome`]), so the two semantics can be compared outcome by
+//! outcome.
+
+use crate::program::Pos;
+use std::collections::{BTreeMap, BTreeSet};
+use transform_core::event::EventKind;
+use transform_core::exec::Execution;
+use transform_core::ids::{EventId, Location, Mapping, Pa, ThreadId, Va};
+use transform_core::wellformed::WellformedError;
+
+/// The symbolic value held by a data location or returned by a user read.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DataVal {
+    /// The initial contents of physical page `Pa` (every page starts with
+    /// a distinct symbolic value).
+    Init(Pa),
+    /// The value stored by the user write at this program position.
+    Write(Pos),
+}
+
+/// The provenance of a page-table entry's contents.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PteSrc {
+    /// The initial mapping installed before the test (VA *i* ↦ PA *i*).
+    Init,
+    /// Written by the OS PTE write at this position.
+    Wpte(Pos),
+    /// Written by the dirty-bit update of the user write at this position.
+    Db(Pos),
+}
+
+/// The contents of one page-table entry (or of a TLB entry caching it).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PteVal {
+    /// The address mapping stored in the entry.
+    pub mapping: Mapping,
+    /// The dirty flag.
+    pub dirty: bool,
+    /// Which write produced these contents.
+    pub src: PteSrc,
+    /// The *mapping era*: the OS PTE write this mapping descends from
+    /// (`None` = the initial mapping). Dirty-bit updates inherit their
+    /// parent's era; the machine uses it to recognize a dirty-bit RMW
+    /// racing against a newer remap (the paper's `rf_pa` provenance,
+    /// operationally).
+    pub origin: Option<Pos>,
+}
+
+impl PteVal {
+    /// The pristine PTE for `va`: the identity mapping, clean.
+    pub fn initial(va: Va) -> PteVal {
+        PteVal {
+            mapping: Mapping { va, pa: Pa(va.0) },
+            dirty: false,
+            src: PteSrc::Init,
+            origin: None,
+        }
+    }
+}
+
+/// The architecturally observable result of one terminated run.
+///
+/// Two runs (or a run and an axiomatic candidate execution) are the same
+/// behavior exactly when their `Outcome`s are equal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Outcome {
+    /// What every user read returned, keyed by program position.
+    pub reads: BTreeMap<Pos, DataVal>,
+    /// Final contents of every physical page in the test's universe.
+    pub final_data: BTreeMap<Pa, DataVal>,
+    /// Final VA → PA mapping of every page-table entry.
+    pub final_map: BTreeMap<Va, Pa>,
+    /// VAs whose PTE ends the run with the dirty flag set.
+    pub final_dirty: BTreeSet<Va>,
+}
+
+impl Outcome {
+    /// A single-line rendering, for reports and failure messages.
+    pub fn render(&self) -> String {
+        let reads: Vec<String> = self
+            .reads
+            .iter()
+            .map(|(&(t, s), v)| format!("C{t}:{s}={}", render_val(*v)))
+            .collect();
+        let mem: Vec<String> = self
+            .final_data
+            .iter()
+            .map(|(pa, v)| format!("[{pa}]={}", render_val(*v)))
+            .collect();
+        let maps: Vec<String> = self
+            .final_map
+            .iter()
+            .map(|(va, pa)| {
+                let d = if self.final_dirty.contains(va) { "*" } else { "" };
+                format!("{va}→{pa}{d}")
+            })
+            .collect();
+        format!(
+            "reads {{{}}} mem {{{}}} map {{{}}}",
+            reads.join(", "),
+            mem.join(", "),
+            maps.join(", ")
+        )
+    }
+}
+
+fn render_val(v: DataVal) -> String {
+    match v {
+        DataVal::Init(pa) => format!("init({pa})"),
+        DataVal::Write((t, s)) => format!("W@C{t}:{s}"),
+    }
+}
+
+/// Computes the [`Outcome`] encoded by an axiomatic candidate execution:
+/// read values from `rf`, final memory and PTE contents from the coherence
+/// maxima.
+///
+/// # Errors
+///
+/// Returns the underlying [`WellformedError`] when the execution violates
+/// the placement rules (its outcome is then meaningless).
+pub fn witness_outcome(x: &Execution) -> Result<Outcome, WellformedError> {
+    let a = x.analyze()?;
+    let mut pos_of: BTreeMap<EventId, Pos> = BTreeMap::new();
+    for t in 0..x.num_threads() {
+        for (s, &e) in x.po_of(ThreadId(t)).iter().enumerate() {
+            pos_of.insert(e, (t, s));
+        }
+    }
+
+    let mut out = Outcome::default();
+
+    for e in x.events() {
+        if e.kind != EventKind::Read {
+            continue;
+        }
+        let v = match x.rf_source(e.id) {
+            Some(w) => DataVal::Write(pos_of[&w]),
+            None => match a.location(e.id) {
+                Some(Location::Data(pa)) => DataVal::Init(pa),
+                _ => unreachable!("user reads access data locations"),
+            },
+        };
+        out.reads.insert(pos_of[&e.id], v);
+    }
+
+    // Coherence maxima: the last write per location is the one with no
+    // outgoing co edge.
+    let co_max = |loc: Location| -> Option<EventId> {
+        x.events()
+            .iter()
+            .filter(|e| e.kind.is_write() && a.location(e.id) == Some(loc))
+            .find(|w| {
+                !x.co_pairs()
+                    .iter()
+                    .any(|&(from, to)| from == w.id && a.location(to) == Some(loc))
+            })
+            .map(|w| w.id)
+    };
+
+    for pa in 0..x.num_pas() {
+        let pa = Pa(pa);
+        let v = match co_max(Location::Data(pa)) {
+            Some(w) => DataVal::Write(pos_of[&w]),
+            None => DataVal::Init(pa),
+        };
+        out.final_data.insert(pa, v);
+    }
+
+    for va in 0..x.num_vas() {
+        let va = Va(va);
+        match co_max(Location::Pte(va)) {
+            Some(w) => {
+                let m = a.mapping(w).expect("PTE-location writes carry mappings");
+                out.final_map.insert(va, m.pa);
+                if x.event(w).kind == EventKind::DirtyBitWrite {
+                    out.final_dirty.insert(va);
+                }
+            }
+            None => {
+                out.final_map.insert(va, x.initial_pa(va));
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::figures;
+
+    #[test]
+    fn initial_pte_is_identity_and_clean() {
+        let p = PteVal::initial(Va(2));
+        assert_eq!(p.mapping.pa, Pa(2));
+        assert!(!p.dirty);
+        assert_eq!(p.src, PteSrc::Init);
+    }
+
+    #[test]
+    fn fig2b_outcome_reads_both_writes() {
+        // sb mapped to an ELT: R1 reads W2 (y), R3 reads W0 (x).
+        let out = witness_outcome(&figures::fig2b_sb_elt()).expect("well-formed");
+        assert_eq!(out.reads.len(), 2);
+        assert!(out
+            .reads
+            .values()
+            .all(|v| matches!(v, DataVal::Write(_))));
+        // Both user writes dirty their pages.
+        assert_eq!(out.final_dirty.len(), 2);
+        // No remaps: mappings still initial.
+        assert_eq!(out.final_map[&Va(0)], Pa(0));
+        assert_eq!(out.final_map[&Va(1)], Pa(1));
+    }
+
+    #[test]
+    fn fig10a_outcome_reads_stale_initial_page() {
+        // The forbidden ptwalk2 outcome: the read returns the *old* page's
+        // initial value even though x was remapped to b.
+        let out = witness_outcome(&figures::fig10a_ptwalk2()).expect("well-formed");
+        assert_eq!(out.reads[&(0, 2)], DataVal::Init(Pa(0)));
+        assert_eq!(out.final_map[&Va(0)], Pa(1));
+        assert!(out.final_dirty.is_empty());
+    }
+
+    #[test]
+    fn outcome_orders_and_renders() {
+        let out = witness_outcome(&figures::fig10a_ptwalk2()).expect("well-formed");
+        let s = out.render();
+        assert!(s.contains("reads"), "render: {s}");
+        assert!(s.contains("init(a)"), "render: {s}");
+        assert!(s.contains("x→b"), "render: {s}");
+    }
+}

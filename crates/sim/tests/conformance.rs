@@ -1,0 +1,168 @@
+//! Machine ↔ model agreement: the operational reference machine may only
+//! exhibit behaviors the `x86t_elt` transistency predicate permits.
+//!
+//! This is the empirical-validation loop the paper's conclusion proposes,
+//! with the reference machine standing in for silicon (see DESIGN.md).
+
+use proptest::prelude::*;
+use transform_core::figures;
+use transform_core::ids::Va;
+use transform_litmus::{classic, enhance::enhance};
+use transform_sim::{
+    certify_runs, check_conformance, detect_with_suite, explore, Bugs, Instr, SimConfig,
+    SimProgram,
+};
+use transform_synth::engine::{synthesize_suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+#[test]
+fn every_figure_program_certifies() {
+    let mtm = x86t_elt();
+    for (name, exec, _) in figures::all_figures() {
+        let prog = SimProgram::from_execution(&exec);
+        let bad = certify_runs(&prog, &mtm, &SimConfig::correct());
+        assert!(bad.is_empty(), "{name}: {} uncertified runs", bad.len());
+    }
+}
+
+#[test]
+fn every_figure_program_certifies_with_capacity_evictions() {
+    let mtm = x86t_elt();
+    let cfg = SimConfig {
+        capacity_evictions: true,
+        ..SimConfig::correct()
+    };
+    for (name, exec, _) in figures::all_figures() {
+        let prog = SimProgram::from_execution(&exec);
+        let bad = certify_runs(&prog, &mtm, &cfg);
+        assert!(bad.is_empty(), "{name}: {} uncertified runs", bad.len());
+    }
+}
+
+#[test]
+fn enhanced_classic_litmus_tests_conform() {
+    let mtm = x86t_elt();
+    for test in classic::all_tests() {
+        let prog = SimProgram::from_execution(&enhance(&test));
+        let c = check_conformance(&prog, &mtm, &SimConfig::correct());
+        assert!(
+            c.conforms(),
+            "{}: {} observed outcomes outside the model",
+            test.name,
+            c.violations.len()
+        );
+    }
+}
+
+#[test]
+fn synthesized_invlpg_suite_detects_broken_shootdown() {
+    let mtm = x86t_elt();
+    let mut opts = SynthOptions::new(5);
+    opts.enumeration.allow_fences = false;
+    opts.enumeration.allow_rmw = false;
+    let suite = synthesize_suite(&mtm, "invlpg", &opts);
+    assert!(!suite.elts.is_empty(), "bound 5 synthesizes invlpg ELTs");
+
+    // Sanity: the correct machine conforms on every ELT program.
+    let clean = detect_with_suite(&suite, &mtm, &SimConfig::correct());
+    assert!(
+        clean.detected.is_empty(),
+        "correct machine exhibited forbidden outcomes: {:?}",
+        clean.detected
+    );
+
+    // The broken-shootdown machine is caught by the suite.
+    let broken = detect_with_suite(
+        &suite,
+        &mtm,
+        &SimConfig::buggy(Bugs {
+            missing_remote_shootdown: true,
+            ..Bugs::none()
+        }),
+    );
+    assert!(
+        broken.any(),
+        "the invlpg suite must expose a broken TLB-shootdown protocol"
+    );
+}
+
+#[test]
+fn invlpg_erratum_detected_by_cross_core_elt() {
+    // The smallest erratum-exposing ELT witness is 7 events across two
+    // cores (WPTE + 2 remap INVLPGs; a read caching the old mapping, a
+    // post-shootdown read, and their walks) — synthesizing bound 7 is a
+    // bench-scale job (see benches/), so the ELT is written here in the
+    // text syntax and run through the same detection pipeline.
+    let (_, witness) = transform_litmus::parse_elt(
+        "elt \"invlpg_erratum\" {
+           thread C0 {
+             WPTE x -> b
+             INVLPG x
+           }
+           thread C1 {
+             R x walk      # caches the initial mapping
+             INVLPG x      # shootdown IPI
+             R x walk      # stale: its walk reads the initial PTE
+           }
+           remap C0:0 -> C0:1
+           remap C0:0 -> C1:1
+         }",
+    )
+    .expect("parses");
+    let mtm = x86t_elt();
+    assert!(mtm.permits(&witness).violates("invlpg"));
+
+    let prog = SimProgram::from_execution(&witness);
+    let correct = check_conformance(&prog, &mtm, &SimConfig::correct());
+    assert!(correct.conforms());
+
+    let buggy = check_conformance(
+        &prog,
+        &mtm,
+        &SimConfig::buggy(Bugs {
+            invlpg_noop: true,
+            ..Bugs::none()
+        }),
+    );
+    assert!(
+        !buggy.conforms(),
+        "the ELT must expose the AMD INVLPG erratum"
+    );
+}
+
+/// Random user-level programs (no remaps — those need the remap-coverage
+/// structure) must certify on the correct machine.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0..2usize).prop_map(|v| Instr::Read { va: Va(v) }),
+        (0..2usize).prop_map(|v| Instr::Write { va: Va(v) }),
+        Just(Instr::Fence),
+        (0..2usize).prop_map(|v| Instr::Invlpg { va: Va(v) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_user_programs_certify(
+        t0 in proptest::collection::vec(arb_instr(), 0..4),
+        t1 in proptest::collection::vec(arb_instr(), 0..3),
+    ) {
+        let prog = SimProgram::new(vec![t0, t1], [], []);
+        let mtm = x86t_elt();
+        let bad = certify_runs(&prog, &mtm, &SimConfig::correct());
+        prop_assert!(bad.is_empty(), "uncertified: {:?}", bad.first().map(|o| o.render()));
+    }
+
+    #[test]
+    fn random_programs_have_deterministic_outcome_sets(
+        t0 in proptest::collection::vec(arb_instr(), 0..4),
+        t1 in proptest::collection::vec(arb_instr(), 0..3),
+    ) {
+        let prog = SimProgram::new(vec![t0, t1], [], []);
+        let a = explore(&prog, &SimConfig::correct());
+        let b = explore(&prog, &SimConfig::correct());
+        prop_assert_eq!(a.outcomes, b.outcomes);
+    }
+}

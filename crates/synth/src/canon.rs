@@ -1,0 +1,211 @@
+//! Canonical forms for ELT programs — the deduplication stage of Fig. 7.
+//!
+//! Two synthesized programs are duplicates when they differ only by a
+//! renaming of threads, VAs, or physical pages. The canonical key is the
+//! lexicographically least encoding over all thread permutations, with VAs
+//! and fresh pages renumbered by first use under each permutation.
+
+use crate::programs::{PaRef, Program, SlotOp};
+use std::collections::BTreeMap;
+
+/// The canonical key of a program. Equal keys ⇔ isomorphic programs.
+pub fn canonical_key(p: &Program) -> Vec<u64> {
+    let t = p.threads.len();
+    let mut best: Option<Vec<u64>> = None;
+    let mut perm: Vec<usize> = (0..t).collect();
+    permute(&mut perm, 0, &mut |perm| {
+        let enc = encode(p, perm);
+        if best.as_ref().is_none_or(|b| &enc < b) {
+            best = Some(enc);
+        }
+    });
+    best.unwrap_or_default()
+}
+
+/// `true` when two programs are isomorphic.
+pub fn isomorphic(a: &Program, b: &Program) -> bool {
+    canonical_key(a) == canonical_key(b)
+}
+
+fn permute(perm: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        f(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, f);
+        perm.swap(k, i);
+    }
+}
+
+fn encode(p: &Program, perm: &[usize]) -> Vec<u64> {
+    // First-use renaming of VAs (counting PA aliases as uses) and fresh
+    // pages, scanning threads in permuted order.
+    let mut va_map: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut fresh_map: BTreeMap<usize, u64> = BTreeMap::new();
+    let touch_va = |m: &mut BTreeMap<usize, u64>, v: usize| {
+        let next = m.len() as u64;
+        *m.entry(v).or_insert(next)
+    };
+    let mut out = Vec::new();
+    for &ot in perm {
+        out.push(u64::MAX); // thread separator
+        for op in &p.threads[ot] {
+            match *op {
+                SlotOp::Read { va, walk } => {
+                    let v = touch_va(&mut va_map, va);
+                    out.extend([1, v, u64::from(walk)]);
+                }
+                SlotOp::Write { va, walk } => {
+                    let v = touch_va(&mut va_map, va);
+                    out.extend([2, v, u64::from(walk)]);
+                }
+                SlotOp::Fence => out.extend([3, 0, 0]),
+                SlotOp::TlbFlush => out.extend([6, 0, 0]),
+                SlotOp::Invlpg { va } => {
+                    let v = touch_va(&mut va_map, va);
+                    out.extend([4, v, 0]);
+                }
+                SlotOp::PteWrite { va, pa } => {
+                    let v = touch_va(&mut va_map, va);
+                    let pa_code = match pa {
+                        PaRef::Initial(w) => 1000 + touch_va(&mut va_map, w),
+                        PaRef::Fresh(k) => {
+                            let next = fresh_map.len() as u64;
+                            2000 + *fresh_map.entry(k).or_insert(next)
+                        }
+                    };
+                    out.extend([5, v, pa_code]);
+                }
+            }
+        }
+    }
+    // Positions under the permutation: old thread index → new.
+    let mut new_of_old = vec![0usize; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        new_of_old[old] = new;
+    }
+    let mut remap: Vec<[u64; 4]> = p
+        .remap
+        .iter()
+        .map(|&((wt, ws), (it, is))| {
+            [
+                new_of_old[wt] as u64,
+                ws as u64,
+                new_of_old[it] as u64,
+                is as u64,
+            ]
+        })
+        .collect();
+    remap.sort_unstable();
+    out.push(u64::MAX - 1);
+    out.extend(remap.into_iter().flatten());
+    let mut rmw: Vec<[u64; 2]> = p
+        .rmw
+        .iter()
+        .map(|&(t, s)| [new_of_old[t] as u64, s as u64])
+        .collect();
+    rmw.sort_unstable();
+    out.push(u64::MAX - 2);
+    out.extend(rmw.into_iter().flatten());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(threads: Vec<Vec<SlotOp>>) -> Program {
+        Program {
+            threads,
+            remap: vec![],
+            rmw: vec![],
+        }
+    }
+
+    #[test]
+    fn thread_order_is_canonicalized() {
+        let a = prog(vec![
+            vec![SlotOp::Read { va: 0, walk: true }],
+            vec![SlotOp::Write { va: 0, walk: true }],
+        ]);
+        let b = prog(vec![
+            vec![SlotOp::Write { va: 0, walk: true }],
+            vec![SlotOp::Read { va: 0, walk: true }],
+        ]);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn va_names_are_canonicalized() {
+        let a = prog(vec![vec![
+            SlotOp::Read { va: 0, walk: true },
+            SlotOp::Read { va: 1, walk: true },
+        ]]);
+        let b = prog(vec![vec![
+            SlotOp::Read { va: 1, walk: true },
+            SlotOp::Read { va: 0, walk: true },
+        ]]);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn walks_distinguish_programs() {
+        let a = prog(vec![vec![
+            SlotOp::Read { va: 0, walk: true },
+            SlotOp::Read { va: 0, walk: true },
+        ]]);
+        let b = prog(vec![vec![
+            SlotOp::Read { va: 0, walk: true },
+            SlotOp::Read { va: 0, walk: false },
+        ]]);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn alias_structure_is_preserved() {
+        // Remap y to x's page vs remap y to a fresh page: different.
+        let alias = prog(vec![vec![
+            SlotOp::Read { va: 0, walk: true },
+            SlotOp::PteWrite {
+                va: 1,
+                pa: PaRef::Initial(0),
+            },
+        ]]);
+        let fresh = prog(vec![vec![
+            SlotOp::Read { va: 0, walk: true },
+            SlotOp::PteWrite {
+                va: 1,
+                pa: PaRef::Fresh(0),
+            },
+        ]]);
+        assert!(!isomorphic(&alias, &fresh));
+    }
+
+    #[test]
+    fn remap_assignment_distinguishes() {
+        let base = vec![
+            vec![
+                SlotOp::PteWrite {
+                    va: 0,
+                    pa: PaRef::Fresh(0),
+                },
+                SlotOp::Invlpg { va: 0 },
+                SlotOp::Invlpg { va: 0 },
+                SlotOp::Read { va: 0, walk: true },
+            ],
+        ];
+        let a = Program {
+            threads: base.clone(),
+            remap: vec![((0, 0), (0, 1))],
+            rmw: vec![],
+        };
+        let b = Program {
+            threads: base,
+            remap: vec![((0, 0), (0, 2))],
+            rmw: vec![],
+        };
+        assert!(!isomorphic(&a, &b));
+    }
+}

@@ -1,0 +1,311 @@
+//! The synthesis engine driver (Fig. 7 of the paper).
+//!
+//! For a given MTM and instruction bound, the engine (1) enumerates
+//! candidate executions, (2) prunes to the vector space of *interesting*
+//! behaviors — executions containing a write whose outcome violates the
+//! targeted axiom — (3) keeps only executions satisfying the minimality
+//! criterion, and (4) deduplicates the surviving programs canonically,
+//! yielding the per-axiom spanning-set suite.
+
+use crate::canon::canonical_key;
+use crate::execs;
+use crate::minimal::is_minimal;
+use crate::programs::{EnumOptions, Program};
+use crate::satgen;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use transform_core::axiom::Mtm;
+use transform_core::derive::BaseRel;
+use transform_core::exec::Execution;
+
+/// Which candidate-execution generator to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// Explicit operational enumeration ([`crate::execs`]).
+    #[default]
+    Explicit,
+    /// Bounded relational model finding compiled to SAT
+    /// ([`crate::satgen`]) — the architecture of the paper's
+    /// Alloy/Kodkod/MiniSat pipeline.
+    Relational,
+}
+
+/// Options for one synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthOptions {
+    /// Program enumeration knobs (bound, fences, rmw, symmetry reduction).
+    pub enumeration: EnumOptions,
+    /// Candidate-execution backend.
+    pub backend: Backend,
+    /// Wall-clock budget; synthesis stops cleanly when exceeded (the
+    /// paper's one-week timeout, scaled down).
+    pub timeout: Option<Duration>,
+}
+
+impl SynthOptions {
+    /// Defaults for an instruction bound.
+    pub fn new(bound: usize) -> SynthOptions {
+        SynthOptions {
+            enumeration: EnumOptions::new(bound),
+            backend: Backend::Explicit,
+            timeout: None,
+        }
+    }
+}
+
+/// A synthesized spanning-set member.
+#[derive(Clone, Debug)]
+pub struct SynthesizedElt {
+    /// The ELT program (what the tool outputs).
+    pub program: Program,
+    /// A minimal forbidden candidate execution witnessing inclusion.
+    pub witness: Execution,
+    /// Axioms the witness violates.
+    pub violated: Vec<String>,
+}
+
+/// Counters for one suite synthesis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuiteStats {
+    /// Programs enumerated at the bound.
+    pub programs: usize,
+    /// Candidate executions examined.
+    pub executions: usize,
+    /// Executions with a forbidden outcome for the target axiom.
+    pub forbidden: usize,
+    /// Executions passing the minimality criterion.
+    pub minimal: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// `true` when the run stopped on the timeout instead of completing.
+    pub timed_out: bool,
+}
+
+/// A per-axiom ELT suite.
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// The axiom this suite violates.
+    pub axiom: String,
+    /// The unique minimal ELT programs.
+    pub elts: Vec<SynthesizedElt>,
+    /// Work counters.
+    pub stats: SuiteStats,
+}
+
+/// Synthesizes the per-axiom suite: all unique, minimal ELT programs (≤
+/// the bound) having an execution that violates `axiom`.
+pub fn synthesize_suite(mtm: &Mtm, axiom: &str, opts: &SynthOptions) -> Suite {
+    assert!(
+        mtm.axiom(axiom).is_some(),
+        "axiom `{axiom}` is not part of {}",
+        mtm.name()
+    );
+    let start = Instant::now();
+    let branch_co_pa = mtm.mentions(BaseRel::CoPa) || mtm.mentions(BaseRel::FrPa);
+    let deadline = opts.timeout.map(|t| start + t);
+    let progs = crate::programs::programs_with_deadline(&opts.enumeration, deadline);
+    let mut stats = SuiteStats {
+        programs: progs.len(),
+        timed_out: deadline.is_some_and(|d| Instant::now() > d),
+        ..SuiteStats::default()
+    };
+    let mut seen: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+    let mut elts: Vec<SynthesizedElt> = Vec::new();
+
+    'programs: for prog in progs {
+        if let Some(t) = opts.timeout {
+            if start.elapsed() > t {
+                stats.timed_out = true;
+                break;
+            }
+        }
+        let skeleton = prog.to_skeleton();
+        // Spanning-set criterion 1: the ELT must contain a write.
+        if !skeleton.has_write() {
+            continue;
+        }
+        let key = canonical_key(&prog);
+        if seen.contains_key(&key) {
+            continue;
+        }
+        let candidates: Vec<Execution> = match opts.backend {
+            Backend::Explicit => execs::executions(&skeleton, branch_co_pa),
+            Backend::Relational => {
+                satgen::violating_executions(&skeleton, mtm, axiom, branch_co_pa, usize::MAX)
+            }
+        };
+        for x in candidates {
+            stats.executions += 1;
+            let Ok(analysis) = x.analyze() else { continue };
+            let verdict = mtm.evaluate(&analysis);
+            // Spanning-set criterion 2: the outcome violates the axiom
+            // under synthesis.
+            if !verdict.violates(axiom) {
+                continue;
+            }
+            stats.forbidden += 1;
+            if !is_minimal(&x, mtm) {
+                continue;
+            }
+            stats.minimal += 1;
+            seen.insert(key.clone(), elts.len());
+            elts.push(SynthesizedElt {
+                program: prog.clone(),
+                witness: x,
+                violated: verdict.violated,
+            });
+            continue 'programs;
+        }
+    }
+    stats.elapsed = start.elapsed();
+    Suite {
+        axiom: axiom.to_string(),
+        elts,
+        stats,
+    }
+}
+
+/// Synthesizes every per-axiom suite of `mtm` (§V-B).
+pub fn synthesize_all(mtm: &Mtm, opts: &SynthOptions) -> BTreeMap<String, Suite> {
+    mtm.axioms()
+        .iter()
+        .map(|ax| (ax.name.clone(), synthesize_suite(mtm, &ax.name, opts)))
+        .collect()
+}
+
+/// The unique union of programs across suites — the paper's headline
+/// count ("140 unique ELTs across all per-axiom suites").
+pub fn unique_union<'s, I: IntoIterator<Item = &'s Suite>>(suites: I) -> Vec<&'s SynthesizedElt> {
+    let mut seen = BTreeMap::new();
+    let mut out = Vec::new();
+    for suite in suites {
+        for elt in &suite.elts {
+            let key = canonical_key(&elt.program);
+            if seen.insert(key, ()).is_none() {
+                out.push(elt);
+            }
+        }
+    }
+    out
+}
+
+/// Programs appearing in exactly one suite, per axiom — the paper's
+/// attribution of five ELTs to `tlb_causality` violations (§V-A).
+pub fn exclusive_attribution(suites: &BTreeMap<String, Suite>) -> BTreeMap<String, usize> {
+    let mut owner: BTreeMap<Vec<u64>, Vec<&str>> = BTreeMap::new();
+    for (name, suite) in suites {
+        for elt in &suite.elts {
+            owner
+                .entry(canonical_key(&elt.program))
+                .or_default()
+                .push(name);
+        }
+    }
+    let mut out: BTreeMap<String, usize> = suites.keys().map(|k| (k.clone(), 0)).collect();
+    for (_, names) in owner {
+        if names.len() == 1 {
+            *out.get_mut(names[0]).expect("axiom present") += 1;
+        }
+    }
+    out
+}
+
+/// Checks whether a given program is (isomorphic to) a member of a suite —
+/// used by the COATCheck comparison tool.
+pub fn suite_contains(suite: &Suite, program: &Program) -> bool {
+    let key = canonical_key(program);
+    suite.elts.iter().any(|e| canonical_key(&e.program) == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::spec::parse_mtm;
+
+    fn x86t_elt_like() -> Mtm {
+        parse_mtm(
+            "mtm x86t_elt {
+               axiom sc_per_loc:    acyclic(rf | co | fr | po_loc)
+               axiom rmw_atomicity: empty(rmw & (fr ; co))
+               axiom causality:     acyclic(rfe | co | fr | ppo | fence)
+               axiom invlpg:        acyclic(fr_va | ^po | remap)
+               axiom tlb_causality: acyclic(ptw_source | com)
+             }",
+        )
+        .expect("spec parses")
+    }
+
+    #[test]
+    fn sc_per_loc_suite_is_nonempty_at_bound_4() {
+        let mtm = x86t_elt_like();
+        let mut opts = SynthOptions::new(4);
+        opts.enumeration.allow_fences = false;
+        opts.enumeration.allow_rmw = false;
+        let suite = synthesize_suite(&mtm, "sc_per_loc", &opts);
+        assert!(!suite.elts.is_empty());
+        for elt in &suite.elts {
+            assert!(elt.violated.contains(&"sc_per_loc".to_string()));
+            assert!(elt.program.size() <= 4);
+        }
+    }
+
+    #[test]
+    fn invlpg_suite_contains_ptwalk2_at_bound_4() {
+        let mtm = x86t_elt_like();
+        let mut opts = SynthOptions::new(4);
+        opts.enumeration.allow_fences = false;
+        opts.enumeration.allow_rmw = false;
+        let suite = synthesize_suite(&mtm, "invlpg", &opts);
+        assert!(!suite.elts.is_empty(), "stats: {:?}", suite.stats);
+        // The Fig. 10a shape: WPTE; INVLPG; R(+walk), remapped.
+        use crate::programs::{PaRef, Program, SlotOp};
+        let ptwalk2 = Program {
+            threads: vec![vec![
+                SlotOp::PteWrite {
+                    va: 0,
+                    pa: PaRef::Fresh(0),
+                },
+                SlotOp::Invlpg { va: 0 },
+                SlotOp::Read { va: 0, walk: true },
+            ]],
+            remap: vec![((0, 0), (0, 1))],
+            rmw: vec![],
+        };
+        assert!(suite_contains(&suite, &ptwalk2));
+    }
+
+    #[test]
+    fn no_suite_members_below_minimum_bound() {
+        let mtm = x86t_elt_like();
+        let mut opts = SynthOptions::new(3);
+        opts.enumeration.allow_fences = false;
+        opts.enumeration.allow_rmw = false;
+        // At bound 3 no invlpg violation fits (WPTE+INVLPG+R+walk needs 4).
+        let suite = synthesize_suite(&mtm, "invlpg", &opts);
+        assert!(suite.elts.is_empty());
+    }
+
+    #[test]
+    fn timeout_stops_cleanly() {
+        let mtm = x86t_elt_like();
+        let mut opts = SynthOptions::new(6);
+        opts.timeout = Some(Duration::from_millis(0));
+        let suite = synthesize_suite(&mtm, "sc_per_loc", &opts);
+        assert!(suite.stats.timed_out);
+    }
+
+    #[test]
+    fn union_and_attribution_are_consistent() {
+        let mtm = x86t_elt_like();
+        let mut opts = SynthOptions::new(4);
+        opts.enumeration.allow_fences = false;
+        opts.enumeration.allow_rmw = false;
+        let suites = synthesize_all(&mtm, &opts);
+        let union = unique_union(suites.values());
+        let total: usize = suites.values().map(|s| s.elts.len()).sum();
+        assert!(union.len() <= total);
+        let attribution = exclusive_attribution(&suites);
+        let excl: usize = attribution.values().sum();
+        assert!(excl <= union.len());
+    }
+}

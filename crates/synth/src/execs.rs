@@ -1,0 +1,384 @@
+//! Candidate-execution enumeration for a fixed program skeleton.
+//!
+//! Given a program (events, ghosts, po, remap, rmw), the remaining degrees
+//! of freedom of a candidate execution are the communication choices:
+//!
+//! * which PTE-location write (or the initial PTE) each PT walk reads,
+//! * which same-PA user write (or the initial value) each user read reads,
+//! * the coherence order per physical location, and
+//! * optionally the alias-creation order `co_pa` — enumerated only when
+//!   the MTM's axioms can observe it (relation-aware branching).
+//!
+//! Every emitted execution is well-formed by construction; mapping
+//! provenance is resolved eagerly so that data `rf` candidates respect
+//! effective (post-remap) physical addresses.
+
+use std::collections::BTreeMap;
+use transform_core::derive::static_tlb_sources;
+use transform_core::event::EventKind;
+use transform_core::exec::{Execution, PairSet};
+use transform_core::ids::{EventId, Pa};
+
+/// Enumerates every candidate execution of `skeleton`.
+///
+/// `branch_co_pa` additionally enumerates all alias-creation orders; when
+/// `false`, executions carry the deterministic default order.
+pub fn executions(skeleton: &Execution, branch_co_pa: bool) -> Vec<Execution> {
+    let Ok(tlb_src) = static_tlb_sources(skeleton) else {
+        return Vec::new();
+    };
+    let events = skeleton.events();
+
+    // PTE-read choices per walk: initial, or any same-PTE-location write.
+    let ptws: Vec<EventId> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Ptw)
+        .map(|e| e.id)
+        .collect();
+    let pte_choices: Vec<Vec<Option<EventId>>> = ptws
+        .iter()
+        .map(|&p| {
+            let va = events[p.index()].va;
+            let mut cs: Vec<Option<EventId>> = vec![None];
+            cs.extend(
+                events
+                    .iter()
+                    .filter(|w| {
+                        w.va == va
+                            && matches!(
+                                w.kind,
+                                EventKind::PteWrite { .. } | EventKind::DirtyBitWrite
+                            )
+                    })
+                    .map(|w| Some(w.id)),
+            );
+            cs
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut pte_pick = vec![0usize; ptws.len()];
+    loop {
+        let pte_rf: BTreeMap<EventId, EventId> = ptws
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| pte_choices[i][pte_pick[i]].map(|w| (p, w)))
+            .collect();
+
+        if let Some(pa_of) = resolve_pas(skeleton, &tlb_src, &pte_rf) {
+            enumerate_data(skeleton, &pte_rf, &pa_of, branch_co_pa, &mut out);
+        }
+
+        // Odometer.
+        let mut i = ptws.len();
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            pte_pick[i] += 1;
+            if pte_pick[i] < pte_choices[i].len() {
+                break;
+            }
+            pte_pick[i] = 0;
+        }
+    }
+}
+
+/// Resolves the effective PA of every memory event under the given
+/// PTE-read choices; `None` when the provenance is circular.
+fn resolve_pas(
+    x: &Execution,
+    tlb_src: &[Option<EventId>],
+    pte_rf: &BTreeMap<EventId, EventId>,
+) -> Option<Vec<Option<Pa>>> {
+    let n = x.events().len();
+    let mut pa: Vec<Option<Pa>> = vec![None; n];
+    let mut state = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+
+    fn go(
+        x: &Execution,
+        tlb_src: &[Option<EventId>],
+        pte_rf: &BTreeMap<EventId, EventId>,
+        pa: &mut Vec<Option<Pa>>,
+        state: &mut Vec<u8>,
+        e: EventId,
+    ) -> Option<()> {
+        match state[e.index()] {
+            2 => return Some(()),
+            1 => return None, // cycle
+            _ => {}
+        }
+        state[e.index()] = 1;
+        let ev = x.event(e);
+        let value = match ev.kind {
+            EventKind::PteWrite { new_pa } => Some(new_pa),
+            EventKind::Ptw => match pte_rf.get(&e) {
+                None => Some(x.initial_pa(ev.va_unwrap())),
+                Some(&w) => {
+                    go(x, tlb_src, pte_rf, pa, state, w)?;
+                    pa[w.index()]
+                }
+            },
+            EventKind::Read | EventKind::Write => {
+                let p = tlb_src[e.index()].expect("user access has a walk source");
+                go(x, tlb_src, pte_rf, pa, state, p)?;
+                pa[p.index()]
+            }
+            EventKind::DirtyBitWrite => {
+                let inv = x.invoker(e).expect("ghost has invoker");
+                go(x, tlb_src, pte_rf, pa, state, inv)?;
+                pa[inv.index()]
+            }
+            EventKind::Fence | EventKind::Invlpg | EventKind::TlbFlush => None,
+        };
+        pa[e.index()] = value;
+        state[e.index()] = 2;
+        Some(())
+    }
+
+    for e in x.events() {
+        go(x, tlb_src, pte_rf, &mut pa, &mut state, e.id)?;
+    }
+    Some(pa)
+}
+
+/// Enumerates data `rf`, coherence orders, and (optionally) `co_pa` on top
+/// of one PTE-read choice.
+fn enumerate_data(
+    x: &Execution,
+    pte_rf: &BTreeMap<EventId, EventId>,
+    pa_of: &[Option<Pa>],
+    branch_co_pa: bool,
+    out: &mut Vec<Execution>,
+) {
+    let events = x.events();
+
+    // Data read choices.
+    let reads: Vec<EventId> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Read)
+        .map(|e| e.id)
+        .collect();
+    let read_choices: Vec<Vec<Option<EventId>>> = reads
+        .iter()
+        .map(|&r| {
+            let mut cs: Vec<Option<EventId>> = vec![None];
+            cs.extend(
+                events
+                    .iter()
+                    .filter(|w| {
+                        w.kind == EventKind::Write && pa_of[w.id.index()] == pa_of[r.index()]
+                    })
+                    .map(|w| Some(w.id)),
+            );
+            cs
+        })
+        .collect();
+
+    // Coherence groups: data writes per PA; PTE-location writes per VA.
+    let mut groups: Vec<Vec<EventId>> = Vec::new();
+    let mut by_pa: BTreeMap<Pa, Vec<EventId>> = BTreeMap::new();
+    let mut by_pte: BTreeMap<usize, Vec<EventId>> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Write => by_pa
+                .entry(pa_of[e.id.index()].expect("write has a PA"))
+                .or_default()
+                .push(e.id),
+            EventKind::PteWrite { .. } | EventKind::DirtyBitWrite => by_pte
+                .entry(e.va_unwrap().0)
+                .or_default()
+                .push(e.id),
+            _ => {}
+        }
+    }
+    groups.extend(by_pa.into_values().filter(|g| g.len() > 1));
+    groups.extend(by_pte.into_values().filter(|g| g.len() > 1));
+    let group_orders: Vec<Vec<Vec<EventId>>> = groups.iter().map(|g| permutations(g)).collect();
+
+    // co_pa groups: PTE writes per target PA.
+    let co_pa_orders: Vec<Vec<Vec<EventId>>> = if branch_co_pa {
+        let mut by_target: BTreeMap<Pa, Vec<EventId>> = BTreeMap::new();
+        for e in events {
+            if let EventKind::PteWrite { new_pa } = e.kind {
+                by_target.entry(new_pa).or_default().push(e.id);
+            }
+        }
+        by_target
+            .into_values()
+            .filter(|g| g.len() > 1)
+            .map(|g| permutations(&g))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Odometer over read choices × group orders × co_pa orders.
+    let dims: Vec<usize> = read_choices
+        .iter()
+        .map(Vec::len)
+        .chain(group_orders.iter().map(Vec::len))
+        .chain(co_pa_orders.iter().map(Vec::len))
+        .collect();
+    let mut pick = vec![0usize; dims.len()];
+    loop {
+        let mut parts = x.to_parts();
+        parts.rf = pte_rf.iter().map(|(&r, &w)| (r, w)).collect();
+        for (i, &r) in reads.iter().enumerate() {
+            if let Some(w) = read_choices[i][pick[i]] {
+                parts.rf.insert(r, w);
+            }
+        }
+        let mut co = PairSet::new();
+        for (gi, orders) in group_orders.iter().enumerate() {
+            let order = &orders[pick[reads.len() + gi]];
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    co.insert((order[i], order[j]));
+                }
+            }
+        }
+        parts.co = co;
+        if branch_co_pa && !co_pa_orders.is_empty() {
+            let mut co_pa = PairSet::new();
+            for (gi, orders) in co_pa_orders.iter().enumerate() {
+                let order = &orders[pick[reads.len() + group_orders.len() + gi]];
+                for i in 0..order.len() {
+                    for j in (i + 1)..order.len() {
+                        co_pa.insert((order[i], order[j]));
+                    }
+                }
+            }
+            parts.co_pa = Some(co_pa);
+        }
+        out.push(Execution::from_parts(parts));
+
+        let mut i = dims.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            pick[i] += 1;
+            if pick[i] < dims[i] {
+                break;
+            }
+            pick[i] = 0;
+        }
+        if dims.is_empty() {
+            return;
+        }
+    }
+}
+
+fn permutations(items: &[EventId]) -> Vec<Vec<EventId>> {
+    let mut out = Vec::new();
+    let mut v = items.to_vec();
+    fn go(v: &mut Vec<EventId>, k: usize, out: &mut Vec<Vec<EventId>>) {
+        if k == v.len() {
+            out.push(v.clone());
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            go(v, k + 1, out);
+            v.swap(k, i);
+        }
+    }
+    go(&mut v, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::exec::EltBuilder;
+    use transform_core::ids::{Pa, Va};
+
+    /// W x; R x on one thread: R reads W or the initial value.
+    #[test]
+    fn single_location_read_choices() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        b.write_walk(t, Va(0));
+        b.read(t, Va(0));
+        let skel = b.build();
+        let execs = executions(&skel, false);
+        assert_eq!(execs.len(), 2);
+        for x in &execs {
+            assert!(x.is_well_formed(), "{:?}", x.analyze().err());
+        }
+    }
+
+    /// Two same-location writes: 2 coherence orders × 1 = 2 executions.
+    #[test]
+    fn coherence_orders_enumerated() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        b.write_walk(t, Va(0));
+        b.write(t, Va(0));
+        let skel = b.build();
+        // co over {W0, W1} and over the two dirty-bit writes: 2 × 2.
+        let execs = executions(&skel, false);
+        assert_eq!(execs.len(), 4);
+        for x in &execs {
+            assert!(x.is_well_formed());
+        }
+    }
+
+    /// A remap gives the walk two PTE sources (initial or the PTE write),
+    /// changing which PA the read returns.
+    #[test]
+    fn walk_sources_switch_effective_pa() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        let w = b.pte_write(t, Va(0), Pa(1));
+        let i = b.invlpg(t, Va(0));
+        b.remap(w, i);
+        b.read_walk(t, Va(0));
+        let skel = b.build();
+        let execs = executions(&skel, false);
+        // The walk reads initial (stale, the Fig. 10a outcome) or the PTE
+        // write (fresh): 2 executions.
+        assert_eq!(execs.len(), 2);
+        let analyses: Vec<_> = execs.iter().map(|x| x.analyze().expect("wf")).collect();
+        let pas: Vec<_> = analyses
+            .iter()
+            .map(|a| a.location(EventId(2)))
+            .collect();
+        assert_ne!(pas[0], pas[1]);
+    }
+
+    /// co_pa branching multiplies executions only when requested.
+    #[test]
+    fn co_pa_branching_is_optional() {
+        let mut b = EltBuilder::new();
+        let t = b.thread();
+        let w1 = b.pte_write(t, Va(0), Pa(2));
+        let i1 = b.invlpg(t, Va(0));
+        b.remap(w1, i1);
+        let w2 = b.pte_write(t, Va(1), Pa(2));
+        let i2 = b.invlpg(t, Va(1));
+        b.remap(w2, i2);
+        let skel = b.build();
+        let without = executions(&skel, false).len();
+        let with = executions(&skel, true).len();
+        assert_eq!(with, 2 * without);
+    }
+
+    #[test]
+    fn all_enumerated_executions_are_well_formed() {
+        // The Fig. 6 program shape.
+        let skel = transform_core::figures::fig6_remap_disambiguated();
+        let mut parts = skel.to_parts();
+        parts.rf.clear();
+        parts.co.clear();
+        let skel = Execution::from_parts(parts);
+        let execs = executions(&skel, false);
+        assert!(!execs.is_empty());
+        for x in &execs {
+            assert!(x.is_well_formed(), "{:?}", x.analyze().err());
+        }
+    }
+}

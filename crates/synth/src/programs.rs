@@ -1,0 +1,919 @@
+//! Bounded enumeration of ELT programs (§IV-A).
+//!
+//! A *program* is an execution skeleton: instructions placed on threads
+//! with ghost attachments, remap assignments, and rmw dependencies — but
+//! no communication choices yet. Enumeration respects the paper's
+//! placement rules:
+//!
+//! * the first same-VA access on a core must walk (TLBs start empty);
+//! * an access after an `INVLPG` of its VA must walk (Fig. 5b);
+//! * other accesses may hit or miss freely (capacity evictions, §III-B2);
+//! * every user write carries a dirty-bit update (§III-A2);
+//! * every PTE write invokes exactly one `INVLPG` per core (§III-B2);
+//! * spurious `INVLPG`s appear only where they can affect the thread's
+//!   execution (a later same-VA access exists);
+//! * fences appear only between two instructions of their thread.
+//!
+//! The instruction bound counts *every* event, ghosts included — the
+//! paper's Fig. 10a is a four-instruction ELT.
+
+use crate::canon::canonical_key;
+use std::collections::BTreeSet;
+use transform_core::exec::{EltBuilder, Execution};
+use transform_core::ids::{Pa, Va};
+
+/// How a PTE write's target PA relates to the rest of the test.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PaRef {
+    /// The initial physical page of VA *i* (aliasing an existing page).
+    Initial(usize),
+    /// A page not initially mapped by any VA in the test.
+    Fresh(usize),
+}
+
+/// One program-order slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SlotOp {
+    /// User read; `walk` marks a TLB miss.
+    Read {
+        /// VA index.
+        va: usize,
+        /// Whether the read invokes a PT walk.
+        walk: bool,
+    },
+    /// User write (always carries a dirty-bit update).
+    Write {
+        /// VA index.
+        va: usize,
+        /// Whether the write invokes a PT walk.
+        walk: bool,
+    },
+    /// `MFENCE`.
+    Fence,
+    /// Support PTE write remapping `va` to `pa`.
+    PteWrite {
+        /// VA index.
+        va: usize,
+        /// Target page.
+        pa: PaRef,
+    },
+    /// Support TLB invalidation.
+    Invlpg {
+        /// VA index.
+        va: usize,
+    },
+    /// Support full TLB flush (the extended IPI type, §III-B2 future
+    /// work): evicts every entry of the issuing core's TLB.
+    TlbFlush,
+}
+
+impl SlotOp {
+    /// Event cost of the slot, ghosts included.
+    pub fn cost(self) -> usize {
+        match self {
+            SlotOp::Read { walk, .. } => 1 + usize::from(walk),
+            SlotOp::Write { walk, .. } => 2 + usize::from(walk),
+            SlotOp::Fence
+            | SlotOp::Invlpg { .. }
+            | SlotOp::TlbFlush
+            | SlotOp::PteWrite { .. } => 1,
+        }
+    }
+
+    /// The VA the op touches, if any.
+    pub fn va(self) -> Option<usize> {
+        match self {
+            SlotOp::Read { va, .. }
+            | SlotOp::Write { va, .. }
+            | SlotOp::PteWrite { va, .. }
+            | SlotOp::Invlpg { va } => Some(va),
+            SlotOp::Fence | SlotOp::TlbFlush => None,
+        }
+    }
+}
+
+/// An ELT program: threads of slots plus remap/rmw structure.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Program {
+    /// Instruction sequences, one per core.
+    pub threads: Vec<Vec<SlotOp>>,
+    /// `(wpte, invlpg)` pairs as `(thread, slot)` positions.
+    pub remap: Vec<((usize, usize), (usize, usize))>,
+    /// RMW dependencies as `(thread, read-slot)`; the write is the next
+    /// slot.
+    pub rmw: Vec<(usize, usize)>,
+}
+
+impl Program {
+    /// Total event count, ghosts included.
+    pub fn size(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|op| op.cost())
+            .sum()
+    }
+
+    /// Number of distinct VAs (they are first-use numbered).
+    pub fn num_vas(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .filter_map(|op| op.va())
+            .max()
+            .map_or(0, |v| v + 1)
+    }
+
+    /// Extracts the program of an execution (discarding communication) —
+    /// the inverse of [`Program::to_skeleton`]. Used by the COATCheck
+    /// comparison tool, whose unit of comparison is the ELT *program*.
+    pub fn from_execution(x: &Execution) -> Program {
+        use transform_core::event::EventKind;
+        use transform_core::ids::ThreadId;
+        let num_vas = x.num_vas();
+        let mut threads = Vec::new();
+        let mut slot_of = std::collections::BTreeMap::new();
+        for t in 0..x.num_threads() {
+            let mut row = Vec::new();
+            for (s, &e) in x.po_of(ThreadId(t)).iter().enumerate() {
+                slot_of.insert(e, (t, s));
+                let ev = x.event(e);
+                let walk = x
+                    .ghosts_of(e)
+                    .iter()
+                    .any(|&g| x.event(g).kind == EventKind::Ptw);
+                let op = match ev.kind {
+                    EventKind::Read => SlotOp::Read {
+                        va: ev.va_unwrap().0,
+                        walk,
+                    },
+                    EventKind::Write => SlotOp::Write {
+                        va: ev.va_unwrap().0,
+                        walk,
+                    },
+                    EventKind::Fence => SlotOp::Fence,
+                    EventKind::PteWrite { new_pa } => SlotOp::PteWrite {
+                        va: ev.va_unwrap().0,
+                        pa: if new_pa.0 < num_vas {
+                            PaRef::Initial(new_pa.0)
+                        } else {
+                            PaRef::Fresh(new_pa.0 - num_vas)
+                        },
+                    },
+                    EventKind::Invlpg => SlotOp::Invlpg {
+                        va: ev.va_unwrap().0,
+                    },
+                    EventKind::TlbFlush => SlotOp::TlbFlush,
+                    EventKind::Ptw | EventKind::DirtyBitWrite => {
+                        unreachable!("ghosts are not in po")
+                    }
+                };
+                row.push(op);
+            }
+            threads.push(row);
+        }
+        let remap = x
+            .remap_pairs()
+            .iter()
+            .map(|&(w, i)| (slot_of[&w], slot_of[&i]))
+            .collect();
+        let rmw = x.rmw_pairs().iter().map(|&(r, _)| slot_of[&r]).collect();
+        Program {
+            threads,
+            remap,
+            rmw,
+        }
+    }
+
+    /// Lowers the program to an execution skeleton (events, ghosts, po,
+    /// remap, rmw — no communication).
+    pub fn to_skeleton(&self) -> Execution {
+        let num_vas = self.num_vas();
+        let mut b = EltBuilder::new();
+        let mut ids = Vec::new();
+        for (t, slots) in self.threads.iter().enumerate() {
+            let tid = b.thread();
+            debug_assert_eq!(tid.0, t);
+            let mut row = Vec::new();
+            for &op in slots {
+                let id = match op {
+                    SlotOp::Read { va, walk: true } => b.read_walk(tid, Va(va)).0,
+                    SlotOp::Read { va, walk: false } => b.read(tid, Va(va)),
+                    SlotOp::Write { va, walk: true } => b.write_walk(tid, Va(va)).0,
+                    SlotOp::Write { va, walk: false } => b.write(tid, Va(va)).0,
+                    SlotOp::Fence => b.fence(tid),
+                    SlotOp::PteWrite { va, pa } => {
+                        let pa = match pa {
+                            PaRef::Initial(v) => Pa(v),
+                            PaRef::Fresh(k) => Pa(num_vas + k),
+                        };
+                        b.pte_write(tid, Va(va), pa)
+                    }
+                    SlotOp::Invlpg { va } => b.invlpg(tid, Va(va)),
+                    SlotOp::TlbFlush => b.tlb_flush(tid),
+                };
+                row.push(id);
+            }
+            ids.push(row);
+        }
+        for &((wt, ws), (it, is)) in &self.remap {
+            b.remap(ids[wt][ws], ids[it][is]);
+        }
+        for &(t, s) in &self.rmw {
+            b.rmw(ids[t][s], ids[t][s + 1]);
+        }
+        b.build()
+    }
+}
+
+/// Knobs for bounded program enumeration.
+#[derive(Clone, Debug)]
+pub struct EnumOptions {
+    /// Maximum total event count (the paper's instruction bound).
+    pub bound: usize,
+    /// Maximum number of threads (`None` ⇒ derived from the bound).
+    pub max_threads: Option<usize>,
+    /// Allow `MFENCE` instructions.
+    pub allow_fences: bool,
+    /// Allow RMW (read-modify-write) pairs.
+    pub allow_rmw: bool,
+    /// Allow PTE writes that re-install a VA's initial mapping.
+    pub allow_identity_remap: bool,
+    /// Apply canonical-form symmetry reduction during enumeration
+    /// (§VI-A); turning this off is an ablation.
+    pub symmetry_reduction: bool,
+}
+
+impl EnumOptions {
+    /// Defaults for a given instruction bound.
+    pub fn new(bound: usize) -> EnumOptions {
+        EnumOptions {
+            bound,
+            max_threads: None,
+            allow_fences: true,
+            allow_rmw: true,
+            allow_identity_remap: false,
+            symmetry_reduction: true,
+        }
+    }
+}
+
+/// A per-thread instruction sequence with locally-numbered VAs and PA
+/// symbols, produced by the first enumeration stage.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Shape {
+    ops: Vec<SlotOp>, // va = local index; PteWrite.pa = Fresh(local symbol)
+    cost: usize,
+    num_vas: usize,
+    num_pa_syms: usize,
+    rmw: Vec<usize>,
+}
+
+/// Enumerates all thread shapes of cost ≤ `budget`.
+fn shapes(budget: usize, opts: &EnumOptions) -> Vec<Shape> {
+    let mut out = Vec::new();
+    let mut cur = Shape {
+        ops: Vec::new(),
+        cost: 0,
+        num_vas: 0,
+        num_pa_syms: 0,
+        rmw: Vec::new(),
+    };
+    // TLB validity per local VA.
+    let mut tlb: Vec<bool> = Vec::new();
+    extend(&mut cur, &mut tlb, budget, opts, &mut out);
+    out
+}
+
+fn extend(
+    cur: &mut Shape,
+    tlb: &mut Vec<bool>,
+    budget: usize,
+    opts: &EnumOptions,
+    out: &mut Vec<Shape>,
+) {
+    if !cur.ops.is_empty() {
+        // A trailing fence orders nothing: skip such shapes.
+        if cur.ops.last() != Some(&SlotOp::Fence) {
+            out.push(cur.clone());
+        }
+    }
+    let remaining = budget.saturating_sub(cur.cost);
+    if remaining == 0 {
+        return;
+    }
+    let max_va = cur.num_vas; // may introduce one fresh VA
+    for va in 0..=max_va {
+        let fresh_va = va == cur.num_vas;
+        let had_entry = !fresh_va && tlb[va];
+
+        // Reads and writes, with forced walk on a cold TLB.
+        for (write, base_cost) in [(false, 1usize), (true, 2usize)] {
+            let walk_options: &[bool] = if had_entry { &[false, true] } else { &[true] };
+            for &walk in walk_options {
+                let cost = base_cost + usize::from(walk);
+                if cost > remaining {
+                    continue;
+                }
+                let op = if write {
+                    SlotOp::Write { va, walk }
+                } else {
+                    SlotOp::Read { va, walk }
+                };
+                with_op(cur, tlb, op, fresh_va, walk || had_entry, |cur, tlb| {
+                    extend(cur, tlb, budget, opts, out)
+                });
+            }
+        }
+
+        // RMW: adjacent read+write to one VA; the write reuses the read's
+        // translation and adds the dirty-bit update.
+        if opts.allow_rmw {
+            let walk_options: &[bool] = if had_entry { &[false, true] } else { &[true] };
+            for &walk in walk_options {
+                let cost = 1 + usize::from(walk) + 2;
+                if cost > remaining {
+                    continue;
+                }
+                let read_slot = cur.ops.len();
+                cur.ops.push(SlotOp::Read { va, walk });
+                cur.ops.push(SlotOp::Write { va, walk: false });
+                cur.rmw.push(read_slot);
+                cur.cost += cost;
+                let saved_vas = cur.num_vas;
+                if fresh_va {
+                    cur.num_vas += 1;
+                    tlb.push(true);
+                } else {
+                    tlb[va] = true;
+                }
+                let saved_entry = had_entry;
+                extend(cur, tlb, budget, opts, out);
+                cur.ops.pop();
+                cur.ops.pop();
+                cur.rmw.pop();
+                cur.cost -= cost;
+                if fresh_va {
+                    tlb.pop();
+                } else {
+                    tlb[va] = saved_entry;
+                }
+                cur.num_vas = saved_vas;
+            }
+        }
+
+        // PTE write: PA meaning (alias vs fresh page) is resolved when
+        // threads are combined; locally we only number the symbols.
+        if 1 <= remaining {
+            let op = SlotOp::PteWrite {
+                va,
+                pa: PaRef::Fresh(cur.num_pa_syms),
+            };
+            cur.num_pa_syms += 1;
+            with_op(cur, tlb, op, fresh_va, had_entry, |cur, tlb| {
+                extend(cur, tlb, budget, opts, out)
+            });
+            cur.num_pa_syms -= 1;
+        }
+
+        // INVLPG: evicts the TLB entry.
+        if 1 <= remaining {
+            let op = SlotOp::Invlpg { va };
+            cur.ops.push(op);
+            cur.cost += 1;
+            let saved_vas = cur.num_vas;
+            if fresh_va {
+                cur.num_vas += 1;
+                tlb.push(false);
+            } else {
+                tlb[va] = false;
+            }
+            extend(cur, tlb, budget, opts, out);
+            cur.ops.pop();
+            cur.cost -= 1;
+            if fresh_va {
+                tlb.pop();
+            } else {
+                tlb[va] = had_entry;
+            }
+            cur.num_vas = saved_vas;
+        }
+    }
+
+    // Fence, only after a non-fence instruction.
+    if opts.allow_fences && 1 <= remaining && !cur.ops.is_empty() {
+        if cur.ops.last() != Some(&SlotOp::Fence) {
+            cur.ops.push(SlotOp::Fence);
+            cur.cost += 1;
+            extend(cur, tlb, budget, opts, out);
+            cur.ops.pop();
+            cur.cost -= 1;
+        }
+    }
+}
+
+fn with_op(
+    cur: &mut Shape,
+    tlb: &mut Vec<bool>,
+    op: SlotOp,
+    fresh_va: bool,
+    entry_after: bool,
+    f: impl FnOnce(&mut Shape, &mut Vec<bool>),
+) {
+    let va = op.va().expect("memory-ish op has a VA");
+    cur.ops.push(op);
+    cur.cost += op.cost();
+    let saved_entry = if fresh_va {
+        cur.num_vas += 1;
+        tlb.push(entry_after);
+        false
+    } else {
+        let s = tlb[va];
+        tlb[va] = entry_after;
+        s
+    };
+    f(cur, tlb);
+    cur.ops.pop();
+    cur.cost -= op.cost();
+    if fresh_va {
+        cur.num_vas -= 1;
+        tlb.pop();
+    } else {
+        tlb[va] = saved_entry;
+    }
+}
+
+/// Enumerates all programs of size ≤ `opts.bound`, canonically deduplicated
+/// when `opts.symmetry_reduction` is on.
+pub fn programs(opts: &EnumOptions) -> Vec<Program> {
+    programs_with_deadline(opts, None)
+}
+
+/// Like [`programs`], stopping early (with a partial result) once
+/// `deadline` passes — the paper's synthesis timeout.
+pub fn programs_with_deadline(
+    opts: &EnumOptions,
+    deadline: Option<std::time::Instant>,
+) -> Vec<Program> {
+    let mut all_shapes = shapes(opts.bound, opts);
+    all_shapes.sort_by_key(|s| s.cost); // enables early cut-off in combine
+    let max_threads = opts.max_threads.unwrap_or(opts.bound);
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+
+    // Choose up to `max_threads` shapes (non-decreasing indices for
+    // symmetry breaking across identical shape multisets).
+    let mut chosen: Vec<usize> = Vec::new();
+    combine(
+        &all_shapes,
+        0,
+        opts.bound,
+        max_threads,
+        &mut chosen,
+        opts,
+        &deadline,
+        &mut seen,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn combine(
+    shapes: &[Shape],
+    from: usize,
+    budget_left: usize,
+    threads_left: usize,
+    chosen: &mut Vec<usize>,
+    opts: &EnumOptions,
+    deadline: &Option<std::time::Instant>,
+    seen: &mut BTreeSet<Vec<u64>>,
+    out: &mut Vec<Program>,
+) {
+    if let Some(d) = deadline {
+        if std::time::Instant::now() > *d {
+            return;
+        }
+    }
+    if !chosen.is_empty() {
+        assign_and_emit(shapes, chosen, opts, seen, out);
+    }
+    if threads_left == 0 {
+        return;
+    }
+    for i in from..shapes.len() {
+        if shapes[i].cost > budget_left {
+            break; // shapes are sorted by cost
+        }
+        chosen.push(i);
+        combine(
+            shapes,
+            i, // allow repeats; non-decreasing order breaks permutations
+            budget_left - shapes[i].cost,
+            threads_left - 1,
+            chosen,
+            opts,
+            deadline,
+            seen,
+            out,
+        );
+        chosen.pop();
+    }
+}
+
+/// Resolves local VA numbers and PA symbols to global meanings, assigns
+/// remaps, validates spurious INVLPGs, and emits canonical programs.
+fn assign_and_emit(
+    shapes: &[Shape],
+    chosen: &[usize],
+    opts: &EnumOptions,
+    seen: &mut BTreeSet<Vec<u64>>,
+    out: &mut Vec<Program>,
+) {
+    let ts: Vec<&Shape> = chosen.iter().map(|&i| &shapes[i]).collect();
+
+    // Enumerate injective per-thread maps local VA → global VA with
+    // canonical (first-use) numbering of fresh globals.
+    let mut va_maps: Vec<Vec<Vec<usize>>> = vec![Vec::new()]; // per thread: map
+    let mut globals_so_far = vec![0usize];
+    for t in &ts {
+        let mut next_maps = Vec::new();
+        let mut next_globals = Vec::new();
+        for (maps, &g) in va_maps.iter().zip(&globals_so_far) {
+            // Build all injective maps of t.num_vas locals into globals,
+            // where locals in order may reuse existing or take the next
+            // fresh id.
+            let mut stack: Vec<(Vec<usize>, usize)> = vec![(Vec::new(), g)];
+            for _local in 0..t.num_vas {
+                let mut grown = Vec::new();
+                for (m, gg) in stack {
+                    for cand in 0..=gg {
+                        if m.contains(&cand) {
+                            continue; // injective within the thread
+                        }
+                        let mut m2 = m.clone();
+                        m2.push(cand);
+                        grown.push((m2, gg.max(cand + 1)));
+                    }
+                }
+                stack = grown;
+            }
+            for (m, gg) in stack {
+                let mut full = maps.clone();
+                full.push(m);
+                next_maps.push(full);
+                next_globals.push(gg);
+            }
+        }
+        va_maps = next_maps;
+        globals_so_far = next_globals;
+    }
+
+    for (vmap, &num_vas) in va_maps.iter().zip(&globals_so_far) {
+        // Collect PA symbols in (thread, slot) order.
+        let mut syms: Vec<(usize, usize)> = Vec::new(); // (thread, local sym)
+        for (t, shape) in ts.iter().enumerate() {
+            for op in &shape.ops {
+                if let SlotOp::PteWrite { pa: PaRef::Fresh(k), .. } = op {
+                    syms.push((t, *k));
+                }
+            }
+        }
+        // Each symbol maps to Initial(v) for v < num_vas or Fresh(j) with
+        // first-use numbering.
+        let mut assignments: Vec<Vec<PaRef>> = vec![Vec::new()];
+        for _ in &syms {
+            let mut grown = Vec::new();
+            for a in &assignments {
+                let fresh_used = a
+                    .iter()
+                    .filter_map(|p| match p {
+                        PaRef::Fresh(j) => Some(*j + 1),
+                        PaRef::Initial(_) => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                for v in 0..num_vas {
+                    let mut a2 = a.clone();
+                    a2.push(PaRef::Initial(v));
+                    grown.push(a2);
+                }
+                for j in 0..=fresh_used {
+                    let mut a2 = a.clone();
+                    a2.push(PaRef::Fresh(j));
+                    grown.push(a2);
+                }
+            }
+            assignments = grown;
+        }
+
+        for assignment in &assignments {
+            // Materialize global threads.
+            let mut threads: Vec<Vec<SlotOp>> = Vec::new();
+            let mut sym_iter = assignment.iter();
+            let mut ok = true;
+            for (t, shape) in ts.iter().enumerate() {
+                let mut row = Vec::new();
+                for &op in &shape.ops {
+                    let g = match op {
+                        SlotOp::Read { va, walk } => SlotOp::Read {
+                            va: vmap[t][va],
+                            walk,
+                        },
+                        SlotOp::Write { va, walk } => SlotOp::Write {
+                            va: vmap[t][va],
+                            walk,
+                        },
+                        SlotOp::Fence => SlotOp::Fence,
+                        SlotOp::TlbFlush => SlotOp::TlbFlush,
+                        SlotOp::Invlpg { va } => SlotOp::Invlpg { va: vmap[t][va] },
+                        SlotOp::PteWrite { va, .. } => {
+                            let pa = *sym_iter.next().expect("one symbol per PTE write");
+                            let va = vmap[t][va];
+                            if !opts.allow_identity_remap && pa == PaRef::Initial(va) {
+                                ok = false;
+                            }
+                            SlotOp::PteWrite { va, pa }
+                        }
+                    };
+                    row.push(g);
+                }
+                threads.push(row);
+            }
+            if !ok {
+                continue;
+            }
+            let rmw: Vec<(usize, usize)> = ts
+                .iter()
+                .enumerate()
+                .flat_map(|(t, s)| s.rmw.iter().map(move |&slot| (t, slot)))
+                .collect();
+
+            for remap in remap_assignments(&threads) {
+                let prog = Program {
+                    threads: threads.clone(),
+                    remap,
+                    rmw: rmw.clone(),
+                };
+                if !spurious_invlpgs_useful(&prog) {
+                    continue;
+                }
+                if opts.symmetry_reduction {
+                    let key = canonical_key(&prog);
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                }
+                out.push(prog);
+            }
+        }
+    }
+}
+
+/// All ways to give every PTE write exactly one same-VA `INVLPG` per core
+/// (same-core one strictly later in po), each `INVLPG` serving at most one
+/// PTE write.
+fn remap_assignments(threads: &[Vec<SlotOp>]) -> Vec<Vec<((usize, usize), (usize, usize))>> {
+    let wptes: Vec<(usize, usize, usize)> = threads
+        .iter()
+        .enumerate()
+        .flat_map(|(t, row)| {
+            row.iter().enumerate().filter_map(move |(s, op)| match op {
+                SlotOp::PteWrite { va, .. } => Some((t, s, *va)),
+                _ => None,
+            })
+        })
+        .collect();
+    let invlpgs: Vec<(usize, usize, usize)> = threads
+        .iter()
+        .enumerate()
+        .flat_map(|(t, row)| {
+            row.iter().enumerate().filter_map(move |(s, op)| match op {
+                SlotOp::Invlpg { va } => Some((t, s, *va)),
+                _ => None,
+            })
+        })
+        .collect();
+    let num_threads = threads.len();
+    let mut results = Vec::new();
+    let mut partial: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    fn recurse(
+        wptes: &[(usize, usize, usize)],
+        invlpgs: &[(usize, usize, usize)],
+        num_threads: usize,
+        wi: usize,
+        target_thread: usize,
+        partial: &mut Vec<((usize, usize), (usize, usize))>,
+        used: &mut BTreeSet<(usize, usize)>,
+        results: &mut Vec<Vec<((usize, usize), (usize, usize))>>,
+    ) {
+        if wi == wptes.len() {
+            results.push(partial.clone());
+            return;
+        }
+        if target_thread == num_threads {
+            recurse(
+                wptes,
+                invlpgs,
+                num_threads,
+                wi + 1,
+                0,
+                partial,
+                used,
+                results,
+            );
+            return;
+        }
+        let (wt, ws, wva) = wptes[wi];
+        for &(it, is, iva) in invlpgs {
+            if it != target_thread || iva != wva || used.contains(&(it, is)) {
+                continue;
+            }
+            if it == wt && is <= ws {
+                continue; // same-core INVLPG must follow the PTE write
+            }
+            used.insert((it, is));
+            partial.push(((wt, ws), (it, is)));
+            recurse(
+                wptes,
+                invlpgs,
+                num_threads,
+                wi,
+                target_thread + 1,
+                partial,
+                used,
+                results,
+            );
+            partial.pop();
+            used.remove(&(it, is));
+        }
+    }
+
+    recurse(
+        &wptes,
+        &invlpgs,
+        num_threads,
+        0,
+        0,
+        &mut partial,
+        &mut used,
+        &mut results,
+    );
+    results
+}
+
+/// Spurious (un-remapped) INVLPGs must be able to affect the execution: a
+/// later same-VA access on the same core.
+fn spurious_invlpgs_useful(p: &Program) -> bool {
+    let remapped: BTreeSet<(usize, usize)> = p.remap.iter().map(|&(_, i)| i).collect();
+    for (t, row) in p.threads.iter().enumerate() {
+        for (s, op) in row.iter().enumerate() {
+            let SlotOp::Invlpg { va } = op else { continue };
+            if remapped.contains(&(t, s)) {
+                continue;
+            }
+            let useful = row[s + 1..].iter().any(|later| {
+                matches!(later, SlotOp::Read { va: v, .. } | SlotOp::Write { va: v, .. } if v == va)
+            });
+            if !useful {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skeletons_are_well_formed_program_shapes() {
+        let opts = EnumOptions::new(4);
+        let progs = programs(&opts);
+        assert!(!progs.is_empty());
+        for p in &progs {
+            assert!(p.size() <= 4, "{p:?}");
+            let skel = p.to_skeleton();
+            // The skeleton may still need communication choices, but its
+            // TLB structure must be sound.
+            transform_core::derive::static_tlb_sources(&skel)
+                .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn smallest_read_program_exists() {
+        let opts = EnumOptions::new(2);
+        let progs = programs(&opts);
+        // R x with its walk.
+        assert!(progs.iter().any(|p| {
+            p.threads == vec![vec![SlotOp::Read { va: 0, walk: true }]]
+        }));
+        // No program exceeds the bound.
+        assert!(progs.iter().all(|p| p.size() <= 2));
+    }
+
+    #[test]
+    fn first_access_always_walks() {
+        for p in programs(&EnumOptions::new(5)) {
+            for row in &p.threads {
+                let mut tlb = BTreeSet::new();
+                for op in row {
+                    match *op {
+                        SlotOp::Read { va, walk } | SlotOp::Write { va, walk } => {
+                            assert!(
+                                walk || tlb.contains(&va),
+                                "cold access without walk in {p:?}"
+                            );
+                            if walk {
+                                tlb.insert(va);
+                            }
+                        }
+                        SlotOp::Invlpg { va } => {
+                            tlb.remove(&va);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ptwalk2_shape_is_enumerated_at_bound_4() {
+        // Fig. 10a: WPTE x→b; INVLPG x; R x (+walk) — 4 events.
+        let opts = EnumOptions::new(4);
+        let progs = programs(&opts);
+        let found = progs.iter().any(|p| {
+            p.threads.len() == 1
+                && p.threads[0]
+                    == vec![
+                        SlotOp::PteWrite {
+                            va: 0,
+                            pa: PaRef::Fresh(0),
+                        },
+                        SlotOp::Invlpg { va: 0 },
+                        SlotOp::Read { va: 0, walk: true },
+                    ]
+                && p.remap == vec![((0, 0), (0, 1))]
+        });
+        assert!(found, "ptwalk2 program missing from bound-4 enumeration");
+    }
+
+    #[test]
+    fn pte_writes_are_fully_remapped() {
+        // Every PTE write carries exactly one INVLPG per core.
+        let opts = EnumOptions::new(4);
+        for p in programs(&opts) {
+            let wptes: Vec<(usize, usize)> = p
+                .threads
+                .iter()
+                .enumerate()
+                .flat_map(|(t, row)| {
+                    row.iter().enumerate().filter_map(move |(s, op)| {
+                        matches!(op, SlotOp::PteWrite { .. }).then_some((t, s))
+                    })
+                })
+                .collect();
+            for w in wptes {
+                let covered: BTreeSet<usize> = p
+                    .remap
+                    .iter()
+                    .filter(|&&(wp, _)| wp == w)
+                    .map(|&(_, (it, _))| it)
+                    .collect();
+                assert_eq!(covered.len(), p.threads.len(), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_the_set() {
+        let mut with = EnumOptions::new(4);
+        with.allow_fences = false;
+        with.allow_rmw = false;
+        let mut without = with.clone();
+        without.symmetry_reduction = false;
+        let n_with = programs(&with).len();
+        let n_without = programs(&without).len();
+        assert!(n_with <= n_without);
+        assert!(n_with > 0);
+    }
+
+    #[test]
+    fn fences_never_dangle() {
+        for p in programs(&EnumOptions::new(4)) {
+            for row in &p.threads {
+                if let Some(SlotOp::Fence) = row.last() {
+                    panic!("trailing fence in {p:?}");
+                }
+                if let Some(SlotOp::Fence) = row.first() {
+                    panic!("leading fence in {p:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! DIMACS CNF interchange.
+//!
+//! MiniSat — the solver TransForm's Alloy/Kodkod stack bottoms out in —
+//! speaks the DIMACS CNF format; `tsat` does too, so instances can be
+//! exported for cross-checking against off-the-shelf solvers and imported
+//! from standard benchmark files.
+//!
+//! The dialect is the classic one: optional `c` comment lines, one
+//! `p cnf <vars> <clauses>` header, then whitespace-separated non-zero
+//! literals with `0` terminating each clause.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed CNF instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables declared in the header.
+    pub num_vars: usize,
+    /// The clauses, as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the instance into a fresh [`Solver`].
+    pub fn into_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        s.new_vars(self.num_vars);
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+}
+
+/// A DIMACS parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Rejects missing/duplicate headers, literals out of the declared range,
+/// unterminated clauses, and clause-count mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use tsat::dimacs::parse_dimacs;
+///
+/// let cnf = parse_dimacs("c demo\np cnf 2 2\n1 -2 0\n2 0\n")?;
+/// assert_eq!(cnf.num_vars, 2);
+/// let mut s = cnf.into_solver();
+/// assert!(s.solve().is_sat());
+/// # Ok::<(), tsat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs(src: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let err = |m: String| ParseDimacsError { line, message: m };
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('p') {
+            if header.is_some() {
+                return Err(err("duplicate header".into()));
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(err("expected `p cnf <vars> <clauses>`".into()));
+            }
+            let nv = it
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err("bad variable count".into()))?;
+            let nc = it
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err("bad clause count".into()))?;
+            header = Some((nv, nc));
+            continue;
+        }
+        let (nv, _) = header.ok_or_else(|| err("clause before header".into()))?;
+        for tok in text.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| err(format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let idx = v.unsigned_abs() as usize;
+                if idx > nv {
+                    return Err(err(format!("literal {v} out of range 1..={nv}")));
+                }
+                current.push(Lit::new(Var::from_index(idx - 1), v > 0));
+            }
+        }
+    }
+
+    let (nv, nc) = header.ok_or(ParseDimacsError {
+        line: 1,
+        message: "missing `p cnf` header".into(),
+    })?;
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: src.lines().count(),
+            message: "unterminated clause (missing trailing 0)".into(),
+        });
+    }
+    if clauses.len() != nc {
+        return Err(ParseDimacsError {
+            line: src.lines().count(),
+            message: format!("header declared {nc} clauses, found {}", clauses.len()),
+        });
+    }
+    Ok(Cnf {
+        num_vars: nv,
+        clauses,
+    })
+}
+
+/// Renders an instance as DIMACS CNF text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let v = l.var().index() as i64 + 1;
+            out.push_str(&format!("{} ", if l.is_pos() { v } else { -v }));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_instance() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Lit::pos(Var::from_index(0)), Lit::neg(Var::from_index(2))],
+                vec![Lit::neg(Var::from_index(1))],
+                vec![],
+            ],
+        };
+        let text = write_dimacs(&cnf);
+        assert_eq!(parse_dimacs(&text).expect("parses"), cnf);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skip() {
+        let cnf = parse_dimacs("c hi\n\nc there\np cnf 1 1\n1 0\n").expect("parses");
+        assert_eq!(cnf.clauses.len(), 1);
+    }
+
+    #[test]
+    fn multi_clause_single_line() {
+        let cnf = parse_dimacs("p cnf 2 2\n1 0 -2 0\n").expect("parses");
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(parse_dimacs("1 0").unwrap_err().message.contains("header"));
+        assert_eq!(parse_dimacs("p cnf 1 1\n5 0\n").unwrap_err().line, 2);
+        assert!(parse_dimacs("p cnf 1 1\n1\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(parse_dimacs("p cnf 1 2\n1 0\n")
+            .unwrap_err()
+            .message
+            .contains("declared 2"));
+        assert!(parse_dimacs("p cnf 1 0\np cnf 1 0\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let cnf = parse_dimacs("p cnf 1 1\n0\n").expect("parses");
+        let mut s = cnf.into_solver();
+        assert!(!s.solve().is_sat());
+    }
+}

@@ -1,0 +1,181 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from zero.
+///
+/// Variables are created with [`crate::Solver::new_var`]; the index is an
+/// implementation detail exposed for use as an array key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from a raw index.
+    ///
+    /// Only meaningful for indices previously handed out by a solver.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2 * var + sign` where `sign == 1` means negated, the classic
+/// MiniSat encoding, so a literal indexes watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, polarity: bool) -> Lit {
+        if polarity {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` when this is the positive literal.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index for watch lists (`2 * var + sign`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "!v{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Tri-valued assignment used inside the solver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    #[inline]
+    pub(crate) fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The value of a literal given the value of its variable.
+    #[inline]
+    pub(crate) fn under(self, lit: Lit) -> LBool {
+        match self {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_pos() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrips() {
+        let v = Var::from_index(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::pos(v).is_pos());
+        assert!(!Lit::neg(v).is_pos());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+        assert_eq!(Lit::new(v, true), Lit::pos(v));
+        assert_eq!(Lit::new(v, false), Lit::neg(v));
+    }
+
+    #[test]
+    fn lbool_under_literal() {
+        let v = Var::from_index(0);
+        assert_eq!(LBool::True.under(Lit::pos(v)), LBool::True);
+        assert_eq!(LBool::True.under(Lit::neg(v)), LBool::False);
+        assert_eq!(LBool::False.under(Lit::neg(v)), LBool::True);
+        assert_eq!(LBool::Undef.under(Lit::pos(v)), LBool::Undef);
+    }
+}

@@ -1,0 +1,174 @@
+//! The §VI-B comparison tool.
+//!
+//! "We automate the ELT comparison process via a tool that first checks if
+//! TransForm would synthesize the ELT verbatim in the synthesized suite
+//! (category 1), and if not, subsequently tests for the ELT's inclusion in
+//! category 2 by trying to remove subsets of instructions from the ELT to
+//! see if it can be minimized to a TransForm-synthesizable test."
+
+use crate::coatcheck::CoatTest;
+use std::collections::BTreeSet;
+use transform_core::exec::Execution;
+use transform_synth::canon::canonical_key;
+use transform_synth::programs::Program;
+use transform_synth::relax::{apply, relaxations};
+use transform_synth::Suite;
+
+/// Where a hand-written ELT lands relative to the synthesized suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Category {
+    /// Synthesized verbatim (category 1 of §VI-B).
+    Verbatim,
+    /// A superset of a synthesized minimal ELT (category 2).
+    Reducible,
+    /// Outside the spanning-set criteria: no removal subset reaches a
+    /// synthesized program.
+    NotSpanning,
+    /// Uses an IPI type TransForm does not model.
+    UnsupportedIpi,
+}
+
+/// Comparison result for one test.
+#[derive(Clone, Debug)]
+pub struct TestComparison {
+    /// The test's name.
+    pub name: String,
+    /// Its classification.
+    pub category: Category,
+}
+
+/// Aggregate comparison of a hand-written suite against synthesized
+/// per-axiom suites.
+#[derive(Clone, Debug)]
+pub struct SuiteComparison {
+    /// Per-test classifications, in suite order.
+    pub tests: Vec<TestComparison>,
+    /// Number of unique synthesized programs matched verbatim.
+    pub verbatim_programs: usize,
+}
+
+impl SuiteComparison {
+    /// Number of tests in the given category.
+    pub fn count(&self, c: Category) -> usize {
+        self.tests.iter().filter(|t| t.category == c).count()
+    }
+}
+
+/// The canonical program keys of one or more synthesized suites.
+pub fn synthesized_keys<'s, I: IntoIterator<Item = &'s Suite>>(suites: I) -> BTreeSet<Vec<u64>> {
+    suites
+        .into_iter()
+        .flat_map(|s| s.elts.iter().map(|e| canonical_key(&e.program)))
+        .collect()
+}
+
+/// Classifies one hand-written ELT against synthesized program keys.
+pub fn classify(test: &CoatTest, keys: &BTreeSet<Vec<u64>>) -> Category {
+    let Some(x) = &test.execution else {
+        return Category::UnsupportedIpi;
+    };
+    let key = canonical_key(&Program::from_execution(x));
+    if keys.contains(&key) {
+        return Category::Verbatim;
+    }
+    if reducible(x, keys) {
+        return Category::Reducible;
+    }
+    Category::NotSpanning
+}
+
+/// Depth-first search over removal subsets (the relaxation units of
+/// §IV-B) looking for a synthesized program.
+fn reducible(x: &Execution, keys: &BTreeSet<Vec<u64>>) -> bool {
+    let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut stack = vec![x.clone()];
+    while let Some(cur) = stack.pop() {
+        for r in relaxations(&cur) {
+            let Some(next) = apply(&cur, &r) else { continue };
+            let key = canonical_key(&Program::from_execution(&next));
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            if keys.contains(&key) {
+                return true;
+            }
+            stack.push(next);
+        }
+    }
+    false
+}
+
+/// Compares a hand-written suite against synthesized suites (§VI-B).
+pub fn compare_suite(tests: &[CoatTest], keys: &BTreeSet<Vec<u64>>) -> SuiteComparison {
+    let per_test: Vec<TestComparison> = tests
+        .iter()
+        .map(|t| TestComparison {
+            name: t.name.to_string(),
+            category: classify(t, keys),
+        })
+        .collect();
+    let verbatim_programs: BTreeSet<Vec<u64>> = tests
+        .iter()
+        .zip(&per_test)
+        .filter(|(_, c)| c.category == Category::Verbatim)
+        .filter_map(|(t, _)| t.execution.as_ref())
+        .map(|x| canonical_key(&Program::from_execution(x)))
+        .collect();
+    SuiteComparison {
+        tests: per_test,
+        verbatim_programs: verbatim_programs.len(),
+    }
+}
+
+/// Renders the comparison as an aligned text table.
+pub fn render(cmp: &SuiteComparison) -> String {
+    let mut out = String::new();
+    for t in &cmp.tests {
+        out.push_str(&format!("{:<16} {:?}\n", t.name, t.category));
+    }
+    out.push_str(&format!(
+        "\nverbatim: {} tests ({} unique programs); reducible: {}; \
+         not spanning: {}; unsupported IPI: {}\n",
+        cmp.count(Category::Verbatim),
+        cmp.verbatim_programs,
+        cmp.count(Category::Reducible),
+        cmp.count(Category::NotSpanning),
+        cmp.count(Category::UnsupportedIpi),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coatcheck;
+    use crate::model::x86t_elt;
+    use transform_synth::{synthesize_suite, SynthOptions};
+
+    /// Synthesize the invlpg + sc_per_loc suites at bound 4 and check the
+    /// small tests classify correctly (the full 40-test comparison runs in
+    /// the integration suite at bound 6).
+    #[test]
+    fn ptwalk2_is_verbatim_and_dirtybit3_is_reducible_at_bound_4() {
+        let mtm = x86t_elt();
+        let mut opts = SynthOptions::new(4);
+        opts.enumeration.allow_fences = false;
+        opts.enumeration.allow_rmw = false;
+        let invlpg = synthesize_suite(&mtm, "invlpg", &opts);
+        let scpl = synthesize_suite(&mtm, "sc_per_loc", &opts);
+        let keys = synthesized_keys([&invlpg, &scpl]);
+
+        let suite = coatcheck::suite();
+        let ptwalk2 = suite.iter().find(|t| t.name == "ptwalk2").expect("present");
+        assert_eq!(classify(ptwalk2, &keys), Category::Verbatim);
+
+        let dirtybit3 = suite.iter().find(|t| t.name == "dirtybit3").expect("present");
+        assert_eq!(classify(dirtybit3, &keys), Category::Reducible);
+
+        let lone_read = suite.iter().find(|t| t.name == "ptwalk_r").expect("present");
+        assert_eq!(classify(lone_read, &keys), Category::NotSpanning);
+
+        let ipi = suite.iter().find(|t| t.name == "ipi_resched1").expect("present");
+        assert_eq!(classify(ipi, &keys), Category::UnsupportedIpi);
+    }
+}

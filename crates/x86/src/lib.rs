@@ -1,0 +1,29 @@
+//! `transform-x86` — the paper's x86 case study (§V–§VI).
+//!
+//! * [`model`] — the `x86-TSO` consistency predicate and the `x86t_elt`
+//!   transistency predicate (its five axioms: `sc_per_loc`,
+//!   `rmw_atomicity`, `causality`, `invlpg`, `tlb_causality`).
+//! * [`coatcheck`] — a reconstruction of the hand-written COATCheck ELT
+//!   suite used as the §VI-B baseline (see DESIGN.md for the
+//!   substitution rationale).
+//! * [`compare`] — the automated comparison tool classifying hand-written
+//!   ELTs as synthesized-verbatim (category 1), reducible (category 2),
+//!   outside the spanning criteria, or unsupported.
+//!
+//! # Examples
+//!
+//! ```
+//! use transform_x86::x86t_elt;
+//! use transform_core::figures;
+//!
+//! let mtm = x86t_elt();
+//! assert!(mtm.permits(&figures::fig2b_sb_elt()).is_permitted());
+//! assert!(!mtm.permits(&figures::fig10a_ptwalk2()).is_permitted());
+//! ```
+
+pub mod coatcheck;
+pub mod compare;
+pub mod model;
+
+pub use compare::{classify, compare_suite, synthesized_keys, Category, SuiteComparison};
+pub use model::{x86_tso, x86t_elt, X86T_ELT_SPEC, X86_TSO_SPEC};

@@ -1,0 +1,117 @@
+//! The `x86-TSO` consistency model and the `x86t_elt` transistency model
+//! of §V, in the spec DSL.
+
+use transform_core::axiom::Mtm;
+use transform_core::spec::parse_mtm;
+
+/// The textual specification of `x86-TSO` (§II-A): `sc_per_loc`,
+/// `rmw_atomicity`, and `causality` [Alglave et al., "Herding cats"].
+pub const X86_TSO_SPEC: &str = "\
+mtm x86tso {
+  # coherence: per-location sequential consistency
+  axiom sc_per_loc:    acyclic(rf | co | fr | po_loc)
+  # no intervening same-address write inside an RMW
+  axiom rmw_atomicity: empty(rmw & (fr ; co))
+  # global happens-before: TSO relaxes only write -> read order
+  axiom causality:     acyclic(rfe | co | fr | ppo | fence)
+}
+";
+
+/// The textual specification of `x86t_elt` (§V-A): the `x86-TSO` axioms
+/// plus the two transistency axioms `invlpg` and `tlb_causality`.
+pub const X86T_ELT_SPEC: &str = "\
+mtm x86t_elt {
+  axiom sc_per_loc:    acyclic(rf | co | fr | po_loc)
+  axiom rmw_atomicity: empty(rmw & (fr ; co))
+  axiom causality:     acyclic(rfe | co | fr | ppo | fence)
+  # a post-INVLPG access must read the latest mapping for its VA
+  axiom invlpg:        acyclic(fr_va | ^po | remap)
+  # diagnostic: no causal cycle through the walk that sourced a TLB entry
+  axiom tlb_causality: acyclic(ptw_source | com)
+}
+";
+
+/// Builds the `x86-TSO` consistency predicate.
+pub fn x86_tso() -> Mtm {
+    parse_mtm(X86_TSO_SPEC).expect("x86-TSO spec is well-formed")
+}
+
+/// Builds the `x86t_elt` transistency predicate — the paper's estimated
+/// MTM for Intel x86 processors.
+pub fn x86t_elt() -> Mtm {
+    parse_mtm(X86T_ELT_SPEC).expect("x86t_elt spec is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::derive::BaseRel;
+    use transform_core::figures;
+
+    #[test]
+    fn x86t_elt_has_the_five_axioms_of_section_v() {
+        let m = x86t_elt();
+        let names: Vec<&str> = m.axioms().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "sc_per_loc",
+                "rmw_atomicity",
+                "causality",
+                "invlpg",
+                "tlb_causality"
+            ]
+        );
+    }
+
+    #[test]
+    fn transistency_is_a_superset_of_consistency() {
+        // The consistency axioms appear verbatim inside the MTM (§V-A).
+        let tso = x86_tso();
+        let mtm = x86t_elt();
+        for ax in tso.axioms() {
+            let in_mtm = mtm.axiom(&ax.name).expect("axiom present in MTM");
+            assert_eq!(in_mtm.axiom, ax.axiom);
+        }
+    }
+
+    #[test]
+    fn x86t_elt_does_not_observe_co_pa() {
+        // Relation-aware branching: x86t_elt never mentions co_pa/fr_pa, so
+        // the synthesizer need not branch on alias-creation orders.
+        let m = x86t_elt();
+        assert!(!m.mentions(BaseRel::CoPa));
+        assert!(!m.mentions(BaseRel::FrPa));
+        assert!(m.mentions(BaseRel::FrVa));
+        assert!(m.mentions(BaseRel::PtwSource));
+    }
+
+    #[test]
+    fn paper_figures_get_their_published_verdicts() {
+        let mtm = x86t_elt();
+        for (name, x, permitted) in figures::all_figures() {
+            let v = mtm.permits(&x);
+            assert_eq!(v.is_permitted(), permitted, "{name}: {:?}", v.violated);
+        }
+    }
+
+    #[test]
+    fn fig2c_is_a_coherence_violation() {
+        let v = x86t_elt().permits(&figures::fig2c_sb_elt_aliased());
+        assert!(v.violates("sc_per_loc"));
+    }
+
+    #[test]
+    fn fig10a_violates_both_sc_per_loc_and_invlpg() {
+        // Exactly as the Fig. 10a caption states.
+        let v = x86t_elt().permits(&figures::fig10a_ptwalk2());
+        assert!(v.violates("sc_per_loc"));
+        assert!(v.violates("invlpg"));
+    }
+
+    #[test]
+    fn fig11_violates_only_invlpg() {
+        let v = x86t_elt().permits(&figures::fig11_cross_core_invlpg());
+        assert_eq!(v.violated, vec!["invlpg".to_string()]);
+    }
+}

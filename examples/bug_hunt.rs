@@ -1,0 +1,93 @@
+//! Bug hunting with synthesized ELTs — the paper's motivating scenario.
+//!
+//! The introduction of the TransForm paper recalls an AMD Athlon™ 64 /
+//! Opteron™ erratum in which `INVLPG` failed to invalidate the designated
+//! TLB entry, and argues that TransForm-synthesized ELTs would detect such
+//! a bug. This example closes that loop against the operational reference
+//! machine:
+//!
+//! 1. synthesize the `invlpg` per-axiom suite,
+//! 2. run every synthesized ELT program on a *correct* machine
+//!    (no forbidden outcome may appear), and
+//! 3. run the same suite on machines with injected defects and watch the
+//!    ELTs expose them.
+//!
+//! Run with: `cargo run --release --example bug_hunt`
+
+use transform::sim::{check_conformance, detect_with_suite, Bugs, SimConfig, SimProgram};
+use transform::synth::engine::{synthesize_suite, SynthOptions};
+use transform::x86::x86t_elt;
+use transform_litmus::parse_elt;
+
+fn main() {
+    let mtm = x86t_elt();
+
+    // --- 1. Synthesize the invlpg suite (bound 5: fig. 11 scale). ---
+    let mut opts = SynthOptions::new(5);
+    opts.enumeration.allow_fences = false;
+    opts.enumeration.allow_rmw = false;
+    let suite = synthesize_suite(&mtm, "invlpg", &opts);
+    println!(
+        "synthesized {} invlpg ELTs at bound 5 in {:.2?}",
+        suite.elts.len(),
+        suite.stats.elapsed
+    );
+
+    // --- 2. The correct machine conforms on every ELT program. ---
+    let clean = detect_with_suite(&suite, &mtm, &SimConfig::correct());
+    println!(
+        "correct machine: {}/{} ELTs flag a violation (expected 0)",
+        clean.detected.len(),
+        clean.total
+    );
+    assert!(clean.detected.is_empty());
+
+    // --- 3a. A broken TLB-shootdown protocol is caught by the suite. ---
+    let shootdown = SimConfig::buggy(Bugs {
+        missing_remote_shootdown: true,
+        ..Bugs::none()
+    });
+    let caught = detect_with_suite(&suite, &mtm, &shootdown);
+    println!(
+        "broken shootdown:  {}/{} ELTs expose the bug (indices {:?})",
+        caught.detected.len(),
+        caught.total,
+        caught.detected
+    );
+    assert!(caught.any());
+
+    // --- 3b. The AMD INVLPG erratum needs a 7-event cross-core ELT
+    //         (part of the bound-7 suite; spelled out here). ---
+    let (_, witness) = parse_elt(
+        "elt \"invlpg_erratum\" {
+           thread C0 {
+             WPTE x -> b
+             INVLPG x
+           }
+           thread C1 {
+             R x walk
+             INVLPG x
+             R x walk
+           }
+           remap C0:0 -> C0:1
+           remap C0:0 -> C1:1
+         }",
+    )
+    .expect("ELT parses");
+    assert!(mtm.permits(&witness).violates("invlpg"));
+    let prog = SimProgram::from_execution(&witness);
+    let erratum = SimConfig::buggy(Bugs {
+        invlpg_noop: true,
+        ..Bugs::none()
+    });
+    let conf = check_conformance(&prog, &mtm, &erratum);
+    println!(
+        "INVLPG erratum:    {} forbidden outcome(s) observed on the buggy machine",
+        conf.violations.len()
+    );
+    for v in &conf.violations {
+        println!("    {}", v.render());
+    }
+    assert!(!conf.conforms());
+    println!("\nevery injected transistency bug was exposed by an ELT.");
+}

@@ -1,0 +1,35 @@
+//! Print the MTM vocabulary summary — the paper's Table I — from model
+//! introspection, then demonstrate each new MTM relation on a live ELT.
+//!
+//! Run with: `cargo run --example vocabulary`
+
+use transform::core::derive::BaseRel;
+use transform::core::figures;
+use transform::core::pretty::labels;
+use transform::core::vocab;
+
+fn main() {
+    println!("{}", vocab::render_table_i());
+
+    // Show every MTM-specific relation on the Fig. 4 remap chain.
+    let x = figures::fig4_remap_chain();
+    let a = x.analyze().expect("well-formed");
+    let names = labels(&x);
+    println!("MTM relations of the Fig. 4 ELT:");
+    for rel in [
+        BaseRel::Ghost,
+        BaseRel::RfPtw,
+        BaseRel::RfPa,
+        BaseRel::CoPa,
+        BaseRel::FrPa,
+        BaseRel::FrVa,
+        BaseRel::Remap,
+    ] {
+        let pairs = a.relation(rel);
+        let rendered: Vec<String> = pairs
+            .iter()
+            .map(|&(p, q)| format!("{} → {}", names[p.index()], names[q.index()]))
+            .collect();
+        println!("  {:<10} {}", rel.name(), rendered.join(", "));
+    }
+}

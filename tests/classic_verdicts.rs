@@ -1,0 +1,65 @@
+//! The classic litmus catalog gets its canonical x86-TSO verdicts after
+//! ELT enhancement — and the transistency axioms add no constraints for
+//! translation-free programs (transistency ⊇ consistency, §V-A).
+
+use transform::litmus::{classic, enhance};
+use transform::x86::{x86_tso, x86t_elt};
+
+#[test]
+fn classic_catalog_verdicts_under_x86_tso() {
+    let tso = x86_tso();
+    for t in classic::all_tests() {
+        let elt = enhance(&t);
+        let v = tso.permits(&elt);
+        assert_eq!(
+            v.is_permitted(),
+            t.permitted_by_tso,
+            "{}: expected permitted={}, violated {:?}",
+            t.name,
+            t.permitted_by_tso,
+            v.violated
+        );
+    }
+}
+
+#[test]
+fn transistency_agrees_on_translation_free_tests() {
+    // No remaps, no INVLPGs: the invlpg and tlb_causality axioms cannot
+    // fire beyond what consistency already forbids.
+    let tso = x86_tso();
+    let mtm = x86t_elt();
+    for t in classic::all_tests() {
+        let elt = enhance(&t);
+        assert_eq!(
+            tso.permits(&elt).is_permitted(),
+            mtm.permits(&elt).is_permitted(),
+            "{}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn forbidden_classics_cite_the_expected_axiom() {
+    let tso = x86_tso();
+    let expect = [
+        ("sb+mfences", "causality"),
+        ("mp", "causality"),
+        ("corr", "sc_per_loc"),
+        ("wrc", "causality"),
+        ("iriw", "causality"),
+        ("2+2w", "causality"),
+    ];
+    for (name, axiom) in expect {
+        let t = classic::all_tests()
+            .into_iter()
+            .find(|t| t.name == name)
+            .expect("test exists");
+        let v = tso.permits(&enhance(&t));
+        assert!(
+            v.violates(axiom),
+            "{name}: expected {axiom}, violated {:?}",
+            v.violated
+        );
+    }
+}

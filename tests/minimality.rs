@@ -1,0 +1,97 @@
+//! Integration tests for the spanning-set minimality criterion (§IV-B),
+//! including the paper's Fig. 8 rejection example.
+
+use transform::core::{EltBuilder, Va};
+use transform::synth::minimal::{is_minimal, non_minimality_witness};
+use transform::synth::relax::{apply, relaxations, Relaxation};
+use transform::x86::x86t_elt;
+
+#[test]
+fn fig8_style_candidates_are_rejected() {
+    // Fig. 8: a forbidden cycle on C0/C1 plus an unrelated write on C2.
+    // The unrelated write can be removed with the outcome still forbidden,
+    // so the candidate is not minimal and is not synthesized.
+    let mtm = x86t_elt();
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    let c2 = b.thread();
+    let (wx, _, _) = b.write_walk(c0, Va(0));
+    let (wy, _, _) = b.write_walk(c0, Va(1));
+    let (ry, _) = b.read_walk(c1, Va(1));
+    let (rx, _) = b.read_walk(c1, Va(0));
+    b.rf(wy, ry); // r(y) = 1
+    let _ = rx; // r(x) = 0: the forbidden mp outcome
+    let (wu, _, _) = b.write_walk(c2, Va(2)); // W4 u = 1: unrelated
+    let x = b.build();
+
+    let verdict = mtm.permits(&x);
+    assert!(!verdict.is_permitted(), "the mp outcome is forbidden");
+    assert!(!is_minimal(&x, &mtm), "Fig. 8 is not minimal");
+    assert_eq!(
+        non_minimality_witness(&x, &mtm),
+        Some(Relaxation::RemoveUserAccess(wu)),
+        "removing W4 leaves it forbidden"
+    );
+    let _ = wx;
+}
+
+#[test]
+fn removing_the_essential_event_legalizes_fig8() {
+    // ...but removing any event of the actual cycle must legalize it.
+    let mtm = x86t_elt();
+    let mut b = EltBuilder::new();
+    let c0 = b.thread();
+    let c1 = b.thread();
+    let (wx, _, _) = b.write_walk(c0, Va(0));
+    let (wy, _, _) = b.write_walk(c0, Va(1));
+    let (ry, _) = b.read_walk(c1, Va(1));
+    let (rx, _) = b.read_walk(c1, Va(0));
+    b.rf(wy, ry);
+    let _ = (wx, rx);
+    let x = b.build();
+    assert!(!mtm.permits(&x).is_permitted());
+    // The pure mp core *is* minimal.
+    assert!(is_minimal(&x, &mtm));
+}
+
+#[test]
+fn relaxation_count_matches_unit_inventory() {
+    let x = transform::core::figures::fig2c_sb_elt_aliased();
+    let rs = relaxations(&x);
+    // 4 user accesses + 1 PTE write; both INVLPGs are remap-invoked.
+    assert_eq!(rs.len(), 5);
+}
+
+#[test]
+fn relaxations_shrink_or_preserve_event_count() {
+    let x = transform::core::figures::fig2c_sb_elt_aliased();
+    for r in relaxations(&x) {
+        if let Some(relaxed) = apply(&x, &r) {
+            assert!(relaxed.size() < x.size(), "{r:?} must remove events");
+            assert!(relaxed.is_well_formed());
+        }
+    }
+}
+
+#[test]
+fn ghost_and_remap_grouping_is_enforced() {
+    // No relaxation may strand a ghost or a remap-invoked INVLPG.
+    use transform::core::EventKind;
+    let x = transform::core::figures::fig2c_sb_elt_aliased();
+    for r in relaxations(&x) {
+        let Some(relaxed) = apply(&x, &r) else { continue };
+        for e in relaxed.events() {
+            if e.kind.is_ghost() {
+                assert!(relaxed.invoker(e.id).is_some());
+            }
+        }
+        for &(w, i) in relaxed.remap_pairs() {
+            assert!(matches!(
+                relaxed.event(w).kind,
+                EventKind::PteWrite { .. }
+            ));
+            assert_eq!(relaxed.event(i).kind, EventKind::Invlpg);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the MTM spec DSL: rendering and re-parsing any
+//! generated model is the identity, and evaluation agrees between the
+//! original and the round-tripped model.
+
+use proptest::prelude::*;
+use transform::core::derive::BaseRel;
+use transform::core::figures;
+use transform::core::spec::parse_mtm;
+use transform::core::{Axiom, Mtm, RelExpr};
+
+fn base_rel() -> impl Strategy<Value = BaseRel> {
+    proptest::sample::select(BaseRel::all().to_vec())
+}
+
+fn rel_expr() -> impl Strategy<Value = RelExpr> {
+    base_rel().prop_map(RelExpr::base).prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.inter(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+            inner.clone().prop_map(RelExpr::inverse),
+            inner.prop_map(RelExpr::closure),
+        ]
+    })
+}
+
+fn axiom() -> impl Strategy<Value = Axiom> {
+    prop_oneof![
+        rel_expr().prop_map(Axiom::Acyclic),
+        rel_expr().prop_map(Axiom::Irreflexive),
+        rel_expr().prop_map(Axiom::Empty),
+    ]
+}
+
+fn mtm() -> impl Strategy<Value = Mtm> {
+    proptest::collection::vec(axiom(), 1..4).prop_map(|axioms| {
+        let mut m = Mtm::new("random");
+        for (i, a) in axioms.into_iter().enumerate() {
+            m.add_axiom(&format!("ax{i}"), a);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_then_parse_is_identity(m in mtm()) {
+        let rendered = m.to_string();
+        let reparsed = parse_mtm(&rendered).expect("rendered models parse");
+        prop_assert_eq!(&m, &reparsed);
+    }
+
+    #[test]
+    fn round_tripped_models_evaluate_identically(m in mtm()) {
+        let reparsed = parse_mtm(&m.to_string()).expect("rendered models parse");
+        for (_, x, _) in figures::all_figures() {
+            let a = x.analyze().expect("figures are well-formed");
+            prop_assert_eq!(m.evaluate(&a), reparsed.evaluate(&a));
+        }
+    }
+
+    #[test]
+    fn evaluation_never_panics_on_well_formed_executions(m in mtm()) {
+        for (_, x, _) in figures::all_figures() {
+            let _ = m.permits(&x);
+        }
+    }
+}
