@@ -9,7 +9,7 @@ use transform_x86::{coatcheck, compare, x86t_elt};
 fn bench_classification(c: &mut Criterion) {
     let mtm = x86t_elt();
     // Build the synthesized keys once; the bench measures classification.
-    let suites = all_suites(&mtm, 5, Duration::from_secs(120));
+    let suites = all_suites(&mtm, 5, Duration::from_secs(120), 1);
     let keys = compare::synthesized_keys(suites.values());
     let tests = coatcheck::suite();
 
@@ -30,12 +30,7 @@ fn bench_canonicalization(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("comparison/canonical_key");
     group.bench_function("suite_programs", |b| {
-        b.iter(|| {
-            progs
-                .iter()
-                .map(|p| canonical_key(p).len())
-                .sum::<usize>()
-        })
+        b.iter(|| progs.iter().map(|p| canonical_key(p).len()).sum::<usize>())
     });
     group.finish();
 }

@@ -38,5 +38,9 @@ fn bench_rmw_suite_needs_rmw_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_per_axiom_suites, bench_rmw_suite_needs_rmw_ops);
+criterion_group!(
+    benches,
+    bench_per_axiom_suites,
+    bench_rmw_suite_needs_rmw_ops
+);
 criterion_main!(benches);

@@ -21,11 +21,9 @@ fn bench_bound_growth(c: &mut Criterion) {
     group.sample_size(10);
     for axiom in ["sc_per_loc", "invlpg"] {
         for bound in [4usize, 5] {
-            group.bench_with_input(
-                BenchmarkId::new(axiom, bound),
-                &bound,
-                |b, &bound| b.iter(|| synthesize_suite(&mtm, axiom, &opts(bound))),
-            );
+            group.bench_with_input(BenchmarkId::new(axiom, bound), &bound, |b, &bound| {
+                b.iter(|| synthesize_suite(&mtm, axiom, &opts(bound)))
+            });
         }
     }
     group.finish();

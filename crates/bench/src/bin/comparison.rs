@@ -1,8 +1,8 @@
 //! Regenerates the §VI-B comparison against the (reconstructed)
 //! COATCheck suite and the §V-A per-axiom attribution.
 //!
-//! Usage: `comparison [bound] [budget_seconds]` (defaults: bound 6,
-//! 300 s per per-axiom suite).
+//! Usage: `comparison [bound] [budget_seconds] [jobs]` (defaults:
+//! bound 6, 300 s per per-axiom suite, all cores).
 
 use std::time::Duration;
 use transform_bench::all_suites;
@@ -13,10 +13,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bound: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(6);
     let budget = Duration::from_secs(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300));
+    let jobs: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(transform_par::default_jobs);
 
     let mtm = x86t_elt();
-    eprintln!("synthesizing all per-axiom suites at bound {bound} (budget {budget:?} each)…");
-    let suites = all_suites(&mtm, bound, budget);
+    eprintln!(
+        "synthesizing all per-axiom suites at bound {bound} (budget {budget:?} each, {jobs} workers)…"
+    );
+    let suites = all_suites(&mtm, bound, budget, jobs);
 
     println!("per-axiom suite sizes at bound {bound}:");
     for (name, suite) in &suites {
@@ -26,7 +32,11 @@ fn main() {
             suite.stats.programs,
             suite.stats.executions,
             suite.stats.elapsed.as_secs_f64(),
-            if suite.stats.timed_out { ", timed out" } else { "" },
+            if suite.stats.timed_out {
+                ", timed out"
+            } else {
+                ""
+            },
         );
     }
     let union = unique_union(suites.values());

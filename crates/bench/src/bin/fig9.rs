@@ -1,7 +1,8 @@
 //! Regenerates Fig. 9a (ELT counts per per-axiom suite by instruction
 //! bound) and Fig. 9b (synthesis runtimes).
 //!
-//! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]`
+//! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]
+//! [--jobs N]`
 //!
 //! The paper ran each point under a one-week timeout on a server; the
 //! default budget here is 60 s per point, and points that exceed it are
@@ -13,14 +14,31 @@ use transform_x86::x86t_elt;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = SweepConfig::default();
+    let mut cfg = SweepConfig {
+        jobs: transform_par::default_jobs(),
+        ..SweepConfig::default()
+    };
     let mut positional = Vec::new();
+    let mut take_jobs = false;
     for a in &args {
+        if take_jobs {
+            cfg.jobs = a.parse().unwrap_or_else(|_| {
+                eprintln!("error: --jobs takes a number, got `{a}`");
+                std::process::exit(2);
+            });
+            take_jobs = false;
+            continue;
+        }
         match a.as_str() {
             "--fences" => cfg.allow_fences = true,
             "--rmw" => cfg.allow_rmw = true,
+            "--jobs" => take_jobs = true,
             other => positional.push(other.to_string()),
         }
+    }
+    if take_jobs {
+        eprintln!("error: --jobs takes a number");
+        std::process::exit(2);
     }
     if let Some(b) = positional.first().and_then(|s| s.parse().ok()) {
         cfg.max_bound = b;
@@ -31,8 +49,8 @@ fn main() {
 
     let mtm = x86t_elt();
     eprintln!(
-        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {})",
-        cfg.min_bound, cfg.max_bound, cfg.budget, cfg.allow_fences, cfg.allow_rmw
+        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {}, jobs: {})",
+        cfg.min_bound, cfg.max_bound, cfg.budget, cfg.allow_fences, cfg.allow_rmw, cfg.jobs
     );
     let points = sweep(&mtm, &cfg);
     println!("{}", render_sweep(&points));

@@ -4,7 +4,10 @@ use std::time::Duration;
 use transform_synth::{synthesize_suite, SynthOptions};
 use transform_x86::x86t_elt;
 fn main() {
-    let budget = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(900);
+    let budget = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(900);
     let mtm = x86t_elt();
     let mut opts = SynthOptions::new(7);
     opts.enumeration.allow_fences = false;
@@ -13,9 +16,15 @@ fn main() {
     let suite = synthesize_suite(&mtm, "rmw_atomicity", &opts);
     println!(
         "rmw_atomicity @ bound 7: {} ELTs ({} programs, {} executions, {:.1}s{})",
-        suite.elts.len(), suite.stats.programs, suite.stats.executions,
+        suite.elts.len(),
+        suite.stats.programs,
+        suite.stats.executions,
         suite.stats.elapsed.as_secs_f64(),
-        if suite.stats.timed_out { ", TIMED OUT" } else { "" }
+        if suite.stats.timed_out {
+            ", TIMED OUT"
+        } else {
+            ""
+        }
     );
     for elt in &suite.elts {
         let a = elt.witness.analyze().unwrap();

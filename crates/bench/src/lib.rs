@@ -13,7 +13,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
-use transform_synth::{synthesize_suite, Suite, SynthOptions};
+use transform_par::synthesize_suite_jobs;
+use transform_synth::{Suite, SynthOptions};
 
 /// One point of the Fig. 9 sweep.
 #[derive(Clone, Debug)]
@@ -44,6 +45,8 @@ pub struct SweepConfig {
     pub allow_fences: bool,
     /// Include RMW pairs in the program space.
     pub allow_rmw: bool,
+    /// Worker threads per suite (`transform-par`); 1 = sequential engine.
+    pub jobs: usize,
 }
 
 impl Default for SweepConfig {
@@ -54,6 +57,7 @@ impl Default for SweepConfig {
             budget: Duration::from_secs(60),
             allow_fences: false,
             allow_rmw: false,
+            jobs: 1,
         }
     }
 }
@@ -69,7 +73,7 @@ pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
             opts.enumeration.allow_fences = cfg.allow_fences;
             opts.enumeration.allow_rmw = cfg.allow_rmw;
             opts.timeout = Some(cfg.budget);
-            let suite = synthesize_suite(mtm, &ax.name, &opts);
+            let suite = synthesize_suite_jobs(mtm, &ax.name, &opts, cfg.jobs);
             let timed_out = suite.stats.timed_out;
             out.push(SweepPoint {
                 axiom: ax.name.clone(),
@@ -140,13 +144,19 @@ pub fn render_sweep(points: &[SweepPoint]) -> String {
 }
 
 /// Synthesizes every per-axiom suite at one bound (used by the comparison
-/// pipeline and benches).
-pub fn all_suites(mtm: &Mtm, bound: usize, budget: Duration) -> BTreeMap<String, Suite> {
+/// pipeline and benches). `jobs` worker threads per suite; the result is
+/// identical for every worker count.
+pub fn all_suites(
+    mtm: &Mtm,
+    bound: usize,
+    budget: Duration,
+    jobs: usize,
+) -> BTreeMap<String, Suite> {
     let mut opts = SynthOptions::new(bound);
     opts.enumeration.allow_fences = false;
     opts.enumeration.allow_rmw = false;
     opts.timeout = Some(budget);
-    transform_synth::synthesize_all(mtm, &opts)
+    transform_par::synthesize_all_jobs(mtm, &opts, jobs)
 }
 
 #[cfg(test)]
@@ -163,6 +173,7 @@ mod tests {
             budget: Duration::from_secs(60),
             allow_fences: false,
             allow_rmw: false,
+            jobs: 1,
         };
         let points = sweep(&mtm, &cfg);
         assert_eq!(points.len(), mtm.axioms().len());
@@ -170,5 +181,26 @@ mod tests {
         assert!(table.contains("sc_per_loc"));
         assert!(table.contains("Fig. 9a"));
         assert!(table.contains("Fig. 9b"));
+    }
+
+    #[test]
+    fn sweep_is_jobs_invariant() {
+        let mtm = x86t_elt();
+        let mut cfg = SweepConfig {
+            min_bound: 4,
+            max_bound: 4,
+            budget: Duration::from_secs(60),
+            allow_fences: false,
+            allow_rmw: false,
+            jobs: 1,
+        };
+        let sequential = sweep(&mtm, &cfg);
+        cfg.jobs = 4;
+        let parallel = sweep(&mtm, &cfg);
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.axiom, b.axiom);
+            assert_eq!(a.bound, b.bound);
+            assert_eq!(a.elts, b.elts, "{}: suite size diverged", a.axiom);
+        }
     }
 }

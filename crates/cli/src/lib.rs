@@ -22,8 +22,9 @@ use transform_core::axiom::Mtm;
 use transform_core::spec::parse_mtm;
 use transform_core::{figures, pretty, vocab};
 use transform_litmus::format::{parse_elt, print_elt};
+use transform_par::{default_jobs, synthesize_suite_jobs};
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
-use transform_synth::engine::{synthesize_suite, SynthOptions};
+use transform_synth::engine::{Backend, SynthOptions};
 use transform_synth::programs::Program;
 use transform_x86::{compare_suite, synthesized_keys, x86_tso, x86t_elt};
 
@@ -37,10 +38,13 @@ commands:
   check FILE [--mtm M]          verdict for an ELT file (text syntax)
   synthesize --axiom A --bound N [--mtm M] [--max-threads T]
              [--fences] [--rmw] [--timeout-secs S] [--quiet]
-  compare --bound N [--timeout-secs S]
+             [--jobs N|auto] [--backend explicit|relational]
+  compare --bound N [--timeout-secs S] [--jobs N|auto]
   simulate FILE [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
 
---mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.";
+--mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.
+--jobs runs synthesis on N worker threads (`auto` = all cores); the
+suite is byte-identical for every N.";
 
 /// Runs a command line, returning its stdout text.
 ///
@@ -109,8 +113,7 @@ fn cmd_check(mut opts: Opts) -> Result<String, String> {
     let file = opts.positional().ok_or("check needs an ELT file")?;
     let mtm = load_mtm(opts.value("--mtm"))?;
     opts.finish()?;
-    let src =
-        std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     let (name, x) = parse_elt(&src).map_err(|e| format!("{file}: {e}"))?;
     let a = x
         .analyze()
@@ -152,6 +155,10 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
             s.parse().map_err(|_| "--timeout-secs must be a number")?,
         ));
     }
+    if let Some(b) = opts.value("--backend") {
+        sopts.backend = parse_backend(&b)?;
+    }
+    let jobs = parse_jobs(opts.value("--jobs"))?;
     let quiet = opts.flag("--quiet");
     opts.finish()?;
     if mtm.axiom(&axiom).is_none() {
@@ -165,7 +172,7 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
                 .join(", ")
         ));
     }
-    let suite = synthesize_suite(&mtm, &axiom, &sopts);
+    let suite = synthesize_suite_jobs(&mtm, &axiom, &sopts, jobs);
     let mut out = String::new();
     if !quiet {
         for (i, elt) in suite.elts.iter().enumerate() {
@@ -174,7 +181,7 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         }
     }
     out.push_str(&format!(
-        "suite `{}` @ bound {}: {} ELTs ({} programs explored, {} executions, {} forbidden, {} minimal) in {:.2?}{}\n",
+        "suite `{}` @ bound {}: {} ELTs ({} programs explored, {} executions, {} forbidden, {} minimal) in {:.2?} on {} worker{}{}\n",
         axiom,
         bound,
         suite.elts.len(),
@@ -183,9 +190,32 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         suite.stats.forbidden,
         suite.stats.minimal,
         suite.stats.elapsed,
+        jobs,
+        if jobs == 1 { "" } else { "s" },
         if suite.stats.timed_out { " [timed out]" } else { "" },
     ));
     Ok(out)
+}
+
+fn parse_backend(name: &str) -> Result<Backend, String> {
+    match name {
+        "explicit" => Ok(Backend::Explicit),
+        "relational" | "sat" => Ok(Backend::Relational),
+        other => Err(format!(
+            "unknown --backend `{other}` (expected `explicit` or `relational`)"
+        )),
+    }
+}
+
+fn parse_jobs(value: Option<String>) -> Result<usize, String> {
+    match value.as_deref() {
+        None => Ok(1),
+        Some("auto") | Some("0") => Ok(default_jobs()),
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| "--jobs must be a number or `auto`")?;
+            Ok(n.max(1))
+        }
+    }
 }
 
 fn cmd_compare(mut opts: Opts) -> Result<String, String> {
@@ -200,13 +230,17 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
             .parse()
             .map_err(|_| "--timeout-secs must be a number")?,
     );
+    let jobs = parse_jobs(opts.value("--jobs"))?;
     opts.finish()?;
     let mtm = x86t_elt();
     let mut suites = BTreeMap::new();
     for ax in mtm.axioms() {
         let mut sopts = SynthOptions::new(bound);
         sopts.timeout = Some(timeout);
-        suites.insert(ax.name.clone(), synthesize_suite(&mtm, &ax.name, &sopts));
+        suites.insert(
+            ax.name.clone(),
+            synthesize_suite_jobs(&mtm, &ax.name, &sopts, jobs),
+        );
     }
     let keys = synthesized_keys(suites.values());
     let cmp = compare_suite(&transform_x86::coatcheck::suite(), &keys);
@@ -236,8 +270,7 @@ fn cmd_simulate(mut opts: Opts) -> Result<String, String> {
     cfg.capacity_evictions = opts.flag("--evictions");
     let mtm = load_mtm(opts.value("--mtm"))?;
     opts.finish()?;
-    let src =
-        std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     let (name, x) = parse_elt(&src).map_err(|e| format!("{file}: {e}"))?;
     let prog = SimProgram::from_execution(&x);
     let exploration = explore(&prog, &cfg);
@@ -291,7 +324,9 @@ mod tests {
     #[test]
     fn table1_lists_the_vocabulary() {
         let out = run_str("table1").expect("runs");
-        for name in ["rf_ptw", "rf_pa", "co_pa", "fr_pa", "fr_va", "remap", "ghost"] {
+        for name in [
+            "rf_ptw", "rf_pa", "co_pa", "fr_pa", "fr_va", "remap", "ghost",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }
@@ -318,6 +353,43 @@ mod tests {
     }
 
     #[test]
+    fn synthesize_jobs_produce_identical_suites() {
+        let base = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        for line in [
+            "synthesize --axiom invlpg --bound 4 --jobs 4",
+            "synthesize --axiom invlpg --bound 4 --jobs auto",
+            "synthesize --axiom invlpg --bound 4 --jobs 4 --backend relational",
+        ] {
+            let out = run_str(line).expect("runs");
+            // Everything except the trailing summary line (whose timing
+            // and worker count legitimately differ) is byte-identical.
+            let elts = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("suite `"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(elts(&base), elts(&out), "{line}");
+        }
+    }
+
+    #[test]
+    fn synthesize_summary_reports_workers() {
+        let out = run_str("synthesize --axiom invlpg --bound 4 --quiet --jobs 2").expect("runs");
+        assert!(out.contains("on 2 workers"), "{out}");
+        let out = run_str("synthesize --axiom invlpg --bound 4 --quiet").expect("runs");
+        assert!(out.contains("on 1 worker"), "{out}");
+    }
+
+    #[test]
+    fn bad_jobs_and_backend_values_are_rejected() {
+        let e = run_str("synthesize --axiom invlpg --bound 4 --jobs many").unwrap_err();
+        assert!(e.contains("--jobs"), "{e}");
+        let e = run_str("synthesize --axiom invlpg --bound 4 --backend alloy").unwrap_err();
+        assert!(e.contains("alloy"), "{e}");
+    }
+
+    #[test]
     fn synthesize_rejects_unknown_axiom() {
         let e = run_str("synthesize --axiom nope --bound 4").unwrap_err();
         assert!(e.contains("nope"), "{e}");
@@ -334,11 +406,7 @@ mod tests {
         let dir = std::env::temp_dir().join("transform-cli-test");
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("ptwalk2.elt");
-        std::fs::write(
-            &path,
-            print_elt("ptwalk2", &figures::fig10a_ptwalk2()),
-        )
-        .expect("write");
+        std::fs::write(&path, print_elt("ptwalk2", &figures::fig10a_ptwalk2())).expect("write");
         let p = path.to_str().expect("utf-8 path");
 
         let out = run_str(&format!("check {p}")).expect("runs");

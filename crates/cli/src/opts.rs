@@ -34,10 +34,7 @@ impl Opts {
 
     /// Takes `--name value`, if present.
     pub fn value(&mut self, name: &str) -> Option<String> {
-        let at = self
-            .args
-            .iter()
-            .position(|s| s.as_deref() == Some(name))?;
+        let at = self.args.iter().position(|s| s.as_deref() == Some(name))?;
         self.args[at] = None;
         let v = self.args.get_mut(at + 1)?.take();
         v

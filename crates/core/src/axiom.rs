@@ -127,7 +127,9 @@ impl RelExpr {
     pub fn mentions(&self, rel: BaseRel) -> bool {
         match self {
             RelExpr::Base(r) => *r == rel,
-            RelExpr::Union(l, r) | RelExpr::Inter(l, r) | RelExpr::Diff(l, r)
+            RelExpr::Union(l, r)
+            | RelExpr::Inter(l, r)
+            | RelExpr::Diff(l, r)
             | RelExpr::Seq(l, r) => l.mentions(rel) || r.mentions(rel),
             RelExpr::Inverse(e) | RelExpr::Closure(e) => e.mentions(rel),
         }

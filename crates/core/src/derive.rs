@@ -62,8 +62,8 @@ impl BaseRel {
     pub fn all() -> &'static [BaseRel] {
         use BaseRel::*;
         &[
-            Po, Apo, PoLoc, Ppo, Fence, Rf, Rfe, Co, Fr, Com, Ghost, RfPtw, RfPa, CoPa,
-            FrPa, FrVa, Remap, Rmw, PtwSource,
+            Po, Apo, PoLoc, Ppo, Fence, Rf, Rfe, Co, Fr, Com, Ghost, RfPtw, RfPa, CoPa, FrPa, FrVa,
+            Remap, Rmw, PtwSource,
         ]
     }
 
@@ -231,9 +231,7 @@ impl<'x> Analysis<'x> {
                         });
                     }
                 }
-                (true, None) | (false, Some(_)) => {
-                    return Err(WellformedError::OrphanGhost(e.id))
-                }
+                (true, None) | (false, Some(_)) => return Err(WellformedError::OrphanGhost(e.id)),
                 (false, None) => {}
             }
         }
@@ -330,8 +328,7 @@ impl<'x> Analysis<'x> {
             let w_slot = slot[x.ghost_invoker[&src].index()];
             let e_slot = slot[e.id.index()];
             if let Some(inv) = x.events.iter().find(|i| {
-                (i.kind == EventKind::Invlpg && i.va == e.va
-                    || i.kind == EventKind::TlbFlush)
+                (i.kind == EventKind::Invlpg && i.va == e.va || i.kind == EventKind::TlbFlush)
                     && i.thread == e.thread
                     && slot[i.id.index()] > w_slot
                     && slot[i.id.index()] < e_slot
@@ -389,10 +386,8 @@ impl<'x> Analysis<'x> {
                         ),
                         Some(&w) => {
                             let wk = x.events[w.index()].kind;
-                            if !matches!(
-                                wk,
-                                EventKind::PteWrite { .. } | EventKind::DirtyBitWrite
-                            ) {
+                            if !matches!(wk, EventKind::PteWrite { .. } | EventKind::DirtyBitWrite)
+                            {
                                 return Err(WellformedError::RfKindMismatch(w, e));
                             }
                             resolve(x, tlb_src, mapping, origin, mark, w)?;
@@ -495,16 +490,14 @@ impl<'x> Analysis<'x> {
         let co_pa: PairSet = match &x.co_pa {
             Some(explicit) => {
                 for &(a, b) in explicit {
-                    let ok = a != b
-                        && target_pa(a).is_some()
-                        && target_pa(a) == target_pa(b);
+                    let ok = a != b && target_pa(a).is_some() && target_pa(a) == target_pa(b);
                     if !ok {
                         return Err(WellformedError::BadCoPaPair(a, b));
                     }
                 }
                 check_total_order_per_group(
                     &pte_writes,
-                    |e| target_pa(e),
+                    target_pa,
                     explicit,
                     WellformedError::CoPaNotTotalOrder,
                 )?;
@@ -597,8 +590,7 @@ impl<'x> Analysis<'x> {
         // stale PTEs — that is exactly what the invlpg axiom polices.)
         // They do participate in po_loc: coherence is per location,
         // whatever the stratum of the access.
-        let issued_mem =
-            |e: EventId| mem(e) && !x.events[e.index()].kind.is_ghost();
+        let issued_mem = |e: EventId| mem(e) && !x.events[e.index()].kind.is_ghost();
         let mut po_loc = PairSet::new();
         let mut ppo = PairSet::new();
         for &(a, b) in &apo {
@@ -606,8 +598,7 @@ impl<'x> Analysis<'x> {
                 po_loc.insert((a, b));
             }
             if issued_mem(a) && issued_mem(b) {
-                let wr = x.events[a.index()].kind.is_write()
-                    && x.events[b.index()].kind.is_read();
+                let wr = x.events[a.index()].kind.is_write() && x.events[b.index()].kind.is_read();
                 if !wr {
                     ppo.insert((a, b));
                 }

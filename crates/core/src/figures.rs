@@ -139,8 +139,8 @@ pub fn fig6_remap_disambiguated() -> Execution {
     b.rf(wpte1, p3);
     b.rf(wpte1, p6);
     b.rf(w3, r6); // disambiguated: R6 reads W3 (both via x → b)
-    // PTE-location z coherence: W4's dirty bit (old mapping), the remap,
-    // then W3's dirty bit (new mapping).
+                  // PTE-location z coherence: W4's dirty bit (old mapping), the remap,
+                  // then W3's dirty bit (new mapping).
     b.co([db4, wpte1, db3]);
     b.build()
 }

@@ -9,27 +9,19 @@ use std::fmt;
 
 /// A hardware thread (core). The paper assumes one thread per core
 /// (simplifying assumption 1, §III-C), so `ThreadId` doubles as a core id.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct ThreadId(pub usize);
 
 /// A virtual address. The paper names these `x, y, u, …`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Va(pub usize);
 
 /// A physical address. The paper names these `a, b, c, …`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Pa(pub usize);
 
 /// An event in a candidate execution, densely numbered.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct EventId(pub u32);
 
 impl EventId {
@@ -48,9 +40,7 @@ impl EventId {
 /// stores the PTE for VA `x` at VA `z`; we identify that location as
 /// `Pte(x)`). The two namespaces never overlap (no recursive page tables,
 /// simplifying assumption 3, §III-C).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum Location {
     /// A data location, identified by physical address.
     Data(Pa),
@@ -59,9 +49,7 @@ pub enum Location {
 }
 
 /// A virtual-to-physical address mapping, as stored in a PTE.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Mapping {
     /// The virtual address being translated.
     pub va: Va,
@@ -146,7 +134,11 @@ mod tests {
         assert_eq!(names::pte(1), "v");
         assert_eq!(ThreadId(1).to_string(), "C1");
         assert_eq!(
-            Mapping { va: Va(0), pa: Pa(0) }.to_string(),
+            Mapping {
+                va: Va(0),
+                pa: Pa(0)
+            }
+            .to_string(),
             "VA x → PA a"
         );
     }

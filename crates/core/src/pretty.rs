@@ -126,7 +126,8 @@ pub fn dot(a: &Analysis<'_>) -> String {
     let x = a.exec();
     let labels = labels(x);
     let node = |e: EventId| format!("e{}", e.0);
-    let mut out = String::from("digraph elt {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph elt {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
 
     for t in 0..x.num_threads() {
         out.push_str(&format!(
@@ -291,7 +292,10 @@ mod tests {
         let a = x.analyze().expect("well-formed");
         let g = dot(&a);
         let co_edges = g.matches("label=\"co\"").count();
-        assert_eq!(co_edges, 4, "two chains of three → four covering edges\n{g}");
+        assert_eq!(
+            co_edges, 4,
+            "two chains of three → four covering edges\n{g}"
+        );
     }
 
     #[test]

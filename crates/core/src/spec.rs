@@ -288,7 +288,8 @@ mod tests {
 
     #[test]
     fn display_of_parsed_model_reparses() {
-        let src = "mtm m { axiom a: acyclic(rf | co | fr | po_loc) axiom b: empty(rmw & (fr ; co)) }";
+        let src =
+            "mtm m { axiom a: acyclic(rf | co | fr | po_loc) axiom b: empty(rmw & (fr ; co)) }";
         let m1 = parse_mtm(src).expect("parses");
         let m2 = parse_mtm(&m1.to_string()).expect("round-trips");
         assert_eq!(m1, m2);

@@ -91,11 +91,7 @@ impl fmt::Display for WellformedError {
             BadInvoker { ghost, invoker } => {
                 write!(f, "ghost {} has illegal invoker {}", ghost.0, invoker.0)
             }
-            DirtyBitCount(e) => write!(
-                f,
-                "write {} must invoke exactly one dirty-bit update",
-                e.0
-            ),
+            DirtyBitCount(e) => write!(f, "write {} must invoke exactly one dirty-bit update", e.0),
             WalkCount(e) => write!(f, "event {} invokes more than one PT walk", e.0),
             BadRmw(r, w) => write!(f, "({}, {}) is not a legal rmw pair", r.0, w.0),
             MissingPtWalk(e) => write!(f, "event {} has no TLB entry to read", e.0),
@@ -126,11 +122,7 @@ impl fmt::Display for WellformedError {
                 a.0, b.0
             ),
             BadRemap(w, i) => write!(f, "remap edge {} -> {} is malformed", w.0, i.0),
-            RemapCoverage(w, t) => write!(
-                f,
-                "PTE write {} needs exactly one INVLPG on {t}",
-                w.0
-            ),
+            RemapCoverage(w, t) => write!(f, "PTE write {} needs exactly one INVLPG on {t}", w.0),
             SharedInvlpg(i) => write!(f, "INVLPG {} serves two PTE writes", i.0),
             RemapOrder(w, i) => write!(
                 f,

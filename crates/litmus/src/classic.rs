@@ -79,7 +79,7 @@ pub fn sb_sc() -> McmTest {
             vec![McmOp::Write(X), McmOp::Read(Y)],
             vec![McmOp::Write(Y), McmOp::Read(X)],
         ],
-        rf: vec![(((1, 0)), (0, 1)), (((0, 0)), (1, 1))],
+        rf: vec![((1, 0), (0, 1)), ((0, 0), (1, 1))],
         co: vec![],
         permitted_by_tso: true,
     }
@@ -94,7 +94,7 @@ pub fn mp_weak() -> McmTest {
             vec![McmOp::Write(X), McmOp::Write(Y)],
             vec![McmOp::Read(Y), McmOp::Read(X)],
         ],
-        rf: vec![(((0, 1)), (1, 0))], // r(y) sees w(y); r(x) sees 0
+        rf: vec![((0, 1), (1, 0))], // r(y) sees w(y); r(x) sees 0
         co: vec![],
         permitted_by_tso: false,
     }
@@ -120,12 +120,9 @@ pub fn lb_safe() -> McmTest {
 pub fn corr_weak() -> McmTest {
     McmTest {
         name: "corr",
-        threads: vec![
-            vec![McmOp::Write(X)],
-            vec![McmOp::Read(X), McmOp::Read(X)],
-        ],
-        rf: vec![(((0, 0)), (1, 0))], // first read sees the write,
-        co: vec![],                   // second reads the initial value
+        threads: vec![vec![McmOp::Write(X)], vec![McmOp::Read(X), McmOp::Read(X)]],
+        rf: vec![((0, 0), (1, 0))], // first read sees the write,
+        co: vec![],                 // second reads the initial value
         permitted_by_tso: false,
     }
 }
@@ -141,7 +138,7 @@ pub fn n6_forwarding() -> McmTest {
             vec![McmOp::Write(X), McmOp::Read(X), McmOp::Read(Y)],
             vec![McmOp::Write(Y), McmOp::Write(X)],
         ],
-        rf: vec![(((0, 0)), (0, 1))], // forwarded; r(y) reads 0
+        rf: vec![((0, 0), (0, 1))], // forwarded; r(y) reads 0
         co: vec![vec![(0, 0), (1, 1)]],
         permitted_by_tso: true,
     }
@@ -158,7 +155,7 @@ pub fn wrc_weak() -> McmTest {
             vec![McmOp::Read(X), McmOp::Write(Y)],
             vec![McmOp::Read(Y), McmOp::Read(X)],
         ],
-        rf: vec![(((0, 0)), (1, 0)), (((1, 1)), (2, 0))], // C2's r(x) reads 0
+        rf: vec![((0, 0), (1, 0)), ((1, 1), (2, 0))], // C2's r(x) reads 0
         co: vec![],
         permitted_by_tso: false,
     }
@@ -175,7 +172,7 @@ pub fn iriw_weak() -> McmTest {
             vec![McmOp::Read(X), McmOp::Read(Y)], // sees x, not y
             vec![McmOp::Read(Y), McmOp::Read(X)], // sees y, not x
         ],
-        rf: vec![(((0, 0)), (2, 0)), (((1, 0)), (3, 0))],
+        rf: vec![((0, 0), (2, 0)), ((1, 0), (3, 0))],
         co: vec![],
         permitted_by_tso: false,
     }
@@ -191,10 +188,7 @@ pub fn two_plus_two_w() -> McmTest {
             vec![McmOp::Write(Y), McmOp::Write(X)],
         ],
         // Each core's first write is coherence-last at its location.
-        co: vec![
-            vec![(1, 1), (0, 0)],
-            vec![(0, 1), (1, 0)],
-        ],
+        co: vec![vec![(1, 1), (0, 0)], vec![(0, 1), (1, 0)]],
         rf: vec![],
         permitted_by_tso: false,
     }

@@ -110,7 +110,12 @@ mod tests {
     fn every_classic_enhancement_is_well_formed() {
         for t in classic::all_tests() {
             let elt = enhance(&t);
-            assert!(elt.is_well_formed(), "{}: {:?}", t.name, elt.analyze().err());
+            assert!(
+                elt.is_well_formed(),
+                "{}: {:?}",
+                t.name,
+                elt.analyze().err()
+            );
         }
     }
 

@@ -152,11 +152,7 @@ pub fn print_elt(name: &str, x: &Execution) -> String {
         out.push_str("  }\n");
     }
     for &(r, w) in x.rmw_pairs() {
-        out.push_str(&format!(
-            "  rmw {} {}\n",
-            event_ref(x, r),
-            event_ref(x, w)
-        ));
+        out.push_str(&format!("  rmw {} {}\n", event_ref(x, r), event_ref(x, w)));
     }
     for &(w, i) in x.remap_pairs() {
         out.push_str(&format!(
@@ -197,10 +193,7 @@ fn explicit_co_pa(x: &Execution) -> Option<transform_core::exec::PairSet> {
 }
 
 /// Splits a union of total orders into per-group chains (oldest first).
-fn linearize(
-    x: &Execution,
-    pairs: &transform_core::exec::PairSet,
-) -> Vec<Vec<EventId>> {
+fn linearize(x: &Execution, pairs: &transform_core::exec::PairSet) -> Vec<Vec<EventId>> {
     let mut members: BTreeMap<EventId, usize> = BTreeMap::new();
     for &(a, b) in pairs {
         let succs = pairs.iter().filter(|&&(s, _)| s == a).count();
@@ -211,7 +204,7 @@ fn linearize(
     // Group: two events belong together when they are ordered either way.
     let mut groups: Vec<Vec<EventId>> = Vec::new();
     let mut assigned: BTreeMap<EventId, usize> = BTreeMap::new();
-    for (&e, _) in &members {
+    for &e in members.keys() {
         if assigned.contains_key(&e) {
             continue;
         }
@@ -228,8 +221,8 @@ fn linearize(
                 } else {
                     continue;
                 };
-                if !assigned.contains_key(&other) {
-                    assigned.insert(other, gi);
+                if let std::collections::btree_map::Entry::Vacant(slot) = assigned.entry(other) {
+                    slot.insert(gi);
                     groups[gi].push(other);
                     frontier.push(other);
                 }
@@ -239,9 +232,7 @@ fn linearize(
     // Sort each group by descending successor count (total order rank).
     for g in &mut groups {
         let _ = x;
-        g.sort_by_key(|&e| {
-            std::cmp::Reverse(pairs.iter().filter(|&&(s, _)| s == e).count())
-        });
+        g.sort_by_key(|&e| std::cmp::Reverse(pairs.iter().filter(|&&(s, _)| s == e).count()));
     }
     groups
 }
@@ -252,18 +243,12 @@ struct SlotIds {
     db: BTreeMap<(usize, usize), EventId>,
 }
 
-fn resolve(
-    ids: &SlotIds,
-    spec: &str,
-    line: usize,
-) -> Result<EventId, ParseEltError> {
+fn resolve(ids: &SlotIds, spec: &str, line: usize) -> Result<EventId, ParseEltError> {
     let err = |m: String| ParseEltError { line, message: m };
     let (core, part) = match spec.split_once('.') {
         Some((c, "walk")) => (c, Part::Walk),
         Some((c, "db")) => (c, Part::Db),
-        Some((_, other)) => {
-            return Err(err(format!("unknown event part `.{other}`")))
-        }
+        Some((_, other)) => return Err(err(format!("unknown event part `.{other}`"))),
         None => (spec, Part::Main),
     };
     let rest = core
@@ -334,11 +319,9 @@ pub fn parse_elt(src: &str) -> Result<(String, Execution), ParseEltError> {
             }
             "thread" => {
                 if toks.last().map(String::as_str) != Some("{") || toks.len() > 3 {
-                    return Err(err(
-                        "thread blocks open with `thread C<t> {` and hold one \
+                    return Err(err("thread blocks open with `thread C<t> {` and hold one \
                          instruction per line"
-                            .into(),
-                    ));
+                        .into()));
                 }
                 let t = b.thread();
                 current = Some((t, 0));
@@ -512,10 +495,8 @@ mod tests {
 
     #[test]
     fn reports_bad_event_refs() {
-        let e = parse_elt(
-            "elt \"t\" {\n  thread C0 {\n    R x walk\n  }\n  rf C0:7 -> C0:0\n}",
-        )
-        .unwrap_err();
+        let e = parse_elt("elt \"t\" {\n  thread C0 {\n    R x walk\n  }\n  rf C0:7 -> C0:0\n}")
+            .unwrap_err();
         assert_eq!(e.line, 5);
         assert!(e.message.contains("no such event"));
     }
@@ -527,12 +508,10 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored
-    () {
-        let (_, x) = parse_elt(
-            "# suite: demo\nelt \"t\" {\n\n  thread C0 { # core 0\n    R x walk\n  }\n}",
-        )
-        .expect("parses");
+    fn comments_and_blank_lines_are_ignored() {
+        let (_, x) =
+            parse_elt("# suite: demo\nelt \"t\" {\n\n  thread C0 { # core 0\n    R x walk\n  }\n}")
+                .expect("parses");
         assert_eq!(x.size(), 2);
     }
 }

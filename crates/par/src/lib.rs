@@ -1,0 +1,341 @@
+//! `transform-par` — the parallel synthesis orchestrator.
+//!
+//! The TransForm paper reports synthesis runtimes up to its one-week
+//! timeout on the Alloy/Kodkod/MiniSat stack; the sequential engine in
+//! [`transform_synth`] is the same single-threaded architecture. This
+//! crate distributes that engine across worker threads while reproducing
+//! its output *exactly*: for any worker count, the synthesized suite is
+//! byte-identical to the sequential one, and every work counter aggregates
+//! losslessly.
+//!
+//! # Pipeline
+//!
+//! The paper's Fig. 7 engine factors into three phases (see
+//! [`transform_synth::engine`]), and this crate parallelizes the first
+//! two:
+//!
+//! 1. **Plan** — program enumeration stays sequential (it is a tiny
+//!    fraction of runtime), but canonical-key computation — the expensive
+//!    part of symmetry reduction — fans out across workers
+//!    ([`plan_par`]); the first-occurrence dedup scan then runs in
+//!    enumeration order, so the plan equals the sequential one.
+//! 2. **Examine** — plan items are grouped into [`shard::Shard`]s by
+//!    *skeleton prefix* (programs whose first thread has the same shape)
+//!    and distributed through a work-stealing [`shard::WorkQueue`]. Each
+//!    shard runs on one [`transform_synth::Examiner`]; with the
+//!    [`Backend::Relational`] backend that examiner owns one incremental
+//!    SAT solver (`tsat` solving under assumptions) serving every program
+//!    in the shard. Workers claim emitted ELT keys in a concurrent
+//!    streaming dedup set ([`dedup::KeySet`]) as results stream in.
+//! 3. **Merge** — per-item results are re-ordered by plan index and
+//!    stitched into the suite by [`transform_synth::assemble_suite`];
+//!    per-shard counters are kept and summed losslessly.
+//!
+//! Determinism holds because every per-item examination is a pure
+//! function of the item: candidate executions are examined in a canonical
+//! order rather than backend generation order, so not even shared-solver
+//! learning can change which witness a program contributes.
+//!
+//! # Examples
+//!
+//! ```
+//! use transform_core::spec::parse_mtm;
+//! use transform_par::synthesize_suite_jobs;
+//! use transform_synth::SynthOptions;
+//!
+//! let mtm = parse_mtm(
+//!     "mtm x86t_elt {
+//!        axiom sc_per_loc: acyclic(rf | co | fr | po_loc)
+//!      }",
+//! ).expect("spec parses");
+//! let mut opts = SynthOptions::new(4);
+//! opts.enumeration.allow_fences = false;
+//! opts.enumeration.allow_rmw = false;
+//! let sequential = transform_synth::synthesize_suite(&mtm, "sc_per_loc", &opts);
+//! let parallel = synthesize_suite_jobs(&mtm, "sc_per_loc", &opts, 4);
+//! assert_eq!(sequential.elts.len(), parallel.elts.len());
+//! ```
+
+pub mod dedup;
+pub mod shard;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use transform_core::axiom::Mtm;
+use transform_synth::programs::programs_with_deadline;
+use transform_synth::{
+    assemble_suite, plan_from_keyed, plan_key, Examined, Examiner, ShardStats, Suite, SynthOptions,
+    SynthPlan,
+};
+
+/// Shards per worker: enough granularity for stealing to balance uneven
+/// shards without shrinking them into solver-reuse-defeating slivers.
+const SHARDS_PER_WORKER: usize = 4;
+
+/// The machine's available parallelism (the `--jobs` default).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parallel plan construction: enumeration stays sequential, canonical
+/// keys are computed on `jobs` workers, and the dedup scan runs in
+/// enumeration order — producing exactly the plan of
+/// [`transform_synth::plan_suite`] when no deadline strikes. A deadline
+/// that expires mid-keying makes the plan best-effort (workers race the
+/// expiry flag, so which tail programs go unkeyed is timing-dependent),
+/// exactly like a timed-out sequential run.
+///
+/// `jobs <= 1` delegates to [`transform_synth::plan_suite`].
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn plan_par(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    deadline: Option<Instant>,
+    jobs: usize,
+) -> SynthPlan {
+    if jobs <= 1 {
+        return transform_synth::plan_suite(mtm, axiom, opts, deadline);
+    }
+    let progs = programs_with_deadline(&opts.enumeration, deadline);
+    if progs.is_empty() {
+        let timed_out = deadline.is_some_and(|d| Instant::now() > d);
+        return plan_from_keyed(mtm, axiom, Vec::new(), timed_out);
+    }
+    let expired = AtomicBool::new(deadline.is_some_and(|d| Instant::now() > d));
+    // Keying honors the deadline like every other phase: once it passes,
+    // remaining programs go unkeyed and drop out of the plan, exactly
+    // like programs a timed-out sequential driver never reached.
+    let key_within_deadline = |p: &transform_synth::programs::Program| {
+        if expired.load(Ordering::Relaxed) {
+            return None;
+        }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            expired.store(true, Ordering::Relaxed);
+            return None;
+        }
+        plan_key(p)
+    };
+    let chunk = progs.len().div_ceil(jobs.min(progs.len()));
+    let chunks: Vec<&[transform_synth::programs::Program]> = progs.chunks(chunk).collect();
+    let keyer = &key_within_deadline;
+    let computed: Vec<Vec<Option<Vec<u64>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.iter().map(keyer).collect()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("key worker does not panic"))
+            .collect()
+    });
+    let keys: Vec<Option<Vec<u64>>> = computed.into_iter().flatten().collect();
+    let keyed = progs.into_iter().zip(keys).collect();
+    plan_from_keyed(mtm, axiom, keyed, expired.load(Ordering::Relaxed))
+}
+
+/// Synthesizes the per-axiom suite on `jobs` worker threads.
+///
+/// For any `jobs`, the resulting suite (programs, order, witnesses) is
+/// byte-identical to [`transform_synth::synthesize_suite`], and the
+/// `executions`/`forbidden`/`minimal` counters sum to the same totals;
+/// only the per-shard breakdown and wall-clock differ. Runs that hit
+/// `opts.timeout` are best-effort, exactly like the sequential engine.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn synthesize_suite_jobs(mtm: &Mtm, axiom: &str, opts: &SynthOptions, jobs: usize) -> Suite {
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return transform_synth::synthesize_suite(mtm, axiom, opts);
+    }
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let plan = plan_par(mtm, axiom, opts, deadline, jobs);
+    let shards = shard::make_shards(&plan.items, jobs * SHARDS_PER_WORKER);
+    let queue = shard::WorkQueue::new(shards, jobs);
+    let claimed = dedup::KeySet::new();
+    let results: Mutex<Vec<(usize, Examined)>> = Mutex::new(Vec::with_capacity(plan.items.len()));
+    let shard_stats: Mutex<Vec<ShardStats>> = Mutex::new(Vec::new());
+    let timed_out = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let queue = &queue;
+            let plan = &plan;
+            let claimed = &claimed;
+            let results = &results;
+            let shard_stats = &shard_stats;
+            let timed_out = &timed_out;
+            scope.spawn(move || {
+                let past_deadline = || deadline.is_some_and(|d| Instant::now() > d);
+                while let Some(batch) = queue.next(worker) {
+                    if past_deadline() {
+                        timed_out.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    // One examiner — and, for the relational backend, one
+                    // incremental SAT solver — per shard.
+                    let mut examiner = Examiner::new(mtm, axiom, opts.backend, plan.branch_co_pa);
+                    let mut stats = ShardStats::new(batch.id);
+                    let mut local = Vec::with_capacity(batch.items.len());
+                    for &index in &batch.items {
+                        if past_deadline() {
+                            timed_out.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let item = &plan.items[index];
+                        let mut examined = examiner.examine(&item.program);
+                        stats.absorb(&examined);
+                        if examined.witness.is_some() && !claimed.claim(&item.key) {
+                            // The plan guarantees key uniqueness; dropping
+                            // a duplicate witness (never its counters)
+                            // keeps the merge correct even if a future
+                            // enumerator breaks that invariant.
+                            debug_assert!(false, "duplicate canonical key in plan");
+                            examined.witness = None;
+                        }
+                        local.push((index, examined));
+                    }
+                    results
+                        .lock()
+                        .expect("results lock is never poisoned")
+                        .extend(local);
+                    shard_stats
+                        .lock()
+                        .expect("stats lock is never poisoned")
+                        .push(stats);
+                }
+            });
+        }
+    });
+
+    let mut shards = shard_stats
+        .into_inner()
+        .expect("stats lock is never poisoned");
+    shards.sort_by_key(|s| s.shard);
+    let results = results
+        .into_inner()
+        .expect("results lock is never poisoned");
+    let hit_deadline = timed_out.load(Ordering::Relaxed);
+    assemble_suite(axiom, &plan, results, shards, start.elapsed(), hit_deadline)
+}
+
+/// Synthesizes every per-axiom suite of `mtm` on `jobs` workers — the
+/// parallel counterpart of [`transform_synth::synthesize_all`].
+pub fn synthesize_all_jobs(mtm: &Mtm, opts: &SynthOptions, jobs: usize) -> BTreeMap<String, Suite> {
+    synthesize_all_jobs_with_union(mtm, opts, jobs).0
+}
+
+/// Like [`synthesize_all_jobs`], additionally streaming every emitted
+/// ELT's canonical key into one cross-suite [`dedup::KeySet`] as suites
+/// complete. The second component is the number of distinct programs
+/// across all per-axiom suites — the paper's headline unique-union count
+/// ("140 unique ELTs"), available without a second pass over the suites.
+pub fn synthesize_all_jobs_with_union(
+    mtm: &Mtm,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> (BTreeMap<String, Suite>, usize) {
+    let union = dedup::KeySet::new();
+    let suites: BTreeMap<String, Suite> = mtm
+        .axioms()
+        .iter()
+        .map(|ax| {
+            let suite = synthesize_suite_jobs(mtm, &ax.name, opts, jobs);
+            for elt in &suite.elts {
+                union.claim(&transform_synth::canon::canonical_key(&elt.program));
+            }
+            (ax.name.clone(), suite)
+        })
+        .collect();
+    let distinct = union.len();
+    (suites, distinct)
+}
+
+/// Re-exported so callers of the parallel API can name the backend
+/// without a direct `transform_synth` dependency.
+pub use transform_synth::Backend as SynthBackend;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_core::spec::parse_mtm;
+
+    fn small_mtm() -> Mtm {
+        parse_mtm(
+            "mtm x86t_elt {
+               axiom sc_per_loc: acyclic(rf | co | fr | po_loc)
+               axiom invlpg:     acyclic(fr_va | ^po | remap)
+             }",
+        )
+        .expect("spec parses")
+    }
+
+    fn opts(bound: usize) -> SynthOptions {
+        let mut o = SynthOptions::new(bound);
+        o.enumeration.allow_fences = false;
+        o.enumeration.allow_rmw = false;
+        o
+    }
+
+    #[test]
+    fn plan_par_equals_sequential_plan() {
+        let mtm = small_mtm();
+        let o = opts(4);
+        let sequential = transform_synth::plan_suite(&mtm, "invlpg", &o, None);
+        for jobs in [1, 2, 8] {
+            let parallel = plan_par(&mtm, "invlpg", &o, None, jobs);
+            assert_eq!(sequential.programs, parallel.programs);
+            assert_eq!(sequential.items.len(), parallel.items.len());
+            for (a, b) in sequential.items.iter().zip(&parallel.items) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.program, b.program);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential_engine() {
+        let mtm = small_mtm();
+        let o = opts(4);
+        let sequential = transform_synth::synthesize_suite(&mtm, "sc_per_loc", &o);
+        let parallel = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
+        assert_eq!(sequential.elts.len(), parallel.elts.len());
+        for (a, b) in sequential.elts.iter().zip(&parallel.elts) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.witness, b.witness);
+            assert_eq!(a.violated, b.violated);
+        }
+        assert_eq!(sequential.stats.executions, parallel.stats.executions);
+        assert_eq!(sequential.stats.forbidden, parallel.stats.forbidden);
+        assert_eq!(sequential.stats.minimal, parallel.stats.minimal);
+        assert_eq!(sequential.stats.programs, parallel.stats.programs);
+        // The parallel run actually sharded.
+        assert!(parallel.stats.shards.len() > 1);
+        let item_sum: usize = parallel.stats.shards.iter().map(|s| s.items).sum();
+        assert_eq!(item_sum, sequential.stats.shards[0].items);
+    }
+
+    #[test]
+    fn synthesize_all_jobs_covers_every_axiom() {
+        let mtm = small_mtm();
+        let (suites, distinct) = synthesize_all_jobs_with_union(&mtm, &opts(4), 2);
+        assert_eq!(suites.len(), 2);
+        assert!(suites.values().all(|s| !s.elts.is_empty()));
+        // The streaming cross-suite union equals the batch computation.
+        assert_eq!(
+            distinct,
+            transform_synth::unique_union(suites.values()).len()
+        );
+        let total: usize = suites.values().map(|s| s.elts.len()).sum();
+        assert!(distinct <= total);
+    }
+}

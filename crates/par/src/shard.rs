@@ -1,0 +1,239 @@
+//! Sharding of the synthesis plan and the work-stealing queue.
+//!
+//! A *shard* is a batch of plan items a worker processes on one
+//! [`transform_synth::Examiner`] (and, for the relational backend, one
+//! incremental SAT solver). Shards are built by grouping items on their
+//! *skeleton prefix* — the shape of the program's first thread — so the
+//! programs sharing a shard are structurally similar and the solver's
+//! learnt clauses, activities, and phases transfer between them.
+//!
+//! Workers pull shards from a work-stealing queue: each worker drains its
+//! own deque from the front and, when empty, steals from the back of the
+//! most loaded victim. Stealing from the back hands over the largest
+//! untouched batches while the owner keeps its cache-warm front.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use transform_synth::programs::{PaRef, Program, SlotOp};
+use transform_synth::WorkItem;
+
+/// A batch of plan-item indices processed on one examiner.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Dense shard id (stable across runs for a fixed plan and count).
+    pub id: usize,
+    /// Indices into the plan's item list.
+    pub items: Vec<usize>,
+}
+
+/// A 64-bit fingerprint of a program's skeleton prefix: the op sequence
+/// of its first thread. Programs equal under this key start with the same
+/// instruction shapes, which is what makes per-shard solver reuse pay.
+pub fn prefix_key(program: &Program) -> u64 {
+    let first = program.threads.first().map(Vec::as_slice).unwrap_or(&[]);
+    let words = first
+        .iter()
+        .flat_map(|op| {
+            let (tag, a, b) = match *op {
+                SlotOp::Read { va, walk } => (1, va as u64, u64::from(walk)),
+                SlotOp::Write { va, walk } => (2, va as u64, u64::from(walk)),
+                SlotOp::Fence => (3, 0, 0),
+                SlotOp::Invlpg { va } => (4, va as u64, 0),
+                SlotOp::TlbFlush => (5, 0, 0),
+                SlotOp::PteWrite { va, pa } => {
+                    let pa = match pa {
+                        PaRef::Initial(v) => v as u64,
+                        PaRef::Fresh(k) => 1000 + k as u64,
+                    };
+                    (6, va as u64, pa)
+                }
+            };
+            [tag, a, b]
+        })
+        .chain([program.threads.len() as u64]);
+    crate::dedup::fnv1a(words)
+}
+
+/// Partitions plan items into at most `target` shards.
+///
+/// Items are first grouped by [`prefix_key`] (in first-appearance order,
+/// keeping each group's items in enumeration order), then groups are
+/// packed onto shards largest-first onto the least-loaded shard. The
+/// result is deterministic: a fixed plan and target always shard the same
+/// way.
+pub fn make_shards(items: &[WorkItem], target: usize) -> Vec<Shard> {
+    let target = target.max(1);
+    // Group indices by prefix, preserving first-appearance group order
+    // and enumeration order within each group.
+    let mut group_index: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for item in items {
+        let key = prefix_key(&item.program);
+        let next = groups.len();
+        let slot = *group_index.entry(key).or_insert(next);
+        if slot == next {
+            groups.push(Vec::new());
+        }
+        groups[slot].push(item.index);
+    }
+    // Largest group first onto the least-loaded shard; the sort is
+    // stable and ties break by shard id, so packing is deterministic.
+    groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    let shard_count = target.min(groups.len()).max(1);
+    let mut shards: Vec<Shard> = (0..shard_count)
+        .map(|id| Shard {
+            id,
+            items: Vec::new(),
+        })
+        .collect();
+    for group in groups {
+        let least = shards
+            .iter_mut()
+            .min_by_key(|s| (s.items.len(), s.id))
+            .expect("at least one shard");
+        least.items.extend(group);
+    }
+    shards.retain(|s| !s.items.is_empty());
+    shards
+}
+
+/// A work-stealing shard queue for a fixed worker count.
+pub struct WorkQueue {
+    decks: Vec<Mutex<VecDeque<Shard>>>,
+}
+
+impl WorkQueue {
+    /// Distributes `shards` round-robin over `workers` local deques.
+    pub fn new(shards: Vec<Shard>, workers: usize) -> WorkQueue {
+        let workers = workers.max(1);
+        let mut decks: Vec<VecDeque<Shard>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, shard) in shards.into_iter().enumerate() {
+            decks[i % workers].push_back(shard);
+        }
+        WorkQueue {
+            decks: decks.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next shard for `worker`: its own front, else a steal from the
+    /// back of the fullest other deque. `None` once all work is claimed.
+    pub fn next(&self, worker: usize) -> Option<Shard> {
+        if let Some(shard) = self.decks[worker]
+            .lock()
+            .expect("queue lock is never poisoned")
+            .pop_front()
+        {
+            return Some(shard);
+        }
+        loop {
+            // Pick the currently fullest victim, then steal from its back.
+            let victim = (0..self.decks.len())
+                .filter(|&v| v != worker)
+                .max_by_key(|&v| {
+                    self.decks[v]
+                        .lock()
+                        .expect("queue lock is never poisoned")
+                        .len()
+                })?;
+            let stolen = self.decks[victim]
+                .lock()
+                .expect("queue lock is never poisoned")
+                .pop_back();
+            match stolen {
+                Some(shard) => return Some(shard),
+                // Raced with the victim draining its own deque: rescan,
+                // and give up once every deque is empty.
+                None => {
+                    if self
+                        .decks
+                        .iter()
+                        .all(|d| d.lock().expect("queue lock is never poisoned").is_empty())
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(index: usize, ops: Vec<SlotOp>) -> WorkItem {
+        let program = Program {
+            threads: vec![ops],
+            remap: vec![],
+            rmw: vec![],
+        };
+        let key = transform_synth::canon::canonical_key(&program);
+        WorkItem {
+            index,
+            program,
+            key,
+        }
+    }
+
+    fn read(va: usize) -> SlotOp {
+        SlotOp::Read { va, walk: true }
+    }
+
+    fn write(va: usize) -> SlotOp {
+        SlotOp::Write { va, walk: true }
+    }
+
+    #[test]
+    fn shards_cover_every_item_exactly_once() {
+        let items: Vec<WorkItem> = (0..23)
+            .map(|i| item(i, vec![if i % 3 == 0 { read(0) } else { write(i % 5) }]))
+            .collect();
+        for target in [1, 2, 4, 16, 64] {
+            let shards = make_shards(&items, target);
+            let mut seen: Vec<usize> = shards.iter().flat_map(|s| s.items.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..23).collect::<Vec<_>>(), "target {target}");
+            assert!(shards.len() <= target.max(1));
+        }
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_prefix_grouped() {
+        let items: Vec<WorkItem> = (0..12)
+            .map(|i| item(i, vec![read(i % 2), write(0)]))
+            .collect();
+        let a = make_shards(&items, 4);
+        let b = make_shards(&items, 4);
+        assert_eq!(
+            a.iter().map(|s| s.items.clone()).collect::<Vec<_>>(),
+            b.iter().map(|s| s.items.clone()).collect::<Vec<_>>()
+        );
+        // Two prefix groups (read(0)- and read(1)-led) means at most two
+        // non-empty shards, each holding one whole group.
+        assert_eq!(a.len(), 2);
+        for shard in &a {
+            let keys: Vec<u64> = shard
+                .items
+                .iter()
+                .map(|&i| prefix_key(&items[i].program))
+                .collect();
+            assert!(keys.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn queue_drains_completely_under_stealing() {
+        let items: Vec<WorkItem> = (0..40).map(|i| item(i, vec![write(i % 7)])).collect();
+        let shards = make_shards(&items, 8);
+        let queue = WorkQueue::new(shards, 3);
+        // Worker 2 claims everything (workers 0 and 1 never show up): all
+        // items must still drain, via steals.
+        let mut claimed = Vec::new();
+        while let Some(shard) = queue.next(2) {
+            claimed.extend(shard.items);
+        }
+        claimed.sort_unstable();
+        assert_eq!(claimed, (0..40).collect::<Vec<_>>());
+        assert!(queue.next(0).is_none());
+    }
+}

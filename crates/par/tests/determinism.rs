@@ -1,0 +1,115 @@
+//! The parallel orchestrator's core contract: for any worker count, the
+//! synthesized suite is byte-identical to the sequential engine's, on
+//! both candidate-execution backends, and every counter aggregates
+//! losslessly.
+
+use proptest::prelude::*;
+use transform_par::synthesize_suite_jobs;
+use transform_synth::{Backend, Suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+/// A byte-exact rendering of everything user-visible in a suite: the
+/// programs in order, each witness's full structure, and the violated
+/// axioms. Two suites are interchangeable iff their fingerprints match.
+fn fingerprint(suite: &Suite) -> String {
+    let mut out = format!("axiom {}\n", suite.axiom);
+    for elt in &suite.elts {
+        out.push_str(&format!(
+            "program {:?}\nwitness {:?}\nviolated {:?}\n",
+            elt.program,
+            elt.witness.to_parts(),
+            elt.violated,
+        ));
+    }
+    out
+}
+
+fn opts(bound: usize, backend: Backend) -> SynthOptions {
+    let mut o = SynthOptions::new(bound);
+    o.enumeration.allow_fences = false;
+    o.enumeration.allow_rmw = false;
+    o.backend = backend;
+    o
+}
+
+#[test]
+fn jobs_1_and_8_are_byte_identical_on_both_backends() {
+    let mtm = x86t_elt();
+    for backend in [Backend::Explicit, Backend::Relational] {
+        for axiom in ["sc_per_loc", "invlpg"] {
+            let o = opts(4, backend);
+            let one = synthesize_suite_jobs(&mtm, axiom, &o, 1);
+            let eight = synthesize_suite_jobs(&mtm, axiom, &o, 8);
+            assert!(
+                !one.elts.is_empty(),
+                "{axiom} via {backend:?}: empty suite makes this test vacuous"
+            );
+            assert_eq!(
+                fingerprint(&one),
+                fingerprint(&eight),
+                "{axiom} via {backend:?}: suites diverge between jobs=1 and jobs=8"
+            );
+            // Lossless counter aggregation: per-shard sums equal the
+            // sequential totals exactly.
+            assert_eq!(one.stats.programs, eight.stats.programs);
+            assert_eq!(one.stats.executions, eight.stats.executions);
+            assert_eq!(one.stats.forbidden, eight.stats.forbidden);
+            assert_eq!(one.stats.minimal, eight.stats.minimal);
+            for suite in [&one, &eight] {
+                let (items, execs, forb, min) =
+                    suite
+                        .stats
+                        .shards
+                        .iter()
+                        .fold((0, 0, 0, 0), |(i, e, f, m), s| {
+                            (
+                                i + s.items,
+                                e + s.executions,
+                                f + s.forbidden,
+                                m + s.minimal,
+                            )
+                        });
+                assert_eq!(execs, suite.stats.executions);
+                assert_eq!(forb, suite.stats.forbidden);
+                assert_eq!(min, suite.stats.minimal);
+                assert!(items > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_explicit_and_relational_backends_agree_on_programs() {
+    // The two backends count different things (the relational generator
+    // only materializes violating executions), but the synthesized
+    // programs and witnesses must agree.
+    let mtm = x86t_elt();
+    for axiom in ["sc_per_loc", "invlpg"] {
+        let explicit = synthesize_suite_jobs(&mtm, axiom, &opts(4, Backend::Explicit), 4);
+        let relational = synthesize_suite_jobs(&mtm, axiom, &opts(4, Backend::Relational), 4);
+        assert_eq!(
+            explicit.elts.len(),
+            relational.elts.len(),
+            "{axiom}: suite sizes diverge across backends"
+        );
+        for (a, b) in explicit.elts.iter().zip(&relational.elts) {
+            assert_eq!(a.program, b.program, "{axiom}");
+            assert_eq!(a.witness, b.witness, "{axiom}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any job count — odd, even, oversubscribed far past the core
+    /// count — reproduces the sequential suite.
+    #[test]
+    fn arbitrary_job_counts_stay_deterministic(jobs in 2usize..24) {
+        let mtm = x86t_elt();
+        let o = opts(4, Backend::Explicit);
+        let reference = fingerprint(&synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 1));
+        let suite = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, jobs);
+        prop_assert_eq!(reference, fingerprint(&suite), "jobs={}", jobs);
+    }
+}

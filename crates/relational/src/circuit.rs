@@ -157,7 +157,9 @@ mod tests {
         let x = c.fresh();
         let y = c.fresh();
         let g = c.and2(B::L(x), B::L(y));
-        let B::L(gl) = g else { panic!("expected literal") };
+        let B::L(gl) = g else {
+            panic!("expected literal")
+        };
         c.assert_true(B::L(gl));
         assert!(c.solver.solve().is_sat());
         assert_eq!(c.solver.value(x.var()), Some(true));

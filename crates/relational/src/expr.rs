@@ -243,10 +243,7 @@ impl Formula {
 
     /// Biconditional `self ↔ other`.
     pub fn iff(self, other: Formula) -> Formula {
-        Formula::and([
-            self.clone().implies(other.clone()),
-            other.implies(self),
-        ])
+        Formula::and([self.clone().implies(other.clone()), other.implies(self)])
     }
 }
 

@@ -37,12 +37,14 @@ mod circuit;
 mod eval;
 mod expr;
 mod problem;
+mod session;
 mod translate;
 mod tuples;
 mod universe;
 
 pub use expr::{Expr, Formula};
 pub use problem::{Instance, Problem, RelDecl, RelId, Solutions};
+pub use session::Session;
 pub use tuples::{Tuple, TupleSet};
 pub use universe::Universe;
 

@@ -57,13 +57,7 @@ impl Problem {
     /// Panics if the bounds have the wrong arity, if `lower ⊄ upper`, or if
     /// `arity` is not 1 or 2 (the SAT translation supports unary and binary
     /// relations — all of the TransForm vocabulary).
-    pub fn declare(
-        &mut self,
-        name: &str,
-        arity: usize,
-        lower: TupleSet,
-        upper: TupleSet,
-    ) -> RelId {
+    pub fn declare(&mut self, name: &str, arity: usize, lower: TupleSet, upper: TupleSet) -> RelId {
         assert!(arity == 1 || arity == 2, "supported arities are 1 and 2");
         assert_eq!(lower.arity(), arity, "lower bound arity mismatch");
         assert_eq!(upper.arity(), arity, "upper bound arity mismatch");
@@ -155,11 +149,7 @@ pub struct Instance {
 impl Instance {
     /// Builds an instance directly from relation values (used mainly by the
     /// ground evaluator in tests).
-    pub fn from_values(
-        universe: Universe,
-        names: Vec<String>,
-        values: Vec<TupleSet>,
-    ) -> Instance {
+    pub fn from_values(universe: Universe, names: Vec<String>, values: Vec<TupleSet>) -> Instance {
         assert_eq!(names.len(), values.len());
         Instance {
             names,

@@ -1,0 +1,93 @@
+//! Incremental model finding: one SAT solver shared across many problems.
+//!
+//! [`Problem::solutions`] builds a fresh solver per problem — the right
+//! call for isolated queries, but wasteful for a *shard* of related
+//! problems (TransForm solves thousands of structurally similar
+//! candidate-execution queries per synthesis run). A [`Session`] keeps a
+//! single [`tsat::Solver`] alive across problems:
+//!
+//! * each problem's constraints are translated under a fresh *activation
+//!   literal* and solved with [`tsat::Solver::solve_with`] assumptions;
+//! * model-enumeration blocking clauses are gated by the same literal;
+//! * finishing a problem retires the literal with a unit clause, which
+//!   deactivates all its clauses for good;
+//! * clauses *learnt* while solving stay behind, as do variable
+//!   activities and saved phases — later problems in the shard start
+//!   from everything earlier ones discovered.
+
+use crate::circuit::Circuit;
+use crate::problem::{Instance, Problem};
+use crate::translate::Translation;
+
+/// A shared incremental solver for a sequence of [`Problem`]s.
+///
+/// # Examples
+///
+/// ```
+/// use relational::{Expr, Formula, Problem, Session, TupleSet, Universe};
+///
+/// let u = Universe::new(["a", "b"]);
+/// let mut session = Session::new();
+/// let mut counts = Vec::new();
+/// for require_some in [false, true] {
+///     let mut p = Problem::new(u.clone());
+///     let r = p.declare("r", 1, TupleSet::empty(1), TupleSet::full(&u, 1));
+///     if require_some {
+///         p.require(Formula::some(Expr::rel(r)));
+///     }
+///     counts.push(session.solve_all(&p, usize::MAX).len());
+/// }
+/// assert_eq!(counts, vec![4, 3]); // all subsets vs. non-empty subsets
+/// assert!(session.solver_stats().solve_calls >= 2);
+/// ```
+pub struct Session {
+    circuit: Option<Circuit>,
+    problems: usize,
+}
+
+impl Session {
+    /// Creates a session with an empty solver.
+    pub fn new() -> Session {
+        Session {
+            circuit: Some(Circuit::new()),
+            problems: 0,
+        }
+    }
+
+    /// Enumerates up to `limit` satisfying instances of `problem` on the
+    /// shared solver, then retires the problem's constraints.
+    pub fn solve_all(&mut self, problem: &Problem, limit: usize) -> Vec<Instance> {
+        let circuit = self.circuit.take().expect("session circuit is present");
+        let mut translation = Translation::build_shared(circuit, problem);
+        self.problems += 1;
+        let mut out = Vec::new();
+        while out.len() < limit && translation.solve() {
+            out.push(translation.extract(problem));
+            if !translation.block_current() {
+                break;
+            }
+        }
+        self.circuit = Some(translation.retire());
+        out
+    }
+
+    /// The number of problems this session has solved.
+    pub fn problems_solved(&self) -> usize {
+        self.problems
+    }
+
+    /// Cumulative solver statistics across all problems in the session.
+    pub fn solver_stats(&self) -> tsat::SolverStats {
+        self.circuit
+            .as_ref()
+            .expect("session circuit is present")
+            .solver
+            .stats()
+    }
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}

@@ -9,7 +9,7 @@ use crate::circuit::{Circuit, B};
 use crate::expr::{Expr, Formula};
 use crate::problem::{Instance, Problem, RelId};
 use crate::tuples::TupleSet;
-use tsat::Var;
+use tsat::{Lit, Var};
 
 /// A grid of circuit nodes representing a relation's characteristic
 /// function: length `n` for unary, `n * n` (row-major) for binary.
@@ -58,12 +58,50 @@ pub(crate) struct Translation {
     free_vars: Vec<Var>,
     n: usize,
     sat_known_unsat: bool,
+    /// In shared-solver mode, the problem's root formula literal: assumed
+    /// (not asserted) on each solve, so the shared solver's clause store
+    /// stays valid for later problems. `None` in one-shot mode, where the
+    /// root is asserted as a unit clause at build time.
+    root: Option<Lit>,
 }
 
 impl Translation {
+    /// One-shot mode: a fresh solver per problem, root asserted.
     pub(crate) fn build(problem: &Problem) -> Translation {
+        let mut tr = Translation::layout(Circuit::new(), problem);
+        let root = tr.formula(&problem.formula(), problem);
+        tr.circuit.assert_true(root);
+        tr
+    }
+
+    /// Shared-solver (incremental) mode: translates `problem` into an
+    /// existing circuit and keeps the root formula as an *assumption*
+    /// literal. Tseitin definitions are valid regardless of the root, so
+    /// nothing asserted here constrains other problems sharing the
+    /// solver; see [`Translation::retire`].
+    pub(crate) fn build_shared(circuit: Circuit, problem: &Problem) -> Translation {
+        let mut tr = Translation::layout(circuit, problem);
+        let root = tr.formula(&problem.formula(), problem);
+        match root {
+            B::T => tr.root = Some(tr.circuit.fresh()),
+            B::F => tr.sat_known_unsat = true,
+            // The root literal itself must never be retired with a hard
+            // unit: a tautological formula's Tseitin structure can force
+            // it true in every model, so `¬root` would unsatisfy the
+            // shared solver at the root level for good. A fresh
+            // activation literal implying the root is always free to go
+            // false instead.
+            B::L(l) => {
+                let act = tr.circuit.fresh();
+                tr.circuit.solver.add_clause([!act, l]);
+                tr.root = Some(act);
+            }
+        }
+        tr
+    }
+
+    fn layout(mut circuit: Circuit, problem: &Problem) -> Translation {
         let n = problem.universe().size();
-        let mut circuit = Circuit::new();
         let mut grids = Vec::new();
         let mut free_vars = Vec::new();
         for decl in problem.decls() {
@@ -84,23 +122,24 @@ impl Translation {
             }
             grids.push(grid);
         }
-        let mut tr = Translation {
+        Translation {
             circuit,
             grids,
             free_vars,
             n,
             sat_known_unsat: false,
-        };
-        let root = tr.formula(&problem.formula(), problem);
-        tr.circuit.assert_true(root);
-        tr
+            root: None,
+        }
     }
 
     pub(crate) fn solve(&mut self) -> bool {
         if self.sat_known_unsat {
             return false;
         }
-        self.circuit.solver.solve().is_sat()
+        match self.root {
+            None => self.circuit.solver.solve().is_sat(),
+            Some(l) => self.circuit.solver.solve_with(&[l]).is_sat(),
+        }
     }
 
     pub(crate) fn block_current(&mut self) -> bool {
@@ -108,11 +147,28 @@ impl Translation {
             self.sat_known_unsat = true;
             return false;
         }
-        if !self.circuit.solver.block_model(&self.free_vars) {
+        let guard = self.root.map(|l| !l);
+        if !self
+            .circuit
+            .solver
+            .block_model_under(&self.free_vars, guard)
+        {
             self.sat_known_unsat = true;
             return false;
         }
         true
+    }
+
+    /// Ends a shared-mode problem: permanently deactivates its root (and
+    /// with it all its gated blocking clauses) and hands the circuit back
+    /// for the next problem. Clauses learnt while solving this problem
+    /// stay in the solver — that retention is what makes a shard of
+    /// related problems cheaper than fresh solvers.
+    pub(crate) fn retire(mut self) -> Circuit {
+        if let Some(l) = self.root {
+            self.circuit.solver.add_clause([!l]);
+        }
+        self.circuit
     }
 
     pub(crate) fn extract(&self, problem: &Problem) -> Instance {
@@ -146,7 +202,7 @@ impl Translation {
         problem.decl(r).arity
     }
 
-    fn expr(&mut self, e: &Expr, problem: &Problem) -> Grid {
+    fn expr(&mut self, e: &Expr) -> Grid {
         let n = self.n;
         match e {
             Expr::Rel(r) => self.grids[r.0].clone(),
@@ -169,31 +225,31 @@ impl Translation {
                 g
             }
             Expr::Union(a, b) => {
-                let ga = self.expr(a, problem);
-                let gb = self.expr(b, problem);
+                let ga = self.expr(a);
+                let gb = self.expr(b);
                 self.zip(ga, gb, |c, x, y| c.or2(x, y))
             }
             Expr::Inter(a, b) => {
-                let ga = self.expr(a, problem);
-                let gb = self.expr(b, problem);
+                let ga = self.expr(a);
+                let gb = self.expr(b);
                 self.zip(ga, gb, |c, x, y| c.and2(x, y))
             }
             Expr::Diff(a, b) => {
-                let ga = self.expr(a, problem);
-                let gb = self.expr(b, problem);
+                let ga = self.expr(a);
+                let gb = self.expr(b);
                 self.zip(ga, gb, |c, x, y| {
                     let ny = c.not(y);
                     c.and2(x, ny)
                 })
             }
             Expr::Join(a, b) => {
-                let ga = self.expr(a, problem);
-                let gb = self.expr(b, problem);
+                let ga = self.expr(a);
+                let gb = self.expr(b);
                 self.join(ga, gb)
             }
             Expr::Product(a, b) => {
-                let ga = self.expr(a, problem);
-                let gb = self.expr(b, problem);
+                let ga = self.expr(a);
+                let gb = self.expr(b);
                 assert!(
                     ga.arity == 1 && gb.arity == 1,
                     "product supported for unary × unary only"
@@ -207,7 +263,7 @@ impl Translation {
                 g
             }
             Expr::Transpose(a) => {
-                let ga = self.expr(a, problem);
+                let ga = self.expr(a);
                 assert_eq!(ga.arity, 2, "transpose requires a binary relation");
                 let mut g = Grid::empty(2, n);
                 for i in 0..n {
@@ -218,7 +274,7 @@ impl Translation {
                 g
             }
             Expr::Closure(a) => {
-                let ga = self.expr(a, problem);
+                let ga = self.expr(a);
                 assert_eq!(ga.arity, 2, "closure requires a binary relation");
                 // Iterative squaring: after k rounds, paths of length ≤ 2^k.
                 let mut m = ga;
@@ -289,8 +345,8 @@ impl Translation {
                 let arity_a = a.arity(&|r| self.rel_arity(problem, r));
                 let arity_b = b.arity(&|r| self.rel_arity(problem, r));
                 assert_eq!(arity_a, arity_b, "subset arity mismatch");
-                let ga = self.expr(a, problem);
-                let gb = self.expr(b, problem);
+                let ga = self.expr(a);
+                let gb = self.expr(b);
                 let impls: Vec<B> = ga
                     .cells
                     .iter()
@@ -308,20 +364,20 @@ impl Translation {
                 self.circuit.and2(f1, f2)
             }
             Formula::Some(e) => {
-                let g = self.expr(e, problem);
+                let g = self.expr(e);
                 self.circuit.or_all(g.cells)
             }
             Formula::NoneOf(e) => {
-                let g = self.expr(e, problem);
+                let g = self.expr(e);
                 let s = self.circuit.or_all(g.cells);
                 self.circuit.not(s)
             }
             Formula::Lone(e) => {
-                let g = self.expr(e, problem);
+                let g = self.expr(e);
                 self.circuit.at_most_one(&g.cells)
             }
             Formula::One(e) => {
-                let g = self.expr(e, problem);
+                let g = self.expr(e);
                 let some = self.circuit.or_all(g.cells.clone());
                 let amo = self.circuit.at_most_one(&g.cells);
                 self.circuit.and2(some, amo)

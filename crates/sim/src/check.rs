@@ -49,8 +49,12 @@ pub fn permitted_outcomes(prog: &SimProgram, mtm: &Mtm) -> BTreeSet<Outcome> {
 
     let mut out = BTreeSet::new();
     for mask in 0u32..(1 << accesses.len()) {
-        let walk_at =
-            |pos| accesses.iter().position(|&a| a == pos).map(|i| mask >> i & 1 == 1);
+        let walk_at = |pos| {
+            accesses
+                .iter()
+                .position(|&a| a == pos)
+                .map(|i| mask >> i & 1 == 1)
+        };
         let threads: Vec<Vec<SlotOp>> = (0..prog.num_threads())
             .map(|t| {
                 prog.thread(t)
@@ -135,7 +139,7 @@ pub fn check_conformance(prog: &SimProgram, mtm: &Mtm, cfg: &SimConfig) -> Confo
         observed: x.outcomes,
         permitted,
         violations,
-    stats: x.stats,
+        stats: x.stats,
     }
 }
 

@@ -279,7 +279,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn capacity_evictions_do_not_change_data_outcomes_here() {
         let prog = SimProgram::new(vec![vec![r(0), r(0)]], [], []);

@@ -254,8 +254,7 @@ fn commit(st: &mut State, entry: SbEntry) {
                 .copied()
                 .unwrap_or_else(|| PteVal::initial(va));
             let log = st.commits.entry(Location::Pte(va)).or_default();
-            let lands =
-                matches!(val.src, PteSrc::Wpte(_)) || current.origin == val.origin;
+            let lands = matches!(val.src, PteSrc::Wpte(_)) || current.origin == val.origin;
             if lands {
                 // OS PTE writes always land; a dirty-bit update lands when
                 // the PTE still belongs to the mapping era it was computed
@@ -374,9 +373,7 @@ fn issue(prog: &SimProgram, cfg: &SimConfig, st: &mut State, t: usize) {
         Instr::Invlpg { va } => {
             let noop = cfg.bugs.invlpg_noop
                 || (cfg.bugs.missing_remote_shootdown
-                    && prog
-                        .remap_source(pos)
-                        .is_some_and(|wpte| wpte.0 != t));
+                    && prog.remap_source(pos).is_some_and(|wpte| wpte.0 != t));
             if !noop {
                 st.cores[t].tlb.remove(&va);
             }
@@ -386,9 +383,7 @@ fn issue(prog: &SimProgram, cfg: &SimConfig, st: &mut State, t: usize) {
             // The full flush is not subject to the INVLPG erratum, but a
             // broken shootdown protocol drops remote IPIs of any kind.
             let noop = cfg.bugs.missing_remote_shootdown
-                && prog
-                    .remap_source(pos)
-                    .is_some_and(|wpte| wpte.0 != t);
+                && prog.remap_source(pos).is_some_and(|wpte| wpte.0 != t);
             if !noop {
                 st.cores[t].tlb.clear();
             }
@@ -399,14 +394,7 @@ fn issue(prog: &SimProgram, cfg: &SimConfig, st: &mut State, t: usize) {
 
 /// A locked RMW: buffer already drained; read and write memory atomically
 /// (data store, then dirty-bit update, both globally visible at once).
-fn issue_rmw(
-    prog: &SimProgram,
-    cfg: &SimConfig,
-    st: &mut State,
-    t: usize,
-    rpos: Pos,
-    pte: PteVal,
-) {
+fn issue_rmw(prog: &SimProgram, cfg: &SimConfig, st: &mut State, t: usize, rpos: Pos, pte: PteVal) {
     debug_assert!(st.cores[t].sb.is_empty());
     let v = read_data(st, t, pte.mapping.pa);
     st.reads.insert(rpos, v);
@@ -441,9 +429,7 @@ mod tests {
     use super::*;
 
     fn run_all(prog: &SimProgram, cfg: &SimConfig, st: State, moves: &[Move]) -> State {
-        moves
-            .iter()
-            .fold(st, |st, &mv| apply(prog, cfg, &st, mv))
+        moves.iter().fold(st, |st, &mv| apply(prog, cfg, &st, mv))
     }
 
     #[test]
@@ -469,15 +455,10 @@ mod tests {
 
     #[test]
     fn fence_blocks_until_drained() {
-        let prog = SimProgram::new(
-            vec![vec![Instr::Write { va: Va(0) }, Instr::Fence]],
-            [],
-            [],
-        );
+        let prog = SimProgram::new(vec![vec![Instr::Write { va: Va(0) }, Instr::Fence]], [], []);
         let cfg = SimConfig::correct();
         let st = run_all(&prog, &cfg, State::initial(&prog), &[Move::Issue(0)]);
-        assert!(!enabled_moves(&prog, &cfg, &st)
-            .contains(&Move::Issue(0)));
+        assert!(!enabled_moves(&prog, &cfg, &st).contains(&Move::Issue(0)));
         let st = run_all(&prog, &cfg, st, &[Move::Drain(0), Move::Drain(0)]);
         assert!(enabled_moves(&prog, &cfg, &st).contains(&Move::Issue(0)));
     }
@@ -576,9 +557,6 @@ mod tests {
             capacity_evictions: true,
             ..SimConfig::correct()
         };
-        assert_eq!(
-            enabled_moves(&prog, &cfg, &st),
-            vec![Move::Evict(0, Va(0))]
-        );
+        assert_eq!(enabled_moves(&prog, &cfg, &st), vec![Move::Evict(0, Va(0))]);
     }
 }

@@ -99,7 +99,11 @@ impl Outcome {
             .final_map
             .iter()
             .map(|(va, pa)| {
-                let d = if self.final_dirty.contains(va) { "*" } else { "" };
+                let d = if self.final_dirty.contains(va) {
+                    "*"
+                } else {
+                    ""
+                };
                 format!("{va}→{pa}{d}")
             })
             .collect();
@@ -212,10 +216,7 @@ mod tests {
         // sb mapped to an ELT: R1 reads W2 (y), R3 reads W0 (x).
         let out = witness_outcome(&figures::fig2b_sb_elt()).expect("well-formed");
         assert_eq!(out.reads.len(), 2);
-        assert!(out
-            .reads
-            .values()
-            .all(|v| matches!(v, DataVal::Write(_))));
+        assert!(out.reads.values().all(|v| matches!(v, DataVal::Write(_))));
         // Both user writes dirty their pages.
         assert_eq!(out.final_dirty.len(), 2);
         // No remaps: mappings still initial.

@@ -9,8 +9,7 @@ use transform_core::figures;
 use transform_core::ids::Va;
 use transform_litmus::{classic, enhance::enhance};
 use transform_sim::{
-    certify_runs, check_conformance, detect_with_suite, explore, Bugs, Instr, SimConfig,
-    SimProgram,
+    certify_runs, check_conformance, detect_with_suite, explore, Bugs, Instr, SimConfig, SimProgram,
 };
 use transform_synth::engine::{synthesize_suite, SynthOptions};
 use transform_x86::x86t_elt;

@@ -185,17 +185,15 @@ mod tests {
 
     #[test]
     fn remap_assignment_distinguishes() {
-        let base = vec![
-            vec![
-                SlotOp::PteWrite {
-                    va: 0,
-                    pa: PaRef::Fresh(0),
-                },
-                SlotOp::Invlpg { va: 0 },
-                SlotOp::Invlpg { va: 0 },
-                SlotOp::Read { va: 0, walk: true },
-            ],
-        ];
+        let base = vec![vec![
+            SlotOp::PteWrite {
+                va: 0,
+                pa: PaRef::Fresh(0),
+            },
+            SlotOp::Invlpg { va: 0 },
+            SlotOp::Invlpg { va: 0 },
+            SlotOp::Read { va: 0, walk: true },
+        ]];
         let a = Program {
             threads: base.clone(),
             remap: vec![((0, 0), (0, 1))],

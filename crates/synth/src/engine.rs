@@ -6,13 +6,30 @@
 //! targeted axiom — (3) keeps only executions satisfying the minimality
 //! criterion, and (4) deduplicates the surviving programs canonically,
 //! yielding the per-axiom spanning-set suite.
+//!
+//! The driver is factored into three phases so the `transform-par`
+//! orchestrator can distribute the middle one across worker threads while
+//! reproducing this sequential pipeline exactly:
+//!
+//! 1. [`plan_suite`] — enumerate programs, keep the write-bearing first
+//!    occurrence of each canonical key, in enumeration order;
+//! 2. [`Examiner::examine`] — per program, generate candidate executions
+//!    (explicit or relational backend), count, and pick a deterministic
+//!    minimal forbidden witness;
+//! 3. [`assemble_suite`] — stitch per-program results back together in
+//!    plan order with losslessly aggregated per-shard counters.
+//!
+//! Every per-program step is independent and deterministic (candidates
+//! are examined in a canonical order, not generation order), so any
+//! partition of the plan across shards yields the same suite and the same
+//! counter sums as a single-threaded run.
 
 use crate::canon::canonical_key;
 use crate::execs;
 use crate::minimal::is_minimal;
 use crate::programs::{EnumOptions, Program};
 use crate::satgen;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use transform_core::axiom::Mtm;
 use transform_core::derive::BaseRel;
@@ -64,8 +81,45 @@ pub struct SynthesizedElt {
     pub violated: Vec<String>,
 }
 
+/// Work counters for one shard of a suite synthesis.
+///
+/// Per-program examination is deterministic, so these counters are a pure
+/// function of which plan items the shard processed — any partition of
+/// the plan sums to the same totals (see [`SuiteStats::from_shards`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index within the run (0 for a sequential run).
+    pub shard: usize,
+    /// Plan items (deduplicated candidate programs) examined.
+    pub items: usize,
+    /// Candidate executions examined.
+    pub executions: usize,
+    /// Executions with a forbidden outcome for the target axiom.
+    pub forbidden: usize,
+    /// Executions passing the minimality criterion.
+    pub minimal: usize,
+}
+
+impl ShardStats {
+    /// Empty counters for shard `shard`.
+    pub fn new(shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            ..ShardStats::default()
+        }
+    }
+
+    /// Adds one examined program's counters.
+    pub fn absorb(&mut self, examined: &Examined) {
+        self.items += 1;
+        self.executions += examined.executions;
+        self.forbidden += examined.forbidden;
+        self.minimal += examined.minimal;
+    }
+}
+
 /// Counters for one suite synthesis.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SuiteStats {
     /// Programs enumerated at the bound.
     pub programs: usize,
@@ -79,6 +133,24 @@ pub struct SuiteStats {
     pub elapsed: Duration,
     /// `true` when the run stopped on the timeout instead of completing.
     pub timed_out: bool,
+    /// Per-shard counters; the totals above are their exact sums.
+    pub shards: Vec<ShardStats>,
+}
+
+impl SuiteStats {
+    /// Aggregates per-shard counters losslessly: every total is the exact
+    /// sum of its per-shard contributions, independent of the partition.
+    pub fn from_shards(programs: usize, shards: Vec<ShardStats>) -> SuiteStats {
+        SuiteStats {
+            programs,
+            executions: shards.iter().map(|s| s.executions).sum(),
+            forbidden: shards.iter().map(|s| s.forbidden).sum(),
+            minimal: shards.iter().map(|s| s.minimal).sum(),
+            elapsed: Duration::ZERO,
+            timed_out: false,
+            shards,
+        }
+    }
 }
 
 /// A per-axiom ELT suite.
@@ -92,77 +164,336 @@ pub struct Suite {
     pub stats: SuiteStats,
 }
 
-/// Synthesizes the per-axiom suite: all unique, minimal ELT programs (≤
-/// the bound) having an execution that violates `axiom`.
-pub fn synthesize_suite(mtm: &Mtm, axiom: &str, opts: &SynthOptions) -> Suite {
+/// One unit of synthesis work: a candidate program with its position in
+/// the sequential enumeration and its canonical key.
+#[derive(Clone, Debug)]
+pub struct WorkItem {
+    /// Position in the deduplicated enumeration (determines suite order).
+    pub index: usize,
+    /// The candidate program.
+    pub program: Program,
+    /// Canonical key of the program ([`canonical_key`]).
+    pub key: Vec<u64>,
+}
+
+/// The partitionable middle of a suite synthesis: the deduplicated,
+/// write-bearing program list plus run-wide facts.
+#[derive(Clone, Debug)]
+pub struct SynthPlan {
+    /// Work items, in enumeration order.
+    pub items: Vec<WorkItem>,
+    /// Programs enumerated at the bound (before dedup/filtering) — the
+    /// `programs` counter of [`SuiteStats`].
+    pub programs: usize,
+    /// Whether enumeration itself hit the deadline.
+    pub timed_out: bool,
+    /// Whether the MTM observes `co_pa`/`fr_pa` (relation-aware
+    /// execution branching).
+    pub branch_co_pa: bool,
+}
+
+/// Phase 1 of the pipeline: enumerates the program space and keeps, in
+/// enumeration order, the first occurrence of each canonical key that can
+/// violate anything at all (spanning-set criterion 1: a write exists).
+///
+/// Isomorphic programs have isomorphic candidate executions, so later
+/// occurrences of a key can never contribute a suite member the first
+/// occurrence does not; dropping them up front makes the plan a fixed
+/// work-list that any shard partition processes identically.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn plan_suite(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    deadline: Option<Instant>,
+) -> SynthPlan {
+    let progs = crate::programs::programs_with_deadline(&opts.enumeration, deadline);
+    let mut timed_out = deadline.is_some_and(|d| Instant::now() > d);
+    let mut keyed: Vec<(Program, Option<Vec<u64>>)> = Vec::with_capacity(progs.len());
+    for prog in progs {
+        // Keying is the expensive half of planning; it honors the
+        // deadline too. Unkeyed programs drop out of the plan, exactly
+        // like programs the old driver never reached before its timeout.
+        if timed_out {
+            keyed.push((prog, None));
+            continue;
+        }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            timed_out = true;
+            keyed.push((prog, None));
+            continue;
+        }
+        let key = plan_key(&prog);
+        keyed.push((prog, key));
+    }
+    plan_from_keyed(mtm, axiom, keyed, timed_out)
+}
+
+/// The plan-phase key of one program: its canonical key when the program
+/// can appear in a spanning set (it contains a write), `None` otherwise.
+/// Key computation is the expensive part of planning and is independent
+/// per program — `transform-par` fans it out across workers and feeds the
+/// results to [`plan_from_keyed`].
+pub fn plan_key(program: &Program) -> Option<Vec<u64>> {
+    // Spanning-set criterion 1: a write exists. User writes, PTE writes,
+    // and the dirty-bit ghosts user writes carry are all writes; reads,
+    // fences, and invalidations alone cannot violate anything.
+    let has_write = program.threads.iter().flatten().any(|op| {
+        matches!(
+            op,
+            crate::programs::SlotOp::Write { .. } | crate::programs::SlotOp::PteWrite { .. }
+        )
+    });
+    has_write.then(|| canonical_key(program))
+}
+
+/// Deterministic final step of planning: keeps the first occurrence of
+/// each canonical key, in enumeration order. Isomorphic programs have
+/// isomorphic candidate executions, so later occurrences of a key can
+/// never contribute a suite member the first occurrence does not.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn plan_from_keyed(
+    mtm: &Mtm,
+    axiom: &str,
+    keyed: Vec<(Program, Option<Vec<u64>>)>,
+    timed_out: bool,
+) -> SynthPlan {
     assert!(
         mtm.axiom(axiom).is_some(),
         "axiom `{axiom}` is not part of {}",
         mtm.name()
     );
-    let start = Instant::now();
     let branch_co_pa = mtm.mentions(BaseRel::CoPa) || mtm.mentions(BaseRel::FrPa);
-    let deadline = opts.timeout.map(|t| start + t);
-    let progs = crate::programs::programs_with_deadline(&opts.enumeration, deadline);
-    let mut stats = SuiteStats {
-        programs: progs.len(),
-        timed_out: deadline.is_some_and(|d| Instant::now() > d),
-        ..SuiteStats::default()
-    };
-    let mut seen: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
-    let mut elts: Vec<SynthesizedElt> = Vec::new();
+    let programs = keyed.len();
+    let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut items = Vec::new();
+    for (prog, key) in keyed {
+        let Some(key) = key else { continue };
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        items.push(WorkItem {
+            index: items.len(),
+            program: prog,
+            key,
+        });
+    }
+    SynthPlan {
+        items,
+        programs,
+        timed_out,
+        branch_co_pa,
+    }
+}
 
-    'programs: for prog in progs {
-        if let Some(t) = opts.timeout {
-            if start.elapsed() > t {
-                stats.timed_out = true;
-                break;
-            }
-        }
-        let skeleton = prog.to_skeleton();
-        // Spanning-set criterion 1: the ELT must contain a write.
-        if !skeleton.has_write() {
-            continue;
-        }
-        let key = canonical_key(&prog);
-        if seen.contains_key(&key) {
-            continue;
-        }
-        let candidates: Vec<Execution> = match opts.backend {
-            Backend::Explicit => execs::executions(&skeleton, branch_co_pa),
-            Backend::Relational => {
-                satgen::violating_executions(&skeleton, mtm, axiom, branch_co_pa, usize::MAX)
-            }
-        };
-        for x in candidates {
-            stats.executions += 1;
-            let Ok(analysis) = x.analyze() else { continue };
-            let verdict = mtm.evaluate(&analysis);
-            // Spanning-set criterion 2: the outcome violates the axiom
-            // under synthesis.
-            if !verdict.violates(axiom) {
-                continue;
-            }
-            stats.forbidden += 1;
-            if !is_minimal(&x, mtm) {
-                continue;
-            }
-            stats.minimal += 1;
-            seen.insert(key.clone(), elts.len());
-            elts.push(SynthesizedElt {
-                program: prog.clone(),
-                witness: x,
-                violated: verdict.violated,
-            });
-            continue 'programs;
+/// The outcome of examining one work item.
+#[derive(Clone, Debug)]
+pub struct Examined {
+    /// Candidate executions examined.
+    pub executions: usize,
+    /// Executions violating the target axiom.
+    pub forbidden: usize,
+    /// Violating executions passing the minimality criterion.
+    pub minimal: usize,
+    /// The chosen witness and the axioms it violates, when the program
+    /// belongs in the suite.
+    pub witness: Option<(Execution, Vec<String>)>,
+}
+
+/// Phase 2 of the pipeline: per-program candidate generation and
+/// spanning-set filtering.
+///
+/// One `Examiner` serves one shard. With the relational backend it owns a
+/// [`satgen::ShardGen`], so every program it examines shares a single
+/// incremental SAT solver.
+pub struct Examiner<'m> {
+    mtm: &'m Mtm,
+    axiom: &'m str,
+    backend: Backend,
+    branch_co_pa: bool,
+    shard_gen: Option<satgen::ShardGen>,
+    /// SAT counters from solvers already retired by the periodic refresh,
+    /// so [`Examiner::solver_stats`] stays cumulative.
+    retired_solver_stats: tsat::SolverStats,
+}
+
+/// Problems served by one incremental solver before the examiner swaps
+/// in a fresh one. Retired activation groups keep their variables and
+/// Tseitin clauses in the shared solver (only learnt clauses are ever
+/// deleted), so an unbounded run on one solver grows without limit; a
+/// periodic refresh caps memory at shard scale while keeping the
+/// learning-transfer benefit within each window. Results are unaffected —
+/// per-program examination is order-canonical regardless of solver state.
+const SOLVER_REFRESH_EVERY: usize = 64;
+
+impl<'m> Examiner<'m> {
+    /// Creates an examiner for one shard of a run.
+    pub fn new(mtm: &'m Mtm, axiom: &'m str, backend: Backend, branch_co_pa: bool) -> Examiner<'m> {
+        Examiner {
+            mtm,
+            axiom,
+            backend,
+            branch_co_pa,
+            shard_gen: match backend {
+                Backend::Explicit => None,
+                Backend::Relational => Some(satgen::ShardGen::new()),
+            },
+            retired_solver_stats: tsat::SolverStats::default(),
         }
     }
-    stats.elapsed = start.elapsed();
+
+    /// Examines one program: generates its candidate executions, counts
+    /// them up to (and including) the first minimal forbidden one in
+    /// canonical order, and takes that execution — the canonically least
+    /// minimal witness — as the program's witness.
+    ///
+    /// Candidates are put in a canonical order before examination, so the
+    /// result does not depend on backend generation order — in
+    /// particular, not on what an incremental SAT solver learnt from
+    /// other programs in the shard. That independence is what lets any
+    /// shard partition reproduce the sequential suite byte for byte, and
+    /// it makes the early break at the witness safe: the counters are a
+    /// pure per-program function either way.
+    pub fn examine(&mut self, program: &Program) -> Examined {
+        let skeleton = program.to_skeleton();
+        let mut candidates: Vec<Execution> = match self.backend {
+            Backend::Explicit => execs::executions(&skeleton, self.branch_co_pa),
+            Backend::Relational => {
+                let shard_gen = self
+                    .shard_gen
+                    .as_mut()
+                    .expect("relational examiner owns a shard generator");
+                if shard_gen.problems_solved() >= SOLVER_REFRESH_EVERY {
+                    self.retired_solver_stats.absorb(&shard_gen.solver_stats());
+                    *shard_gen = satgen::ShardGen::new();
+                }
+                shard_gen.violating_executions(
+                    &skeleton,
+                    self.mtm,
+                    self.axiom,
+                    self.branch_co_pa,
+                    usize::MAX,
+                )
+            }
+        };
+        candidates.sort_by_cached_key(candidate_order_key);
+        let mut out = Examined {
+            executions: 0,
+            forbidden: 0,
+            minimal: 0,
+            witness: None,
+        };
+        for x in candidates {
+            out.executions += 1;
+            let Ok(analysis) = x.analyze() else { continue };
+            let verdict = self.mtm.evaluate(&analysis);
+            // Spanning-set criterion 2: the outcome violates the axiom
+            // under synthesis.
+            if !verdict.violates(self.axiom) {
+                continue;
+            }
+            out.forbidden += 1;
+            if !is_minimal(&x, self.mtm) {
+                continue;
+            }
+            out.minimal += 1;
+            out.witness = Some((x, verdict.violated));
+            break;
+        }
+        out
+    }
+
+    /// SAT statistics of the shard's incremental solver (relational
+    /// backend only).
+    pub fn solver_stats(&self) -> Option<tsat::SolverStats> {
+        self.shard_gen.as_ref().map(|shard_gen| {
+            let mut stats = self.retired_solver_stats;
+            stats.absorb(&shard_gen.solver_stats());
+            stats
+        })
+    }
+}
+
+/// A total, deterministic order on candidate executions of one skeleton:
+/// their communication choices.
+fn candidate_order_key(x: &Execution) -> impl Ord {
+    let parts = x.to_parts();
+    let rf: Vec<(u32, u32)> = parts.rf.iter().map(|(r, w)| (r.0, w.0)).collect();
+    let co: Vec<(u32, u32)> = parts.co.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    let co_pa: Option<Vec<(u32, u32)>> = parts
+        .co_pa
+        .map(|s| s.iter().map(|&(a, b)| (a.0, b.0)).collect());
+    (rf, co, co_pa)
+}
+
+/// Phase 3 of the pipeline: reassembles per-item results (in plan order)
+/// into a [`Suite`] with lossless per-shard counters.
+pub fn assemble_suite(
+    axiom: &str,
+    plan: &SynthPlan,
+    results: Vec<(usize, Examined)>,
+    shards: Vec<ShardStats>,
+    elapsed: Duration,
+    timed_out: bool,
+) -> Suite {
+    let mut results = results;
+    results.sort_by_key(|&(index, _)| index);
+    let elts: Vec<SynthesizedElt> = results
+        .into_iter()
+        .filter_map(|(index, examined)| {
+            examined.witness.map(|(witness, violated)| SynthesizedElt {
+                program: plan.items[index].program.clone(),
+                witness,
+                violated,
+            })
+        })
+        .collect();
+    let mut stats = SuiteStats::from_shards(plan.programs, shards);
+    stats.elapsed = elapsed;
+    stats.timed_out = timed_out || plan.timed_out;
     Suite {
         axiom: axiom.to_string(),
         elts,
         stats,
     }
+}
+
+/// Synthesizes the per-axiom suite: all unique, minimal ELT programs (≤
+/// the bound) having an execution that violates `axiom`.
+///
+/// This is the sequential driver — exactly the pipeline `transform-par`
+/// distributes, run as one shard.
+pub fn synthesize_suite(mtm: &Mtm, axiom: &str, opts: &SynthOptions) -> Suite {
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let plan = plan_suite(mtm, axiom, opts, deadline);
+    let mut examiner = Examiner::new(mtm, axiom, opts.backend, plan.branch_co_pa);
+    let mut shard = ShardStats::new(0);
+    let mut results = Vec::new();
+    let mut timed_out = false;
+    for item in &plan.items {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            timed_out = true;
+            break;
+        }
+        let examined = examiner.examine(&item.program);
+        shard.absorb(&examined);
+        results.push((item.index, examined));
+    }
+    assemble_suite(
+        axiom,
+        &plan,
+        results,
+        vec![shard],
+        start.elapsed(),
+        timed_out,
+    )
 }
 
 /// Synthesizes every per-axiom suite of `mtm` (§V-B).

@@ -186,10 +186,9 @@ fn enumerate_data(
                 .entry(pa_of[e.id.index()].expect("write has a PA"))
                 .or_default()
                 .push(e.id),
-            EventKind::PteWrite { .. } | EventKind::DirtyBitWrite => by_pte
-                .entry(e.va_unwrap().0)
-                .or_default()
-                .push(e.id),
+            EventKind::PteWrite { .. } | EventKind::DirtyBitWrite => {
+                by_pte.entry(e.va_unwrap().0).or_default().push(e.id)
+            }
             _ => {}
         }
     }
@@ -343,10 +342,7 @@ mod tests {
         // write (fresh): 2 executions.
         assert_eq!(execs.len(), 2);
         let analyses: Vec<_> = execs.iter().map(|x| x.analyze().expect("wf")).collect();
-        let pas: Vec<_> = analyses
-            .iter()
-            .map(|a| a.location(EventId(2)))
-            .collect();
+        let pas: Vec<_> = analyses.iter().map(|a| a.location(EventId(2))).collect();
         assert_ne!(pas[0], pas[1]);
     }
 

@@ -48,8 +48,9 @@ pub mod relax;
 pub mod satgen;
 
 pub use engine::{
-    exclusive_attribution, suite_contains, synthesize_all, synthesize_suite, unique_union,
-    Backend, Suite, SuiteStats, SynthOptions, SynthesizedElt,
+    assemble_suite, exclusive_attribution, plan_from_keyed, plan_key, plan_suite, suite_contains,
+    synthesize_all, synthesize_suite, unique_union, Backend, Examined, Examiner, ShardStats, Suite,
+    SuiteStats, SynthOptions, SynthPlan, SynthesizedElt, WorkItem,
 };
 pub use programs::{EnumOptions, PaRef, Program, SlotOp};
 pub use relax::Relaxation;

@@ -30,13 +30,15 @@ pub fn is_minimal(x: &Execution, mtm: &Mtm) -> bool {
 /// Classifies a forbidden execution: `Some(r)` is a witness relaxation
 /// under which it stays forbidden (hence non-minimal), `None` means
 /// minimal.
-pub fn non_minimality_witness(
-    x: &Execution,
-    mtm: &Mtm,
-) -> Option<crate::relax::Relaxation> {
+pub fn non_minimality_witness(x: &Execution, mtm: &Mtm) -> Option<crate::relax::Relaxation> {
     relaxations(x).into_iter().find(|r| {
         apply(x, r)
-            .and_then(|relaxed| relaxed.analyze().ok().map(|a| !mtm.evaluate(&a).is_permitted()))
+            .and_then(|relaxed| {
+                relaxed
+                    .analyze()
+                    .ok()
+                    .map(|a| !mtm.evaluate(&a).is_permitted())
+            })
             .unwrap_or(false)
     })
 }

@@ -73,10 +73,7 @@ impl SlotOp {
         match self {
             SlotOp::Read { walk, .. } => 1 + usize::from(walk),
             SlotOp::Write { walk, .. } => 2 + usize::from(walk),
-            SlotOp::Fence
-            | SlotOp::Invlpg { .. }
-            | SlotOp::TlbFlush
-            | SlotOp::PteWrite { .. } => 1,
+            SlotOp::Fence | SlotOp::Invlpg { .. } | SlotOp::TlbFlush | SlotOp::PteWrite { .. } => 1,
         }
     }
 
@@ -107,11 +104,7 @@ pub struct Program {
 impl Program {
     /// Total event count, ghosts included.
     pub fn size(&self) -> usize {
-        self.threads
-            .iter()
-            .flatten()
-            .map(|op| op.cost())
-            .sum()
+        self.threads.iter().flatten().map(|op| op.cost()).sum()
     }
 
     /// Number of distinct VAs (they are first-use numbered).
@@ -401,14 +394,16 @@ fn extend(
     }
 
     // Fence, only after a non-fence instruction.
-    if opts.allow_fences && 1 <= remaining && !cur.ops.is_empty() {
-        if cur.ops.last() != Some(&SlotOp::Fence) {
-            cur.ops.push(SlotOp::Fence);
-            cur.cost += 1;
-            extend(cur, tlb, budget, opts, out);
-            cur.ops.pop();
-            cur.cost -= 1;
-        }
+    if opts.allow_fences
+        && 1 <= remaining
+        && !cur.ops.is_empty()
+        && cur.ops.last() != Some(&SlotOp::Fence)
+    {
+        cur.ops.push(SlotOp::Fence);
+        cur.cost += 1;
+        extend(cur, tlb, budget, opts, out);
+        cur.ops.pop();
+        cur.cost -= 1;
     }
 }
 
@@ -574,7 +569,11 @@ fn assign_and_emit(
         let mut syms: Vec<(usize, usize)> = Vec::new(); // (thread, local sym)
         for (t, shape) in ts.iter().enumerate() {
             for op in &shape.ops {
-                if let SlotOp::PteWrite { pa: PaRef::Fresh(k), .. } = op {
+                if let SlotOp::PteWrite {
+                    pa: PaRef::Fresh(k),
+                    ..
+                } = op
+                {
                     syms.push((t, *k));
                 }
             }
@@ -670,10 +669,13 @@ fn assign_and_emit(
     }
 }
 
+/// One `(wpte, invlpg)` remap pair as `(thread, slot)` positions.
+type RemapPair = ((usize, usize), (usize, usize));
+
 /// All ways to give every PTE write exactly one same-VA `INVLPG` per core
 /// (same-core one strictly later in po), each `INVLPG` serving at most one
 /// PTE write.
-fn remap_assignments(threads: &[Vec<SlotOp>]) -> Vec<Vec<((usize, usize), (usize, usize))>> {
+fn remap_assignments(threads: &[Vec<SlotOp>]) -> Vec<Vec<RemapPair>> {
     let wptes: Vec<(usize, usize, usize)> = threads
         .iter()
         .enumerate()
@@ -696,18 +698,19 @@ fn remap_assignments(threads: &[Vec<SlotOp>]) -> Vec<Vec<((usize, usize), (usize
         .collect();
     let num_threads = threads.len();
     let mut results = Vec::new();
-    let mut partial: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    let mut partial: Vec<RemapPair> = Vec::new();
     let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         wptes: &[(usize, usize, usize)],
         invlpgs: &[(usize, usize, usize)],
         num_threads: usize,
         wi: usize,
         target_thread: usize,
-        partial: &mut Vec<((usize, usize), (usize, usize))>,
+        partial: &mut Vec<RemapPair>,
         used: &mut BTreeSet<(usize, usize)>,
-        results: &mut Vec<Vec<((usize, usize), (usize, usize))>>,
+        results: &mut Vec<Vec<RemapPair>>,
     ) {
         if wi == wptes.len() {
             results.push(partial.clone());
@@ -809,9 +812,9 @@ mod tests {
         let opts = EnumOptions::new(2);
         let progs = programs(&opts);
         // R x with its walk.
-        assert!(progs.iter().any(|p| {
-            p.threads == vec![vec![SlotOp::Read { va: 0, walk: true }]]
-        }));
+        assert!(progs
+            .iter()
+            .any(|p| { p.threads == vec![vec![SlotOp::Read { va: 0, walk: true }]] }));
         // No program exceeds the bound.
         assert!(progs.iter().all(|p| p.size() <= 2));
     }

@@ -163,7 +163,7 @@ pub fn apply(x: &Execution, r: &Relaxation) -> Option<Execution> {
         co: map_pairs(&parts.co),
         rmw: map_pairs(&parts.rmw),
         remap: map_pairs(&parts.remap),
-        co_pa: parts.co_pa.as_ref().map(|s| map_pairs(s)),
+        co_pa: parts.co_pa.as_ref().map(map_pairs),
     });
     repair(rebuilt)
 }

@@ -14,7 +14,7 @@
 //! dirty-bit-to-walk edges, terminating at a PTE write (or at the initial
 //! mapping when the chain never meets one).
 
-use relational::{Expr, Formula, Problem, RelId, TupleSet, Universe};
+use relational::{Expr, Formula, Instance, Problem, RelId, Session, TupleSet, Universe};
 use std::collections::BTreeMap;
 use transform_core::axiom::{Axiom, Mtm, RelExpr};
 use transform_core::derive::{static_tlb_sources, BaseRel};
@@ -61,41 +61,117 @@ fn generate(
     let Some(enc) = encode(skeleton, violate, branch_co_pa) else {
         return Vec::new();
     };
-    let mut out = Vec::new();
-    for inst in enc.problem.solutions() {
-        if out.len() >= limit {
-            break;
-        }
-        let mut parts = skeleton.to_parts();
-        parts.rf = BTreeMap::new();
-        for (w, r) in inst.pairs(enc.rf_data) {
-            parts.rf.insert(EventId(r as u32), EventId(w as u32));
-        }
-        for (w, r) in inst.pairs(enc.rf_pte) {
-            parts.rf.insert(EventId(r as u32), EventId(w as u32));
-        }
-        parts.co = inst
-            .pairs(enc.co)
+    enc.problem
+        .solutions()
+        .take(limit)
+        .map(|inst| decode(skeleton, &enc, &inst))
+        .collect()
+}
+
+/// Reads one SAT model back into a candidate execution.
+fn decode(skeleton: &Execution, enc: &Encoding, inst: &Instance) -> Execution {
+    let mut parts = skeleton.to_parts();
+    parts.rf = BTreeMap::new();
+    for (w, r) in inst.pairs(enc.rf_data) {
+        parts.rf.insert(EventId(r as u32), EventId(w as u32));
+    }
+    for (w, r) in inst.pairs(enc.rf_pte) {
+        parts.rf.insert(EventId(r as u32), EventId(w as u32));
+    }
+    parts.co = inst
+        .pairs(enc.co)
+        .into_iter()
+        .map(|(a, b)| (EventId(a as u32), EventId(b as u32)))
+        .collect();
+    parts.co_pa = enc.co_pa.map(|r| {
+        inst.pairs(r)
             .into_iter()
             .map(|(a, b)| (EventId(a as u32), EventId(b as u32)))
-            .collect();
-        parts.co_pa = enc.co_pa.map(|r| {
-            inst.pairs(r)
-                .into_iter()
-                .map(|(a, b)| (EventId(a as u32), EventId(b as u32)))
-                .collect::<PairSet>()
-        });
-        out.push(Execution::from_parts(parts));
+            .collect::<PairSet>()
+    });
+    Execution::from_parts(parts)
+}
+
+/// A shard-scoped incremental generator: one SAT solver serving every
+/// program of a shard.
+///
+/// The free functions above rebuild a solver (and its CNF) per skeleton —
+/// the architecture of the paper's batch pipeline, where every candidate
+/// pays full translation and search from scratch. A `ShardGen` instead
+/// keeps a [`relational::Session`] alive across calls: each skeleton's
+/// constraints live under an activation literal, and the CDCL core
+/// retains learnt clauses, variable activities, and saved phases between
+/// skeletons. Within a shard of structurally similar programs (see
+/// `transform-par`'s prefix sharding) that knowledge transfers, making
+/// the relational backend profitable per shard instead of per call.
+pub struct ShardGen {
+    session: Session,
+}
+
+impl ShardGen {
+    /// Creates a generator with a fresh shared solver.
+    pub fn new() -> ShardGen {
+        ShardGen {
+            session: Session::new(),
+        }
     }
-    out
+
+    /// Incremental equivalent of [`violating_executions`].
+    pub fn violating_executions(
+        &mut self,
+        skeleton: &Execution,
+        mtm: &Mtm,
+        axiom: &str,
+        branch_co_pa: bool,
+        limit: usize,
+    ) -> Vec<Execution> {
+        let Some(named) = mtm.axiom(axiom) else {
+            return Vec::new();
+        };
+        self.generate(skeleton, Some(&named.axiom), branch_co_pa, limit)
+    }
+
+    /// Incremental equivalent of [`all_executions`].
+    pub fn all_executions(&mut self, skeleton: &Execution, branch_co_pa: bool) -> Vec<Execution> {
+        self.generate(skeleton, None, branch_co_pa, usize::MAX)
+    }
+
+    fn generate(
+        &mut self,
+        skeleton: &Execution,
+        violate: Option<&Axiom>,
+        branch_co_pa: bool,
+        limit: usize,
+    ) -> Vec<Execution> {
+        let Some(enc) = encode(skeleton, violate, branch_co_pa) else {
+            return Vec::new();
+        };
+        self.session
+            .solve_all(&enc.problem, limit)
+            .iter()
+            .map(|inst| decode(skeleton, &enc, inst))
+            .collect()
+    }
+
+    /// The number of skeletons solved on this shard's solver.
+    pub fn problems_solved(&self) -> usize {
+        self.session.problems_solved()
+    }
+
+    /// Cumulative SAT statistics for the shard's solver.
+    pub fn solver_stats(&self) -> tsat::SolverStats {
+        self.session.solver_stats()
+    }
+}
+
+impl Default for ShardGen {
+    fn default() -> ShardGen {
+        ShardGen::new()
+    }
 }
 
 #[allow(clippy::too_many_lines)]
-fn encode(
-    skeleton: &Execution,
-    violate: Option<&Axiom>,
-    branch_co_pa: bool,
-) -> Option<Encoding> {
+fn encode(skeleton: &Execution, violate: Option<&Axiom>, branch_co_pa: bool) -> Option<Encoding> {
     let events = skeleton.events();
     let n = events.len();
     let num_pas = skeleton.num_pas();
@@ -139,7 +215,10 @@ fn encode(
         events
             .iter()
             .filter(|w| {
-                matches!(w.kind, EventKind::PteWrite { .. } | EventKind::DirtyBitWrite)
+                matches!(
+                    w.kind,
+                    EventKind::PteWrite { .. } | EventKind::DirtyBitWrite
+                )
             })
             .flat_map(|w| {
                 events
@@ -150,29 +229,24 @@ fn encode(
     );
     let rf_pte = problem.declare("rf_pte", 2, TupleSet::empty(2), rf_pte_upper);
 
-    let co_upper = TupleSet::from_pairs(
-        events
-            .iter()
-            .filter(|a| a.kind.is_write())
-            .flat_map(|a| {
-                events
-                    .iter()
-                    .filter(move |b| b.kind.is_write() && b.id != a.id)
-                    .map(move |b| (a.id.index(), b.id.index()))
-            }),
-    );
+    let co_upper =
+        TupleSet::from_pairs(events.iter().filter(|a| a.kind.is_write()).flat_map(|a| {
+            events
+                .iter()
+                .filter(move |b| b.kind.is_write() && b.id != a.id)
+                .map(move |b| (a.id.index(), b.id.index()))
+        }));
     let co = problem.declare("co", 2, TupleSet::empty(2), co_upper);
 
     let co_pa = if branch_co_pa {
         let upper = TupleSet::from_pairs(events.iter().flat_map(|a| {
-            events.iter().filter_map(move |b| {
-                match (a.kind, b.kind) {
-                    (
-                        EventKind::PteWrite { new_pa: pa_a },
-                        EventKind::PteWrite { new_pa: pa_b },
-                    ) if a.id != b.id && pa_a == pa_b => Some((a.id.index(), b.id.index())),
-                    _ => None,
+            events.iter().filter_map(move |b| match (a.kind, b.kind) {
+                (EventKind::PteWrite { new_pa: pa_a }, EventKind::PteWrite { new_pa: pa_b })
+                    if a.id != b.id && pa_a == pa_b =>
+                {
+                    Some((a.id.index(), b.id.index()))
                 }
+                _ => None,
             })
         }));
         Some(problem.declare("co_pa", 2, TupleSet::empty(2), upper))
@@ -183,7 +257,11 @@ fn encode(
     // --- static structure ---
     let mut slot_vec = vec![0usize; n];
     for t in 0..skeleton.num_threads() {
-        for (s, &e) in skeleton.po_of(transform_core::ids::ThreadId(t)).iter().enumerate() {
+        for (s, &e) in skeleton
+            .po_of(transform_core::ids::ThreadId(t))
+            .iter()
+            .enumerate()
+        {
             slot_vec[e.index()] = s;
         }
     }
@@ -256,8 +334,7 @@ fn encode(
             .filter_map(|e| tlb_src[e.id.index()].map(|p| (p.index(), e.id.index()))),
     );
     let ptw_source_pairs = TupleSet::from_pairs(events.iter().flat_map(|e| {
-        let own = tlb_src[e.id.index()]
-            .filter(|&p| skeleton.invoker(p) == Some(e.id));
+        let own = tlb_src[e.id.index()].filter(|&p| skeleton.invoker(p) == Some(e.id));
         events.iter().filter_map(move |e2| {
             (own.is_some() && e2.id != e.id && tlb_src[e2.id.index()] == own)
                 .then_some((e.id.index(), e2.id.index()))
@@ -340,10 +417,7 @@ fn encode(
     let loaded = origin_rel
         .clone()
         .join(Expr::constant(wpte2pa.clone()))
-        .union(
-            Expr::constant(init_loaded)
-                .inter(init_ptws.clone().product(Expr::univ(1))),
-        );
+        .union(Expr::constant(init_loaded).inter(init_ptws.clone().product(Expr::univ(1))));
     let pa_of = Expr::constant(user2walk.clone()).join(loaded.clone());
     let loc = pa_of.clone().union(Expr::constant(pte_loc.clone()));
     let same_loc = loc.clone().join(loc.clone().transpose());
@@ -399,15 +473,11 @@ fn encode(
         // fr = (~rf ; co) ∪ ((reads with no source × writes) ∩ same_loc).
         let sourced = Expr::univ(1).join(rf.clone());
         let no_src_reads = Expr::constant(reads.clone()).diff(sourced);
-        let fr = rf
-            .clone()
-            .transpose()
-            .join(Expr::rel(co))
-            .union(
-                no_src_reads
-                    .product(Expr::constant(writes.clone()))
-                    .inter(same_loc.clone()),
-            );
+        let fr = rf.clone().transpose().join(Expr::rel(co)).union(
+            no_src_reads
+                .product(Expr::constant(writes.clone()))
+                .inter(same_loc.clone()),
+        );
         let com = rf.clone().union(Expr::rel(co)).union(fr.clone());
         // Default static co_pa (event order) when not branched.
         let default_co_pa = TupleSet::from_pairs(events.iter().flat_map(|a| {
@@ -426,8 +496,8 @@ fn encode(
         };
         // fr_va / fr_pa: successors of the mapping origin, with the
         // initial-mapping cases added statically per VA / per PA.
-        let init_users = Expr::constant(user_mem.clone())
-            .diff(user_origin.clone().join(Expr::univ(1)));
+        let init_users =
+            Expr::constant(user_mem.clone()).diff(user_origin.clone().join(Expr::univ(1)));
         let mut fr_va = user_origin
             .clone()
             .join(Expr::rel(co))
@@ -476,16 +546,14 @@ fn encode(
             match rel {
                 BaseRel::Po => Expr::constant(po_pairs.clone()),
                 BaseRel::Apo => Expr::constant(apo_pairs.clone()),
-                BaseRel::PoLoc => Expr::constant(
-                    apo_pairs
-                        .clone()
-                        .intersection(&TupleSet::from_pairs(events.iter().flat_map(|a| {
-                            events.iter().filter_map(move |b| {
-                                (a.kind.is_memory() && b.kind.is_memory())
-                                    .then_some((a.id.index(), b.id.index()))
-                            })
-                        }))),
-                )
+                BaseRel::PoLoc => Expr::constant(apo_pairs.clone().intersection(
+                    &TupleSet::from_pairs(events.iter().flat_map(|a| {
+                        events.iter().filter_map(move |b| {
+                            (a.kind.is_memory() && b.kind.is_memory())
+                                .then_some((a.id.index(), b.id.index()))
+                        })
+                    })),
+                ))
                 .inter(same_loc.clone()),
                 BaseRel::Ppo => Expr::constant(ppo_pairs.clone()),
                 BaseRel::Fence => Expr::constant(fence_pairs.clone()),
@@ -557,8 +625,10 @@ mod tests {
         .expect("spec parses")
     }
 
+    type CommSignature = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
     /// Canonical signature of one execution's communication choices.
-    fn signature(x: &Execution) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    fn signature(x: &Execution) -> CommSignature {
         let rf: Vec<(u32, u32)> = x.rf_pairs().iter().map(|&(a, b)| (a.0, b.0)).collect();
         let co: Vec<(u32, u32)> = x.co_pairs().iter().map(|&(a, b)| (a.0, b.0)).collect();
         (rf, co)
@@ -589,10 +659,7 @@ mod tests {
             .iter()
             .map(signature)
             .collect();
-        let relational: BTreeSet<_> = all_executions(&skel, false)
-            .iter()
-            .map(signature)
-            .collect();
+        let relational: BTreeSet<_> = all_executions(&skel, false).iter().map(signature).collect();
         assert_eq!(explicit, relational);
         assert_eq!(explicit.len(), 2);
     }
@@ -604,10 +671,7 @@ mod tests {
             .iter()
             .map(signature)
             .collect();
-        let relational: BTreeSet<_> = all_executions(&skel, false)
-            .iter()
-            .map(signature)
-            .collect();
+        let relational: BTreeSet<_> = all_executions(&skel, false).iter().map(signature).collect();
         assert_eq!(explicit, relational);
     }
 
@@ -622,10 +686,7 @@ mod tests {
             .iter()
             .map(signature)
             .collect();
-        let relational: BTreeSet<_> = all_executions(&skel, false)
-            .iter()
-            .map(signature)
-            .collect();
+        let relational: BTreeSet<_> = all_executions(&skel, false).iter().map(signature).collect();
         assert_eq!(explicit, relational);
         assert_eq!(explicit.len(), 4);
     }
@@ -646,6 +707,51 @@ mod tests {
             .filter(|x| mtm.permits(x).violates("invlpg"))
             .collect();
         assert_eq!(explicit.len(), bad.len());
+    }
+
+    #[test]
+    fn shard_gen_matches_one_shot_generation() {
+        // One incremental solver across several structurally different
+        // skeletons must produce exactly the per-skeleton model sets of
+        // fresh solvers.
+        let mtm = x86t_elt_like();
+        let mut shard = ShardGen::new();
+        let skeletons = [skeleton_wr(), skeleton_remap_read(), skeleton_wr()];
+        for (i, skel) in skeletons.iter().enumerate() {
+            let fresh: BTreeSet<_> = all_executions(skel, false).iter().map(signature).collect();
+            let shared: BTreeSet<_> = shard
+                .all_executions(skel, false)
+                .iter()
+                .map(signature)
+                .collect();
+            assert_eq!(fresh, shared, "skeleton {i}: all-executions sets differ");
+
+            for axiom in ["sc_per_loc", "invlpg"] {
+                let fresh: BTreeSet<_> = violating_executions(skel, &mtm, axiom, false, usize::MAX)
+                    .iter()
+                    .map(signature)
+                    .collect();
+                let shared: BTreeSet<_> = shard
+                    .violating_executions(skel, &mtm, axiom, false, usize::MAX)
+                    .iter()
+                    .map(signature)
+                    .collect();
+                assert_eq!(fresh, shared, "skeleton {i}, axiom {axiom}");
+            }
+        }
+        assert_eq!(shard.problems_solved(), skeletons.len() * 3);
+        assert!(shard.solver_stats().solve_calls > 0);
+    }
+
+    #[test]
+    fn shard_gen_respects_limits() {
+        let mut shard = ShardGen::new();
+        let skel = skeleton_wr();
+        let total = shard.all_executions(&skel, false).len();
+        assert_eq!(total, 2);
+        let mtm = x86t_elt_like();
+        let limited = shard.violating_executions(&skel, &mtm, "sc_per_loc", false, 1);
+        assert_eq!(limited.len(), 1);
     }
 
     #[test]

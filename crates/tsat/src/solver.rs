@@ -31,6 +31,25 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt: u64,
+    /// Number of `solve`/`solve_with` calls answered. Incremental callers
+    /// (see [`Solver::solve_with`]) amortize clause learning across many
+    /// calls; this counter exposes how many calls one solver served.
+    pub solve_calls: u64,
+}
+
+impl SolverStats {
+    /// Adds another solver's counters into these, for callers that
+    /// aggregate work across several solver instances. `learnt` (clauses
+    /// *currently* in a database) is summed like the rest; across live
+    /// solvers it reads as their combined database size.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt += other.learnt;
+        self.solve_calls += other.solve_calls;
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -606,8 +625,18 @@ impl Solver {
 
     /// Solves under the given assumption literals.
     ///
-    /// Assumptions are temporary: they constrain only this call.
+    /// Assumptions are temporary: they constrain only this call. This is
+    /// the solver's *incremental* interface: everything else — problem
+    /// clauses, clauses learnt during earlier calls, variable activities,
+    /// and saved phases — is retained across calls, so a sequence of
+    /// related queries against one solver shares all derived knowledge.
+    /// The standard activation-literal pattern gates per-query constraint
+    /// groups: add each group's clauses with an extra `¬sᵢ` literal,
+    /// assume `sᵢ` while the group is live, and retire the group for good
+    /// with a unit `¬sᵢ` clause (which satisfies, and effectively
+    /// removes, every clause of the group).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solve_calls += 1;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -698,14 +727,34 @@ impl Solver {
     /// Returns `false` when the blocking clause is empty (no variables) or
     /// makes the formula unsatisfiable.
     pub fn block_model(&mut self, vars: &[Var]) -> bool {
-        let lits: Vec<Lit> = vars
+        self.block_model_under(vars, None)
+    }
+
+    /// Like [`Solver::block_model`], with the blocking clause gated by an
+    /// optional `unless` literal: the clause only bites while `unless` is
+    /// false. Incremental enumeration (model counting per activation
+    /// group) passes the group's negated activation literal here, so a
+    /// later unit `¬sᵢ` retires the group's blocking clauses along with
+    /// its constraints instead of poisoning the shared solver.
+    pub fn block_model_under(&mut self, vars: &[Var], unless: Option<Lit>) -> bool {
+        let mut lits: Vec<Lit> = vars
             .iter()
             .filter_map(|&v| self.value(v).map(|b| Lit::new(v, !b)))
             .collect();
         if lits.is_empty() {
-            self.ok = false;
-            return false;
+            match unless {
+                // No way back under this activation group: retire it.
+                Some(u) => {
+                    self.add_clause([u]);
+                    return false;
+                }
+                None => {
+                    self.ok = false;
+                    return false;
+                }
+            }
         }
+        lits.extend(unless);
         self.add_clause(lits)
     }
 }

@@ -9,9 +9,7 @@ fn brute_force_sat(n: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
     assert!(n <= 20);
     'outer: for m in 0u32..(1 << n) {
         for clause in cnf {
-            let ok = clause
-                .iter()
-                .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos);
+            let ok = clause.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos);
             if !ok {
                 continue 'outer;
             }
@@ -26,11 +24,8 @@ fn brute_force_count(n: usize, cnf: &[Vec<(usize, bool)>]) -> usize {
     assert!(n <= 20);
     (0u32..(1 << n))
         .filter(|m| {
-            cnf.iter().all(|clause| {
-                clause
-                    .iter()
-                    .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-            })
+            cnf.iter()
+                .all(|clause| clause.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos))
         })
         .count()
 }
@@ -46,9 +41,7 @@ fn build(n: usize, cnf: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
 
 fn check_model(s: &Solver, vars: &[Var], cnf: &[Vec<(usize, bool)>]) {
     for clause in cnf {
-        let ok = clause
-            .iter()
-            .any(|&(v, pos)| s.value(vars[v]) == Some(pos));
+        let ok = clause.iter().any(|&(v, pos)| s.value(vars[v]) == Some(pos));
         assert!(ok, "model does not satisfy clause {clause:?}");
     }
 }
@@ -127,10 +120,10 @@ fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, Vec<Vec<Var>>) {
     for row in &p {
         s.add_clause(row.iter().map(|&v| Lit::pos(v)));
     }
-    for h in 0..holes {
-        for i in 0..pigeons {
-            for j in (i + 1)..pigeons {
-                s.add_clause([Lit::neg(p[i][h]), Lit::neg(p[j][h])]);
+    for i in 0..pigeons {
+        for j in (i + 1)..pigeons {
+            for (&hole_i, &hole_j) in p[i].iter().zip(&p[j]) {
+                s.add_clause([Lit::neg(hole_i), Lit::neg(hole_j)]);
             }
         }
     }
@@ -173,6 +166,64 @@ fn solve_under_assumptions() {
     );
     // The solver is still usable afterwards.
     assert!(s.solve().is_sat());
+}
+
+#[test]
+fn activation_literals_gate_incremental_groups() {
+    // The incremental pattern: per-query constraint groups gated by
+    // activation literals, solved under assumptions, retired with units.
+    let mut s = Solver::new();
+    let x = s.new_var();
+    let y = s.new_var();
+    let s1 = s.new_var();
+    let s2 = s.new_var();
+    // Group 1: s1 → x ∧ ¬y. Group 2: s2 → y.
+    s.add_clause([Lit::neg(s1), Lit::pos(x)]);
+    s.add_clause([Lit::neg(s1), Lit::neg(y)]);
+    s.add_clause([Lit::neg(s2), Lit::pos(y)]);
+    assert!(s.solve_with(&[Lit::pos(s1)]).is_sat());
+    assert_eq!(s.value(x), Some(true));
+    assert_eq!(s.value(y), Some(false));
+    // The groups conflict when both are active.
+    assert_eq!(
+        s.solve_with(&[Lit::pos(s1), Lit::pos(s2)]),
+        SolveResult::Unsat
+    );
+    // Retiring group 1 leaves group 2 solvable, on the same solver.
+    s.add_clause([Lit::neg(s1)]);
+    assert!(s.solve_with(&[Lit::pos(s2)]).is_sat());
+    assert_eq!(s.value(y), Some(true));
+    assert!(s.stats().solve_calls >= 3);
+}
+
+#[test]
+fn gated_model_enumeration_does_not_poison_the_solver() {
+    let mut s = Solver::new();
+    let v = s.new_vars(2);
+    let g = s.new_var();
+    // g → (v0 ∨ v1): 3 models over {v0, v1} while g is assumed.
+    s.add_clause([Lit::neg(g), Lit::pos(v[0]), Lit::pos(v[1])]);
+    let mut count = 0;
+    while s.solve_with(&[Lit::pos(g)]).is_sat() {
+        count += 1;
+        assert!(count <= 3, "enumerated too many gated models");
+        if !s.block_model_under(&v, Some(Lit::neg(g))) {
+            break;
+        }
+    }
+    assert_eq!(count, 3);
+    // Retire the group: its constraint and blocking clauses all die, and
+    // the same solver enumerates the full 4-model space.
+    s.add_clause([Lit::neg(g)]);
+    let mut count2 = 0;
+    while s.solve().is_sat() {
+        count2 += 1;
+        assert!(count2 <= 4);
+        if !s.block_model(&v) {
+            break;
+        }
+    }
+    assert_eq!(count2, 4);
 }
 
 #[test]

@@ -288,7 +288,11 @@ fn wr_cross_core() -> Execution {
 pub fn suite() -> Vec<CoatTest> {
     vec![
         // --- 7 verbatim-minimal tests (4 unique programs) ---
-        t("ptwalk1", "stale PT walk after remap (value flavor)", prog_a()),
+        t(
+            "ptwalk1",
+            "stale PT walk after remap (value flavor)",
+            prog_a(),
+        ),
         t("ptwalk2", "stale PT walk after remap (Fig. 10a)", prog_a()),
         t(
             "ipi_invlpg1",
@@ -316,8 +320,16 @@ pub fn suite() -> Vec<CoatTest> {
         t("ipi2", "Fig. 11 core plus unrelated read", b_plus_read()),
         t("ipi3", "Fig. 11 core plus unrelated write", b_plus_write()),
         t("ipi4", "Fig. 11 core plus fence", b_plus_fence()),
-        t("dirtybit2", "coherence core plus unrelated read", c_plus_read_y()),
-        t("dirtybit4", "coherence core plus unrelated write", c_plus_write_y()),
+        t(
+            "dirtybit2",
+            "coherence core plus unrelated read",
+            c_plus_read_y(),
+        ),
+        t(
+            "dirtybit4",
+            "coherence core plus unrelated write",
+            c_plus_write_y(),
+        ),
         t("dirtybit6", "coherence core plus fence", c_plus_fence()),
         t(
             "dirtybit7",
@@ -332,11 +344,27 @@ pub fn suite() -> Vec<CoatTest> {
         t("corr3", "coRR plus unrelated read", d_plus_read_y()),
         t("corr4", "coRR plus unrelated write", d_plus_write_y()),
         // --- 9 tests outside the spanning-set criteria ---
-        t("sb_elt", "store buffering, SC outcome (Fig. 2b)", figures::fig2b_sb_elt()),
+        t(
+            "sb_elt",
+            "store buffering, SC outcome (Fig. 2b)",
+            figures::fig2b_sb_elt(),
+        ),
         t("mp_elt", "message passing, SC outcome", mp_elt()),
-        t("ptwalk_r", "lone read with walk (Fig. 3a, no write)", figures::fig3a_read_walk()),
-        t("ptwalk_w", "lone write with walk (Fig. 3b)", figures::fig3b_write_walk()),
-        t("tlbshare", "two reads share a TLB entry (Fig. 5a)", figures::fig5a_tlb_hit()),
+        t(
+            "ptwalk_r",
+            "lone read with walk (Fig. 3a, no write)",
+            figures::fig3a_read_walk(),
+        ),
+        t(
+            "ptwalk_w",
+            "lone write with walk (Fig. 3b)",
+            figures::fig3b_write_walk(),
+        ),
+        t(
+            "tlbshare",
+            "two reads share a TLB entry (Fig. 5a)",
+            figures::fig5a_tlb_hit(),
+        ),
         t(
             "tlbevict",
             "spurious INVLPG forces re-walk (Fig. 5b)",
@@ -344,7 +372,11 @@ pub fn suite() -> Vec<CoatTest> {
         ),
         t("rr2", "independent reads", rr_two_vas()),
         t("ww2", "independent writes", ww_two_vas()),
-        t("wr_cross", "cross-core write/read, no cycle", wr_cross_core()),
+        t(
+            "wr_cross",
+            "cross-core write/read, no cycle",
+            wr_cross_core(),
+        ),
         // --- 9 tests using IPI types TransForm does not model ---
         unsupported("ipi_resched1", "reschedule IPI vs. store buffer drain"),
         unsupported("ipi_resched2", "reschedule IPI vs. pending loads"),

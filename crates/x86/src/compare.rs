@@ -84,7 +84,9 @@ fn reducible(x: &Execution, keys: &BTreeSet<Vec<u64>>) -> bool {
     let mut stack = vec![x.clone()];
     while let Some(cur) = stack.pop() {
         for r in relaxations(&cur) {
-            let Some(next) = apply(&cur, &r) else { continue };
+            let Some(next) = apply(&cur, &r) else {
+                continue;
+            };
             let key = canonical_key(&Program::from_execution(&next));
             if !seen.insert(key.clone()) {
                 continue;
@@ -162,13 +164,22 @@ mod tests {
         let ptwalk2 = suite.iter().find(|t| t.name == "ptwalk2").expect("present");
         assert_eq!(classify(ptwalk2, &keys), Category::Verbatim);
 
-        let dirtybit3 = suite.iter().find(|t| t.name == "dirtybit3").expect("present");
+        let dirtybit3 = suite
+            .iter()
+            .find(|t| t.name == "dirtybit3")
+            .expect("present");
         assert_eq!(classify(dirtybit3, &keys), Category::Reducible);
 
-        let lone_read = suite.iter().find(|t| t.name == "ptwalk_r").expect("present");
+        let lone_read = suite
+            .iter()
+            .find(|t| t.name == "ptwalk_r")
+            .expect("present");
         assert_eq!(classify(lone_read, &keys), Category::NotSpanning);
 
-        let ipi = suite.iter().find(|t| t.name == "ipi_resched1").expect("present");
+        let ipi = suite
+            .iter()
+            .find(|t| t.name == "ipi_resched1")
+            .expect("present");
         assert_eq!(classify(ipi, &keys), Category::UnsupportedIpi);
     }
 }

@@ -30,7 +30,10 @@ fn main() {
     let elt = figures::fig11_cross_core_invlpg();
     let strong_verdict = strong.permits(&elt);
     let weak_verdict = weak.permits(&elt);
-    println!("Fig. 11 under x86t_elt:        {:?}", strong_verdict.violated);
+    println!(
+        "Fig. 11 under x86t_elt:        {:?}",
+        strong_verdict.violated
+    );
     println!("Fig. 11 under the weak model:  {:?}", weak_verdict.violated);
     assert!(!strong_verdict.is_permitted());
     assert!(weak_verdict.is_permitted());

@@ -23,7 +23,11 @@ fn main() {
     let mtm = x86t_elt();
 
     // Fig. 2b: sb as an ELT with untouched mappings — permitted.
-    show("Fig. 2b: sb, distinct pages", &figures::fig2b_sb_elt(), &mtm);
+    show(
+        "Fig. 2b: sb, distinct pages",
+        &figures::fig2b_sb_elt(),
+        &mtm,
+    );
 
     // Fig. 2c: the OS remaps y onto x's physical page mid-test. The same
     // user-level outcome now violates coherence.

@@ -18,7 +18,10 @@ fn main() {
     opts.enumeration.allow_fences = false;
     opts.enumeration.allow_rmw = false;
 
-    println!("synthesizing all per-axiom suites of {} at bound {bound}…\n", mtm.name());
+    println!(
+        "synthesizing all per-axiom suites of {} at bound {bound}…\n",
+        mtm.name()
+    );
     let suites = synthesize_all(&mtm, &opts);
     for (axiom, suite) in &suites {
         println!(

@@ -20,8 +20,13 @@
 //!   reference machine: exhaustive ELT-program exploration, conformance
 //!   checking (observed ⊆ permitted), and injectable transistency bugs
 //!   such as the AMD `INVLPG` erratum from the paper's introduction.
-//! * [`relational`] — a Kodkod-style bounded relational model finder.
-//! * [`tsat`] — the CDCL SAT solver underneath it.
+//! * [`par`] — the parallel synthesis orchestrator:
+//!   sharded enumeration over worker threads with work stealing and
+//!   deterministic merging, byte-identical to the sequential engine.
+//! * [`relational`] — a Kodkod-style bounded relational model finder,
+//!   with incremental shared-solver sessions.
+//! * [`tsat`] — the CDCL SAT solver underneath it, solving under
+//!   assumptions with clause retention across calls.
 //!
 //! # Quickstart
 //!
@@ -42,6 +47,7 @@
 pub use relational;
 pub use transform_core as core;
 pub use transform_litmus as litmus;
+pub use transform_par as par;
 pub use transform_sim as sim;
 pub use transform_synth as synth;
 pub use transform_x86 as x86;

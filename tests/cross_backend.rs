@@ -9,7 +9,9 @@ use transform::synth::programs::{programs, EnumOptions};
 use transform::synth::{execs, satgen};
 use transform::x86::x86t_elt;
 
-fn signature(x: &Execution) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+type CommSignature = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+fn signature(x: &Execution) -> CommSignature {
     let rf = x.rf_pairs().iter().map(|&(a, b)| (a.0, b.0)).collect();
     let co = x.co_pairs().iter().map(|&(a, b)| (a.0, b.0)).collect();
     (rf, co)

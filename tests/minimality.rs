@@ -80,17 +80,16 @@ fn ghost_and_remap_grouping_is_enforced() {
     use transform::core::EventKind;
     let x = transform::core::figures::fig2c_sb_elt_aliased();
     for r in relaxations(&x) {
-        let Some(relaxed) = apply(&x, &r) else { continue };
+        let Some(relaxed) = apply(&x, &r) else {
+            continue;
+        };
         for e in relaxed.events() {
             if e.kind.is_ghost() {
                 assert!(relaxed.invoker(e.id).is_some());
             }
         }
         for &(w, i) in relaxed.remap_pairs() {
-            assert!(matches!(
-                relaxed.event(w).kind,
-                EventKind::PteWrite { .. }
-            ));
+            assert!(matches!(relaxed.event(w).kind, EventKind::PteWrite { .. }));
             assert_eq!(relaxed.event(i).kind, EventKind::Invlpg);
         }
     }

@@ -86,8 +86,5 @@ fn instruction_bounds_count_ghosts() {
     // though only 3 instructions are fetched.
     let x = figures::fig10a_ptwalk2();
     assert_eq!(x.size(), 4);
-    assert_eq!(
-        x.events().iter().filter(|e| !e.kind.is_ghost()).count(),
-        3
-    );
+    assert_eq!(x.events().iter().filter(|e| !e.kind.is_ghost()).count(), 3);
 }

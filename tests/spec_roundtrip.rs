@@ -13,16 +13,18 @@ fn base_rel() -> impl Strategy<Value = BaseRel> {
 }
 
 fn rel_expr() -> impl Strategy<Value = RelExpr> {
-    base_rel().prop_map(RelExpr::base).prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.inter(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
-            inner.clone().prop_map(RelExpr::inverse),
-            inner.prop_map(RelExpr::closure),
-        ]
-    })
+    base_rel()
+        .prop_map(RelExpr::base)
+        .prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.inter(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+                inner.clone().prop_map(RelExpr::inverse),
+                inner.prop_map(RelExpr::closure),
+            ]
+        })
 }
 
 fn axiom() -> impl Strategy<Value = Axiom> {

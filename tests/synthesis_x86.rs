@@ -1,8 +1,8 @@
 //! End-to-end synthesis tests for the x86t_elt case study (§V–§VI).
 
 use transform::synth::{
-    exclusive_attribution, suite_contains, synthesize_all, synthesize_suite, unique_union,
-    Program, SynthOptions,
+    exclusive_attribution, suite_contains, synthesize_all, synthesize_suite, unique_union, Program,
+    SynthOptions,
 };
 use transform::x86::x86t_elt;
 

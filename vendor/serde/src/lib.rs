@@ -1,0 +1,368 @@
+//! An offline stand-in for the `serde` crate.
+//!
+//! The workspace builds without network access, so the handful of external
+//! crates the seed code depends on are vendored as minimal API-compatible
+//! stand-ins (see `vendor/README.md`). This one provides the
+//! [`Serialize`]/[`Deserialize`] traits and re-exports derive macros for
+//! them from `serde_derive`.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! self-describing [`Value`] tree; `serde_json` renders that tree as JSON
+//! text. The derives support the shapes the workspace uses: structs with
+//! named fields, tuple/newtype structs, and enums with unit, tuple, and
+//! struct variants (no generics).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// The unit/absent value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string.
+    Str(String),
+    /// A sequence of values.
+    Seq(Vec<Value>),
+    /// An ordered key → value map. Derived structs use string keys; maps
+    /// with arbitrary keys serialize as a [`Value::Seq`] of pairs instead.
+    Map(Vec<(Value, Value)>),
+}
+
+/// A (de)serialization error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range")),
+                    Value::I64(n) => u64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| Error::msg("integer out of range")),
+                    _ => Err(Error::msg("expected an unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range")),
+                    Value::U64(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| Error::msg("integer out of range")),
+                    _ => Err(Error::msg("expected a signed integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<usize, Error> {
+        u64::from_value(v)
+            .and_then(|n| usize::try_from(n).map_err(|_| Error::msg("usize out of range")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected a boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected a string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected a sequence")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<(A, B), Error> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error::msg("expected a two-element sequence")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<(A, B, C), Error> {
+        match v {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(Error::msg("expected a three-element sequence")),
+        }
+    }
+}
+
+// Maps and sets serialize as sequences (of pairs) so non-string keys stay
+// valid JSON.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(<(K, V)>::from_value).collect(),
+            _ => Err(Error::msg("expected a sequence of pairs")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected a sequence")),
+        }
+    }
+}
+
+/// Support functions for derive-generated code. Not a public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in a string-keyed map value and deserializes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `v` is not a map or the field is absent.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+                .map(|(_, fv)| T::from_value(fv))
+                .unwrap_or_else(|| Err(Error::msg(format!("missing field `{name}`")))),
+            _ => Err(Error::msg(format!(
+                "expected a map while reading field `{name}`"
+            ))),
+        }
+    }
+
+    /// The single `variant → payload` entry of a serialized enum value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `v` is not a one-entry string-keyed map.
+    pub fn variant(v: &Value) -> Result<(&str, &Value), Error> {
+        match v {
+            Value::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Value::Str(name), payload) => Ok((name.as_str(), payload)),
+                _ => Err(Error::msg("expected a string variant tag")),
+            },
+            _ => Err(Error::msg("expected a single-entry variant map")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let m: BTreeMap<u32, String> = [(1, "a".to_string()), (2, "b".to_string())].into();
+        assert_eq!(BTreeMap::from_value(&m.to_value()), Ok(m));
+        let s: BTreeSet<(u32, u32)> = [(1, 2), (3, 4)].into();
+        assert_eq!(BTreeSet::from_value(&s.to_value()), Ok(s));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u32>::from_value(&Value::Bool(false)).is_err());
+        assert!(__private::field::<u32>(&Value::Map(vec![]), "missing").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! An offline stand-in for `serde_json`: renders and parses the vendored
+//! `serde` [`Value`] tree as JSON text.
+//!
+//! Structs serialize as JSON objects and maps/sets as arrays (of pairs),
+//! so all emitted JSON is valid and round-trips through [`to_string`] and
+//! [`from_str`]. Floating-point numbers are not produced by the workspace
+//! and are rejected on parse.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` as a JSON string.
+///
+/// # Errors
+///
+/// Never fails for values produced by the vendored `serde` impls; the
+/// `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        src: s.as_bytes(),
+        at: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.src.len() {
+        return Err(Error::msg("trailing characters after JSON value"));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match k {
+                    Value::Str(s) => write_string(s, out),
+                    // Non-string keys never occur (maps serialize as
+                    // sequences), but stay valid JSON if they do.
+                    other => {
+                        let mut key = String::new();
+                        write_value(other, &mut key);
+                        write_string(&key, out);
+                    }
+                }
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'s> {
+    src: &'s [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.at < self.src.len() && matches!(self.src[self.at], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.at
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.src[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::msg("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    entries.push((Value::Str(key), val));
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::msg("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::msg(format!(
+                "unexpected character at byte {}",
+                self.at
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.at;
+        if self.src.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        while self.src.get(self.at).is_some_and(u8::is_ascii_digit) {
+            self.at += 1;
+        }
+        if matches!(self.src.get(self.at), Some(b'.' | b'e' | b'E')) {
+            return Err(Error::msg("floating-point numbers are not supported"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::msg("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::msg("invalid number"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.src.get(self.at) else {
+                return Err(Error::msg("unterminated string"));
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.src.get(self.at) else {
+                        return Err(Error::msg("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // Surrogate pair.
+                                if !self.literal("\\u") {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((code - 0xD800) << 10)
+                                    + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| Error::msg("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.at - 1;
+                    let end = (start + len).min(self.src.len());
+                    let s = std::str::from_utf8(&self.src[start..end])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.at = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.at + 4 > self.src.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.src[self.at..self.at + 4])
+            .map_err(|_| Error::msg("invalid \\u escape"))?;
+        self.at += 4;
+        u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid \\u escape"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn json_round_trips() {
+        let m: BTreeMap<u32, Vec<String>> =
+            [(1, vec!["a".into(), "b\"c\\d".into()]), (7, vec![])].into();
+        let text = to_string(&m).expect("serializes");
+        let back: BTreeMap<u32, Vec<String>> = from_str(&text).expect("parses");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn escapes_and_unicode_round_trip() {
+        let s = "line\nwith \"quotes\" + tab\t + λ ✓".to_string();
+        let text = to_string(&s).expect("serializes");
+        let back: String = from_str(&text).expect("parses");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_str::<u32>("12.5").is_err());
+        assert!(from_str::<u32>("12 trailing").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+    }
+}
