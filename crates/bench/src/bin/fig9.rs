@@ -2,7 +2,11 @@
 //! bound) and Fig. 9b (synthesis runtimes).
 //!
 //! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]
-//! [--jobs N]`
+//! [--jobs N] [--cache DIR]`
+//!
+//! With `--cache`, completed points are sealed into a persistent suite
+//! store and later sweeps stream them back instead of resynthesizing —
+//! re-running a week-long sweep costs seconds.
 //!
 //! The paper ran each point under a one-week timeout on a server; the
 //! default budget here is 60 s per point, and points that exceed it are
@@ -20,6 +24,7 @@ fn main() {
     };
     let mut positional = Vec::new();
     let mut take_jobs = false;
+    let mut take_cache = false;
     for a in &args {
         if take_jobs {
             cfg.jobs = a.parse().unwrap_or_else(|_| {
@@ -29,15 +34,25 @@ fn main() {
             take_jobs = false;
             continue;
         }
+        if take_cache {
+            cfg.cache = Some(a.into());
+            take_cache = false;
+            continue;
+        }
         match a.as_str() {
             "--fences" => cfg.allow_fences = true,
             "--rmw" => cfg.allow_rmw = true,
             "--jobs" => take_jobs = true,
+            "--cache" => take_cache = true,
             other => positional.push(other.to_string()),
         }
     }
     if take_jobs {
         eprintln!("error: --jobs takes a number");
+        std::process::exit(2);
+    }
+    if take_cache {
+        eprintln!("error: --cache takes a directory");
         std::process::exit(2);
     }
     if let Some(b) = positional.first().and_then(|s| s.parse().ok()) {
@@ -49,8 +64,17 @@ fn main() {
 
     let mtm = x86t_elt();
     eprintln!(
-        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {}, jobs: {})",
-        cfg.min_bound, cfg.max_bound, cfg.budget, cfg.allow_fences, cfg.allow_rmw, cfg.jobs
+        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {}, jobs: {}{})",
+        cfg.min_bound,
+        cfg.max_bound,
+        cfg.budget,
+        cfg.allow_fences,
+        cfg.allow_rmw,
+        cfg.jobs,
+        match &cfg.cache {
+            Some(dir) => format!(", cache: {}", dir.display()),
+            None => String::new(),
+        }
     );
     let points = sweep(&mtm, &cfg);
     println!("{}", render_sweep(&points));

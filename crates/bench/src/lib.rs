@@ -11,9 +11,11 @@
 //!   `ablations`) measure the same pipelines.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
 use transform_par::synthesize_suite_jobs;
+use transform_store::{cached_or_synthesize, Store};
 use transform_synth::{Suite, SynthOptions};
 
 /// One point of the Fig. 9 sweep.
@@ -47,6 +49,10 @@ pub struct SweepConfig {
     pub allow_rmw: bool,
     /// Worker threads per suite (`transform-par`); 1 = sequential engine.
     pub jobs: usize,
+    /// A persistent suite store (`transform-store`): completed points
+    /// are sealed into it and later sweeps stream them back instead of
+    /// resynthesizing. `None` = always synthesize.
+    pub cache: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -58,6 +64,7 @@ impl Default for SweepConfig {
             allow_fences: false,
             allow_rmw: false,
             jobs: 1,
+            cache: None,
         }
     }
 }
@@ -66,6 +73,9 @@ impl Default for SweepConfig {
 /// bound). Sweeping stops per axiom once a bound times out, exactly as
 /// the paper's missing data points.
 pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
+    let store = cfg.cache.as_ref().map(|dir| {
+        Store::open(dir).unwrap_or_else(|e| panic!("cannot open cache {}: {e}", dir.display()))
+    });
     let mut out = Vec::new();
     for ax in mtm.axioms() {
         for bound in cfg.min_bound..=cfg.max_bound {
@@ -73,7 +83,14 @@ pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
             opts.enumeration.allow_fences = cfg.allow_fences;
             opts.enumeration.allow_rmw = cfg.allow_rmw;
             opts.timeout = Some(cfg.budget);
-            let suite = synthesize_suite_jobs(mtm, &ax.name, &opts, cfg.jobs);
+            let suite = match &store {
+                Some(store) => {
+                    cached_or_synthesize(store, mtm, &ax.name, &opts, cfg.jobs)
+                        .unwrap_or_else(|e| panic!("suite cache: {e}"))
+                        .0
+                }
+                None => synthesize_suite_jobs(mtm, &ax.name, &opts, cfg.jobs),
+            };
             let timed_out = suite.stats.timed_out;
             out.push(SweepPoint {
                 axiom: ax.name.clone(),
@@ -171,9 +188,7 @@ mod tests {
             min_bound: 4,
             max_bound: 4,
             budget: Duration::from_secs(60),
-            allow_fences: false,
-            allow_rmw: false,
-            jobs: 1,
+            ..SweepConfig::default()
         };
         let points = sweep(&mtm, &cfg);
         assert_eq!(points.len(), mtm.axioms().len());
@@ -190,9 +205,7 @@ mod tests {
             min_bound: 4,
             max_bound: 4,
             budget: Duration::from_secs(60),
-            allow_fences: false,
-            allow_rmw: false,
-            jobs: 1,
+            ..SweepConfig::default()
         };
         let sequential = sweep(&mtm, &cfg);
         cfg.jobs = 4;
@@ -202,5 +215,27 @@ mod tests {
             assert_eq!(a.bound, b.bound);
             assert_eq!(a.elts, b.elts, "{}: suite size diverged", a.axiom);
         }
+    }
+
+    #[test]
+    fn cached_sweep_matches_the_uncached_one() {
+        let mtm = x86t_elt();
+        let dir = std::env::temp_dir().join(format!("tfs-sweep-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = SweepConfig {
+            min_bound: 4,
+            max_bound: 4,
+            budget: Duration::from_secs(60),
+            ..SweepConfig::default()
+        };
+        let uncached = sweep(&mtm, &cfg);
+        cfg.cache = Some(dir.clone());
+        let cold = sweep(&mtm, &cfg);
+        let warm = sweep(&mtm, &cfg);
+        for ((a, b), c) in uncached.iter().zip(&cold).zip(&warm) {
+            assert_eq!(a.elts, b.elts, "{}: cold cache diverged", a.axiom);
+            assert_eq!(a.elts, c.elts, "{}: warm cache diverged", a.axiom);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,11 +4,15 @@
 //!
 //! * `table1` — print the paper's Table I (the MTM vocabulary);
 //! * `figures` — evaluate every paper figure under `x86t_elt`;
-//! * `check` — parse an ELT file and report its verdict;
-//! * `synthesize` — generate a per-axiom spanning-set suite;
+//! * `check` — parse an ELT file (or stdin) and report its verdict;
+//! * `synthesize` — generate a per-axiom spanning-set suite, optionally
+//!   through the persistent suite cache (`--cache DIR`);
 //! * `compare` — the §VI-B COATCheck comparison;
 //! * `simulate` — run an ELT program on the operational reference
-//!   machine, optionally with an injected bug.
+//!   machine, optionally with an injected bug;
+//! * `query` — filter the ELTs of a suite cache by axiom, bound, shape,
+//!   fences, and rmw without resynthesizing anything;
+//! * `export` — dump cached ELTs in the text syntax.
 //!
 //! The command logic lives in this library crate (returning the output as
 //! a `String`) so it is unit-testable; `main.rs` only prints.
@@ -17,6 +21,7 @@ mod opts;
 
 use opts::Opts;
 use std::collections::BTreeMap;
+use std::io::Read;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
 use transform_core::spec::parse_mtm;
@@ -24,8 +29,10 @@ use transform_core::{figures, pretty, vocab};
 use transform_litmus::format::{parse_elt, print_elt};
 use transform_par::{default_jobs, synthesize_suite_jobs};
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
-use transform_synth::engine::{Backend, SynthOptions};
-use transform_synth::programs::Program;
+use transform_store::{cached_or_synthesize, EntryMeta, Store};
+use transform_synth::engine::{Backend, Suite, SynthOptions};
+use transform_synth::programs::{Program, SlotOp};
+use transform_synth::SuiteRecord;
 use transform_x86::{compare_suite, synthesized_keys, x86_tso, x86t_elt};
 
 /// The usage banner printed on errors.
@@ -35,16 +42,26 @@ usage: transform <command> [options]
 commands:
   table1                        print the MTM vocabulary (Table I)
   figures [--dot NAME]          evaluate the paper figures under x86t_elt
-  check FILE [--mtm M]          verdict for an ELT file (text syntax)
+  check FILE|- [--mtm M]        verdict for an ELT file (text syntax)
   synthesize --axiom A --bound N [--mtm M] [--max-threads T]
              [--fences] [--rmw] [--timeout-secs S] [--quiet]
              [--jobs N|auto] [--backend explicit|relational]
-  compare --bound N [--timeout-secs S] [--jobs N|auto]
-  simulate FILE [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
+             [--cache DIR] [--out FILE]
+  compare --bound N [--timeout-secs S] [--jobs N|auto] [--cache DIR]
+  simulate FILE|- [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
+  query --cache DIR [--mtm-name M] [--axiom A] [--bound N]
+        [--backend B] [--shape S] [--fences] [--rmw]
+  export --cache DIR [same filters as query] [--out FILE]
 
 --mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.
 --jobs runs synthesis on N worker threads (`auto` = all cores); the
-suite is byte-identical for every N.";
+suite is byte-identical for every N.
+--cache makes synthesis stream from / seal into a persistent suite
+store keyed on (MTM, axiom, bound, options); corrupt or stale entries
+are detected by checksums and rebuilt. `check -` and `simulate -` read
+the ELT from stdin. query/export filters: --shape matches the
+slots-per-thread signature (e.g. `2+1`); --fences and --rmw keep only
+tests containing a fence / an rmw pair.";
 
 /// Runs a command line, returning its stdout text.
 ///
@@ -65,8 +82,22 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "synthesize" => cmd_synthesize(opts),
         "compare" => cmd_compare(opts),
         "simulate" => cmd_simulate(opts),
+        "query" => cmd_query(opts),
+        "export" => cmd_export(opts),
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Reads an ELT source: a file path, or stdin for `-`.
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut src = String::new();
+        std::io::stdin()
+            .read_to_string(&mut src)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return Ok(src);
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
 fn load_mtm(spec: Option<String>) -> Result<Mtm, String> {
@@ -110,10 +141,10 @@ fn cmd_figures(mut opts: Opts) -> Result<String, String> {
 }
 
 fn cmd_check(mut opts: Opts) -> Result<String, String> {
-    let file = opts.positional().ok_or("check needs an ELT file")?;
+    let file = opts.positional().ok_or("check needs an ELT file (or -)")?;
     let mtm = load_mtm(opts.value("--mtm"))?;
     opts.finish()?;
-    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let src = read_source(&file)?;
     let (name, x) = parse_elt(&src).map_err(|e| format!("{file}: {e}"))?;
     let a = x
         .analyze()
@@ -160,6 +191,8 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     }
     let jobs = parse_jobs(opts.value("--jobs"))?;
     let quiet = opts.flag("--quiet");
+    let cache = opts.value("--cache");
+    let out_file = opts.value("--out");
     opts.finish()?;
     if mtm.axiom(&axiom).is_none() {
         return Err(format!(
@@ -172,13 +205,14 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
                 .join(", ")
         ));
     }
-    let suite = synthesize_suite_jobs(&mtm, &axiom, &sopts, jobs);
+    let suite = synthesize_maybe_cached(&mtm, &axiom, &sopts, jobs, cache.as_deref())?;
     let mut out = String::new();
-    if !quiet {
-        for (i, elt) in suite.elts.iter().enumerate() {
-            out.push_str(&print_elt(&format!("{axiom}_{i}"), &elt.witness));
-            out.push('\n');
-        }
+    if let Some(path) = &out_file {
+        std::fs::write(path, render_suite(&suite))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("wrote {} ELTs to {path}\n", suite.elts.len()));
+    } else if !quiet {
+        out.push_str(&render_suite(&suite));
     }
     out.push_str(&format!(
         "suite `{}` @ bound {}: {} ELTs ({} programs explored, {} executions, {} forbidden, {} minimal) in {:.2?} on {} worker{}{}\n",
@@ -195,6 +229,38 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         if suite.stats.timed_out { " [timed out]" } else { "" },
     ));
     Ok(out)
+}
+
+/// The `synthesize`/`compare` synthesis step: straight through the
+/// engine, or through the persistent suite store when `--cache` is
+/// given. Cached and fresh runs print identically — a warm run serves
+/// the sealed artifact of the cold one, statistics included.
+fn synthesize_maybe_cached(
+    mtm: &Mtm,
+    axiom: &str,
+    sopts: &SynthOptions,
+    jobs: usize,
+    cache: Option<&str>,
+) -> Result<Suite, String> {
+    match cache {
+        None => Ok(synthesize_suite_jobs(mtm, axiom, sopts, jobs)),
+        Some(dir) => {
+            let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+            let (suite, _status) = cached_or_synthesize(&store, mtm, axiom, sopts, jobs)
+                .map_err(|e| format!("cache `{dir}`: {e}"))?;
+            Ok(suite)
+        }
+    }
+}
+
+/// Renders a suite's members exactly as `synthesize` prints them.
+fn render_suite(suite: &Suite) -> String {
+    let mut out = String::new();
+    for (i, elt) in suite.elts.iter().enumerate() {
+        out.push_str(&print_elt(&format!("{}_{i}", suite.axiom), &elt.witness));
+        out.push('\n');
+    }
+    out
 }
 
 fn parse_backend(name: &str) -> Result<Backend, String> {
@@ -231,6 +297,7 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
             .map_err(|_| "--timeout-secs must be a number")?,
     );
     let jobs = parse_jobs(opts.value("--jobs"))?;
+    let cache = opts.value("--cache");
     opts.finish()?;
     let mtm = x86t_elt();
     let mut suites = BTreeMap::new();
@@ -239,7 +306,7 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
         sopts.timeout = Some(timeout);
         suites.insert(
             ax.name.clone(),
-            synthesize_suite_jobs(&mtm, &ax.name, &sopts, jobs),
+            synthesize_maybe_cached(&mtm, &ax.name, &sopts, jobs, cache.as_deref())?,
         );
     }
     let keys = synthesized_keys(suites.values());
@@ -247,8 +314,191 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
     Ok(transform_x86::compare::render(&cmp))
 }
 
+/// Entry- and test-level filters shared by `query` and `export`.
+struct CacheFilter {
+    mtm: Option<String>,
+    axiom: Option<String>,
+    bound: Option<usize>,
+    backend: Option<String>,
+    shape: Option<String>,
+    fences: bool,
+    rmw: bool,
+}
+
+impl CacheFilter {
+    /// Consumes the filter flags from `opts`.
+    fn parse(opts: &mut Opts) -> Result<CacheFilter, String> {
+        Ok(CacheFilter {
+            mtm: opts.value("--mtm-name"),
+            axiom: opts.value("--axiom"),
+            bound: opts
+                .value("--bound")
+                .map(|b| b.parse().map_err(|_| "--bound must be a number"))
+                .transpose()?,
+            backend: opts.value("--backend"),
+            shape: opts.value("--shape"),
+            fences: opts.flag("--fences"),
+            rmw: opts.flag("--rmw"),
+        })
+    }
+
+    fn admits_entry(&self, meta: &EntryMeta) -> bool {
+        self.mtm.as_deref().is_none_or(|m| m == meta.mtm)
+            && self.axiom.as_deref().is_none_or(|a| a == meta.axiom)
+            && self.bound.is_none_or(|b| b == meta.bound)
+            && self.backend.as_deref().is_none_or(|b| b == meta.backend)
+    }
+
+    fn admits_record(&self, record: &SuiteRecord) -> bool {
+        let program = &record.elt.program;
+        self.shape.as_deref().is_none_or(|s| s == shape_of(program))
+            && (!self.fences
+                || program
+                    .threads
+                    .iter()
+                    .flatten()
+                    .any(|op| matches!(op, SlotOp::Fence)))
+            && (!self.rmw || !program.rmw.is_empty())
+    }
+}
+
+/// The slots-per-thread signature of a program, e.g. `2+1`.
+fn shape_of(program: &Program) -> String {
+    program
+        .threads
+        .iter()
+        .map(|t| t.len().to_string())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Streams matching records out of a cache: one callback per match,
+/// entry metadata included. Unreadable entries are reported, skipped,
+/// and never partially served. Returns (entries scanned, entries
+/// matched, records matched).
+fn scan_cache(
+    dir: &str,
+    filter: &CacheFilter,
+    mut on_match: impl FnMut(&EntryMeta, usize, &SuiteRecord),
+    warnings: &mut String,
+) -> Result<(usize, usize, usize), String> {
+    let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+    let entries = store.entries().map_err(|e| format!("cache `{dir}`: {e}"))?;
+    let mut scanned = 0usize;
+    let mut entries_matched = 0usize;
+    let mut records_matched = 0usize;
+    for fp in entries {
+        scanned += 1;
+        let reader = match store.open_suite(fp) {
+            Ok(reader) => reader,
+            Err(e) => {
+                warnings.push_str(&format!("# skipping {fp}: {e}\n"));
+                continue;
+            }
+        };
+        let meta = reader.meta().clone();
+        if !filter.admits_entry(&meta) {
+            continue;
+        }
+        // Matches are buffered until the whole entry validates: a
+        // corrupt tail record must not leave half an entry in the
+        // output ("detect and rebuild, never serve" applies to query
+        // and export too).
+        let mut matches: Vec<(usize, SuiteRecord)> = Vec::new();
+        let mut broken = false;
+        for (i, record) in reader.enumerate() {
+            match record {
+                Ok(record) => {
+                    if filter.admits_record(&record) {
+                        matches.push((i, record));
+                    }
+                }
+                Err(e) => {
+                    warnings.push_str(&format!("# skipping {fp}: {e}\n"));
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if broken {
+            continue;
+        }
+        entries_matched += 1;
+        records_matched += matches.len();
+        for (i, record) in &matches {
+            on_match(&meta, *i, record);
+        }
+    }
+    Ok((scanned, entries_matched, records_matched))
+}
+
+fn cmd_query(mut opts: Opts) -> Result<String, String> {
+    let dir = opts.value("--cache").ok_or("query needs --cache DIR")?;
+    let filter = CacheFilter::parse(&mut opts)?;
+    opts.finish()?;
+    let mut body = String::new();
+    let mut warnings = String::new();
+    let (scanned, entries, records) = scan_cache(
+        &dir,
+        &filter,
+        |meta, i, record| {
+            body.push_str(&format!(
+                "{axiom}@{bound} {backend:<10} {name:<20} shape={shape:<7} events={events:<2} violates={violates}\n",
+                axiom = meta.axiom,
+                bound = meta.bound,
+                backend = meta.backend,
+                name = format!("{}_{i}", meta.axiom),
+                shape = shape_of(&record.elt.program),
+                events = record.elt.program.size(),
+                violates = record.elt.violated.join(","),
+            ));
+        },
+        &mut warnings,
+    )?;
+    Ok(format!(
+        "{warnings}{body}{records} matching ELT{} in {entries} suite{} ({scanned} cached suite{} scanned)\n",
+        if records == 1 { "" } else { "s" },
+        if entries == 1 { "" } else { "s" },
+        if scanned == 1 { "" } else { "s" },
+    ))
+}
+
+fn cmd_export(mut opts: Opts) -> Result<String, String> {
+    let dir = opts.value("--cache").ok_or("export needs --cache DIR")?;
+    let filter = CacheFilter::parse(&mut opts)?;
+    let out_file = opts.value("--out");
+    opts.finish()?;
+    let mut body = String::new();
+    let mut warnings = String::new();
+    let (_, _, records) = scan_cache(
+        &dir,
+        &filter,
+        |meta, i, record| {
+            body.push_str(&format!(
+                "# suite {} @ bound {} ({})\n",
+                meta.axiom, meta.bound, meta.backend
+            ));
+            body.push_str(&print_elt(
+                &format!("{}_{i}", meta.axiom),
+                &record.elt.witness,
+            ));
+            body.push('\n');
+        },
+        &mut warnings,
+    )?;
+    match out_file {
+        Some(path) => {
+            std::fs::write(&path, &body).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            Ok(format!("{warnings}exported {records} ELTs to {path}\n"))
+        }
+        None => Ok(format!("{warnings}{body}")),
+    }
+}
+
 fn cmd_simulate(mut opts: Opts) -> Result<String, String> {
-    let file = opts.positional().ok_or("simulate needs an ELT file")?;
+    let file = opts
+        .positional()
+        .ok_or("simulate needs an ELT file (or -)")?;
     let mut cfg = SimConfig::correct();
     if let Some(bug) = opts.value("--bug") {
         cfg.bugs = match bug.as_str() {
@@ -270,7 +520,7 @@ fn cmd_simulate(mut opts: Opts) -> Result<String, String> {
     cfg.capacity_evictions = opts.flag("--evictions");
     let mtm = load_mtm(opts.value("--mtm"))?;
     opts.finish()?;
-    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let src = read_source(&file)?;
     let (name, x) = parse_elt(&src).map_err(|e| format!("{file}: {e}"))?;
     let prog = SimProgram::from_execution(&x);
     let exploration = explore(&prog, &cfg);
@@ -399,6 +649,189 @@ mod tests {
     fn unknown_flags_are_rejected() {
         let e = run_str("table1 --frobnicate").unwrap_err();
         assert!(e.contains("frobnicate"), "{e}");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("transform-cli-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn cached_synthesize_is_byte_identical_warm_and_cold() {
+        let dir = temp_dir("cache");
+        let cache = dir.join("store");
+        let line = format!(
+            "synthesize --axiom invlpg --bound 4 --cache {}",
+            cache.display()
+        );
+        let cold = run_str(&line).expect("cold run");
+        let warm = run_str(&line).expect("warm run");
+        assert_eq!(cold, warm, "a warm cache hit must reproduce the cold run");
+        // And both match the uncached engine's ELTs.
+        let uncached = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(elts(&uncached), elts(&warm));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_filters_cached_suites() {
+        let dir = temp_dir("query");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds invlpg");
+        run_str(&format!(
+            "synthesize --axiom sc_per_loc --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds sc_per_loc");
+
+        let all = run_str(&format!("query --cache {c}")).expect("queries");
+        assert!(all.contains("invlpg_0"), "{all}");
+        assert!(all.contains("sc_per_loc_0"), "{all}");
+        assert!(all.contains("2 cached suites scanned"), "{all}");
+
+        let only_invlpg = run_str(&format!("query --cache {c} --axiom invlpg")).expect("queries");
+        assert!(only_invlpg.contains("invlpg_0"), "{only_invlpg}");
+        assert!(!only_invlpg.contains("sc_per_loc_0"), "{only_invlpg}");
+
+        // Nothing at bound 4 without fences has an rmw pair.
+        let rmw = run_str(&format!("query --cache {c} --rmw")).expect("queries");
+        assert!(rmw.contains("0 matching ELTs"), "{rmw}");
+
+        let shaped = run_str(&format!("query --cache {c} --shape 3")).expect("queries");
+        assert!(shaped.contains("shape=3"), "{shaped}");
+
+        let empty = run_str(&format!("query --cache {c} --bound 9")).expect("queries");
+        assert!(empty.contains("0 matching ELTs"), "{empty}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_never_partially_serves_a_corrupt_entry() {
+        let dir = temp_dir("query-corrupt");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom sc_per_loc --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds");
+        // Damage the *last* record: earlier records stream fine before
+        // the error, and none of them may reach the output.
+        let entry = std::fs::read_dir(&cache)
+            .expect("store exists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "tfs"))
+            .expect("one sealed entry");
+        let mut bytes = std::fs::read(&entry).expect("readable");
+        let near_end = bytes.len() - 12;
+        bytes[near_end] ^= 0xff;
+        std::fs::write(&entry, &bytes).expect("writable");
+
+        let out = run_str(&format!("query --cache {c}")).expect("queries");
+        assert!(out.contains("# skipping"), "{out}");
+        assert!(!out.contains("sc_per_loc_0"), "partially served: {out}");
+        assert!(out.contains("0 matching ELTs in 0 suites"), "{out}");
+        let exported = run_str(&format!("export --cache {c}")).expect("exports");
+        assert!(!exported.contains("elt \""), "partially served: {exported}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_dumps_parseable_elt_text() {
+        let dir = temp_dir("export");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds");
+        let text = run_str(&format!("export --cache {c} --axiom invlpg")).expect("exports");
+        assert!(text.contains("elt \"invlpg_0\""), "{text}");
+        // Each exported test parses back through the text syntax.
+        for chunk in text.split("\n\n").filter(|s| s.contains("elt \"")) {
+            parse_elt(chunk).unwrap_or_else(|e| panic!("{e}\n{chunk}"));
+        }
+        // --out writes the same dump to a file.
+        let out = dir.join("dump.elt");
+        let msg = run_str(&format!(
+            "export --cache {c} --axiom invlpg --out {}",
+            out.display()
+        ))
+        .expect("exports to file");
+        assert!(msg.contains("exported"), "{msg}");
+        assert_eq!(std::fs::read_to_string(&out).expect("written"), text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synthesize_out_writes_the_suite_to_a_file() {
+        let dir = temp_dir("out");
+        let path = dir.join("suite.elt");
+        let out = run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --out {}",
+            path.display()
+        ))
+        .expect("runs");
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("suite `invlpg`"), "{out}");
+        let written = std::fs::read_to_string(&path).expect("file exists");
+        let printed = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        let elts: String = printed
+            .lines()
+            .filter(|l| !l.starts_with("suite `"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(written, elts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_rebuilt_through_the_cli() {
+        let dir = temp_dir("corrupt");
+        let cache = dir.join("store");
+        let line = format!(
+            "synthesize --axiom invlpg --bound 4 --cache {}",
+            cache.display()
+        );
+        let cold = run_str(&line).expect("cold run");
+        // Damage the sealed entry behind the CLI's back.
+        let entry = std::fs::read_dir(&cache)
+            .expect("store exists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "tfs"))
+            .expect("one sealed entry");
+        let mut bytes = std::fs::read(&entry).expect("readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&entry, &bytes).expect("writable");
+        // The CLI must detect, rebuild, and print the identical ELTs
+        // (the summary line's elapsed is the fresh resynthesis time).
+        let rebuilt = run_str(&line).expect("rebuild run");
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(elts(&cold), elts(&rebuilt));
+        // And the reseal restores warm hits: two more runs are identical
+        // bytes, summary included.
+        let warm_a = run_str(&line).expect("warm");
+        let warm_b = run_str(&line).expect("warm");
+        assert_eq!(warm_a, warm_b);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

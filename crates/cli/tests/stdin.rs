@@ -1,0 +1,53 @@
+//! `check -` and `simulate -` read the ELT from stdin — exercised
+//! against the real binary, since the library API has no stdin hook.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+use transform_core::figures;
+use transform_litmus::format::print_elt;
+
+fn run_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_transform"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("stdin writable");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_reads_the_elt_from_stdin() {
+    let elt = print_elt("ptwalk2", &figures::fig10a_ptwalk2());
+    let (stdout, stderr, ok) = run_with_stdin(&["check", "-"], &elt);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("forbidden"), "{stdout}");
+    assert!(stdout.contains("invlpg"), "{stdout}");
+}
+
+#[test]
+fn simulate_reads_the_elt_from_stdin() {
+    let elt = print_elt("ptwalk2", &figures::fig10a_ptwalk2());
+    let (stdout, stderr, ok) = run_with_stdin(&["simulate", "-"], &elt);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("observed ⊆ permitted"), "{stdout}");
+}
+
+#[test]
+fn stdin_parse_errors_name_stdin_not_a_file() {
+    let (_, stderr, ok) = run_with_stdin(&["check", "-"], "not an elt");
+    assert!(!ok);
+    assert!(stderr.contains("-:"), "{stderr}");
+}

@@ -60,14 +60,14 @@ pub mod dedup;
 pub mod shard;
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use transform_core::axiom::Mtm;
 use transform_synth::programs::programs_with_deadline;
 use transform_synth::{
-    assemble_suite, plan_from_keyed, plan_key, Examined, Examiner, ShardStats, Suite, SynthOptions,
-    SynthPlan,
+    plan_from_keyed, plan_key, Examiner, ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions,
+    SynthPlan, SynthesizedElt,
 };
 
 /// Shards per worker: enough granularity for stealing to balance uneven
@@ -139,6 +139,192 @@ pub fn plan_par(
     plan_from_keyed(mtm, axiom, keyed, expired.load(Ordering::Relaxed))
 }
 
+/// Receives a suite's members as parallel shards finish, instead of the
+/// orchestrator collecting them in memory.
+///
+/// The persistent suite store (`transform-store`) implements this to
+/// append shard files as workers retire shards; a collecting
+/// implementation reproduces the in-memory [`Suite`]. Calls arrive from
+/// worker threads in completion order — implementations must be
+/// thread-safe, and must not assume record indices arrive sorted. Every
+/// shard of a run is reported exactly once, including shards cut short
+/// by the deadline (their counters are partial, and the run's
+/// [`SuiteStats::timed_out`] is set).
+pub trait SuiteSink: Sync {
+    /// One shard retired: its work counters and the suite members
+    /// (witness-bearing plan items) it produced.
+    fn shard_done(&self, stats: ShardStats, records: Vec<SuiteRecord>);
+}
+
+/// A [`SuiteSink`] that collects records in memory — the sink behind
+/// [`synthesize_suite_jobs`].
+struct CollectSink {
+    records: Mutex<Vec<SuiteRecord>>,
+}
+
+impl CollectSink {
+    fn new() -> CollectSink {
+        CollectSink {
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn into_elts(self) -> Vec<SynthesizedElt> {
+        let mut records = self
+            .records
+            .into_inner()
+            .expect("record lock is never poisoned");
+        records.sort_by_key(|r| r.index);
+        records.into_iter().map(|r| r.elt).collect()
+    }
+}
+
+impl SuiteSink for CollectSink {
+    fn shard_done(&self, _stats: ShardStats, records: Vec<SuiteRecord>) {
+        self.records
+            .lock()
+            .expect("record lock is never poisoned")
+            .extend(records);
+    }
+}
+
+/// The shared worker pool: distributes `(axiom, shard)` tasks over
+/// `jobs` workers and streams each finished shard to its axiom's sink.
+/// Returns the per-axiom shard counters (sorted by shard id) and
+/// per-axiom deadline flags.
+fn run_pool(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    jobs: usize,
+    deadline: Option<Instant>,
+    plan: &SynthPlan,
+    sinks: &[&dyn SuiteSink],
+) -> (Vec<Vec<ShardStats>>, Vec<bool>) {
+    assert_eq!(axioms.len(), sinks.len(), "one sink per axiom");
+    let shards = shard::make_shards(&plan.items, jobs * SHARDS_PER_WORKER);
+    // Axiom-major order: workers drain the first axiom's shards before
+    // starting the next, so an expiring deadline leaves whole early
+    // suites complete rather than every suite partial.
+    let tasks: Vec<(usize, shard::Shard)> = axioms
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, _)| shards.iter().map(move |s| (ai, s.clone())))
+        .collect();
+    let queue = shard::WorkQueue::new(tasks, jobs);
+    let claimed: Vec<dedup::KeySet> = axioms.iter().map(|_| dedup::KeySet::new()).collect();
+    let shard_stats: Vec<Mutex<Vec<ShardStats>>> =
+        axioms.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let examined_items: Vec<AtomicUsize> = axioms.iter().map(|_| AtomicUsize::new(0)).collect();
+    let expired = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let queue = &queue;
+            let claimed = &claimed;
+            let shard_stats = &shard_stats;
+            let examined_items = &examined_items;
+            let expired = &expired;
+            scope.spawn(move || {
+                let past_deadline = || deadline.is_some_and(|d| Instant::now() > d);
+                while let Some((ai, batch)) = queue.next(worker) {
+                    if expired.load(Ordering::Relaxed) || past_deadline() {
+                        expired.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    // One examiner — and, for the relational backend, one
+                    // incremental SAT solver — per shard.
+                    let mut examiner =
+                        Examiner::new(mtm, axioms[ai], opts.backend, plan.branch_co_pa);
+                    let mut stats = ShardStats::new(batch.id);
+                    let mut records = Vec::new();
+                    for &index in &batch.items {
+                        if past_deadline() {
+                            expired.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let item = &plan.items[index];
+                        let mut examined = examiner.examine(&item.program);
+                        stats.absorb(&examined);
+                        if examined.witness.is_some() && !claimed[ai].claim(&item.key) {
+                            // The plan guarantees key uniqueness; dropping
+                            // a duplicate witness (never its counters)
+                            // keeps the merge correct even if a future
+                            // enumerator breaks that invariant.
+                            debug_assert!(false, "duplicate canonical key in plan");
+                            examined.witness = None;
+                        }
+                        if let Some((witness, violated)) = examined.witness {
+                            records.push(SuiteRecord {
+                                index,
+                                elt: SynthesizedElt {
+                                    program: item.program.clone(),
+                                    witness,
+                                    violated,
+                                },
+                            });
+                        }
+                    }
+                    examined_items[ai].fetch_add(stats.items, Ordering::Relaxed);
+                    shard_stats[ai]
+                        .lock()
+                        .expect("stats lock is never poisoned")
+                        .push(stats);
+                    sinks[ai].shard_done(stats, records);
+                }
+            });
+        }
+    });
+
+    let hit_deadline = expired.load(Ordering::Relaxed);
+    let per_axiom: Vec<Vec<ShardStats>> = shard_stats
+        .into_iter()
+        .map(|m| {
+            let mut shards = m.into_inner().expect("stats lock is never poisoned");
+            shards.sort_by_key(|s| s.shard);
+            shards
+        })
+        .collect();
+    // An axiom is complete when every plan item was examined for it —
+    // the deadline may strike after early axioms already finished.
+    let timed_out: Vec<bool> = examined_items
+        .iter()
+        .map(|n| hit_deadline && n.load(Ordering::Relaxed) < plan.items.len())
+        .collect();
+    (per_axiom, timed_out)
+}
+
+/// Synthesizes the per-axiom suite on `jobs` workers, streaming every
+/// finished shard into `sink` instead of collecting members in memory.
+/// Returns the run's work counters; the suite itself lives wherever the
+/// sink put it (for the persistent store: sealed shard files whose merge
+/// reproduces the canonical suite order).
+///
+/// The records streamed are exactly the members of
+/// [`synthesize_suite_jobs`]'s suite — sorting them by
+/// [`SuiteRecord::index`] recovers the byte-identical sequential suite.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn synthesize_suite_streamed(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+    sink: &dyn SuiteSink,
+) -> SuiteStats {
+    let jobs = jobs.max(1);
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let plan = plan_par(mtm, axiom, opts, deadline, jobs);
+    let (mut per_axiom, timed_out) = run_pool(mtm, &[axiom], opts, jobs, deadline, &plan, &[sink]);
+    let mut stats = SuiteStats::from_shards(plan.programs, per_axiom.remove(0));
+    stats.elapsed = start.elapsed();
+    stats.timed_out = timed_out[0] || plan.timed_out;
+    stats
+}
+
 /// Synthesizes the per-axiom suite on `jobs` worker threads.
 ///
 /// For any `jobs`, the resulting suite (programs, order, witnesses) is
@@ -155,106 +341,80 @@ pub fn synthesize_suite_jobs(mtm: &Mtm, axiom: &str, opts: &SynthOptions, jobs: 
     if jobs == 1 {
         return transform_synth::synthesize_suite(mtm, axiom, opts);
     }
-    let start = Instant::now();
-    let deadline = opts.timeout.map(|t| start + t);
-    let plan = plan_par(mtm, axiom, opts, deadline, jobs);
-    let shards = shard::make_shards(&plan.items, jobs * SHARDS_PER_WORKER);
-    let queue = shard::WorkQueue::new(shards, jobs);
-    let claimed = dedup::KeySet::new();
-    let results: Mutex<Vec<(usize, Examined)>> = Mutex::new(Vec::with_capacity(plan.items.len()));
-    let shard_stats: Mutex<Vec<ShardStats>> = Mutex::new(Vec::new());
-    let timed_out = AtomicBool::new(false);
-
-    std::thread::scope(|scope| {
-        for worker in 0..jobs {
-            let queue = &queue;
-            let plan = &plan;
-            let claimed = &claimed;
-            let results = &results;
-            let shard_stats = &shard_stats;
-            let timed_out = &timed_out;
-            scope.spawn(move || {
-                let past_deadline = || deadline.is_some_and(|d| Instant::now() > d);
-                while let Some(batch) = queue.next(worker) {
-                    if past_deadline() {
-                        timed_out.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                    // One examiner — and, for the relational backend, one
-                    // incremental SAT solver — per shard.
-                    let mut examiner = Examiner::new(mtm, axiom, opts.backend, plan.branch_co_pa);
-                    let mut stats = ShardStats::new(batch.id);
-                    let mut local = Vec::with_capacity(batch.items.len());
-                    for &index in &batch.items {
-                        if past_deadline() {
-                            timed_out.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                        let item = &plan.items[index];
-                        let mut examined = examiner.examine(&item.program);
-                        stats.absorb(&examined);
-                        if examined.witness.is_some() && !claimed.claim(&item.key) {
-                            // The plan guarantees key uniqueness; dropping
-                            // a duplicate witness (never its counters)
-                            // keeps the merge correct even if a future
-                            // enumerator breaks that invariant.
-                            debug_assert!(false, "duplicate canonical key in plan");
-                            examined.witness = None;
-                        }
-                        local.push((index, examined));
-                    }
-                    results
-                        .lock()
-                        .expect("results lock is never poisoned")
-                        .extend(local);
-                    shard_stats
-                        .lock()
-                        .expect("stats lock is never poisoned")
-                        .push(stats);
-                }
-            });
-        }
-    });
-
-    let mut shards = shard_stats
-        .into_inner()
-        .expect("stats lock is never poisoned");
-    shards.sort_by_key(|s| s.shard);
-    let results = results
-        .into_inner()
-        .expect("results lock is never poisoned");
-    let hit_deadline = timed_out.load(Ordering::Relaxed);
-    assemble_suite(axiom, &plan, results, shards, start.elapsed(), hit_deadline)
+    let sink = CollectSink::new();
+    let stats = synthesize_suite_streamed(mtm, axiom, opts, jobs, &sink);
+    Suite {
+        axiom: axiom.to_string(),
+        elts: sink.into_elts(),
+        stats,
+    }
 }
 
 /// Synthesizes every per-axiom suite of `mtm` on `jobs` workers — the
 /// parallel counterpart of [`transform_synth::synthesize_all`].
+///
+/// One worker pool is shared across all axioms: every `(axiom, shard)`
+/// pair is a task in a single work-stealing queue, so workers idled by
+/// an exhausted axiom immediately pick up the next one instead of
+/// waiting at a per-axiom barrier. Each per-axiom suite is still
+/// byte-identical to its sequential counterpart. With a timeout, the
+/// budget covers the whole run (axioms are drained in order, so early
+/// axioms complete first); each suite's `elapsed` reports the shared
+/// run's wall-clock.
 pub fn synthesize_all_jobs(mtm: &Mtm, opts: &SynthOptions, jobs: usize) -> BTreeMap<String, Suite> {
     synthesize_all_jobs_with_union(mtm, opts, jobs).0
 }
 
-/// Like [`synthesize_all_jobs`], additionally streaming every emitted
-/// ELT's canonical key into one cross-suite [`dedup::KeySet`] as suites
-/// complete. The second component is the number of distinct programs
-/// across all per-axiom suites — the paper's headline unique-union count
-/// ("140 unique ELTs"), available without a second pass over the suites.
+/// Like [`synthesize_all_jobs`], additionally claiming every emitted
+/// ELT's canonical key in one cross-suite [`dedup::KeySet`]. The second
+/// component is the number of distinct programs across all per-axiom
+/// suites — the paper's headline unique-union count ("140 unique
+/// ELTs"), available without a second pass over the suites.
 pub fn synthesize_all_jobs_with_union(
     mtm: &Mtm,
     opts: &SynthOptions,
     jobs: usize,
 ) -> (BTreeMap<String, Suite>, usize) {
+    let jobs = jobs.max(1);
+    let suites: BTreeMap<String, Suite> = if jobs == 1 {
+        transform_synth::synthesize_all(mtm, opts)
+    } else {
+        let start = Instant::now();
+        let deadline = opts.timeout.map(|t| start + t);
+        let axioms: Vec<&str> = mtm.axioms().iter().map(|a| a.name.as_str()).collect();
+        // The plan is axiom-independent (it filters on write-bearing
+        // canonical forms), so one plan serves every axiom's tasks.
+        let plan = plan_par(mtm, axioms[0], opts, deadline, jobs);
+        let sinks: Vec<CollectSink> = axioms.iter().map(|_| CollectSink::new()).collect();
+        let sink_refs: Vec<&dyn SuiteSink> = sinks.iter().map(|s| s as &dyn SuiteSink).collect();
+        let (per_axiom, timed_out) =
+            run_pool(mtm, &axioms, opts, jobs, deadline, &plan, &sink_refs);
+        let elapsed = start.elapsed();
+        axioms
+            .iter()
+            .zip(sinks)
+            .zip(per_axiom.into_iter().zip(timed_out))
+            .map(|((axiom, sink), (shards, cut))| {
+                let mut stats = SuiteStats::from_shards(plan.programs, shards);
+                stats.elapsed = elapsed;
+                stats.timed_out = cut || plan.timed_out;
+                (
+                    axiom.to_string(),
+                    Suite {
+                        axiom: axiom.to_string(),
+                        elts: sink.into_elts(),
+                        stats,
+                    },
+                )
+            })
+            .collect()
+    };
     let union = dedup::KeySet::new();
-    let suites: BTreeMap<String, Suite> = mtm
-        .axioms()
-        .iter()
-        .map(|ax| {
-            let suite = synthesize_suite_jobs(mtm, &ax.name, opts, jobs);
-            for elt in &suite.elts {
-                union.claim(&transform_synth::canon::canonical_key(&elt.program));
-            }
-            (ax.name.clone(), suite)
-        })
-        .collect();
+    for suite in suites.values() {
+        for elt in &suite.elts {
+            union.claim(&transform_synth::canon::canonical_key(&elt.program));
+        }
+    }
     let distinct = union.len();
     (suites, distinct)
 }
@@ -322,6 +482,63 @@ mod tests {
         assert!(parallel.stats.shards.len() > 1);
         let item_sum: usize = parallel.stats.shards.iter().map(|s| s.items).sum();
         assert_eq!(item_sum, sequential.stats.shards[0].items);
+    }
+
+    #[test]
+    fn pooled_all_matches_per_axiom_suites() {
+        let mtm = small_mtm();
+        let o = opts(4);
+        let pooled = synthesize_all_jobs(&mtm, &o, 4);
+        for (axiom, suite) in &pooled {
+            let solo = synthesize_suite_jobs(&mtm, axiom, &o, 4);
+            assert_eq!(suite.elts.len(), solo.elts.len(), "{axiom}");
+            for (a, b) in suite.elts.iter().zip(&solo.elts) {
+                assert_eq!(a.program, b.program, "{axiom}");
+                assert_eq!(a.witness, b.witness, "{axiom}");
+                assert_eq!(a.violated, b.violated, "{axiom}");
+            }
+            assert_eq!(suite.stats.programs, solo.stats.programs);
+            assert_eq!(suite.stats.executions, solo.stats.executions);
+            assert_eq!(suite.stats.forbidden, solo.stats.forbidden);
+            assert_eq!(suite.stats.minimal, solo.stats.minimal);
+            assert!(!suite.stats.timed_out);
+        }
+    }
+
+    #[test]
+    fn streamed_sink_reproduces_the_suite() {
+        struct TestSink {
+            records: Mutex<Vec<SuiteRecord>>,
+            shards: Mutex<Vec<ShardStats>>,
+        }
+        impl SuiteSink for TestSink {
+            fn shard_done(&self, stats: ShardStats, records: Vec<SuiteRecord>) {
+                self.shards.lock().unwrap().push(stats);
+                self.records.lock().unwrap().extend(records);
+            }
+        }
+        let mtm = small_mtm();
+        let o = opts(4);
+        let sink = TestSink {
+            records: Mutex::new(Vec::new()),
+            shards: Mutex::new(Vec::new()),
+        };
+        let stats = synthesize_suite_streamed(&mtm, "sc_per_loc", &o, 4, &sink);
+        let suite = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
+        let mut records = sink.records.into_inner().unwrap();
+        records.sort_by_key(|r| r.index);
+        assert_eq!(records.len(), suite.elts.len());
+        for (r, e) in records.iter().zip(&suite.elts) {
+            assert_eq!(r.elt.program, e.program);
+            assert_eq!(r.elt.witness, e.witness);
+            assert_eq!(r.elt.violated, e.violated);
+        }
+        // Record indices strictly increase after sorting (plan indices
+        // are unique), and every shard was reported exactly once.
+        assert!(records.windows(2).all(|w| w[0].index < w[1].index));
+        assert_eq!(sink.shards.into_inner().unwrap().len(), stats.shards.len());
+        assert_eq!(stats.executions, suite.stats.executions);
+        assert!(!stats.timed_out);
     }
 
     #[test]

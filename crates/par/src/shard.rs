@@ -97,27 +97,31 @@ pub fn make_shards(items: &[WorkItem], target: usize) -> Vec<Shard> {
     shards
 }
 
-/// A work-stealing shard queue for a fixed worker count.
-pub struct WorkQueue {
-    decks: Vec<Mutex<VecDeque<Shard>>>,
+/// A work-stealing task queue for a fixed worker count.
+///
+/// Tasks are any unit of claimable work — plain [`Shard`]s for a
+/// single-suite run, or `(axiom, Shard)` pairs when one pool serves
+/// every axiom of an MTM at once.
+pub struct WorkQueue<T> {
+    decks: Vec<Mutex<VecDeque<T>>>,
 }
 
-impl WorkQueue {
-    /// Distributes `shards` round-robin over `workers` local deques.
-    pub fn new(shards: Vec<Shard>, workers: usize) -> WorkQueue {
+impl<T> WorkQueue<T> {
+    /// Distributes `tasks` round-robin over `workers` local deques.
+    pub fn new(tasks: Vec<T>, workers: usize) -> WorkQueue<T> {
         let workers = workers.max(1);
-        let mut decks: Vec<VecDeque<Shard>> = (0..workers).map(|_| VecDeque::new()).collect();
-        for (i, shard) in shards.into_iter().enumerate() {
-            decks[i % workers].push_back(shard);
+        let mut decks: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            decks[i % workers].push_back(task);
         }
         WorkQueue {
             decks: decks.into_iter().map(Mutex::new).collect(),
         }
     }
 
-    /// The next shard for `worker`: its own front, else a steal from the
+    /// The next task for `worker`: its own front, else a steal from the
     /// back of the fullest other deque. `None` once all work is claimed.
-    pub fn next(&self, worker: usize) -> Option<Shard> {
+    pub fn next(&self, worker: usize) -> Option<T> {
         if let Some(shard) = self.decks[worker]
             .lock()
             .expect("queue lock is never poisoned")

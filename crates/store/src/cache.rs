@@ -1,0 +1,115 @@
+//! The caching policy over the store: serve sealed suites, stream cold
+//! runs into new entries, and rebuild — never serve — damaged ones.
+//!
+//! Both temperatures serve the suite *from the sealed artifact*: a cold
+//! run synthesizes through the shard-streaming sink, seals, and then
+//! reads its own entry back. A warm run therefore reproduces the cold
+//! run's output byte for byte (statistics included — `elapsed` is the
+//! recorded synthesis time, not the read time), which is what makes
+//! cached results indistinguishable from fresh ones.
+
+use crate::fingerprint::{suite_fingerprint, Fingerprint};
+use crate::store::{read_suite, EntryMeta, Store, StoreError};
+use transform_core::axiom::Mtm;
+use transform_par::synthesize_suite_streamed;
+use transform_synth::{Suite, SynthOptions};
+
+/// How a cached lookup was satisfied.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CacheStatus {
+    /// Served from an existing sealed entry.
+    Hit,
+    /// No entry existed; synthesized and sealed.
+    Miss,
+    /// An entry existed but failed validation; it was deleted and the
+    /// suite resynthesized and re-sealed.
+    Rebuilt {
+        /// What the validation failure was.
+        reason: String,
+    },
+    /// Synthesized but *not* sealed (the run timed out, so the suite is
+    /// partial and must never be served from cache).
+    Uncached {
+        /// Why the result was not persisted.
+        reason: String,
+    },
+}
+
+impl CacheStatus {
+    /// Whether the suite came from a sealed entry without synthesis.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheStatus::Hit)
+    }
+}
+
+/// Serves the per-axiom suite from the store, synthesizing (and
+/// sealing) on a miss. Corrupt, truncated, or version-mismatched
+/// entries are detected by checksums, deleted, and transparently
+/// rebuilt.
+///
+/// # Errors
+///
+/// Only genuine i/o failures (unreadable store directory, failed
+/// writes) surface as errors; validation failures are handled by
+/// rebuilding.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm` (as every synthesis entry
+/// point does).
+pub fn cached_or_synthesize(
+    store: &Store,
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> Result<(Suite, CacheStatus), StoreError> {
+    assert!(
+        mtm.axiom(axiom).is_some(),
+        "axiom `{axiom}` is not part of {}",
+        mtm.name()
+    );
+    let fp = suite_fingerprint(mtm, axiom, opts);
+    let mut status = CacheStatus::Miss;
+    if store.contains(fp) {
+        match read_entry(store, fp, axiom) {
+            Ok(suite) => return Ok((suite, CacheStatus::Hit)),
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(invalid) => {
+                store.remove(fp)?;
+                status = CacheStatus::Rebuilt {
+                    reason: invalid.to_string(),
+                };
+            }
+        }
+    }
+
+    let pending = store.begin(fp, EntryMeta::describe(mtm, axiom, opts))?;
+    let stats = synthesize_suite_streamed(mtm, axiom, opts, jobs, &pending);
+    if stats.timed_out {
+        let suite = pending.into_suite(&stats)?;
+        return Ok((
+            suite,
+            CacheStatus::Uncached {
+                reason: "synthesis timed out; partial suites are never cached".into(),
+            },
+        ));
+    }
+    pending.seal(&stats)?;
+    let suite = read_entry(store, fp, axiom)?;
+    Ok((suite, status))
+}
+
+/// Reads and fully validates one sealed entry, also cross-checking that
+/// its metadata names the expected axiom (a fingerprint collision or a
+/// renamed file would otherwise serve the wrong suite).
+fn read_entry(store: &Store, fp: Fingerprint, axiom: &str) -> Result<Suite, StoreError> {
+    let reader = store.open_suite(fp)?;
+    if reader.meta().axiom != axiom {
+        return Err(StoreError::Corrupt(format!(
+            "entry is for axiom `{}`, expected `{axiom}`",
+            reader.meta().axiom
+        )));
+    }
+    read_suite(reader)
+}

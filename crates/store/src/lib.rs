@@ -1,0 +1,64 @@
+//! `transform-store` — the persistent, content-addressed suite store.
+//!
+//! The TransForm paper's synthesis runs took up to a week per
+//! instruction bound; this crate makes their results durable. A
+//! synthesized per-axiom suite is written once into a store directory
+//! and addressed by a [`Fingerprint`] of everything that determines its
+//! content — the MTM's canonical spec text, the target axiom, the
+//! instruction bound, and the enumeration/backend options — so any
+//! later `synthesize`, `compare`, or `fig9` invocation with the same
+//! inputs streams the sealed artifact instead of resynthesizing.
+//!
+//! The moving parts:
+//!
+//! * [`codec`] — a versioned binary encoding for suite records
+//!   (program + witness execution + violated axioms) and work
+//!   statistics, round-tripping exactly: a decoded witness prints
+//!   byte-identically under [`transform_litmus::format::print_elt`].
+//! * [`fingerprint`] — the content-address of a synthesis run.
+//! * [`store`] — the on-disk format: parallel workers stream shard
+//!   files as shards retire ([`store::PendingSuite`] implements
+//!   [`transform_par::SuiteSink`]), a deterministic merge seals the
+//!   canonical index, and [`store::SuiteReader`] iterates a sealed
+//!   suite record-by-record behind checksum validation.
+//! * [`cache`] — the policy: serve sealed entries, stream cold runs in,
+//!   and rebuild (never serve) corrupt, truncated, or
+//!   version-mismatched files.
+//!
+//! # Examples
+//!
+//! ```
+//! use transform_core::spec::parse_mtm;
+//! use transform_store::{cached_or_synthesize, Store};
+//! use transform_synth::SynthOptions;
+//!
+//! let mtm = parse_mtm(
+//!     "mtm demo {
+//!        axiom sc_per_loc: acyclic(rf | co | fr | po_loc)
+//!      }",
+//! ).expect("spec parses");
+//! let mut opts = SynthOptions::new(4);
+//! opts.enumeration.allow_fences = false;
+//! opts.enumeration.allow_rmw = false;
+//! let dir = std::env::temp_dir().join(format!("tfs-doc-{}", std::process::id()));
+//! let store = Store::open(&dir).expect("store opens");
+//!
+//! let (cold, cold_status) =
+//!     cached_or_synthesize(&store, &mtm, "sc_per_loc", &opts, 2).expect("synthesizes");
+//! let (warm, warm_status) =
+//!     cached_or_synthesize(&store, &mtm, "sc_per_loc", &opts, 2).expect("reads");
+//! assert!(!cold_status.is_hit());
+//! assert!(warm_status.is_hit());
+//! assert_eq!(cold.elts.len(), warm.elts.len());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod cache;
+pub mod codec;
+pub mod fingerprint;
+pub mod store;
+
+pub use cache::{cached_or_synthesize, CacheStatus};
+pub use codec::{CodecError, FORMAT_VERSION};
+pub use fingerprint::{suite_fingerprint, Fingerprint};
+pub use store::{read_suite, EntryMeta, PendingSuite, Store, StoreError, SuiteReader};

@@ -29,6 +29,7 @@ use crate::execs;
 use crate::minimal::is_minimal;
 use crate::programs::{EnumOptions, Program};
 use crate::satgen;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use transform_core::axiom::Mtm;
@@ -71,7 +72,7 @@ impl SynthOptions {
 }
 
 /// A synthesized spanning-set member.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct SynthesizedElt {
     /// The ELT program (what the tool outputs).
     pub program: Program,
@@ -79,6 +80,19 @@ pub struct SynthesizedElt {
     pub witness: Execution,
     /// Axioms the witness violates.
     pub violated: Vec<String>,
+}
+
+/// One suite member together with its position in the synthesis plan —
+/// the unit that streams out of the engine and into persistent storage
+/// (`transform-store`). Records are produced out of order by parallel
+/// shards; sorting on `index` recovers the canonical suite order.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SuiteRecord {
+    /// The member's plan index (its position in the deduplicated
+    /// sequential enumeration — the order `Suite::elts` is sorted by).
+    pub index: usize,
+    /// The synthesized member itself.
+    pub elt: SynthesizedElt,
 }
 
 /// Work counters for one shard of a suite synthesis.

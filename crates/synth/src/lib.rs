@@ -50,7 +50,7 @@ pub mod satgen;
 pub use engine::{
     assemble_suite, exclusive_attribution, plan_from_keyed, plan_key, plan_suite, suite_contains,
     synthesize_all, synthesize_suite, unique_union, Backend, Examined, Examiner, ShardStats, Suite,
-    SuiteStats, SynthOptions, SynthPlan, SynthesizedElt, WorkItem,
+    SuiteRecord, SuiteStats, SynthOptions, SynthPlan, SynthesizedElt, WorkItem,
 };
 pub use programs::{EnumOptions, PaRef, Program, SlotOp};
 pub use relax::Relaxation;

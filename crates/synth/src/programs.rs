@@ -18,12 +18,13 @@
 //! paper's Fig. 10a is a four-instruction ELT.
 
 use crate::canon::canonical_key;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use transform_core::exec::{EltBuilder, Execution};
 use transform_core::ids::{Pa, Va};
 
 /// How a PTE write's target PA relates to the rest of the test.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum PaRef {
     /// The initial physical page of VA *i* (aliasing an existing page).
     Initial(usize),
@@ -32,7 +33,7 @@ pub enum PaRef {
 }
 
 /// One program-order slot.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum SlotOp {
     /// User read; `walk` marks a TLB miss.
     Read {
@@ -90,7 +91,7 @@ impl SlotOp {
 }
 
 /// An ELT program: threads of slots plus remap/rmw structure.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Program {
     /// Instruction sequences, one per core.
     pub threads: Vec<Vec<SlotOp>>,

@@ -23,6 +23,9 @@
 //! * [`par`] — the parallel synthesis orchestrator:
 //!   sharded enumeration over worker threads with work stealing and
 //!   deterministic merging, byte-identical to the sequential engine.
+//! * [`store`] — the persistent content-addressed suite store: a
+//!   versioned binary codec, shard-streaming writes, checksum-validated
+//!   streaming reads, and the warm/cold cache policy.
 //! * [`relational`] — a Kodkod-style bounded relational model finder,
 //!   with incremental shared-solver sessions.
 //! * [`tsat`] — the CDCL SAT solver underneath it, solving under
@@ -49,6 +52,7 @@ pub use transform_core as core;
 pub use transform_litmus as litmus;
 pub use transform_par as par;
 pub use transform_sim as sim;
+pub use transform_store as store;
 pub use transform_synth as synth;
 pub use transform_x86 as x86;
 pub use tsat;
