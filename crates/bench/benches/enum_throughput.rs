@@ -1,0 +1,215 @@
+//! Enumeration throughput, streamed vs eager, and what fusing program
+//! generation into the pool buys end-to-end.
+//!
+//! Measured per configuration:
+//!
+//! * programs/second of the eager `programs()` enumeration vs the
+//!   partition-streamed `EnumSpace::stream()` (same sequence, proven by
+//!   count);
+//! * wall-clock of the two-phase reference engine
+//!   (`synthesize_suite_jobs_eager`: full plan first, then the pool)
+//!   vs the fused streaming pipeline (`synthesize_suite_jobs`), same
+//!   suite;
+//! * peak live candidates: the eager path materializes the whole
+//!   enumeration at once, the streamed pipeline holds at most a few
+//!   partitions (`StreamMetrics::peak_live_candidates`).
+//!
+//! Besides the per-point measurements, the run writes the numbers to
+//! `BENCH_enum.json` at the workspace root so the perf trajectory is
+//! tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use transform_par::{
+    default_jobs, synthesize_suite_jobs_eager, synthesize_suite_streamed_metrics, StreamMetrics,
+    SuiteSink,
+};
+use transform_synth::programs::EnumSpace;
+use transform_synth::{ShardStats, SuiteRecord, SynthOptions};
+use transform_x86::x86t_elt;
+
+const AXIOM: &str = "sc_per_loc";
+
+fn opts(bound: usize) -> SynthOptions {
+    let mut o = SynthOptions::new(bound);
+    o.enumeration.allow_fences = true;
+    o.enumeration.allow_rmw = true;
+    o
+}
+
+fn jobs() -> usize {
+    default_jobs().max(2)
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enum_throughput");
+    group.sample_size(10);
+    let o = opts(5);
+    group.bench_function("eager/bound5", |b| {
+        b.iter(|| transform_synth::programs::programs(&o.enumeration).len())
+    });
+    group.bench_function("streamed/bound5", |b| {
+        b.iter(|| {
+            EnumSpace::with_target_partitions(&o.enumeration, jobs() * 8)
+                .stream()
+                .count()
+        })
+    });
+    group.finish();
+}
+
+/// A collecting sink, deliberately implemented against the public
+/// [`SuiteSink`] trait (the same API the store streams through) rather
+/// than any internal collector, so the bench measures the external
+/// contract.
+struct Collect(Mutex<Vec<SuiteRecord>>);
+
+impl SuiteSink for Collect {
+    fn shard_done(&self, _stats: ShardStats, records: Vec<SuiteRecord>) {
+        self.0.lock().expect("collect lock").extend(records);
+    }
+}
+
+struct Point {
+    bound: usize,
+    programs: usize,
+    elts: usize,
+    enum_eager: Duration,
+    enum_streamed: Duration,
+    synth_eager: Duration,
+    synth_fused: Duration,
+    peak_live_eager: usize,
+    metrics: StreamMetrics,
+}
+
+fn measure(bound: usize) -> Point {
+    let mtm = x86t_elt();
+    let o = opts(bound);
+    let jobs = jobs();
+
+    let start = Instant::now();
+    let eager_programs = transform_synth::programs::programs(&o.enumeration);
+    let enum_eager = start.elapsed();
+    let peak_live_eager = eager_programs.len();
+
+    let start = Instant::now();
+    let streamed_count = EnumSpace::with_target_partitions(&o.enumeration, jobs * 8)
+        .stream()
+        .count();
+    let enum_streamed = start.elapsed();
+    assert_eq!(
+        peak_live_eager, streamed_count,
+        "stream diverged from eager"
+    );
+
+    let start = Instant::now();
+    let eager_suite = synthesize_suite_jobs_eager(&mtm, AXIOM, &o, jobs);
+    let synth_eager = start.elapsed();
+
+    let sink = Collect(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let (stats, metrics) = synthesize_suite_streamed_metrics(&mtm, AXIOM, &o, jobs, &sink);
+    let synth_fused = start.elapsed();
+    let mut records = sink.0.into_inner().expect("collect lock");
+    records.sort_by_key(|r| r.index);
+    assert_eq!(records.len(), eager_suite.elts.len(), "suite sizes diverge");
+    for (r, e) in records.iter().zip(&eager_suite.elts) {
+        assert_eq!(r.elt.program, e.program, "fused suite diverged from eager");
+    }
+    assert_eq!(stats.programs, eager_suite.stats.programs);
+    // The whole point: the pipeline never materializes the full
+    // enumeration at once.
+    if peak_live_eager > 100 {
+        assert!(
+            metrics.peak_live_candidates < peak_live_eager,
+            "peak live {} should stay below the full enumeration {}",
+            metrics.peak_live_candidates,
+            peak_live_eager
+        );
+    }
+
+    Point {
+        bound,
+        programs: stats.programs,
+        elts: records.len(),
+        enum_eager,
+        enum_streamed,
+        synth_eager,
+        synth_fused,
+        peak_live_eager,
+        metrics,
+    }
+}
+
+fn json_point(p: &Point) -> String {
+    format!(
+        concat!(
+            "{{\"bound\": {}, \"fences\": true, \"rmw\": true, ",
+            "\"programs\": {}, \"elts\": {}, ",
+            "\"enum_eager_secs\": {:.6}, \"enum_streamed_secs\": {:.6}, ",
+            "\"enum_eager_programs_per_sec\": {:.1}, ",
+            "\"enum_streamed_programs_per_sec\": {:.1}, ",
+            "\"synth_eager_secs\": {:.6}, \"synth_fused_secs\": {:.6}, ",
+            "\"fused_speedup\": {:.3}, ",
+            "\"peak_live_eager\": {}, \"peak_live_streamed\": {}, ",
+            "\"partitions\": {}, \"batches\": {}, \"final_batch_size\": {}}}"
+        ),
+        p.bound,
+        p.programs,
+        p.elts,
+        p.enum_eager.as_secs_f64(),
+        p.enum_streamed.as_secs_f64(),
+        p.programs as f64 / p.enum_eager.as_secs_f64().max(f64::EPSILON),
+        p.programs as f64 / p.enum_streamed.as_secs_f64().max(f64::EPSILON),
+        p.synth_eager.as_secs_f64(),
+        p.synth_fused.as_secs_f64(),
+        p.synth_eager.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON),
+        p.peak_live_eager,
+        p.metrics.peak_live_candidates,
+        p.metrics.partitions,
+        p.metrics.batches,
+        p.metrics.final_batch_size,
+    )
+}
+
+fn throughput_summary(_c: &mut Criterion) {
+    let points: Vec<Point> = [5usize, 6].iter().map(|&b| measure(b)).collect();
+    for p in &points {
+        println!(
+            "enum_throughput summary: `{AXIOM}` @ bound {} --fences --rmw on {} workers: \
+             enum eager {:?} vs streamed {:?}; synth eager {:?} vs fused {:?} ({:.2}x); \
+             peak live {} -> {} (of {} programs, {} partitions, {} batches)",
+            p.bound,
+            jobs(),
+            p.enum_eager,
+            p.enum_streamed,
+            p.synth_eager,
+            p.synth_fused,
+            p.synth_eager.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON),
+            p.peak_live_eager,
+            p.metrics.peak_live_candidates,
+            p.programs,
+            p.metrics.partitions,
+            p.metrics.batches,
+        );
+    }
+    let body = points
+        .iter()
+        .map(json_point)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        "{{\n  \"bench\": \"enum_throughput\",\n  \"axiom\": \"{AXIOM}\",\n  \
+         \"jobs\": {},\n  \"points\": [\n    {}\n  ]\n}}\n",
+        jobs(),
+        body
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_enum.json");
+    std::fs::write(&path, json).expect("BENCH_enum.json is writable");
+    println!("enum_throughput: wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_enumeration, throughput_summary);
+criterion_main!(benches);

@@ -12,7 +12,11 @@
 //!   machine, optionally with an injected bug;
 //! * `query` — filter the ELTs of a suite cache by axiom, bound, shape,
 //!   fences, and rmw without resynthesizing anything;
-//! * `export` — dump cached ELTs in the text syntax.
+//! * `export` — dump cached ELTs in the text syntax;
+//! * `store verify` — offline re-checksum of every cached suite,
+//!   reporting (and optionally removing) corrupt entries;
+//! * `store gc` — age out cached suites by mtime and/or a keep-list of
+//!   fingerprints, and sweep leftover shard directories.
 //!
 //! The command logic lives in this library crate (returning the output as
 //! a `String`) so it is unit-testable; `main.rs` only prints.
@@ -20,7 +24,7 @@
 mod opts;
 
 use opts::Opts;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Read;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
@@ -29,7 +33,7 @@ use transform_core::{figures, pretty, vocab};
 use transform_litmus::format::{parse_elt, print_elt};
 use transform_par::{default_jobs, synthesize_suite_jobs};
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
-use transform_store::{cached_or_synthesize, EntryMeta, Store};
+use transform_store::{cached_or_synthesize, EntryMeta, Fingerprint, Store};
 use transform_synth::engine::{Backend, Suite, SynthOptions};
 use transform_synth::programs::{Program, SlotOp};
 use transform_synth::SuiteRecord;
@@ -46,22 +50,31 @@ commands:
   synthesize --axiom A --bound N [--mtm M] [--max-threads T]
              [--fences] [--rmw] [--timeout-secs S] [--quiet]
              [--jobs N|auto] [--backend explicit|relational]
-             [--cache DIR] [--out FILE]
+             [--partition-size N|auto] [--cache DIR] [--out FILE]
   compare --bound N [--timeout-secs S] [--jobs N|auto] [--cache DIR]
   simulate FILE|- [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
   query --cache DIR [--mtm-name M] [--axiom A] [--bound N]
         [--backend B] [--shape S] [--fences] [--rmw]
   export --cache DIR [same filters as query] [--out FILE]
+  store verify --cache DIR [--remove-corrupt]
+  store gc --cache DIR [--older-than-days N] [--keep-list FILE]
+        [--dry-run]
 
 --mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.
 --jobs runs synthesis on N worker threads (`auto` = all cores); the
-suite is byte-identical for every N.
+suite is byte-identical for every N. --partition-size pins the
+streaming engine's examine-batch granularity (`auto`, the default,
+adapts it to the observed throughput); it never changes the suite.
 --cache makes synthesis stream from / seal into a persistent suite
 store keyed on (MTM, axiom, bound, options); corrupt or stale entries
 are detected by checksums and rebuilt. `check -` and `simulate -` read
 the ELT from stdin. query/export filters: --shape matches the
 slots-per-thread signature (e.g. `2+1`); --fences and --rmw keep only
-tests containing a fence / an rmw pair.";
+tests containing a fence / an rmw pair. `store verify` re-checksums
+every cached suite offline; `store gc` deletes entries older than
+--older-than-days and/or (with --keep-list, a file of fingerprints,
+one per line) entries not listed, and sweeps leftover tmp-* shard
+directories.";
 
 /// Runs a command line, returning its stdout text.
 ///
@@ -84,6 +97,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "simulate" => cmd_simulate(opts),
         "query" => cmd_query(opts),
         "export" => cmd_export(opts),
+        "store" => cmd_store(opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -189,6 +203,7 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     if let Some(b) = opts.value("--backend") {
         sopts.backend = parse_backend(&b)?;
     }
+    sopts.partition_size = parse_partition_size(opts.value("--partition-size"))?;
     let jobs = parse_jobs(opts.value("--jobs"))?;
     let quiet = opts.flag("--quiet");
     let cache = opts.value("--cache");
@@ -280,6 +295,21 @@ fn parse_jobs(value: Option<String>) -> Result<usize, String> {
         Some(n) => {
             let n: usize = n.parse().map_err(|_| "--jobs must be a number or `auto`")?;
             Ok(n.max(1))
+        }
+    }
+}
+
+fn parse_partition_size(value: Option<String>) -> Result<Option<usize>, String> {
+    match value.as_deref() {
+        None | Some("auto") => Ok(None),
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| "--partition-size must be a positive number or `auto`")?;
+            if n == 0 {
+                return Err("--partition-size must be a positive number or `auto`".into());
+            }
+            Ok(Some(n))
         }
     }
 }
@@ -383,12 +413,32 @@ fn scan_cache(
     warnings: &mut String,
 ) -> Result<(usize, usize, usize), String> {
     let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
-    let entries = store.entries().map_err(|e| format!("cache `{dir}`: {e}"))?;
+    // The advisory index lets non-matching entries be skipped without
+    // opening their headers; a missing or stale index degrades to the
+    // header scan (indexed metadata is re-checked against the opened
+    // header either way, so the index can only prune, never mis-serve).
+    let entries: Vec<(transform_store::Fingerprint, Option<EntryMeta>)> = match store.read_index() {
+        Some(index) => index
+            .into_iter()
+            .map(|e| (e.fingerprint, Some(e.meta)))
+            .collect(),
+        None => store
+            .entries()
+            .map_err(|e| format!("cache `{dir}`: {e}"))?
+            .into_iter()
+            .map(|fp| (fp, None))
+            .collect(),
+    };
     let mut scanned = 0usize;
     let mut entries_matched = 0usize;
     let mut records_matched = 0usize;
-    for fp in entries {
+    for (fp, indexed_meta) in entries {
         scanned += 1;
+        if let Some(meta) = &indexed_meta {
+            if !filter.admits_entry(meta) {
+                continue;
+            }
+        }
         let reader = match store.open_suite(fp) {
             Ok(reader) => reader,
             Err(e) => {
@@ -493,6 +543,166 @@ fn cmd_export(mut opts: Opts) -> Result<String, String> {
         }
         None => Ok(format!("{warnings}{body}")),
     }
+}
+
+fn cmd_store(mut opts: Opts) -> Result<String, String> {
+    let sub = opts
+        .positional()
+        .ok_or("store needs a subcommand: verify | gc")?;
+    match sub.as_str() {
+        "verify" => cmd_store_verify(opts),
+        "gc" => cmd_store_gc(opts),
+        other => Err(format!(
+            "unknown store subcommand `{other}` (expected `verify` or `gc`)"
+        )),
+    }
+}
+
+/// Fully re-validates one sealed entry: header, every record checksum,
+/// and the trailer.
+fn validate_entry(
+    store: &Store,
+    fp: Fingerprint,
+) -> Result<(u64, EntryMeta), transform_store::StoreError> {
+    let mut reader = store.open_suite(fp)?;
+    let meta = reader.meta().clone();
+    let mut records = 0u64;
+    for record in reader.by_ref() {
+        record?;
+        records += 1;
+    }
+    Ok((records, meta))
+}
+
+fn cmd_store_verify(mut opts: Opts) -> Result<String, String> {
+    let dir = opts
+        .value("--cache")
+        .ok_or("store verify needs --cache DIR")?;
+    let remove = opts.flag("--remove-corrupt");
+    opts.finish()?;
+    let store = Store::open(&dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+    let entries = store.entries().map_err(|e| format!("cache `{dir}`: {e}"))?;
+    let mut out = String::new();
+    let mut corrupt = Vec::new();
+    for &fp in &entries {
+        match validate_entry(&store, fp) {
+            Ok((records, meta)) => out.push_str(&format!(
+                "{fp} ok       {records:>6} records  {}@{} ({})\n",
+                meta.axiom, meta.bound, meta.backend
+            )),
+            Err(e) => {
+                out.push_str(&format!("{fp} CORRUPT  {e}\n"));
+                corrupt.push(fp);
+            }
+        }
+    }
+    out.push_str(match store.read_index() {
+        Some(_) => "index: ok\n",
+        None => "index: missing or stale (scans fall back to entry headers)\n",
+    });
+    if remove && !corrupt.is_empty() {
+        for &fp in &corrupt {
+            store
+                .remove(fp)
+                .map_err(|e| format!("cannot remove {fp}: {e}"))?;
+        }
+        // Best-effort: a failed rebuild only costs scans their fast path.
+        store.rebuild_index().ok();
+    }
+    out.push_str(&format!(
+        "{} ok, {} corrupt of {} sealed entr{}{}\n",
+        entries.len() - corrupt.len(),
+        corrupt.len(),
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+        if remove && !corrupt.is_empty() {
+            " (corrupt entries removed)"
+        } else {
+            ""
+        },
+    ));
+    Ok(out)
+}
+
+fn cmd_store_gc(mut opts: Opts) -> Result<String, String> {
+    let dir = opts.value("--cache").ok_or("store gc needs --cache DIR")?;
+    let days: Option<u64> = opts
+        .value("--older-than-days")
+        .map(|d| d.parse().map_err(|_| "--older-than-days must be a number"))
+        .transpose()?;
+    let keep_path = opts.value("--keep-list");
+    let dry = opts.flag("--dry-run");
+    opts.finish()?;
+    let store = Store::open(&dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+    let keep: Option<BTreeSet<Fingerprint>> = keep_path
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read keep-list `{path}`: {e}"))?;
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(|l| {
+                    Fingerprint::from_hex(l)
+                        .ok_or_else(|| format!("{path}: `{l}` is not a fingerprint"))
+                })
+                .collect::<Result<BTreeSet<_>, _>>()
+        })
+        .transpose()?;
+    let now = std::time::SystemTime::now();
+    let mut out = String::new();
+    let mut removed = 0usize;
+    let mut kept = 0usize;
+    for fp in store.entries().map_err(|e| format!("cache `{dir}`: {e}"))? {
+        let protected = keep.as_ref().is_some_and(|k| k.contains(&fp));
+        // Aged out: older than the mtime cutoff when one is given;
+        // otherwise (keep-list alone) any unlisted entry goes.
+        let aged = match days {
+            Some(d) => {
+                let mtime = store
+                    .entry_mtime(fp)
+                    .map_err(|e| format!("cannot stat {fp}: {e}"))?;
+                now.duration_since(mtime)
+                    .is_ok_and(|age| age >= Duration::from_secs(d.saturating_mul(86_400)))
+            }
+            None => keep.is_some(),
+        };
+        if protected || !aged {
+            kept += 1;
+            continue;
+        }
+        removed += 1;
+        if dry {
+            out.push_str(&format!("would remove {fp}\n"));
+        } else {
+            store
+                .remove(fp)
+                .map_err(|e| format!("cannot remove {fp}: {e}"))?;
+            out.push_str(&format!("removed {fp}\n"));
+        }
+    }
+    let tmp = if dry {
+        store
+            .stale_tmp_entries()
+            .map_err(|e| format!("cache `{dir}`: {e}"))?
+            .len()
+    } else {
+        store
+            .sweep_tmp()
+            .map_err(|e| format!("cache `{dir}`: {e}"))?
+    };
+    if removed > 0 && !dry {
+        store.rebuild_index().ok();
+    }
+    out.push_str(&format!(
+        "{}{} entr{} removed, {} kept, {} tmp dir{} swept\n",
+        if dry { "[dry-run] " } else { "" },
+        removed,
+        if removed == 1 { "y" } else { "ies" },
+        kept,
+        tmp,
+        if tmp == 1 { "" } else { "s" },
+    ));
+    Ok(out)
 }
 
 fn cmd_simulate(mut opts: Opts) -> Result<String, String> {
@@ -831,6 +1041,163 @@ mod tests {
         let warm_a = run_str(&line).expect("warm");
         let warm_b = run_str(&line).expect("warm");
         assert_eq!(warm_a, warm_b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partition_size_never_changes_the_suite() {
+        let base = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        for line in [
+            "synthesize --axiom invlpg --bound 4 --jobs 3 --partition-size 1",
+            "synthesize --axiom invlpg --bound 4 --jobs 3 --partition-size 7",
+            "synthesize --axiom invlpg --bound 4 --jobs 3 --partition-size auto",
+        ] {
+            let out = run_str(line).expect("runs");
+            let elts = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("suite `"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(elts(&base), elts(&out), "{line}");
+        }
+        let e = run_str("synthesize --axiom invlpg --bound 4 --partition-size zero").unwrap_err();
+        assert!(e.contains("--partition-size"), "{e}");
+        let e = run_str("synthesize --axiom invlpg --bound 4 --partition-size 0").unwrap_err();
+        assert!(e.contains("--partition-size"), "{e}");
+    }
+
+    #[test]
+    fn store_verify_reports_and_removes_corruption() {
+        let dir = temp_dir("verify");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds invlpg");
+        run_str(&format!(
+            "synthesize --axiom sc_per_loc --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds sc_per_loc");
+
+        let clean = run_str(&format!("store verify --cache {c}")).expect("verifies");
+        assert!(
+            clean.contains("2 ok, 0 corrupt of 2 sealed entries"),
+            "{clean}"
+        );
+        assert!(clean.contains("index: ok"), "{clean}");
+
+        // Damage one entry mid-file.
+        let entry = std::fs::read_dir(&cache)
+            .expect("store exists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "tfs"))
+            .expect("a sealed entry");
+        let mut bytes = std::fs::read(&entry).expect("readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&entry, &bytes).expect("writable");
+
+        let dirty = run_str(&format!("store verify --cache {c}")).expect("verifies");
+        assert!(dirty.contains("CORRUPT"), "{dirty}");
+        assert!(
+            dirty.contains("1 ok, 1 corrupt of 2 sealed entries"),
+            "{dirty}"
+        );
+
+        let removed =
+            run_str(&format!("store verify --cache {c} --remove-corrupt")).expect("verifies");
+        assert!(removed.contains("corrupt entries removed"), "{removed}");
+        let after = run_str(&format!("store verify --cache {c}")).expect("verifies");
+        assert!(
+            after.contains("1 ok, 0 corrupt of 1 sealed entry"),
+            "{after}"
+        );
+        assert!(after.contains("index: ok"), "{after}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_gc_ages_out_entries_and_honors_the_keep_list() {
+        let dir = temp_dir("gc");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds invlpg");
+        run_str(&format!(
+            "synthesize --axiom sc_per_loc --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds sc_per_loc");
+        // A leftover shard directory from a crashed run.
+        std::fs::create_dir_all(cache.join("tmp-deadbeef-1-0")).expect("mkdir");
+
+        // Dry run: nothing is touched.
+        let dry = run_str(&format!(
+            "store gc --cache {c} --older-than-days 0 --dry-run"
+        ))
+        .expect("dry-runs");
+        assert!(dry.contains("would remove"), "{dry}");
+        assert!(
+            dry.contains("[dry-run] 2 entries removed, 0 kept, 1 tmp dir swept"),
+            "{dry}"
+        );
+        assert!(cache.join("tmp-deadbeef-1-0").exists());
+
+        // Keep-list protects one fingerprint; everything else ages out.
+        let store = Store::open(&cache).expect("opens");
+        let protected = store.entries().expect("listable")[0];
+        let keep = dir.join("keep.txt");
+        std::fs::write(&keep, format!("# pinned\n{protected}\n")).expect("writable");
+        let out = run_str(&format!(
+            "store gc --cache {c} --older-than-days 0 --keep-list {}",
+            keep.display()
+        ))
+        .expect("gcs");
+        assert!(
+            out.contains("1 entry removed, 1 kept, 1 tmp dir swept"),
+            "{out}"
+        );
+        assert!(!cache.join("tmp-deadbeef-1-0").exists());
+        assert_eq!(store.entries().expect("listable"), vec![protected]);
+        // The index was rebuilt to match.
+        assert_eq!(store.read_index().expect("fresh index").len(), 1);
+
+        // Keep-list alone: unlisted entries go regardless of age.
+        run_str(&format!(
+            "synthesize --axiom causality --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds causality");
+        let out = run_str(&format!(
+            "store gc --cache {c} --keep-list {}",
+            keep.display()
+        ))
+        .expect("gcs");
+        assert!(out.contains("1 entry removed, 1 kept"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_is_identical_with_and_without_the_index() {
+        let dir = temp_dir("index-query");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds invlpg");
+        run_str(&format!(
+            "synthesize --axiom sc_per_loc --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds sc_per_loc");
+        assert!(cache.join(transform_store::INDEX_FILE).exists());
+        let indexed = run_str(&format!("query --cache {c} --axiom invlpg")).expect("queries");
+        std::fs::remove_file(cache.join(transform_store::INDEX_FILE)).expect("removable");
+        let scanned = run_str(&format!("query --cache {c} --axiom invlpg")).expect("queries");
+        assert_eq!(indexed, scanned, "index must only prune, never reorder");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,25 +11,33 @@
 //! # Pipeline
 //!
 //! The paper's Fig. 7 engine factors into three phases (see
-//! [`transform_synth::engine`]), and this crate parallelizes the first
-//! two:
+//! [`transform_synth::engine`]); this crate fuses the first two into one
+//! streaming pool:
 //!
-//! 1. **Plan** — program enumeration stays sequential (it is a tiny
-//!    fraction of runtime), but canonical-key computation — the expensive
-//!    part of symmetry reduction — fans out across workers
-//!    ([`plan_par`]); the first-occurrence dedup scan then runs in
-//!    enumeration order, so the plan equals the sequential one.
-//! 2. **Examine** — plan items are grouped into [`shard::Shard`]s by
-//!    *skeleton prefix* (programs whose first thread has the same shape)
-//!    and distributed through a work-stealing [`shard::WorkQueue`]. Each
-//!    shard runs on one [`transform_synth::Examiner`]; with the
+//! 1. **Plan ∥ Examine** — the program space is split by *skeleton
+//!    prefix* into independently enumerable partitions
+//!    ([`transform_synth::programs::EnumSpace`]); partitions are pool
+//!    tasks alongside examine batches, so workers generate, canonically
+//!    key, and examine programs concurrently ([`stream`]). Partitions
+//!    are *admitted* strictly in ordinal order through a dedup frontier
+//!    — the same first-occurrence scan the sequential planner runs — so
+//!    plan indices never depend on scheduling. Each examine batch runs
+//!    on one [`transform_synth::Examiner`]; with the
 //!    [`Backend::Relational`] backend that examiner owns one incremental
-//!    SAT solver (`tsat` solving under assumptions) serving every program
-//!    in the shard. Workers claim emitted ELT keys in a concurrent
-//!    streaming dedup set ([`dedup::KeySet`]) as results stream in.
-//! 3. **Merge** — per-item results are re-ordered by plan index and
-//!    stitched into the suite by [`transform_synth::assemble_suite`];
-//!    per-shard counters are kept and summed losslessly.
+//!    SAT solver (`tsat` solving under assumptions) serving every
+//!    program in the batch, and batch granularity autotunes to the
+//!    observed examination rate. Workers claim emitted ELT keys in a
+//!    concurrent streaming dedup set ([`dedup::KeySet`]) as results
+//!    stream in.
+//! 2. **Merge** — per-item results are re-ordered by plan index and
+//!    stitched into the suite; per-batch counters are kept and summed
+//!    losslessly.
+//!
+//! The cross-axiom driver ([`synthesize_all_jobs`]) still materializes
+//! one shared plan up front — now built partition-parallel by
+//! [`plan_par`] — because every axiom examines the same items; its
+//! `(axiom, shard)` tasks run on the [`shard::WorkQueue`] work-stealing
+//! pool as before.
 //!
 //! Determinism holds because every per-item examination is a pure
 //! function of the item: candidate executions are examined in a canonical
@@ -58,34 +66,48 @@
 
 pub mod dedup;
 pub mod shard;
+pub mod stream;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use transform_core::axiom::Mtm;
-use transform_synth::programs::programs_with_deadline;
+use transform_synth::programs::{EnumSpace, KeyedProgram};
 use transform_synth::{
-    plan_from_keyed, plan_key, Examiner, ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions,
-    SynthPlan, SynthesizedElt,
+    branches_co_pa, Examiner, ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions, SynthPlan,
+    SynthesizedElt,
 };
+
+pub use stream::StreamMetrics;
 
 /// Shards per worker: enough granularity for stealing to balance uneven
 /// shards without shrinking them into solver-reuse-defeating slivers.
 const SHARDS_PER_WORKER: usize = 4;
+
+/// Enumeration partitions per worker: fine enough that the dedup
+/// frontier rarely stalls on one straggler partition, coarse enough
+/// that per-partition overhead stays negligible.
+pub(crate) const PARTITIONS_PER_WORKER: usize = 8;
 
 /// The machine's available parallelism (the `--jobs` default).
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Parallel plan construction: enumeration stays sequential, canonical
-/// keys are computed on `jobs` workers, and the dedup scan runs in
-/// enumeration order — producing exactly the plan of
-/// [`transform_synth::plan_suite`] when no deadline strikes. A deadline
-/// that expires mid-keying makes the plan best-effort (workers race the
-/// expiry flag, so which tail programs go unkeyed is timing-dependent),
-/// exactly like a timed-out sequential run.
+/// Parallel plan construction over the prefix-partitioned enumeration:
+/// `jobs` workers enumerate (and canonically key — computed once, not
+/// recomputed as the eager path did) the partitions of the program
+/// space; the dedup frontier then admits partitions in ordinal order,
+/// producing exactly the plan of [`transform_synth::plan_suite`] when no
+/// deadline strikes.
+///
+/// A deadline cuts the plan at partition granularity: the first
+/// partition whose worker observed the expiry is recorded in
+/// [`SynthPlan::cut_at_partition`], every partition below it is fully
+/// planned, and everything from it on is dropped — a timed-out plan is
+/// a reproducible prefix of the deadline-free plan instead of a
+/// worker-race-dependent subset.
 ///
 /// `jobs <= 1` delegates to [`transform_synth::plan_suite`].
 ///
@@ -102,41 +124,63 @@ pub fn plan_par(
     if jobs <= 1 {
         return transform_synth::plan_suite(mtm, axiom, opts, deadline);
     }
-    let progs = programs_with_deadline(&opts.enumeration, deadline);
-    if progs.is_empty() {
-        let timed_out = deadline.is_some_and(|d| Instant::now() > d);
-        return plan_from_keyed(mtm, axiom, Vec::new(), timed_out);
-    }
-    let expired = AtomicBool::new(deadline.is_some_and(|d| Instant::now() > d));
-    // Keying honors the deadline like every other phase: once it passes,
-    // remaining programs go unkeyed and drop out of the plan, exactly
-    // like programs a timed-out sequential driver never reached.
-    let key_within_deadline = |p: &transform_synth::programs::Program| {
-        if expired.load(Ordering::Relaxed) {
-            return None;
+    assert!(
+        mtm.axiom(axiom).is_some(),
+        "axiom `{axiom}` is not part of {}",
+        mtm.name()
+    );
+    let space = EnumSpace::with_target_partitions(&opts.enumeration, jobs * PARTITIONS_PER_WORKER);
+    let count = space.partition_count();
+    let next = AtomicUsize::new(0);
+    // The smallest partition ordinal whose worker saw the deadline
+    // expired; everything below it is guaranteed enumerated.
+    let cut = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Vec<KeyedProgram>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(count).max(1) {
+            let space = &space;
+            let next = &next;
+            let cut = &cut;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let ordinal = next.fetch_add(1, Ordering::Relaxed);
+                if ordinal >= count || ordinal >= cut.load(Ordering::Relaxed) {
+                    break;
+                }
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    cut.fetch_min(ordinal, Ordering::Relaxed);
+                    break;
+                }
+                // The deadline is also honored *inside* the partition; a
+                // partition whose enumeration saw the expiry is partial,
+                // so it is discarded and becomes the cut point.
+                let keyed = space.enumerate_keyed_within(ordinal, deadline);
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    cut.fetch_min(ordinal, Ordering::Relaxed);
+                    break;
+                }
+                *slots[ordinal].lock().expect("slot lock is never poisoned") = Some(keyed);
+            });
         }
-        if deadline.is_some_and(|d| Instant::now() > d) {
-            expired.store(true, Ordering::Relaxed);
-            return None;
-        }
-        plan_key(p)
-    };
-    let chunk = progs.len().div_ceil(jobs.min(progs.len()));
-    let chunks: Vec<&[transform_synth::programs::Program]> = progs.chunks(chunk).collect();
-    let keyer = &key_within_deadline;
-    let computed: Vec<Vec<Option<Vec<u64>>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.iter().map(keyer).collect()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("key worker does not panic"))
-            .collect()
     });
-    let keys: Vec<Option<Vec<u64>>> = computed.into_iter().flatten().collect();
-    let keyed = progs.into_iter().zip(keys).collect();
-    plan_from_keyed(mtm, axiom, keyed, expired.load(Ordering::Relaxed))
+    let cutoff = cut.load(Ordering::Relaxed).min(count);
+    let mut admitter = stream::Admitter::new(opts.enumeration.symmetry_reduction);
+    let mut items = Vec::new();
+    for slot in slots.into_iter().take(cutoff) {
+        let keyed = slot
+            .into_inner()
+            .expect("slot lock is never poisoned")
+            .expect("every partition below the cutoff was enumerated");
+        items.extend(admitter.admit(keyed));
+    }
+    SynthPlan {
+        items,
+        programs: admitter.programs,
+        timed_out: cutoff < count,
+        cut_at_partition: (cutoff < count).then_some(cutoff),
+        branch_co_pa: branches_co_pa(mtm),
+    }
 }
 
 /// Receives a suite's members as parallel shards finish, instead of the
@@ -294,11 +338,13 @@ fn run_pool(
     (per_axiom, timed_out)
 }
 
-/// Synthesizes the per-axiom suite on `jobs` workers, streaming every
-/// finished shard into `sink` instead of collecting members in memory.
-/// Returns the run's work counters; the suite itself lives wherever the
-/// sink put it (for the persistent store: sealed shard files whose merge
-/// reproduces the canonical suite order).
+/// Synthesizes the per-axiom suite on `jobs` workers through the fused
+/// streaming pipeline (enumeration, canonical keying, dedup, and
+/// examination all inside one work-stealing pool — see [`stream`]),
+/// streaming every retired batch into `sink` instead of collecting
+/// members in memory. Returns the run's work counters; the suite itself
+/// lives wherever the sink put it (for the persistent store: sealed
+/// shard files whose merge reproduces the canonical suite order).
 ///
 /// The records streamed are exactly the members of
 /// [`synthesize_suite_jobs`]'s suite — sorting them by
@@ -314,15 +360,56 @@ pub fn synthesize_suite_streamed(
     jobs: usize,
     sink: &dyn SuiteSink,
 ) -> SuiteStats {
+    synthesize_suite_streamed_metrics(mtm, axiom, opts, jobs, sink).0
+}
+
+/// Like [`synthesize_suite_streamed`], additionally returning the
+/// pipeline's scheduling metrics (partition count, deadline cut point,
+/// batch count, peak live candidates) — the side channel the
+/// `enum_throughput` bench records.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn synthesize_suite_streamed_metrics(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+    sink: &dyn SuiteSink,
+) -> (SuiteStats, StreamMetrics) {
+    stream::run_streamed(mtm, axiom, opts, jobs, sink)
+}
+
+/// The pre-streaming two-phase reference: the full plan is materialized
+/// first (every program enumerated and keyed before any examination),
+/// then sharded across the pool. Output is byte-identical to
+/// [`synthesize_suite_jobs`]; kept as the baseline the `enum_throughput`
+/// bench measures the fused pipeline against.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn synthesize_suite_jobs_eager(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> Suite {
     let jobs = jobs.max(1);
     let start = Instant::now();
     let deadline = opts.timeout.map(|t| start + t);
     let plan = plan_par(mtm, axiom, opts, deadline, jobs);
-    let (mut per_axiom, timed_out) = run_pool(mtm, &[axiom], opts, jobs, deadline, &plan, &[sink]);
+    let sink = CollectSink::new();
+    let (mut per_axiom, timed_out) = run_pool(mtm, &[axiom], opts, jobs, deadline, &plan, &[&sink]);
     let mut stats = SuiteStats::from_shards(plan.programs, per_axiom.remove(0));
     stats.elapsed = start.elapsed();
     stats.timed_out = timed_out[0] || plan.timed_out;
-    stats
+    Suite {
+        axiom: axiom.to_string(),
+        elts: sink.into_elts(),
+        stats,
+    }
 }
 
 /// Synthesizes the per-axiom suite on `jobs` worker threads.
@@ -539,6 +626,22 @@ mod tests {
         assert_eq!(sink.shards.into_inner().unwrap().len(), stats.shards.len());
         assert_eq!(stats.executions, suite.stats.executions);
         assert!(!stats.timed_out);
+    }
+
+    #[test]
+    fn expired_deadline_cuts_the_streamed_run_cleanly() {
+        let mtm = small_mtm();
+        let mut o = opts(6);
+        o.timeout = Some(std::time::Duration::ZERO);
+        let suite = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
+        assert!(suite.stats.timed_out);
+        assert!(suite.elts.is_empty());
+        // The plan-level counterpart records the reproducible cut point.
+        let deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        let plan = plan_par(&mtm, "sc_per_loc", &o, deadline, 4);
+        assert!(plan.timed_out);
+        assert_eq!(plan.cut_at_partition, Some(0));
+        assert!(plan.items.is_empty());
     }
 
     #[test]

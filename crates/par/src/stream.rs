@@ -1,0 +1,623 @@
+//! The fused streaming pipeline: program *generation* runs inside the
+//! work-stealing pool, not in front of it.
+//!
+//! The two-phase orchestrator (plan everything, then examine) keeps the
+//! pool idle behind a single-threaded, memory-hungry enumeration pass.
+//! Here the enumeration's prefix partitions ([`EnumSpace`]) are
+//! themselves pool tasks: workers alternate between *enumerating* a
+//! partition (materializing its programs with canonical keys, computed
+//! once) and *examining* a batch of already-planned items, so SAT and
+//! relational solving start while later partitions are still being
+//! generated and peak live candidates stay bounded by partition size.
+//!
+//! # Determinism
+//!
+//! Every enumerated program has a stable position `(partition ordinal,
+//! offset)` that is a pure function of the space — never of scheduling.
+//! Partitions may be *enumerated* out of order, but they are *admitted*
+//! strictly in ordinal order through the [`Admitter`] — the same
+//! first-occurrence-per-canonical-key scan the sequential planner runs —
+//! so plan indices, dedup outcomes, and therefore the merged suite are
+//! byte-identical to the sequential engine at every worker count and
+//! batch size.
+//!
+//! # Deadlines
+//!
+//! A deadline cuts the plan at partition granularity: the first
+//! partition whose worker observed the expiry is recorded
+//! ([`StreamMetrics::cut_at_partition`]), every partition below it is
+//! fully planned, and everything from it on is dropped — a timed-out
+//! plan is a well-defined prefix of the deadline-free plan, not a
+//! worker-race-dependent subset. Examination stays best-effort after
+//! expiry, exactly like the sequential engine's mid-plan stop.
+//!
+//! # Autotuned batch granularity
+//!
+//! Admitted items are chunked into examine batches. With
+//! `SynthOptions::partition_size = None` the chunk size adapts: each
+//! retired batch reports its items/second, and the tuner sizes the next
+//! batches to a fixed wall-clock slice — cheap bounds get large batches
+//! (incremental-solver reuse), expensive ones get small, stealable
+//! batches. A fixed size pins the granularity instead. Neither changes
+//! any result, only scheduling.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use transform_core::axiom::Mtm;
+use transform_synth::programs::{EnumSpace, KeyedProgram};
+use transform_synth::{
+    branches_co_pa, Examiner, ShardStats, SuiteRecord, SuiteStats, SynthOptions, SynthesizedElt,
+    WorkItem,
+};
+
+use crate::SuiteSink;
+
+/// Scheduling facts of one streamed run — everything the pipeline knows
+/// that the (format-frozen) [`SuiteStats`] cannot carry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamMetrics {
+    /// Enumeration partitions in the space.
+    pub partitions: usize,
+    /// First partition cut by the deadline (`None`: enumeration ran to
+    /// completion). Everything below it was fully planned.
+    pub cut_at_partition: Option<usize>,
+    /// Examine batches created (a deadline cut abandons queued batches,
+    /// which stay counted here but produce no shard stats).
+    pub batches: usize,
+    /// Peak number of simultaneously materialized candidate programs
+    /// (enumerated but not yet examined or dropped) — bounded by the
+    /// lookahead window (twice the worker count) times the largest
+    /// partition, not by the size of the enumeration. Best-effort on
+    /// timed-out runs.
+    pub peak_live_candidates: usize,
+    /// The tuner's final batch size.
+    pub final_batch_size: usize,
+}
+
+/// The deterministic dedup frontier: admits partitions in enumeration
+/// order, keeping the first occurrence of each canonical key — exactly
+/// the scan [`transform_synth::plan_from_keyed`] runs over the eager
+/// enumeration, so admitted items carry the sequential plan's indices.
+pub(crate) struct Admitter {
+    symmetry: bool,
+    seen: BTreeSet<Vec<u64>>,
+    /// Programs admitted so far (the post-symmetry-reduction enumeration
+    /// count — [`SuiteStats::programs`]).
+    pub programs: usize,
+    next_index: usize,
+}
+
+impl Admitter {
+    pub fn new(symmetry: bool) -> Admitter {
+        Admitter {
+            symmetry,
+            seen: BTreeSet::new(),
+            programs: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Admits one partition's programs, in order; returns the plan items
+    /// they contribute (write-bearing first occurrences).
+    pub fn admit(&mut self, keyed: Vec<KeyedProgram>) -> Vec<WorkItem> {
+        let mut items = Vec::new();
+        for kp in keyed {
+            if self.symmetry {
+                // Enumeration-level symmetry reduction across partitions:
+                // a later occurrence of a key is not even counted.
+                let key = kp.key.expect("symmetry reduction keys every program");
+                if !self.seen.insert(key.clone()) {
+                    continue;
+                }
+                self.programs += 1;
+                if kp.has_write {
+                    items.push(WorkItem {
+                        index: self.next_index,
+                        program: kp.program,
+                        key,
+                    });
+                    self.next_index += 1;
+                }
+            } else {
+                // No symmetry reduction: every program counts, but the
+                // plan still keeps one item per canonical key.
+                self.programs += 1;
+                let Some(key) = kp.key else { continue };
+                if !self.seen.insert(key.clone()) {
+                    continue;
+                }
+                items.push(WorkItem {
+                    index: self.next_index,
+                    program: kp.program,
+                    key,
+                });
+                self.next_index += 1;
+            }
+        }
+        items
+    }
+}
+
+/// Wall-clock slice one examine batch should fill.
+const TARGET_BATCH: Duration = Duration::from_millis(50);
+/// Batch-size clamp and the pre-measurement default.
+const MIN_BATCH: usize = 8;
+const MAX_BATCH: usize = 8192;
+const DEFAULT_BATCH: usize = 64;
+/// EWMA smoothing for the observed examination rate.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Adapts examine-batch granularity to the measured per-item cost.
+struct Tuner {
+    fixed: Option<usize>,
+    /// Items per second, exponentially smoothed.
+    rate: Option<f64>,
+}
+
+impl Tuner {
+    fn new(fixed: Option<usize>) -> Tuner {
+        Tuner { fixed, rate: None }
+    }
+
+    fn batch_size(&self) -> usize {
+        if let Some(n) = self.fixed {
+            return n.max(1);
+        }
+        match self.rate {
+            Some(rate) => {
+                ((rate * TARGET_BATCH.as_secs_f64()) as usize).clamp(MIN_BATCH, MAX_BATCH)
+            }
+            None => DEFAULT_BATCH,
+        }
+    }
+
+    fn observe(&mut self, items: usize, elapsed: Duration) {
+        if self.fixed.is_some() || items == 0 {
+            return;
+        }
+        let rate = items as f64 / elapsed.as_secs_f64().max(1e-9);
+        self.rate = Some(match self.rate {
+            Some(prev) => prev + EWMA_ALPHA * (rate - prev),
+            None => rate,
+        });
+    }
+}
+
+/// A batch of plan items examined on one [`Examiner`] (one incremental
+/// solver). Batches never span partitions, so every item in a batch
+/// shares its first-thread shape — the prefix affinity that makes
+/// solver reuse pay.
+struct Batch {
+    shard: usize,
+    items: Vec<WorkItem>,
+}
+
+enum Task {
+    Enumerate(usize),
+    Examine(Batch),
+}
+
+struct State {
+    /// Next partition ordinal to hand out.
+    next_enum: usize,
+    /// Partitions handed out but not yet resolved.
+    enumerating: usize,
+    /// Enumerated partitions waiting for the frontier (`None` = cut by
+    /// the deadline).
+    resolved: BTreeMap<usize, Option<Vec<KeyedProgram>>>,
+    /// Next ordinal the admitter must process.
+    frontier: usize,
+    /// First partition the deadline cut, if any.
+    cut_at: Option<usize>,
+    /// The deadline struck (enumeration cut or examination stopped):
+    /// drain everything and let workers exit.
+    expired: bool,
+    admitter: Admitter,
+    exam: VecDeque<Batch>,
+    next_shard: usize,
+    batches: usize,
+    live: usize,
+    peak_live: usize,
+    tuner: Tuner,
+}
+
+struct Pipeline<'s> {
+    space: &'s EnumSpace,
+    deadline: Option<Instant>,
+    /// Lookahead backpressure: partitions may be *enumerated* at most
+    /// this far beyond the dedup frontier. Without it, one slow head
+    /// partition would let the other workers buffer the entire rest of
+    /// the space ahead of the stalled frontier — peak live candidates
+    /// would degrade to the full enumeration, exactly what streaming is
+    /// meant to avoid. With it, live candidates are bounded by
+    /// `window` × the largest partition, independent of the bound.
+    window: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl<'s> Pipeline<'s> {
+    fn new(
+        space: &'s EnumSpace,
+        deadline: Option<Instant>,
+        jobs: usize,
+        fixed_batch: Option<usize>,
+    ) -> Self {
+        Pipeline {
+            space,
+            deadline,
+            window: (2 * jobs).max(2),
+            state: Mutex::new(State {
+                next_enum: 0,
+                enumerating: 0,
+                resolved: BTreeMap::new(),
+                frontier: 0,
+                cut_at: None,
+                expired: false,
+                admitter: Admitter::new(space.options().symmetry_reduction),
+                exam: VecDeque::new(),
+                next_shard: 0,
+                batches: 0,
+                live: 0,
+                peak_live: 0,
+                tuner: Tuner::new(fixed_batch),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// The next unit of work, examination first (it frees live
+    /// candidates; enumeration creates them). `None` once nothing can
+    /// produce further work.
+    fn next_task(&self) -> Option<Task> {
+        let mut st = self.state.lock().expect("pipeline lock is never poisoned");
+        loop {
+            if let Some(batch) = st.exam.pop_front() {
+                return Some(Task::Examine(batch));
+            }
+            if !st.expired
+                && st.next_enum < self.space.partition_count()
+                && st.next_enum < st.frontier + self.window
+            {
+                let ord = st.next_enum;
+                st.next_enum += 1;
+                st.enumerating += 1;
+                return Some(Task::Enumerate(ord));
+            }
+            let enumeration_settled =
+                st.expired || (st.frontier == self.space.partition_count() && st.enumerating == 0);
+            if enumeration_settled && st.exam.is_empty() {
+                return None;
+            }
+            st = self.cv.wait(st).expect("pipeline lock is never poisoned");
+        }
+    }
+
+    /// One partition's outcome: its keyed programs, or `None` when its
+    /// worker saw the deadline expired before enumerating it.
+    fn resolve(&self, ordinal: usize, outcome: Option<Vec<KeyedProgram>>) {
+        let mut st = self.state.lock().expect("pipeline lock is never poisoned");
+        st.enumerating -= 1;
+        if st.expired {
+            self.cv.notify_all();
+            return; // everything past the cut is discarded
+        }
+        if let Some(keyed) = &outcome {
+            st.live += keyed.len();
+            st.peak_live = st.peak_live.max(st.live);
+        }
+        st.resolved.insert(ordinal, outcome);
+        // Advance the frontier: admit in strict ordinal order.
+        while let Some(entry) = {
+            let frontier = st.frontier;
+            st.resolved.remove(&frontier)
+        } {
+            match entry {
+                None => {
+                    // The deadline's cut reached the frontier: the plan
+                    // ends here, reproducibly.
+                    st.cut_at = Some(st.frontier);
+                    Self::expire(&mut st);
+                    break;
+                }
+                Some(keyed) => {
+                    let delivered = keyed.len();
+                    let items = st.admitter.admit(keyed);
+                    st.live -= delivered - items.len(); // dropped by dedup
+                    let size = st.tuner.batch_size();
+                    let mut items = items;
+                    while !items.is_empty() {
+                        let rest = items.split_off(size.min(items.len()));
+                        let batch = Batch {
+                            shard: st.next_shard,
+                            items: std::mem::replace(&mut items, rest),
+                        };
+                        st.next_shard += 1;
+                        st.batches += 1;
+                        st.exam.push_back(batch);
+                    }
+                    st.frontier += 1;
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// One batch retired (possibly cut short by the deadline).
+    fn batch_done(&self, examined: usize, batch_len: usize, elapsed: Duration, cut: bool) {
+        let mut st = self.state.lock().expect("pipeline lock is never poisoned");
+        st.live = st.live.saturating_sub(batch_len);
+        st.tuner.observe(examined, elapsed);
+        if cut {
+            // Examination hit the deadline: the plan ends at the current
+            // frontier (when enumeration was still in flight), and all
+            // queued work is abandoned.
+            if st.cut_at.is_none() && st.frontier < self.space.partition_count() {
+                st.cut_at = Some(st.frontier);
+            }
+            Self::expire(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The deadline struck: discard all queued work. Live accounting for
+    /// the discarded tail is not maintained — metrics are best-effort on
+    /// timed-out runs.
+    fn expire(st: &mut State) {
+        st.expired = true;
+        st.resolved.clear();
+        st.exam.clear();
+    }
+}
+
+/// One pool worker: alternates between enumerating partitions and
+/// examining batches until the pipeline drains.
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    pipeline: &Pipeline<'_>,
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    branch_co_pa: bool,
+    claimed: &crate::dedup::KeySet,
+    shard_stats: &Mutex<Vec<ShardStats>>,
+    sink: &dyn SuiteSink,
+) {
+    while let Some(task) = pipeline.next_task() {
+        match task {
+            Task::Enumerate(ordinal) => {
+                // Enumeration honors the deadline inside the partition
+                // too; a partition whose enumeration saw the expiry is
+                // partial, so its output is discarded and the partition
+                // counts as cut — the plan stays a reproducible prefix.
+                let outcome = (!pipeline.past_deadline())
+                    .then(|| {
+                        pipeline
+                            .space
+                            .enumerate_keyed_within(ordinal, pipeline.deadline)
+                    })
+                    .filter(|_| !pipeline.past_deadline());
+                pipeline.resolve(ordinal, outcome);
+            }
+            Task::Examine(batch) => {
+                let start = Instant::now();
+                // One examiner — and, for the relational backend, one
+                // incremental SAT solver — per batch.
+                let mut examiner = Examiner::new(mtm, axiom, opts.backend, branch_co_pa);
+                let mut stats = ShardStats::new(batch.shard);
+                let mut records = Vec::new();
+                let mut cut = false;
+                for item in &batch.items {
+                    if pipeline.past_deadline() {
+                        cut = true;
+                        break;
+                    }
+                    let mut examined = examiner.examine(&item.program);
+                    stats.absorb(&examined);
+                    if examined.witness.is_some() && !claimed.claim(&item.key) {
+                        // The admitter guarantees key uniqueness; dropping
+                        // a duplicate witness (never its counters) keeps
+                        // the merge correct even if a future enumerator
+                        // breaks that invariant.
+                        debug_assert!(false, "duplicate canonical key in admitted plan");
+                        examined.witness = None;
+                    }
+                    if let Some((witness, violated)) = examined.witness {
+                        records.push(SuiteRecord {
+                            index: item.index,
+                            elt: SynthesizedElt {
+                                program: item.program.clone(),
+                                witness,
+                                violated,
+                            },
+                        });
+                    }
+                }
+                shard_stats
+                    .lock()
+                    .expect("stats lock is never poisoned")
+                    .push(stats);
+                sink.shard_done(stats, records);
+                pipeline.batch_done(stats.items, batch.items.len(), start.elapsed(), cut);
+            }
+        }
+    }
+}
+
+/// Runs the fused enumerate-while-examining pipeline for one axiom on
+/// `jobs` workers, streaming retired batches into `sink`. Returns the
+/// run's counters and scheduling metrics.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub(crate) fn run_streamed(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+    sink: &dyn SuiteSink,
+) -> (SuiteStats, StreamMetrics) {
+    assert!(
+        mtm.axiom(axiom).is_some(),
+        "axiom `{axiom}` is not part of {}",
+        mtm.name()
+    );
+    let jobs = jobs.max(1);
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let space =
+        EnumSpace::with_target_partitions(&opts.enumeration, jobs * crate::PARTITIONS_PER_WORKER);
+    let branch_co_pa = branches_co_pa(mtm);
+    let pipeline = Pipeline::new(&space, deadline, jobs, opts.partition_size);
+    let claimed = crate::dedup::KeySet::new();
+    let shard_stats: Mutex<Vec<ShardStats>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let pipeline = &pipeline;
+            let claimed = &claimed;
+            let shard_stats = &shard_stats;
+            scope.spawn(move || {
+                worker(
+                    pipeline,
+                    mtm,
+                    axiom,
+                    opts,
+                    branch_co_pa,
+                    claimed,
+                    shard_stats,
+                    sink,
+                );
+            });
+        }
+    });
+
+    let st = pipeline
+        .state
+        .into_inner()
+        .expect("pipeline lock is never poisoned");
+    let mut shards = shard_stats
+        .into_inner()
+        .expect("stats lock is never poisoned");
+    shards.sort_by_key(|s| s.shard);
+    let mut stats = SuiteStats::from_shards(st.admitter.programs, shards);
+    stats.elapsed = start.elapsed();
+    stats.timed_out = st.expired;
+    let metrics = StreamMetrics {
+        partitions: space.partition_count(),
+        cut_at_partition: st.cut_at,
+        batches: st.batches,
+        peak_live_candidates: st.peak_live,
+        final_batch_size: st.tuner.batch_size(),
+    };
+    (stats, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transform_synth::programs::EnumOptions;
+    use transform_synth::{plan_from_keyed, plan_key};
+
+    fn enum_opts(bound: usize, symmetry: bool) -> EnumOptions {
+        let mut o = EnumOptions::new(bound);
+        o.allow_fences = false;
+        o.allow_rmw = false;
+        o.symmetry_reduction = symmetry;
+        o
+    }
+
+    fn mtm() -> Mtm {
+        transform_core::spec::parse_mtm(
+            "mtm m { axiom sc_per_loc: acyclic(rf | co | fr | po_loc) }",
+        )
+        .expect("spec parses")
+    }
+
+    /// The admitter over in-order partitions equals the sequential
+    /// planner's scan over the eager enumeration.
+    #[test]
+    fn admitter_reproduces_the_sequential_plan() {
+        let m = mtm();
+        for symmetry in [true, false] {
+            let eo = enum_opts(4, symmetry);
+            let space = EnumSpace::with_target_partitions(&eo, 32);
+            let mut admitter = Admitter::new(symmetry);
+            let mut items = Vec::new();
+            for p in 0..space.partition_count() {
+                items.extend(admitter.admit(space.enumerate_keyed(p)));
+            }
+            let keyed = transform_synth::programs::programs(&eo)
+                .into_iter()
+                .map(|p| {
+                    let key = plan_key(&p);
+                    (p, key)
+                })
+                .collect();
+            let reference = plan_from_keyed(&m, "sc_per_loc", keyed, false);
+            assert_eq!(admitter.programs, reference.programs, "symmetry {symmetry}");
+            assert_eq!(items.len(), reference.items.len(), "symmetry {symmetry}");
+            for (a, b) in items.iter().zip(&reference.items) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.program, b.program);
+            }
+        }
+    }
+
+    /// Out-of-order delivery with a cut partition: the frontier admits
+    /// the prefix below the cut and drops everything from it on.
+    #[test]
+    fn frontier_cuts_reproducibly_on_out_of_order_delivery() {
+        let eo = enum_opts(4, true);
+        let space = EnumSpace::with_target_partitions(&eo, 8);
+        assert!(space.partition_count() >= 3, "space too small for the test");
+        let pipeline = Pipeline::new(&space, None, 2, None);
+        // Claim the first three enumeration tasks.
+        for expect in 0..3 {
+            match pipeline.next_task() {
+                Some(Task::Enumerate(ord)) => assert_eq!(ord, expect),
+                _ => panic!("expected an enumeration task"),
+            }
+        }
+        // Deliver 2 first, cut 1, then deliver 0: only partition 0 may
+        // be admitted, and the cut lands at ordinal 1.
+        pipeline.resolve(2, Some(space.enumerate_keyed(2)));
+        pipeline.resolve(1, None);
+        pipeline.resolve(0, Some(space.enumerate_keyed(0)));
+        let st = pipeline.state.into_inner().expect("lock");
+        assert_eq!(st.cut_at, Some(1));
+        assert!(st.expired);
+        let mut reference = Admitter::new(true);
+        let expected_items = reference.admit(space.enumerate_keyed(0)).len();
+        assert_eq!(st.admitter.programs, reference.programs);
+        let queued: usize = st.exam.iter().map(|b| b.items.len()).sum();
+        assert_eq!(queued, expected_items);
+    }
+
+    #[test]
+    fn tuner_targets_the_batch_slice() {
+        let mut tuner = Tuner::new(None);
+        assert_eq!(tuner.batch_size(), DEFAULT_BATCH);
+        // 1000 items/second → 50 items per 50 ms slice, clamped to ≥ 8.
+        tuner.observe(1000, Duration::from_secs(1));
+        assert_eq!(tuner.batch_size(), 50);
+        // Very slow items clamp to the minimum, very fast to the maximum.
+        let mut slow = Tuner::new(None);
+        slow.observe(1, Duration::from_secs(10));
+        assert_eq!(slow.batch_size(), MIN_BATCH);
+        let mut fast = Tuner::new(None);
+        fast.observe(10_000_000, Duration::from_millis(1));
+        assert_eq!(fast.batch_size(), MAX_BATCH);
+        // A fixed size ignores observations.
+        let mut fixed = Tuner::new(Some(5));
+        fixed.observe(1000, Duration::from_secs(1));
+        assert_eq!(fixed.batch_size(), 5);
+    }
+}

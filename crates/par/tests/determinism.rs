@@ -99,6 +99,63 @@ fn parallel_explicit_and_relational_backends_agree_on_programs() {
     }
 }
 
+#[test]
+fn partition_sizes_never_change_the_suite() {
+    // The streaming pipeline's batch granularity — fixed at any value or
+    // autotuned — is pure scheduling: the suite must stay byte-identical
+    // to the sequential engine.
+    let mtm = x86t_elt();
+    let reference = {
+        let o = opts(4, Backend::Explicit);
+        fingerprint(&synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 1))
+    };
+    for partition_size in [None, Some(1), Some(7), Some(100_000)] {
+        for jobs in [2usize, 8] {
+            let mut o = opts(4, Backend::Explicit);
+            o.partition_size = partition_size;
+            let suite = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, jobs);
+            assert_eq!(
+                reference,
+                fingerprint(&suite),
+                "partition_size={partition_size:?} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_bound_5_suite_is_byte_identical_to_sequential() {
+    // The acceptance bar for the fused pipeline: an engine-level run at
+    // bound 5 reproduces the sequential suite exactly.
+    let mtm = x86t_elt();
+    let o = opts(5, Backend::Explicit);
+    let sequential = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 1);
+    let streamed = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
+    assert!(!sequential.elts.is_empty());
+    assert_eq!(fingerprint(&sequential), fingerprint(&streamed));
+    assert_eq!(sequential.stats.programs, streamed.stats.programs);
+    assert_eq!(sequential.stats.executions, streamed.stats.executions);
+    assert_eq!(sequential.stats.forbidden, streamed.stats.forbidden);
+    assert_eq!(sequential.stats.minimal, streamed.stats.minimal);
+}
+
+#[test]
+fn eager_reference_path_matches_the_fused_pipeline() {
+    let mtm = x86t_elt();
+    for backend in [Backend::Explicit, Backend::Relational] {
+        let o = opts(4, backend);
+        let eager = transform_par::synthesize_suite_jobs_eager(&mtm, "invlpg", &o, 4);
+        let fused = synthesize_suite_jobs(&mtm, "invlpg", &o, 4);
+        assert_eq!(
+            fingerprint(&eager),
+            fingerprint(&fused),
+            "{backend:?}: two-phase and fused pipelines diverge"
+        );
+        assert_eq!(eager.stats.programs, fused.stats.programs);
+        assert_eq!(eager.stats.executions, fused.stats.executions);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -111,5 +168,28 @@ proptest! {
         let reference = fingerprint(&synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 1));
         let suite = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, jobs);
         prop_assert_eq!(reference, fingerprint(&suite), "jobs={}", jobs);
+    }
+
+    /// Jobs × partition size together: still the sequential suite.
+    #[test]
+    fn job_and_partition_size_grid_stays_deterministic(
+        jobs in 2usize..12,
+        partition_size in 1usize..64,
+    ) {
+        let mtm = x86t_elt();
+        let mut o = opts(4, Backend::Explicit);
+        o.partition_size = Some(partition_size);
+        let reference = {
+            let o = opts(4, Backend::Explicit);
+            fingerprint(&synthesize_suite_jobs(&mtm, "invlpg", &o, 1))
+        };
+        let suite = synthesize_suite_jobs(&mtm, "invlpg", &o, jobs);
+        prop_assert_eq!(
+            reference,
+            fingerprint(&suite),
+            "jobs={} partition_size={}",
+            jobs,
+            partition_size
+        );
     }
 }

@@ -24,6 +24,10 @@
 //! * [`cache`] — the policy: serve sealed entries, stream cold runs in,
 //!   and rebuild (never serve) corrupt, truncated, or
 //!   version-mismatched files.
+//! * [`index`] — the advisory entry index (fingerprint → key metadata),
+//!   rewritten atomically on every seal, so `query`/`export` filter
+//!   entries without opening each header; a missing or stale index
+//!   falls back to the full scan.
 //!
 //! # Examples
 //!
@@ -56,9 +60,11 @@
 pub mod cache;
 pub mod codec;
 pub mod fingerprint;
+pub mod index;
 pub mod store;
 
 pub use cache::{cached_or_synthesize, CacheStatus};
 pub use codec::{CodecError, FORMAT_VERSION};
 pub use fingerprint::{suite_fingerprint, Fingerprint};
+pub use index::{IndexEntry, INDEX_FILE};
 pub use store::{read_suite, EntryMeta, PendingSuite, Store, StoreError, SuiteReader};

@@ -132,7 +132,7 @@ impl EntryMeta {
         }
     }
 
-    fn encode(&self, e: &mut Enc) {
+    pub(crate) fn encode(&self, e: &mut Enc) {
         e.string(&self.mtm);
         e.string(&self.axiom);
         e.size(self.bound);
@@ -150,7 +150,7 @@ impl EntryMeta {
         e.string(&self.backend);
     }
 
-    fn decode(d: &mut Dec<'_>) -> Result<EntryMeta, CodecError> {
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<EntryMeta, CodecError> {
         Ok(EntryMeta {
             mtm: d.string()?,
             axiom: d.string()?,
@@ -249,6 +249,95 @@ impl Store {
         }
         out.sort();
         Ok(out)
+    }
+
+    /// The store's advisory entry index, when present and exactly in
+    /// sync with the sealed entries on disk (sorted by fingerprint, like
+    /// [`Store::entries`]). `None` — missing, corrupt, version-skewed,
+    /// or stale — means "scan entry headers instead"; serving decisions
+    /// never rest on the index alone.
+    ///
+    /// The index is rewritten atomically on every seal and by
+    /// [`Store::rebuild_index`].
+    pub fn read_index(&self) -> Option<Vec<crate::index::IndexEntry>> {
+        let sealed = self.entries().ok()?;
+        crate::index::read_valid(&self.root, &sealed)
+    }
+
+    /// Rebuilds the index from the sealed entries' headers, atomically.
+    /// Unreadable entries are skipped (scans will keep surfacing them).
+    /// Returns the number of entries indexed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory listing or the
+    /// index write fails.
+    pub fn rebuild_index(&self) -> Result<usize, StoreError> {
+        let mut entries = Vec::new();
+        for fp in self.entries()? {
+            if let Ok(reader) = self.open_suite(fp) {
+                entries.push(crate::index::IndexEntry {
+                    fingerprint: fp,
+                    meta: reader.meta().clone(),
+                });
+            }
+        }
+        crate::index::write(&self.root, &entries)?;
+        Ok(entries.len())
+    }
+
+    /// The last-modified time of a sealed entry — the age `store gc`
+    /// filters on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the entry is missing or its
+    /// metadata is unreadable.
+    pub fn entry_mtime(&self, fp: Fingerprint) -> Result<std::time::SystemTime, StoreError> {
+        Ok(fs::metadata(self.entry_path(fp))?.modified()?)
+    }
+
+    /// Leftover `tmp-*` entries from crashed or in-flight runs: shard
+    /// directories and index staging files. `store gc` removes them;
+    /// callers must ensure no synthesis is currently streaming into the
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory is unreadable.
+    pub fn stale_tmp_entries(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            let is_tmp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("tmp-"));
+            if is_tmp {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Removes every [`Store::stale_tmp_entries`] path, returning how
+    /// many were swept.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when a removal fails.
+    pub fn sweep_tmp(&self) -> Result<usize, StoreError> {
+        let paths = self.stale_tmp_entries()?;
+        let count = paths.len();
+        for path in paths {
+            if path.is_dir() {
+                fs::remove_dir_all(&path)?;
+            } else {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(count)
     }
 
     /// Starts an in-progress entry: a temporary shard directory workers
@@ -476,6 +565,10 @@ impl PendingSuite {
         fs::write(&staged, e.into_bytes())?;
         let target = self.root.join(format!("{}.{SUITE_EXT}", self.fp.hex()));
         fs::rename(&staged, &target)?;
+        // Fold the new entry into the store's advisory index (atomic
+        // rewrite; best-effort — query/export fall back to scanning
+        // headers when the index is missing or stale).
+        crate::index::update_on_seal(&self.root, self.fp, &self.meta);
         self.sealed = true;
         let fp = self.fp;
         drop(self); // removes the temp directory

@@ -58,6 +58,12 @@ pub struct SynthOptions {
     /// Wall-clock budget; synthesis stops cleanly when exceeded (the
     /// paper's one-week timeout, scaled down).
     pub timeout: Option<Duration>,
+    /// Plan items per examine batch in the streaming parallel engine
+    /// (`transform-par`); `None` autotunes batch granularity from the
+    /// observed examination throughput. Purely a scheduling knob — it
+    /// never changes the synthesized suite, and is excluded from store
+    /// fingerprints like `timeout` and the worker count.
+    pub partition_size: Option<usize>,
 }
 
 impl SynthOptions {
@@ -67,6 +73,7 @@ impl SynthOptions {
             enumeration: EnumOptions::new(bound),
             backend: Backend::Explicit,
             timeout: None,
+            partition_size: None,
         }
     }
 }
@@ -201,6 +208,14 @@ pub struct SynthPlan {
     pub programs: usize,
     /// Whether enumeration itself hit the deadline.
     pub timed_out: bool,
+    /// For a timed-out *partitioned* plan (`transform-par`): the first
+    /// enumeration partition the deadline cut. Every partition below it
+    /// is fully planned and everything from it on is dropped, so the
+    /// plan is a well-defined prefix of the deadline-free plan instead
+    /// of a worker-race-dependent subset. `None` for complete plans and
+    /// for the sequential planner (whose timed-out tail is inherently
+    /// mid-stream).
+    pub cut_at_partition: Option<usize>,
     /// Whether the MTM observes `co_pa`/`fr_pa` (relation-aware
     /// execution branching).
     pub branch_co_pa: bool,
@@ -255,13 +270,15 @@ pub fn plan_key(program: &Program) -> Option<Vec<u64>> {
     // Spanning-set criterion 1: a write exists. User writes, PTE writes,
     // and the dirty-bit ghosts user writes carry are all writes; reads,
     // fences, and invalidations alone cannot violate anything.
-    let has_write = program.threads.iter().flatten().any(|op| {
-        matches!(
-            op,
-            crate::programs::SlotOp::Write { .. } | crate::programs::SlotOp::PteWrite { .. }
-        )
-    });
-    has_write.then(|| canonical_key(program))
+    program.has_write().then(|| canonical_key(program))
+}
+
+/// Whether examination must branch candidate generation on `co_pa`/
+/// `fr_pa` (the MTM observes physical-address coherence). One shared
+/// predicate for the sequential planner and the parallel orchestrator,
+/// so the two can never drift.
+pub fn branches_co_pa(mtm: &Mtm) -> bool {
+    mtm.mentions(BaseRel::CoPa) || mtm.mentions(BaseRel::FrPa)
 }
 
 /// Deterministic final step of planning: keeps the first occurrence of
@@ -283,7 +300,7 @@ pub fn plan_from_keyed(
         "axiom `{axiom}` is not part of {}",
         mtm.name()
     );
-    let branch_co_pa = mtm.mentions(BaseRel::CoPa) || mtm.mentions(BaseRel::FrPa);
+    let branch_co_pa = branches_co_pa(mtm);
     let programs = keyed.len();
     let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
     let mut items = Vec::new();
@@ -302,6 +319,7 @@ pub fn plan_from_keyed(
         items,
         programs,
         timed_out,
+        cut_at_partition: None,
         branch_co_pa,
     }
 }

@@ -48,9 +48,9 @@ pub mod relax;
 pub mod satgen;
 
 pub use engine::{
-    assemble_suite, exclusive_attribution, plan_from_keyed, plan_key, plan_suite, suite_contains,
-    synthesize_all, synthesize_suite, unique_union, Backend, Examined, Examiner, ShardStats, Suite,
-    SuiteRecord, SuiteStats, SynthOptions, SynthPlan, SynthesizedElt, WorkItem,
+    assemble_suite, branches_co_pa, exclusive_attribution, plan_from_keyed, plan_key, plan_suite,
+    suite_contains, synthesize_all, synthesize_suite, unique_union, Backend, Examined, Examiner,
+    ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions, SynthPlan, SynthesizedElt, WorkItem,
 };
-pub use programs::{EnumOptions, PaRef, Program, SlotOp};
+pub use programs::{EnumOptions, EnumSpace, KeyedProgram, PaRef, Program, ProgramStream, SlotOp};
 pub use relax::Relaxation;

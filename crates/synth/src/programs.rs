@@ -108,6 +108,16 @@ impl Program {
         self.threads.iter().flatten().map(|op| op.cost()).sum()
     }
 
+    /// Whether the program contains any write (user or PTE) — the
+    /// spanning-set criterion 1: only write-bearing programs can have a
+    /// forbidden outcome.
+    pub fn has_write(&self) -> bool {
+        self.threads
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, SlotOp::Write { .. } | SlotOp::PteWrite { .. }))
+    }
+
     /// Number of distinct VAs (they are first-use numbered).
     pub fn num_vas(&self) -> usize {
         self.threads
@@ -439,6 +449,75 @@ fn with_op(
     }
 }
 
+/// A program together with the facts the planner reuses: its canonical
+/// key (computed once, during enumeration) and whether it contains a
+/// write. Streamed out of [`EnumSpace::enumerate_keyed`] so downstream
+/// stages never recompute [`canonical_key`].
+#[derive(Clone, Debug)]
+pub struct KeyedProgram {
+    /// The enumerated program.
+    pub program: Program,
+    /// Canonical key ([`canonical_key`]) — present whenever enumeration
+    /// needed it (symmetry reduction on) or the planner will (the
+    /// program has a write); `None` only for write-free programs with
+    /// symmetry reduction off.
+    pub key: Option<Vec<u64>>,
+    /// [`Program::has_write`], precomputed.
+    pub has_write: bool,
+}
+
+/// Where enumerated programs land: applies symmetry-reduction dedup
+/// (scoped to the whole run for the monolithic recursion, or to one
+/// partition for [`EnumSpace::enumerate_keyed`]) and decides which
+/// canonical keys are worth keeping.
+struct EmitSink<'a> {
+    opts: &'a EnumOptions,
+    /// Keep keys for write-bearing programs even without symmetry
+    /// reduction — the partitioned planner reuses them as plan keys.
+    keep_keys: bool,
+    seen: BTreeSet<Vec<u64>>,
+    out: Vec<KeyedProgram>,
+}
+
+impl<'a> EmitSink<'a> {
+    fn new(opts: &'a EnumOptions, keep_keys: bool) -> EmitSink<'a> {
+        EmitSink {
+            opts,
+            keep_keys,
+            seen: BTreeSet::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, program: Program) {
+        let has_write = program.has_write();
+        let needs_key = self.opts.symmetry_reduction || (self.keep_keys && has_write);
+        let mut key = needs_key.then(|| canonical_key(&program));
+        if self.opts.symmetry_reduction {
+            let k = key.as_ref().expect("symmetry reduction keys every program");
+            if self.seen.contains(k) {
+                return;
+            }
+            if self.keep_keys {
+                self.seen.insert(k.clone());
+            } else {
+                // The eager path discards per-program keys, so move the
+                // key into the dedup set instead of retaining a second
+                // copy per emitted program.
+                key = {
+                    self.seen.insert(key.expect("checked above"));
+                    None
+                };
+            }
+        }
+        self.out.push(KeyedProgram {
+            program,
+            key,
+            has_write,
+        });
+    }
+}
+
 /// Enumerates all programs of size ≤ `opts.bound`, canonically deduplicated
 /// when `opts.symmetry_reduction` is on.
 pub fn programs(opts: &EnumOptions) -> Vec<Program> {
@@ -454,8 +533,7 @@ pub fn programs_with_deadline(
     let mut all_shapes = shapes(opts.bound, opts);
     all_shapes.sort_by_key(|s| s.cost); // enables early cut-off in combine
     let max_threads = opts.max_threads.unwrap_or(opts.bound);
-    let mut out = Vec::new();
-    let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut sink = EmitSink::new(opts, false);
 
     // Choose up to `max_threads` shapes (non-decreasing indices for
     // symmetry breaking across identical shape multisets).
@@ -466,25 +544,20 @@ pub fn programs_with_deadline(
         opts.bound,
         max_threads,
         &mut chosen,
-        opts,
         &deadline,
-        &mut seen,
-        &mut out,
+        &mut sink,
     );
-    out
+    sink.out.into_iter().map(|kp| kp.program).collect()
 }
 
-#[allow(clippy::too_many_arguments)]
 fn combine(
     shapes: &[Shape],
     from: usize,
     budget_left: usize,
     threads_left: usize,
     chosen: &mut Vec<usize>,
-    opts: &EnumOptions,
     deadline: &Option<std::time::Instant>,
-    seen: &mut BTreeSet<Vec<u64>>,
-    out: &mut Vec<Program>,
+    sink: &mut EmitSink<'_>,
 ) {
     if let Some(d) = deadline {
         if std::time::Instant::now() > *d {
@@ -492,7 +565,7 @@ fn combine(
         }
     }
     if !chosen.is_empty() {
-        assign_and_emit(shapes, chosen, opts, seen, out);
+        assign_and_emit(shapes, chosen, sink);
     }
     if threads_left == 0 {
         return;
@@ -508,24 +581,222 @@ fn combine(
             budget_left - shapes[i].cost,
             threads_left - 1,
             chosen,
-            opts,
             deadline,
-            seen,
-            out,
+            sink,
         );
         chosen.pop();
     }
 }
 
+/// The bounded program space split by *skeleton prefix* into
+/// independently enumerable partitions.
+///
+/// A partition is a node of the shape-combination recursion: the chosen
+/// first (and, after a split, second) thread shapes. Partitions are
+/// ordered exactly as the monolithic recursion visits them, so
+/// concatenating their outputs in ordinal order — keeping, under
+/// symmetry reduction, only the first occurrence of each canonical key
+/// across partitions — reproduces [`programs`] element for element.
+/// That makes each partition an independent work unit for a parallel
+/// pool *and* gives every enumerated program a stable position
+/// `(ordinal, offset)` that no scheduling decision can move.
+pub struct EnumSpace {
+    shapes: Vec<Shape>,
+    opts: EnumOptions,
+    max_threads: usize,
+    partitions: Vec<Partition>,
+}
+
+/// One node of the shape-combination recursion, as a work unit.
+#[derive(Clone, Debug)]
+struct Partition {
+    /// Chosen-shape prefix: indices into the cost-sorted shape list,
+    /// non-decreasing (the recursion's permutation breaking).
+    prefix: Vec<usize>,
+    /// Enumerate the whole subtree below the prefix, or only the prefix
+    /// node itself (its children were split into their own partitions).
+    subtree: bool,
+}
+
+/// Splits never go deeper than two chosen shapes: depth 2 already yields
+/// O(shapes²) partitions, far more than any realistic worker count.
+const MAX_SPLIT_DEPTH: usize = 2;
+
+impl EnumSpace {
+    /// Builds the space with one partition per first-thread shape.
+    pub fn new(opts: &EnumOptions) -> EnumSpace {
+        EnumSpace::with_target_partitions(opts, 0)
+    }
+
+    /// Builds the space, splitting subtrees (cheapest root shape first —
+    /// those own the largest subtrees — and always order-preserving)
+    /// until at least `target` partitions exist or nothing splittable
+    /// remains.
+    pub fn with_target_partitions(opts: &EnumOptions, target: usize) -> EnumSpace {
+        let mut shapes = shapes(opts.bound, opts);
+        shapes.sort_by_key(|s| s.cost); // identical to the monolithic sort
+        let max_threads = opts.max_threads.unwrap_or(opts.bound);
+        let mut partitions: Vec<Partition> = if max_threads == 0 {
+            Vec::new()
+        } else {
+            (0..shapes.len())
+                .map(|i| Partition {
+                    prefix: vec![i],
+                    subtree: true,
+                })
+                .collect()
+        };
+        while partitions.len() < target {
+            // The first still-splittable subtree has the cheapest root.
+            let Some(at) = partitions
+                .iter()
+                .position(|p| p.subtree && p.prefix.len() < MAX_SPLIT_DEPTH)
+            else {
+                break;
+            };
+            let node = partitions[at].clone();
+            // Replace Subtree(p) by Emit(p) followed by Subtree(p + [j])
+            // for every feasible continuation j — exactly the recursion's
+            // own expansion, so partition order still equals visit order.
+            let used: usize = node.prefix.iter().map(|&i| shapes[i].cost).sum();
+            let budget_left = opts.bound - used;
+            let from = *node.prefix.last().expect("prefixes are non-empty");
+            let mut expansion = vec![Partition {
+                prefix: node.prefix.clone(),
+                subtree: false,
+            }];
+            if node.prefix.len() < max_threads {
+                for (j, shape) in shapes.iter().enumerate().skip(from) {
+                    if shape.cost > budget_left {
+                        break; // shapes are sorted by cost
+                    }
+                    let mut prefix = node.prefix.clone();
+                    prefix.push(j);
+                    expansion.push(Partition {
+                        prefix,
+                        subtree: true,
+                    });
+                }
+            }
+            partitions.splice(at..=at, expansion);
+        }
+        EnumSpace {
+            shapes,
+            opts: opts.clone(),
+            max_threads,
+            partitions,
+        }
+    }
+
+    /// The enumeration options the space was built for.
+    pub fn options(&self) -> &EnumOptions {
+        &self.opts
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The chosen-shape prefix of partition `ordinal` (diagnostics).
+    pub fn partition_prefix(&self, ordinal: usize) -> &[usize] {
+        &self.partitions[ordinal].prefix
+    }
+
+    /// Enumerates one partition, canonical keys included. Symmetry
+    /// dedup is partition-local: concatenating all partitions in
+    /// ordinal order and keeping the first occurrence of each key
+    /// reproduces [`programs`] exactly (which [`EnumSpace::stream`]
+    /// does, and the parallel planner's ordered dedup frontier relies
+    /// on).
+    pub fn enumerate_keyed(&self, ordinal: usize) -> Vec<KeyedProgram> {
+        self.enumerate_keyed_within(ordinal, None)
+    }
+
+    /// Like [`EnumSpace::enumerate_keyed`], aborting early once
+    /// `deadline` passes. An aborted partition's output is *partial* —
+    /// callers that need the reproducible-prefix guarantee must check
+    /// the deadline after the call and discard the result (treating the
+    /// partition as cut) if it struck, which is what the parallel
+    /// planner and the streaming pipeline do.
+    pub fn enumerate_keyed_within(
+        &self,
+        ordinal: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> Vec<KeyedProgram> {
+        let part = &self.partitions[ordinal];
+        let mut sink = EmitSink::new(&self.opts, true);
+        let mut chosen = part.prefix.clone();
+        if part.subtree {
+            let used: usize = chosen.iter().map(|&i| self.shapes[i].cost).sum();
+            let from = *chosen.last().expect("prefixes are non-empty");
+            combine(
+                &self.shapes,
+                from,
+                self.opts.bound - used,
+                self.max_threads - chosen.len(),
+                &mut chosen,
+                &deadline,
+                &mut sink,
+            );
+        } else {
+            assign_and_emit(&self.shapes, &chosen, &mut sink);
+        }
+        sink.out
+    }
+
+    /// A resumable iterator over the whole program space, one partition
+    /// at a time — yields exactly the sequence of [`programs`] while
+    /// keeping at most one partition's programs materialized.
+    pub fn stream(&self) -> ProgramStream<'_> {
+        ProgramStream {
+            space: self,
+            next_partition: 0,
+            buffered: Vec::new().into_iter(),
+            seen: BTreeSet::new(),
+        }
+    }
+}
+
+/// The streaming counterpart of [`programs`]: iterates the partitions
+/// of an [`EnumSpace`] in order, carrying the cross-partition
+/// first-occurrence dedup, so the yielded sequence is element-for-
+/// element identical to the eager enumeration at any partition
+/// granularity.
+pub struct ProgramStream<'s> {
+    space: &'s EnumSpace,
+    next_partition: usize,
+    buffered: std::vec::IntoIter<KeyedProgram>,
+    seen: BTreeSet<Vec<u64>>,
+}
+
+impl Iterator for ProgramStream<'_> {
+    type Item = Program;
+
+    fn next(&mut self) -> Option<Program> {
+        loop {
+            if let Some(kp) = self.buffered.next() {
+                if self.space.opts.symmetry_reduction {
+                    let key = kp.key.expect("symmetry reduction keys every program");
+                    if !self.seen.insert(key) {
+                        continue; // first occurrence was in an earlier partition
+                    }
+                }
+                return Some(kp.program);
+            }
+            if self.next_partition == self.space.partitions.len() {
+                return None;
+            }
+            self.buffered = self.space.enumerate_keyed(self.next_partition).into_iter();
+            self.next_partition += 1;
+        }
+    }
+}
+
 /// Resolves local VA numbers and PA symbols to global meanings, assigns
 /// remaps, validates spurious INVLPGs, and emits canonical programs.
-fn assign_and_emit(
-    shapes: &[Shape],
-    chosen: &[usize],
-    opts: &EnumOptions,
-    seen: &mut BTreeSet<Vec<u64>>,
-    out: &mut Vec<Program>,
-) {
+fn assign_and_emit(shapes: &[Shape], chosen: &[usize], sink: &mut EmitSink<'_>) {
+    let opts = sink.opts;
     let ts: Vec<&Shape> = chosen.iter().map(|&i| &shapes[i]).collect();
 
     // Enumerate injective per-thread maps local VA → global VA with
@@ -658,13 +929,7 @@ fn assign_and_emit(
                 if !spurious_invlpgs_useful(&prog) {
                     continue;
                 }
-                if opts.symmetry_reduction {
-                    let key = canonical_key(&prog);
-                    if !seen.insert(key) {
-                        continue;
-                    }
-                }
-                out.push(prog);
+                sink.emit(prog);
             }
         }
     }
@@ -905,6 +1170,73 @@ mod tests {
         let n_without = programs(&without).len();
         assert!(n_with <= n_without);
         assert!(n_with > 0);
+    }
+
+    #[test]
+    fn stream_matches_eager_enumeration_at_any_partition_target() {
+        for bound in [2usize, 3, 4] {
+            for (fences, rmw) in [(false, false), (true, true)] {
+                for symmetry in [true, false] {
+                    let mut opts = EnumOptions::new(bound);
+                    opts.allow_fences = fences;
+                    opts.allow_rmw = rmw;
+                    opts.symmetry_reduction = symmetry;
+                    let eager = programs(&opts);
+                    for target in [0usize, 1, 7, 1000] {
+                        let space = EnumSpace::with_target_partitions(&opts, target);
+                        let streamed: Vec<Program> = space.stream().collect();
+                        assert_eq!(
+                            eager, streamed,
+                            "bound {bound} fences {fences} rmw {rmw} \
+                             symmetry {symmetry} target {target}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_target_grows_the_partition_count() {
+        let opts = EnumOptions::new(4);
+        let shallow = EnumSpace::new(&opts);
+        let deep = EnumSpace::with_target_partitions(&opts, shallow.partition_count() * 4);
+        assert!(deep.partition_count() > shallow.partition_count());
+        // Split partitions stay prefix-labelled and non-empty overall.
+        let total: usize = (0..deep.partition_count())
+            .map(|p| deep.enumerate_keyed(p).len())
+            .sum();
+        assert!(total >= programs(&opts).len());
+    }
+
+    #[test]
+    fn keyed_enumeration_keys_every_write_bearing_program() {
+        let mut opts = EnumOptions::new(4);
+        opts.symmetry_reduction = false; // keys still required for planning
+        let space = EnumSpace::new(&opts);
+        for p in 0..space.partition_count() {
+            for kp in space.enumerate_keyed(p) {
+                assert_eq!(kp.has_write, kp.program.has_write());
+                if kp.has_write {
+                    assert_eq!(
+                        kp.key.as_deref(),
+                        Some(canonical_key(&kp.program).as_slice())
+                    );
+                } else {
+                    assert!(kp.key.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_threads_zero_enumerates_nothing() {
+        let mut opts = EnumOptions::new(4);
+        opts.max_threads = Some(0);
+        assert!(programs(&opts).is_empty());
+        let space = EnumSpace::with_target_partitions(&opts, 16);
+        assert_eq!(space.partition_count(), 0);
+        assert_eq!(space.stream().count(), 0);
     }
 
     #[test]
