@@ -2,11 +2,14 @@
 //! bound) and Fig. 9b (synthesis runtimes).
 //!
 //! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]
-//! [--jobs N] [--cache DIR]`
+//! [--jobs N] [--cache DIR] [--cache-url URL]`
 //!
 //! With `--cache`, completed points are sealed into a persistent suite
 //! store and later sweeps stream them back instead of resynthesizing —
-//! re-running a week-long sweep costs seconds.
+//! re-running a week-long sweep costs seconds. With `--cache-url`, a
+//! shared `transform serve` endpoint sits behind the local store:
+//! points anyone in the fleet already swept stream from the remote, and
+//! freshly completed points are pushed back for everyone else.
 //!
 //! The paper ran each point under a one-week timeout on a server; the
 //! default budget here is 60 s per point, and points that exceed it are
@@ -25,6 +28,7 @@ fn main() {
     let mut positional = Vec::new();
     let mut take_jobs = false;
     let mut take_cache = false;
+    let mut take_cache_url = false;
     for a in &args {
         if take_jobs {
             cfg.jobs = a.parse().unwrap_or_else(|_| {
@@ -39,11 +43,17 @@ fn main() {
             take_cache = false;
             continue;
         }
+        if take_cache_url {
+            cfg.cache_url = Some(a.into());
+            take_cache_url = false;
+            continue;
+        }
         match a.as_str() {
             "--fences" => cfg.allow_fences = true,
             "--rmw" => cfg.allow_rmw = true,
             "--jobs" => take_jobs = true,
             "--cache" => take_cache = true,
+            "--cache-url" => take_cache_url = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -53,6 +63,14 @@ fn main() {
     }
     if take_cache {
         eprintln!("error: --cache takes a directory");
+        std::process::exit(2);
+    }
+    if take_cache_url {
+        eprintln!("error: --cache-url takes http://host:port");
+        std::process::exit(2);
+    }
+    if cfg.cache_url.is_some() && cfg.cache.is_none() {
+        eprintln!("error: --cache-url needs --cache DIR for the local tier");
         std::process::exit(2);
     }
     if let Some(b) = positional.first().and_then(|s| s.parse().ok()) {
@@ -72,7 +90,14 @@ fn main() {
         cfg.allow_rmw,
         cfg.jobs,
         match &cfg.cache {
-            Some(dir) => format!(", cache: {}", dir.display()),
+            Some(dir) => format!(
+                ", cache: {}{}",
+                dir.display(),
+                match &cfg.cache_url {
+                    Some(url) => format!(" + {url}"),
+                    None => String::new(),
+                }
+            ),
             None => String::new(),
         }
     );

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
 use transform_par::synthesize_suite_jobs;
-use transform_store::{cached_or_synthesize, Store};
+use transform_store::{HttpTier, Store, TieredCache};
 use transform_synth::{Suite, SynthOptions};
 
 /// One point of the Fig. 9 sweep.
@@ -53,6 +53,11 @@ pub struct SweepConfig {
     /// are sealed into it and later sweeps stream them back instead of
     /// resynthesizing. `None` = always synthesize.
     pub cache: Option<PathBuf>,
+    /// A shared `transform serve` endpoint (`http://host:port`) behind
+    /// the local store: local miss → remote fetch (validated into the
+    /// local tier), and freshly sealed points are pushed back. Requires
+    /// `cache` for the local tier.
+    pub cache_url: Option<String>,
 }
 
 impl Default for SweepConfig {
@@ -65,6 +70,7 @@ impl Default for SweepConfig {
             allow_rmw: false,
             jobs: 1,
             cache: None,
+            cache_url: None,
         }
     }
 }
@@ -73,8 +79,20 @@ impl Default for SweepConfig {
 /// bound). Sweeping stops per axiom once a bound times out, exactly as
 /// the paper's missing data points.
 pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
-    let store = cfg.cache.as_ref().map(|dir| {
-        Store::open(dir).unwrap_or_else(|e| panic!("cannot open cache {}: {e}", dir.display()))
+    assert!(
+        cfg.cache_url.is_none() || cfg.cache.is_some(),
+        "cache_url needs cache for the local tier"
+    );
+    let cache = cfg.cache.as_ref().map(|dir| {
+        let store =
+            Store::open(dir).unwrap_or_else(|e| panic!("cannot open cache {}: {e}", dir.display()));
+        let tiered = TieredCache::new(store);
+        match &cfg.cache_url {
+            Some(url) => tiered.with_remote(Box::new(
+                HttpTier::new(url).unwrap_or_else(|e| panic!("{e}")),
+            )),
+            None => tiered,
+        }
     });
     let mut out = Vec::new();
     for ax in mtm.axioms() {
@@ -83,9 +101,10 @@ pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
             opts.enumeration.allow_fences = cfg.allow_fences;
             opts.enumeration.allow_rmw = cfg.allow_rmw;
             opts.timeout = Some(cfg.budget);
-            let suite = match &store {
-                Some(store) => {
-                    cached_or_synthesize(store, mtm, &ax.name, &opts, cfg.jobs)
+            let suite = match &cache {
+                Some(cache) => {
+                    cache
+                        .cached_or_synthesize(mtm, &ax.name, &opts, cfg.jobs)
                         .unwrap_or_else(|e| panic!("suite cache: {e}"))
                         .0
                 }

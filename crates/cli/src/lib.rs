@@ -16,11 +16,19 @@
 //! * `store verify` — offline re-checksum of every cached suite,
 //!   reporting (and optionally removing) corrupt entries;
 //! * `store gc` — age out cached suites by mtime and/or a keep-list of
-//!   fingerprints, and sweep leftover shard directories.
+//!   fingerprints, and sweep leftover shard directories;
+//! * `serve` — serve a suite store over HTTP as a fleet-wide shared
+//!   cache (`transform-serve`); clients point `--cache-url` at it;
+//! * `store push` / `store pull` — bulk-replicate sealed entries to /
+//!   from a served cache.
+//!
+//! Every subcommand answers `--help` with its flags and one worked
+//! example (the `help` module).
 //!
 //! The command logic lives in this library crate (returning the output as
 //! a `String`) so it is unit-testable; `main.rs` only prints.
 
+mod help;
 mod opts;
 
 use opts::Opts;
@@ -33,7 +41,9 @@ use transform_core::{figures, pretty, vocab};
 use transform_litmus::format::{parse_elt, print_elt};
 use transform_par::{default_jobs, synthesize_suite_jobs};
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
-use transform_store::{cached_or_synthesize, EntryMeta, Fingerprint, Store};
+use transform_store::{
+    cached_or_synthesize, CacheTier, EntryMeta, Fingerprint, HttpTier, Store, TieredCache,
+};
 use transform_synth::engine::{Backend, Suite, SynthOptions};
 use transform_synth::programs::{Program, SlotOp};
 use transform_synth::SuiteRecord;
@@ -50,15 +60,23 @@ commands:
   synthesize --axiom A --bound N [--mtm M] [--max-threads T]
              [--fences] [--rmw] [--timeout-secs S] [--quiet]
              [--jobs N|auto] [--backend explicit|relational]
-             [--partition-size N|auto] [--cache DIR] [--out FILE]
+             [--partition-size N|auto] [--cache DIR] [--cache-url URL]
+             [--out FILE]
   compare --bound N [--timeout-secs S] [--jobs N|auto] [--cache DIR]
+          [--cache-url URL]
   simulate FILE|- [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
   query --cache DIR [--mtm-name M] [--axiom A] [--bound N]
         [--backend B] [--shape S] [--fences] [--rmw]
   export --cache DIR [same filters as query] [--out FILE]
+  serve --root DIR [--addr HOST:PORT] [--threads N] [--verbose]
   store verify --cache DIR [--remove-corrupt]
   store gc --cache DIR [--older-than-days N] [--keep-list FILE]
         [--dry-run]
+  store push --cache DIR --url URL [--fingerprint FP]
+  store pull --cache DIR --url URL [--fingerprint FP]
+
+Every command answers `transform <command> --help` with its flags and a
+worked example.
 
 --mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.
 --jobs runs synthesis on N worker threads (`auto` = all cores); the
@@ -67,14 +85,12 @@ streaming engine's examine-batch granularity (`auto`, the default,
 adapts it to the observed throughput); it never changes the suite.
 --cache makes synthesis stream from / seal into a persistent suite
 store keyed on (MTM, axiom, bound, options); corrupt or stale entries
-are detected by checksums and rebuilt. `check -` and `simulate -` read
-the ELT from stdin. query/export filters: --shape matches the
-slots-per-thread signature (e.g. `2+1`); --fences and --rmw keep only
-tests containing a fence / an rmw pair. `store verify` re-checksums
-every cached suite offline; `store gc` deletes entries older than
---older-than-days and/or (with --keep-list, a file of fingerprints,
-one per line) entries not listed, and sweeps leftover tmp-* shard
-directories.";
+are detected by checksums and rebuilt. --cache-url adds a shared
+`transform serve` endpoint behind the local store: local miss, remote
+fetch (validated byte-for-byte), push-on-seal. `check -` and
+`simulate -` read the ELT from stdin. `serve` exposes a store directory
+over HTTP for a fleet-wide shared cache; `store push`/`store pull`
+bulk-replicate sealed entries to/from one.";
 
 /// Runs a command line, returning its stdout text.
 ///
@@ -85,6 +101,10 @@ directories.";
 pub fn run(args: &[String]) -> Result<String, String> {
     let mut opts = Opts::new(args);
     let cmd = opts.positional().ok_or("missing command")?;
+    // `store` resolves --help against its subcommand inside cmd_store.
+    if cmd != "store" && opts.flag("--help") {
+        return help::help_for(&cmd, None).ok_or(format!("unknown command `{cmd}`"));
+    }
     match cmd.as_str() {
         "table1" => {
             opts.finish()?;
@@ -97,6 +117,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "simulate" => cmd_simulate(opts),
         "query" => cmd_query(opts),
         "export" => cmd_export(opts),
+        "serve" => cmd_serve(opts),
         "store" => cmd_store(opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -207,6 +228,7 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     let jobs = parse_jobs(opts.value("--jobs"))?;
     let quiet = opts.flag("--quiet");
     let cache = opts.value("--cache");
+    let cache_url = opts.value("--cache-url");
     let out_file = opts.value("--out");
     opts.finish()?;
     if mtm.axiom(&axiom).is_none() {
@@ -220,7 +242,14 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
                 .join(", ")
         ));
     }
-    let suite = synthesize_maybe_cached(&mtm, &axiom, &sopts, jobs, cache.as_deref())?;
+    let suite = synthesize_maybe_cached(
+        &mtm,
+        &axiom,
+        &sopts,
+        jobs,
+        cache.as_deref(),
+        cache_url.as_deref(),
+    )?;
     let mut out = String::new();
     if let Some(path) = &out_file {
         std::fs::write(path, render_suite(&suite))
@@ -247,22 +276,40 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
 }
 
 /// The `synthesize`/`compare` synthesis step: straight through the
-/// engine, or through the persistent suite store when `--cache` is
-/// given. Cached and fresh runs print identically — a warm run serves
-/// the sealed artifact of the cold one, statistics included.
+/// engine, through the persistent suite store when `--cache` is given,
+/// and through the tiered local+remote cache when `--cache-url` names a
+/// shared `transform serve` endpoint too. Cached and fresh runs print
+/// identically — a warm run (local or remote) serves the sealed
+/// artifact of the cold one, statistics included.
 fn synthesize_maybe_cached(
     mtm: &Mtm,
     axiom: &str,
     sopts: &SynthOptions,
     jobs: usize,
     cache: Option<&str>,
+    cache_url: Option<&str>,
 ) -> Result<Suite, String> {
-    match cache {
-        None => Ok(synthesize_suite_jobs(mtm, axiom, sopts, jobs)),
-        Some(dir) => {
+    match (cache, cache_url) {
+        (None, None) => Ok(synthesize_suite_jobs(mtm, axiom, sopts, jobs)),
+        (None, Some(_)) => Err(
+            "--cache-url needs --cache DIR for the local tier (remote hits are \
+             validated into it, and fresh suites are sealed there before the push)"
+                .into(),
+        ),
+        (Some(dir), None) => {
             let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
             let (suite, _status) = cached_or_synthesize(&store, mtm, axiom, sopts, jobs)
                 .map_err(|e| format!("cache `{dir}`: {e}"))?;
+            Ok(suite)
+        }
+        (Some(dir), Some(url)) => {
+            // URL first: a bad URL must not leave an empty store behind.
+            let remote = HttpTier::new(url).map_err(|e| e.to_string())?;
+            let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+            let tiered = TieredCache::new(store).with_remote(Box::new(remote));
+            let (suite, _status) = tiered
+                .cached_or_synthesize(mtm, axiom, sopts, jobs)
+                .map_err(|e| format!("cache `{dir}` + `{url}`: {e}"))?;
             Ok(suite)
         }
     }
@@ -328,6 +375,7 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
     );
     let jobs = parse_jobs(opts.value("--jobs"))?;
     let cache = opts.value("--cache");
+    let cache_url = opts.value("--cache-url");
     opts.finish()?;
     let mtm = x86t_elt();
     let mut suites = BTreeMap::new();
@@ -336,7 +384,14 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
         sopts.timeout = Some(timeout);
         suites.insert(
             ax.name.clone(),
-            synthesize_maybe_cached(&mtm, &ax.name, &sopts, jobs, cache.as_deref())?,
+            synthesize_maybe_cached(
+                &mtm,
+                &ax.name,
+                &sopts,
+                jobs,
+                cache.as_deref(),
+                cache_url.as_deref(),
+            )?,
         );
     }
     let keys = synthesized_keys(suites.values());
@@ -545,17 +600,151 @@ fn cmd_export(mut opts: Opts) -> Result<String, String> {
     }
 }
 
+/// `transform serve`: expose a store directory over HTTP as a
+/// fleet-wide shared cache. Blocks until the process is stopped.
+fn cmd_serve(mut opts: Opts) -> Result<String, String> {
+    let root = opts.value("--root").ok_or("serve needs --root DIR")?;
+    let addr = opts
+        .value("--addr")
+        .unwrap_or_else(|| "127.0.0.1:7171".into());
+    let threads: usize = opts
+        .value("--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be a number"))
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let verbose = opts.flag("--verbose");
+    opts.finish()?;
+    let server = transform_serve::Server::bind(
+        &root,
+        &addr,
+        transform_serve::ServeOptions { threads, verbose },
+    )
+    .map_err(|e| format!("cannot serve `{root}` on `{addr}`: {e}"))?;
+    eprintln!(
+        "transform-serve: serving {root} on http://{} ({threads} worker{})",
+        server.local_addr(),
+        if threads == 1 { "" } else { "s" },
+    );
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    Ok(String::new())
+}
+
 fn cmd_store(mut opts: Opts) -> Result<String, String> {
-    let sub = opts
-        .positional()
-        .ok_or("store needs a subcommand: verify | gc")?;
+    let sub = opts.positional();
+    if opts.flag("--help") {
+        return help::help_for("store", sub.as_deref())
+            .ok_or_else(|| format!("unknown store subcommand `{}`", sub.unwrap_or_default()));
+    }
+    let sub = sub.ok_or("store needs a subcommand: verify | gc | push | pull")?;
     match sub.as_str() {
         "verify" => cmd_store_verify(opts),
         "gc" => cmd_store_gc(opts),
+        "push" => cmd_store_push(opts),
+        "pull" => cmd_store_pull(opts),
         other => Err(format!(
-            "unknown store subcommand `{other}` (expected `verify` or `gc`)"
+            "unknown store subcommand `{other}` (expected `verify`, `gc`, `push`, or `pull`)"
         )),
     }
+}
+
+/// The `--cache DIR --url URL` pair shared by `store push` and
+/// `store pull`.
+fn store_remote_args(opts: &mut Opts, what: &str) -> Result<(Store, HttpTier), String> {
+    let dir = opts
+        .value("--cache")
+        .ok_or_else(|| format!("store {what} needs --cache DIR"))?;
+    let url = opts
+        .value("--url")
+        .ok_or_else(|| format!("store {what} needs --url http://host:port"))?;
+    let store = Store::open(&dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+    let remote = HttpTier::new(&url).map_err(|e| e.to_string())?;
+    Ok((store, remote))
+}
+
+fn parse_fingerprint_flag(opts: &mut Opts) -> Result<Option<Fingerprint>, String> {
+    opts.value("--fingerprint")
+        .map(|s| Fingerprint::from_hex(&s).ok_or(format!("`{s}` is not a fingerprint")))
+        .transpose()
+}
+
+fn cmd_store_push(mut opts: Opts) -> Result<String, String> {
+    let (store, remote) = store_remote_args(&mut opts, "push")?;
+    let only = parse_fingerprint_flag(&mut opts)?;
+    opts.finish()?;
+    let entries = match only {
+        Some(fp) => vec![fp],
+        None => store.entries().map_err(|e| e.to_string())?,
+    };
+    // One index fetch enumerates the remote instead of a HEAD per
+    // entry; a remote whose index endpoint fails degrades to HEADs.
+    let present: Option<BTreeSet<Fingerprint>> = remote
+        .index()
+        .ok()
+        .map(|index| index.into_iter().map(|e| e.fingerprint).collect());
+    let mut out = String::new();
+    let (mut pushed, mut skipped) = (0usize, 0usize);
+    for fp in entries {
+        let already = match &present {
+            Some(present) => present.contains(&fp),
+            None => remote.exists(fp).map_err(|e| e.to_string())?,
+        };
+        if already {
+            skipped += 1;
+            continue;
+        }
+        let bytes = store
+            .entry_bytes(fp)
+            .map_err(|e| e.to_string())?
+            .ok_or(format!("no sealed entry {fp} in the local store"))?;
+        CacheTier::publish(&remote, fp, &bytes).map_err(|e| e.to_string())?;
+        out.push_str(&format!("pushed {fp} ({} bytes)\n", bytes.len()));
+        pushed += 1;
+    }
+    out.push_str(&format!(
+        "{pushed} entr{} pushed to {}, {skipped} already present\n",
+        if pushed == 1 { "y" } else { "ies" },
+        remote.url(),
+    ));
+    Ok(out)
+}
+
+fn cmd_store_pull(mut opts: Opts) -> Result<String, String> {
+    let (store, remote) = store_remote_args(&mut opts, "pull")?;
+    let only = parse_fingerprint_flag(&mut opts)?;
+    opts.finish()?;
+    let wanted = match only {
+        Some(fp) => vec![fp],
+        None => remote
+            .index()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|e| e.fingerprint)
+            .collect(),
+    };
+    let mut out = String::new();
+    let (mut pulled, mut skipped) = (0usize, 0usize);
+    for fp in wanted {
+        if store.contains(fp) {
+            skipped += 1;
+            continue;
+        }
+        let bytes = CacheTier::fetch(&remote, fp)
+            .map_err(|e| e.to_string())?
+            .ok_or(format!("remote {} has no entry {fp}", remote.url()))?;
+        // Full byte-for-byte validation before anything is published.
+        store
+            .install_bytes(fp, &bytes)
+            .map_err(|e| format!("{fp}: {e}"))?;
+        out.push_str(&format!("pulled {fp} ({} bytes)\n", bytes.len()));
+        pulled += 1;
+    }
+    out.push_str(&format!(
+        "{pulled} entr{} pulled from {}, {skipped} already present\n",
+        if pulled == 1 { "y" } else { "ies" },
+        remote.url(),
+    ));
+    Ok(out)
 }
 
 /// Fully re-validates one sealed entry: header, every record checksum,
@@ -1198,6 +1387,176 @@ mod tests {
         std::fs::remove_file(cache.join(transform_store::INDEX_FILE)).expect("removable");
         let scanned = run_str(&format!("query --cache {c} --axiom invlpg")).expect("queries");
         assert_eq!(indexed, scanned, "index must only prune, never reorder");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The --help audit: every subcommand answers --help with a worked
+    /// example, and the cache flags are described in the same words
+    /// wherever they apply.
+    #[test]
+    fn every_subcommand_help_has_an_example_and_consistent_cache_flags() {
+        let commands: &[&str] = &[
+            "table1",
+            "figures",
+            "check",
+            "synthesize",
+            "compare",
+            "simulate",
+            "query",
+            "export",
+            "serve",
+            "store",
+            "store verify",
+            "store gc",
+            "store push",
+            "store pull",
+        ];
+        for cmd in commands {
+            let help = run_str(&format!("{cmd} --help")).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+            assert!(help.starts_with("usage: transform"), "{cmd}:\n{help}");
+            assert!(help.contains("example:"), "{cmd} lacks an example:\n{help}");
+            assert!(
+                help.contains(&format!("transform {cmd}")),
+                "{cmd}'s example must invoke it:\n{help}"
+            );
+        }
+        // Cache-flag consistency: the same wording everywhere the flag
+        // exists, and every flag in the usage line is described below.
+        let cache_line = "a persistent local suite store";
+        let cache_url_line = "a shared `transform serve` endpoint";
+        for cmd in ["synthesize", "compare"] {
+            let help = run_str(&format!("{cmd} --help")).expect("help");
+            assert!(help.contains("--cache DIR"), "{cmd}:\n{help}");
+            assert!(help.contains(cache_line), "{cmd}:\n{help}");
+            assert!(help.contains("--cache-url URL"), "{cmd}:\n{help}");
+            assert!(help.contains(cache_url_line), "{cmd}:\n{help}");
+        }
+        let synth = run_str("synthesize --help").expect("help");
+        assert!(synth.contains("--partition-size N|auto"), "{synth}");
+        assert!(synth.contains("never changes the suite"), "{synth}");
+        for cmd in [
+            "query",
+            "export",
+            "store verify",
+            "store gc",
+            "store push",
+            "store pull",
+        ] {
+            let help = run_str(&format!("{cmd} --help")).expect("help");
+            assert!(help.contains("--cache DIR"), "{cmd}:\n{help}");
+        }
+        for cmd in ["store push", "store pull"] {
+            let help = run_str(&format!("{cmd} --help")).expect("help");
+            assert!(help.contains("--url URL"), "{cmd}:\n{help}");
+        }
+        let serve = run_str("serve --help").expect("help");
+        assert!(serve.contains("--root DIR"), "{serve}");
+        assert!(serve.contains("--cache-url"), "{serve}");
+    }
+
+    #[test]
+    fn cache_url_without_cache_is_rejected() {
+        let e = run_str("synthesize --axiom invlpg --bound 4 --cache-url http://127.0.0.1:7171")
+            .unwrap_err();
+        assert!(e.contains("--cache"), "{e}");
+        let e = run_str("synthesize --axiom invlpg --bound 4 --cache x --cache-url nonsense")
+            .unwrap_err();
+        assert!(e.contains("http://"), "{e}");
+    }
+
+    #[test]
+    fn synthesize_reads_through_a_loopback_served_cache() {
+        use transform_serve::{ServeOptions, Server};
+        let dir = temp_dir("cache-url");
+        let origin = dir.join("origin");
+        let local = dir.join("local");
+        // Seed the origin store, then serve it.
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {}",
+            origin.display()
+        ))
+        .expect("seeds the origin");
+        let server = Server::bind(&origin, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+
+        // A cold client with an empty local tier streams the suite from
+        // the server, byte-identical to plain local synthesis.
+        let line = format!(
+            "synthesize --axiom invlpg --bound 4 --cache {} --cache-url {url}",
+            local.display()
+        );
+        let remote_served = run_str(&line).expect("remote read");
+        let fresh = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(elts(&fresh), elts(&remote_served));
+
+        // Read-through populated the local tier: the next run is a warm
+        // local hit even with the server gone.
+        handle.shutdown();
+        let warm = run_str(&line).expect("local warm read");
+        assert_eq!(remote_served, warm, "local tier must now hold the entry");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_push_and_pull_replicate_sealed_entries() {
+        use transform_serve::{ServeOptions, Server};
+        let dir = temp_dir("push-pull");
+        let local = dir.join("local");
+        let served = dir.join("served");
+        let mirror = dir.join("mirror");
+        let c = local.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds invlpg");
+        run_str(&format!(
+            "synthesize --axiom sc_per_loc --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds sc_per_loc");
+
+        let server = Server::bind(&served, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+
+        // Push everything; a re-push skips what the remote holds.
+        let out = run_str(&format!("store push --cache {c} --url {url}")).expect("pushes");
+        assert!(out.contains("2 entries pushed"), "{out}");
+        let again = run_str(&format!("store push --cache {c} --url {url}")).expect("pushes");
+        assert!(again.contains("0 entries pushed"), "{again}");
+        assert!(again.contains("2 already present"), "{again}");
+
+        // Pull into a fresh mirror: both entries arrive and verify clean.
+        let out = run_str(&format!(
+            "store pull --cache {} --url {url}",
+            mirror.display()
+        ))
+        .expect("pulls");
+        assert!(out.contains("2 entries pulled"), "{out}");
+        let verify =
+            run_str(&format!("store verify --cache {}", mirror.display())).expect("verifies");
+        assert!(
+            verify.contains("2 ok, 0 corrupt of 2 sealed entries"),
+            "{verify}"
+        );
+        // Pulled and pushed stores hold byte-identical entries.
+        let a = Store::open(&local).expect("opens");
+        let b = Store::open(&mirror).expect("opens");
+        assert_eq!(a.entries().expect("lists"), b.entries().expect("lists"));
+        for fp in a.entries().expect("lists") {
+            assert_eq!(
+                a.entry_bytes(fp).expect("readable"),
+                b.entry_bytes(fp).expect("readable"),
+                "{fp}"
+            );
+        }
+        handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -23,7 +23,7 @@
 //!    — the same first-occurrence scan the sequential planner runs — so
 //!    plan indices never depend on scheduling. Each examine batch runs
 //!    on one [`transform_synth::Examiner`]; with the
-//!    [`Backend::Relational`] backend that examiner owns one incremental
+//!    [`SynthBackend::Relational`] backend that examiner owns one incremental
 //!    SAT solver (`tsat` solving under assumptions) serving every
 //!    program in the batch, and batch granularity autotunes to the
 //!    observed examination rate. Workers claim emitted ELT keys in a
@@ -63,6 +63,8 @@
 //! let parallel = synthesize_suite_jobs(&mtm, "sc_per_loc", &opts, 4);
 //! assert_eq!(sequential.elts.len(), parallel.elts.len());
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod dedup;
 pub mod shard;
@@ -198,6 +200,17 @@ pub trait SuiteSink: Sync {
     /// One shard retired: its work counters and the suite members
     /// (witness-bearing plan items) it produced.
     fn shard_done(&self, stats: ShardStats, records: Vec<SuiteRecord>);
+
+    /// The run finished: called exactly once per synthesis run, after
+    /// the final [`SuiteSink::shard_done`], with the run's aggregated
+    /// counters. The default does nothing.
+    ///
+    /// This is the push-on-seal hook for tiered caches: a sink that
+    /// streams shards into a pending store entry learns here whether the
+    /// run completed (`stats.timed_out == false`) and can arrange for
+    /// the sealed artifact to be published to a remote cache tier —
+    /// timed-out runs are never sealed, hence never pushed.
+    fn run_done(&self, _stats: &SuiteStats) {}
 }
 
 /// A [`SuiteSink`] that collects records in memory — the sink behind
@@ -405,6 +418,7 @@ pub fn synthesize_suite_jobs_eager(
     let mut stats = SuiteStats::from_shards(plan.programs, per_axiom.remove(0));
     stats.elapsed = start.elapsed();
     stats.timed_out = timed_out[0] || plan.timed_out;
+    sink.run_done(&stats);
     Suite {
         axiom: axiom.to_string(),
         elts: sink.into_elts(),
@@ -485,6 +499,7 @@ pub fn synthesize_all_jobs_with_union(
                 let mut stats = SuiteStats::from_shards(plan.programs, shards);
                 stats.elapsed = elapsed;
                 stats.timed_out = cut || plan.timed_out;
+                sink.run_done(&stats);
                 (
                     axiom.to_string(),
                     Suite {
@@ -597,11 +612,15 @@ mod tests {
         struct TestSink {
             records: Mutex<Vec<SuiteRecord>>,
             shards: Mutex<Vec<ShardStats>>,
+            done: Mutex<Vec<SuiteStats>>,
         }
         impl SuiteSink for TestSink {
             fn shard_done(&self, stats: ShardStats, records: Vec<SuiteRecord>) {
                 self.shards.lock().unwrap().push(stats);
                 self.records.lock().unwrap().extend(records);
+            }
+            fn run_done(&self, stats: &SuiteStats) {
+                self.done.lock().unwrap().push(stats.clone());
             }
         }
         let mtm = small_mtm();
@@ -609,6 +628,7 @@ mod tests {
         let sink = TestSink {
             records: Mutex::new(Vec::new()),
             shards: Mutex::new(Vec::new()),
+            done: Mutex::new(Vec::new()),
         };
         let stats = synthesize_suite_streamed(&mtm, "sc_per_loc", &o, 4, &sink);
         let suite = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
@@ -626,6 +646,11 @@ mod tests {
         assert_eq!(sink.shards.into_inner().unwrap().len(), stats.shards.len());
         assert_eq!(stats.executions, suite.stats.executions);
         assert!(!stats.timed_out);
+        // The completion hook fired exactly once, with the final counters.
+        let done = sink.done.into_inner().unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].executions, stats.executions);
+        assert!(!done[0].timed_out);
     }
 
     #[test]

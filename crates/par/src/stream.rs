@@ -15,7 +15,7 @@
 //! Every enumerated program has a stable position `(partition ordinal,
 //! offset)` that is a pure function of the space — never of scheduling.
 //! Partitions may be *enumerated* out of order, but they are *admitted*
-//! strictly in ordinal order through the [`Admitter`] — the same
+//! strictly in ordinal order through the admitter — the same
 //! first-occurrence-per-canonical-key scan the sequential planner runs —
 //! so plan indices, dedup outcomes, and therefore the merged suite are
 //! byte-identical to the sequential engine at every worker count and
@@ -516,6 +516,7 @@ pub(crate) fn run_streamed(
         peak_live_candidates: st.peak_live,
         final_batch_size: st.tuner.batch_size(),
     };
+    sink.run_done(&stats);
     (stats, metrics)
 }
 

@@ -1,0 +1,43 @@
+//! `transform-serve` — the HTTP suite-store server: one sealed suite
+//! store shared by a whole fleet.
+//!
+//! TransForm's expensive artifact is the synthesized ELT suite (the
+//! paper's runs took up to a week per bound); `transform-store` made
+//! suites durable on one machine, and this crate makes them *shared*:
+//! a hand-rolled, dependency-free HTTP/1.1 server over
+//! [`std::net::TcpListener`] exposing a store directory, so every prior
+//! synthesis run anywhere in the fleet becomes a cache hit everywhere
+//! else. Content addressing does the heavy lifting — entries are
+//! immutable and self-validating, so replication is a byte copy and no
+//! tier ever needs invalidation.
+//!
+//! # Protocol
+//!
+//! | request | response |
+//! |---|---|
+//! | `GET /healthz` | liveness, entry count, request counters |
+//! | `GET /v1/index` | the entry index (`transform_store::index::encode` bytes) |
+//! | `HEAD /v1/suite/<fingerprint>` | `200` when sealed, `404` otherwise |
+//! | `GET /v1/suite/<fingerprint>` | the sealed entry's bytes, streamed |
+//! | `PUT /v1/suite/<fingerprint>` | validate **every byte**, seal atomically; idempotent |
+//!
+//! The client half ([`transform_store::HttpTier`]) lives in the store
+//! crate, wired behind its [`transform_store::CacheTier`] abstraction,
+//! so `synthesize`/`compare`/`fig9 --cache-url http://…` read through
+//! a remote cache transparently: local tier first, remote fallthrough,
+//! read-through population of the local tier, push-on-seal of fresh
+//! results.
+//!
+//! Trust model: the server validates uploads byte-for-byte before
+//! publishing, and clients re-validate everything they fetch before
+//! installing it locally — damage on either side of the wire is
+//! detected, refused, and falls back to synthesis. There is no
+//! authentication; deploy it inside the trust boundary that already
+//! shares the store directory today.
+
+#![deny(missing_docs)]
+
+pub mod http;
+pub mod server;
+
+pub use server::{ServeMetrics, ServeOptions, Server, ServerHandle};

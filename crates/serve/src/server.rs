@@ -1,0 +1,456 @@
+//! The suite-store server: a bounded thread-per-connection accept pool
+//! over one [`Store`] directory.
+//!
+//! # Concurrency
+//!
+//! The accept loop feeds a bounded connection queue drained by a fixed
+//! pool of worker threads — the same bounded-queue-of-work idiom as
+//! `transform-par`'s shard pool, applied to connections instead of
+//! shards. A full queue blocks the accept loop (TCP's listen backlog
+//! absorbs the burst), so a slow disk degrades to queueing, never to
+//! unbounded thread spawning.
+//!
+//! # Safety of writes
+//!
+//! `PUT` ingests through [`Store::install_bytes`]: the body is staged to
+//! a temporary file, *every byte* is validated (header checksum, each
+//! record, the trailer, and the fingerprint in the header against the
+//! one in the URL), and only then atomically renamed into place. Two
+//! concurrent `PUT`s of the same fingerprint stage to disjoint files
+//! and both rename to identical content — idempotence falls out of
+//! content addressing.
+
+use crate::http::{read_request, respond, respond_text, write_head, Request, RequestError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use transform_store::{Fingerprint, Store, StoreError};
+
+/// Request counters, readable while the server runs (`/healthz` reports
+/// them).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests accepted (any method, any path).
+    pub requests: AtomicU64,
+    /// `GET /v1/suite/…` responses that served a sealed entry.
+    pub suite_hits: AtomicU64,
+    /// `GET`/`HEAD /v1/suite/…` responses for absent entries.
+    pub suite_misses: AtomicU64,
+    /// `PUT /v1/suite/…` uploads validated and published.
+    pub puts_accepted: AtomicU64,
+    /// `PUT /v1/suite/…` uploads refused (damaged or mis-addressed).
+    pub puts_rejected: AtomicU64,
+}
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads handling connections (the accept pool size).
+    pub threads: usize,
+    /// Log one line per request to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 4,
+            verbose: false,
+        }
+    }
+}
+
+/// A bound suite-store server, ready to [`Server::run`] (blocking) or
+/// [`Server::spawn`] (background, with a shutdown handle).
+///
+/// # Examples
+///
+/// Serving a store and checking liveness through the client half:
+///
+/// ```
+/// use transform_serve::{ServeOptions, Server};
+/// use transform_store::HttpTier;
+///
+/// let dir = std::env::temp_dir().join(format!("serve-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).expect("mkdir");
+/// // Port 0: the OS picks a free loopback port.
+/// let server = Server::bind(&dir, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+/// let url = format!("http://{}", server.local_addr());
+/// let handle = server.spawn();
+///
+/// let client = HttpTier::new(&url).expect("valid URL");
+/// assert!(client.health().expect("server is up").contains("ok"));
+/// assert!(client.index().expect("index serves").is_empty());
+///
+/// handle.shutdown();
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct Server {
+    store: Arc<Store>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    opts: ServeOptions,
+    metrics: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Opens (creating if needed) the store at `root` and binds `addr`
+    /// (e.g. `127.0.0.1:7171`; port `0` lets the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// Store-open or bind failure.
+    pub fn bind(root: impl AsRef<Path>, addr: &str, opts: ServeOptions) -> io::Result<Server> {
+        let store = Store::open(root).map_err(io::Error::other)?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            store: Arc::new(store),
+            listener,
+            addr,
+            opts,
+            metrics: Arc::new(ServeMetrics::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's request counters.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] flips the stop flag (or
+    /// forever, when no handle exists). Blocks the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// A failed `accept` on the listening socket; per-connection errors
+    /// are contained to their connection.
+    pub fn run(self) -> io::Result<()> {
+        let queue = Arc::new(ConnQueue::new(self.opts.threads * 2));
+        let mut workers = Vec::with_capacity(self.opts.threads);
+        for _ in 0..self.opts.threads.max(1) {
+            let queue = Arc::clone(&queue);
+            let store = Arc::clone(&self.store);
+            let metrics = Arc::clone(&self.metrics);
+            let verbose = self.opts.verbose;
+            workers.push(std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    handle_connection(&store, &metrics, stream, verbose);
+                }
+            }));
+        }
+        let mut accept_error = None;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            match stream {
+                Ok(stream) => queue.push(stream),
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
+            }
+        }
+        queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs the server on a background thread, returning a handle that
+    /// can stop it — the shape tests and benches use; the CLI calls
+    /// [`Server::run`] directly.
+    pub fn spawn(self) -> ServerHandle {
+        let stop = Arc::clone(&self.stop);
+        let addr = self.addr;
+        let metrics = Arc::clone(&self.metrics);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            stop,
+            metrics,
+            thread,
+        }
+    }
+}
+
+/// Controls a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served endpoint as a client URL, `http://host:port`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// The server's request counters.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops the accept loop, drains in-flight connections, and joins
+    /// the server thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// The bounded connection queue between the accept loop and workers. A
+/// full queue blocks the producer (backpressure to the TCP backlog); a
+/// closed queue drains remaining connections, then releases workers.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut st = self.state.lock().expect("queue lock is never poisoned");
+        while st.0.len() >= self.capacity && !st.1 {
+            st = self
+                .writable
+                .wait(st)
+                .expect("queue lock is never poisoned");
+        }
+        if !st.1 {
+            st.0.push_back(stream);
+            self.readable.notify_one();
+        }
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.state.lock().expect("queue lock is never poisoned");
+        loop {
+            if let Some(stream) = st.0.pop_front() {
+                self.writable.notify_one();
+                return Some(stream);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self
+                .readable
+                .wait(st)
+                .expect("queue lock is never poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock is never poisoned");
+        st.1 = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+}
+
+/// Serves one connection: parse, route, respond, close. All failures
+/// are contained here — a bad request gets an error status, a dead
+/// socket is dropped.
+fn handle_connection(store: &Store, metrics: &ServeMetrics, mut stream: TcpStream, verbose: bool) {
+    // A stuck peer must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+    metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(RequestError::Io(_)) => return,
+        Err(RequestError::Bad(m)) => {
+            let _ = respond_text(&mut stream, 400, &format!("{m}\n"));
+            return;
+        }
+        Err(RequestError::LengthRequired) => {
+            let _ = respond_text(&mut stream, 411, "Content-Length required\n");
+            return;
+        }
+        Err(RequestError::TooLarge) => {
+            let _ = respond_text(&mut stream, 413, "request body too large\n");
+            return;
+        }
+    };
+    let status = route(store, metrics, &mut stream, &request).unwrap_or(0);
+    if verbose {
+        eprintln!(
+            "transform-serve: {} {} -> {status}",
+            request.method, request.path
+        );
+    }
+}
+
+/// Dispatches one request, returning the status it answered with (for
+/// logging; `Err` means the socket died mid-response).
+fn route(
+    store: &Store,
+    metrics: &ServeMetrics,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> io::Result<u16> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET" | "HEAD", "/healthz") => {
+            let entries = store.entries().map(|e| e.len()).unwrap_or(0);
+            let body = format!(
+                "transform-serve ok\nentries: {entries}\nrequests: {}\nsuite hits: {}\nsuite misses: {}\nputs accepted: {}\nputs rejected: {}\n",
+                metrics.requests.load(Ordering::Relaxed),
+                metrics.suite_hits.load(Ordering::Relaxed),
+                metrics.suite_misses.load(Ordering::Relaxed),
+                metrics.puts_accepted.load(Ordering::Relaxed),
+                metrics.puts_rejected.load(Ordering::Relaxed),
+            );
+            if request.method == "HEAD" {
+                write_head(stream, 200, body.len() as u64, "text/plain; charset=utf-8")?;
+            } else {
+                respond_text(stream, 200, &body)?;
+            }
+            Ok(200)
+        }
+        ("GET", "/v1/index") => {
+            // Prefer the advisory index; rebuild it when missing or
+            // stale so the response always reflects the sealed entries.
+            let entries = store
+                .read_index()
+                .or_else(|| store.rebuild_index().ok().and_then(|_| store.read_index()));
+            match entries {
+                Some(entries) => {
+                    let bytes = transform_store::index::encode(&entries);
+                    respond(stream, 200, &bytes, "application/octet-stream")?;
+                    Ok(200)
+                }
+                None => {
+                    respond_text(stream, 500, "index unavailable\n")?;
+                    Ok(500)
+                }
+            }
+        }
+        (method @ ("GET" | "HEAD"), path) if path.starts_with("/v1/suite/") => {
+            let Some(fp) = parse_suite_path(path) else {
+                respond_text(stream, 400, "malformed fingerprint\n")?;
+                return Ok(400);
+            };
+            // Validate the header before serving a single byte: a
+            // damaged entry is a miss, not a payload.
+            let reader = match store.open_suite(fp) {
+                Ok(reader) => reader,
+                Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+                    metrics.suite_misses.fetch_add(1, Ordering::Relaxed);
+                    respond_text(stream, 404, "no such entry\n")?;
+                    return Ok(404);
+                }
+                Err(_) => {
+                    metrics.suite_misses.fetch_add(1, Ordering::Relaxed);
+                    respond_text(stream, 404, "entry failed validation\n")?;
+                    return Ok(404);
+                }
+            };
+            drop(reader);
+            // The entry can vanish between validation and this open
+            // (`store gc` against a served root): still answer a clean
+            // 404 rather than dropping the connection headerless.
+            let path = store.entry_path(fp);
+            let opened = std::fs::File::open(&path).and_then(|f| {
+                let len = f.metadata()?.len();
+                Ok((f, len))
+            });
+            let (mut file, len) = match opened {
+                Ok(opened) => opened,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    metrics.suite_misses.fetch_add(1, Ordering::Relaxed);
+                    respond_text(stream, 404, "no such entry\n")?;
+                    return Ok(404);
+                }
+                Err(e) => return Err(e),
+            };
+            write_head(stream, 200, len, "application/octet-stream")?;
+            if method == "GET" {
+                // Stream in chunks — suite entries can be large, and the
+                // worker never needs the whole file in memory.
+                let mut chunk = vec![0u8; 64 * 1024];
+                loop {
+                    let n = file.read(&mut chunk)?;
+                    if n == 0 {
+                        break;
+                    }
+                    stream.write_all(&chunk[..n])?;
+                }
+                metrics.suite_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(200)
+        }
+        ("PUT", path) if path.starts_with("/v1/suite/") => {
+            let Some(fp) = parse_suite_path(path) else {
+                respond_text(stream, 400, "malformed fingerprint\n")?;
+                return Ok(400);
+            };
+            let already = store.contains(fp);
+            match store.install_bytes(fp, &request.body) {
+                Ok(()) => {
+                    metrics.puts_accepted.fetch_add(1, Ordering::Relaxed);
+                    let status = if already { 200 } else { 201 };
+                    respond_text(stream, status, "sealed\n")?;
+                    Ok(status)
+                }
+                Err(e @ (StoreError::Corrupt(_) | StoreError::Version { .. })) => {
+                    metrics.puts_rejected.fetch_add(1, Ordering::Relaxed);
+                    respond_text(stream, 400, &format!("{e}\n"))?;
+                    Ok(400)
+                }
+                Err(e) => {
+                    respond_text(stream, 500, &format!("{e}\n"))?;
+                    Ok(500)
+                }
+            }
+        }
+        (_, path)
+            if path.starts_with("/v1/suite/") || path == "/v1/index" || path == "/healthz" =>
+        {
+            respond_text(stream, 405, "method not allowed\n")?;
+            Ok(405)
+        }
+        _ => {
+            respond_text(stream, 404, "not found\n")?;
+            Ok(404)
+        }
+    }
+}
+
+/// `/v1/suite/<32 hex chars>` → the fingerprint.
+fn parse_suite_path(path: &str) -> Option<Fingerprint> {
+    Fingerprint::from_hex(path.strip_prefix("/v1/suite/")?)
+}

@@ -1,0 +1,287 @@
+//! The acceptance path: a loopback `transform-serve` instance serves a
+//! previously sealed bound-4 suite to a cold client byte-identically to
+//! local synthesis, read-through populates the client's local tier, and
+//! corrupt remote bytes are detected and never served.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use transform_litmus::format::print_elt;
+use transform_serve::{ServeOptions, Server};
+use transform_store::{
+    cached_or_synthesize, suite_fingerprint, CacheStatus, HttpTier, Store, TieredCache,
+};
+use transform_synth::{Suite, SynthOptions};
+use transform_x86::x86t_elt;
+
+const AXIOM: &str = "invlpg";
+
+fn opts() -> SynthOptions {
+    let mut o = SynthOptions::new(4);
+    o.enumeration.allow_fences = false;
+    o.enumeration.allow_rmw = false;
+    o
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfloop-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Renders a suite exactly as `transform synthesize` prints it.
+fn render(suite: &Suite) -> String {
+    let mut out = String::new();
+    for (i, elt) in suite.elts.iter().enumerate() {
+        out.push_str(&print_elt(&format!("{}_{i}", suite.axiom), &elt.witness));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn cold_client_reads_through_the_loopback_server() {
+    let mtm = x86t_elt();
+
+    // The reference: plain local synthesis.
+    let reference = render(&transform_synth::synthesize_suite(&mtm, AXIOM, &opts()));
+
+    // A server whose store already holds the sealed bound-4 suite.
+    let origin = temp_dir("origin");
+    {
+        let store = Store::open(&origin).expect("store opens");
+        cached_or_synthesize(&store, &mtm, AXIOM, &opts(), 2).expect("seeds the origin");
+    }
+    let server = Server::bind(&origin, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let url = format!("http://{}", server.local_addr());
+    let handle = server.spawn();
+
+    // A cold client: empty local tier, the server as remote tier.
+    let local = temp_dir("client");
+    let cache = TieredCache::new(Store::open(&local).expect("store opens"))
+        .with_remote(Box::new(HttpTier::new(&url).expect("valid URL")));
+    let (suite, status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("tiered read");
+    assert!(
+        status.is_remote_hit(),
+        "expected a remote hit, got {status:?}"
+    );
+    assert_eq!(
+        render(&suite),
+        reference,
+        "remote-served suite must be byte-identical to local synthesis"
+    );
+
+    // Read-through population: the client's local tier now holds the
+    // sealed entry, byte-identical to the origin's, and the next lookup
+    // is a *local* hit with the same bytes.
+    let fp = suite_fingerprint(&mtm, AXIOM, &opts());
+    let origin_bytes = Store::open(&origin)
+        .expect("opens")
+        .entry_bytes(fp)
+        .expect("readable")
+        .expect("origin entry");
+    let local_bytes = cache
+        .local()
+        .entry_bytes(fp)
+        .expect("readable")
+        .expect("read-through populated the local tier");
+    assert_eq!(local_bytes, origin_bytes);
+    let (warm, warm_status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("warm read");
+    assert!(warm_status.is_hit(), "got {warm_status:?}");
+    assert_eq!(render(&warm), reference);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&origin).ok();
+    std::fs::remove_dir_all(&local).ok();
+}
+
+#[test]
+fn unreachable_remote_degrades_to_local_synthesis() {
+    let mtm = x86t_elt();
+    let local = temp_dir("no-remote");
+    // Port 1: reliably refused.
+    let cache = TieredCache::new(Store::open(&local).expect("store opens")).with_remote(Box::new(
+        HttpTier::new("http://127.0.0.1:1").expect("valid URL"),
+    ));
+    let (suite, status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("degrades to synthesis");
+    assert_eq!(status, CacheStatus::Miss);
+    assert_eq!(
+        render(&suite),
+        render(&transform_synth::synthesize_suite(&mtm, AXIOM, &opts()))
+    );
+    std::fs::remove_dir_all(&local).ok();
+}
+
+/// A remote entry that is internally valid — right header fingerprint,
+/// clean checksums — but holds a *different suite* than the requested
+/// key: install-level validation passes, and only the tiered read's
+/// axiom cross-check can catch it. It must be evicted and fall through
+/// to synthesis, never be served or survive in the local tier.
+#[test]
+fn wrong_suite_behind_the_right_fingerprint_is_evicted_not_served() {
+    use transform_par::synthesize_suite_streamed;
+    use transform_store::EntryMeta;
+
+    let mtm = x86t_elt();
+    let reference = render(&transform_synth::synthesize_suite(&mtm, AXIOM, &opts()));
+    let fp = suite_fingerprint(&mtm, AXIOM, &opts());
+
+    // Forge an entry: sc_per_loc's suite sealed under invlpg's
+    // fingerprint. Checksums and the recorded fingerprint all validate.
+    let forge_dir = temp_dir("forge");
+    let forged = {
+        let store = Store::open(&forge_dir).expect("opens");
+        let pending = store
+            .begin(fp, EntryMeta::describe(&mtm, "sc_per_loc", &opts()))
+            .expect("begins");
+        let stats = synthesize_suite_streamed(&mtm, "sc_per_loc", &opts(), 2, &pending);
+        pending.seal(&stats).expect("seals");
+        store
+            .entry_bytes(fp)
+            .expect("readable")
+            .expect("forged entry")
+    };
+
+    let (url, _poison) = spawn_poison_server(forged, None);
+    let local = temp_dir("forge-client");
+    let cache = TieredCache::new(Store::open(&local).expect("store opens"))
+        .with_remote(Box::new(HttpTier::new(&url).expect("valid URL")));
+    let (suite, status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("falls through to synthesis, not a hard error");
+    assert!(!status.is_remote_hit(), "got {status:?}");
+    assert_eq!(render(&suite), reference);
+    // The local tier holds the freshly synthesized suite for AXIOM, not
+    // the forged one.
+    let reader = cache.local().open_suite(fp).expect("validates");
+    assert_eq!(reader.meta().axiom, AXIOM);
+
+    std::fs::remove_dir_all(&forge_dir).ok();
+    std::fs::remove_dir_all(&local).ok();
+}
+
+/// A fake remote that frames damaged suite bytes in valid HTTP — the
+/// transport succeeds, so only payload validation can catch it.
+fn spawn_poison_server(
+    body: Vec<u8>,
+    truncate_to: Option<usize>,
+) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+    let url = format!("http://{}", listener.local_addr().expect("addr"));
+    let thread = std::thread::spawn(move || {
+        // Serve until the listener is dropped with the test.
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+            match truncate_to {
+                // Honest Content-Length, corrupt payload.
+                None => {
+                    let _ = write!(
+                        stream,
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                        body.len()
+                    );
+                    let _ = stream.write_all(&body);
+                }
+                // Declared length exceeds what is sent: a truncated
+                // transfer, detected at the transport layer.
+                Some(cut) => {
+                    let _ = write!(
+                        stream,
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                        body.len()
+                    );
+                    let _ = stream.write_all(&body[..cut]);
+                }
+            }
+            let _ = stream.flush();
+        }
+    });
+    (url, thread)
+}
+
+#[test]
+fn corrupt_remote_bytes_are_detected_and_never_served() {
+    let mtm = x86t_elt();
+    let reference = render(&transform_synth::synthesize_suite(&mtm, AXIOM, &opts()));
+    let fp = suite_fingerprint(&mtm, AXIOM, &opts());
+
+    // Sealed bytes with one bit flipped mid-file.
+    let seed = temp_dir("poison-seed");
+    let store = Store::open(&seed).expect("opens");
+    cached_or_synthesize(&store, &mtm, AXIOM, &opts(), 2).expect("seeds");
+    let mut damaged = store
+        .entry_bytes(fp)
+        .expect("readable")
+        .expect("entry sealed");
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x10;
+
+    let (url, _poison) = spawn_poison_server(damaged, None);
+    let local = temp_dir("poison-client");
+    let cache = TieredCache::new(Store::open(&local).expect("store opens"))
+        .with_remote(Box::new(HttpTier::new(&url).expect("valid URL")));
+    let (suite, status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("falls back to synthesis");
+    assert!(
+        !status.is_remote_hit(),
+        "corrupt remote bytes must never count as a remote hit"
+    );
+    assert_eq!(
+        render(&suite),
+        reference,
+        "the suite served must come from clean synthesis, not the poisoned remote"
+    );
+    // The local tier holds a freshly sealed entry that validates clean
+    // — the poisoned payload was never installed (it cannot validate).
+    let mut reader = cache.local().open_suite(fp).expect("validates");
+    assert!(reader.by_ref().all(|r| r.is_ok()), "local entry is clean");
+    let (warm, warm_status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("warm read");
+    assert!(warm_status.is_hit(), "got {warm_status:?}");
+    assert_eq!(render(&warm), reference);
+
+    std::fs::remove_dir_all(&seed).ok();
+    std::fs::remove_dir_all(&local).ok();
+}
+
+#[test]
+fn truncated_remote_responses_are_detected_and_never_served() {
+    let mtm = x86t_elt();
+    let reference = render(&transform_synth::synthesize_suite(&mtm, AXIOM, &opts()));
+    let fp = suite_fingerprint(&mtm, AXIOM, &opts());
+
+    let seed = temp_dir("trunc-seed");
+    let store = Store::open(&seed).expect("opens");
+    cached_or_synthesize(&store, &mtm, AXIOM, &opts(), 2).expect("seeds");
+    let bytes = store
+        .entry_bytes(fp)
+        .expect("readable")
+        .expect("entry sealed");
+    let cut = bytes.len() / 3;
+
+    let (url, _poison) = spawn_poison_server(bytes, Some(cut));
+    let local = temp_dir("trunc-client");
+    let cache = TieredCache::new(Store::open(&local).expect("store opens")).with_remote(Box::new(
+        HttpTier::new(&url)
+            .expect("valid URL")
+            .with_timeout(std::time::Duration::from_millis(500)),
+    ));
+    let (suite, status) = cache
+        .cached_or_synthesize(&mtm, AXIOM, &opts(), 2)
+        .expect("falls back to synthesis");
+    assert!(!status.is_remote_hit());
+    assert_eq!(render(&suite), reference);
+
+    std::fs::remove_dir_all(&seed).ok();
+    std::fs::remove_dir_all(&local).ok();
+}

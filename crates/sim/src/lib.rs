@@ -15,7 +15,7 @@
 //! * an OS-level **remap/IPI protocol**: PTE writes are fenced and become
 //!   globally visible before the `INVLPG`s they invoke may run.
 //!
-//! [`explore`] enumerates every interleaving of an ELT program and returns
+//! [`explore()`] enumerates every interleaving of an ELT program and returns
 //! the set of observable [`Outcome`]s; [`check`] compares those outcomes
 //! against a formal MTM (observed ⊆ permitted), certifies individual runs
 //! by reconstructing candidate executions ([`trace`]), and — with

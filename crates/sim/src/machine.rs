@@ -24,7 +24,7 @@ use transform_core::ids::{Location, Mapping, Pa, Va};
 pub struct Bugs {
     /// `INVLPG` executes but leaves the TLB entry intact — the AMD
     /// Athlon™ 64 / Opteron™ erratum described in the paper's introduction
-    /// (revision guide [4]): stale address mappings stay usable.
+    /// (revision guide \[4\]): stale address mappings stay usable.
     pub invlpg_noop: bool,
     /// Remap `INVLPG`s on *remote* cores are delivered without
     /// synchronizing on the PTE write becoming visible, and do not evict —

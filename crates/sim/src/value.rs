@@ -5,7 +5,7 @@
 //! not a bit pattern. [`Outcome`] is the complete architecturally visible
 //! result of one run of an ELT program — what a litmus-testing harness
 //! would record — and is computed identically from a machine run
-//! ([`crate::explore`]) and from an axiomatic candidate execution
+//! ([`crate::explore()`]) and from an axiomatic candidate execution
 //! ([`witness_outcome`]), so the two semantics can be compared outcome by
 //! outcome.
 

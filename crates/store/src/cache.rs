@@ -7,19 +7,27 @@
 //! run's output byte for byte (statistics included — `elapsed` is the
 //! recorded synthesis time, not the read time), which is what makes
 //! cached results indistinguishable from fresh ones.
+//!
+//! This module is the *local-only* policy; [`crate::tier`] layers an
+//! optional shared remote tier (read-through, push-on-seal) behind the
+//! same contract.
 
-use crate::fingerprint::{suite_fingerprint, Fingerprint};
-use crate::store::{read_suite, EntryMeta, Store, StoreError};
+use crate::store::{Store, StoreError};
 use transform_core::axiom::Mtm;
-use transform_par::synthesize_suite_streamed;
 use transform_synth::{Suite, SynthOptions};
 
 /// How a cached lookup was satisfied.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CacheStatus {
-    /// Served from an existing sealed entry.
+    /// Served from an existing sealed entry in the local tier.
     Hit,
-    /// No entry existed; synthesized and sealed.
+    /// Served from the remote tier: the sealed bytes were fetched,
+    /// fully validated into the local tier (read-through population),
+    /// and streamed from there — the next lookup is a local [`Hit`].
+    ///
+    /// [`Hit`]: CacheStatus::Hit
+    RemoteHit,
+    /// No entry existed anywhere; synthesized and sealed.
     Miss,
     /// An entry existed but failed validation; it was deleted and the
     /// suite resynthesized and re-sealed.
@@ -36,9 +44,16 @@ pub enum CacheStatus {
 }
 
 impl CacheStatus {
-    /// Whether the suite came from a sealed entry without synthesis.
+    /// Whether the suite came from a *local* sealed entry without
+    /// synthesis or a remote fetch.
     pub fn is_hit(&self) -> bool {
         matches!(self, CacheStatus::Hit)
+    }
+
+    /// Whether the suite was served from the remote tier (and installed
+    /// into the local one along the way).
+    pub fn is_remote_hit(&self) -> bool {
+        matches!(self, CacheStatus::RemoteHit)
     }
 }
 
@@ -46,6 +61,9 @@ impl CacheStatus {
 /// sealing) on a miss. Corrupt, truncated, or version-mismatched
 /// entries are detected by checksums, deleted, and transparently
 /// rebuilt.
+///
+/// This is the local-only path — [`crate::TieredCache`] adds a shared
+/// remote tier between the local store and synthesis.
 ///
 /// # Errors
 ///
@@ -64,52 +82,5 @@ pub fn cached_or_synthesize(
     opts: &SynthOptions,
     jobs: usize,
 ) -> Result<(Suite, CacheStatus), StoreError> {
-    assert!(
-        mtm.axiom(axiom).is_some(),
-        "axiom `{axiom}` is not part of {}",
-        mtm.name()
-    );
-    let fp = suite_fingerprint(mtm, axiom, opts);
-    let mut status = CacheStatus::Miss;
-    if store.contains(fp) {
-        match read_entry(store, fp, axiom) {
-            Ok(suite) => return Ok((suite, CacheStatus::Hit)),
-            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
-            Err(invalid) => {
-                store.remove(fp)?;
-                status = CacheStatus::Rebuilt {
-                    reason: invalid.to_string(),
-                };
-            }
-        }
-    }
-
-    let pending = store.begin(fp, EntryMeta::describe(mtm, axiom, opts))?;
-    let stats = synthesize_suite_streamed(mtm, axiom, opts, jobs, &pending);
-    if stats.timed_out {
-        let suite = pending.into_suite(&stats)?;
-        return Ok((
-            suite,
-            CacheStatus::Uncached {
-                reason: "synthesis timed out; partial suites are never cached".into(),
-            },
-        ));
-    }
-    pending.seal(&stats)?;
-    let suite = read_entry(store, fp, axiom)?;
-    Ok((suite, status))
-}
-
-/// Reads and fully validates one sealed entry, also cross-checking that
-/// its metadata names the expected axiom (a fingerprint collision or a
-/// renamed file would otherwise serve the wrong suite).
-fn read_entry(store: &Store, fp: Fingerprint, axiom: &str) -> Result<Suite, StoreError> {
-    let reader = store.open_suite(fp)?;
-    if reader.meta().axiom != axiom {
-        return Err(StoreError::Corrupt(format!(
-            "entry is for axiom `{}`, expected `{axiom}`",
-            reader.meta().axiom
-        )));
-    }
-    read_suite(reader)
+    crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs)
 }

@@ -49,10 +49,10 @@ pub(crate) fn read_valid(root: &Path, sealed: &[Fingerprint]) -> Option<Vec<Inde
     (listed == sealed).then_some(entries)
 }
 
-/// Atomically (re)writes the index: entries are sorted by fingerprint,
-/// encoded with the store's codec, checksummed, written to a temporary
-/// file, and renamed into place.
-pub(crate) fn write(root: &Path, entries: &[IndexEntry]) -> Result<(), StoreError> {
+/// Encodes an index to its on-disk (and on-wire — `GET /v1/index`
+/// serves exactly these bytes) form: magic, format version, the entries
+/// sorted by fingerprint, and a trailing FNV-1a 64 checksum.
+pub fn encode(entries: &[IndexEntry]) -> Vec<u8> {
     let mut sorted: Vec<&IndexEntry> = entries.iter().collect();
     sorted.sort_by_key(|e| e.fingerprint);
     let mut e = Enc::new();
@@ -67,6 +67,14 @@ pub(crate) fn write(root: &Path, entries: &[IndexEntry]) -> Result<(), StoreErro
     let mut bytes = e.into_bytes();
     let checksum = fnv1a64(&bytes);
     bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Atomically (re)writes the index: entries are sorted by fingerprint,
+/// encoded with the store's codec, checksummed, written to a temporary
+/// file, and renamed into place.
+pub(crate) fn write(root: &Path, entries: &[IndexEntry]) -> Result<(), StoreError> {
+    let bytes = encode(entries);
     // pid + nonce so concurrent sealers stage to disjoint files; the
     // last rename wins and later seals fold in anything it missed.
     static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -77,7 +85,14 @@ pub(crate) fn write(root: &Path, entries: &[IndexEntry]) -> Result<(), StoreErro
     Ok(())
 }
 
-fn decode(bytes: &[u8]) -> Result<Vec<IndexEntry>, StoreError> {
+/// Decodes index bytes — the [`encode`] form — validating the trailing
+/// checksum, magic, and format version.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on damaged bytes, [`StoreError::Version`] on
+/// format skew.
+pub fn decode(bytes: &[u8]) -> Result<Vec<IndexEntry>, StoreError> {
     if bytes.len() < 8 {
         return Err(StoreError::Corrupt("index truncated".into()));
     }

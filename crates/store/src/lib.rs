@@ -28,6 +28,13 @@
 //!   rewritten atomically on every seal, so `query`/`export` filter
 //!   entries without opening each header; a missing or stale index
 //!   falls back to the full scan.
+//! * [`tier`] — cache tiering: a [`CacheTier`] abstraction over "places
+//!   sealed bytes live", and [`TieredCache`] layering a shared remote
+//!   tier behind the local directory (read-through population,
+//!   push-on-seal).
+//! * [`remote`] — the dependency-free HTTP/1.1 client for a
+//!   `transform serve` endpoint ([`HttpTier`]), the remote half of a
+//!   fleet-wide shared cache.
 //!
 //! # Examples
 //!
@@ -57,14 +64,20 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod codec;
 pub mod fingerprint;
 pub mod index;
+pub mod remote;
 pub mod store;
+pub mod tier;
 
 pub use cache::{cached_or_synthesize, CacheStatus};
 pub use codec::{CodecError, FORMAT_VERSION};
 pub use fingerprint::{suite_fingerprint, Fingerprint};
 pub use index::{IndexEntry, INDEX_FILE};
+pub use remote::HttpTier;
 pub use store::{read_suite, EntryMeta, PendingSuite, Store, StoreError, SuiteReader};
+pub use tier::{CacheTier, TieredCache};

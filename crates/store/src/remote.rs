@@ -1,0 +1,372 @@
+//! The HTTP client side of a shared suite cache: a hand-rolled,
+//! dependency-free HTTP/1.1 client over [`std::net::TcpStream`] that
+//! speaks `transform-serve`'s tiny protocol.
+//!
+//! | request | meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + entry count |
+//! | `GET /v1/index` | the store's entry index ([`crate::index::encode`] bytes) |
+//! | `HEAD /v1/suite/<fingerprint>` | does a sealed entry exist? |
+//! | `GET /v1/suite/<fingerprint>` | the sealed entry's bytes |
+//! | `PUT /v1/suite/<fingerprint>` | upload a sealed entry (idempotent) |
+//!
+//! Every payload is already self-validating (the sealed suite format and
+//! the index encoding both carry checksums), so the transport adds no
+//! integrity layer of its own: receivers validate what they got, exactly
+//! as they would for local files. Requests are one-shot
+//! (`Connection: close`) — suite transfers dominate any keep-alive
+//! saving, and one connection per request keeps both ends trivial.
+
+use crate::fingerprint::Fingerprint;
+use crate::index::IndexEntry;
+use crate::store::StoreError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest response body the client will buffer (1 GiB) — far above any
+/// real suite, low enough that a misbehaving server cannot exhaust
+/// memory.
+const MAX_BODY: u64 = 1 << 30;
+
+/// The remote half of a tiered suite cache: one `transform serve`
+/// endpoint, addressed as `http://host:port`.
+#[derive(Clone, Debug)]
+pub struct HttpTier {
+    host: String,
+    port: u16,
+    timeout: Duration,
+}
+
+impl HttpTier {
+    /// Parses `http://host:port` (an optional trailing `/` is allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the URL is not of that shape.
+    pub fn new(url: &str) -> Result<HttpTier, StoreError> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| StoreError::Remote(format!("`{url}`: only http:// URLs are served")))?;
+        let rest = rest.strip_suffix('/').unwrap_or(rest);
+        let bad = || {
+            StoreError::Remote(format!(
+                "`{url}`: expected http://host:port (no path, no credentials)"
+            ))
+        };
+        let (host, port) = rest.rsplit_once(':').ok_or_else(bad)?;
+        if host.is_empty() || host.contains('/') || host.contains('@') {
+            return Err(bad());
+        }
+        let port: u16 = port.parse().map_err(|_| bad())?;
+        Ok(HttpTier {
+            host: host.to_string(),
+            port,
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// Overrides the per-request connect/read/write timeout (default
+    /// 30 s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> HttpTier {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The endpoint in URL form, `http://host:port`.
+    pub fn url(&self) -> String {
+        format!("http://{}:{}", self.host, self.port)
+    }
+
+    /// One request/response exchange. Returns the status code and body.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), StoreError> {
+        let remote =
+            |e: std::io::Error| StoreError::Remote(format!("{method} {}{path}: {e}", self.url()));
+        let mut stream = TcpStream::connect((self.host.as_str(), self.port)).map_err(remote)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(remote)?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(remote)?;
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}:{}\r\nConnection: close\r\n",
+            self.host, self.port
+        );
+        if let Some(body) = body {
+            request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        request.push_str("\r\n");
+        stream.write_all(request.as_bytes()).map_err(remote)?;
+        if let Some(body) = body {
+            stream.write_all(body).map_err(remote)?;
+        }
+
+        let (status, headers, early_body) = read_head(&mut stream)
+            .map_err(|e| StoreError::Remote(format!("{method} {}{path}: {e}", self.url())))?;
+        let declared = content_length(&headers)
+            .map_err(|e| StoreError::Remote(format!("{method} {}{path}: {e}", self.url())))?;
+        let mut body = early_body;
+        if method == "HEAD" {
+            return Ok((status, Vec::new()));
+        }
+        match declared {
+            Some(len) if len > MAX_BODY => {
+                return Err(StoreError::Remote(format!(
+                    "{method} {}{path}: response body of {len} bytes exceeds the {MAX_BODY}-byte cap",
+                    self.url()
+                )));
+            }
+            Some(len) => {
+                let len = len as usize;
+                if body.len() > len {
+                    return Err(StoreError::Remote(format!(
+                        "{method} {}{path}: more body bytes than Content-Length declared",
+                        self.url()
+                    )));
+                }
+                let mut rest = vec![0u8; len - body.len()];
+                stream.read_exact(&mut rest).map_err(|e| {
+                    StoreError::Remote(format!(
+                        "{method} {}{path}: truncated response body: {e}",
+                        self.url()
+                    ))
+                })?;
+                body.extend_from_slice(&rest);
+            }
+            None => {
+                // Connection: close and no declared length — read to EOF.
+                let mut rest = Vec::new();
+                stream
+                    .take(MAX_BODY.saturating_sub(body.len() as u64))
+                    .read_to_end(&mut rest)
+                    .map_err(remote)?;
+                body.extend_from_slice(&rest);
+            }
+        }
+        Ok((status, body))
+    }
+
+    /// `GET /healthz`: the server's liveness line.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable or unwell.
+    pub fn health(&self) -> Result<String, StoreError> {
+        let (status, body) = self.exchange("GET", "/healthz", None)?;
+        if status != 200 {
+            return Err(StoreError::Remote(format!(
+                "{}/healthz returned status {status}",
+                self.url()
+            )));
+        }
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// `HEAD /v1/suite/<fp>`: whether the remote holds a sealed entry.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable or answers
+    /// with an unexpected status.
+    pub fn exists(&self, fp: Fingerprint) -> Result<bool, StoreError> {
+        let (status, _) = self.exchange("HEAD", &suite_path(fp), None)?;
+        match status {
+            200 => Ok(true),
+            404 => Ok(false),
+            other => Err(StoreError::Remote(format!(
+                "HEAD {}{} returned status {other}",
+                self.url(),
+                suite_path(fp)
+            ))),
+        }
+    }
+
+    /// `GET /v1/index`: the remote store's entry index, checksum-valid —
+    /// what `store pull` enumerates.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] on transport trouble;
+    /// [`StoreError::Corrupt`]/[`StoreError::Version`] when the index
+    /// bytes fail validation.
+    pub fn index(&self) -> Result<Vec<IndexEntry>, StoreError> {
+        let (status, body) = self.exchange("GET", "/v1/index", None)?;
+        if status != 200 {
+            return Err(StoreError::Remote(format!(
+                "{}/v1/index returned status {status}",
+                self.url()
+            )));
+        }
+        crate::index::decode(&body)
+    }
+
+    /// `GET /v1/suite/<fp>`: the sealed entry's bytes, or `None` when
+    /// the remote does not hold it. The bytes are *not yet validated* —
+    /// install them through [`crate::Store::install_bytes`], which
+    /// refuses anything damaged.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable, truncates
+    /// the response, or answers with an unexpected status.
+    pub fn fetch(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        let (status, body) = self.exchange("GET", &suite_path(fp), None)?;
+        match status {
+            200 => Ok(Some(body)),
+            404 => Ok(None),
+            other => Err(StoreError::Remote(format!(
+                "GET {}{} returned status {other}",
+                self.url(),
+                suite_path(fp)
+            ))),
+        }
+    }
+
+    /// `PUT /v1/suite/<fp>`: uploads a sealed entry. Idempotent — the
+    /// server accepts a re-upload of an existing entry without rewriting
+    /// it (content addressing makes entries immutable).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable or rejects
+    /// the upload (it validates every byte before publishing).
+    pub fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        let (status, body) = self.exchange("PUT", &suite_path(fp), Some(bytes))?;
+        match status {
+            200 | 201 => Ok(()),
+            other => Err(StoreError::Remote(format!(
+                "PUT {}{} returned status {other}: {}",
+                self.url(),
+                suite_path(fp),
+                String::from_utf8_lossy(&body).trim()
+            ))),
+        }
+    }
+}
+
+/// The wire path of one sealed entry.
+fn suite_path(fp: Fingerprint) -> String {
+    format!("/v1/suite/{}", fp.hex())
+}
+
+/// A parsed response head: status code, lowercased headers, and any
+/// body bytes that arrived in the same reads.
+type ResponseHead = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Reads the status line and headers (everything up to the blank line),
+/// returning any body bytes that arrived in the same reads.
+fn read_head(stream: &mut TcpStream) -> Result<ResponseHead, String> {
+    // Headers comfortably fit 16 KiB; a server that sends more is not ours.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(at) = find_blank_line(&buf) {
+            break at;
+        }
+        if buf.len() > 16 * 1024 {
+            return Err("response headers exceed 16 KiB".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed before response headers completed".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 response headers")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status = parse_status_line(status_line)?;
+    let headers = lines
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let (name, value) = l.split_once(':').ok_or(format!("malformed header `{l}`"))?;
+            Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok((status, headers, buf[head_end + 4..].to_vec()))
+}
+
+/// Byte offset of the `\r\n\r\n` separating headers from body.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `HTTP/1.1 200 OK` → `200`.
+fn parse_status_line(line: &str) -> Result<u16, String> {
+    let mut parts = line.split_whitespace();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("not an HTTP/1.x response: `{line}`"));
+    }
+    parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("malformed status line `{line}`"))
+}
+
+/// The declared `Content-Length`, if any.
+fn content_length(headers: &[(String, String)]) -> Result<Option<u64>, String> {
+    match headers.iter().find(|(name, _)| name == "content-length") {
+        None => Ok(None),
+        Some((_, value)) => value
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("malformed Content-Length `{value}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_accepts_host_port_only() {
+        let t = HttpTier::new("http://127.0.0.1:7171").expect("parses");
+        assert_eq!(t.url(), "http://127.0.0.1:7171");
+        let t = HttpTier::new("http://cache.internal:80/").expect("parses");
+        assert_eq!(t.url(), "http://cache.internal:80");
+        for bad in [
+            "https://127.0.0.1:7171",
+            "127.0.0.1:7171",
+            "http://127.0.0.1",
+            "http://127.0.0.1:notaport",
+            "http://:7171",
+            "http://user@host:7171",
+            "http://host:7171/path",
+        ] {
+            assert!(HttpTier::new(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn status_lines_and_lengths_parse() {
+        assert_eq!(parse_status_line("HTTP/1.1 200 OK").unwrap(), 200);
+        assert_eq!(parse_status_line("HTTP/1.0 404 Not Found").unwrap(), 404);
+        assert!(parse_status_line("ICY 200 OK").is_err());
+        assert!(parse_status_line("HTTP/1.1").is_err());
+        let headers = vec![("content-length".to_string(), "42".to_string())];
+        assert_eq!(content_length(&headers).unwrap(), Some(42));
+        assert_eq!(content_length(&[]).unwrap(), None);
+        let bad = vec![("content-length".to_string(), "many".to_string())];
+        assert!(content_length(&bad).is_err());
+    }
+
+    #[test]
+    fn unreachable_hosts_are_remote_errors() {
+        // Port 1 on localhost: reliably refused, never listened on.
+        let t = HttpTier::new("http://127.0.0.1:1")
+            .expect("parses")
+            .with_timeout(Duration::from_millis(200));
+        match t.health() {
+            Err(StoreError::Remote(_)) => {}
+            other => panic!("expected a remote error, got {other:?}"),
+        }
+    }
+}

@@ -62,6 +62,11 @@ pub enum StoreError {
     /// The file's bytes fail validation: bad magic, checksum mismatch,
     /// truncation, or undecodable structure.
     Corrupt(String),
+    /// A remote cache tier misbehaved: unreachable host, malformed
+    /// response, or an unexpected status. Remote failures are soft for
+    /// the tiered read path (it falls through to synthesis) but surface
+    /// directly from explicit `store push`/`store pull` operations.
+    Remote(String),
 }
 
 impl fmt::Display for StoreError {
@@ -73,6 +78,7 @@ impl fmt::Display for StoreError {
                 "store format version {found} (this build reads {FORMAT_VERSION})"
             ),
             StoreError::Corrupt(m) => write!(f, "store entry corrupt: {m}"),
+            StoreError::Remote(m) => write!(f, "remote cache: {m}"),
         }
     }
 }
@@ -284,6 +290,73 @@ impl Store {
         }
         crate::index::write(&self.root, &entries)?;
         Ok(entries.len())
+    }
+
+    /// The raw bytes of a sealed entry, or `None` when no entry exists
+    /// for `fp` — the payload `store push` and the HTTP server transfer.
+    /// The bytes are the self-validating sealed format; this does *not*
+    /// re-validate them (receivers always do, via
+    /// [`Store::install_bytes`] or a [`SuiteReader`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the entry exists but cannot be
+    /// read.
+    pub fn entry_bytes(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.entry_path(fp)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Installs sealed-suite bytes received from elsewhere (a remote
+    /// cache tier, an HTTP `PUT`) as the entry for `fp`, after *fully*
+    /// validating them: magic, version, header checksum, the
+    /// fingerprint recorded in the header (which must equal `fp`),
+    /// every record checksum, and the trailer. Nothing is published on
+    /// any failure — corrupt remote bytes can never become a servable
+    /// entry.
+    ///
+    /// Installation is idempotent: entries are content-addressed and
+    /// immutable, so re-installing an existing fingerprint atomically
+    /// replaces the file with identical content.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`]/[`StoreError::Version`] when the bytes
+    /// fail validation; [`StoreError::Io`] when staging or renaming
+    /// fails.
+    pub fn install_bytes(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        // pid + nonce: concurrent installers of the same entry stage to
+        // disjoint files; every rename publishes identical content.
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let nonce = NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let staged = self.root.join(format!(
+            "tmp-install-{}-{}-{nonce}",
+            fp.hex(),
+            std::process::id()
+        ));
+        fs::write(&staged, bytes)?;
+        let validated = (|| -> Result<EntryMeta, StoreError> {
+            let mut reader = SuiteReader::open(&staged, Some(fp))?;
+            let meta = reader.meta().clone();
+            for record in reader.by_ref() {
+                record?;
+            }
+            Ok(meta)
+        })();
+        match validated {
+            Ok(meta) => {
+                fs::rename(&staged, self.entry_path(fp))?;
+                crate::index::update_on_seal(&self.root, fp, &meta);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&staged);
+                Err(e)
+            }
+        }
     }
 
     /// The last-modified time of a sealed entry — the age `store gc`

@@ -1,0 +1,319 @@
+//! Cache tiering: a local store directory backed by an optional shared
+//! remote tier, with read-through population and push-on-seal.
+//!
+//! The lookup order for one synthesis key:
+//!
+//! 1. **Local tier** — a sealed entry in the local [`Store`] is served
+//!    directly (and validated record-by-record, as always).
+//! 2. **Remote tier** — on a local miss, the remote tier is asked for
+//!    the sealed bytes. A remote hit is *installed into the local tier
+//!    first* ([`Store::install_bytes`] fully validates every byte before
+//!    publishing), then served from there — so the next lookup is a
+//!    local hit, and corrupt remote bytes can never be served.
+//! 3. **Synthesis** — on a miss everywhere, the suite is synthesized,
+//!    sealed locally, and the sealed bytes are *pushed* to the remote
+//!    tier (best-effort), turning this run's work into a fleet-wide
+//!    asset. The push is gated on [`transform_par::SuiteSink::run_done`]
+//!    reporting a completed (un-timed-out) run — partial suites are
+//!    never sealed, hence never pushed.
+//!
+//! Remote failures are soft on this read path: an unreachable or
+//! misbehaving remote degrades the tiered cache to the local-only one.
+//! Only genuine local i/o failures surface as errors.
+
+use crate::cache::CacheStatus;
+use crate::fingerprint::{suite_fingerprint, Fingerprint};
+use crate::store::{read_suite, EntryMeta, PendingSuite, Store, StoreError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use transform_core::axiom::Mtm;
+use transform_par::{synthesize_suite_streamed, SuiteSink};
+use transform_synth::{ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions};
+
+/// One tier of a layered suite cache: somewhere sealed-suite bytes can
+/// be fetched from and published to, keyed by [`Fingerprint`].
+///
+/// Implementations: [`Store`] (a local directory) and
+/// [`crate::HttpTier`] (a `transform serve` endpoint). Entries are
+/// content-addressed and immutable, so tiers never need invalidation —
+/// a fingerprint either resolves to the canonical bytes or to nothing.
+pub trait CacheTier: Sync {
+    /// A human-readable name for error messages and logs.
+    fn describe(&self) -> String;
+
+    /// The sealed bytes for `fp`, or `None` when this tier does not
+    /// hold the entry. Callers must treat the bytes as untrusted until
+    /// validated (e.g. by [`Store::install_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Tier-specific trouble: i/o for directory tiers,
+    /// [`StoreError::Remote`] for HTTP tiers.
+    fn fetch(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Publishes sealed bytes for `fp` into this tier. Idempotent: the
+    /// entry is immutable, so publishing an already-present fingerprint
+    /// is a no-op-equivalent success.
+    ///
+    /// # Errors
+    ///
+    /// Tier-specific trouble, or validation failure for tiers that
+    /// verify on ingest.
+    fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError>;
+}
+
+impl CacheTier for Store {
+    fn describe(&self) -> String {
+        format!("local store {}", self.root().display())
+    }
+
+    fn fetch(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        self.entry_bytes(fp)
+    }
+
+    fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        self.install_bytes(fp, bytes)
+    }
+}
+
+impl CacheTier for crate::remote::HttpTier {
+    fn describe(&self) -> String {
+        format!("remote cache {}", self.url())
+    }
+
+    fn fetch(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        crate::remote::HttpTier::fetch(self, fp)
+    }
+
+    fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        crate::remote::HttpTier::publish(self, fp, bytes)
+    }
+}
+
+/// A local suite store optionally backed by a shared remote tier.
+///
+/// # Examples
+///
+/// ```
+/// use transform_core::spec::parse_mtm;
+/// use transform_store::{Store, TieredCache};
+/// use transform_synth::SynthOptions;
+///
+/// let mtm = parse_mtm(
+///     "mtm demo {
+///        axiom sc_per_loc: acyclic(rf | co | fr | po_loc)
+///      }",
+/// ).expect("spec parses");
+/// let mut opts = SynthOptions::new(4);
+/// opts.enumeration.allow_fences = false;
+/// opts.enumeration.allow_rmw = false;
+/// let dir = std::env::temp_dir().join(format!("tfs-tier-doc-{}", std::process::id()));
+/// // No remote configured: the tiered cache degrades to the local store.
+/// let cache = TieredCache::new(Store::open(&dir).expect("store opens"));
+///
+/// let (cold, cold_status) =
+///     cache.cached_or_synthesize(&mtm, "sc_per_loc", &opts, 2).expect("synthesizes");
+/// let (warm, warm_status) =
+///     cache.cached_or_synthesize(&mtm, "sc_per_loc", &opts, 2).expect("reads");
+/// assert!(!cold_status.is_hit());
+/// assert!(warm_status.is_hit());
+/// assert_eq!(cold.elts.len(), warm.elts.len());
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct TieredCache {
+    local: Store,
+    remote: Option<Box<dyn CacheTier>>,
+}
+
+impl TieredCache {
+    /// A local-only tiered cache (no remote fallthrough).
+    pub fn new(local: Store) -> TieredCache {
+        TieredCache {
+            local,
+            remote: None,
+        }
+    }
+
+    /// Adds a remote tier behind the local one.
+    #[must_use]
+    pub fn with_remote(mut self, remote: Box<dyn CacheTier>) -> TieredCache {
+        self.remote = Some(remote);
+        self
+    }
+
+    /// The local tier.
+    pub fn local(&self) -> &Store {
+        &self.local
+    }
+
+    /// The remote tier, when one is configured.
+    pub fn remote(&self) -> Option<&dyn CacheTier> {
+        self.remote.as_deref()
+    }
+
+    /// Serves the per-axiom suite through the tiers: local, then remote
+    /// (read-through: a remote hit is validated into the local tier and
+    /// served from there), then synthesis (sealed locally and pushed to
+    /// the remote, best-effort). See [`crate::cached_or_synthesize`] for
+    /// the local-only contract this extends.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine local i/o failures; remote trouble and validation
+    /// failures degrade to the next tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axiom` is not part of `mtm` (as every synthesis
+    /// entry point does).
+    pub fn cached_or_synthesize(
+        &self,
+        mtm: &Mtm,
+        axiom: &str,
+        opts: &SynthOptions,
+        jobs: usize,
+    ) -> Result<(Suite, CacheStatus), StoreError> {
+        run_tiered(&self.local, self.remote.as_deref(), mtm, axiom, opts, jobs)
+    }
+}
+
+/// The tiered lookup shared by [`TieredCache::cached_or_synthesize`] and
+/// the local-only [`crate::cached_or_synthesize`] (which passes no
+/// remote).
+pub(crate) fn run_tiered(
+    local: &Store,
+    remote: Option<&dyn CacheTier>,
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> Result<(Suite, CacheStatus), StoreError> {
+    assert!(
+        mtm.axiom(axiom).is_some(),
+        "axiom `{axiom}` is not part of {}",
+        mtm.name()
+    );
+    let fp = suite_fingerprint(mtm, axiom, opts);
+    let mut status = CacheStatus::Miss;
+
+    // Tier 1: the local store.
+    if local.contains(fp) {
+        match read_entry(local, fp, axiom) {
+            Ok(suite) => return Ok((suite, CacheStatus::Hit)),
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(invalid) => {
+                local.remove(fp)?;
+                status = CacheStatus::Rebuilt {
+                    reason: invalid.to_string(),
+                };
+            }
+        }
+    }
+
+    // Tier 2: the remote, read-through. Every failure mode here is
+    // soft — unreachable remote, damaged payload, local validation
+    // refusing the bytes — and degrades to synthesis; only local disk
+    // trouble while publishing the validated entry is hard.
+    if let Some(remote) = remote {
+        if let Ok(Some(bytes)) = remote.fetch(fp) {
+            match local.install_bytes(fp, &bytes) {
+                Ok(()) => match read_entry(local, fp, axiom) {
+                    Ok(suite) => return Ok((suite, CacheStatus::RemoteHit)),
+                    Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                    Err(_invalid) => {
+                        // The bytes validated internally but are not the
+                        // requested suite (e.g. a misbehaving remote whose
+                        // entry names another axiom): evict the installed
+                        // entry and fall through to synthesis.
+                        local.remove(fp)?;
+                    }
+                },
+                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                Err(_invalid) => {
+                    // Corrupt remote bytes: never installed, never
+                    // served. Fall through to synthesis.
+                }
+            }
+        }
+    }
+
+    // Tier 3: synthesize, seal locally, push the sealed bytes.
+    let pending = local.begin(fp, EntryMeta::describe(mtm, axiom, opts))?;
+    // The gate's scope ends before `pending` is sealed or dismantled —
+    // it only lives for the streaming run it observes.
+    let (stats, completed) = {
+        let gate = PushGate::new(&pending);
+        let stats = synthesize_suite_streamed(mtm, axiom, opts, jobs, &gate);
+        let completed = gate.completed();
+        (stats, completed)
+    };
+    if stats.timed_out {
+        let suite = pending.into_suite(&stats)?;
+        return Ok((
+            suite,
+            CacheStatus::Uncached {
+                reason: "synthesis timed out; partial suites are never cached".into(),
+            },
+        ));
+    }
+    pending.seal(&stats)?;
+    if let Some(remote) = remote {
+        if completed {
+            // Best-effort: a failed push costs the fleet a warm entry,
+            // never this run its result.
+            if let Ok(Some(bytes)) = local.entry_bytes(fp) {
+                let _ = remote.publish(fp, &bytes);
+            }
+        }
+    }
+    let suite = read_entry(local, fp, axiom)?;
+    Ok((suite, status))
+}
+
+/// The [`SuiteSink`] adapter behind push-on-seal: forwards every shard
+/// to the local pending entry and, through the [`SuiteSink::run_done`]
+/// hook, records whether the run completed — the gate that lets the
+/// tiered cache push the sealed artifact to the remote tier.
+struct PushGate<'a> {
+    pending: &'a PendingSuite,
+    complete: AtomicBool,
+}
+
+impl<'a> PushGate<'a> {
+    fn new(pending: &'a PendingSuite) -> PushGate<'a> {
+        PushGate {
+            pending,
+            complete: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether `run_done` reported a completed (un-timed-out) run.
+    fn completed(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+}
+
+impl SuiteSink for PushGate<'_> {
+    fn shard_done(&self, stats: ShardStats, records: Vec<SuiteRecord>) {
+        self.pending.shard_done(stats, records);
+    }
+
+    fn run_done(&self, stats: &SuiteStats) {
+        if !stats.timed_out {
+            self.complete.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Reads and fully validates one sealed local entry, also cross-checking
+/// that its metadata names the expected axiom (a fingerprint collision
+/// or a renamed file would otherwise serve the wrong suite).
+pub(crate) fn read_entry(store: &Store, fp: Fingerprint, axiom: &str) -> Result<Suite, StoreError> {
+    let reader = store.open_suite(fp)?;
+    if reader.meta().axiom != axiom {
+        return Err(StoreError::Corrupt(format!(
+            "entry is for axiom `{}`, expected `{axiom}`",
+            reader.meta().axiom
+        )));
+    }
+    read_suite(reader)
+}
