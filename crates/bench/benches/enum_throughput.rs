@@ -14,6 +14,14 @@
 //!   enumeration at once, the streamed pipeline holds at most a few
 //!   partitions (`StreamMetrics::peak_live_candidates`).
 //!
+//! * fused cross-axiom synthesis: the shared-plan two-phase baseline
+//!   (`synthesize_all_jobs_eager`) vs the fused all-axiom stream
+//!   (`synthesize_all_jobs`), same per-axiom suites;
+//! * balance modes: partition counts and mass distribution of the
+//!   depth-2 split vs mass-estimated splitting
+//!   (`EnumSpace::balanced_for_target`), plus the streamed enumeration
+//!   wall-clock of each.
+//!
 //! Besides the per-point measurements, the run writes the numbers to
 //! `BENCH_enum.json` at the workspace root so the perf trajectory is
 //! tracked across PRs.
@@ -23,10 +31,10 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use transform_par::{
-    default_jobs, synthesize_suite_jobs_eager, synthesize_suite_streamed_metrics, StreamMetrics,
-    SuiteSink,
+    default_jobs, synthesize_all_jobs, synthesize_all_jobs_eager, synthesize_suite_jobs_eager,
+    synthesize_suite_streamed_metrics, StreamMetrics, SuiteSink,
 };
-use transform_synth::programs::EnumSpace;
+use transform_synth::programs::{Balance, EnumSpace};
 use transform_synth::{ShardStats, SuiteRecord, SynthOptions};
 use transform_x86::x86t_elt;
 
@@ -174,6 +182,87 @@ fn json_point(p: &Point) -> String {
     )
 }
 
+/// One balance mode's split of the bound-5 `--fences --rmw` space:
+/// partition counts, the mass distribution, and the streamed
+/// enumeration wall-clock.
+struct BalancePoint {
+    mode: Balance,
+    partitions: usize,
+    total_mass: u64,
+    max_mass: u64,
+    enum_secs: f64,
+}
+
+fn measure_balance(bound: usize) -> Vec<BalancePoint> {
+    let o = opts(bound);
+    let target = jobs() * 8;
+    [Balance::Depth, Balance::Mass]
+        .into_iter()
+        .map(|mode| {
+            let space = match mode {
+                Balance::Depth => EnumSpace::with_target_partitions(&o.enumeration, target),
+                Balance::Mass => EnumSpace::balanced_for_target(&o.enumeration, target),
+            };
+            let masses = space.masses();
+            let start = Instant::now();
+            let streamed = space.stream().count();
+            let enum_secs = start.elapsed().as_secs_f64();
+            assert!(streamed > 0);
+            BalancePoint {
+                mode,
+                partitions: space.partition_count(),
+                total_mass: masses.iter().sum(),
+                max_mass: masses.iter().copied().max().unwrap_or(0),
+                enum_secs,
+            }
+        })
+        .collect()
+}
+
+/// The fused cross-axiom run vs the shared-plan two-phase baseline:
+/// every axiom of x86t_elt in one pass, same suites both ways.
+struct AllAxiomsPoint {
+    bound: usize,
+    axioms: usize,
+    elts_total: usize,
+    eager_secs: f64,
+    fused_secs: f64,
+}
+
+fn measure_all_axioms(bound: usize) -> AllAxiomsPoint {
+    let mtm = x86t_elt();
+    let o = opts(bound);
+    let jobs = jobs();
+
+    let start = Instant::now();
+    let eager = synthesize_all_jobs_eager(&mtm, &o, jobs);
+    let eager_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let fused = synthesize_all_jobs(&mtm, &o, jobs);
+    let fused_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(eager.len(), fused.len());
+    for (axiom, a) in &eager {
+        let b = &fused[axiom];
+        assert_eq!(
+            a.elts.len(),
+            b.elts.len(),
+            "{axiom}: fused all-axiom run diverged from the shared-plan baseline"
+        );
+        for (x, y) in a.elts.iter().zip(&b.elts) {
+            assert_eq!(x.program, y.program, "{axiom}");
+        }
+    }
+    AllAxiomsPoint {
+        bound,
+        axioms: fused.len(),
+        elts_total: fused.values().map(|s| s.elts.len()).sum(),
+        eager_secs,
+        fused_secs,
+    }
+}
+
 fn throughput_summary(_c: &mut Criterion) {
     let points: Vec<Point> = [5usize, 6].iter().map(|&b| measure(b)).collect();
     for p in &points {
@@ -195,16 +284,74 @@ fn throughput_summary(_c: &mut Criterion) {
             p.metrics.batches,
         );
     }
+    let balance = measure_balance(5);
+    for b in &balance {
+        println!(
+            "enum_throughput balance: {} split at bound 5 --fences --rmw: \
+             {} partitions, max mass {} of {} total, streamed in {:.3}s",
+            b.mode.name(),
+            b.partitions,
+            b.max_mass,
+            b.total_mass,
+            b.enum_secs,
+        );
+    }
+    let all = measure_all_axioms(4);
+    println!(
+        "enum_throughput all-axioms: {} axioms @ bound {} --fences --rmw on {} workers: \
+         shared-plan eager {:.3}s vs fused {:.3}s ({:.2}x), {} ELTs total",
+        all.axioms,
+        all.bound,
+        jobs(),
+        all.eager_secs,
+        all.fused_secs,
+        all.eager_secs / all.fused_secs.max(f64::EPSILON),
+        all.elts_total,
+    );
+
     let body = points
         .iter()
         .map(json_point)
         .collect::<Vec<_>>()
         .join(",\n    ");
+    let balance_body = balance
+        .iter()
+        .map(|b| {
+            format!(
+                concat!(
+                    "{{\"mode\": \"{}\", \"bound\": 5, \"partitions\": {}, ",
+                    "\"total_mass\": {}, \"max_mass\": {}, \"enum_secs\": {:.6}}}"
+                ),
+                b.mode.name(),
+                b.partitions,
+                b.total_mass,
+                b.max_mass,
+                b.enum_secs,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let all_body = format!(
+        concat!(
+            "{{\"bound\": {}, \"fences\": true, \"rmw\": true, \"axioms\": {}, ",
+            "\"elts_total\": {}, \"synth_all_eager_secs\": {:.6}, ",
+            "\"synth_all_fused_secs\": {:.6}, \"fused_speedup\": {:.3}}}"
+        ),
+        all.bound,
+        all.axioms,
+        all.elts_total,
+        all.eager_secs,
+        all.fused_secs,
+        all.eager_secs / all.fused_secs.max(f64::EPSILON),
+    );
     let json = format!(
         "{{\n  \"bench\": \"enum_throughput\",\n  \"axiom\": \"{AXIOM}\",\n  \
-         \"jobs\": {},\n  \"points\": [\n    {}\n  ]\n}}\n",
+         \"jobs\": {},\n  \"points\": [\n    {}\n  ],\n  \
+         \"balance\": [\n    {}\n  ],\n  \"all_axioms\": {}\n}}\n",
         jobs(),
-        body
+        body,
+        balance_body,
+        all_body,
     );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_enum.json");
     std::fs::write(&path, json).expect("BENCH_enum.json is writable");

@@ -2,7 +2,8 @@
 //! bound) and Fig. 9b (synthesis runtimes).
 //!
 //! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]
-//! [--jobs N] [--cache DIR] [--cache-url URL]`
+//! [--jobs N] [--partition-size N] [--balance mass|depth]
+//! [--cache DIR] [--cache-url URL]`
 //!
 //! With `--cache`, completed points are sealed into a persistent suite
 //! store and later sweeps stream them back instead of resynthesizing —
@@ -27,6 +28,8 @@ fn main() {
     };
     let mut positional = Vec::new();
     let mut take_jobs = false;
+    let mut take_partition = false;
+    let mut take_balance = false;
     let mut take_cache = false;
     let mut take_cache_url = false;
     for a in &args {
@@ -36,6 +39,22 @@ fn main() {
                 std::process::exit(2);
             });
             take_jobs = false;
+            continue;
+        }
+        if take_partition {
+            cfg.partition_size = Some(a.parse().unwrap_or_else(|_| {
+                eprintln!("error: --partition-size takes a number, got `{a}`");
+                std::process::exit(2);
+            }));
+            take_partition = false;
+            continue;
+        }
+        if take_balance {
+            cfg.balance = transform_synth::programs::Balance::parse(a).unwrap_or_else(|| {
+                eprintln!("error: --balance takes `mass` or `depth`, got `{a}`");
+                std::process::exit(2);
+            });
+            take_balance = false;
             continue;
         }
         if take_cache {
@@ -52,6 +71,8 @@ fn main() {
             "--fences" => cfg.allow_fences = true,
             "--rmw" => cfg.allow_rmw = true,
             "--jobs" => take_jobs = true,
+            "--partition-size" => take_partition = true,
+            "--balance" => take_balance = true,
             "--cache" => take_cache = true,
             "--cache-url" => take_cache_url = true,
             other => positional.push(other.to_string()),
@@ -59,6 +80,14 @@ fn main() {
     }
     if take_jobs {
         eprintln!("error: --jobs takes a number");
+        std::process::exit(2);
+    }
+    if take_partition {
+        eprintln!("error: --partition-size takes a number");
+        std::process::exit(2);
+    }
+    if take_balance {
+        eprintln!("error: --balance takes `mass` or `depth`");
         std::process::exit(2);
     }
     if take_cache {
@@ -82,13 +111,14 @@ fn main() {
 
     let mtm = x86t_elt();
     eprintln!(
-        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {}, jobs: {}{})",
+        "sweeping bounds {}..={} with a {:?} budget per point (fences: {}, rmw: {}, jobs: {}, balance: {}{})",
         cfg.min_bound,
         cfg.max_bound,
         cfg.budget,
         cfg.allow_fences,
         cfg.allow_rmw,
         cfg.jobs,
+        cfg.balance.name(),
         match &cfg.cache {
             Some(dir) => format!(
                 ", cache: {}{}",

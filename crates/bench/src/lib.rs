@@ -16,6 +16,7 @@ use std::time::Duration;
 use transform_core::axiom::Mtm;
 use transform_par::synthesize_suite_jobs;
 use transform_store::{HttpTier, Store, TieredCache};
+use transform_synth::programs::Balance;
 use transform_synth::{Suite, SynthOptions};
 
 /// One point of the Fig. 9 sweep.
@@ -49,6 +50,12 @@ pub struct SweepConfig {
     pub allow_rmw: bool,
     /// Worker threads per suite (`transform-par`); 1 = sequential engine.
     pub jobs: usize,
+    /// Examine-batch granularity for the streaming engine (`None`
+    /// autotunes). Pure scheduling — never changes a suite.
+    pub partition_size: Option<usize>,
+    /// How the streaming engine splits the enumeration into work
+    /// partitions. Pure scheduling — never changes a suite.
+    pub balance: Balance,
     /// A persistent suite store (`transform-store`): completed points
     /// are sealed into it and later sweeps stream them back instead of
     /// resynthesizing. `None` = always synthesize.
@@ -69,6 +76,8 @@ impl Default for SweepConfig {
             allow_fences: false,
             allow_rmw: false,
             jobs: 1,
+            partition_size: None,
+            balance: Balance::default(),
             cache: None,
             cache_url: None,
         }
@@ -101,6 +110,8 @@ pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
             opts.enumeration.allow_fences = cfg.allow_fences;
             opts.enumeration.allow_rmw = cfg.allow_rmw;
             opts.timeout = Some(cfg.budget);
+            opts.partition_size = cfg.partition_size;
+            opts.balance = cfg.balance;
             let suite = match &cache {
                 Some(cache) => {
                     cache

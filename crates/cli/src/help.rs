@@ -24,6 +24,13 @@ const PARTITION_FLAG: &str = "\
                          (`auto` adapts to observed throughput); scheduling
                          only — it never changes the suite";
 
+/// The shared description of `--balance`, verbatim wherever it applies.
+const BALANCE_FLAG: &str = "\
+  --balance mass|depth   how the enumeration splits into work partitions:
+                         `mass` (default) sizes partitions by estimated
+                         subtree work, `depth` is the fixed-depth baseline;
+                         scheduling only — it never changes the suite";
+
 /// The `--help` text of one subcommand (`store` takes the sub-subcommand
 /// when one was given). `None` for unknown commands.
 pub fn help_for(cmd: &str, store_sub: Option<&str>) -> Option<String> {
@@ -67,18 +74,22 @@ example:
         .to_string(),
         "synthesize" => format!(
             "\
-usage: transform synthesize --axiom A --bound N [--mtm M] [--max-threads T]
-           [--fences] [--rmw] [--timeout-secs S] [--quiet]
-           [--jobs N|auto] [--backend explicit|relational]
-           [--partition-size N|auto] [--cache DIR] [--cache-url URL]
-           [--out FILE]
+usage: transform synthesize --axiom A|--all --bound N [--mtm M]
+           [--max-threads T] [--fences] [--rmw] [--timeout-secs S]
+           [--quiet] [--jobs N|auto] [--backend explicit|relational]
+           [--partition-size N|auto] [--balance mass|depth]
+           [--cache DIR] [--cache-url URL] [--out FILE]
 
 Synthesize the per-axiom spanning-set suite of enhanced litmus tests at
-an instruction bound. The suite is byte-identical for every --jobs and
---partition-size.
+an instruction bound — one axiom, or with --all every axiom of the MTM
+through one fused run (the program space is enumerated once; no shared
+plan is built before workers start, and each axiom's suite is sealed
+into the cache the moment that axiom finishes). Every suite is
+byte-identical for every --jobs, --partition-size, and --balance.
 
 flags:
-  --axiom A              the MTM axiom to violate (required)
+  --axiom A              the MTM axiom to violate
+  --all                  every axiom of the MTM, in one fused run
   --bound N              instruction bound (required)
   --mtm M                `x86t_elt` (default), `x86tso`, or a spec file path
   --max-threads T        cap threads in enumerated programs
@@ -91,28 +102,34 @@ flags:
   --quiet                suppress the ELT listing
   --out FILE             write the ELTs to FILE instead of stdout
 {PARTITION_FLAG}
+{BALANCE_FLAG}
 
 caching:
 {CACHE_FLAGS}
 
 example:
-  transform synthesize --axiom invlpg --bound 5 --fences --rmw --jobs auto \\
+  transform synthesize --all --bound 5 --fences --rmw --jobs auto \\
       --cache store --cache-url http://cache.internal:7171
 "
         ),
         "compare" => format!(
             "\
 usage: transform compare [--bound N] [--timeout-secs S] [--jobs N|auto]
+           [--partition-size N|auto] [--balance mass|depth]
            [--cache DIR] [--cache-url URL]
 
 The paper's §VI-B comparison: synthesize every x86t_elt per-axiom suite
+(one fused run — the program space is enumerated once for all axioms)
 and compare the synthesized programs against the reconstructed
 COATCheck suite.
 
 flags:
   --bound N              instruction bound (default 7)
-  --timeout-secs S       per-axiom budget (default 60)
-  --jobs N|auto          worker threads
+  --timeout-secs S       budget for the whole fused run (default 300);
+                         axioms that finished before the cut stay complete
+  --jobs N|auto          worker threads (`auto` = all cores)
+{PARTITION_FLAG}
+{BALANCE_FLAG}
 
 caching:
 {CACHE_FLAGS}
@@ -187,9 +204,11 @@ usage: transform serve --root DIR [--addr HOST:PORT] [--threads N]
 Serve a suite store over HTTP as a fleet-wide shared cache. Clients
 point `--cache-url` at it: GET/HEAD /v1/suite/<fingerprint> serves
 sealed entries, PUT uploads them (validated byte-for-byte before
-sealing, idempotent), GET /v1/index serves the entry index, and
-GET /healthz reports liveness. Entries are content-addressed and
-immutable, so serving is replication-safe by construction.
+sealing, idempotent), GET /v1/index serves the entry index,
+GET /healthz reports liveness, and GET /v1/metrics exposes the request
+counters (requests, hits, puts, bytes) as Prometheus-style plaintext.
+Entries are content-addressed and immutable, so serving is
+replication-safe by construction.
 
 flags:
   --root DIR             the store directory to serve (required; created

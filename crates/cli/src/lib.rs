@@ -39,13 +39,14 @@ use transform_core::axiom::Mtm;
 use transform_core::spec::parse_mtm;
 use transform_core::{figures, pretty, vocab};
 use transform_litmus::format::{parse_elt, print_elt};
-use transform_par::{default_jobs, synthesize_suite_jobs};
+use transform_par::{synthesize_all_jobs, synthesize_suite_jobs};
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
 use transform_store::{
-    cached_or_synthesize, CacheTier, EntryMeta, Fingerprint, HttpTier, Store, TieredCache,
+    cached_or_synthesize, cached_or_synthesize_all, CacheTier, EntryMeta, Fingerprint, HttpTier,
+    Store, TieredCache,
 };
 use transform_synth::engine::{Backend, Suite, SynthOptions};
-use transform_synth::programs::{Program, SlotOp};
+use transform_synth::programs::{Balance, Program, SlotOp};
 use transform_synth::SuiteRecord;
 use transform_x86::{compare_suite, synthesized_keys, x86_tso, x86t_elt};
 
@@ -57,13 +58,14 @@ commands:
   table1                        print the MTM vocabulary (Table I)
   figures [--dot NAME]          evaluate the paper figures under x86t_elt
   check FILE|- [--mtm M]        verdict for an ELT file (text syntax)
-  synthesize --axiom A --bound N [--mtm M] [--max-threads T]
+  synthesize --axiom A|--all --bound N [--mtm M] [--max-threads T]
              [--fences] [--rmw] [--timeout-secs S] [--quiet]
              [--jobs N|auto] [--backend explicit|relational]
-             [--partition-size N|auto] [--cache DIR] [--cache-url URL]
-             [--out FILE]
-  compare --bound N [--timeout-secs S] [--jobs N|auto] [--cache DIR]
-          [--cache-url URL]
+             [--partition-size N|auto] [--balance mass|depth]
+             [--cache DIR] [--cache-url URL] [--out FILE]
+  compare --bound N [--timeout-secs S] [--jobs N|auto]
+          [--partition-size N|auto] [--balance mass|depth]
+          [--cache DIR] [--cache-url URL]
   simulate FILE|- [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
   query --cache DIR [--mtm-name M] [--axiom A] [--bound N]
         [--backend B] [--shape S] [--fences] [--rmw]
@@ -80,9 +82,14 @@ worked example.
 
 --mtm accepts `x86t_elt` (default), `x86tso`, or a path to a spec file.
 --jobs runs synthesis on N worker threads (`auto` = all cores); the
-suite is byte-identical for every N. --partition-size pins the
-streaming engine's examine-batch granularity (`auto`, the default,
-adapts it to the observed throughput); it never changes the suite.
+suite is byte-identical for every N. `synthesize --all` streams every
+axiom of the MTM through one fused run (the program space is
+enumerated once; no shared plan is built up front). --partition-size
+pins the streaming engine's examine-batch granularity (`auto`, the
+default, adapts it to the observed throughput); --balance picks how
+the enumeration splits into work units (`mass`, the default, sizes
+partitions by estimated subtree work; `depth` is the fixed-depth
+baseline). Neither ever changes the suite.
 --cache makes synthesis stream from / seal into a persistent suite
 store keyed on (MTM, axiom, bound, options); corrupt or stale entries
 are detected by checksums and rebuilt. --cache-url adds a shared
@@ -200,9 +207,8 @@ fn cmd_check(mut opts: Opts) -> Result<String, String> {
 }
 
 fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
-    let axiom = opts
-        .value("--axiom")
-        .ok_or("synthesize needs --axiom <name>")?;
+    let axiom = opts.value("--axiom");
+    let all = opts.flag("--all");
     let bound: usize = opts
         .value("--bound")
         .ok_or("synthesize needs --bound <events>")?
@@ -225,40 +231,69 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         sopts.backend = parse_backend(&b)?;
     }
     sopts.partition_size = parse_partition_size(opts.value("--partition-size"))?;
-    let jobs = parse_jobs(opts.value("--jobs"))?;
+    if let Some(b) = opts.value("--balance") {
+        sopts.balance = parse_balance(&b)?;
+    }
+    let jobs = opts.jobs()?;
     let quiet = opts.flag("--quiet");
     let cache = opts.value("--cache");
     let cache_url = opts.value("--cache-url");
     let out_file = opts.value("--out");
     opts.finish()?;
-    if mtm.axiom(&axiom).is_none() {
-        return Err(format!(
-            "axiom `{axiom}` is not part of {}; it has: {}",
-            mtm.name(),
-            mtm.axioms()
-                .iter()
-                .map(|a| a.name.as_str())
-                .collect::<Vec<_>>()
-                .join(", ")
-        ));
-    }
-    let suite = synthesize_maybe_cached(
-        &mtm,
-        &axiom,
-        &sopts,
-        jobs,
-        cache.as_deref(),
-        cache_url.as_deref(),
-    )?;
+    let axioms: Vec<String> = match (axiom, all) {
+        (Some(_), true) => return Err("--axiom and --all are mutually exclusive".into()),
+        (None, false) => return Err("synthesize needs --axiom <name> or --all".into()),
+        (Some(axiom), false) => {
+            if mtm.axiom(&axiom).is_none() {
+                return Err(format!(
+                    "axiom `{axiom}` is not part of {}; it has: {}",
+                    mtm.name(),
+                    mtm.axioms()
+                        .iter()
+                        .map(|a| a.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            vec![axiom]
+        }
+        (None, true) => mtm.axioms().iter().map(|a| a.name.clone()).collect(),
+    };
+    let suites = if all {
+        // One fused run for every axiom: the program space is
+        // enumerated once, and no shared plan is built before workers
+        // start.
+        synthesize_all_maybe_cached(&mtm, &sopts, jobs, cache.as_deref(), cache_url.as_deref())?
+    } else {
+        let suite = synthesize_maybe_cached(
+            &mtm,
+            &axioms[0],
+            &sopts,
+            jobs,
+            cache.as_deref(),
+            cache_url.as_deref(),
+        )?;
+        std::iter::once((axioms[0].clone(), suite)).collect()
+    };
     let mut out = String::new();
+    let render_all = || -> String { axioms.iter().map(|ax| render_suite(&suites[ax])).collect() };
     if let Some(path) = &out_file {
-        std::fs::write(path, render_suite(&suite))
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        out.push_str(&format!("wrote {} ELTs to {path}\n", suite.elts.len()));
+        std::fs::write(path, render_all()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        let elts: usize = suites.values().map(|s| s.elts.len()).sum();
+        out.push_str(&format!("wrote {elts} ELTs to {path}\n"));
     } else if !quiet {
-        out.push_str(&render_suite(&suite));
+        out.push_str(&render_all());
     }
-    out.push_str(&format!(
+    for ax in &axioms {
+        out.push_str(&suite_summary(ax, bound, &suites[ax], jobs));
+    }
+    Ok(out)
+}
+
+/// The one-line per-suite summary `synthesize` prints (per axiom, for
+/// `--all` runs).
+fn suite_summary(axiom: &str, bound: usize, suite: &Suite, jobs: usize) -> String {
+    format!(
         "suite `{}` @ bound {}: {} ELTs ({} programs explored, {} executions, {} forbidden, {} minimal) in {:.2?} on {} worker{}{}\n",
         axiom,
         bound,
@@ -271,8 +306,7 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         jobs,
         if jobs == 1 { "" } else { "s" },
         if suite.stats.timed_out { " [timed out]" } else { "" },
-    ));
-    Ok(out)
+    )
 }
 
 /// The `synthesize`/`compare` synthesis step: straight through the
@@ -315,6 +349,46 @@ fn synthesize_maybe_cached(
     }
 }
 
+/// The `synthesize --all`/`compare` synthesis step: every per-axiom
+/// suite of the MTM through **one fused streamed run** — straight
+/// through the engine, through the persistent suite store when
+/// `--cache` is given (tier hits served per axiom, all misses
+/// synthesized together and sealed per axiom as each finishes), and
+/// through the tiered local+remote cache when `--cache-url` names a
+/// shared `transform serve` endpoint too.
+fn synthesize_all_maybe_cached(
+    mtm: &Mtm,
+    sopts: &SynthOptions,
+    jobs: usize,
+    cache: Option<&str>,
+    cache_url: Option<&str>,
+) -> Result<BTreeMap<String, Suite>, String> {
+    match (cache, cache_url) {
+        (None, None) => Ok(synthesize_all_jobs(mtm, sopts, jobs)),
+        (None, Some(_)) => Err(
+            "--cache-url needs --cache DIR for the local tier (remote hits are \
+             validated into it, and fresh suites are sealed there before the push)"
+                .into(),
+        ),
+        (Some(dir), None) => {
+            let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+            let all = cached_or_synthesize_all(&store, mtm, sopts, jobs)
+                .map_err(|e| format!("cache `{dir}`: {e}"))?;
+            Ok(all.into_iter().map(|(ax, (s, _))| (ax, s)).collect())
+        }
+        (Some(dir), Some(url)) => {
+            // URL first: a bad URL must not leave an empty store behind.
+            let remote = HttpTier::new(url).map_err(|e| e.to_string())?;
+            let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+            let tiered = TieredCache::new(store).with_remote(Box::new(remote));
+            let all = tiered
+                .cached_or_synthesize_all(mtm, sopts, jobs)
+                .map_err(|e| format!("cache `{dir}` + `{url}`: {e}"))?;
+            Ok(all.into_iter().map(|(ax, (s, _))| (ax, s)).collect())
+        }
+    }
+}
+
 /// Renders a suite's members exactly as `synthesize` prints them.
 fn render_suite(suite: &Suite) -> String {
     let mut out = String::new();
@@ -335,15 +409,9 @@ fn parse_backend(name: &str) -> Result<Backend, String> {
     }
 }
 
-fn parse_jobs(value: Option<String>) -> Result<usize, String> {
-    match value.as_deref() {
-        None => Ok(1),
-        Some("auto") | Some("0") => Ok(default_jobs()),
-        Some(n) => {
-            let n: usize = n.parse().map_err(|_| "--jobs must be a number or `auto`")?;
-            Ok(n.max(1))
-        }
-    }
+fn parse_balance(name: &str) -> Result<Balance, String> {
+    Balance::parse(name)
+        .ok_or_else(|| format!("unknown --balance `{name}` (expected `mass` or `depth`)"))
 }
 
 fn parse_partition_size(value: Option<String>) -> Result<Option<usize>, String> {
@@ -369,31 +437,25 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
         .map_err(|_| "--bound must be a number")?;
     let timeout = Duration::from_secs(
         opts.value("--timeout-secs")
-            .unwrap_or_else(|| "60".into())
+            .unwrap_or_else(|| "300".into())
             .parse()
             .map_err(|_| "--timeout-secs must be a number")?,
     );
-    let jobs = parse_jobs(opts.value("--jobs"))?;
+    let jobs = opts.jobs()?;
+    let mut sopts = SynthOptions::new(bound);
+    sopts.timeout = Some(timeout);
+    sopts.partition_size = parse_partition_size(opts.value("--partition-size"))?;
+    if let Some(b) = opts.value("--balance") {
+        sopts.balance = parse_balance(&b)?;
+    }
     let cache = opts.value("--cache");
     let cache_url = opts.value("--cache-url");
     opts.finish()?;
     let mtm = x86t_elt();
-    let mut suites = BTreeMap::new();
-    for ax in mtm.axioms() {
-        let mut sopts = SynthOptions::new(bound);
-        sopts.timeout = Some(timeout);
-        suites.insert(
-            ax.name.clone(),
-            synthesize_maybe_cached(
-                &mtm,
-                &ax.name,
-                &sopts,
-                jobs,
-                cache.as_deref(),
-                cache_url.as_deref(),
-            )?,
-        );
-    }
+    // One fused run covers every axiom (the budget spans the whole
+    // run); cached axioms stream from their sealed entries.
+    let suites =
+        synthesize_all_maybe_cached(&mtm, &sopts, jobs, cache.as_deref(), cache_url.as_deref())?;
     let keys = synthesized_keys(suites.values());
     let cmp = compare_suite(&transform_x86::coatcheck::suite(), &keys);
     Ok(transform_x86::compare::render(&cmp))
@@ -1031,6 +1093,81 @@ mod tests {
     }
 
     #[test]
+    fn jobs_zero_normalizes_to_detected_parallelism() {
+        let detected = transform_par::default_jobs();
+        for flag in ["--jobs 0", "--jobs auto"] {
+            let out = run_str(&format!(
+                "synthesize --axiom invlpg --bound 4 --quiet {flag}"
+            ))
+            .expect("runs");
+            assert!(
+                out.contains(&format!("on {detected} worker")),
+                "{flag}: {out}"
+            );
+        }
+    }
+
+    /// The acceptance bar for the fused cross-axiom run: `--all` on any
+    /// worker count, partition size, and balance mode prints exactly
+    /// the sequential engine's per-axiom suites.
+    #[test]
+    fn synthesize_all_is_jobs_partition_and_balance_invariant() {
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // --jobs defaults to 1: the sequential reference.
+        let base = run_str("synthesize --all --bound 4").expect("runs");
+        // Every axiom's suite appears, identical to its solo run.
+        for axiom in ["sc_per_loc", "invlpg", "tlb_causality"] {
+            let solo = run_str(&format!("synthesize --axiom {axiom} --bound 4")).expect("runs");
+            assert!(
+                base.contains(&elts(&solo)),
+                "{axiom} suite missing from --all"
+            );
+        }
+        for line in [
+            "synthesize --all --bound 4 --jobs 4",
+            "synthesize --all --bound 4 --jobs 3 --partition-size 5",
+            "synthesize --all --bound 4 --jobs 4 --balance depth",
+            "synthesize --all --bound 4 --jobs 4 --balance mass",
+        ] {
+            let out = run_str(line).expect("runs");
+            assert_eq!(elts(&base), elts(&out), "{line}");
+        }
+    }
+
+    #[test]
+    fn synthesize_axiom_selection_is_validated() {
+        let e = run_str("synthesize --all --axiom invlpg --bound 4").unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = run_str("synthesize --bound 4").unwrap_err();
+        assert!(e.contains("--all"), "{e}");
+        let e = run_str("synthesize --axiom invlpg --bound 4 --balance wat").unwrap_err();
+        assert!(e.contains("wat"), "{e}");
+    }
+
+    #[test]
+    fn balance_mode_never_changes_the_suite() {
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let base = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        for line in [
+            "synthesize --axiom invlpg --bound 4 --jobs 3 --balance mass",
+            "synthesize --axiom invlpg --bound 4 --jobs 3 --balance depth",
+        ] {
+            let out = run_str(line).expect("runs");
+            assert_eq!(elts(&base), elts(&out), "{line}");
+        }
+    }
+
+    #[test]
     fn bad_jobs_and_backend_values_are_rejected() {
         let e = run_str("synthesize --axiom invlpg --bound 4 --jobs many").unwrap_err();
         assert!(e.contains("--jobs"), "{e}");
@@ -1077,6 +1214,34 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(elts(&uncached), elts(&warm));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_synthesize_all_is_byte_identical_warm_and_cold() {
+        let dir = temp_dir("cache-all");
+        let cache = dir.join("store");
+        let line = format!(
+            "synthesize --all --bound 4 --jobs 2 --cache {}",
+            cache.display()
+        );
+        let cold = run_str(&line).expect("cold all");
+        let warm = run_str(&line).expect("warm all");
+        assert_eq!(cold, warm, "a warm --all run must reproduce the cold one");
+        // A later single-axiom lookup hits the entries the fused run
+        // sealed per axiom.
+        let solo = run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --cache {}",
+            cache.display()
+        ))
+        .expect("warm solo");
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert!(elts(&cold).contains(&elts(&solo)), "shared entries diverge");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1431,9 +1596,14 @@ mod tests {
             assert!(help.contains("--cache-url URL"), "{cmd}:\n{help}");
             assert!(help.contains(cache_url_line), "{cmd}:\n{help}");
         }
+        for cmd in ["synthesize", "compare"] {
+            let help = run_str(&format!("{cmd} --help")).expect("help");
+            assert!(help.contains("--partition-size N|auto"), "{cmd}:\n{help}");
+            assert!(help.contains("--balance mass|depth"), "{cmd}:\n{help}");
+            assert!(help.contains("never changes the suite"), "{cmd}:\n{help}");
+        }
         let synth = run_str("synthesize --help").expect("help");
-        assert!(synth.contains("--partition-size N|auto"), "{synth}");
-        assert!(synth.contains("never changes the suite"), "{synth}");
+        assert!(synth.contains("--all"), "{synth}");
         for cmd in [
             "query",
             "export",

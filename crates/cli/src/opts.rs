@@ -51,6 +51,27 @@ impl Opts {
         }
     }
 
+    /// Takes `--jobs N|auto` and normalizes it to a concrete worker
+    /// count **here, once** — not at each call site: absent means 1
+    /// (the sequential engine), and both `auto` and `0` mean the
+    /// machine's detected parallelism. Every subcommand that accepts
+    /// `--jobs` goes through this, so no caller can hand a zero worker
+    /// count to the engine or diverge on what `auto` means.
+    ///
+    /// # Errors
+    ///
+    /// A value that is neither a number nor `auto`.
+    pub fn jobs(&mut self) -> Result<usize, String> {
+        match self.value("--jobs").as_deref() {
+            None => Ok(1),
+            Some("auto") | Some("0") => Ok(transform_par::default_jobs()),
+            Some(n) => {
+                let n: usize = n.parse().map_err(|_| "--jobs must be a number or `auto`")?;
+                Ok(n.max(1))
+            }
+        }
+    }
+
     /// Errors on any argument that was never consumed.
     pub fn finish(self) -> Result<(), String> {
         let leftover: Vec<String> = self.args.into_iter().flatten().collect();
@@ -107,5 +128,23 @@ mod tests {
         let mut o = opts("synthesize --bound");
         assert_eq!(o.positional().as_deref(), Some("synthesize"));
         assert_eq!(o.value("--bound"), None);
+    }
+
+    #[test]
+    fn jobs_normalizes_zero_and_auto_to_detected_parallelism() {
+        let detected = transform_par::default_jobs();
+        assert!(detected >= 1);
+        for line in ["synthesize --jobs 0", "synthesize --jobs auto"] {
+            let mut o = opts(line);
+            assert_eq!(o.jobs(), Ok(detected), "{line}");
+            o.positional();
+            o.finish().expect("all consumed");
+        }
+        // Absent: sequential. Explicit numbers pass through, floored at 1.
+        assert_eq!(opts("synthesize").jobs(), Ok(1));
+        assert_eq!(opts("x --jobs 7").jobs(), Ok(7));
+        // Nonsense is rejected.
+        let e = opts("x --jobs many").jobs().unwrap_err();
+        assert!(e.contains("--jobs"), "{e}");
     }
 }

@@ -33,11 +33,21 @@
 //!    stitched into the suite; per-batch counters are kept and summed
 //!    losslessly.
 //!
-//! The cross-axiom driver ([`synthesize_all_jobs`]) still materializes
-//! one shared plan up front — now built partition-parallel by
-//! [`plan_par`] — because every axiom examines the same items; its
-//! `(axiom, shard)` tasks run on the [`shard::WorkQueue`] work-stealing
-//! pool as before.
+//! The cross-axiom driver ([`synthesize_all_jobs`]) is the same fused
+//! pipeline: the synthesis plan is axiom-independent, so one run
+//! enumerates every partition once and fans each admitted chunk out as
+//! one examine batch per axiom — no shared plan is materialized before
+//! workers start, and each axiom's [`SuiteSink::run_done`] fires the
+//! moment its schedule retires (the per-axiom seal + push-on-seal
+//! hook). Partition splitting is *mass-balanced* by default: the exact
+//! shape-combination node count below every prefix is memoized
+//! ([`EnumSpace::balanced_for_target`]), so work units carry comparable
+//! enumeration work instead of whatever a fixed-depth split happens to
+//! produce ([`transform_synth::programs::Balance`] selects the mode).
+//! The pre-streaming two-phase path ([`synthesize_suite_jobs_eager`],
+//! [`synthesize_all_jobs_eager`]: full plan first via [`plan_par`],
+//! then `(axiom, shard)` tasks on the [`shard::WorkQueue`]) is kept as
+//! the baseline the `enum_throughput` bench measures against.
 //!
 //! Determinism holds because every per-item examination is a pure
 //! function of the item: candidate executions are examined in a canonical
@@ -75,7 +85,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use transform_core::axiom::Mtm;
-use transform_synth::programs::{EnumSpace, KeyedProgram};
+use transform_synth::programs::{Balance, EnumSpace, KeyedProgram};
 use transform_synth::{
     branches_co_pa, Examiner, ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions, SynthPlan,
     SynthesizedElt,
@@ -95,6 +105,18 @@ pub(crate) const PARTITIONS_PER_WORKER: usize = 8;
 /// The machine's available parallelism (the `--jobs` default).
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Builds the enumeration space for a `jobs`-worker run under the
+/// configured balance mode: mass-estimated splitting aims the same
+/// `jobs × PARTITIONS_PER_WORKER` partition count as the depth split,
+/// but sizes each partition by its exact shape-combination node count.
+pub(crate) fn space_for(opts: &SynthOptions, jobs: usize) -> EnumSpace {
+    let target = jobs * PARTITIONS_PER_WORKER;
+    match opts.balance {
+        Balance::Mass => EnumSpace::balanced_for_target(&opts.enumeration, target),
+        Balance::Depth => EnumSpace::with_target_partitions(&opts.enumeration, target),
+    }
 }
 
 /// Parallel plan construction over the prefix-partitioned enumeration:
@@ -131,7 +153,7 @@ pub fn plan_par(
         "axiom `{axiom}` is not part of {}",
         mtm.name()
     );
-    let space = EnumSpace::with_target_partitions(&opts.enumeration, jobs * PARTITIONS_PER_WORKER);
+    let space = space_for(opts, jobs);
     let count = space.partition_count();
     let next = AtomicUsize::new(0);
     // The smallest partition ordinal whose worker saw the deadline
@@ -394,6 +416,51 @@ pub fn synthesize_suite_streamed_metrics(
     stream::run_streamed(mtm, axiom, opts, jobs, sink)
 }
 
+/// Synthesizes the per-axiom suites of several axioms in **one fused
+/// streamed run** on `jobs` workers: the program space is enumerated
+/// once (the plan is axiom-independent), every admitted chunk fans out
+/// as one examine batch per axiom, and each axiom's sink receives its
+/// retired shards as they finish — `run_done` fires per axiom the
+/// moment that axiom's schedule retires, so a store-backed sink seals
+/// (and pushes) early suites while later ones are still examining. No
+/// shared plan is materialized before workers start.
+///
+/// Returns the per-axiom counters in `axioms` order. Each axiom's
+/// records are exactly the members of its [`synthesize_suite_jobs`]
+/// suite — sorting them by [`SuiteRecord::index`] recovers the
+/// byte-identical sequential suite.
+///
+/// # Panics
+///
+/// Panics when any axiom is not part of `mtm` or `axioms` and `sinks`
+/// disagree in length.
+pub fn synthesize_axioms_streamed(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    jobs: usize,
+    sinks: &[&dyn SuiteSink],
+) -> Vec<SuiteStats> {
+    synthesize_axioms_streamed_metrics(mtm, axioms, opts, jobs, sinks).0
+}
+
+/// Like [`synthesize_axioms_streamed`], additionally returning the
+/// fused run's scheduling metrics.
+///
+/// # Panics
+///
+/// Panics when any axiom is not part of `mtm` or `axioms` and `sinks`
+/// disagree in length.
+pub fn synthesize_axioms_streamed_metrics(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    jobs: usize,
+    sinks: &[&dyn SuiteSink],
+) -> (Vec<SuiteStats>, StreamMetrics) {
+    stream::run_fused(mtm, axioms, opts, jobs, sinks)
+}
+
 /// The pre-streaming two-phase reference: the full plan is materialized
 /// first (every program enumerated and keyed before any examination),
 /// then sharded across the pool. Output is byte-identical to
@@ -454,14 +521,16 @@ pub fn synthesize_suite_jobs(mtm: &Mtm, axiom: &str, opts: &SynthOptions, jobs: 
 /// Synthesizes every per-axiom suite of `mtm` on `jobs` workers — the
 /// parallel counterpart of [`transform_synth::synthesize_all`].
 ///
-/// One worker pool is shared across all axioms: every `(axiom, shard)`
-/// pair is a task in a single work-stealing queue, so workers idled by
-/// an exhausted axiom immediately pick up the next one instead of
-/// waiting at a per-axiom barrier. Each per-axiom suite is still
-/// byte-identical to its sequential counterpart. With a timeout, the
-/// budget covers the whole run (axioms are drained in order, so early
-/// axioms complete first); each suite's `elapsed` reports the shared
-/// run's wall-clock.
+/// One fused streamed run serves all axioms: the program space is
+/// enumerated once (partitions are work items alongside the per-axiom
+/// examine batches — no shared plan is materialized before workers
+/// start), and workers idled by an exhausted axiom immediately pick up
+/// another's batches instead of waiting at a per-axiom barrier. Each
+/// per-axiom suite is byte-identical to its sequential counterpart.
+/// With a timeout, the budget covers the whole run; an axiom whose
+/// schedule fully retired before the expiry stays complete, and each
+/// suite's `elapsed` reports the shared run's wall-clock at its own
+/// completion.
 pub fn synthesize_all_jobs(mtm: &Mtm, opts: &SynthOptions, jobs: usize) -> BTreeMap<String, Suite> {
     synthesize_all_jobs_with_union(mtm, opts, jobs).0
 }
@@ -480,26 +549,15 @@ pub fn synthesize_all_jobs_with_union(
     let suites: BTreeMap<String, Suite> = if jobs == 1 {
         transform_synth::synthesize_all(mtm, opts)
     } else {
-        let start = Instant::now();
-        let deadline = opts.timeout.map(|t| start + t);
         let axioms: Vec<&str> = mtm.axioms().iter().map(|a| a.name.as_str()).collect();
-        // The plan is axiom-independent (it filters on write-bearing
-        // canonical forms), so one plan serves every axiom's tasks.
-        let plan = plan_par(mtm, axioms[0], opts, deadline, jobs);
         let sinks: Vec<CollectSink> = axioms.iter().map(|_| CollectSink::new()).collect();
         let sink_refs: Vec<&dyn SuiteSink> = sinks.iter().map(|s| s as &dyn SuiteSink).collect();
-        let (per_axiom, timed_out) =
-            run_pool(mtm, &axioms, opts, jobs, deadline, &plan, &sink_refs);
-        let elapsed = start.elapsed();
+        let all_stats = synthesize_axioms_streamed(mtm, &axioms, opts, jobs, &sink_refs);
         axioms
             .iter()
             .zip(sinks)
-            .zip(per_axiom.into_iter().zip(timed_out))
-            .map(|((axiom, sink), (shards, cut))| {
-                let mut stats = SuiteStats::from_shards(plan.programs, shards);
-                stats.elapsed = elapsed;
-                stats.timed_out = cut || plan.timed_out;
-                sink.run_done(&stats);
+            .zip(all_stats)
+            .map(|((axiom, sink), stats)| {
                 (
                     axiom.to_string(),
                     Suite {
@@ -519,6 +577,48 @@ pub fn synthesize_all_jobs_with_union(
     }
     let distinct = union.len();
     (suites, distinct)
+}
+
+/// The pre-fusion cross-axiom reference: one shared plan is fully
+/// materialized first ([`plan_par`]), then every `(axiom, shard)` pair
+/// runs on the work-stealing pool. Output is byte-identical to
+/// [`synthesize_all_jobs`]; kept as the baseline the `enum_throughput`
+/// bench measures the fused cross-axiom pipeline against.
+pub fn synthesize_all_jobs_eager(
+    mtm: &Mtm,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> BTreeMap<String, Suite> {
+    let jobs = jobs.max(1);
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let axioms: Vec<&str> = mtm.axioms().iter().map(|a| a.name.as_str()).collect();
+    // The plan is axiom-independent (it filters on write-bearing
+    // canonical forms), so one plan serves every axiom's tasks.
+    let plan = plan_par(mtm, axioms[0], opts, deadline, jobs);
+    let sinks: Vec<CollectSink> = axioms.iter().map(|_| CollectSink::new()).collect();
+    let sink_refs: Vec<&dyn SuiteSink> = sinks.iter().map(|s| s as &dyn SuiteSink).collect();
+    let (per_axiom, timed_out) = run_pool(mtm, &axioms, opts, jobs, deadline, &plan, &sink_refs);
+    let elapsed = start.elapsed();
+    axioms
+        .iter()
+        .zip(sinks)
+        .zip(per_axiom.into_iter().zip(timed_out))
+        .map(|((axiom, sink), (shards, cut))| {
+            let mut stats = SuiteStats::from_shards(plan.programs, shards);
+            stats.elapsed = elapsed;
+            stats.timed_out = cut || plan.timed_out;
+            sink.run_done(&stats);
+            (
+                axiom.to_string(),
+                Suite {
+                    axiom: axiom.to_string(),
+                    elts: sink.into_elts(),
+                    stats,
+                },
+            )
+        })
+        .collect()
 }
 
 /// Re-exported so callers of the parallel API can name the backend

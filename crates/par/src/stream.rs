@@ -1,14 +1,27 @@
 //! The fused streaming pipeline: program *generation* runs inside the
-//! work-stealing pool, not in front of it.
+//! work-stealing pool, not in front of it — for one axiom or for every
+//! axiom of an MTM at once.
 //!
 //! The two-phase orchestrator (plan everything, then examine) keeps the
 //! pool idle behind a single-threaded, memory-hungry enumeration pass.
 //! Here the enumeration's prefix partitions ([`EnumSpace`]) are
 //! themselves pool tasks: workers alternate between *enumerating* a
 //! partition (materializing its programs with canonical keys, computed
-//! once) and *examining* a batch of already-planned items, so SAT and
+//! once) and *examining* an `(axiom, batch)` work item, so SAT and
 //! relational solving start while later partitions are still being
 //! generated and peak live candidates stay bounded by partition size.
+//!
+//! # The fused cross-axiom run
+//!
+//! The synthesis plan is axiom-independent (it keeps write-bearing
+//! canonical first occurrences), so a multi-axiom run enumerates every
+//! partition **once** and fans each admitted chunk out as one examine
+//! batch *per axiom* — no shared plan is materialized before workers
+//! start, and an axiom whose batches all retire is finished
+//! immediately: its [`SuiteSink::run_done`] fires from the pool (the
+//! per-axiom seal + push-on-seal hook), not at the end of the whole
+//! run. Admitted chunks are shared by reference across axioms, so the
+//! multi-axiom run holds each candidate program in memory once.
 //!
 //! # Determinism
 //!
@@ -17,9 +30,9 @@
 //! Partitions may be *enumerated* out of order, but they are *admitted*
 //! strictly in ordinal order through the admitter — the same
 //! first-occurrence-per-canonical-key scan the sequential planner runs —
-//! so plan indices, dedup outcomes, and therefore the merged suite are
-//! byte-identical to the sequential engine at every worker count and
-//! batch size.
+//! so plan indices, dedup outcomes, and therefore every per-axiom suite
+//! are byte-identical to the sequential engine at every worker count,
+//! batch size, and balance mode.
 //!
 //! # Deadlines
 //!
@@ -28,8 +41,11 @@
 //! ([`StreamMetrics::cut_at_partition`]), every partition below it is
 //! fully planned, and everything from it on is dropped — a timed-out
 //! plan is a well-defined prefix of the deadline-free plan, not a
-//! worker-race-dependent subset. Examination stays best-effort after
-//! expiry, exactly like the sequential engine's mid-plan stop.
+//! worker-race-dependent subset. The cut is shared by every axiom of a
+//! fused run (they examine the same plan). Examination stays
+//! best-effort after expiry, exactly like the sequential engine's
+//! mid-plan stop — but an axiom that already retired its whole schedule
+//! before the expiry stays complete.
 //!
 //! # Autotuned batch granularity
 //!
@@ -42,7 +58,7 @@
 //! any result, only scheduling.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use transform_core::axiom::Mtm;
 use transform_synth::programs::{EnumSpace, KeyedProgram};
@@ -57,19 +73,22 @@ use crate::SuiteSink;
 /// that the (format-frozen) [`SuiteStats`] cannot carry.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StreamMetrics {
+    /// Axioms sharing the run (1 for a single-suite synthesis).
+    pub axioms: usize,
     /// Enumeration partitions in the space.
     pub partitions: usize,
     /// First partition cut by the deadline (`None`: enumeration ran to
     /// completion). Everything below it was fully planned.
     pub cut_at_partition: Option<usize>,
-    /// Examine batches created (a deadline cut abandons queued batches,
-    /// which stay counted here but produce no shard stats).
+    /// Examine batches created across all axioms (a deadline cut
+    /// abandons queued batches, which stay counted here but produce no
+    /// shard stats).
     pub batches: usize,
     /// Peak number of simultaneously materialized candidate programs
-    /// (enumerated but not yet examined or dropped) — bounded by the
-    /// lookahead window (twice the worker count) times the largest
-    /// partition, not by the size of the enumeration. Best-effort on
-    /// timed-out runs.
+    /// (enumerated but not yet examined by every axiom, or dropped) —
+    /// bounded by the lookahead window (twice the worker count) times
+    /// the largest partition, not by the size of the enumeration.
+    /// Best-effort on timed-out runs.
     pub peak_live_candidates: usize,
     /// The tuner's final batch size.
     pub final_batch_size: usize,
@@ -184,13 +203,15 @@ impl Tuner {
     }
 }
 
-/// A batch of plan items examined on one [`Examiner`] (one incremental
-/// solver). Batches never span partitions, so every item in a batch
-/// shares its first-thread shape — the prefix affinity that makes
-/// solver reuse pay.
+/// A batch of plan items examined for one axiom on one [`Examiner`]
+/// (one incremental solver). The item chunk is shared by reference
+/// across the axioms of a fused run; chunks never span partitions, so
+/// every item in a batch shares its first-thread shape — the prefix
+/// affinity that makes solver reuse pay.
 struct Batch {
+    axiom: usize,
     shard: usize,
-    items: Vec<WorkItem>,
+    items: Arc<Vec<WorkItem>>,
 }
 
 enum Task {
@@ -215,15 +236,51 @@ struct State {
     expired: bool,
     admitter: Admitter,
     exam: VecDeque<Batch>,
+    /// Next chunk ordinal — the per-axiom shard id.
     next_shard: usize,
+    /// Batches created, across all axioms.
     batches: usize,
+    /// Outstanding (created, not yet retired) batches per axiom.
+    remaining: Vec<usize>,
+    /// An axiom whose batch was cut mid-way can never complete.
+    axiom_cut: Vec<bool>,
+    /// Axioms whose whole schedule retired cleanly (latched).
+    complete: Vec<bool>,
+    /// Live-candidate refcounts per chunk: (axioms outstanding, items).
+    chunk_refs: BTreeMap<usize, (usize, usize)>,
     live: usize,
     peak_live: usize,
     tuner: Tuner,
 }
 
+impl State {
+    /// No further batches will ever be created: every partition was
+    /// admitted and none is still being enumerated.
+    fn enum_settled(&self, partition_count: usize) -> bool {
+        self.frontier == partition_count && self.enumerating == 0
+    }
+
+    /// Latches completion for every axiom whose schedule fully retired;
+    /// returns the newly completed ones so the caller can finish them
+    /// (assemble stats, fire `run_done`) outside the lock.
+    fn newly_complete(&mut self, partition_count: usize) -> Vec<usize> {
+        if !self.enum_settled(partition_count) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ai in 0..self.remaining.len() {
+            if !self.complete[ai] && self.remaining[ai] == 0 && !self.axiom_cut[ai] {
+                self.complete[ai] = true;
+                out.push(ai);
+            }
+        }
+        out
+    }
+}
+
 struct Pipeline<'s> {
     space: &'s EnumSpace,
+    axioms: usize,
     deadline: Option<Instant>,
     /// Lookahead backpressure: partitions may be *enumerated* at most
     /// this far beyond the dedup frontier. Without it, one slow head
@@ -240,12 +297,14 @@ struct Pipeline<'s> {
 impl<'s> Pipeline<'s> {
     fn new(
         space: &'s EnumSpace,
+        axioms: usize,
         deadline: Option<Instant>,
         jobs: usize,
         fixed_batch: Option<usize>,
     ) -> Self {
         Pipeline {
             space,
+            axioms,
             deadline,
             window: (2 * jobs).max(2),
             state: Mutex::new(State {
@@ -259,6 +318,10 @@ impl<'s> Pipeline<'s> {
                 exam: VecDeque::new(),
                 next_shard: 0,
                 batches: 0,
+                remaining: vec![0; axioms],
+                axiom_cut: vec![false; axioms],
+                complete: vec![false; axioms],
+                chunk_refs: BTreeMap::new(),
                 live: 0,
                 peak_live: 0,
                 tuner: Tuner::new(fixed_batch),
@@ -269,6 +332,17 @@ impl<'s> Pipeline<'s> {
 
     fn past_deadline(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// The count of admitted (post-symmetry-reduction) programs — final
+    /// once enumeration settles, which is a precondition of any axiom
+    /// completing.
+    fn programs(&self) -> usize {
+        self.state
+            .lock()
+            .expect("pipeline lock is never poisoned")
+            .admitter
+            .programs
     }
 
     /// The next unit of work, examination first (it frees live
@@ -289,8 +363,7 @@ impl<'s> Pipeline<'s> {
                 st.enumerating += 1;
                 return Some(Task::Enumerate(ord));
             }
-            let enumeration_settled =
-                st.expired || (st.frontier == self.space.partition_count() && st.enumerating == 0);
+            let enumeration_settled = st.expired || st.enum_settled(self.space.partition_count());
             if enumeration_settled && st.exam.is_empty() {
                 return None;
             }
@@ -299,13 +372,15 @@ impl<'s> Pipeline<'s> {
     }
 
     /// One partition's outcome: its keyed programs, or `None` when its
-    /// worker saw the deadline expired before enumerating it.
-    fn resolve(&self, ordinal: usize, outcome: Option<Vec<KeyedProgram>>) {
+    /// worker saw the deadline expired before enumerating it. Returns
+    /// the axioms this settles (an empty plan completes every axiom the
+    /// moment the last partition is admitted).
+    fn resolve(&self, ordinal: usize, outcome: Option<Vec<KeyedProgram>>) -> Vec<usize> {
         let mut st = self.state.lock().expect("pipeline lock is never poisoned");
         st.enumerating -= 1;
         if st.expired {
             self.cv.notify_all();
-            return; // everything past the cut is discarded
+            return Vec::new(); // everything past the cut is discarded
         }
         if let Some(keyed) = &outcome {
             st.live += keyed.len();
@@ -320,54 +395,85 @@ impl<'s> Pipeline<'s> {
             match entry {
                 None => {
                     // The deadline's cut reached the frontier: the plan
-                    // ends here, reproducibly.
+                    // ends here, reproducibly — for every axiom at once.
                     st.cut_at = Some(st.frontier);
                     Self::expire(&mut st);
                     break;
                 }
                 Some(keyed) => {
                     let delivered = keyed.len();
-                    let items = st.admitter.admit(keyed);
+                    let mut items = st.admitter.admit(keyed);
                     st.live -= delivered - items.len(); // dropped by dedup
                     let size = st.tuner.batch_size();
-                    let mut items = items;
                     while !items.is_empty() {
                         let rest = items.split_off(size.min(items.len()));
-                        let batch = Batch {
-                            shard: st.next_shard,
-                            items: std::mem::replace(&mut items, rest),
-                        };
+                        let chunk = Arc::new(std::mem::replace(&mut items, rest));
+                        let shard = st.next_shard;
                         st.next_shard += 1;
-                        st.batches += 1;
-                        st.exam.push_back(batch);
+                        st.chunk_refs.insert(shard, (self.axioms, chunk.len()));
+                        // One batch per axiom, axiom-major within the
+                        // chunk, all sharing the item storage.
+                        for axiom in 0..self.axioms {
+                            st.exam.push_back(Batch {
+                                axiom,
+                                shard,
+                                items: Arc::clone(&chunk),
+                            });
+                            st.batches += 1;
+                            st.remaining[axiom] += 1;
+                        }
                     }
                     st.frontier += 1;
                 }
             }
         }
+        let done = st.newly_complete(self.space.partition_count());
         self.cv.notify_all();
+        done
     }
 
-    /// One batch retired (possibly cut short by the deadline).
-    fn batch_done(&self, examined: usize, batch_len: usize, elapsed: Duration, cut: bool) {
+    /// One batch retired (possibly cut short by the deadline). Returns
+    /// the axioms this completes.
+    fn batch_done(
+        &self,
+        axiom: usize,
+        shard: usize,
+        examined: usize,
+        elapsed: Duration,
+        cut: bool,
+    ) -> Vec<usize> {
         let mut st = self.state.lock().expect("pipeline lock is never poisoned");
-        st.live = st.live.saturating_sub(batch_len);
+        st.remaining[axiom] -= 1;
+        // A candidate chunk stays live until its last axiom retires it.
+        if let Some(refs) = st.chunk_refs.get_mut(&shard) {
+            refs.0 -= 1;
+            if refs.0 == 0 {
+                let (_, len) = st.chunk_refs.remove(&shard).expect("present");
+                st.live = st.live.saturating_sub(len);
+            }
+        }
         st.tuner.observe(examined, elapsed);
         if cut {
-            // Examination hit the deadline: the plan ends at the current
-            // frontier (when enumeration was still in flight), and all
-            // queued work is abandoned.
+            // Examination hit the deadline: this axiom's suite is
+            // partial, the plan ends at the current frontier (when
+            // enumeration was still in flight), and all queued work is
+            // abandoned. Axioms whose schedule already retired stay
+            // complete.
+            st.axiom_cut[axiom] = true;
             if st.cut_at.is_none() && st.frontier < self.space.partition_count() {
                 st.cut_at = Some(st.frontier);
             }
             Self::expire(&mut st);
         }
+        let done = st.newly_complete(self.space.partition_count());
         self.cv.notify_all();
+        done
     }
 
     /// The deadline struck: discard all queued work. Live accounting for
     /// the discarded tail is not maintained — metrics are best-effort on
-    /// timed-out runs.
+    /// timed-out runs. Abandoned batches stay counted in `remaining`,
+    /// which (correctly) blocks their axioms from ever completing.
     fn expire(st: &mut State) {
         st.expired = true;
         st.resolved.clear();
@@ -375,19 +481,26 @@ impl<'s> Pipeline<'s> {
     }
 }
 
-/// One pool worker: alternates between enumerating partitions and
-/// examining batches until the pipeline drains.
-#[allow(clippy::too_many_arguments)]
-fn worker(
-    pipeline: &Pipeline<'_>,
-    mtm: &Mtm,
-    axiom: &str,
-    opts: &SynthOptions,
+/// Everything a worker shares with its siblings for one fused run.
+struct RunCtx<'r> {
+    mtm: &'r Mtm,
+    axioms: &'r [&'r str],
+    opts: &'r SynthOptions,
     branch_co_pa: bool,
-    claimed: &crate::dedup::KeySet,
-    shard_stats: &Mutex<Vec<ShardStats>>,
-    sink: &dyn SuiteSink,
-) {
+    start: Instant,
+    /// Per-axiom streaming dedup of emitted ELT keys.
+    claimed: &'r [crate::dedup::KeySet],
+    /// Per-axiom shard counters, pushed as batches retire.
+    shard_stats: &'r [Mutex<Vec<ShardStats>>],
+    sinks: &'r [&'r dyn SuiteSink],
+    /// Per-axiom final stats, written by whichever worker completes the
+    /// axiom (the driver fills in timed-out axioms after the join).
+    finished: &'r [Mutex<Option<SuiteStats>>],
+}
+
+/// One pool worker: alternates between enumerating partitions and
+/// examining `(axiom, batch)` items until the pipeline drains.
+fn worker(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>) {
     while let Some(task) = pipeline.next_task() {
         match task {
             Task::Enumerate(ordinal) => {
@@ -402,24 +515,28 @@ fn worker(
                             .enumerate_keyed_within(ordinal, pipeline.deadline)
                     })
                     .filter(|_| !pipeline.past_deadline());
-                pipeline.resolve(ordinal, outcome);
+                for ai in pipeline.resolve(ordinal, outcome) {
+                    finish_axiom(pipeline, ctx, ai);
+                }
             }
             Task::Examine(batch) => {
+                let ai = batch.axiom;
                 let start = Instant::now();
                 // One examiner — and, for the relational backend, one
                 // incremental SAT solver — per batch.
-                let mut examiner = Examiner::new(mtm, axiom, opts.backend, branch_co_pa);
+                let mut examiner =
+                    Examiner::new(ctx.mtm, ctx.axioms[ai], ctx.opts.backend, ctx.branch_co_pa);
                 let mut stats = ShardStats::new(batch.shard);
                 let mut records = Vec::new();
                 let mut cut = false;
-                for item in &batch.items {
+                for item in batch.items.iter() {
                     if pipeline.past_deadline() {
                         cut = true;
                         break;
                     }
                     let mut examined = examiner.examine(&item.program);
                     stats.absorb(&examined);
-                    if examined.witness.is_some() && !claimed.claim(&item.key) {
+                    if examined.witness.is_some() && !ctx.claimed[ai].claim(&item.key) {
                         // The admitter guarantees key uniqueness; dropping
                         // a duplicate witness (never its counters) keeps
                         // the merge correct even if a future enumerator
@@ -438,20 +555,145 @@ fn worker(
                         });
                     }
                 }
-                shard_stats
+                ctx.shard_stats[ai]
                     .lock()
                     .expect("stats lock is never poisoned")
                     .push(stats);
-                sink.shard_done(stats, records);
-                pipeline.batch_done(stats.items, batch.items.len(), start.elapsed(), cut);
+                ctx.sinks[ai].shard_done(stats, records);
+                for done in pipeline.batch_done(ai, batch.shard, stats.items, start.elapsed(), cut)
+                {
+                    finish_axiom(pipeline, ctx, done);
+                }
             }
         }
     }
 }
 
-/// Runs the fused enumerate-while-examining pipeline for one axiom on
-/// `jobs` workers, streaming retired batches into `sink`. Returns the
-/// run's counters and scheduling metrics.
+/// An axiom's whole schedule retired cleanly: assemble its final stats
+/// and fire its sink's completion hook *now* — a fused run seals (and
+/// pushes) each per-axiom suite as it finishes, not when the whole run
+/// drains.
+fn finish_axiom(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>, ai: usize) {
+    let mut shards = ctx.shard_stats[ai]
+        .lock()
+        .expect("stats lock is never poisoned")
+        .clone();
+    shards.sort_by_key(|s| s.shard);
+    let mut stats = SuiteStats::from_shards(pipeline.programs(), shards);
+    stats.elapsed = ctx.start.elapsed();
+    stats.timed_out = false;
+    ctx.sinks[ai].run_done(&stats);
+    *ctx.finished[ai]
+        .lock()
+        .expect("finished lock is never poisoned") = Some(stats);
+}
+
+/// Runs the fused enumerate-while-examining pipeline for `axioms` (one
+/// or many) on `jobs` workers, streaming retired batches into the
+/// per-axiom sinks. Partitions are enumerated once and their admitted
+/// chunks shared across axioms; each axiom's `run_done` fires the
+/// moment its schedule retires. Returns per-axiom counters (in `axioms`
+/// order) and the run's scheduling metrics.
+///
+/// # Panics
+///
+/// Panics when any axiom is not part of `mtm` or `axioms` and `sinks`
+/// disagree in length.
+pub(crate) fn run_fused(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    jobs: usize,
+    sinks: &[&dyn SuiteSink],
+) -> (Vec<SuiteStats>, StreamMetrics) {
+    assert_eq!(axioms.len(), sinks.len(), "one sink per axiom");
+    for axiom in axioms {
+        assert!(
+            mtm.axiom(axiom).is_some(),
+            "axiom `{axiom}` is not part of {}",
+            mtm.name()
+        );
+    }
+    let jobs = jobs.max(1);
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let space = crate::space_for(opts, jobs);
+    let branch_co_pa = branches_co_pa(mtm);
+    let pipeline = Pipeline::new(&space, axioms.len(), deadline, jobs, opts.partition_size);
+    let claimed: Vec<crate::dedup::KeySet> =
+        axioms.iter().map(|_| crate::dedup::KeySet::new()).collect();
+    let shard_stats: Vec<Mutex<Vec<ShardStats>>> =
+        axioms.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let finished: Vec<Mutex<Option<SuiteStats>>> =
+        axioms.iter().map(|_| Mutex::new(None)).collect();
+    let ctx = RunCtx {
+        mtm,
+        axioms,
+        opts,
+        branch_co_pa,
+        start,
+        claimed: &claimed,
+        shard_stats: &shard_stats,
+        sinks,
+        finished: &finished,
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let pipeline = &pipeline;
+            let ctx = &ctx;
+            scope.spawn(move || worker(pipeline, ctx));
+        }
+    });
+
+    let st = pipeline
+        .state
+        .into_inner()
+        .expect("pipeline lock is never poisoned");
+    let metrics = StreamMetrics {
+        axioms: axioms.len(),
+        partitions: space.partition_count(),
+        cut_at_partition: st.cut_at,
+        batches: st.batches,
+        peak_live_candidates: st.peak_live,
+        final_batch_size: st.tuner.batch_size(),
+    };
+    let elapsed = start.elapsed();
+    let all_stats: Vec<SuiteStats> = finished
+        .into_iter()
+        .enumerate()
+        .zip(&shard_stats)
+        .zip(sinks)
+        .map(|(((ai, slot), shards), sink)| {
+            match slot.into_inner().expect("finished lock is never poisoned") {
+                Some(stats) => stats,
+                None => {
+                    // No worker latched completion. Either the deadline
+                    // cut this axiom's plan or examination (timed out,
+                    // best-effort partial counters), or the space was
+                    // empty and no pipeline event ever fired (complete,
+                    // trivially). Its run_done still fires exactly once
+                    // — sinks never seal timed-out runs.
+                    let complete = !st.expired
+                        && st.enum_settled(space.partition_count())
+                        && st.remaining[ai] == 0
+                        && !st.axiom_cut[ai];
+                    let mut shards = shards.lock().expect("stats lock is never poisoned").clone();
+                    shards.sort_by_key(|s| s.shard);
+                    let mut stats = SuiteStats::from_shards(st.admitter.programs, shards);
+                    stats.elapsed = elapsed;
+                    stats.timed_out = !complete;
+                    sink.run_done(&stats);
+                    stats
+                }
+            }
+        })
+        .collect();
+    (all_stats, metrics)
+}
+
+/// Runs the fused pipeline for one axiom — the single-suite entry the
+/// orchestrator and the store's cold path use.
 ///
 /// # Panics
 ///
@@ -463,61 +705,8 @@ pub(crate) fn run_streamed(
     jobs: usize,
     sink: &dyn SuiteSink,
 ) -> (SuiteStats, StreamMetrics) {
-    assert!(
-        mtm.axiom(axiom).is_some(),
-        "axiom `{axiom}` is not part of {}",
-        mtm.name()
-    );
-    let jobs = jobs.max(1);
-    let start = Instant::now();
-    let deadline = opts.timeout.map(|t| start + t);
-    let space =
-        EnumSpace::with_target_partitions(&opts.enumeration, jobs * crate::PARTITIONS_PER_WORKER);
-    let branch_co_pa = branches_co_pa(mtm);
-    let pipeline = Pipeline::new(&space, deadline, jobs, opts.partition_size);
-    let claimed = crate::dedup::KeySet::new();
-    let shard_stats: Mutex<Vec<ShardStats>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let pipeline = &pipeline;
-            let claimed = &claimed;
-            let shard_stats = &shard_stats;
-            scope.spawn(move || {
-                worker(
-                    pipeline,
-                    mtm,
-                    axiom,
-                    opts,
-                    branch_co_pa,
-                    claimed,
-                    shard_stats,
-                    sink,
-                );
-            });
-        }
-    });
-
-    let st = pipeline
-        .state
-        .into_inner()
-        .expect("pipeline lock is never poisoned");
-    let mut shards = shard_stats
-        .into_inner()
-        .expect("stats lock is never poisoned");
-    shards.sort_by_key(|s| s.shard);
-    let mut stats = SuiteStats::from_shards(st.admitter.programs, shards);
-    stats.elapsed = start.elapsed();
-    stats.timed_out = st.expired;
-    let metrics = StreamMetrics {
-        partitions: space.partition_count(),
-        cut_at_partition: st.cut_at,
-        batches: st.batches,
-        peak_live_candidates: st.peak_live,
-        final_batch_size: st.tuner.batch_size(),
-    };
-    sink.run_done(&stats);
-    (stats, metrics)
+    let (mut stats, metrics) = run_fused(mtm, &[axiom], opts, jobs, &[sink]);
+    (stats.remove(0), metrics)
 }
 
 #[cfg(test)]
@@ -572,6 +761,31 @@ mod tests {
         }
     }
 
+    /// The admitter is partition-shape-blind: a mass-balanced space
+    /// admits the identical plan.
+    #[test]
+    fn admitter_is_identical_over_balanced_partitions() {
+        let eo = enum_opts(4, true);
+        let depth = EnumSpace::with_target_partitions(&eo, 32);
+        let mass = EnumSpace::balanced(&eo, 3);
+        let admit_all = |space: &EnumSpace| {
+            let mut admitter = Admitter::new(true);
+            let mut items = Vec::new();
+            for p in 0..space.partition_count() {
+                items.extend(admitter.admit(space.enumerate_keyed(p)));
+            }
+            (admitter.programs, items)
+        };
+        let (programs_a, items_a) = admit_all(&depth);
+        let (programs_b, items_b) = admit_all(&mass);
+        assert_eq!(programs_a, programs_b);
+        assert_eq!(items_a.len(), items_b.len());
+        for (a, b) in items_a.iter().zip(&items_b) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.program, b.program);
+        }
+    }
+
     /// Out-of-order delivery with a cut partition: the frontier admits
     /// the prefix below the cut and drops everything from it on.
     #[test]
@@ -579,7 +793,7 @@ mod tests {
         let eo = enum_opts(4, true);
         let space = EnumSpace::with_target_partitions(&eo, 8);
         assert!(space.partition_count() >= 3, "space too small for the test");
-        let pipeline = Pipeline::new(&space, None, 2, None);
+        let pipeline = Pipeline::new(&space, 1, None, 2, None);
         // Claim the first three enumeration tasks.
         for expect in 0..3 {
             match pipeline.next_task() {
@@ -600,6 +814,40 @@ mod tests {
         assert_eq!(st.admitter.programs, reference.programs);
         let queued: usize = st.exam.iter().map(|b| b.items.len()).sum();
         assert_eq!(queued, expected_items);
+    }
+
+    /// A fused two-axiom pipeline fans each admitted chunk out once per
+    /// axiom, sharing the chunk storage.
+    #[test]
+    fn fused_pipeline_fans_chunks_out_per_axiom() {
+        let eo = enum_opts(4, true);
+        let space = EnumSpace::with_target_partitions(&eo, 4);
+        // A window wide enough to claim every partition before any
+        // examine batch exists (examination has pop priority).
+        let pipeline = Pipeline::new(&space, 3, None, space.partition_count(), None);
+        for ordinal in 0..space.partition_count() {
+            match pipeline.next_task() {
+                Some(Task::Enumerate(ord)) => assert_eq!(ord, ordinal),
+                _ => panic!("expected an enumeration task"),
+            }
+        }
+        for ordinal in 0..space.partition_count() {
+            pipeline.resolve(ordinal, Some(space.enumerate_keyed(ordinal)));
+        }
+        let st = pipeline.state.into_inner().expect("lock");
+        assert_eq!(st.batches % 3, 0, "every chunk spawns one batch per axiom");
+        assert_eq!(st.remaining, vec![st.batches / 3; 3]);
+        // Each chunk appears three times, as the same shared storage.
+        let mut by_shard: BTreeMap<usize, Vec<&Batch>> = BTreeMap::new();
+        for b in &st.exam {
+            by_shard.entry(b.shard).or_default().push(b);
+        }
+        for (_, batches) in by_shard {
+            assert_eq!(batches.len(), 3);
+            assert!(batches
+                .windows(2)
+                .all(|w| Arc::ptr_eq(&w[0].items, &w[1].items)));
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! losslessly.
 
 use proptest::prelude::*;
-use transform_par::synthesize_suite_jobs;
-use transform_synth::{Backend, Suite, SynthOptions};
+use transform_par::{synthesize_all_jobs, synthesize_suite_jobs};
+use transform_synth::{Backend, Balance, Suite, SynthOptions};
 use transform_x86::x86t_elt;
 
 /// A byte-exact rendering of everything user-visible in a suite: the
@@ -126,17 +126,106 @@ fn partition_sizes_never_change_the_suite() {
 #[test]
 fn streamed_bound_5_suite_is_byte_identical_to_sequential() {
     // The acceptance bar for the fused pipeline: an engine-level run at
-    // bound 5 reproduces the sequential suite exactly.
+    // bound 5 reproduces the sequential suite exactly, under both
+    // balance modes and a pinned partition size.
     let mtm = x86t_elt();
     let o = opts(5, Backend::Explicit);
     let sequential = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 1);
-    let streamed = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
     assert!(!sequential.elts.is_empty());
-    assert_eq!(fingerprint(&sequential), fingerprint(&streamed));
-    assert_eq!(sequential.stats.programs, streamed.stats.programs);
-    assert_eq!(sequential.stats.executions, streamed.stats.executions);
-    assert_eq!(sequential.stats.forbidden, streamed.stats.forbidden);
-    assert_eq!(sequential.stats.minimal, streamed.stats.minimal);
+    for (balance, partition_size) in [
+        (Balance::Mass, None),
+        (Balance::Depth, None),
+        (Balance::Mass, Some(13)),
+    ] {
+        let mut o = opts(5, Backend::Explicit);
+        o.balance = balance;
+        o.partition_size = partition_size;
+        let streamed = synthesize_suite_jobs(&mtm, "sc_per_loc", &o, 4);
+        let tag = format!("balance={balance:?} partition_size={partition_size:?}");
+        assert_eq!(fingerprint(&sequential), fingerprint(&streamed), "{tag}");
+        assert_eq!(sequential.stats.programs, streamed.stats.programs, "{tag}");
+        assert_eq!(
+            sequential.stats.executions, streamed.stats.executions,
+            "{tag}"
+        );
+        assert_eq!(
+            sequential.stats.forbidden, streamed.stats.forbidden,
+            "{tag}"
+        );
+        assert_eq!(sequential.stats.minimal, streamed.stats.minimal, "{tag}");
+    }
+}
+
+#[test]
+fn balance_modes_are_byte_identical() {
+    // Mass-estimated and depth splitting are pure scheduling: same
+    // suite, byte for byte, as the sequential engine — on both
+    // backends.
+    let mtm = x86t_elt();
+    for backend in [Backend::Explicit, Backend::Relational] {
+        let reference = {
+            let o = opts(4, backend);
+            fingerprint(&synthesize_suite_jobs(&mtm, "invlpg", &o, 1))
+        };
+        for balance in [Balance::Mass, Balance::Depth] {
+            let mut o = opts(4, backend);
+            o.balance = balance;
+            let suite = synthesize_suite_jobs(&mtm, "invlpg", &o, 4);
+            assert_eq!(
+                reference,
+                fingerprint(&suite),
+                "{backend:?} balance={balance:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_all_axiom_run_matches_per_axiom_sequential_suites() {
+    // The cross-axiom acceptance bar: one fused run (no shared plan
+    // materialized up front) reproduces every per-axiom sequential
+    // suite, counters included, at several worker counts.
+    let mtm = x86t_elt();
+    let o = opts(4, Backend::Explicit);
+    let sequential: Vec<(String, String)> = mtm
+        .axioms()
+        .iter()
+        .map(|ax| {
+            (
+                ax.name.clone(),
+                fingerprint(&synthesize_suite_jobs(&mtm, &ax.name, &o, 1)),
+            )
+        })
+        .collect();
+    for jobs in [2usize, 4, 8] {
+        let fused = synthesize_all_jobs(&mtm, &o, jobs);
+        assert_eq!(fused.len(), sequential.len(), "jobs={jobs}");
+        for (axiom, reference) in &sequential {
+            let suite = &fused[axiom];
+            assert_eq!(reference, &fingerprint(suite), "{axiom} jobs={jobs}");
+            assert!(!suite.stats.timed_out, "{axiom} jobs={jobs}");
+            let solo = synthesize_suite_jobs(&mtm, axiom, &o, 1);
+            assert_eq!(suite.stats.programs, solo.stats.programs, "{axiom}");
+            assert_eq!(suite.stats.executions, solo.stats.executions, "{axiom}");
+            assert_eq!(suite.stats.forbidden, solo.stats.forbidden, "{axiom}");
+            assert_eq!(suite.stats.minimal, solo.stats.minimal, "{axiom}");
+        }
+    }
+}
+
+#[test]
+fn fused_all_axiom_run_matches_the_eager_shared_plan_baseline() {
+    let mtm = x86t_elt();
+    let o = opts(4, Backend::Explicit);
+    let eager = transform_par::synthesize_all_jobs_eager(&mtm, &o, 4);
+    let fused = synthesize_all_jobs(&mtm, &o, 4);
+    assert_eq!(eager.len(), fused.len());
+    for (axiom, a) in &eager {
+        let b = &fused[axiom];
+        assert_eq!(fingerprint(a), fingerprint(b), "{axiom}");
+        assert_eq!(a.stats.programs, b.stats.programs, "{axiom}");
+        assert_eq!(a.stats.executions, b.stats.executions, "{axiom}");
+    }
 }
 
 #[test]
@@ -191,5 +280,33 @@ proptest! {
             jobs,
             partition_size
         );
+    }
+
+    /// Jobs × partition size × balance mode, through the fused
+    /// all-axiom run: every per-axiom suite stays the sequential one.
+    #[test]
+    fn fused_all_jobs_partition_balance_grid_stays_deterministic(
+        jobs in 2usize..10,
+        partition_size in 0usize..48,
+        depth_balance in any::<bool>(),
+    ) {
+        let mtm = x86t_elt();
+        let mut o = opts(4, Backend::Explicit);
+        // 0 stands in for "autotune" (the engine takes None).
+        o.partition_size = (partition_size > 0).then_some(partition_size);
+        o.balance = if depth_balance { Balance::Depth } else { Balance::Mass };
+        let fused = synthesize_all_jobs(&mtm, &o, jobs);
+        for ax in mtm.axioms() {
+            let reference = {
+                let o = opts(4, Backend::Explicit);
+                fingerprint(&synthesize_suite_jobs(&mtm, &ax.name, &o, 1))
+            };
+            prop_assert_eq!(
+                reference,
+                fingerprint(&fused[&ax.name]),
+                "{} jobs={} partition_size={:?} balance={:?}",
+                &ax.name, jobs, partition_size, o.balance
+            );
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! | request | response |
 //! |---|---|
 //! | `GET /healthz` | liveness, entry count, request counters |
+//! | `GET /v1/metrics` | the counters as Prometheus-style plaintext (requests, hits/misses, puts, bytes) |
 //! | `GET /v1/index` | the entry index (`transform_store::index::encode` bytes) |
 //! | `HEAD /v1/suite/<fingerprint>` | `200` when sealed, `404` otherwise |
 //! | `GET /v1/suite/<fingerprint>` | the sealed entry's bytes, streamed |

@@ -29,8 +29,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use transform_store::{Fingerprint, Store, StoreError};
 
-/// Request counters, readable while the server runs (`/healthz` reports
-/// them).
+/// Request counters, readable while the server runs (`/healthz`
+/// reports them human-readably; `/v1/metrics` exposes them as
+/// Prometheus-style plaintext for scrapers).
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Requests accepted (any method, any path).
@@ -43,6 +44,52 @@ pub struct ServeMetrics {
     pub puts_accepted: AtomicU64,
     /// `PUT /v1/suite/…` uploads refused (damaged or mis-addressed).
     pub puts_rejected: AtomicU64,
+    /// Payload bytes served: sealed-entry bodies and index encodings
+    /// (response heads and error text excluded).
+    pub bytes_served: AtomicU64,
+    /// Payload bytes received: `PUT` bodies, accepted or refused (they
+    /// crossed the wire either way).
+    pub bytes_received: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// The Prometheus-style plaintext rendering `/v1/metrics` serves:
+    /// one `# TYPE` line and one `name value` line per counter.
+    pub fn render(&self, entries: u64) -> String {
+        let counter = |name: &str, value: u64| format!("# TYPE {name} counter\n{name} {value}\n");
+        let mut out = String::new();
+        out.push_str(&counter(
+            "transform_serve_requests_total",
+            self.requests.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "transform_serve_suite_hits_total",
+            self.suite_hits.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "transform_serve_suite_misses_total",
+            self.suite_misses.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "transform_serve_puts_accepted_total",
+            self.puts_accepted.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "transform_serve_puts_rejected_total",
+            self.puts_rejected.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "transform_serve_bytes_served_total",
+            self.bytes_served.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "transform_serve_bytes_received_total",
+            self.bytes_received.load(Ordering::Relaxed),
+        ));
+        out.push_str("# TYPE transform_serve_entries gauge\n");
+        out.push_str(&format!("transform_serve_entries {entries}\n"));
+        out
+    }
 }
 
 /// Tuning knobs for [`Server::bind`].
@@ -341,6 +388,16 @@ fn route(
             }
             Ok(200)
         }
+        ("GET" | "HEAD", "/v1/metrics") => {
+            let entries = store.entries().map(|e| e.len()).unwrap_or(0);
+            let body = metrics.render(entries as u64);
+            if request.method == "HEAD" {
+                write_head(stream, 200, body.len() as u64, "text/plain; charset=utf-8")?;
+            } else {
+                respond_text(stream, 200, &body)?;
+            }
+            Ok(200)
+        }
         ("GET", "/v1/index") => {
             // Prefer the advisory index; rebuild it when missing or
             // stale so the response always reflects the sealed entries.
@@ -351,6 +408,9 @@ fn route(
                 Some(entries) => {
                     let bytes = transform_store::index::encode(&entries);
                     respond(stream, 200, &bytes, "application/octet-stream")?;
+                    metrics
+                        .bytes_served
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                     Ok(200)
                 }
                 None => {
@@ -410,10 +470,16 @@ fn route(
                     stream.write_all(&chunk[..n])?;
                 }
                 metrics.suite_hits.fetch_add(1, Ordering::Relaxed);
+                metrics.bytes_served.fetch_add(len, Ordering::Relaxed);
             }
             Ok(200)
         }
         ("PUT", path) if path.starts_with("/v1/suite/") => {
+            // The body crossed the wire regardless of what happens to
+            // it — count it before any refusal.
+            metrics
+                .bytes_received
+                .fetch_add(request.body.len() as u64, Ordering::Relaxed);
             let Some(fp) = parse_suite_path(path) else {
                 respond_text(stream, 400, "malformed fingerprint\n")?;
                 return Ok(400);
@@ -438,7 +504,10 @@ fn route(
             }
         }
         (_, path)
-            if path.starts_with("/v1/suite/") || path == "/v1/index" || path == "/healthz" =>
+            if path.starts_with("/v1/suite/")
+                || path == "/v1/index"
+                || path == "/v1/metrics"
+                || path == "/healthz" =>
         {
             respond_text(stream, 405, "method not allowed\n")?;
             Ok(405)

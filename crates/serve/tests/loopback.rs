@@ -285,3 +285,156 @@ fn truncated_remote_responses_are_detected_and_never_served() {
     std::fs::remove_dir_all(&seed).ok();
     std::fs::remove_dir_all(&local).ok();
 }
+
+/// One raw HTTP/1.1 GET, returning the response body as text.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connects");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n"
+    )
+    .expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    let (_head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    body.to_string()
+}
+
+/// One counter's value out of the Prometheus-style plaintext.
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{body}"))
+        .trim()
+        .parse()
+        .expect("metric value parses")
+}
+
+#[test]
+fn metrics_endpoint_reports_requests_hits_puts_and_bytes() {
+    let mtm = x86t_elt();
+    let root = temp_dir("metrics");
+    let server = Server::bind(&root, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let addr = server.local_addr();
+    let url = format!("http://{addr}");
+    let handle = server.spawn();
+    let client = HttpTier::new(&url).expect("valid URL");
+
+    // Cold scrape: every counter is present and zero.
+    let cold = http_get(addr, "/v1/metrics");
+    for name in [
+        "transform_serve_suite_hits_total",
+        "transform_serve_suite_misses_total",
+        "transform_serve_puts_accepted_total",
+        "transform_serve_puts_rejected_total",
+        "transform_serve_bytes_served_total",
+        "transform_serve_bytes_received_total",
+    ] {
+        assert_eq!(metric(&cold, name), 0, "{name} on a cold server");
+    }
+    assert_eq!(metric(&cold, "transform_serve_entries"), 0);
+
+    // Drive traffic: one miss, one upload, one hit.
+    let fp = suite_fingerprint(&mtm, AXIOM, &opts());
+    assert!(client.fetch(fp).expect("miss round-trips").is_none());
+    let seed = temp_dir("metrics-seed");
+    let store = Store::open(&seed).expect("opens");
+    cached_or_synthesize(&store, &mtm, AXIOM, &opts(), 2).expect("seeds");
+    let bytes = store
+        .entry_bytes(fp)
+        .expect("readable")
+        .expect("entry sealed");
+    client.publish(fp, &bytes).expect("uploads");
+    let served = client
+        .fetch(fp)
+        .expect("hit round-trips")
+        .expect("entry present");
+    assert_eq!(served, bytes);
+
+    let warm = http_get(addr, "/v1/metrics");
+    assert_eq!(metric(&warm, "transform_serve_suite_hits_total"), 1);
+    assert_eq!(metric(&warm, "transform_serve_suite_misses_total"), 1);
+    assert_eq!(metric(&warm, "transform_serve_puts_accepted_total"), 1);
+    assert_eq!(metric(&warm, "transform_serve_puts_rejected_total"), 0);
+    assert_eq!(metric(&warm, "transform_serve_entries"), 1);
+    assert_eq!(
+        metric(&warm, "transform_serve_bytes_received_total"),
+        bytes.len() as u64,
+        "the PUT body is the only ingested payload"
+    );
+    assert_eq!(
+        metric(&warm, "transform_serve_bytes_served_total"),
+        bytes.len() as u64,
+        "the served entry is the only payload sent"
+    );
+    assert!(metric(&warm, "transform_serve_requests_total") >= 4);
+
+    // A rejected upload counts as rejected and as received bytes.
+    let mut damaged = bytes.clone();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0xff;
+    assert!(
+        client.publish(fp, &damaged).is_err(),
+        "damaged upload bytes must be refused even for a present entry"
+    );
+    let after = http_get(addr, "/v1/metrics");
+    assert_eq!(metric(&after, "transform_serve_puts_rejected_total"), 1);
+    assert_eq!(
+        metric(&after, "transform_serve_bytes_received_total"),
+        2 * bytes.len() as u64
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::remove_dir_all(&seed).ok();
+}
+
+/// The fused all-axiom path through a tiered cache: axioms the remote
+/// holds are remote hits, the rest synthesize in one fused run, and
+/// push-on-seal publishes each freshly sealed suite to the server.
+#[test]
+fn fused_all_axiom_run_reads_through_and_pushes_per_axiom() {
+    let mtm = x86t_elt();
+
+    // The origin serves one pre-sealed axiom.
+    let origin = temp_dir("all-origin");
+    {
+        let store = Store::open(&origin).expect("opens");
+        cached_or_synthesize(&store, &mtm, AXIOM, &opts(), 2).expect("seeds the origin");
+    }
+    let server = Server::bind(&origin, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let url = format!("http://{}", server.local_addr());
+    let handle = server.spawn();
+
+    let local = temp_dir("all-client");
+    let cache = TieredCache::new(Store::open(&local).expect("store opens"))
+        .with_remote(Box::new(HttpTier::new(&url).expect("valid URL")));
+    let all = cache
+        .cached_or_synthesize_all(&mtm, &opts(), 2)
+        .expect("fused all");
+    assert_eq!(all.len(), mtm.axioms().len());
+    let origin_store = Store::open(&origin).expect("opens");
+    for (axiom, (suite, status)) in &all {
+        let reference = transform_synth::synthesize_suite(&mtm, axiom, &opts());
+        assert_eq!(render(suite), render(&reference), "{axiom}");
+        let fp = suite_fingerprint(&mtm, axiom, &opts());
+        if axiom == AXIOM {
+            assert!(status.is_remote_hit(), "{axiom}: {status:?}");
+        } else {
+            assert_eq!(status, &CacheStatus::Miss, "{axiom}");
+            // Push-on-seal: the freshly synthesized axiom reached the
+            // served origin store.
+            assert!(
+                origin_store.contains(fp),
+                "{axiom}: push-on-seal never reached the server"
+            );
+        }
+        assert!(cache.local().contains(fp), "{axiom}: local tier missing");
+    }
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&origin).ok();
+    std::fs::remove_dir_all(&local).ok();
+}

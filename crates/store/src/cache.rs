@@ -84,3 +84,23 @@ pub fn cached_or_synthesize(
 ) -> Result<(Suite, CacheStatus), StoreError> {
     crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs)
 }
+
+/// Serves **every** per-axiom suite of `mtm` from the store in one
+/// pass: tier hits stream from their sealed entries, and all the
+/// misses are synthesized together in one fused streamed run — the
+/// program space is enumerated once, and each missing axiom's suite is
+/// sealed the moment that axiom finishes, not when the whole run
+/// drains. The local-only counterpart of
+/// [`crate::TieredCache::cached_or_synthesize_all`].
+///
+/// # Errors
+///
+/// Only genuine i/o failures, exactly like [`cached_or_synthesize`].
+pub fn cached_or_synthesize_all(
+    store: &Store,
+    mtm: &Mtm,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> Result<std::collections::BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
+    crate::tier::run_tiered_all(store, None, mtm, opts, jobs)
+}

@@ -172,6 +172,20 @@ mod tests {
     }
 
     #[test]
+    fn balance_mode_does_not_split_the_cache() {
+        // Partition balancing is pure scheduling — suites are
+        // byte-identical under every mode, so entries sealed before
+        // mass-estimated splitting existed stay addressable.
+        let m = mtm();
+        let mut depth = SynthOptions::new(4);
+        depth.balance = transform_synth::Balance::Depth;
+        assert_eq!(
+            suite_fingerprint(&m, "invlpg", &SynthOptions::new(4)),
+            suite_fingerprint(&m, "invlpg", &depth)
+        );
+    }
+
+    #[test]
     fn spec_comments_and_whitespace_hash_identically() {
         let tidy = mtm();
         let noisy = parse_mtm(

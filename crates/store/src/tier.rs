@@ -24,9 +24,11 @@
 use crate::cache::CacheStatus;
 use crate::fingerprint::{suite_fingerprint, Fingerprint};
 use crate::store::{read_suite, EntryMeta, PendingSuite, Store, StoreError};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use transform_core::axiom::Mtm;
-use transform_par::{synthesize_suite_streamed, SuiteSink};
+use transform_par::{synthesize_axioms_streamed, synthesize_suite_streamed, SuiteSink};
 use transform_synth::{ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions};
 
 /// One tier of a layered suite cache: somewhere sealed-suite bytes can
@@ -174,6 +176,27 @@ impl TieredCache {
     ) -> Result<(Suite, CacheStatus), StoreError> {
         run_tiered(&self.local, self.remote.as_deref(), mtm, axiom, opts, jobs)
     }
+
+    /// Serves **every** per-axiom suite of `mtm` through the tiers in
+    /// one pass: each axiom is looked up locally, then remotely
+    /// (read-through), and all the misses are synthesized together in
+    /// one fused streamed run — the program space is enumerated once
+    /// and each missing axiom's suite is sealed (and pushed to the
+    /// remote, best-effort) *as that axiom finishes*, not when the
+    /// whole run drains.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine local i/o failures; remote trouble and validation
+    /// failures degrade to the next tier.
+    pub fn cached_or_synthesize_all(
+        &self,
+        mtm: &Mtm,
+        opts: &SynthOptions,
+        jobs: usize,
+    ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
+        run_tiered_all(&self.local, self.remote.as_deref(), mtm, opts, jobs)
+    }
 }
 
 /// The tiered lookup shared by [`TieredCache::cached_or_synthesize`] and
@@ -193,48 +216,10 @@ pub(crate) fn run_tiered(
         mtm.name()
     );
     let fp = suite_fingerprint(mtm, axiom, opts);
-    let mut status = CacheStatus::Miss;
-
-    // Tier 1: the local store.
-    if local.contains(fp) {
-        match read_entry(local, fp, axiom) {
-            Ok(suite) => return Ok((suite, CacheStatus::Hit)),
-            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
-            Err(invalid) => {
-                local.remove(fp)?;
-                status = CacheStatus::Rebuilt {
-                    reason: invalid.to_string(),
-                };
-            }
-        }
-    }
-
-    // Tier 2: the remote, read-through. Every failure mode here is
-    // soft — unreachable remote, damaged payload, local validation
-    // refusing the bytes — and degrades to synthesis; only local disk
-    // trouble while publishing the validated entry is hard.
-    if let Some(remote) = remote {
-        if let Ok(Some(bytes)) = remote.fetch(fp) {
-            match local.install_bytes(fp, &bytes) {
-                Ok(()) => match read_entry(local, fp, axiom) {
-                    Ok(suite) => return Ok((suite, CacheStatus::RemoteHit)),
-                    Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
-                    Err(_invalid) => {
-                        // The bytes validated internally but are not the
-                        // requested suite (e.g. a misbehaving remote whose
-                        // entry names another axiom): evict the installed
-                        // entry and fall through to synthesis.
-                        local.remove(fp)?;
-                    }
-                },
-                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
-                Err(_invalid) => {
-                    // Corrupt remote bytes: never installed, never
-                    // served. Fall through to synthesis.
-                }
-            }
-        }
-    }
+    let status = match lookup_tiers(local, remote, fp, axiom)? {
+        Lookup::Served(suite, status) => return Ok((suite, status)),
+        Lookup::Absent(status) => status,
+    };
 
     // Tier 3: synthesize, seal locally, push the sealed bytes.
     let pending = local.begin(fp, EntryMeta::describe(mtm, axiom, opts))?;
@@ -267,6 +252,224 @@ pub(crate) fn run_tiered(
     }
     let suite = read_entry(local, fp, axiom)?;
     Ok((suite, status))
+}
+
+/// One axiom's outcome from the local and remote tiers.
+enum Lookup {
+    /// A tier held the (validated) entry.
+    Served(Suite, CacheStatus),
+    /// Nothing servable anywhere: synthesis is needed. The carried
+    /// status is [`CacheStatus::Miss`], or [`CacheStatus::Rebuilt`]
+    /// when a damaged local entry was deleted on the way.
+    Absent(CacheStatus),
+}
+
+/// Tiers 1 and 2 of the lookup, shared by the single-axiom and the
+/// fused all-axiom paths: serve a sealed local entry; on a local miss
+/// fetch from the remote, validate *into* the local tier, and serve
+/// from there. Every remote failure mode is soft — unreachable remote,
+/// damaged payload, local validation refusing the bytes — and degrades
+/// to synthesis; only genuine local disk trouble is hard.
+fn lookup_tiers(
+    local: &Store,
+    remote: Option<&dyn CacheTier>,
+    fp: Fingerprint,
+    axiom: &str,
+) -> Result<Lookup, StoreError> {
+    let mut status = CacheStatus::Miss;
+
+    // Tier 1: the local store.
+    if local.contains(fp) {
+        match read_entry(local, fp, axiom) {
+            Ok(suite) => return Ok(Lookup::Served(suite, CacheStatus::Hit)),
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(invalid) => {
+                local.remove(fp)?;
+                status = CacheStatus::Rebuilt {
+                    reason: invalid.to_string(),
+                };
+            }
+        }
+    }
+
+    // Tier 2: the remote, read-through.
+    if let Some(remote) = remote {
+        if let Ok(Some(bytes)) = remote.fetch(fp) {
+            match local.install_bytes(fp, &bytes) {
+                Ok(()) => match read_entry(local, fp, axiom) {
+                    Ok(suite) => return Ok(Lookup::Served(suite, CacheStatus::RemoteHit)),
+                    Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                    Err(_invalid) => {
+                        // The bytes validated internally but are not the
+                        // requested suite (e.g. a misbehaving remote whose
+                        // entry names another axiom): evict the installed
+                        // entry and fall through to synthesis.
+                        local.remove(fp)?;
+                    }
+                },
+                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                Err(_invalid) => {
+                    // Corrupt remote bytes: never installed, never
+                    // served. Fall through to synthesis.
+                }
+            }
+        }
+    }
+    Ok(Lookup::Absent(status))
+}
+
+/// The all-axiom tiered lookup behind
+/// [`TieredCache::cached_or_synthesize_all`] and the local-only
+/// [`crate::cached_or_synthesize_all`]: tier hits are served per
+/// axiom, and every miss joins **one fused streamed synthesis** whose
+/// per-axiom sinks seal + push each suite the moment that axiom's
+/// schedule retires ([`SuiteSink::run_done`] fires per axiom, not at
+/// the end of the run).
+pub(crate) fn run_tiered_all(
+    local: &Store,
+    remote: Option<&dyn CacheTier>,
+    mtm: &Mtm,
+    opts: &SynthOptions,
+    jobs: usize,
+) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
+    let axioms: Vec<String> = mtm.axioms().iter().map(|a| a.name.clone()).collect();
+    let mut out = BTreeMap::new();
+    let mut misses: Vec<(String, Fingerprint, CacheStatus)> = Vec::new();
+    for axiom in axioms {
+        let fp = suite_fingerprint(mtm, &axiom, opts);
+        match lookup_tiers(local, remote, fp, &axiom)? {
+            Lookup::Served(suite, status) => {
+                out.insert(axiom, (suite, status));
+            }
+            Lookup::Absent(status) => misses.push((axiom, fp, status)),
+        }
+    }
+    if misses.is_empty() {
+        return Ok(out);
+    }
+
+    // One fused run for every miss: enumerate once, examine per axiom,
+    // seal each suite from inside the pool as its axiom finishes.
+    let gates: Vec<SealOnDone<'_>> = misses
+        .iter()
+        .map(|(axiom, fp, _)| {
+            let pending = local.begin(*fp, EntryMeta::describe(mtm, axiom, opts))?;
+            Ok(SealOnDone::new(local, remote, *fp, pending))
+        })
+        .collect::<Result<_, StoreError>>()?;
+    let axiom_refs: Vec<&str> = misses.iter().map(|(a, _, _)| a.as_str()).collect();
+    let sink_refs: Vec<&dyn SuiteSink> = gates.iter().map(|g| g as &dyn SuiteSink).collect();
+    let all_stats = synthesize_axioms_streamed(mtm, &axiom_refs, opts, jobs, &sink_refs);
+
+    for (((axiom, fp, status), gate), stats) in misses.into_iter().zip(gates).zip(all_stats) {
+        let (pending, seal_outcome) = gate.into_parts();
+        if stats.timed_out {
+            let pending = pending.expect("timed-out runs are never sealed");
+            let suite = pending.into_suite(&stats)?;
+            out.insert(
+                axiom,
+                (
+                    suite,
+                    CacheStatus::Uncached {
+                        reason: "synthesis timed out; partial suites are never cached".into(),
+                    },
+                ),
+            );
+            continue;
+        }
+        // A completed axiom was sealed from the pool; surface any seal
+        // failure now (local disk trouble is hard, as ever).
+        seal_outcome.expect("run_done seals every completed axiom")?;
+        let suite = read_entry(local, fp, &axiom)?;
+        out.insert(axiom, (suite, status));
+    }
+    Ok(out)
+}
+
+/// The per-axiom [`SuiteSink`] of a fused cached run: streams shards
+/// into the axiom's pending store entry and, the moment the axiom's
+/// schedule retires ([`SuiteSink::run_done`] with a completed run),
+/// seals the entry and pushes the sealed bytes to the remote tier
+/// (best-effort) — while other axioms of the same run are still
+/// examining.
+struct SealOnDone<'a> {
+    local: &'a Store,
+    remote: Option<&'a dyn CacheTier>,
+    fp: Fingerprint,
+    /// Consumed by the seal; kept for [`PendingSuite::into_suite`] on
+    /// timed-out runs.
+    pending: Mutex<Option<PendingSuite>>,
+    /// The seal's outcome, surfaced to the driver after the run.
+    sealed: Mutex<Option<Result<(), StoreError>>>,
+}
+
+impl<'a> SealOnDone<'a> {
+    fn new(
+        local: &'a Store,
+        remote: Option<&'a dyn CacheTier>,
+        fp: Fingerprint,
+        pending: PendingSuite,
+    ) -> SealOnDone<'a> {
+        SealOnDone {
+            local,
+            remote,
+            fp,
+            pending: Mutex::new(Some(pending)),
+            sealed: Mutex::new(None),
+        }
+    }
+
+    /// Dismantles the gate: the still-pending entry (present only when
+    /// the run never sealed) and the seal outcome (present only when it
+    /// did).
+    fn into_parts(self) -> (Option<PendingSuite>, Option<Result<(), StoreError>>) {
+        (
+            self.pending
+                .into_inner()
+                .expect("pending lock is never poisoned"),
+            self.sealed
+                .into_inner()
+                .expect("sealed lock is never poisoned"),
+        )
+    }
+}
+
+impl SuiteSink for SealOnDone<'_> {
+    fn shard_done(&self, stats: ShardStats, records: Vec<SuiteRecord>) {
+        if let Some(pending) = self
+            .pending
+            .lock()
+            .expect("pending lock is never poisoned")
+            .as_ref()
+        {
+            pending.shard_done(stats, records);
+        }
+    }
+
+    fn run_done(&self, stats: &SuiteStats) {
+        if stats.timed_out {
+            return; // never sealed; the driver assembles the partial suite
+        }
+        let Some(pending) = self
+            .pending
+            .lock()
+            .expect("pending lock is never poisoned")
+            .take()
+        else {
+            return;
+        };
+        let result = pending.seal(stats).map(|_| ());
+        if result.is_ok() {
+            if let Some(remote) = self.remote {
+                // Best-effort: a failed push costs the fleet a warm
+                // entry, never this run its result.
+                if let Ok(Some(bytes)) = self.local.entry_bytes(self.fp) {
+                    let _ = remote.publish(self.fp, &bytes);
+                }
+            }
+        }
+        *self.sealed.lock().expect("sealed lock is never poisoned") = Some(result);
+    }
 }
 
 /// The [`SuiteSink`] adapter behind push-on-seal: forwards every shard

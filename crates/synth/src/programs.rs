@@ -588,6 +588,116 @@ fn combine(
     }
 }
 
+/// How a partitioned [`EnumSpace`] decides where to split.
+///
+/// Both modes yield the same program sequence (splits are always
+/// order-preserving expansions of the recursion) — only the work-unit
+/// boundaries differ, so the choice is pure scheduling: it never
+/// changes a synthesized suite, and is excluded from store
+/// fingerprints like the worker count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Balance {
+    /// Split by estimated subtree mass: the exact shape-combination
+    /// node count below each prefix (memoized from the recursion
+    /// itself), so partitions carry roughly equal enumeration work.
+    #[default]
+    Mass,
+    /// Split the cheapest root shapes to a fixed depth of two, blind
+    /// to subtree mass — the pre-mass-estimation behavior, kept as a
+    /// comparison baseline.
+    Depth,
+}
+
+impl Balance {
+    /// Parses the CLI spelling (`mass` | `depth`).
+    pub fn parse(name: &str) -> Option<Balance> {
+        match name {
+            "mass" => Some(Balance::Mass),
+            "depth" => Some(Balance::Depth),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Balance::Mass => "mass",
+            Balance::Depth => "depth",
+        }
+    }
+}
+
+/// Exact node counts of the shape-combination recursion, memoized.
+///
+/// A *node* is one chosen shape multiset — one [`assign_and_emit`]
+/// call. `descendants(from, budget, threads)` counts the nodes of the
+/// subtree that continues with shape indices `>= from` under the
+/// remaining budget and thread slots: the number of non-empty
+/// non-decreasing index sequences with total cost ≤ `budget` and
+/// length ≤ `threads`. The recurrence mirrors the recursion — skip
+/// shape `from` entirely, or choose it first and continue from it:
+///
+/// `N(f,b,t) = N(f+1,b,t) + [cost_f ≤ b] · (1 + N(f, b−cost_f, t−1))`
+///
+/// The table is `O(shapes × bound × threads)` and each entry is O(1),
+/// so estimating every partition's mass costs far less than
+/// enumerating even one of them.
+struct MassTable {
+    /// `table[(f * (bound+1) + b) * (maxt+1) + t]`.
+    table: Vec<u64>,
+    bound: usize,
+    maxt: usize,
+}
+
+impl MassTable {
+    fn new(shapes: &[Shape], bound: usize, max_threads: usize) -> MassTable {
+        let maxt = max_threads.min(bound); // every shape costs ≥ 1
+        let n = shapes.len();
+        let bdim = bound + 1;
+        let tdim = maxt + 1;
+        let mut table = vec![0u64; (n + 1) * bdim * tdim];
+        let idx = |f: usize, b: usize, t: usize| (f * bdim + b) * tdim + t;
+        for f in (0..n).rev() {
+            let cost = shapes[f].cost;
+            for b in 0..bdim {
+                for t in 1..tdim {
+                    let mut m = table[idx(f + 1, b, t)];
+                    if cost <= b {
+                        m = m
+                            .saturating_add(1)
+                            .saturating_add(table[idx(f, b - cost, t - 1)]);
+                    }
+                    table[idx(f, b, t)] = m;
+                }
+            }
+        }
+        MassTable { table, bound, maxt }
+    }
+
+    /// Nodes strictly below a node that continues from index `from`
+    /// with `budget` cost and `threads` slots left.
+    fn descendants(&self, from: usize, budget: usize, threads: usize) -> u64 {
+        let b = budget.min(self.bound);
+        let t = threads.min(self.maxt);
+        self.table[(from * (self.bound + 1) + b) * (self.maxt + 1) + t]
+    }
+
+    /// Estimated mass of one partition: its own node plus, for subtree
+    /// partitions, everything below the prefix.
+    fn partition_mass(&self, shapes: &[Shape], max_threads: usize, part: &Partition) -> u64 {
+        if !part.subtree {
+            return 1;
+        }
+        let used: usize = part.prefix.iter().map(|&i| shapes[i].cost).sum();
+        let from = *part.prefix.last().expect("prefixes are non-empty");
+        1u64.saturating_add(self.descendants(
+            from,
+            self.bound.saturating_sub(used),
+            max_threads.saturating_sub(part.prefix.len()),
+        ))
+    }
+}
+
 /// The bounded program space split by *skeleton prefix* into
 /// independently enumerable partitions.
 ///
@@ -622,6 +732,41 @@ struct Partition {
 /// O(shapes²) partitions, far more than any realistic worker count.
 const MAX_SPLIT_DEPTH: usize = 2;
 
+/// The order-preserving expansion of one subtree partition: Emit(p)
+/// followed by Subtree(p + [j]) for every feasible continuation j —
+/// exactly the recursion's own visit order. Splicing this in place of
+/// the node keeps global partition order equal to the monolithic
+/// enumeration under any sequence of splits; both split modes (depth
+/// and mass) go through here so they can never drift apart.
+fn expand_partition(
+    node: &Partition,
+    shapes: &[Shape],
+    bound: usize,
+    max_threads: usize,
+) -> Vec<Partition> {
+    let used: usize = node.prefix.iter().map(|&i| shapes[i].cost).sum();
+    let budget_left = bound - used;
+    let from = *node.prefix.last().expect("prefixes are non-empty");
+    let mut expansion = vec![Partition {
+        prefix: node.prefix.clone(),
+        subtree: false,
+    }];
+    if node.prefix.len() < max_threads {
+        for (j, shape) in shapes.iter().enumerate().skip(from) {
+            if shape.cost > budget_left {
+                break; // shapes are sorted by cost
+            }
+            let mut prefix = node.prefix.clone();
+            prefix.push(j);
+            expansion.push(Partition {
+                prefix,
+                subtree: true,
+            });
+        }
+    }
+    expansion
+}
+
 impl EnumSpace {
     /// Builds the space with one partition per first-thread shape.
     pub fn new(opts: &EnumOptions) -> EnumSpace {
@@ -655,29 +800,7 @@ impl EnumSpace {
                 break;
             };
             let node = partitions[at].clone();
-            // Replace Subtree(p) by Emit(p) followed by Subtree(p + [j])
-            // for every feasible continuation j — exactly the recursion's
-            // own expansion, so partition order still equals visit order.
-            let used: usize = node.prefix.iter().map(|&i| shapes[i].cost).sum();
-            let budget_left = opts.bound - used;
-            let from = *node.prefix.last().expect("prefixes are non-empty");
-            let mut expansion = vec![Partition {
-                prefix: node.prefix.clone(),
-                subtree: false,
-            }];
-            if node.prefix.len() < max_threads {
-                for (j, shape) in shapes.iter().enumerate().skip(from) {
-                    if shape.cost > budget_left {
-                        break; // shapes are sorted by cost
-                    }
-                    let mut prefix = node.prefix.clone();
-                    prefix.push(j);
-                    expansion.push(Partition {
-                        prefix,
-                        subtree: true,
-                    });
-                }
-            }
+            let expansion = expand_partition(&node, &shapes, opts.bound, max_threads);
             partitions.splice(at..=at, expansion);
         }
         EnumSpace {
@@ -686,6 +809,92 @@ impl EnumSpace {
             max_threads,
             partitions,
         }
+    }
+
+    /// Builds the space split by *estimated subtree mass*: any
+    /// partition whose exact shape-combination node count exceeds
+    /// `target_mass` is split (heaviest first, always
+    /// order-preserving) until every partition fits the target or
+    /// nothing splittable remains. Unlike the depth-2 split of
+    /// [`EnumSpace::with_target_partitions`], this sees *into* the
+    /// recursion: a cheap root shape owning a huge subtree is carved
+    /// up, a costly root owning a sliver is left whole — so a parallel
+    /// pool's work units carry comparable enumeration work.
+    pub fn balanced(opts: &EnumOptions, target_mass: u64) -> EnumSpace {
+        EnumSpace::balanced_impl(opts, Some(target_mass), usize::MAX)
+    }
+
+    /// Like [`EnumSpace::balanced`], deriving the mass target from a
+    /// partition-count target: `target_mass = total_mass / target`. The
+    /// convenience the parallel orchestrator uses (`jobs × partitions
+    /// per worker` in, balanced work units out).
+    pub fn balanced_for_target(opts: &EnumOptions, target: usize) -> EnumSpace {
+        EnumSpace::balanced_impl(opts, None, target)
+    }
+
+    fn balanced_impl(opts: &EnumOptions, target_mass: Option<u64>, target: usize) -> EnumSpace {
+        /// Far more partitions than any realistic worker count needs;
+        /// bounds per-partition overhead when the mass target is tiny.
+        const MAX_BALANCED_PARTITIONS: usize = 8192;
+        let mut shapes = shapes(opts.bound, opts);
+        shapes.sort_by_key(|s| s.cost); // identical to the monolithic sort
+        let max_threads = opts.max_threads.unwrap_or(opts.bound);
+        let table = MassTable::new(&shapes, opts.bound, max_threads);
+        let mut partitions: Vec<Partition> = if max_threads == 0 {
+            Vec::new()
+        } else {
+            (0..shapes.len())
+                .map(|i| Partition {
+                    prefix: vec![i],
+                    subtree: true,
+                })
+                .collect()
+        };
+        let mut masses: Vec<u64> = partitions
+            .iter()
+            .map(|p| table.partition_mass(&shapes, max_threads, p))
+            .collect();
+        let total: u64 = masses.iter().fold(0u64, |a, &m| a.saturating_add(m));
+        let target_mass = target_mass
+            .unwrap_or_else(|| total / target.max(1) as u64)
+            .max(1);
+        while partitions.len() < MAX_BALANCED_PARTITIONS {
+            // The heaviest partition above the target. A subtree whose
+            // mass exceeds 1 always has children, so splitting strictly
+            // reduces the maximum and the loop terminates.
+            let Some(at) = (0..partitions.len())
+                .filter(|&i| partitions[i].subtree && masses[i] > target_mass)
+                .max_by_key(|&i| masses[i])
+            else {
+                break;
+            };
+            let node = partitions[at].clone();
+            let expansion = expand_partition(&node, &shapes, opts.bound, max_threads);
+            let expansion_masses: Vec<u64> = expansion
+                .iter()
+                .map(|p| table.partition_mass(&shapes, max_threads, p))
+                .collect();
+            partitions.splice(at..=at, expansion);
+            masses.splice(at..=at, expansion_masses);
+        }
+        EnumSpace {
+            shapes,
+            opts: opts.clone(),
+            max_threads,
+            partitions,
+        }
+    }
+
+    /// The estimated mass of every partition, in ordinal order: the
+    /// exact shape-combination node count each work unit covers
+    /// (diagnostics and the `enum_throughput` bench's balance
+    /// comparison — splitting itself reuses the same table).
+    pub fn masses(&self) -> Vec<u64> {
+        let table = MassTable::new(&self.shapes, self.opts.bound, self.max_threads);
+        self.partitions
+            .iter()
+            .map(|p| table.partition_mass(&self.shapes, self.max_threads, p))
+            .collect()
     }
 
     /// The enumeration options the space was built for.
@@ -1194,6 +1403,115 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Brute-force node count of the shape-combination recursion:
+    /// every non-empty chosen multiset is one node, exactly what
+    /// `MassTable` claims to count in O(1).
+    fn count_nodes(shapes: &[Shape], from: usize, budget: usize, threads: usize) -> u64 {
+        if threads == 0 {
+            return 0;
+        }
+        let mut total = 0u64;
+        for (j, shape) in shapes.iter().enumerate().skip(from) {
+            if shape.cost > budget {
+                break; // sorted by cost
+            }
+            total += 1 + count_nodes(shapes, j, budget - shape.cost, threads - 1);
+        }
+        total
+    }
+
+    #[test]
+    fn mass_table_counts_the_recursion_exactly() {
+        for bound in [2usize, 3, 4, 5] {
+            for (fences, rmw) in [(false, false), (true, true)] {
+                let mut opts = EnumOptions::new(bound);
+                opts.allow_fences = fences;
+                opts.allow_rmw = rmw;
+                let mut all = shapes(bound, &opts);
+                all.sort_by_key(|s| s.cost);
+                let table = MassTable::new(&all, bound, bound);
+                for from in [0usize, all.len() / 2, all.len()] {
+                    for threads in 1..=bound {
+                        assert_eq!(
+                            table.descendants(from, bound, threads),
+                            count_nodes(&all, from, bound, threads),
+                            "bound {bound} fences {fences} rmw {rmw} \
+                             from {from} threads {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_stream_matches_eager_enumeration_at_any_mass_target() {
+        for bound in [3usize, 4] {
+            for symmetry in [true, false] {
+                let mut opts = EnumOptions::new(bound);
+                opts.allow_fences = true;
+                opts.allow_rmw = true;
+                opts.symmetry_reduction = symmetry;
+                let eager = programs(&opts);
+                for target_mass in [0u64, 1, 5, 50, u64::MAX] {
+                    let space = EnumSpace::balanced(&opts, target_mass);
+                    let streamed: Vec<Program> = space.stream().collect();
+                    assert_eq!(
+                        eager, streamed,
+                        "bound {bound} symmetry {symmetry} target_mass {target_mass}"
+                    );
+                }
+                for target in [0usize, 1, 7, 64] {
+                    let space = EnumSpace::balanced_for_target(&opts, target);
+                    let streamed: Vec<Program> = space.stream().collect();
+                    assert_eq!(
+                        eager, streamed,
+                        "bound {bound} symmetry {symmetry} target {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_partitions_respect_the_mass_target() {
+        let mut opts = EnumOptions::new(4);
+        opts.allow_fences = true;
+        opts.allow_rmw = true;
+        for target_mass in [1u64, 3, 10, 100] {
+            let space = EnumSpace::balanced(&opts, target_mass);
+            let masses = space.masses();
+            assert_eq!(masses.len(), space.partition_count());
+            assert!(
+                masses.iter().all(|&m| m <= target_mass),
+                "target {target_mass}: masses {masses:?}"
+            );
+            // Splitting conserves total mass: same recursion, different
+            // work-unit boundaries.
+            let whole: u64 = EnumSpace::balanced(&opts, u64::MAX).masses().iter().sum();
+            assert_eq!(masses.iter().sum::<u64>(), whole);
+        }
+    }
+
+    #[test]
+    fn balanced_split_is_less_lopsided_than_depth_split() {
+        // The tentpole claim, at a measurable scale: for the same
+        // partition-count target, the heaviest mass-balanced partition
+        // carries no more work than the heaviest depth-split one.
+        let mut opts = EnumOptions::new(5);
+        opts.allow_fences = true;
+        opts.allow_rmw = true;
+        let target = 64;
+        let depth = EnumSpace::with_target_partitions(&opts, target);
+        let mass = EnumSpace::balanced_for_target(&opts, target);
+        let max_depth = depth.masses().into_iter().max().unwrap_or(0);
+        let max_mass = mass.masses().into_iter().max().unwrap_or(0);
+        assert!(
+            max_mass <= max_depth,
+            "mass split's heaviest partition ({max_mass}) exceeds depth split's ({max_depth})"
+        );
     }
 
     #[test]

@@ -35,12 +35,25 @@ fn bound_5_stream_matches_eager_across_partition_targets() {
 #[test]
 fn bound_5_with_fences_and_rmw_streams_identically() {
     // The nightly stress configuration, at the partition granularity the
-    // parallel pool actually uses.
+    // parallel pool actually uses — for both split modes.
     let opts = options(5, true, true, true);
     let eager = programs(&opts);
-    let space = EnumSpace::with_target_partitions(&opts, 64);
-    let streamed: Vec<Program> = space.stream().collect();
-    assert_eq!(eager, streamed);
+    let depth = EnumSpace::with_target_partitions(&opts, 64);
+    assert_eq!(eager, depth.stream().collect::<Vec<Program>>());
+    let mass = EnumSpace::balanced_for_target(&opts, 64);
+    assert_eq!(eager, mass.stream().collect::<Vec<Program>>());
+}
+
+#[test]
+fn bound_5_balanced_stream_matches_eager_across_mass_targets() {
+    let opts = options(5, false, false, true);
+    let eager = programs(&opts);
+    assert!(!eager.is_empty());
+    for target_mass in [1u64, 40, u64::MAX] {
+        let space = EnumSpace::balanced(&opts, target_mass);
+        let streamed: Vec<Program> = space.stream().collect();
+        assert_eq!(eager, streamed, "target_mass {target_mass}");
+    }
 }
 
 #[test]
@@ -99,6 +112,49 @@ proptest! {
         opts.max_threads = Some(max_threads);
         let eager = programs(&opts);
         let space = EnumSpace::with_target_partitions(&opts, target);
+        let streamed: Vec<Program> = space.stream().collect();
+        prop_assert_eq!(eager, streamed);
+    }
+
+    /// Mass-balanced splitting: any bound ≤ 4, any option mix, any mass
+    /// target — the stream equals the eager enumeration AND the
+    /// depth-split stream (the two split modes are interchangeable).
+    #[test]
+    fn balanced_stream_equals_programs_and_depth_split(
+        bound in 2usize..=4,
+        fences in any::<bool>(),
+        rmw in any::<bool>(),
+        symmetry in any::<bool>(),
+        target_mass in 1u64..200,
+    ) {
+        let opts = options(bound, fences, rmw, symmetry);
+        let eager = programs(&opts);
+        let mass = EnumSpace::balanced(&opts, target_mass);
+        let streamed: Vec<Program> = mass.stream().collect();
+        prop_assert_eq!(
+            &eager, &streamed,
+            "vs eager: bound={} fences={} rmw={} symmetry={} target_mass={}",
+            bound, fences, rmw, symmetry, target_mass
+        );
+        let depth = EnumSpace::with_target_partitions(&opts, 16);
+        let depth_streamed: Vec<Program> = depth.stream().collect();
+        prop_assert_eq!(
+            streamed, depth_streamed,
+            "vs depth split: bound={} target_mass={}",
+            bound, target_mass
+        );
+    }
+
+    /// A max-threads cap balances identically too.
+    #[test]
+    fn balanced_respects_max_threads(
+        max_threads in 1usize..=3,
+        target_mass in 1u64..100,
+    ) {
+        let mut opts = options(4, false, false, true);
+        opts.max_threads = Some(max_threads);
+        let eager = programs(&opts);
+        let space = EnumSpace::balanced(&opts, target_mass);
         let streamed: Vec<Program> = space.stream().collect();
         prop_assert_eq!(eager, streamed);
     }
