@@ -20,7 +20,11 @@
 //! * balance modes: partition counts and mass distribution of the
 //!   depth-2 split vs mass-estimated splitting
 //!   (`EnumSpace::balanced_for_target`), plus the streamed enumeration
-//!   wall-clock of each.
+//!   wall-clock of each;
+//! * progress-instrumentation overhead: the fused run with a subscribed
+//!   `ProgressState` (published counters plus a polling sampler thread,
+//!   the way `--progress` observes it) vs the unobserved fused run,
+//!   recorded as `progress_overhead_pct` per point.
 //!
 //! Besides the per-point measurements, the run writes the numbers to
 //! `BENCH_enum.json` at the workspace root so the perf trajectory is
@@ -32,7 +36,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use transform_par::{
     default_jobs, synthesize_all_jobs, synthesize_all_jobs_eager, synthesize_suite_jobs_eager,
-    synthesize_suite_streamed_metrics, StreamMetrics, SuiteSink,
+    synthesize_suite_streamed_metrics, synthesize_suite_streamed_observed, ProgressState,
+    StreamMetrics, SuiteSink,
 };
 use transform_synth::programs::{Balance, EnumSpace};
 use transform_synth::{ShardStats, SuiteRecord, SynthOptions};
@@ -88,6 +93,7 @@ struct Point {
     enum_streamed: Duration,
     synth_eager: Duration,
     synth_fused: Duration,
+    synth_observed: Duration,
     peak_live_eager: usize,
     metrics: StreamMetrics,
 }
@@ -138,6 +144,41 @@ fn measure(bound: usize) -> Point {
         );
     }
 
+    // The same fused run with a live observer subscribed: publishing
+    // the progress atomics plus a sampling thread polling snapshots the
+    // way `--progress` does. The delta against the unobserved fused run
+    // is the instrumentation overhead (acceptance bar: < 2% at bound 6).
+    let sink = Collect(Mutex::new(Vec::new()));
+    let progress = std::sync::Arc::new(ProgressState::new(&[AXIOM]));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let progress = std::sync::Arc::clone(&progress);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut samples = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = progress.snapshot();
+                samples += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            samples
+        })
+    };
+    let start = Instant::now();
+    let (observed_stats, observed_metrics) =
+        synthesize_suite_streamed_observed(&mtm, AXIOM, &o, jobs, &sink, &progress);
+    let synth_observed = start.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    sampler.join().expect("sampler joins");
+    let mut observed_records = sink.0.into_inner().expect("collect lock");
+    observed_records.sort_by_key(|r| r.index);
+    assert_eq!(observed_records.len(), records.len());
+    for (r, e) in observed_records.iter().zip(&records) {
+        assert_eq!(r.elt.program, e.elt.program, "observed suite diverged");
+    }
+    assert_eq!(observed_stats.programs, stats.programs);
+    assert_eq!(observed_metrics.partitions, metrics.partitions);
+
     Point {
         bound,
         programs: stats.programs,
@@ -146,6 +187,7 @@ fn measure(bound: usize) -> Point {
         enum_streamed,
         synth_eager,
         synth_fused,
+        synth_observed,
         peak_live_eager,
         metrics,
     }
@@ -161,6 +203,7 @@ fn json_point(p: &Point) -> String {
             "\"enum_streamed_programs_per_sec\": {:.1}, ",
             "\"synth_eager_secs\": {:.6}, \"synth_fused_secs\": {:.6}, ",
             "\"fused_speedup\": {:.3}, ",
+            "\"synth_observed_secs\": {:.6}, \"progress_overhead_pct\": {:.2}, ",
             "\"peak_live_eager\": {}, \"peak_live_streamed\": {}, ",
             "\"partitions\": {}, \"batches\": {}, \"final_batch_size\": {}}}"
         ),
@@ -174,6 +217,9 @@ fn json_point(p: &Point) -> String {
         p.synth_eager.as_secs_f64(),
         p.synth_fused.as_secs_f64(),
         p.synth_eager.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON),
+        p.synth_observed.as_secs_f64(),
+        (p.synth_observed.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON) - 1.0)
+            * 100.0,
         p.peak_live_eager,
         p.metrics.peak_live_candidates,
         p.metrics.partitions,
@@ -269,6 +315,7 @@ fn throughput_summary(_c: &mut Criterion) {
         println!(
             "enum_throughput summary: `{AXIOM}` @ bound {} --fences --rmw on {} workers: \
              enum eager {:?} vs streamed {:?}; synth eager {:?} vs fused {:?} ({:.2}x); \
+             observed fused {:?} ({:+.2}% progress overhead); \
              peak live {} -> {} (of {} programs, {} partitions, {} batches)",
             p.bound,
             jobs(),
@@ -277,6 +324,10 @@ fn throughput_summary(_c: &mut Criterion) {
             p.synth_eager,
             p.synth_fused,
             p.synth_eager.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON),
+            p.synth_observed,
+            (p.synth_observed.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON)
+                - 1.0)
+                * 100.0,
             p.peak_live_eager,
             p.metrics.peak_live_candidates,
             p.programs,

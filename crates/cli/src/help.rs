@@ -31,6 +31,17 @@ const BALANCE_FLAG: &str = "\
                          subtree work, `depth` is the fixed-depth baseline;
                          scheduling only — it never changes the suite";
 
+/// The shared description of `--progress`, verbatim wherever it
+/// applies.
+const PROGRESS_FLAG: &str = "\
+  --progress[=human|json]  live per-axiom telemetry on stderr while the run
+                         executes: partitions and subtree mass retired,
+                         programs admitted, ELTs found, and a mass-based
+                         ETA; cache-served axioms render as `cached`.
+                         `json` emits one object per line (pipes, CI).
+                         Observation never changes the suite — stdout is
+                         byte-identical with and without it";
+
 /// The `--help` text of one subcommand (`store` takes the sub-subcommand
 /// when one was given). `None` for unknown commands.
 pub fn help_for(cmd: &str, store_sub: Option<&str>) -> Option<String> {
@@ -78,6 +89,7 @@ usage: transform synthesize --axiom A|--all --bound N [--mtm M]
            [--max-threads T] [--fences] [--rmw] [--timeout-secs S]
            [--quiet] [--jobs N|auto] [--backend explicit|relational]
            [--partition-size N|auto] [--balance mass|depth]
+           [--progress[=human|json]]
            [--cache DIR] [--cache-url URL] [--out FILE]
 
 Synthesize the per-axiom spanning-set suite of enhanced litmus tests at
@@ -103,20 +115,21 @@ flags:
   --out FILE             write the ELTs to FILE instead of stdout
 {PARTITION_FLAG}
 {BALANCE_FLAG}
+{PROGRESS_FLAG}
 
 caching:
 {CACHE_FLAGS}
 
 example:
   transform synthesize --all --bound 5 --fences --rmw --jobs auto \\
-      --cache store --cache-url http://cache.internal:7171
+      --progress --cache store --cache-url http://cache.internal:7171
 "
         ),
         "compare" => format!(
             "\
 usage: transform compare [--bound N] [--timeout-secs S] [--jobs N|auto]
            [--partition-size N|auto] [--balance mass|depth]
-           [--cache DIR] [--cache-url URL]
+           [--progress[=human|json]] [--cache DIR] [--cache-url URL]
 
 The paper's §VI-B comparison: synthesize every x86t_elt per-axiom suite
 (one fused run — the program space is enumerated once for all axioms)
@@ -130,12 +143,13 @@ flags:
   --jobs N|auto          worker threads (`auto` = all cores)
 {PARTITION_FLAG}
 {BALANCE_FLAG}
+{PROGRESS_FLAG}
 
 caching:
 {CACHE_FLAGS}
 
 example:
-  transform compare --bound 6 --jobs auto --cache store \\
+  transform compare --bound 6 --jobs auto --progress --cache store \\
       --cache-url http://cache.internal:7171
 "
         ),
@@ -206,9 +220,11 @@ point `--cache-url` at it: GET/HEAD /v1/suite/<fingerprint> serves
 sealed entries, PUT uploads them (validated byte-for-byte before
 sealing, idempotent), GET /v1/index serves the entry index,
 GET /healthz reports liveness, and GET /v1/metrics exposes the request
-counters (requests, hits, puts, bytes) as Prometheus-style plaintext.
-Entries are content-addressed and immutable, so serving is
-replication-safe by construction.
+counters (requests, hits, puts, bytes, per-route request/latency
+breakdowns, in-flight connections) in the Prometheus text format —
+scrape it, or watch it live with `transform top`. Entries are
+content-addressed and immutable, so serving is replication-safe by
+construction.
 
 flags:
   --root DIR             the store directory to serve (required; created
@@ -220,6 +236,25 @@ flags:
 
 example:
   transform serve --root /srv/transform-store --addr 0.0.0.0:7171
+"
+        .to_string(),
+        "top" => "\
+usage: transform top --url URL [--interval-secs N] [--once]
+
+A live fleet view of a `transform serve` instance: polls its
+/v1/metrics endpoint and renders entries, suite hits/misses, puts,
+byte counters, in-flight connections, and a per-route table of request
+counts, delta-based rates, and average latencies. Redraws in place on
+a TTY; prints one frame per poll otherwise.
+
+flags:
+  --url URL              the `transform serve` endpoint (http://host:port)
+  --interval-secs N      polling interval (default 2)
+  --once                 print a single snapshot and exit (scripts, CI
+                         smoke tests)
+
+example:
+  transform top --url http://cache.internal:7171 --once
 "
         .to_string(),
         "store" => match store_sub {

@@ -19,6 +19,8 @@
 //!   fingerprints, and sweep leftover shard directories;
 //! * `serve` — serve a suite store over HTTP as a fleet-wide shared
 //!   cache (`transform-serve`); clients point `--cache-url` at it;
+//! * `top` — a live fleet view of a `serve` instance, polled from its
+//!   Prometheus `/v1/metrics` endpoint;
 //! * `store push` / `store pull` — bulk-replicate sealed entries to /
 //!   from a served cache.
 //!
@@ -30,20 +32,26 @@
 
 mod help;
 mod opts;
+mod progress;
 
 use opts::Opts;
+use progress::{parse_progress, ProgressMode, Reporter};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Read;
+use std::sync::Arc;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
 use transform_core::spec::parse_mtm;
 use transform_core::{figures, pretty, vocab};
 use transform_litmus::format::{parse_elt, print_elt};
-use transform_par::{synthesize_all_jobs, synthesize_suite_jobs};
+use transform_par::{
+    synthesize_all_jobs, synthesize_all_jobs_observed, synthesize_suite_jobs,
+    synthesize_suite_jobs_observed, ProgressState,
+};
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
 use transform_store::{
-    cached_or_synthesize, cached_or_synthesize_all, CacheTier, EntryMeta, Fingerprint, HttpTier,
-    Store, TieredCache,
+    cached_or_synthesize, cached_or_synthesize_all, cached_or_synthesize_all_observed,
+    cached_or_synthesize_observed, CacheTier, EntryMeta, Fingerprint, HttpTier, Store, TieredCache,
 };
 use transform_synth::engine::{Backend, Suite, SynthOptions};
 use transform_synth::programs::{Balance, Program, SlotOp};
@@ -62,15 +70,18 @@ commands:
              [--fences] [--rmw] [--timeout-secs S] [--quiet]
              [--jobs N|auto] [--backend explicit|relational]
              [--partition-size N|auto] [--balance mass|depth]
+             [--progress[=human|json]]
              [--cache DIR] [--cache-url URL] [--out FILE]
   compare --bound N [--timeout-secs S] [--jobs N|auto]
           [--partition-size N|auto] [--balance mass|depth]
+          [--progress[=human|json]]
           [--cache DIR] [--cache-url URL]
   simulate FILE|- [--bug invlpg-noop|shootdown|dirty-bit] [--evictions]
   query --cache DIR [--mtm-name M] [--axiom A] [--bound N]
         [--backend B] [--shape S] [--fences] [--rmw]
   export --cache DIR [same filters as query] [--out FILE]
   serve --root DIR [--addr HOST:PORT] [--threads N] [--verbose]
+  top --url URL [--interval-secs N] [--once]
   store verify --cache DIR [--remove-corrupt]
   store gc --cache DIR [--older-than-days N] [--keep-list FILE]
         [--dry-run]
@@ -90,6 +101,10 @@ default, adapts it to the observed throughput); --balance picks how
 the enumeration splits into work units (`mass`, the default, sizes
 partitions by estimated subtree work; `depth` is the fixed-depth
 baseline). Neither ever changes the suite.
+--progress streams live per-axiom telemetry (partitions/mass retired,
+programs, ELTs, mass-based ETA) to stderr while synthesis runs —
+`json` emits one object per line; stdout stays byte-identical either
+way. `top` polls a serve instance's /v1/metrics for a live fleet view.
 --cache makes synthesis stream from / seal into a persistent suite
 store keyed on (MTM, axiom, bound, options); corrupt or stale entries
 are detected by checksums and rebuilt. --cache-url adds a shared
@@ -125,6 +140,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "query" => cmd_query(opts),
         "export" => cmd_export(opts),
         "serve" => cmd_serve(opts),
+        "top" => cmd_top(opts),
         "store" => cmd_store(opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -236,6 +252,7 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     }
     let jobs = opts.jobs()?;
     let quiet = opts.flag("--quiet");
+    let progress_mode = parse_progress(opts.optional_value("--progress"))?;
     let cache = opts.value("--cache");
     let cache_url = opts.value("--cache-url");
     let out_file = opts.value("--out");
@@ -259,11 +276,22 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         }
         (None, true) => mtm.axioms().iter().map(|a| a.name.clone()).collect(),
     };
+    // --progress: a shared atomics block the run publishes into and a
+    // reporter thread renders from (stderr only — stdout is identical
+    // to an unobserved run).
+    let (progress, reporter) = start_progress(progress_mode, &axioms);
     let suites = if all {
         // One fused run for every axiom: the program space is
         // enumerated once, and no shared plan is built before workers
         // start.
-        synthesize_all_maybe_cached(&mtm, &sopts, jobs, cache.as_deref(), cache_url.as_deref())?
+        synthesize_all_maybe_cached(
+            &mtm,
+            &sopts,
+            jobs,
+            cache.as_deref(),
+            cache_url.as_deref(),
+            progress.as_ref(),
+        )?
     } else {
         let suite = synthesize_maybe_cached(
             &mtm,
@@ -272,9 +300,13 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
             jobs,
             cache.as_deref(),
             cache_url.as_deref(),
+            progress.as_ref(),
         )?;
         std::iter::once((axioms[0].clone(), suite)).collect()
     };
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     let mut out = String::new();
     let render_all = || -> String { axioms.iter().map(|ax| render_suite(&suites[ax])).collect() };
     if let Some(path) = &out_file {
@@ -309,12 +341,31 @@ fn suite_summary(axiom: &str, bound: usize, suite: &Suite, jobs: usize) -> Strin
     )
 }
 
+/// Builds the progress state + reporter pair behind `--progress`
+/// (`None` mode means no observation at all — the run takes the plain,
+/// un-instrumented entry points).
+fn start_progress(
+    mode: Option<ProgressMode>,
+    axioms: &[String],
+) -> (Option<Arc<ProgressState>>, Option<Reporter>) {
+    match mode {
+        None => (None, None),
+        Some(mode) => {
+            let state = Arc::new(ProgressState::new(axioms));
+            let reporter = Reporter::start(Arc::clone(&state), mode);
+            (Some(state), Some(reporter))
+        }
+    }
+}
+
 /// The `synthesize`/`compare` synthesis step: straight through the
 /// engine, through the persistent suite store when `--cache` is given,
 /// and through the tiered local+remote cache when `--cache-url` names a
 /// shared `transform serve` endpoint too. Cached and fresh runs print
 /// identically — a warm run (local or remote) serves the sealed
-/// artifact of the cold one, statistics included.
+/// artifact of the cold one, statistics included. A `progress` handle
+/// observes the run (cache hits marked cached, live runs publishing
+/// their counters) without changing any of that.
 fn synthesize_maybe_cached(
     mtm: &Mtm,
     axiom: &str,
@@ -322,9 +373,13 @@ fn synthesize_maybe_cached(
     jobs: usize,
     cache: Option<&str>,
     cache_url: Option<&str>,
+    progress: Option<&Arc<ProgressState>>,
 ) -> Result<Suite, String> {
     match (cache, cache_url) {
-        (None, None) => Ok(synthesize_suite_jobs(mtm, axiom, sopts, jobs)),
+        (None, None) => Ok(match progress {
+            Some(p) => synthesize_suite_jobs_observed(mtm, axiom, sopts, jobs, p),
+            None => synthesize_suite_jobs(mtm, axiom, sopts, jobs),
+        }),
         (None, Some(_)) => Err(
             "--cache-url needs --cache DIR for the local tier (remote hits are \
              validated into it, and fresh suites are sealed there before the push)"
@@ -332,8 +387,11 @@ fn synthesize_maybe_cached(
         ),
         (Some(dir), None) => {
             let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
-            let (suite, _status) = cached_or_synthesize(&store, mtm, axiom, sopts, jobs)
-                .map_err(|e| format!("cache `{dir}`: {e}"))?;
+            let (suite, _status) = match progress {
+                Some(p) => cached_or_synthesize_observed(&store, mtm, axiom, sopts, jobs, p),
+                None => cached_or_synthesize(&store, mtm, axiom, sopts, jobs),
+            }
+            .map_err(|e| format!("cache `{dir}`: {e}"))?;
             Ok(suite)
         }
         (Some(dir), Some(url)) => {
@@ -341,9 +399,11 @@ fn synthesize_maybe_cached(
             let remote = HttpTier::new(url).map_err(|e| e.to_string())?;
             let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
             let tiered = TieredCache::new(store).with_remote(Box::new(remote));
-            let (suite, _status) = tiered
-                .cached_or_synthesize(mtm, axiom, sopts, jobs)
-                .map_err(|e| format!("cache `{dir}` + `{url}`: {e}"))?;
+            let (suite, _status) = match progress {
+                Some(p) => tiered.cached_or_synthesize_observed(mtm, axiom, sopts, jobs, p),
+                None => tiered.cached_or_synthesize(mtm, axiom, sopts, jobs),
+            }
+            .map_err(|e| format!("cache `{dir}` + `{url}`: {e}"))?;
             Ok(suite)
         }
     }
@@ -362,9 +422,13 @@ fn synthesize_all_maybe_cached(
     jobs: usize,
     cache: Option<&str>,
     cache_url: Option<&str>,
+    progress: Option<&Arc<ProgressState>>,
 ) -> Result<BTreeMap<String, Suite>, String> {
     match (cache, cache_url) {
-        (None, None) => Ok(synthesize_all_jobs(mtm, sopts, jobs)),
+        (None, None) => Ok(match progress {
+            Some(p) => synthesize_all_jobs_observed(mtm, sopts, jobs, p),
+            None => synthesize_all_jobs(mtm, sopts, jobs),
+        }),
         (None, Some(_)) => Err(
             "--cache-url needs --cache DIR for the local tier (remote hits are \
              validated into it, and fresh suites are sealed there before the push)"
@@ -372,8 +436,11 @@ fn synthesize_all_maybe_cached(
         ),
         (Some(dir), None) => {
             let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
-            let all = cached_or_synthesize_all(&store, mtm, sopts, jobs)
-                .map_err(|e| format!("cache `{dir}`: {e}"))?;
+            let all = match progress {
+                Some(p) => cached_or_synthesize_all_observed(&store, mtm, sopts, jobs, p),
+                None => cached_or_synthesize_all(&store, mtm, sopts, jobs),
+            }
+            .map_err(|e| format!("cache `{dir}`: {e}"))?;
             Ok(all.into_iter().map(|(ax, (s, _))| (ax, s)).collect())
         }
         (Some(dir), Some(url)) => {
@@ -381,9 +448,11 @@ fn synthesize_all_maybe_cached(
             let remote = HttpTier::new(url).map_err(|e| e.to_string())?;
             let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
             let tiered = TieredCache::new(store).with_remote(Box::new(remote));
-            let all = tiered
-                .cached_or_synthesize_all(mtm, sopts, jobs)
-                .map_err(|e| format!("cache `{dir}` + `{url}`: {e}"))?;
+            let all = match progress {
+                Some(p) => tiered.cached_or_synthesize_all_observed(mtm, sopts, jobs, p),
+                None => tiered.cached_or_synthesize_all(mtm, sopts, jobs),
+            }
+            .map_err(|e| format!("cache `{dir}` + `{url}`: {e}"))?;
             Ok(all.into_iter().map(|(ax, (s, _))| (ax, s)).collect())
         }
     }
@@ -448,17 +517,85 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
     if let Some(b) = opts.value("--balance") {
         sopts.balance = parse_balance(&b)?;
     }
+    let progress_mode = parse_progress(opts.optional_value("--progress"))?;
     let cache = opts.value("--cache");
     let cache_url = opts.value("--cache-url");
     opts.finish()?;
     let mtm = x86t_elt();
+    let axioms: Vec<String> = mtm.axioms().iter().map(|a| a.name.clone()).collect();
+    let (progress, reporter) = start_progress(progress_mode, &axioms);
     // One fused run covers every axiom (the budget spans the whole
     // run); cached axioms stream from their sealed entries.
-    let suites =
-        synthesize_all_maybe_cached(&mtm, &sopts, jobs, cache.as_deref(), cache_url.as_deref())?;
+    let suites = synthesize_all_maybe_cached(
+        &mtm,
+        &sopts,
+        jobs,
+        cache.as_deref(),
+        cache_url.as_deref(),
+        progress.as_ref(),
+    )?;
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     let keys = synthesized_keys(suites.values());
     let cmp = compare_suite(&transform_x86::coatcheck::suite(), &keys);
     Ok(transform_x86::compare::render(&cmp))
+}
+
+/// `transform top`: a live fleet view of a `transform serve` instance,
+/// polled from its `/v1/metrics` endpoint. `--once` prints a single
+/// frame (scripts, CI smoke tests); otherwise redraws until killed.
+fn cmd_top(mut opts: Opts) -> Result<String, String> {
+    let url = opts
+        .value("--url")
+        .ok_or("top needs --url http://host:port")?;
+    let interval: u64 = opts
+        .value("--interval-secs")
+        .map(|s| s.parse().map_err(|_| "--interval-secs must be a number"))
+        .transpose()?
+        .unwrap_or(2)
+        .max(1);
+    let once = opts.flag("--once");
+    opts.finish()?;
+    let remote = HttpTier::new(&url).map_err(|e| e.to_string())?;
+    let scrape = || -> Result<std::collections::BTreeMap<String, f64>, String> {
+        let text = remote
+            .metrics()
+            .map_err(|e| format!("cannot scrape `{url}`: {e}"))?;
+        Ok(progress::parse_prometheus(&text))
+    };
+    let first = scrape()?;
+    if once {
+        return Ok(progress::render_top(&url, None, &first, interval as f64));
+    }
+    use std::io::IsTerminal;
+    let tty = std::io::stdout().is_terminal();
+    let mut prev = first;
+    print!("{}", progress::render_top(&url, None, &prev, interval as f64));
+    loop {
+        std::thread::sleep(Duration::from_secs(interval));
+        // A transient scrape failure (server restarting) keeps polling.
+        let cur = match scrape() {
+            Ok(cur) => cur,
+            Err(e) => {
+                eprintln!("transform top: {e}");
+                continue;
+            }
+        };
+        let frame = progress::render_top(&url, Some(&prev), &cur, interval as f64);
+        if tty {
+            // Redraw in place.
+            print!("\x1b[{}A", frame.lines().count());
+            for line in frame.lines() {
+                println!("\x1b[2K{line}");
+            }
+        } else {
+            print!("{frame}");
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        prev = cur;
+    }
 }
 
 /// Entry- and test-level filters shared by `query` and `export`.
@@ -1570,6 +1707,7 @@ mod tests {
             "query",
             "export",
             "serve",
+            "top",
             "store",
             "store verify",
             "store gc",
@@ -1622,6 +1760,14 @@ mod tests {
         let serve = run_str("serve --help").expect("help");
         assert!(serve.contains("--root DIR"), "{serve}");
         assert!(serve.contains("--cache-url"), "{serve}");
+        for cmd in ["synthesize", "compare"] {
+            let help = run_str(&format!("{cmd} --help")).expect("help");
+            assert!(help.contains("--progress[=human|json]"), "{cmd}:\n{help}");
+            assert!(help.contains("never changes the suite"), "{cmd}:\n{help}");
+        }
+        let top = run_str("top --help").expect("help");
+        assert!(top.contains("--url URL"), "{top}");
+        assert!(top.contains("--once"), "{top}");
     }
 
     #[test]
@@ -1727,6 +1873,131 @@ mod tests {
             );
         }
         handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The tentpole's acceptance bar: `--progress` may only ever add a
+    /// stderr stream. Stdout is byte-identical at any mode and worker
+    /// count, and the sealed store entries hold the same suite.
+    #[test]
+    fn progress_changes_neither_stdout_nor_the_sealed_bytes() {
+        let base = run_str("synthesize --axiom invlpg --bound 4").expect("runs");
+        let elts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("suite `"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for line in [
+            "synthesize --axiom invlpg --bound 4 --progress=json",
+            "synthesize --axiom invlpg --bound 4 --progress=json --jobs 3",
+            "synthesize --axiom invlpg --bound 4 --progress --jobs 2",
+        ] {
+            let out = run_str(line).expect("runs");
+            assert_eq!(elts(&base), elts(&out), "{line}");
+        }
+        // --all with --progress: same fused-run output.
+        let all = run_str("synthesize --all --bound 4").expect("runs");
+        let observed = run_str("synthesize --all --bound 4 --progress=json --jobs 4").expect("runs");
+        assert_eq!(elts(&all), elts(&observed));
+
+        // Sealed content: one cache populated observed at --jobs 3, one
+        // plain and sequential — every entry holds the same suite. (Raw
+        // entry bytes are *not* comparable across independent cold runs:
+        // the sealed trailer records the run's wall-clock `elapsed` and
+        // per-shard breakdown. Byte-exactness holds for warm re-reads of
+        // the same artifact, covered below and by the store tests.)
+        let dir = temp_dir("progress-bytes");
+        let plain = dir.join("plain");
+        let observed = dir.join("observed");
+        run_str(&format!(
+            "synthesize --all --bound 4 --quiet --cache {}",
+            plain.display()
+        ))
+        .expect("plain seeds");
+        run_str(&format!(
+            "synthesize --all --bound 4 --quiet --jobs 3 --progress=json --cache {}",
+            observed.display()
+        ))
+        .expect("observed seeds");
+        let a = Store::open(&plain).expect("opens");
+        let b = Store::open(&observed).expect("opens");
+        let entries = a.entries().expect("lists");
+        assert_eq!(entries, b.entries().expect("lists"));
+        assert!(!entries.is_empty());
+        let content = |store: &Store, fp: Fingerprint| {
+            let suite =
+                transform_store::read_suite(store.open_suite(fp).expect("opens")).expect("reads");
+            let elts: Vec<String> = suite
+                .elts
+                .iter()
+                .map(|e| format!("{:?} {:?} {:?}", e.program, e.witness, e.violated))
+                .collect();
+            (
+                suite.axiom,
+                elts,
+                suite.stats.programs,
+                suite.stats.executions,
+                suite.stats.forbidden,
+                suite.stats.minimal,
+            )
+        };
+        for fp in entries {
+            assert_eq!(
+                content(&a, fp),
+                content(&b, fp),
+                "{fp}: observed sealing must preserve the suite"
+            );
+        }
+        // A warm observed run serves the cache (axioms render cached —
+        // covered by unit tests) and still prints identically.
+        let warm = run_str(&format!(
+            "synthesize --all --bound 4 --quiet --progress=json --cache {}",
+            observed.display()
+        ))
+        .expect("warm observed");
+        let cold = run_str(&format!(
+            "synthesize --all --bound 4 --quiet --cache {}",
+            plain.display()
+        ))
+        .expect("warm plain");
+        assert_eq!(elts(&warm), elts(&cold));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_rejects_unknown_modes() {
+        let e = run_str("synthesize --axiom invlpg --bound 4 --progress=wat").unwrap_err();
+        assert!(e.contains("wat"), "{e}");
+    }
+
+    #[test]
+    fn top_once_renders_a_fleet_snapshot_of_a_loopback_serve() {
+        use transform_serve::{ServeOptions, Server};
+        let dir = temp_dir("top");
+        let served = dir.join("served");
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {}",
+            served.display()
+        ))
+        .expect("seeds");
+        let server = Server::bind(&served, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+
+        let frame = run_str(&format!("top --once --url {url}")).expect("scrapes");
+        assert!(frame.contains("transform top"), "{frame}");
+        assert!(frame.contains("entries 1"), "{frame}");
+        assert!(frame.contains("in-flight"), "{frame}");
+        for route in transform_serve::ROUTE_NAMES {
+            assert!(frame.contains(route), "{route} missing:\n{frame}");
+        }
+
+        handle.shutdown();
+        let e = run_str(&format!("top --once --url {url}")).unwrap_err();
+        assert!(e.contains("cannot scrape"), "{e}");
+        let e = run_str("top --once").unwrap_err();
+        assert!(e.contains("--url"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,6 +40,29 @@ impl Opts {
         v
     }
 
+    /// Takes `--name` or `--name=value`: `None` when the flag is
+    /// absent, `Some(None)` for the bare flag, `Some(Some(v))` for the
+    /// `=`-attached form. For flags whose value is optional (the space
+    /// form would swallow the next positional).
+    pub fn optional_value(&mut self, name: &str) -> Option<Option<String>> {
+        let prefix = format!("{name}=");
+        for slot in &mut self.args {
+            match slot.as_deref() {
+                Some(s) if s == name => {
+                    slot.take();
+                    return Some(None);
+                }
+                Some(s) if s.starts_with(&prefix) => {
+                    let v = s[prefix.len()..].to_string();
+                    slot.take();
+                    return Some(Some(v));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
     /// Takes the boolean flag `--name`, returning whether it was present.
     pub fn flag(&mut self, name: &str) -> bool {
         match self.args.iter().position(|s| s.as_deref() == Some(name)) {
@@ -128,6 +151,29 @@ mod tests {
         let mut o = opts("synthesize --bound");
         assert_eq!(o.positional().as_deref(), Some("synthesize"));
         assert_eq!(o.value("--bound"), None);
+    }
+
+    #[test]
+    fn optional_values_take_bare_and_attached_forms() {
+        let mut o = opts("synthesize --progress --bound 4");
+        assert_eq!(o.optional_value("--progress"), Some(None));
+        assert_eq!(o.positional().as_deref(), Some("synthesize"));
+        assert_eq!(o.value("--bound").as_deref(), Some("4"));
+        o.finish().expect("all consumed");
+
+        let mut o = opts("synthesize --progress=json");
+        assert_eq!(
+            o.optional_value("--progress"),
+            Some(Some("json".to_string()))
+        );
+        o.positional();
+        o.finish().expect("all consumed");
+
+        // Absent flag, and the bare form never swallows a neighbor.
+        assert_eq!(opts("synthesize").optional_value("--progress"), None);
+        let mut o = opts("--progress human");
+        assert_eq!(o.optional_value("--progress"), Some(None));
+        assert_eq!(o.positional().as_deref(), Some("human"));
     }
 
     #[test]

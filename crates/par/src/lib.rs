@@ -77,6 +77,7 @@
 #![deny(missing_docs)]
 
 pub mod dedup;
+pub mod progress;
 pub mod shard;
 pub mod stream;
 
@@ -91,6 +92,7 @@ use transform_synth::{
     SynthesizedElt,
 };
 
+pub use progress::{AxiomSnapshot, AxiomState, ProgressSnapshot, ProgressState};
 pub use stream::StreamMetrics;
 
 /// Shards per worker: enough granularity for stealing to balance uneven
@@ -413,7 +415,30 @@ pub fn synthesize_suite_streamed_metrics(
     jobs: usize,
     sink: &dyn SuiteSink,
 ) -> (SuiteStats, StreamMetrics) {
-    stream::run_streamed(mtm, axiom, opts, jobs, sink)
+    stream::run_streamed(mtm, axiom, opts, jobs, sink, None)
+}
+
+/// Like [`synthesize_suite_streamed_metrics`], publishing live counters
+/// into `progress` as the run advances — partitions and subtree mass
+/// retired, programs admitted, per-axiom batch/item/ELT counts
+/// ([`progress`] has the full inventory). The returned
+/// [`StreamMetrics`] is the final snapshot of the same state.
+/// Observation is lock-free sampling; it adds no synchronization to the
+/// pipeline's hot path.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm` or not tracked by
+/// `progress`.
+pub fn synthesize_suite_streamed_observed(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+    sink: &dyn SuiteSink,
+    progress: &std::sync::Arc<ProgressState>,
+) -> (SuiteStats, StreamMetrics) {
+    stream::run_streamed(mtm, axiom, opts, jobs, sink, Some(progress))
 }
 
 /// Synthesizes the per-axiom suites of several axioms in **one fused
@@ -458,7 +483,28 @@ pub fn synthesize_axioms_streamed_metrics(
     jobs: usize,
     sinks: &[&dyn SuiteSink],
 ) -> (Vec<SuiteStats>, StreamMetrics) {
-    stream::run_fused(mtm, axioms, opts, jobs, sinks)
+    stream::run_fused(mtm, axioms, opts, jobs, sinks, None)
+}
+
+/// Like [`synthesize_axioms_streamed_metrics`], publishing live
+/// counters into `progress` as the fused run advances. `progress` may
+/// track more axioms than this run covers (the tiered store passes its
+/// caller's state, with cache-served axioms already marked
+/// [`AxiomState::Cached`]); the run binds its own axioms by name.
+///
+/// # Panics
+///
+/// Panics when any axiom is not part of `mtm`, not tracked by
+/// `progress`, or `axioms` and `sinks` disagree in length.
+pub fn synthesize_axioms_streamed_observed(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    jobs: usize,
+    sinks: &[&dyn SuiteSink],
+    progress: &std::sync::Arc<ProgressState>,
+) -> (Vec<SuiteStats>, StreamMetrics) {
+    stream::run_fused(mtm, axioms, opts, jobs, sinks, Some(progress))
 }
 
 /// The pre-streaming two-phase reference: the full plan is materialized
@@ -511,6 +557,33 @@ pub fn synthesize_suite_jobs(mtm: &Mtm, axiom: &str, opts: &SynthOptions, jobs: 
     }
     let sink = CollectSink::new();
     let stats = synthesize_suite_streamed(mtm, axiom, opts, jobs, &sink);
+    Suite {
+        axiom: axiom.to_string(),
+        elts: sink.into_elts(),
+        stats,
+    }
+}
+
+/// [`synthesize_suite_jobs`] with live telemetry: the run publishes
+/// into `progress` while it executes. Always runs the streamed pipeline
+/// (even at `jobs == 1` — there is nothing to observe in the sequential
+/// engine), whose suite is byte-identical to the sequential one at
+/// every worker count.
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm` or not tracked by
+/// `progress`.
+pub fn synthesize_suite_jobs_observed(
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+    progress: &std::sync::Arc<ProgressState>,
+) -> Suite {
+    let sink = CollectSink::new();
+    let (stats, _) =
+        synthesize_suite_streamed_observed(mtm, axiom, opts, jobs.max(1), &sink, progress);
     Suite {
         axiom: axiom.to_string(),
         elts: sink.into_elts(),
@@ -577,6 +650,42 @@ pub fn synthesize_all_jobs_with_union(
     }
     let distinct = union.len();
     (suites, distinct)
+}
+
+/// [`synthesize_all_jobs`] with live telemetry: one fused streamed run
+/// over every axiom of `mtm`, publishing into `progress` while it
+/// executes (always streamed, even at `jobs == 1`). Each per-axiom
+/// suite is byte-identical to its sequential counterpart.
+///
+/// # Panics
+///
+/// Panics when `progress` does not track every axiom of `mtm`.
+pub fn synthesize_all_jobs_observed(
+    mtm: &Mtm,
+    opts: &SynthOptions,
+    jobs: usize,
+    progress: &std::sync::Arc<ProgressState>,
+) -> BTreeMap<String, Suite> {
+    let axioms: Vec<&str> = mtm.axioms().iter().map(|a| a.name.as_str()).collect();
+    let sinks: Vec<CollectSink> = axioms.iter().map(|_| CollectSink::new()).collect();
+    let sink_refs: Vec<&dyn SuiteSink> = sinks.iter().map(|s| s as &dyn SuiteSink).collect();
+    let (all_stats, _) =
+        synthesize_axioms_streamed_observed(mtm, &axioms, opts, jobs.max(1), &sink_refs, progress);
+    axioms
+        .iter()
+        .zip(sinks)
+        .zip(all_stats)
+        .map(|((axiom, sink), stats)| {
+            (
+                axiom.to_string(),
+                Suite {
+                    axiom: axiom.to_string(),
+                    elts: sink.into_elts(),
+                    stats,
+                },
+            )
+        })
+        .collect()
 }
 
 /// The pre-fusion cross-axiom reference: one shared plan is fully

@@ -1,0 +1,379 @@
+//! Live telemetry for streamed synthesis runs.
+//!
+//! A [`ProgressState`] is a block of atomics the fused pipeline
+//! ([`crate::stream`]) publishes into as partitions retire and examine
+//! batches drain — partitions and subtree mass retired (against the
+//! totals from [`EnumSpace::masses`]), programs admitted through the
+//! dedup frontier, the frontier's depth, live/peak candidate counts,
+//! and per-axiom batch/item/ELT counters. Observers (the CLI's
+//! `--progress` reporter) poll [`ProgressState::snapshot`] from any
+//! thread without touching the pipeline's lock; the pipeline itself
+//! writes with relaxed stores from inside lock-held transitions, so
+//! observation adds no synchronization to the hot path.
+//!
+//! The same state is the run's final record: the returned
+//! [`StreamMetrics`] *is* the last snapshot (see
+//! [`StreamMetrics::from_snapshot`]), so live counters can never drift
+//! from the numbers a run reports at the end.
+//!
+//! Cached-vs-live rendering: a store-tier lookup that serves an axiom
+//! from a sealed entry marks its slot [`AxiomState::Cached`]
+//! ([`ProgressState::mark_cached`]), while axioms entering the fused
+//! run move through [`AxiomState::Running`] to [`AxiomState::Complete`]
+//! (or [`AxiomState::Cut`] on a deadline).
+//!
+//! [`EnumSpace::masses`]: transform_synth::programs::EnumSpace::masses
+//! [`StreamMetrics`]: crate::StreamMetrics
+//! [`StreamMetrics::from_snapshot`]: crate::StreamMetrics::from_snapshot
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// All progress stores/loads are relaxed: every write happens inside a
+/// pipeline-lock-held transition (mutually ordered already), and
+/// readers only ever sample — they never synchronize with the run.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// Sentinel for "no deadline cut" in the `cut_at_partition` atomic.
+const NO_CUT: usize = usize::MAX;
+
+/// Where one axiom's suite stands in a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AxiomState {
+    /// Known to the run but not started (a fused run that has not
+    /// reached it, or a tiered lookup still probing the cache).
+    Pending,
+    /// Its examine batches are in flight.
+    Running,
+    /// Its whole schedule retired cleanly; the suite is final.
+    Complete,
+    /// The deadline cut its schedule; the suite is partial.
+    Cut,
+    /// Served from a sealed store entry — no synthesis ran for it.
+    Cached,
+}
+
+impl AxiomState {
+    fn from_u8(v: u8) -> AxiomState {
+        match v {
+            1 => AxiomState::Running,
+            2 => AxiomState::Complete,
+            3 => AxiomState::Cut,
+            4 => AxiomState::Cached,
+            _ => AxiomState::Pending,
+        }
+    }
+
+    /// The machine-readable spelling (`--progress json`, tests).
+    pub fn name(self) -> &'static str {
+        match self {
+            AxiomState::Pending => "pending",
+            AxiomState::Running => "running",
+            AxiomState::Complete => "complete",
+            AxiomState::Cut => "cut",
+            AxiomState::Cached => "cached",
+        }
+    }
+}
+
+/// One axiom's live counters.
+pub(crate) struct AxiomProgress {
+    name: String,
+    pub(crate) batches_done: AtomicUsize,
+    pub(crate) items_examined: AtomicUsize,
+    pub(crate) elts: AtomicUsize,
+    pub(crate) state: AtomicU8,
+}
+
+/// Shared live counters of one (possibly multi-axiom) synthesis run.
+///
+/// Created by the observer (e.g. the CLI) with the run's axiom names,
+/// wrapped in an [`Arc`](std::sync::Arc), and handed to an `_observed`
+/// entry point ([`crate::synthesize_axioms_streamed_observed`] and
+/// friends, or the store's `cached_or_synthesize*_observed` paths).
+/// Poll [`ProgressState::snapshot`] from any thread.
+pub struct ProgressState {
+    started: Instant,
+    axioms: Vec<AxiomProgress>,
+    pub(crate) partitions_total: AtomicUsize,
+    pub(crate) partitions_retired: AtomicUsize,
+    pub(crate) mass_total: AtomicU64,
+    pub(crate) mass_retired: AtomicU64,
+    pub(crate) programs: AtomicUsize,
+    pub(crate) items_planned: AtomicUsize,
+    pub(crate) frontier_depth: AtomicUsize,
+    pub(crate) live_candidates: AtomicUsize,
+    pub(crate) peak_live_candidates: AtomicUsize,
+    pub(crate) batches: AtomicUsize,
+    pub(crate) cut_at_partition: AtomicUsize,
+    pub(crate) final_batch_size: AtomicUsize,
+}
+
+impl ProgressState {
+    /// A fresh state tracking `axioms` (every axiom the observer wants
+    /// rendered — including ones a tiered lookup may serve from cache
+    /// without ever entering the fused run).
+    pub fn new<S: AsRef<str>>(axioms: &[S]) -> ProgressState {
+        ProgressState {
+            started: Instant::now(),
+            axioms: axioms
+                .iter()
+                .map(|name| AxiomProgress {
+                    name: name.as_ref().to_string(),
+                    batches_done: AtomicUsize::new(0),
+                    items_examined: AtomicUsize::new(0),
+                    elts: AtomicUsize::new(0),
+                    state: AtomicU8::new(AxiomState::Pending as u8),
+                })
+                .collect(),
+            partitions_total: AtomicUsize::new(0),
+            partitions_retired: AtomicUsize::new(0),
+            mass_total: AtomicU64::new(0),
+            mass_retired: AtomicU64::new(0),
+            programs: AtomicUsize::new(0),
+            items_planned: AtomicUsize::new(0),
+            frontier_depth: AtomicUsize::new(0),
+            live_candidates: AtomicUsize::new(0),
+            peak_live_candidates: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            cut_at_partition: AtomicUsize::new(NO_CUT),
+            final_batch_size: AtomicUsize::new(0),
+        }
+    }
+
+    /// The slot index of `axiom`, or `None` when the state was built
+    /// without it.
+    pub(crate) fn slot_of(&self, axiom: &str) -> Option<usize> {
+        self.axioms.iter().position(|a| a.name == axiom)
+    }
+
+    pub(crate) fn axiom(&self, slot: usize) -> &AxiomProgress {
+        &self.axioms[slot]
+    }
+
+    pub(crate) fn set_axiom_state(&self, slot: usize, state: AxiomState) {
+        self.axioms[slot].state.store(state as u8, ORD);
+    }
+
+    /// Marks `axiom` as served from a sealed cache entry with `elts`
+    /// suite members — the store tier's hook, so cached and live axioms
+    /// render distinctly. Unknown names are ignored (the observer chose
+    /// not to track them).
+    pub fn mark_cached(&self, axiom: &str, elts: usize) {
+        if let Some(slot) = self.slot_of(axiom) {
+            self.axioms[slot].elts.store(elts, ORD);
+            self.set_axiom_state(slot, AxiomState::Cached);
+        }
+    }
+
+    /// Time since the state was created (the observer's clock — it
+    /// starts when the run is requested, cache probing included).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A consistent-enough point-in-time copy of every counter: each
+    /// counter is individually monotone (they are only ever increased,
+    /// gauges aside), so repeated snapshots never move backwards, but
+    /// no cross-counter invariant stronger than that is promised while
+    /// the run is live. After the run returns, the snapshot is exact.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let cut = self.cut_at_partition.load(ORD);
+        ProgressSnapshot {
+            elapsed: self.started.elapsed(),
+            partitions_total: self.partitions_total.load(ORD),
+            partitions_retired: self.partitions_retired.load(ORD),
+            mass_total: self.mass_total.load(ORD),
+            mass_retired: self.mass_retired.load(ORD),
+            programs: self.programs.load(ORD),
+            items_planned: self.items_planned.load(ORD),
+            frontier_depth: self.frontier_depth.load(ORD),
+            live_candidates: self.live_candidates.load(ORD),
+            peak_live_candidates: self.peak_live_candidates.load(ORD),
+            batches: self.batches.load(ORD),
+            cut_at_partition: (cut != NO_CUT).then_some(cut),
+            final_batch_size: self.final_batch_size.load(ORD),
+            axioms: self
+                .axioms
+                .iter()
+                .map(|a| AxiomSnapshot {
+                    name: a.name.clone(),
+                    batches_done: a.batches_done.load(ORD),
+                    items_examined: a.items_examined.load(ORD),
+                    elts: a.elts.load(ORD),
+                    state: AxiomState::from_u8(a.state.load(ORD)),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One axiom's counters at a sampling instant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AxiomSnapshot {
+    /// The axiom's name.
+    pub name: String,
+    /// Examine batches retired for this axiom.
+    pub batches_done: usize,
+    /// Plan items examined for this axiom.
+    pub items_examined: usize,
+    /// Suite members (ELTs) emitted so far — or, for a
+    /// [`AxiomState::Cached`] axiom, the sealed suite's size.
+    pub elts: usize,
+    /// Where the axiom stands.
+    pub state: AxiomState,
+}
+
+/// A point-in-time copy of a run's [`ProgressState`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgressSnapshot {
+    /// Time since the progress state was created.
+    pub elapsed: Duration,
+    /// Enumeration partitions in the space (0 until the run binds).
+    pub partitions_total: usize,
+    /// Partitions admitted through the dedup frontier.
+    pub partitions_retired: usize,
+    /// Total estimated subtree mass of the space
+    /// ([`EnumSpace::total_mass`]).
+    ///
+    /// [`EnumSpace::total_mass`]: transform_synth::programs::EnumSpace::total_mass
+    pub mass_total: u64,
+    /// Mass of the partitions admitted so far.
+    pub mass_retired: u64,
+    /// Programs admitted (post symmetry reduction).
+    pub programs: usize,
+    /// Plan items produced by the admitter (write-bearing first
+    /// occurrences — each one examine unit per axiom).
+    pub items_planned: usize,
+    /// Enumerated partitions queued behind the in-order frontier.
+    pub frontier_depth: usize,
+    /// Candidate programs currently materialized.
+    pub live_candidates: usize,
+    /// Peak of [`ProgressSnapshot::live_candidates`] over the run,
+    /// deadline-discarded tails included.
+    pub peak_live_candidates: usize,
+    /// Examine batches created, across all axioms.
+    pub batches: usize,
+    /// First partition the deadline cut, if any.
+    pub cut_at_partition: Option<usize>,
+    /// The autotuner's current batch size.
+    pub final_batch_size: usize,
+    /// Per-axiom counters, in the order given to [`ProgressState::new`].
+    pub axioms: Vec<AxiomSnapshot>,
+}
+
+impl ProgressSnapshot {
+    /// Fraction of the space's subtree mass retired, in `[0, 1]`.
+    pub fn mass_fraction(&self) -> f64 {
+        if self.mass_total == 0 {
+            return 0.0;
+        }
+        (self.mass_retired as f64 / self.mass_total as f64).min(1.0)
+    }
+
+    /// Projected time until *enumeration* completes, from the observed
+    /// mass-retirement rate ([`transform_synth::programs::mass_eta`]).
+    /// `None` before any mass retired.
+    pub fn enumeration_eta(&self) -> Option<Duration> {
+        transform_synth::programs::mass_eta(self.mass_retired, self.mass_total, self.elapsed)
+    }
+
+    /// Projected final plan-item count: the items planned so far scaled
+    /// by the inverse retired-mass fraction (exact once enumeration
+    /// finishes). `None` before any mass retired.
+    pub fn estimated_plan_items(&self) -> Option<usize> {
+        if self.partitions_retired >= self.partitions_total {
+            return Some(self.items_planned);
+        }
+        if self.mass_retired == 0 {
+            return None;
+        }
+        let scale = self.mass_total as f64 / self.mass_retired as f64;
+        Some((self.items_planned as f64 * scale).ceil() as usize)
+    }
+
+    /// Projected time until `axiom` (a member of
+    /// [`ProgressSnapshot::axioms`]) finishes examining its estimated
+    /// schedule, from its observed examination rate. `None` for
+    /// cached/complete/cut axioms (nothing left to project) and before
+    /// any examination happened.
+    pub fn axiom_eta(&self, axiom: &AxiomSnapshot) -> Option<Duration> {
+        match axiom.state {
+            AxiomState::Running | AxiomState::Pending => {}
+            _ => return None,
+        }
+        let total = self.estimated_plan_items()?;
+        if axiom.items_examined == 0 {
+            return None;
+        }
+        let remaining = total.saturating_sub(axiom.items_examined);
+        let rate = axiom.items_examined as f64 / self.elapsed.as_secs_f64().max(1e-9);
+        Some(Duration::from_secs_f64(remaining as f64 / rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_snapshots_to_zeroes_and_pending_axioms() {
+        let state = ProgressState::new(&["a", "b"]);
+        let snap = state.snapshot();
+        assert_eq!(snap.partitions_total, 0);
+        assert_eq!(snap.mass_retired, 0);
+        assert_eq!(snap.cut_at_partition, None);
+        assert_eq!(snap.axioms.len(), 2);
+        assert!(snap.axioms.iter().all(|a| a.state == AxiomState::Pending));
+        assert_eq!(snap.mass_fraction(), 0.0);
+        assert_eq!(snap.enumeration_eta(), None);
+    }
+
+    #[test]
+    fn mark_cached_sets_the_slot_and_ignores_unknown_names() {
+        let state = ProgressState::new(&["a", "b"]);
+        state.mark_cached("b", 17);
+        state.mark_cached("nonexistent", 99);
+        let snap = state.snapshot();
+        assert_eq!(snap.axioms[1].state, AxiomState::Cached);
+        assert_eq!(snap.axioms[1].elts, 17);
+        assert_eq!(snap.axioms[0].state, AxiomState::Pending);
+    }
+
+    #[test]
+    fn etas_project_from_retired_fractions() {
+        let state = ProgressState::new(&["a"]);
+        state.partitions_total.store(10, ORD);
+        state.mass_total.store(100, ORD);
+        state.mass_retired.store(50, ORD);
+        state.items_planned.store(40, ORD);
+        state.set_axiom_state(0, AxiomState::Running);
+        state.axiom(0).items_examined.store(20, ORD);
+        let snap = state.snapshot();
+        assert!((snap.mass_fraction() - 0.5).abs() < 1e-9);
+        // Half the mass planned 40 items → ~80 projected.
+        assert_eq!(snap.estimated_plan_items(), Some(80));
+        let eta = snap.axiom_eta(&snap.axioms[0]).expect("rate exists");
+        // 20 items examined, 60 projected remaining → ETA ≈ 3 × elapsed.
+        let ratio = eta.as_secs_f64() / snap.elapsed.as_secs_f64();
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+        assert!(snap.enumeration_eta().is_some());
+    }
+
+    #[test]
+    fn finished_axioms_have_no_eta() {
+        let state = ProgressState::new(&["a"]);
+        state.mass_total.store(10, ORD);
+        state.mass_retired.store(10, ORD);
+        state.partitions_total.store(1, ORD);
+        state.partitions_retired.store(1, ORD);
+        state.items_planned.store(5, ORD);
+        state.axiom(0).items_examined.store(5, ORD);
+        for s in [AxiomState::Complete, AxiomState::Cut, AxiomState::Cached] {
+            state.set_axiom_state(0, s);
+            let snap = state.snapshot();
+            assert_eq!(snap.axiom_eta(&snap.axioms[0]), None, "{s:?}");
+        }
+        assert_eq!(state.snapshot().enumeration_eta(), Some(Duration::ZERO));
+    }
+}

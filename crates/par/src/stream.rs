@@ -67,10 +67,17 @@ use transform_synth::{
     WorkItem,
 };
 
+use crate::progress::{AxiomState, ProgressSnapshot, ProgressState};
 use crate::SuiteSink;
 
 /// Scheduling facts of one streamed run — everything the pipeline knows
 /// that the (format-frozen) [`SuiteStats`] cannot carry.
+///
+/// This is the *final snapshot* of the run's [`ProgressState`]
+/// ([`StreamMetrics::from_snapshot`]): the pipeline maintains one set
+/// of counters, observers sample it live, and the returned metrics are
+/// its value after the last worker exits — live telemetry and the final
+/// record can never disagree.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StreamMetrics {
     /// Axioms sharing the run (1 for a single-suite synthesis).
@@ -88,10 +95,33 @@ pub struct StreamMetrics {
     /// (enumerated but not yet examined by every axiom, or dropped) —
     /// bounded by the lookahead window (twice the worker count) times
     /// the largest partition, not by the size of the enumeration.
-    /// Best-effort on timed-out runs.
+    ///
+    /// Exact on timed-out runs too: a partition that was materialized
+    /// and then discarded by the deadline cut (resolved behind the cut
+    /// point, or delivered after expiry) is counted at its moment of
+    /// materialization, and the discarded tail leaves the live count
+    /// the moment it is dropped.
     pub peak_live_candidates: usize,
     /// The tuner's final batch size.
     pub final_batch_size: usize,
+}
+
+impl StreamMetrics {
+    /// Builds the metrics from a progress snapshot — the identity that
+    /// keeps live telemetry and the final record one set of numbers.
+    /// `axioms` counts the snapshot's tracked axioms; fused runs over a
+    /// subset (the store's cache-miss path) overwrite it with the
+    /// number actually run.
+    pub fn from_snapshot(snap: &ProgressSnapshot) -> StreamMetrics {
+        StreamMetrics {
+            axioms: snap.axioms.len(),
+            partitions: snap.partitions_total,
+            cut_at_partition: snap.cut_at_partition,
+            batches: snap.batches,
+            peak_live_candidates: snap.peak_live_candidates,
+            final_batch_size: snap.final_batch_size,
+        }
+    }
 }
 
 /// The deterministic dedup frontier: admits partitions in enumeration
@@ -250,6 +280,8 @@ struct State {
     chunk_refs: BTreeMap<usize, (usize, usize)>,
     live: usize,
     peak_live: usize,
+    /// Estimated subtree mass of the partitions admitted so far.
+    mass_retired: u64,
     tuner: Tuner,
 }
 
@@ -281,6 +313,15 @@ impl State {
 struct Pipeline<'s> {
     space: &'s EnumSpace,
     axioms: usize,
+    /// Per-partition estimated mass, by ordinal ([`EnumSpace::masses`]).
+    masses: Vec<u64>,
+    /// The run's live telemetry: published (relaxed stores) from inside
+    /// every lock-held transition, sampled lock-free by observers. The
+    /// final [`StreamMetrics`] is this state's last snapshot.
+    progress: Arc<ProgressState>,
+    /// Run-axiom index → progress slot (the observer's state may track
+    /// more axioms than this run covers — cache hits, for one).
+    slots: Vec<usize>,
     deadline: Option<Instant>,
     /// Lookahead backpressure: partitions may be *enumerated* at most
     /// this far beyond the dedup frontier. Without it, one slow head
@@ -297,14 +338,46 @@ struct Pipeline<'s> {
 impl<'s> Pipeline<'s> {
     fn new(
         space: &'s EnumSpace,
-        axioms: usize,
+        axiom_names: &[&str],
+        progress: Option<&Arc<ProgressState>>,
         deadline: Option<Instant>,
         jobs: usize,
         fixed_batch: Option<usize>,
     ) -> Self {
+        let axioms = axiom_names.len();
+        let progress = match progress {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(ProgressState::new(axiom_names)),
+        };
+        let slots: Vec<usize> = axiom_names
+            .iter()
+            .map(|name| {
+                progress.slot_of(name).unwrap_or_else(|| {
+                    panic!("progress state does not track axiom `{name}`")
+                })
+            })
+            .collect();
+        let masses = space.masses();
+        use std::sync::atomic::Ordering::Relaxed;
+        progress
+            .partitions_total
+            .store(space.partition_count(), Relaxed);
+        progress.mass_total.store(
+            masses.iter().fold(0u64, |a, &m| a.saturating_add(m)),
+            Relaxed,
+        );
+        progress
+            .final_batch_size
+            .store(Tuner::new(fixed_batch).batch_size(), Relaxed);
+        for &slot in &slots {
+            progress.set_axiom_state(slot, AxiomState::Running);
+        }
         Pipeline {
             space,
             axioms,
+            masses,
+            progress,
+            slots,
             deadline,
             window: (2 * jobs).max(2),
             state: Mutex::new(State {
@@ -324,10 +397,33 @@ impl<'s> Pipeline<'s> {
                 chunk_refs: BTreeMap::new(),
                 live: 0,
                 peak_live: 0,
+                mass_retired: 0,
                 tuner: Tuner::new(fixed_batch),
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Mirrors the lock-held state into the progress atomics — called
+    /// at the end of every state transition, while the lock is still
+    /// held, so published counters advance in the same order the state
+    /// does (each one individually monotone). Relaxed stores: observers
+    /// only sample, they never synchronize with the run.
+    fn publish(&self, st: &State) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let p = &self.progress;
+        p.partitions_retired.store(st.frontier, Relaxed);
+        p.mass_retired.store(st.mass_retired, Relaxed);
+        p.programs.store(st.admitter.programs, Relaxed);
+        p.items_planned.store(st.admitter.next_index, Relaxed);
+        p.frontier_depth.store(st.resolved.len(), Relaxed);
+        p.live_candidates.store(st.live, Relaxed);
+        p.peak_live_candidates.store(st.peak_live, Relaxed);
+        p.batches.store(st.batches, Relaxed);
+        if let Some(cut) = st.cut_at {
+            p.cut_at_partition.store(cut, Relaxed);
+        }
+        p.final_batch_size.store(st.tuner.batch_size(), Relaxed);
     }
 
     fn past_deadline(&self) -> bool {
@@ -379,8 +475,16 @@ impl<'s> Pipeline<'s> {
         let mut st = self.state.lock().expect("pipeline lock is never poisoned");
         st.enumerating -= 1;
         if st.expired {
+            // Everything past the cut is discarded — but this partition
+            // *was* materialized, so it still counts toward the peak
+            // (the whole point of `peak_live_candidates` is memory
+            // pressure, and these programs existed).
+            if let Some(keyed) = &outcome {
+                st.peak_live = st.peak_live.max(st.live + keyed.len());
+            }
+            self.publish(&st);
             self.cv.notify_all();
-            return Vec::new(); // everything past the cut is discarded
+            return Vec::new();
         }
         if let Some(keyed) = &outcome {
             st.live += keyed.len();
@@ -404,6 +508,9 @@ impl<'s> Pipeline<'s> {
                     let delivered = keyed.len();
                     let mut items = st.admitter.admit(keyed);
                     st.live -= delivered - items.len(); // dropped by dedup
+                    st.mass_retired = st
+                        .mass_retired
+                        .saturating_add(self.masses[st.frontier]);
                     let size = st.tuner.batch_size();
                     while !items.is_empty() {
                         let rest = items.split_off(size.min(items.len()));
@@ -428,20 +535,28 @@ impl<'s> Pipeline<'s> {
             }
         }
         let done = st.newly_complete(self.space.partition_count());
+        self.publish(&st);
         self.cv.notify_all();
         done
     }
 
-    /// One batch retired (possibly cut short by the deadline). Returns
-    /// the axioms this completes.
+    /// One batch retired (possibly cut short by the deadline),
+    /// `examined` of its plan items absorbed and `found` suite members
+    /// emitted. Returns the axioms this completes.
     fn batch_done(
         &self,
         axiom: usize,
         shard: usize,
         examined: usize,
+        found: usize,
         elapsed: Duration,
         cut: bool,
     ) -> Vec<usize> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let ax = self.progress.axiom(self.slots[axiom]);
+        ax.batches_done.fetch_add(1, Relaxed);
+        ax.items_examined.fetch_add(examined, Relaxed);
+        ax.elts.fetch_add(found, Relaxed);
         let mut st = self.state.lock().expect("pipeline lock is never poisoned");
         st.remaining[axiom] -= 1;
         // A candidate chunk stays live until its last axiom retires it.
@@ -466,18 +581,35 @@ impl<'s> Pipeline<'s> {
             Self::expire(&mut st);
         }
         let done = st.newly_complete(self.space.partition_count());
+        self.publish(&st);
         self.cv.notify_all();
         done
     }
 
-    /// The deadline struck: discard all queued work. Live accounting for
-    /// the discarded tail is not maintained — metrics are best-effort on
-    /// timed-out runs. Abandoned batches stay counted in `remaining`,
-    /// which (correctly) blocks their axioms from ever completing.
+    /// The deadline struck: discard all queued work, with exact live
+    /// accounting for the discarded tail — enumerated-but-unadmitted
+    /// partitions leave the live count, and queued batches drop their
+    /// chunk references (a chunk whose every remaining reference was
+    /// queued is freed now; in-flight batches still hold theirs and
+    /// release them in [`Pipeline::batch_done`]). Abandoned batches
+    /// stay counted in `remaining`, which (correctly) blocks their
+    /// axioms from ever completing.
     fn expire(st: &mut State) {
         st.expired = true;
-        st.resolved.clear();
-        st.exam.clear();
+        for (_, outcome) in std::mem::take(&mut st.resolved) {
+            if let Some(keyed) = outcome {
+                st.live = st.live.saturating_sub(keyed.len());
+            }
+        }
+        for batch in std::mem::take(&mut st.exam) {
+            if let Some(refs) = st.chunk_refs.get_mut(&batch.shard) {
+                refs.0 -= 1;
+                if refs.0 == 0 {
+                    let (_, len) = st.chunk_refs.remove(&batch.shard).expect("present");
+                    st.live = st.live.saturating_sub(len);
+                }
+            }
+        }
     }
 }
 
@@ -559,9 +691,16 @@ fn worker(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>) {
                     .lock()
                     .expect("stats lock is never poisoned")
                     .push(stats);
+                let found = records.len();
                 ctx.sinks[ai].shard_done(stats, records);
-                for done in pipeline.batch_done(ai, batch.shard, stats.items, start.elapsed(), cut)
-                {
+                for done in pipeline.batch_done(
+                    ai,
+                    batch.shard,
+                    stats.items,
+                    found,
+                    start.elapsed(),
+                    cut,
+                ) {
                     finish_axiom(pipeline, ctx, done);
                 }
             }
@@ -582,6 +721,9 @@ fn finish_axiom(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>, ai: usize) {
     let mut stats = SuiteStats::from_shards(pipeline.programs(), shards);
     stats.elapsed = ctx.start.elapsed();
     stats.timed_out = false;
+    pipeline
+        .progress
+        .set_axiom_state(pipeline.slots[ai], AxiomState::Complete);
     ctx.sinks[ai].run_done(&stats);
     *ctx.finished[ai]
         .lock()
@@ -605,6 +747,7 @@ pub(crate) fn run_fused(
     opts: &SynthOptions,
     jobs: usize,
     sinks: &[&dyn SuiteSink],
+    progress: Option<&Arc<ProgressState>>,
 ) -> (Vec<SuiteStats>, StreamMetrics) {
     assert_eq!(axioms.len(), sinks.len(), "one sink per axiom");
     for axiom in axioms {
@@ -619,7 +762,7 @@ pub(crate) fn run_fused(
     let deadline = opts.timeout.map(|t| start + t);
     let space = crate::space_for(opts, jobs);
     let branch_co_pa = branches_co_pa(mtm);
-    let pipeline = Pipeline::new(&space, axioms.len(), deadline, jobs, opts.partition_size);
+    let pipeline = Pipeline::new(&space, axioms, progress, deadline, jobs, opts.partition_size);
     let claimed: Vec<crate::dedup::KeySet> =
         axioms.iter().map(|_| crate::dedup::KeySet::new()).collect();
     let shard_stats: Vec<Mutex<Vec<ShardStats>>> =
@@ -646,18 +789,12 @@ pub(crate) fn run_fused(
         }
     });
 
+    let progress = Arc::clone(&pipeline.progress);
+    let slots = pipeline.slots.clone();
     let st = pipeline
         .state
         .into_inner()
         .expect("pipeline lock is never poisoned");
-    let metrics = StreamMetrics {
-        axioms: axioms.len(),
-        partitions: space.partition_count(),
-        cut_at_partition: st.cut_at,
-        batches: st.batches,
-        peak_live_candidates: st.peak_live,
-        final_batch_size: st.tuner.batch_size(),
-    };
     let elapsed = start.elapsed();
     let all_stats: Vec<SuiteStats> = finished
         .into_iter()
@@ -678,6 +815,14 @@ pub(crate) fn run_fused(
                         && st.enum_settled(space.partition_count())
                         && st.remaining[ai] == 0
                         && !st.axiom_cut[ai];
+                    progress.set_axiom_state(
+                        slots[ai],
+                        if complete {
+                            AxiomState::Complete
+                        } else {
+                            AxiomState::Cut
+                        },
+                    );
                     let mut shards = shards.lock().expect("stats lock is never poisoned").clone();
                     shards.sort_by_key(|s| s.shard);
                     let mut stats = SuiteStats::from_shards(st.admitter.programs, shards);
@@ -689,6 +834,10 @@ pub(crate) fn run_fused(
             }
         })
         .collect();
+    // The returned metrics ARE the final progress snapshot — one set of
+    // counters from first live sample to final record.
+    let mut metrics = StreamMetrics::from_snapshot(&progress.snapshot());
+    metrics.axioms = axioms.len();
     (all_stats, metrics)
 }
 
@@ -704,8 +853,9 @@ pub(crate) fn run_streamed(
     opts: &SynthOptions,
     jobs: usize,
     sink: &dyn SuiteSink,
+    progress: Option<&Arc<ProgressState>>,
 ) -> (SuiteStats, StreamMetrics) {
-    let (mut stats, metrics) = run_fused(mtm, &[axiom], opts, jobs, &[sink]);
+    let (mut stats, metrics) = run_fused(mtm, &[axiom], opts, jobs, &[sink], progress);
     (stats.remove(0), metrics)
 }
 
@@ -793,7 +943,7 @@ mod tests {
         let eo = enum_opts(4, true);
         let space = EnumSpace::with_target_partitions(&eo, 8);
         assert!(space.partition_count() >= 3, "space too small for the test");
-        let pipeline = Pipeline::new(&space, 1, None, 2, None);
+        let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None);
         // Claim the first three enumeration tasks.
         for expect in 0..3 {
             match pipeline.next_task() {
@@ -824,7 +974,14 @@ mod tests {
         let space = EnumSpace::with_target_partitions(&eo, 4);
         // A window wide enough to claim every partition before any
         // examine batch exists (examination has pop priority).
-        let pipeline = Pipeline::new(&space, 3, None, space.partition_count(), None);
+        let pipeline = Pipeline::new(
+            &space,
+            &["a", "b", "c"],
+            None,
+            None,
+            space.partition_count(),
+            None,
+        );
         for ordinal in 0..space.partition_count() {
             match pipeline.next_task() {
                 Some(Task::Enumerate(ord)) => assert_eq!(ord, ordinal),
@@ -848,6 +1005,101 @@ mod tests {
                 .windows(2)
                 .all(|w| Arc::ptr_eq(&w[0].items, &w[1].items)));
         }
+    }
+
+    /// Regression for the former "best-effort on timed-out runs" peak
+    /// accounting: a deadline cut now (a) counts discarded partitions
+    /// delivered after expiry toward the peak — they were materialized
+    /// — and (b) returns every queued-but-abandoned candidate to the
+    /// live count, so `live` drains to exactly the in-flight batches.
+    #[test]
+    fn deadline_cut_keeps_live_accounting_exact() {
+        let eo = enum_opts(4, true);
+        let space = EnumSpace::with_target_partitions(&eo, 8);
+        assert!(space.partition_count() >= 3, "space too small for the test");
+        let pipeline = Pipeline::new(&space, &["a"], None, None, 3, None);
+        for expect in 0..3 {
+            match pipeline.next_task() {
+                Some(Task::Enumerate(ord)) => assert_eq!(ord, expect),
+                _ => panic!("expected an enumeration task"),
+            }
+        }
+        let n0 = space.enumerate_keyed(0).len();
+        let n2 = space.enumerate_keyed(2).len();
+        // Partition 0 admits: its items go live and queue as batches.
+        pipeline.resolve(0, Some(space.enumerate_keyed(0)));
+        // Partition 1 is cut: expire() discards the queued batches and
+        // drains their candidates from the live count on the spot.
+        pipeline.resolve(1, None);
+        {
+            let st = pipeline.state.lock().expect("lock");
+            assert!(st.expired);
+            assert_eq!(st.cut_at, Some(1));
+            assert_eq!(st.live, 0, "abandoned queue drained exactly");
+            assert!(st.exam.is_empty());
+            assert!(st.chunk_refs.is_empty());
+        }
+        // Partition 2 lands after expiry: discarded, but its programs
+        // were materialized — the peak must include them.
+        pipeline.resolve(2, Some(space.enumerate_keyed(2)));
+        let st = pipeline.state.into_inner().expect("lock");
+        assert_eq!(st.live, 0);
+        assert!(
+            st.peak_live >= n0.max(n2),
+            "peak {} must cover both the admitted ({n0}) and the \
+             discarded ({n2}) materializations",
+            st.peak_live
+        );
+        // The progress mirror agrees with the final state.
+        let snap = pipeline.progress.snapshot();
+        assert_eq!(snap.peak_live_candidates, st.peak_live);
+        assert_eq!(snap.live_candidates, 0);
+        assert_eq!(snap.cut_at_partition, Some(1));
+    }
+
+    /// The progress mirror tracks the frontier: partitions retired,
+    /// mass retired, programs, and plan items all advance with
+    /// admission, and the mass total is the space's.
+    #[test]
+    fn progress_mirrors_frontier_advance() {
+        let eo = enum_opts(4, true);
+        let space = EnumSpace::with_target_partitions(&eo, 8);
+        let masses = space.masses();
+        let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None);
+        assert_eq!(
+            pipeline.progress.snapshot().mass_total,
+            space.total_mass()
+        );
+        for ordinal in 0..space.partition_count() {
+            loop {
+                match pipeline.next_task() {
+                    Some(Task::Enumerate(ord)) => {
+                        assert_eq!(ord, ordinal);
+                        break;
+                    }
+                    Some(Task::Examine(b)) => {
+                        // Examination has pop priority; retire it untouched.
+                        pipeline.batch_done(b.axiom, b.shard, 0, 0, Duration::ZERO, false);
+                    }
+                    None => panic!("pipeline drained early"),
+                }
+            }
+            pipeline.resolve(ordinal, Some(space.enumerate_keyed(ordinal)));
+            let snap = pipeline.progress.snapshot();
+            assert_eq!(snap.partitions_retired, ordinal + 1);
+            assert_eq!(
+                snap.mass_retired,
+                masses[..=ordinal].iter().sum::<u64>()
+            );
+        }
+        let st = pipeline.state.into_inner().expect("lock");
+        let snap = pipeline.progress.snapshot();
+        assert_eq!(snap.partitions_retired, space.partition_count());
+        assert_eq!(snap.mass_retired, space.total_mass());
+        assert_eq!(snap.programs, st.admitter.programs);
+        assert_eq!(snap.items_planned, st.admitter.next_index);
+        assert_eq!(snap.batches, st.batches);
+        assert!(snap.enumeration_eta().is_some());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! | request | response |
 //! |---|---|
 //! | `GET /healthz` | liveness, entry count, request counters |
-//! | `GET /v1/metrics` | the counters as Prometheus-style plaintext (requests, hits/misses, puts, bytes) |
+//! | `GET /v1/metrics` | the counters in Prometheus text format 0.0.4 (requests, hits/misses, puts, bytes, per-route request/latency breakdowns, in-flight gauge) |
 //! | `GET /v1/index` | the entry index (`transform_store::index::encode` bytes) |
 //! | `HEAD /v1/suite/<fingerprint>` | `200` when sealed, `404` otherwise |
 //! | `GET /v1/suite/<fingerprint>` | the sealed entry's bytes, streamed |
@@ -41,4 +41,4 @@
 pub mod http;
 pub mod server;
 
-pub use server::{ServeMetrics, ServeOptions, Server, ServerHandle};
+pub use server::{RouteMetrics, ServeMetrics, ServeOptions, Server, ServerHandle, ROUTE_NAMES};

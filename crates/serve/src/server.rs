@@ -29,9 +29,37 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use transform_store::{Fingerprint, Store, StoreError};
 
+/// The route classes `/v1/metrics` breaks request and latency counters
+/// down by, in rendering order. `other` absorbs unknown paths and
+/// disallowed methods.
+pub const ROUTE_NAMES: [&str; 6] = ["healthz", "metrics", "index", "suite_get", "suite_put", "other"];
+
+/// Classifies a parsed request into a [`ROUTE_NAMES`] slot.
+fn route_slot(method: &str, path: &str) -> usize {
+    match (method, path) {
+        ("GET" | "HEAD", "/healthz") => 0,
+        ("GET" | "HEAD", "/v1/metrics") => 1,
+        ("GET", "/v1/index") => 2,
+        ("GET" | "HEAD", p) if p.starts_with("/v1/suite/") => 3,
+        ("PUT", p) if p.starts_with("/v1/suite/") => 4,
+        _ => 5,
+    }
+}
+
+/// One route class's share of the traffic: how many requests it
+/// answered and how long answering took, summed.
+#[derive(Debug, Default)]
+pub struct RouteMetrics {
+    /// Requests dispatched to this route.
+    pub requests: AtomicU64,
+    /// Total time spent answering them, in microseconds (the summary's
+    /// `_sum` sample, rendered in seconds).
+    pub latency_micros: AtomicU64,
+}
+
 /// Request counters, readable while the server runs (`/healthz`
 /// reports them human-readably; `/v1/metrics` exposes them as
-/// Prometheus-style plaintext for scrapers).
+/// Prometheus text format 0.0.4 for scrapers).
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Requests accepted (any method, any path).
@@ -50,44 +78,101 @@ pub struct ServeMetrics {
     /// Payload bytes received: `PUT` bodies, accepted or refused (they
     /// crossed the wire either way).
     pub bytes_received: AtomicU64,
+    /// Connections currently being handled (parse through response).
+    pub in_flight: AtomicU64,
+    /// Per-route request and latency counters, indexed like
+    /// [`ROUTE_NAMES`]. Parse failures never reach a route, so the
+    /// route totals can lag `requests` by the malformed share.
+    pub routes: [RouteMetrics; 6],
 }
 
 impl ServeMetrics {
-    /// The Prometheus-style plaintext rendering `/v1/metrics` serves:
-    /// one `# TYPE` line and one `name value` line per counter.
+    /// Credits one answered request to its route class.
+    fn observe_route(&self, method: &str, path: &str, elapsed: std::time::Duration) {
+        let slot = &self.routes[route_slot(method, path)];
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        slot.latency_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The Prometheus text-format (0.0.4) rendering `/v1/metrics`
+    /// serves: every metric family gets a `# HELP` and `# TYPE` line
+    /// before its samples; per-route samples carry a `route` label.
     pub fn render(&self, entries: u64) -> String {
-        let counter = |name: &str, value: u64| format!("# TYPE {name} counter\n{name} {value}\n");
+        let counter = |name: &str, help: &str, value: u64| {
+            format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n")
+        };
+        let gauge = |name: &str, help: &str, value: u64| {
+            format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n")
+        };
         let mut out = String::new();
         out.push_str(&counter(
             "transform_serve_requests_total",
+            "Requests accepted (any method, any path).",
             self.requests.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "transform_serve_suite_hits_total",
+            "Suite GETs that served a sealed entry.",
             self.suite_hits.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "transform_serve_suite_misses_total",
+            "Suite GET/HEAD responses for absent entries.",
             self.suite_misses.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "transform_serve_puts_accepted_total",
+            "Suite uploads validated and published.",
             self.puts_accepted.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "transform_serve_puts_rejected_total",
+            "Suite uploads refused as damaged or mis-addressed.",
             self.puts_rejected.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "transform_serve_bytes_served_total",
+            "Payload bytes served: sealed-entry bodies and index encodings.",
             self.bytes_served.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "transform_serve_bytes_received_total",
+            "Payload bytes received in PUT bodies, accepted or refused.",
             self.bytes_received.load(Ordering::Relaxed),
         ));
-        out.push_str("# TYPE transform_serve_entries gauge\n");
-        out.push_str(&format!("transform_serve_entries {entries}\n"));
+        out.push_str(&gauge(
+            "transform_serve_entries",
+            "Sealed suite entries in the served store.",
+            entries,
+        ));
+        out.push_str(&gauge(
+            "transform_serve_in_flight",
+            "Connections currently being handled.",
+            self.in_flight.load(Ordering::Relaxed),
+        ));
+        out.push_str(
+            "# HELP transform_serve_route_requests_total Requests answered, by route class.\n\
+             # TYPE transform_serve_route_requests_total counter\n",
+        );
+        for (name, route) in ROUTE_NAMES.iter().zip(&self.routes) {
+            out.push_str(&format!(
+                "transform_serve_route_requests_total{{route=\"{name}\"}} {}\n",
+                route.requests.load(Ordering::Relaxed),
+            ));
+        }
+        out.push_str(
+            "# HELP transform_serve_route_latency_seconds Time spent answering requests, by route class.\n\
+             # TYPE transform_serve_route_latency_seconds summary\n",
+        );
+        for (name, route) in ROUTE_NAMES.iter().zip(&self.routes) {
+            let sum = route.latency_micros.load(Ordering::Relaxed) as f64 / 1e6;
+            out.push_str(&format!(
+                "transform_serve_route_latency_seconds_sum{{route=\"{name}\"}} {sum:.6}\n\
+                 transform_serve_route_latency_seconds_count{{route=\"{name}\"}} {}\n",
+                route.requests.load(Ordering::Relaxed),
+            ));
+        }
         out
     }
 }
@@ -332,7 +417,15 @@ impl ConnQueue {
 /// Serves one connection: parse, route, respond, close. All failures
 /// are contained here — a bad request gets an error status, a dead
 /// socket is dropped.
-fn handle_connection(store: &Store, metrics: &ServeMetrics, mut stream: TcpStream, verbose: bool) {
+fn handle_connection(store: &Store, metrics: &ServeMetrics, stream: TcpStream, verbose: bool) {
+    metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+    serve_connection(store, metrics, stream, verbose);
+    metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The body of [`handle_connection`], split out so the in-flight gauge
+/// brackets every exit path (parse failures return early).
+fn serve_connection(store: &Store, metrics: &ServeMetrics, mut stream: TcpStream, verbose: bool) {
     // A stuck peer must not pin a worker forever.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
@@ -353,7 +446,9 @@ fn handle_connection(store: &Store, metrics: &ServeMetrics, mut stream: TcpStrea
             return;
         }
     };
+    let begun = std::time::Instant::now();
     let status = route(store, metrics, &mut stream, &request).unwrap_or(0);
+    metrics.observe_route(&request.method, &request.path, begun.elapsed());
     if verbose {
         eprintln!(
             "transform-serve: {} {} -> {status}",
@@ -391,10 +486,11 @@ fn route(
         ("GET" | "HEAD", "/v1/metrics") => {
             let entries = store.entries().map(|e| e.len()).unwrap_or(0);
             let body = metrics.render(entries as u64);
+            // Prometheus scrapers negotiate on this exact version tag.
             if request.method == "HEAD" {
-                write_head(stream, 200, body.len() as u64, "text/plain; charset=utf-8")?;
+                write_head(stream, 200, body.len() as u64, "text/plain; version=0.0.4")?;
             } else {
-                respond_text(stream, 200, &body)?;
+                respond(stream, 200, body.as_bytes(), "text/plain; version=0.0.4")?;
             }
             Ok(200)
         }

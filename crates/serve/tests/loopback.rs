@@ -438,3 +438,129 @@ fn fused_all_axiom_run_reads_through_and_pushes_per_axiom() {
     std::fs::remove_dir_all(&origin).ok();
     std::fs::remove_dir_all(&local).ok();
 }
+
+/// One raw HTTP/1.1 GET, returning (head, body) — for asserting on
+/// response headers, not just payloads.
+fn http_get_raw(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connects");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n"
+    )
+    .expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// A legal Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `/v1/metrics` conforms to the Prometheus text format (0.0.4): the
+/// versioned Content-Type, a `# HELP` and `# TYPE` line preceding every
+/// family's samples, legal metric names, parseable values, and the
+/// per-route breakdown covering every route class.
+#[test]
+fn metrics_conform_to_prometheus_text_format() {
+    let root = temp_dir("prom");
+    let server = Server::bind(&root, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Touch two routes so the breakdown has something to count.
+    http_get_raw(addr, "/healthz");
+    http_get_raw(addr, "/no/such/path");
+
+    let (head, body) = http_get_raw(addr, "/v1/metrics");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "scrapers negotiate on the 0.0.4 version tag, got:\n{head}"
+    );
+
+    let mut helped = std::collections::HashSet::new();
+    let mut typed = std::collections::HashMap::new();
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split_whitespace().next().expect("HELP names a family");
+            assert!(rest.len() > family.len(), "HELP without text: {line}");
+            helped.insert(family.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().expect("TYPE names a family");
+            let kind = parts.next().expect("TYPE names a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped"),
+                "unknown TYPE: {line}"
+            );
+            typed.insert(family.to_string(), kind.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "stray comment form: {line}");
+        assert!(!line.is_empty(), "blank line inside the exposition");
+
+        // `name{labels} value` or `name value`.
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+        value.parse::<f64>().unwrap_or_else(|_| panic!("unparseable value: {line}"));
+        let name = name_and_labels
+            .split_once('{')
+            .map_or(name_and_labels, |(n, _)| n);
+        assert!(is_metric_name(name), "illegal metric name: {name}");
+        // A summary family declares `x` but samples `x_sum`/`x_count`.
+        let family = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.get(*f).map(String::as_str) == Some("summary"))
+            .unwrap_or(name);
+        assert!(typed.contains_key(family), "sample before its # TYPE: {line}");
+        assert!(helped.contains(family), "sample before its # HELP: {line}");
+        samples += 1;
+    }
+    assert!(samples > 0, "no samples at all:\n{body}");
+
+    // The per-route breakdown names every route class, and the traffic
+    // above landed where it should.
+    let labeled = |route: &str| {
+        let needle = format!("transform_serve_route_requests_total{{route=\"{route}\"}} ");
+        body.lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .unwrap_or_else(|| panic!("route {route} missing from:\n{body}"))
+            .parse::<u64>()
+            .expect("route counter parses")
+    };
+    for route in transform_serve::ROUTE_NAMES {
+        labeled(route);
+    }
+    assert_eq!(labeled("healthz"), 1);
+    assert_eq!(labeled("other"), 1);
+    assert!(metric(&body, "transform_serve_in_flight") <= 1);
+    // Latency counts mirror the request counts, per route.
+    for route in transform_serve::ROUTE_NAMES {
+        let needle = format!(
+            "transform_serve_route_latency_seconds_count{{route=\"{route}\"}} "
+        );
+        let count: u64 = body
+            .lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .unwrap_or_else(|| panic!("latency count for {route} missing"))
+            .parse()
+            .expect("count parses");
+        assert_eq!(count, labeled(route), "{route}");
+    }
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}

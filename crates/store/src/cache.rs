@@ -82,7 +82,30 @@ pub fn cached_or_synthesize(
     opts: &SynthOptions,
     jobs: usize,
 ) -> Result<(Suite, CacheStatus), StoreError> {
-    crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs)
+    crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs, None)
+}
+
+/// [`cached_or_synthesize`] with live telemetry: a cache hit marks the
+/// axiom's progress slot cached, a miss publishes the synthesis run's
+/// counters into `progress` as it executes. See
+/// [`transform_par::ProgressState`].
+///
+/// # Errors
+///
+/// Only genuine i/o failures, exactly like [`cached_or_synthesize`].
+///
+/// # Panics
+///
+/// Panics when `axiom` is not part of `mtm`.
+pub fn cached_or_synthesize_observed(
+    store: &Store,
+    mtm: &Mtm,
+    axiom: &str,
+    opts: &SynthOptions,
+    jobs: usize,
+    progress: &std::sync::Arc<transform_par::ProgressState>,
+) -> Result<(Suite, CacheStatus), StoreError> {
+    crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs, Some(progress))
 }
 
 /// Serves **every** per-axiom suite of `mtm` from the store in one
@@ -102,5 +125,23 @@ pub fn cached_or_synthesize_all(
     opts: &SynthOptions,
     jobs: usize,
 ) -> Result<std::collections::BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
-    crate::tier::run_tiered_all(store, None, mtm, opts, jobs)
+    crate::tier::run_tiered_all(store, None, mtm, opts, jobs, None)
+}
+
+/// [`cached_or_synthesize_all`] with live telemetry: cache-served
+/// axioms are marked cached in `progress` as their lookups resolve, and
+/// the misses' one fused run publishes its counters while it executes —
+/// so an observer renders cached and live axioms distinctly.
+///
+/// # Errors
+///
+/// Only genuine i/o failures, exactly like [`cached_or_synthesize`].
+pub fn cached_or_synthesize_all_observed(
+    store: &Store,
+    mtm: &Mtm,
+    opts: &SynthOptions,
+    jobs: usize,
+    progress: &std::sync::Arc<transform_par::ProgressState>,
+) -> Result<std::collections::BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
+    crate::tier::run_tiered_all(store, None, mtm, opts, jobs, Some(progress))
 }

@@ -74,7 +74,10 @@ pub mod remote;
 pub mod store;
 pub mod tier;
 
-pub use cache::{cached_or_synthesize, cached_or_synthesize_all, CacheStatus};
+pub use cache::{
+    cached_or_synthesize, cached_or_synthesize_all, cached_or_synthesize_all_observed,
+    cached_or_synthesize_observed, CacheStatus,
+};
 pub use codec::{CodecError, FORMAT_VERSION};
 pub use fingerprint::{suite_fingerprint, Fingerprint};
 pub use index::{IndexEntry, INDEX_FILE};

@@ -169,6 +169,23 @@ impl HttpTier {
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
+    /// `GET /v1/metrics`: the server's Prometheus text exposition —
+    /// what `transform top` polls and renders.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable or unwell.
+    pub fn metrics(&self) -> Result<String, StoreError> {
+        let (status, body) = self.exchange("GET", "/v1/metrics", None)?;
+        if status != 200 {
+            return Err(StoreError::Remote(format!(
+                "{}/v1/metrics returned status {status}",
+                self.url()
+            )));
+        }
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
     /// `HEAD /v1/suite/<fp>`: whether the remote holds a sealed entry.
     ///
     /// # Errors

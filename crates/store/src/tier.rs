@@ -26,9 +26,12 @@ use crate::fingerprint::{suite_fingerprint, Fingerprint};
 use crate::store::{read_suite, EntryMeta, PendingSuite, Store, StoreError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use transform_core::axiom::Mtm;
-use transform_par::{synthesize_axioms_streamed, synthesize_suite_streamed, SuiteSink};
+use transform_par::{
+    synthesize_axioms_streamed, synthesize_axioms_streamed_observed, synthesize_suite_streamed,
+    synthesize_suite_streamed_observed, ProgressState, SuiteSink,
+};
 use transform_synth::{ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions};
 
 /// One tier of a layered suite cache: somewhere sealed-suite bytes can
@@ -174,7 +177,44 @@ impl TieredCache {
         opts: &SynthOptions,
         jobs: usize,
     ) -> Result<(Suite, CacheStatus), StoreError> {
-        run_tiered(&self.local, self.remote.as_deref(), mtm, axiom, opts, jobs)
+        run_tiered(
+            &self.local,
+            self.remote.as_deref(),
+            mtm,
+            axiom,
+            opts,
+            jobs,
+            None,
+        )
+    }
+
+    /// [`TieredCache::cached_or_synthesize`] with live telemetry: a
+    /// tier hit marks the axiom's progress slot cached
+    /// ([`ProgressState::mark_cached`] — so observers render it
+    /// distinctly from live synthesis), and a miss publishes the fused
+    /// run's counters into `progress` as it executes.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine local i/o failures, exactly like
+    /// [`TieredCache::cached_or_synthesize`].
+    pub fn cached_or_synthesize_observed(
+        &self,
+        mtm: &Mtm,
+        axiom: &str,
+        opts: &SynthOptions,
+        jobs: usize,
+        progress: &Arc<ProgressState>,
+    ) -> Result<(Suite, CacheStatus), StoreError> {
+        run_tiered(
+            &self.local,
+            self.remote.as_deref(),
+            mtm,
+            axiom,
+            opts,
+            jobs,
+            Some(progress),
+        )
     }
 
     /// Serves **every** per-axiom suite of `mtm` through the tiers in
@@ -195,7 +235,35 @@ impl TieredCache {
         opts: &SynthOptions,
         jobs: usize,
     ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
-        run_tiered_all(&self.local, self.remote.as_deref(), mtm, opts, jobs)
+        run_tiered_all(&self.local, self.remote.as_deref(), mtm, opts, jobs, None)
+    }
+
+    /// [`TieredCache::cached_or_synthesize_all`] with live telemetry:
+    /// every tier-served axiom is marked cached in `progress` the
+    /// moment its lookup resolves, and the misses' fused run publishes
+    /// its counters as it executes — an observer watches cached axioms
+    /// settle instantly while live ones stream partitions, mass, and
+    /// ETA.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine local i/o failures, exactly like
+    /// [`TieredCache::cached_or_synthesize_all`].
+    pub fn cached_or_synthesize_all_observed(
+        &self,
+        mtm: &Mtm,
+        opts: &SynthOptions,
+        jobs: usize,
+        progress: &Arc<ProgressState>,
+    ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
+        run_tiered_all(
+            &self.local,
+            self.remote.as_deref(),
+            mtm,
+            opts,
+            jobs,
+            Some(progress),
+        )
     }
 }
 
@@ -209,6 +277,7 @@ pub(crate) fn run_tiered(
     axiom: &str,
     opts: &SynthOptions,
     jobs: usize,
+    progress: Option<&Arc<ProgressState>>,
 ) -> Result<(Suite, CacheStatus), StoreError> {
     assert!(
         mtm.axiom(axiom).is_some(),
@@ -217,7 +286,12 @@ pub(crate) fn run_tiered(
     );
     let fp = suite_fingerprint(mtm, axiom, opts);
     let status = match lookup_tiers(local, remote, fp, axiom)? {
-        Lookup::Served(suite, status) => return Ok((suite, status)),
+        Lookup::Served(suite, status) => {
+            if let Some(progress) = progress {
+                progress.mark_cached(axiom, suite.elts.len());
+            }
+            return Ok((suite, status));
+        }
         Lookup::Absent(status) => status,
     };
 
@@ -227,7 +301,12 @@ pub(crate) fn run_tiered(
     // it only lives for the streaming run it observes.
     let (stats, completed) = {
         let gate = PushGate::new(&pending);
-        let stats = synthesize_suite_streamed(mtm, axiom, opts, jobs, &gate);
+        let stats = match progress {
+            Some(progress) => {
+                synthesize_suite_streamed_observed(mtm, axiom, opts, jobs, &gate, progress).0
+            }
+            None => synthesize_suite_streamed(mtm, axiom, opts, jobs, &gate),
+        };
         let completed = gate.completed();
         (stats, completed)
     };
@@ -331,6 +410,7 @@ pub(crate) fn run_tiered_all(
     mtm: &Mtm,
     opts: &SynthOptions,
     jobs: usize,
+    progress: Option<&Arc<ProgressState>>,
 ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
     let axioms: Vec<String> = mtm.axioms().iter().map(|a| a.name.clone()).collect();
     let mut out = BTreeMap::new();
@@ -339,6 +419,12 @@ pub(crate) fn run_tiered_all(
         let fp = suite_fingerprint(mtm, &axiom, opts);
         match lookup_tiers(local, remote, fp, &axiom)? {
             Lookup::Served(suite, status) => {
+                // Cache-served axioms settle in the progress view the
+                // moment their lookup resolves — observers render them
+                // distinctly from the axioms about to synthesize live.
+                if let Some(progress) = progress {
+                    progress.mark_cached(&axiom, suite.elts.len());
+                }
                 out.insert(axiom, (suite, status));
             }
             Lookup::Absent(status) => misses.push((axiom, fp, status)),
@@ -359,7 +445,13 @@ pub(crate) fn run_tiered_all(
         .collect::<Result<_, StoreError>>()?;
     let axiom_refs: Vec<&str> = misses.iter().map(|(a, _, _)| a.as_str()).collect();
     let sink_refs: Vec<&dyn SuiteSink> = gates.iter().map(|g| g as &dyn SuiteSink).collect();
-    let all_stats = synthesize_axioms_streamed(mtm, &axiom_refs, opts, jobs, &sink_refs);
+    let all_stats = match progress {
+        Some(progress) => {
+            synthesize_axioms_streamed_observed(mtm, &axiom_refs, opts, jobs, &sink_refs, progress)
+                .0
+        }
+        None => synthesize_axioms_streamed(mtm, &axiom_refs, opts, jobs, &sink_refs),
+    };
 
     for (((axiom, fp, status), gate), stats) in misses.into_iter().zip(gates).zip(all_stats) {
         let (pending, seal_outcome) = gate.into_parts();
