@@ -22,9 +22,12 @@
 //!   (`EnumSpace::balanced_for_target`), plus the streamed enumeration
 //!   wall-clock of each;
 //! * progress-instrumentation overhead: the fused run with a subscribed
-//!   `ProgressState` (published counters plus a polling sampler thread,
-//!   the way `--progress` observes it) vs the unobserved fused run,
-//!   recorded as `progress_overhead_pct` per point.
+//!   journaling `ProgressState` (published counters, span-event journal
+//!   recording, plus a polling sampler thread at the coalesced 100 ms
+//!   cadence `--progress` actually samples at) vs the unobserved fused
+//!   run, recorded as `progress_overhead_pct` per point. Acceptance
+//!   bar: ≤ 5% even at the short bound-5 point, where a hot-polling
+//!   sampler used to steal a visible slice of a two-core budget.
 //!
 //! Besides the per-point measurements, the run writes the numbers to
 //! `BENCH_enum.json` at the workspace root so the perf trajectory is
@@ -145,11 +148,16 @@ fn measure(bound: usize) -> Point {
     }
 
     // The same fused run with a live observer subscribed: publishing
-    // the progress atomics plus a sampling thread polling snapshots the
-    // way `--progress` does. The delta against the unobserved fused run
-    // is the instrumentation overhead (acceptance bar: < 2% at bound 6).
+    // the progress atomics, recording the span-event journal (the way
+    // any `--cache` run does), plus a sampling thread polling snapshots
+    // at the 100 ms cadence the `--progress` reporter coalesces to. The
+    // delta against the unobserved fused run is the instrumentation
+    // overhead (acceptance bar: ≤ 5% at bound 5, < 2% at bound 6). The
+    // cadence matters on small runs: a 10 ms hot poll used to charge
+    // ~27% to a half-second bound-5 point on a two-core runner, all of
+    // it sampler-thread contention rather than instrumentation cost.
     let sink = Collect(Mutex::new(Vec::new()));
-    let progress = std::sync::Arc::new(ProgressState::new(&[AXIOM]));
+    let progress = std::sync::Arc::new(ProgressState::with_journal(&[AXIOM]));
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let sampler = {
         let progress = std::sync::Arc::clone(&progress);
@@ -159,7 +167,7 @@ fn measure(bound: usize) -> Point {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 let _ = progress.snapshot();
                 samples += 1;
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(100));
             }
             samples
         })
@@ -178,6 +186,15 @@ fn measure(bound: usize) -> Point {
     }
     assert_eq!(observed_stats.programs, stats.programs);
     assert_eq!(observed_metrics.partitions, metrics.partitions);
+    // The overhead number must cover a *recording* run: the journal
+    // has to have actually captured the run's span events.
+    let events = progress.take_journal();
+    assert!(
+        events.len() > metrics.batches,
+        "journal captured only {} events across {} batches",
+        events.len(),
+        metrics.batches
+    );
 
     Point {
         bound,
@@ -325,8 +342,7 @@ fn throughput_summary(_c: &mut Criterion) {
             p.synth_fused,
             p.synth_eager.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON),
             p.synth_observed,
-            (p.synth_observed.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON)
-                - 1.0)
+            (p.synth_observed.as_secs_f64() / p.synth_fused.as_secs_f64().max(f64::EPSILON) - 1.0)
                 * 100.0,
             p.peak_live_eager,
             p.metrics.peak_live_candidates,

@@ -3,7 +3,12 @@
 //!
 //! Usage: `fig9 [max_bound] [budget_seconds] [--fences] [--rmw]
 //! [--jobs N] [--partition-size N] [--balance mass|depth]
-//! [--cache DIR] [--cache-url URL]`
+//! [--cache DIR] [--cache-url URL] [--progress[=human|json]]`
+//!
+//! `--progress` streams each point's live telemetry to stderr (stdout
+//! keeps the Fig. 9 tables): `human` prints compact one-line samples,
+//! `json` prints one JSON object per sample — the same `progress.jsonl`
+//! shape the CLI's `--progress=json` emits, keyed by axiom and bound.
 //!
 //! With `--cache`, completed points are sealed into a persistent suite
 //! store and later sweeps stream them back instead of resynthesizing —
@@ -17,7 +22,7 @@
 //! printed as `t/o` (the paper plots them as missing).
 
 use std::time::Duration;
-use transform_bench::{render_sweep, sweep, SweepConfig};
+use transform_bench::{render_sweep, sweep, SweepConfig, SweepProgress};
 use transform_x86::x86t_elt;
 
 fn main() {
@@ -75,6 +80,14 @@ fn main() {
             "--balance" => take_balance = true,
             "--cache" => take_cache = true,
             "--cache-url" => take_cache_url = true,
+            "--progress" => cfg.progress = Some(SweepProgress::Human),
+            other if other.starts_with("--progress=") => {
+                let v = &other["--progress=".len()..];
+                cfg.progress = Some(SweepProgress::parse(v).unwrap_or_else(|| {
+                    eprintln!("error: --progress takes `human` or `json`, got `{v}`");
+                    std::process::exit(2);
+                }));
+            }
             other => positional.push(other.to_string()),
         }
     }

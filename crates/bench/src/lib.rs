@@ -12,9 +12,13 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use transform_core::axiom::Mtm;
-use transform_par::synthesize_suite_jobs;
+use transform_par::{
+    synthesize_suite_jobs, synthesize_suite_jobs_observed, ProgressSnapshot, ProgressState,
+};
 use transform_store::{HttpTier, Store, TieredCache};
 use transform_synth::programs::Balance;
 use transform_synth::{Suite, SynthOptions};
@@ -33,6 +37,67 @@ pub struct SweepPoint {
     /// Whether the point hit the time budget (plotted as missing in the
     /// paper).
     pub timed_out: bool,
+}
+
+/// How `--progress` renders a sweep's live telemetry: one line per
+/// sample on **stderr**, so the Fig. 9 tables on stdout stay clean
+/// enough to redirect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepProgress {
+    /// Compact human-readable lines.
+    Human,
+    /// One JSON object per sample — the same `progress.jsonl` shape the
+    /// CLI's `--progress=json` streams, keyed by `axiom` and `bound`.
+    Json,
+}
+
+impl SweepProgress {
+    /// Parses a `--progress=` value; `human` and `json` are accepted.
+    pub fn parse(s: &str) -> Option<SweepProgress> {
+        match s {
+            "human" => Some(SweepProgress::Human),
+            "json" => Some(SweepProgress::Json),
+            _ => None,
+        }
+    }
+}
+
+/// One progress sample of a sweep point. The sweep runs one axiom per
+/// point, so the snapshot's single axiom slot carries the per-axiom
+/// counters.
+fn render_sample(mode: SweepProgress, bound: usize, snap: &ProgressSnapshot, done: bool) -> String {
+    let ax = &snap.axioms[0];
+    match mode {
+        SweepProgress::Human => format!(
+            "fig9 {}@{}: {:>5.1}% mass, {} elts, {} items, {} batches{}",
+            ax.name,
+            bound,
+            snap.mass_fraction() * 100.0,
+            ax.elts,
+            ax.items_examined,
+            ax.batches_done,
+            if done { " — done" } else { "" },
+        ),
+        SweepProgress::Json => format!(
+            concat!(
+                "{{\"axiom\": \"{}\", \"bound\": {}, \"elapsed_secs\": {:.6}, ",
+                "\"mass_fraction\": {:.6}, \"partitions_retired\": {}, ",
+                "\"partitions_total\": {}, \"programs\": {}, \"items_examined\": {}, ",
+                "\"elts\": {}, \"batches\": {}, \"done\": {}}}"
+            ),
+            ax.name,
+            bound,
+            snap.elapsed.as_secs_f64(),
+            snap.mass_fraction(),
+            snap.partitions_retired,
+            snap.partitions_total,
+            snap.programs,
+            ax.items_examined,
+            ax.elts,
+            ax.batches_done,
+            done,
+        ),
+    }
 }
 
 /// Sweep configuration for the Fig. 9 reproduction.
@@ -65,6 +130,9 @@ pub struct SweepConfig {
     /// local tier), and freshly sealed points are pushed back. Requires
     /// `cache` for the local tier.
     pub cache_url: Option<String>,
+    /// Live per-point telemetry on stderr (`--progress[=human|json]`).
+    /// Pure observation — never changes a suite.
+    pub progress: Option<SweepProgress>,
 }
 
 impl Default for SweepConfig {
@@ -80,6 +148,7 @@ impl Default for SweepConfig {
             balance: Balance::default(),
             cache: None,
             cache_url: None,
+            progress: None,
         }
     }
 }
@@ -112,14 +181,64 @@ pub fn sweep(mtm: &Mtm, cfg: &SweepConfig) -> Vec<SweepPoint> {
             opts.timeout = Some(cfg.budget);
             opts.partition_size = cfg.partition_size;
             opts.balance = cfg.balance;
-            let suite = match &cache {
-                Some(cache) => {
-                    cache
-                        .cached_or_synthesize(mtm, &ax.name, &opts, cfg.jobs)
-                        .unwrap_or_else(|e| panic!("suite cache: {e}"))
-                        .0
+            let suite = match cfg.progress {
+                None => match &cache {
+                    Some(cache) => {
+                        cache
+                            .cached_or_synthesize(mtm, &ax.name, &opts, cfg.jobs)
+                            .unwrap_or_else(|e| panic!("suite cache: {e}"))
+                            .0
+                    }
+                    None => synthesize_suite_jobs(mtm, &ax.name, &opts, cfg.jobs),
+                },
+                Some(mode) => {
+                    // One observed point: a per-point `ProgressState`
+                    // with a single axiom slot, sampled on a side
+                    // thread at the coalesced 100 ms cadence (hot
+                    // polling visibly taxes small runs — see the
+                    // `progress_overhead_pct` points in
+                    // `BENCH_enum.json`).
+                    let progress = Arc::new(ProgressState::new(&[ax.name.as_str()]));
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let sampler = {
+                        let progress = Arc::clone(&progress);
+                        let stop = Arc::clone(&stop);
+                        std::thread::spawn(move || {
+                            while !stop.load(Ordering::Relaxed) {
+                                eprintln!(
+                                    "{}",
+                                    render_sample(mode, bound, &progress.snapshot(), false)
+                                );
+                                // Sleep the cadence in short slices so
+                                // a finished millisecond-scale point
+                                // isn't held hostage by the sampler.
+                                for _ in 0..10 {
+                                    if stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                            }
+                        })
+                    };
+                    let suite = match &cache {
+                        Some(cache) => {
+                            cache
+                                .cached_or_synthesize_observed(
+                                    mtm, &ax.name, &opts, cfg.jobs, &progress,
+                                )
+                                .unwrap_or_else(|e| panic!("suite cache: {e}"))
+                                .0
+                        }
+                        None => synthesize_suite_jobs_observed(
+                            mtm, &ax.name, &opts, cfg.jobs, &progress,
+                        ),
+                    };
+                    stop.store(true, Ordering::Relaxed);
+                    sampler.join().expect("sampler joins");
+                    eprintln!("{}", render_sample(mode, bound, &progress.snapshot(), true));
+                    suite
                 }
-                None => synthesize_suite_jobs(mtm, &ax.name, &opts, cfg.jobs),
             };
             let timed_out = suite.stats.timed_out;
             out.push(SweepPoint {
@@ -245,6 +364,39 @@ mod tests {
             assert_eq!(a.bound, b.bound);
             assert_eq!(a.elts, b.elts, "{}: suite size diverged", a.axiom);
         }
+    }
+
+    #[test]
+    fn observed_sweep_matches_the_plain_one_and_modes_parse() {
+        assert_eq!(SweepProgress::parse("human"), Some(SweepProgress::Human));
+        assert_eq!(SweepProgress::parse("json"), Some(SweepProgress::Json));
+        assert_eq!(SweepProgress::parse("verbose"), None);
+        let mtm = x86t_elt();
+        let mut cfg = SweepConfig {
+            min_bound: 4,
+            max_bound: 4,
+            budget: Duration::from_secs(60),
+            ..SweepConfig::default()
+        };
+        let plain = sweep(&mtm, &cfg);
+        cfg.progress = Some(SweepProgress::Json);
+        let observed = sweep(&mtm, &cfg);
+        assert_eq!(plain.len(), observed.len());
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.axiom, b.axiom);
+            assert_eq!(a.elts, b.elts, "{}: observed sweep diverged", a.axiom);
+        }
+        // The sample renderer reports the single-axiom slot both ways.
+        let progress = ProgressState::new(&["sc_per_loc"]);
+        let snap = progress.snapshot();
+        let human = render_sample(SweepProgress::Human, 5, &snap, true);
+        assert!(human.contains("sc_per_loc@5"), "{human}");
+        assert!(human.ends_with("— done"), "{human}");
+        let json = render_sample(SweepProgress::Json, 5, &snap, false);
+        assert!(json.contains("\"axiom\": \"sc_per_loc\""), "{json}");
+        assert!(json.contains("\"bound\": 5"), "{json}");
+        assert!(json.contains("\"done\": false"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 const CACHE_FLAGS: &str = "\
   --cache DIR            a persistent local suite store: sealed suites are
                          streamed back instead of resynthesized; corrupt or
-                         stale entries are detected by checksums and rebuilt
+                         stale entries are detected by checksums and rebuilt.
+                         Cached runs also record a run journal into the
+                         store (`transform runs --help`) — journaling never
+                         changes the sealed suites
   --cache-url URL        a shared `transform serve` endpoint (http://host:port)
                          behind the local store: a local miss fetches from the
                          remote (validated byte-for-byte, then installed
@@ -220,11 +223,13 @@ point `--cache-url` at it: GET/HEAD /v1/suite/<fingerprint> serves
 sealed entries, PUT uploads them (validated byte-for-byte before
 sealing, idempotent), GET /v1/index serves the entry index,
 GET /healthz reports liveness, and GET /v1/metrics exposes the request
-counters (requests, hits, puts, bytes, per-route request/latency
-breakdowns, in-flight connections) in the Prometheus text format —
-scrape it, or watch it live with `transform top`. Entries are
-content-addressed and immutable, so serving is replication-safe by
-construction.
+counters (requests, hits, puts, bytes, per-route request counts and
+latency histograms, in-flight connections) in the Prometheus text
+format — scrape it, or watch it live with `transform top`. Run
+journals replicate too: GET /v1/runs lists the recorded run manifests,
+GET/PUT /v1/runs/<id> fetch and publish full journals (validated, and
+rewritable so live runs can heartbeat). Entries are content-addressed
+and immutable, so serving is replication-safe by construction.
 
 flags:
   --root DIR             the store directory to serve (required; created
@@ -244,8 +249,10 @@ usage: transform top --url URL [--interval-secs N] [--once]
 A live fleet view of a `transform serve` instance: polls its
 /v1/metrics endpoint and renders entries, suite hits/misses, puts,
 byte counters, in-flight connections, and a per-route table of request
-counts, delta-based rates, and average latencies. Redraws in place on
-a TTY; prints one frame per poll otherwise.
+counts, delta-based rates, and average latencies — then merges in
+/v1/runs, so recent synthesis runs appear below with in-flight ones
+expanded to their live per-axiom progress. Redraws in place on a TTY;
+prints one frame per poll otherwise.
 
 flags:
   --url URL              the `transform serve` endpoint (http://host:port)
@@ -255,6 +262,33 @@ flags:
 
 example:
   transform top --url http://cache.internal:7171 --once
+"
+        .to_string(),
+        "runs" => "\
+usage: transform runs list|show ID|export ID --chrome [--out FILE]
+           (--cache DIR | --url URL)
+
+Every `--cache` synthesis run records a checksummed run journal — a
+manifest (spec, bound, options, outcome, final counters) plus
+timestamped span events — into the store, heartbeating a `running`
+manifest while it executes. `list` prints the recorded manifests
+newest first, `show` renders one run's manifest, per-axiom table, and
+event counts, and `export --chrome` turns its journal into a Chrome
+trace-event JSON file (load it in about://tracing or Perfetto).
+
+flags:
+  --chrome               export as Chrome trace-event JSON (required
+                         for `export`; the only format today)
+  --out FILE             write the trace to FILE instead of stdout
+
+sources (exactly one):
+  --cache DIR            read journals from a local suite store
+  --url URL              read them from a `transform serve` endpoint
+                         (http://host:port) via GET /v1/runs
+
+example:
+  transform runs export 00c0ffee00c0ffee --chrome --cache store \\
+      --out run.trace.json
 "
         .to_string(),
         "store" => match store_sub {
@@ -274,8 +308,9 @@ example:
 usage: transform store verify --cache DIR [--remove-corrupt]
 
 Re-checksum every sealed suite of a local store offline: header, every
-record, and the trailer. Reports (and with --remove-corrupt deletes)
-entries that fail.
+record, and the trailer — and every recorded run journal end to end.
+Reports (and with --remove-corrupt deletes) entries and journals that
+fail.
 
 flags:
   --remove-corrupt       delete entries that fail validation
@@ -291,13 +326,16 @@ example:
 usage: transform store gc --cache DIR [--older-than-days N]
            [--keep-list FILE] [--dry-run]
 
-Age out cached suites by mtime and/or a keep-list of fingerprints, and
-sweep leftover tmp-* shard directories.
+Age out cached suites by mtime and/or a keep-list of fingerprints,
+sweep leftover tmp-* shard directories, and (with --older-than-days)
+age out run journals by the same cutoff.
 
 flags:
-  --older-than-days N    remove entries older than N days
+  --older-than-days N    remove entries and run journals older than N days
   --keep-list FILE       fingerprints (one per line) to keep; without
                          --older-than-days, unlisted entries are removed
+                         (run journals age only by mtime — the keep-list
+                         names suite fingerprints, never runs)
   --dry-run              report without deleting
 
 caching:

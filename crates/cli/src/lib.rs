@@ -20,7 +20,11 @@
 //! * `serve` — serve a suite store over HTTP as a fleet-wide shared
 //!   cache (`transform-serve`); clients point `--cache-url` at it;
 //! * `top` — a live fleet view of a `serve` instance, polled from its
-//!   Prometheus `/v1/metrics` endpoint;
+//!   Prometheus `/v1/metrics` endpoint and merged with the recent run
+//!   manifests of `/v1/runs`;
+//! * `runs` — list, inspect, and export the journals that cached
+//!   synthesis runs record (`export --chrome` emits a Chrome
+//!   trace-event file for `about://tracing`);
 //! * `store push` / `store pull` — bulk-replicate sealed entries to /
 //!   from a served cache.
 //!
@@ -33,6 +37,7 @@
 mod help;
 mod opts;
 mod progress;
+mod runs;
 
 use opts::Opts;
 use progress::{parse_progress, ProgressMode, Reporter};
@@ -82,6 +87,8 @@ commands:
   export --cache DIR [same filters as query] [--out FILE]
   serve --root DIR [--addr HOST:PORT] [--threads N] [--verbose]
   top --url URL [--interval-secs N] [--once]
+  runs list|show ID|export ID --chrome [--out FILE]
+       (--cache DIR | --url URL)
   store verify --cache DIR [--remove-corrupt]
   store gc --cache DIR [--older-than-days N] [--keep-list FILE]
         [--dry-run]
@@ -104,10 +111,14 @@ baseline). Neither ever changes the suite.
 --progress streams live per-axiom telemetry (partitions/mass retired,
 programs, ELTs, mass-based ETA) to stderr while synthesis runs —
 `json` emits one object per line; stdout stays byte-identical either
-way. `top` polls a serve instance's /v1/metrics for a live fleet view.
+way. `top` polls a serve instance's /v1/metrics and /v1/runs for a
+live fleet view, in-flight synthesis runs included.
 --cache makes synthesis stream from / seal into a persistent suite
 store keyed on (MTM, axiom, bound, options); corrupt or stale entries
-are detected by checksums and rebuilt. --cache-url adds a shared
+are detected by checksums and rebuilt. Cached runs also record a
+checksummed run journal (manifest + timestamped span events) into the
+store — `runs` lists and inspects them, and `runs export --chrome`
+turns one into a Chrome trace-event file. --cache-url adds a shared
 `transform serve` endpoint behind the local store: local miss, remote
 fetch (validated byte-for-byte), push-on-seal. `check -` and
 `simulate -` read the ELT from stdin. `serve` exposes a store directory
@@ -141,6 +152,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "export" => cmd_export(opts),
         "serve" => cmd_serve(opts),
         "top" => cmd_top(opts),
+        "runs" => cmd_runs(opts),
         "store" => cmd_store(opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -278,8 +290,17 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     };
     // --progress: a shared atomics block the run publishes into and a
     // reporter thread renders from (stderr only — stdout is identical
-    // to an unobserved run).
-    let (progress, reporter) = start_progress(progress_mode, &axioms);
+    // to an unobserved run). Cached runs observe unconditionally so the
+    // run journal records them; observation never changes the suite.
+    let (progress, reporter) = start_progress(progress_mode, &axioms, cache.is_some());
+    let recorder = start_recorder(
+        progress.as_ref(),
+        cache.as_deref(),
+        cache_url.as_deref(),
+        &mtm,
+        &sopts,
+        jobs,
+    )?;
     let suites = if all {
         // One fused run for every axiom: the program space is
         // enumerated once, and no shared plan is built before workers
@@ -306,6 +327,9 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     };
     if let Some(reporter) = reporter {
         reporter.finish();
+    }
+    if let Some(recorder) = recorder {
+        recorder.finish();
     }
     let mut out = String::new();
     let render_all = || -> String { axioms.iter().map(|ax| render_suite(&suites[ax])).collect() };
@@ -341,20 +365,53 @@ fn suite_summary(axiom: &str, bound: usize, suite: &Suite, jobs: usize) -> Strin
     )
 }
 
-/// Builds the progress state + reporter pair behind `--progress`
-/// (`None` mode means no observation at all — the run takes the plain,
-/// un-instrumented entry points).
+/// Builds the progress state + reporter pair behind `--progress` and
+/// the run journal. No mode and no journal means no observation at all
+/// — the run takes the plain, un-instrumented entry points; a
+/// journaled run allocates the event buffer even without a reporter.
 fn start_progress(
     mode: Option<ProgressMode>,
     axioms: &[String],
+    journal: bool,
 ) -> (Option<Arc<ProgressState>>, Option<Reporter>) {
-    match mode {
-        None => (None, None),
-        Some(mode) => {
-            let state = Arc::new(ProgressState::new(axioms));
-            let reporter = Reporter::start(Arc::clone(&state), mode);
-            (Some(state), Some(reporter))
-        }
+    if mode.is_none() && !journal {
+        return (None, None);
+    }
+    let state = Arc::new(if journal {
+        ProgressState::with_journal(axioms)
+    } else {
+        ProgressState::new(axioms)
+    });
+    let reporter = mode.map(|mode| Reporter::start(Arc::clone(&state), mode));
+    (Some(state), reporter)
+}
+
+/// Starts the run-journal recorder for a cached synthesis run: a
+/// heartbeat keeps a `Running` manifest in the store (and on the
+/// remote tier) while the run executes, and `finish` seals the full
+/// journal. `None` when the run is uncached — journals live in the
+/// store, so there is nowhere to record one.
+fn start_recorder(
+    progress: Option<&Arc<ProgressState>>,
+    cache: Option<&str>,
+    cache_url: Option<&str>,
+    mtm: &Mtm,
+    sopts: &SynthOptions,
+    jobs: usize,
+) -> Result<Option<runs::JournalRecorder>, String> {
+    match (progress, cache) {
+        (Some(progress), Some(dir)) => runs::JournalRecorder::start(
+            dir,
+            cache_url,
+            mtm.name(),
+            sopts.enumeration.bound,
+            sopts.enumeration.allow_fences,
+            sopts.enumeration.allow_rmw,
+            jobs,
+            Arc::clone(progress),
+        )
+        .map(Some),
+        _ => Ok(None),
     }
 }
 
@@ -523,7 +580,15 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
     opts.finish()?;
     let mtm = x86t_elt();
     let axioms: Vec<String> = mtm.axioms().iter().map(|a| a.name.clone()).collect();
-    let (progress, reporter) = start_progress(progress_mode, &axioms);
+    let (progress, reporter) = start_progress(progress_mode, &axioms, cache.is_some());
+    let recorder = start_recorder(
+        progress.as_ref(),
+        cache.as_deref(),
+        cache_url.as_deref(),
+        &mtm,
+        &sopts,
+        jobs,
+    )?;
     // One fused run covers every axiom (the budget spans the whole
     // run); cached axioms stream from their sealed entries.
     let suites = synthesize_all_maybe_cached(
@@ -536,6 +601,9 @@ fn cmd_compare(mut opts: Opts) -> Result<String, String> {
     )?;
     if let Some(reporter) = reporter {
         reporter.finish();
+    }
+    if let Some(recorder) = recorder {
+        recorder.finish();
     }
     let keys = synthesized_keys(suites.values());
     let cmp = compare_suite(&transform_x86::coatcheck::suite(), &keys);
@@ -564,14 +632,32 @@ fn cmd_top(mut opts: Opts) -> Result<String, String> {
             .map_err(|e| format!("cannot scrape `{url}`: {e}"))?;
         Ok(progress::parse_prometheus(&text))
     };
+    // The runs section is best-effort: a server predating /v1/runs
+    // still renders its metrics, with the section marked unavailable.
+    let runs_section = || match remote.runs() {
+        Ok(manifests) => runs::render_runs_section(&manifests),
+        Err(_) => "runs: unavailable (server has no /v1/runs)\n".to_string(),
+    };
     let first = scrape()?;
     if once {
-        return Ok(progress::render_top(&url, None, &first, interval as f64));
+        return Ok(format!(
+            "{}{}",
+            progress::render_top(&url, None, &first, interval as f64),
+            runs_section(),
+        ));
     }
     use std::io::IsTerminal;
     let tty = std::io::stdout().is_terminal();
     let mut prev = first;
-    print!("{}", progress::render_top(&url, None, &prev, interval as f64));
+    let initial = format!(
+        "{}{}",
+        progress::render_top(&url, None, &prev, interval as f64),
+        runs_section(),
+    );
+    // The frame height varies (runs appear and finish), so redraws
+    // climb over the *previous* frame, not the new one.
+    let mut drawn = initial.lines().count();
+    print!("{initial}");
     loop {
         std::thread::sleep(Duration::from_secs(interval));
         // A transient scrape failure (server restarting) keeps polling.
@@ -582,19 +668,122 @@ fn cmd_top(mut opts: Opts) -> Result<String, String> {
                 continue;
             }
         };
-        let frame = progress::render_top(&url, Some(&prev), &cur, interval as f64);
+        let frame = format!(
+            "{}{}",
+            progress::render_top(&url, Some(&prev), &cur, interval as f64),
+            runs_section(),
+        );
         if tty {
             // Redraw in place.
-            print!("\x1b[{}A", frame.lines().count());
+            print!("\x1b[{drawn}A");
             for line in frame.lines() {
                 println!("\x1b[2K{line}");
             }
+            drawn = frame.lines().count();
         } else {
             print!("{frame}");
         }
         use std::io::Write as _;
         std::io::stdout().flush().ok();
         prev = cur;
+    }
+}
+
+/// Where `transform runs` reads journals from: a local store directory
+/// or a served fleet cache.
+enum RunSource {
+    Local(Store),
+    Remote(HttpTier),
+}
+
+impl RunSource {
+    /// Resolves the `--cache DIR | --url URL` pair (exactly one).
+    fn parse(opts: &mut Opts) -> Result<RunSource, String> {
+        match (opts.value("--cache"), opts.value("--url")) {
+            (Some(dir), None) => Store::open(&dir)
+                .map(RunSource::Local)
+                .map_err(|e| format!("cannot open cache `{dir}`: {e}")),
+            (None, Some(url)) => HttpTier::new(&url)
+                .map(RunSource::Remote)
+                .map_err(|e| e.to_string()),
+            (None, None) => Err("runs needs --cache DIR or --url http://host:port".into()),
+            (Some(_), Some(_)) => Err("--cache and --url are mutually exclusive for `runs`".into()),
+        }
+    }
+
+    /// Every recorded manifest, newest first.
+    fn manifests(&self) -> Result<Vec<transform_store::RunManifest>, String> {
+        match self {
+            RunSource::Local(store) => store.runs().map_err(|e| e.to_string()),
+            RunSource::Remote(remote) => remote.runs().map_err(|e| e.to_string()),
+        }
+    }
+
+    /// One run's full journal; a missing or corrupt one is an error.
+    fn journal(&self, id: u64) -> Result<transform_store::RunJournal, String> {
+        match self {
+            RunSource::Local(store) => store
+                .read_run(id)
+                .map_err(|e| format!("run {id:016x}: {e}")),
+            RunSource::Remote(remote) => {
+                let bytes = remote
+                    .fetch_run(id)
+                    .map_err(|e| e.to_string())?
+                    .ok_or(format!("the remote has no run {id:016x}"))?;
+                transform_store::decode_run(&bytes).map_err(|e| format!("run {id:016x}: {e}"))
+            }
+        }
+    }
+}
+
+/// `transform runs`: list, inspect, and export the journals that
+/// cached synthesis runs record.
+fn cmd_runs(mut opts: Opts) -> Result<String, String> {
+    let sub = opts
+        .positional()
+        .ok_or("runs needs a subcommand: list | show | export")?;
+    match sub.as_str() {
+        "list" => {
+            let source = RunSource::parse(&mut opts)?;
+            opts.finish()?;
+            Ok(runs::render_runs_list(&source.manifests()?))
+        }
+        "show" => {
+            let id = opts.positional().ok_or("runs show needs a run id")?;
+            let source = RunSource::parse(&mut opts)?;
+            opts.finish()?;
+            let journal = source.journal(runs::parse_run_id(&id)?)?;
+            Ok(runs::render_run_show(&journal))
+        }
+        "export" => {
+            let id = opts.positional().ok_or("runs export needs a run id")?;
+            if !opts.flag("--chrome") {
+                return Err(
+                    "runs export needs --chrome (the Chrome trace-event format is the only \
+                     exporter today)"
+                        .into(),
+                );
+            }
+            let out_file = opts.value("--out");
+            let source = RunSource::parse(&mut opts)?;
+            opts.finish()?;
+            let journal = source.journal(runs::parse_run_id(&id)?)?;
+            let trace = runs::chrome_trace(&journal);
+            match out_file {
+                Some(path) => {
+                    std::fs::write(&path, &trace)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    Ok(format!(
+                        "wrote {} trace events to {path}\n",
+                        journal.events.len()
+                    ))
+                }
+                None => Ok(trace),
+            }
+        }
+        other => Err(format!(
+            "unknown runs subcommand `{other}` (expected `list`, `show`, or `export`)"
+        )),
     }
 }
 
@@ -984,6 +1173,28 @@ fn cmd_store_verify(mut opts: Opts) -> Result<String, String> {
             }
         }
     }
+    // Run journals re-validate the same way: decode is checksummed end
+    // to end, so a damaged journal surfaces here instead of at read.
+    let run_ids = store.run_ids().map_err(|e| format!("cache `{dir}`: {e}"))?;
+    let mut runs_corrupt = Vec::new();
+    for &id in &run_ids {
+        if let Err(e) = store.read_run(id) {
+            out.push_str(&format!("run {id:016x} CORRUPT  {e}\n"));
+            runs_corrupt.push(id);
+        }
+    }
+    out.push_str(&format!(
+        "run journals: {} ok, {} corrupt\n",
+        run_ids.len() - runs_corrupt.len(),
+        runs_corrupt.len(),
+    ));
+    if remove {
+        for &id in &runs_corrupt {
+            store
+                .remove_run(id)
+                .map_err(|e| format!("cannot remove run {id:016x}: {e}"))?;
+        }
+    }
     out.push_str(match store.read_index() {
         Some(_) => "index: ok\n",
         None => "index: missing or stale (scans fall back to entry headers)\n",
@@ -1068,6 +1279,31 @@ fn cmd_store_gc(mut opts: Opts) -> Result<String, String> {
             out.push_str(&format!("removed {fp}\n"));
         }
     }
+    // Run journals age out by the same mtime cutoff (the keep-list
+    // names suite fingerprints, so it never pins a run).
+    let mut runs_removed = 0usize;
+    if let Some(d) = days {
+        for id in store.run_ids().map_err(|e| format!("cache `{dir}`: {e}"))? {
+            let mtime = store
+                .run_mtime(id)
+                .map_err(|e| format!("cannot stat run {id:016x}: {e}"))?;
+            let aged = now
+                .duration_since(mtime)
+                .is_ok_and(|age| age >= Duration::from_secs(d.saturating_mul(86_400)));
+            if !aged {
+                continue;
+            }
+            runs_removed += 1;
+            if dry {
+                out.push_str(&format!("would remove run {id:016x}\n"));
+            } else {
+                store
+                    .remove_run(id)
+                    .map_err(|e| format!("cannot remove run {id:016x}: {e}"))?;
+                out.push_str(&format!("removed run {id:016x}\n"));
+            }
+        }
+    }
     let tmp = if dry {
         store
             .stale_tmp_entries()
@@ -1082,13 +1318,15 @@ fn cmd_store_gc(mut opts: Opts) -> Result<String, String> {
         store.rebuild_index().ok();
     }
     out.push_str(&format!(
-        "{}{} entr{} removed, {} kept, {} tmp dir{} swept\n",
+        "{}{} entr{} removed, {} kept, {} tmp dir{} swept, {} run journal{} removed\n",
         if dry { "[dry-run] " } else { "" },
         removed,
         if removed == 1 { "y" } else { "ies" },
         kept,
         tmp,
         if tmp == 1 { "" } else { "s" },
+        runs_removed,
+        if runs_removed == 1 { "" } else { "s" },
     ));
     Ok(out)
 }
@@ -1649,10 +1887,11 @@ mod tests {
         ))
         .expect("gcs");
         assert!(
-            out.contains("1 entry removed, 1 kept, 1 tmp dir swept"),
+            out.contains("1 entry removed, 1 kept, 1 tmp dir swept, 2 run journals removed"),
             "{out}"
         );
         assert!(!cache.join("tmp-deadbeef-1-0").exists());
+        assert!(store.run_ids().expect("listable").is_empty());
         assert_eq!(store.entries().expect("listable"), vec![protected]);
         // The index was rebuilt to match.
         assert_eq!(store.read_index().expect("fresh index").len(), 1);
@@ -1708,6 +1947,7 @@ mod tests {
             "export",
             "serve",
             "top",
+            "runs",
             "store",
             "store verify",
             "store gc",
@@ -1768,6 +2008,11 @@ mod tests {
         let top = run_str("top --help").expect("help");
         assert!(top.contains("--url URL"), "{top}");
         assert!(top.contains("--once"), "{top}");
+        assert!(top.contains("/v1/runs"), "{top}");
+        let runs_help = run_str("runs --help").expect("help");
+        assert!(runs_help.contains("--chrome"), "{runs_help}");
+        assert!(runs_help.contains("--cache DIR"), "{runs_help}");
+        assert!(runs_help.contains("--url URL"), "{runs_help}");
     }
 
     #[test]
@@ -1898,7 +2143,8 @@ mod tests {
         }
         // --all with --progress: same fused-run output.
         let all = run_str("synthesize --all --bound 4").expect("runs");
-        let observed = run_str("synthesize --all --bound 4 --progress=json --jobs 4").expect("runs");
+        let observed =
+            run_str("synthesize --all --bound 4 --progress=json --jobs 4").expect("runs");
         assert_eq!(elts(&all), elts(&observed));
 
         // Sealed content: one cache populated observed at --jobs 3, one
@@ -1998,6 +2244,224 @@ mod tests {
         assert!(e.contains("cannot scrape"), "{e}");
         let e = run_str("top --once").unwrap_err();
         assert!(e.contains("--url"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The journal tentpole end to end: every `--cache` run records a
+    /// listable, inspectable, exportable journal — and recording it
+    /// never changes what synthesis prints (the byte-identity of the
+    /// sealed suites themselves is held by
+    /// `progress_changes_neither_stdout_nor_the_sealed_bytes` and the
+    /// par-level property tests).
+    #[test]
+    fn cached_runs_are_journaled_listable_and_exportable() {
+        let dir = temp_dir("runs");
+        let cache = dir.join("store");
+        let c = cache.display();
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("seeds");
+        let store = Store::open(&cache).expect("opens");
+        let manifests = store.runs().expect("lists");
+        assert_eq!(manifests.len(), 1, "one run recorded");
+        let m = &manifests[0];
+        assert_eq!(m.outcome, transform_store::RunOutcome::Complete);
+        assert_eq!((m.mtm.as_str(), m.bound, m.jobs), ("x86t_elt", 4, 1));
+        let id = format!("{:016x}", m.id);
+
+        let list = run_str(&format!("runs list --cache {c}")).expect("lists");
+        assert!(list.contains(&id), "{list}");
+        assert!(list.contains("complete"), "{list}");
+        assert!(list.contains("1 run"), "{list}");
+
+        let show = run_str(&format!("runs show {id} --cache {c}")).expect("shows");
+        assert!(show.contains("invlpg"), "{show}");
+        assert!(show.contains("outcome complete"), "{show}");
+        assert!(show.contains("run_start 1"), "{show}");
+        assert!(show.contains("run_end 1"), "{show}");
+
+        let trace = run_str(&format!("runs export {id} --chrome --cache {c}")).expect("exports");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("examine_batch"), "{trace}");
+        assert!(trace.contains("axiom invlpg"), "{trace}");
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+
+        let out = dir.join("run.trace.json");
+        let msg = run_str(&format!(
+            "runs export {id} --chrome --cache {c} --out {}",
+            out.display()
+        ))
+        .expect("writes");
+        assert!(msg.contains("trace events"), "{msg}");
+        assert_eq!(std::fs::read_to_string(&out).expect("written"), trace);
+
+        // A warm (fully cached) run is a run too: it records its own
+        // journal with the axiom served from the cache.
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {c}"
+        ))
+        .expect("warm");
+        assert_eq!(store.runs().expect("lists").len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The issue's acceptance bar: a deadline-cut run's manifest
+    /// records outcome `cut` with the *exact* retired mass — the sum of
+    /// the journaled per-partition retire events, not an estimate.
+    #[test]
+    fn deadline_cut_runs_record_outcome_cut_with_exact_retired_mass() {
+        let dir = temp_dir("runs-cut");
+        let cache = dir.join("store");
+        run_str(&format!(
+            "synthesize --all --bound 4 --quiet --timeout-secs 0 --jobs 2 --cache {}",
+            cache.display()
+        ))
+        .expect("cut run");
+        let store = Store::open(&cache).expect("opens");
+        let manifests = store.runs().expect("lists");
+        assert_eq!(manifests.len(), 1);
+        let m = &manifests[0];
+        assert_eq!(m.outcome, transform_store::RunOutcome::Cut, "{m:?}");
+        assert!(m.cut_at_partition.is_some(), "{m:?}");
+        let journal = store.read_run(m.id).expect("reads");
+        let journaled: u64 = journal
+            .events
+            .iter()
+            .filter(|e| e.kind == transform_par::JournalEventKind::PartitionRetired)
+            .map(|e| e.b)
+            .sum();
+        assert_eq!(m.mass_retired, journaled, "retired mass must be exact");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runs_commands_validate_their_sources_and_ids() {
+        let dir = temp_dir("runs-validate");
+        let c = dir.join("store").display().to_string();
+        let e = run_str("runs list").unwrap_err();
+        assert!(e.contains("--cache"), "{e}");
+        let e = run_str(&format!("runs list --cache {c} --url http://x:1")).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = run_str(&format!("runs wat --cache {c}")).unwrap_err();
+        assert!(e.contains("wat"), "{e}");
+        let e = run_str(&format!("runs show zzz --cache {c}")).unwrap_err();
+        assert!(e.contains("zzz"), "{e}");
+        let e = run_str(&format!("runs show 0123456789abcdef --cache {c}")).unwrap_err();
+        assert!(e.contains("0123456789abcdef"), "{e}");
+        let e = run_str(&format!("runs export 0123456789abcdef --cache {c}")).unwrap_err();
+        assert!(e.contains("--chrome"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The fleet half of the tentpole: a live run's heartbeat manifest
+    /// published to a serve instance renders in `transform top` with
+    /// its per-axiom progress, and `runs list`/`show` read over --url.
+    #[test]
+    fn top_once_shows_live_fleet_runs_from_v1_runs() {
+        use transform_serve::{ServeOptions, Server};
+        let dir = temp_dir("top-runs");
+        let served = dir.join("served");
+        let server = Server::bind(&served, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+
+        let frame = run_str(&format!("top --once --url {url}")).expect("scrapes");
+        assert!(frame.contains("runs: none recorded"), "{frame}");
+
+        // A live synthesis run elsewhere in the fleet: its heartbeat
+        // publishes a Running manifest.
+        let manifest = transform_store::RunManifest {
+            id: 0x00c0_ffee_0a11_ce00,
+            mtm: "x86t_elt".into(),
+            bound: 6,
+            allow_fences: false,
+            allow_rmw: false,
+            jobs: 4,
+            started_unix_micros: 1_700_000_000_000_000,
+            elapsed_micros: 12_000_000,
+            outcome: transform_store::RunOutcome::Running,
+            partitions_total: 100,
+            partitions_retired: 42,
+            mass_total: 1000,
+            mass_retired: 421,
+            programs: 77,
+            items_planned: 300,
+            batches: 9,
+            peak_live_candidates: 50,
+            final_batch_size: 16,
+            cut_at_partition: None,
+            axioms: vec![transform_store::RunAxiom {
+                name: "sc_per_loc".into(),
+                state: transform_par::AxiomState::Running,
+                elts: 3,
+                items_examined: 99,
+                batches_done: 9,
+            }],
+        };
+        let journal = transform_store::RunJournal {
+            manifest,
+            events: Vec::new(),
+        };
+        let remote = HttpTier::new(&url).expect("connects");
+        remote
+            .publish_run(
+                0x00c0_ffee_0a11_ce00,
+                &transform_store::encode_run(&journal),
+            )
+            .expect("publishes");
+
+        let frame = run_str(&format!("top --once --url {url}")).expect("scrapes");
+        assert!(frame.contains("00c0ffee0a11ce00"), "{frame}");
+        assert!(frame.contains("running"), "{frame}");
+        assert!(frame.contains("x86t_elt@6"), "{frame}");
+        assert!(frame.contains("sc_per_loc"), "{frame}");
+        assert!(frame.contains("99 items"), "{frame}");
+
+        let list = run_str(&format!("runs list --url {url}")).expect("lists");
+        assert!(list.contains("00c0ffee0a11ce00"), "{list}");
+        let show = run_str(&format!("runs show 00c0ffee0a11ce00 --url {url}")).expect("shows");
+        assert!(show.contains("sc_per_loc"), "{show}");
+        assert!(show.contains("outcome running"), "{show}");
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A `--cache --cache-url` run publishes its sealed journal to the
+    /// remote tier, so the whole fleet sees finished runs.
+    #[test]
+    fn cached_runs_publish_their_journals_to_the_remote_tier() {
+        use transform_serve::{ServeOptions, Server};
+        let dir = temp_dir("runs-publish");
+        let served = dir.join("served");
+        let local = dir.join("local");
+        let server = Server::bind(&served, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+
+        run_str(&format!(
+            "synthesize --axiom invlpg --bound 4 --quiet --cache {} --cache-url {url}",
+            local.display()
+        ))
+        .expect("runs");
+        let remote = HttpTier::new(&url).expect("connects");
+        let manifests = remote.runs().expect("lists");
+        assert_eq!(manifests.len(), 1, "the sealed journal was pushed");
+        assert_eq!(
+            manifests[0].outcome,
+            transform_store::RunOutcome::Complete,
+            "{:?}",
+            manifests[0]
+        );
+        // Remote and local journals are byte-identical.
+        let store = Store::open(&local).expect("opens");
+        let id = manifests[0].id;
+        assert_eq!(
+            remote.fetch_run(id).expect("fetches").expect("present"),
+            store.run_bytes(id).expect("reads").expect("present"),
+        );
+        handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

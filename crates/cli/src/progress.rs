@@ -135,8 +135,8 @@ fn report_loop(progress: &ProgressState, mode: ProgressMode, stop: &AtomicBool) 
     }
 }
 
-/// `12.3s`-style compact duration.
-fn fmt_secs(d: Duration) -> String {
+/// `12.3s`-style compact duration (shared with the `runs` renderers).
+pub(crate) fn fmt_secs(d: Duration) -> String {
     let s = d.as_secs_f64();
     if s >= 3600.0 {
         format!("{:.0}h{:02.0}m", (s / 3600.0).floor(), (s % 3600.0) / 60.0)
@@ -187,12 +187,7 @@ fn render_panel(snap: &ProgressSnapshot) -> String {
             None => String::new(),
         },
     ));
-    let width = snap
-        .axioms
-        .iter()
-        .map(|a| a.name.len())
-        .max()
-        .unwrap_or(0);
+    let width = snap.axioms.iter().map(|a| a.name.len()).max().unwrap_or(0);
     for ax in &snap.axioms {
         let eta = match snap.axiom_eta(ax) {
             Some(eta) if eta > Duration::ZERO => format!("  eta ~{}", fmt_secs(eta)),
@@ -200,10 +195,7 @@ fn render_panel(snap: &ProgressSnapshot) -> String {
         };
         let detail = match ax.state {
             AxiomState::Cached => String::new(),
-            _ => format!(
-                "  {} items, {} batches",
-                ax.items_examined, ax.batches_done
-            ),
+            _ => format!("  {} items, {} batches", ax.items_examined, ax.batches_done),
         };
         out.push_str(&format!(
             "  {:width$}  {:8}  {:>5} elts{detail}{eta}\n",
@@ -216,8 +208,9 @@ fn render_panel(snap: &ProgressSnapshot) -> String {
 }
 
 /// Minimal JSON string escaping (axiom names are identifiers today,
-/// but a spec file could name one anything).
-fn json_str(s: &str) -> String {
+/// but a spec file could name one anything). Shared with the Chrome
+/// trace exporter.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -371,8 +364,7 @@ pub fn render_top(
     for route in transform_serve::ROUTE_NAMES {
         let requests_key = format!("transform_serve_route_requests_total{{route=\"{route}\"}}");
         let sum_key = format!("transform_serve_route_latency_seconds_sum{{route=\"{route}\"}}");
-        let count_key =
-            format!("transform_serve_route_latency_seconds_count{{route=\"{route}\"}}");
+        let count_key = format!("transform_serve_route_latency_seconds_count{{route=\"{route}\"}}");
         let count = get(&count_key);
         let avg = if count > 0.0 {
             format!("{:.1} ms", get(&sum_key) / count * 1e3)
@@ -420,7 +412,10 @@ mod tests {
             line.matches('}').count(),
             "{line}"
         );
-        assert!(line.contains("\"name\":\"invlpg\",\"state\":\"cached\",\"elts\":7"), "{line}");
+        assert!(
+            line.contains("\"name\":\"invlpg\",\"state\":\"cached\",\"elts\":7"),
+            "{line}"
+        );
         assert!(line.contains("\"eta_secs\":null"), "{line}");
     }
 
@@ -446,6 +441,85 @@ y{route=\"healthz\"} 1.5
         assert_eq!(parsed.get("x_total"), Some(&3.0));
         assert_eq!(parsed.get("y{route=\"healthz\"}"), Some(&1.5));
         assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn prometheus_parsing_survives_escaped_help_strings() {
+        // HELP text may contain escaped quotes, backslashes, and `\n` —
+        // and even text that looks like a sample. Comment lines are
+        // skipped wholesale, so none of it leaks into the sample map.
+        let text = "\
+# HELP tricky \"quoted \\\" text\\n with\\\\escapes\" x_total 99
+# TYPE tricky counter
+tricky 1
+";
+        let parsed = parse_prometheus(text);
+        assert_eq!(parsed.get("tricky"), Some(&1.0));
+        assert_eq!(parsed.len(), 1, "{parsed:?}");
+    }
+
+    #[test]
+    fn prometheus_parsing_accepts_nan_and_inf_samples() {
+        // Summaries of an idle server legitimately expose NaN
+        // quantiles, and +Inf histogram buckets carry the value as a
+        // *label* but other gauges may be infinite.
+        let text = "\
+q{quantile=\"0.99\"} NaN
+g_pos +Inf
+g_neg -Inf
+h_bucket{le=\"+Inf\"} 7
+";
+        let parsed = parse_prometheus(text);
+        assert!(parsed
+            .get("q{quantile=\"0.99\"}")
+            .is_some_and(|v| v.is_nan()));
+        assert_eq!(parsed.get("g_pos"), Some(&f64::INFINITY));
+        assert_eq!(parsed.get("g_neg"), Some(&f64::NEG_INFINITY));
+        assert_eq!(parsed.get("h_bucket{le=\"+Inf\"}"), Some(&7.0));
+    }
+
+    #[test]
+    fn prometheus_parsing_keeps_unknown_families_and_drops_garbage() {
+        // Families `top` has never heard of still parse (forward
+        // compatibility with newer servers); lines whose value is not a
+        // number are dropped rather than aborting the scrape.
+        let text = "\
+brand_new_metric_total 5
+malformed_line_without_value
+also_malformed not-a-number
+";
+        let parsed = parse_prometheus(text);
+        assert_eq!(parsed.get("brand_new_metric_total"), Some(&5.0));
+        assert_eq!(parsed.len(), 1, "{parsed:?}");
+    }
+
+    #[test]
+    fn prometheus_parsing_keys_histogram_buckets_by_le_label() {
+        // The serve histogram upgrade: every `_bucket{route,le}` line
+        // keys separately, cumulative across `le`, with `_sum`/`_count`
+        // still present for the avg-latency column.
+        let text = "\
+# TYPE transform_serve_route_latency_seconds histogram
+transform_serve_route_latency_seconds_bucket{route=\"healthz\",le=\"0.001\"} 2
+transform_serve_route_latency_seconds_bucket{route=\"healthz\",le=\"0.005\"} 3
+transform_serve_route_latency_seconds_bucket{route=\"healthz\",le=\"+Inf\"} 3
+transform_serve_route_latency_seconds_sum{route=\"healthz\"} 0.004
+transform_serve_route_latency_seconds_count{route=\"healthz\"} 3
+";
+        let parsed = parse_prometheus(text);
+        let bucket = |le: &str| {
+            parsed
+                .get(&format!(
+                    "transform_serve_route_latency_seconds_bucket{{route=\"healthz\",le=\"{le}\"}}"
+                ))
+                .copied()
+        };
+        assert_eq!(bucket("0.001"), Some(2.0));
+        assert_eq!(bucket("0.005"), Some(3.0));
+        assert_eq!(bucket("+Inf"), Some(3.0));
+        // And the summary keys render_top relies on survive alongside.
+        let frame = render_top("http://x:1", None, &parsed, 2.0);
+        assert!(frame.contains("1.3 ms"), "avg = 0.004/3: {frame}");
     }
 
     #[test]

@@ -92,7 +92,9 @@ use transform_synth::{
     SynthesizedElt,
 };
 
-pub use progress::{AxiomSnapshot, AxiomState, ProgressSnapshot, ProgressState};
+pub use progress::{
+    AxiomSnapshot, AxiomState, JournalEvent, JournalEventKind, ProgressSnapshot, ProgressState,
+};
 pub use stream::StreamMetrics;
 
 /// Shards per worker: enough granularity for stealing to balance uneven
@@ -876,6 +878,82 @@ mod tests {
         assert!(plan.timed_out);
         assert_eq!(plan.cut_at_partition, Some(0));
         assert!(plan.items.is_empty());
+    }
+
+    /// The tentpole invariant: journaling is a pure side buffer.
+    /// Suites from a journal-recording run are byte-identical to the
+    /// sequential engine's at every worker count, and the journal
+    /// itself brackets the run with start/end events.
+    #[test]
+    fn journaled_runs_reproduce_the_sequential_suite_at_any_jobs() {
+        let mtm = small_mtm();
+        let o = opts(4);
+        let reference = transform_synth::synthesize_suite(&mtm, "sc_per_loc", &o);
+        for jobs in [1, 2, 4] {
+            let progress = std::sync::Arc::new(ProgressState::with_journal(&["sc_per_loc"]));
+            let suite = synthesize_suite_jobs_observed(&mtm, "sc_per_loc", &o, jobs, &progress);
+            assert_eq!(suite.elts.len(), reference.elts.len(), "jobs {jobs}");
+            for (a, b) in suite.elts.iter().zip(&reference.elts) {
+                assert_eq!(a.program, b.program, "jobs {jobs}");
+                assert_eq!(a.witness, b.witness, "jobs {jobs}");
+                assert_eq!(a.violated, b.violated, "jobs {jobs}");
+            }
+            assert_eq!(suite.stats.executions, reference.stats.executions);
+            let events = progress.take_journal();
+            assert_eq!(
+                events.first().map(|e| e.kind),
+                Some(progress::JournalEventKind::RunStart),
+                "jobs {jobs}"
+            );
+            assert_eq!(
+                events.last().map(|e| e.kind),
+                Some(progress::JournalEventKind::RunEnd),
+                "jobs {jobs}"
+            );
+            // Every retired partition and batch left a span, and
+            // timestamps never run backwards within... emission order is
+            // per-lock-transition, so they are monotone overall.
+            assert!(events
+                .iter()
+                .any(|e| e.kind == progress::JournalEventKind::PartitionRetired));
+            assert!(events
+                .iter()
+                .any(|e| e.kind == progress::JournalEventKind::BatchExamined));
+            assert!(events
+                .iter()
+                .any(|e| e.kind == progress::JournalEventKind::AxiomComplete));
+            assert!(events.windows(2).all(|w| w[0].t_micros <= w[1].t_micros));
+        }
+    }
+
+    /// A deadline-cut journaled run records the cut event, and the
+    /// progress mirror carries the exact retired mass the manifest
+    /// persists.
+    #[test]
+    fn journaled_deadline_cut_records_the_cut_event() {
+        let mtm = small_mtm();
+        let mut o = opts(6);
+        o.timeout = Some(std::time::Duration::ZERO);
+        let progress = std::sync::Arc::new(ProgressState::with_journal(&["sc_per_loc"]));
+        let suite = synthesize_suite_jobs_observed(&mtm, "sc_per_loc", &o, 2, &progress);
+        assert!(suite.stats.timed_out);
+        let snap = progress.snapshot();
+        assert!(snap.cut_at_partition.is_some());
+        let events = progress.take_journal();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == progress::JournalEventKind::Cut),
+            "cut runs journal their cut point"
+        );
+        // The retired mass in the snapshot is the sum of the retired
+        // partitions' journaled masses — exact, not estimated.
+        let journaled: u64 = events
+            .iter()
+            .filter(|e| e.kind == progress::JournalEventKind::PartitionRetired)
+            .map(|e| e.b)
+            .sum();
+        assert_eq!(snap.mass_retired, journaled);
     }
 
     #[test]

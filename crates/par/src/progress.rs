@@ -27,6 +27,7 @@
 //! [`StreamMetrics::from_snapshot`]: crate::StreamMetrics::from_snapshot
 
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// All progress stores/loads are relaxed: every write happens inside a
@@ -76,6 +77,116 @@ impl AxiomState {
     }
 }
 
+/// What one [`JournalEvent`] records — a span or instant in a
+/// synthesis run's life, emitted by the fused pipeline's lock-held
+/// transitions when the run's [`ProgressState`] was built with
+/// [`ProgressState::with_journal`].
+///
+/// The payload fields `a`/`b`/`c` are kind-specific (documented per
+/// variant); unused ones are zero.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JournalEventKind {
+    /// The fused run bound its space: `a` = partition count, `b` =
+    /// total subtree mass, `c` = worker count.
+    RunStart,
+    /// One partition was enumerated (materialized): `a` = its ordinal,
+    /// `b` = programs delivered.
+    PartitionEnumerated,
+    /// The dedup frontier admitted one partition: `a` = its ordinal,
+    /// `b` = its subtree mass.
+    PartitionRetired,
+    /// One examine batch retired for `axiom`: `a` = plan items
+    /// examined, `b` = suite members found, `c` = batch wall-clock in
+    /// microseconds (so `t_micros - c` is the batch's start).
+    BatchExamined,
+    /// Out-of-order delivery head-blocked the dedup frontier past the
+    /// lookahead window: `a` = the frontier ordinal being waited on,
+    /// `b` = partitions queued behind it.
+    FrontierStall,
+    /// `axiom`'s whole schedule retired cleanly.
+    AxiomComplete,
+    /// The deadline cut the run's shared plan: `a` = the first cut
+    /// partition.
+    Cut,
+    /// The run drained: `a` = programs admitted, `b` = plan items,
+    /// `c` = batches created.
+    RunEnd,
+    /// A store tier sealed `axiom`'s suite: `a` = sealed entry bytes.
+    Seal,
+    /// A sealed suite for `axiom` was pushed to a remote tier.
+    Push,
+}
+
+impl JournalEventKind {
+    /// The wire byte of the kind (stable across releases — the journal
+    /// codec persists it).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            JournalEventKind::RunStart => 0,
+            JournalEventKind::PartitionEnumerated => 1,
+            JournalEventKind::PartitionRetired => 2,
+            JournalEventKind::BatchExamined => 3,
+            JournalEventKind::FrontierStall => 4,
+            JournalEventKind::AxiomComplete => 5,
+            JournalEventKind::Cut => 6,
+            JournalEventKind::RunEnd => 7,
+            JournalEventKind::Seal => 8,
+            JournalEventKind::Push => 9,
+        }
+    }
+
+    /// The inverse of [`JournalEventKind::as_u8`].
+    pub fn from_u8(v: u8) -> Option<JournalEventKind> {
+        Some(match v {
+            0 => JournalEventKind::RunStart,
+            1 => JournalEventKind::PartitionEnumerated,
+            2 => JournalEventKind::PartitionRetired,
+            3 => JournalEventKind::BatchExamined,
+            4 => JournalEventKind::FrontierStall,
+            5 => JournalEventKind::AxiomComplete,
+            6 => JournalEventKind::Cut,
+            7 => JournalEventKind::RunEnd,
+            8 => JournalEventKind::Seal,
+            9 => JournalEventKind::Push,
+            _ => return None,
+        })
+    }
+
+    /// The human-readable spelling (`transform runs show`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JournalEventKind::RunStart => "run_start",
+            JournalEventKind::PartitionEnumerated => "partition_enumerated",
+            JournalEventKind::PartitionRetired => "partition_retired",
+            JournalEventKind::BatchExamined => "batch_examined",
+            JournalEventKind::FrontierStall => "frontier_stall",
+            JournalEventKind::AxiomComplete => "axiom_complete",
+            JournalEventKind::Cut => "cut",
+            JournalEventKind::RunEnd => "run_end",
+            JournalEventKind::Seal => "seal",
+            JournalEventKind::Push => "push",
+        }
+    }
+}
+
+/// One timestamped span event of a journaled synthesis run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JournalEvent {
+    /// Microseconds since the run's [`ProgressState`] was created.
+    pub t_micros: u64,
+    /// What happened.
+    pub kind: JournalEventKind,
+    /// The axiom slot the event belongs to (an index into the state's
+    /// axiom list), or `None` for run-level events.
+    pub axiom: Option<u32>,
+    /// First kind-specific payload (see [`JournalEventKind`]).
+    pub a: u64,
+    /// Second kind-specific payload.
+    pub b: u64,
+    /// Third kind-specific payload.
+    pub c: u64,
+}
+
 /// One axiom's live counters.
 pub(crate) struct AxiomProgress {
     name: String,
@@ -107,6 +218,10 @@ pub struct ProgressState {
     pub(crate) batches: AtomicUsize,
     pub(crate) cut_at_partition: AtomicUsize,
     pub(crate) final_batch_size: AtomicUsize,
+    /// The run journal, when enabled ([`ProgressState::with_journal`]):
+    /// timestamped span events appended by the pipeline's lock-held
+    /// transitions and drained once by [`ProgressState::take_journal`].
+    journal: Option<Mutex<Vec<JournalEvent>>>,
 }
 
 impl ProgressState {
@@ -114,8 +229,23 @@ impl ProgressState {
     /// rendered — including ones a tiered lookup may serve from cache
     /// without ever entering the fused run).
     pub fn new<S: AsRef<str>>(axioms: &[S]) -> ProgressState {
+        Self::build(axioms, false)
+    }
+
+    /// Like [`ProgressState::new`], additionally recording a run
+    /// journal: the pipeline appends timestamped [`JournalEvent`]s as
+    /// its transitions fire, for persistence alongside store entries.
+    /// Journaling only ever *adds* a side buffer — published counters,
+    /// scheduling, and therefore sealed suites are byte-identical with
+    /// and without it.
+    pub fn with_journal<S: AsRef<str>>(axioms: &[S]) -> ProgressState {
+        Self::build(axioms, true)
+    }
+
+    fn build<S: AsRef<str>>(axioms: &[S], journal: bool) -> ProgressState {
         ProgressState {
             started: Instant::now(),
+            journal: journal.then(|| Mutex::new(Vec::new())),
             axioms: axioms
                 .iter()
                 .map(|name| AxiomProgress {
@@ -170,6 +300,52 @@ impl ProgressState {
     /// starts when the run is requested, cache probing included).
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
+    }
+
+    /// Whether this state records a run journal.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Appends one journal event, timestamped against the state's
+    /// creation. A no-op (one branch) when journaling is off — the
+    /// pipeline calls this unconditionally from its transitions.
+    pub fn record(&self, kind: JournalEventKind, axiom: Option<u32>, a: u64, b: u64, c: u64) {
+        let Some(journal) = &self.journal else { return };
+        let t_micros = self.started.elapsed().as_micros() as u64;
+        journal
+            .lock()
+            .expect("journal lock is never poisoned")
+            .push(JournalEvent {
+                t_micros,
+                kind,
+                axiom,
+                a,
+                b,
+                c,
+            });
+    }
+
+    /// Drains the recorded journal (empty when journaling is off or the
+    /// events were already taken). The order is exactly emission order.
+    pub fn take_journal(&self) -> Vec<JournalEvent> {
+        match &self.journal {
+            Some(journal) => {
+                std::mem::take(&mut *journal.lock().expect("journal lock is never poisoned"))
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The number of the state's tracked axioms (the journal's `axiom`
+    /// slots index into this range).
+    pub fn axiom_count(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// The name of axiom slot `slot`, or `None` out of range.
+    pub fn axiom_name(&self, slot: usize) -> Option<&str> {
+        self.axioms.get(slot).map(|a| a.name.as_str())
     }
 
     /// A consistent-enough point-in-time copy of every counter: each
@@ -358,6 +534,47 @@ mod tests {
         let ratio = eta.as_secs_f64() / snap.elapsed.as_secs_f64();
         assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
         assert!(snap.enumeration_eta().is_some());
+    }
+
+    #[test]
+    fn journal_records_only_when_enabled_and_drains_once() {
+        let off = ProgressState::new(&["a"]);
+        assert!(!off.journal_enabled());
+        off.record(JournalEventKind::RunStart, None, 1, 2, 3);
+        assert!(off.take_journal().is_empty());
+
+        let on = ProgressState::with_journal(&["a"]);
+        assert!(on.journal_enabled());
+        on.record(JournalEventKind::RunStart, None, 10, 20, 2);
+        on.record(JournalEventKind::BatchExamined, Some(0), 5, 1, 900);
+        let events = on.take_journal();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, JournalEventKind::RunStart);
+        assert_eq!(events[0].axiom, None);
+        assert_eq!((events[0].a, events[0].b, events[0].c), (10, 20, 2));
+        assert_eq!(events[1].axiom, Some(0));
+        assert!(events[1].t_micros >= events[0].t_micros);
+        assert!(on.take_journal().is_empty(), "drained exactly once");
+    }
+
+    #[test]
+    fn journal_kinds_round_trip_their_wire_byte() {
+        for kind in [
+            JournalEventKind::RunStart,
+            JournalEventKind::PartitionEnumerated,
+            JournalEventKind::PartitionRetired,
+            JournalEventKind::BatchExamined,
+            JournalEventKind::FrontierStall,
+            JournalEventKind::AxiomComplete,
+            JournalEventKind::Cut,
+            JournalEventKind::RunEnd,
+            JournalEventKind::Seal,
+            JournalEventKind::Push,
+        ] {
+            assert_eq!(JournalEventKind::from_u8(kind.as_u8()), Some(kind));
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(JournalEventKind::from_u8(250), None);
     }
 
     #[test]

@@ -67,7 +67,7 @@ use transform_synth::{
     WorkItem,
 };
 
-use crate::progress::{AxiomState, ProgressSnapshot, ProgressState};
+use crate::progress::{AxiomState, JournalEventKind, ProgressSnapshot, ProgressState};
 use crate::SuiteSink;
 
 /// Scheduling facts of one streamed run — everything the pipeline knows
@@ -352,9 +352,9 @@ impl<'s> Pipeline<'s> {
         let slots: Vec<usize> = axiom_names
             .iter()
             .map(|name| {
-                progress.slot_of(name).unwrap_or_else(|| {
-                    panic!("progress state does not track axiom `{name}`")
-                })
+                progress
+                    .slot_of(name)
+                    .unwrap_or_else(|| panic!("progress state does not track axiom `{name}`"))
             })
             .collect();
         let masses = space.masses();
@@ -474,6 +474,15 @@ impl<'s> Pipeline<'s> {
     fn resolve(&self, ordinal: usize, outcome: Option<Vec<KeyedProgram>>) -> Vec<usize> {
         let mut st = self.state.lock().expect("pipeline lock is never poisoned");
         st.enumerating -= 1;
+        if let Some(keyed) = &outcome {
+            self.progress.record(
+                JournalEventKind::PartitionEnumerated,
+                None,
+                ordinal as u64,
+                keyed.len() as u64,
+                0,
+            );
+        }
         if st.expired {
             // Everything past the cut is discarded — but this partition
             // *was* materialized, so it still counts toward the peak
@@ -501,6 +510,8 @@ impl<'s> Pipeline<'s> {
                     // The deadline's cut reached the frontier: the plan
                     // ends here, reproducibly — for every axiom at once.
                     st.cut_at = Some(st.frontier);
+                    self.progress
+                        .record(JournalEventKind::Cut, None, st.frontier as u64, 0, 0);
                     Self::expire(&mut st);
                     break;
                 }
@@ -508,9 +519,14 @@ impl<'s> Pipeline<'s> {
                     let delivered = keyed.len();
                     let mut items = st.admitter.admit(keyed);
                     st.live -= delivered - items.len(); // dropped by dedup
-                    st.mass_retired = st
-                        .mass_retired
-                        .saturating_add(self.masses[st.frontier]);
+                    st.mass_retired = st.mass_retired.saturating_add(self.masses[st.frontier]);
+                    self.progress.record(
+                        JournalEventKind::PartitionRetired,
+                        None,
+                        st.frontier as u64,
+                        self.masses[st.frontier],
+                        0,
+                    );
                     let size = st.tuner.batch_size();
                     while !items.is_empty() {
                         let rest = items.split_off(size.min(items.len()));
@@ -533,6 +549,17 @@ impl<'s> Pipeline<'s> {
                     st.frontier += 1;
                 }
             }
+        }
+        // Head-of-line blocking: out-of-order delivery filled the whole
+        // lookahead window behind a straggler frontier partition.
+        if st.resolved.len() >= self.window && !st.expired {
+            self.progress.record(
+                JournalEventKind::FrontierStall,
+                None,
+                st.frontier as u64,
+                st.resolved.len() as u64,
+                0,
+            );
         }
         let done = st.newly_complete(self.space.partition_count());
         self.publish(&st);
@@ -568,6 +595,13 @@ impl<'s> Pipeline<'s> {
             }
         }
         st.tuner.observe(examined, elapsed);
+        self.progress.record(
+            JournalEventKind::BatchExamined,
+            Some(self.slots[axiom] as u32),
+            examined as u64,
+            found as u64,
+            elapsed.as_micros() as u64,
+        );
         if cut {
             // Examination hit the deadline: this axiom's suite is
             // partial, the plan ends at the current frontier (when
@@ -577,6 +611,8 @@ impl<'s> Pipeline<'s> {
             st.axiom_cut[axiom] = true;
             if st.cut_at.is_none() && st.frontier < self.space.partition_count() {
                 st.cut_at = Some(st.frontier);
+                self.progress
+                    .record(JournalEventKind::Cut, None, st.frontier as u64, 0, 0);
             }
             Self::expire(&mut st);
         }
@@ -693,14 +729,9 @@ fn worker(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>) {
                     .push(stats);
                 let found = records.len();
                 ctx.sinks[ai].shard_done(stats, records);
-                for done in pipeline.batch_done(
-                    ai,
-                    batch.shard,
-                    stats.items,
-                    found,
-                    start.elapsed(),
-                    cut,
-                ) {
+                for done in
+                    pipeline.batch_done(ai, batch.shard, stats.items, found, start.elapsed(), cut)
+                {
                     finish_axiom(pipeline, ctx, done);
                 }
             }
@@ -724,6 +755,13 @@ fn finish_axiom(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>, ai: usize) {
     pipeline
         .progress
         .set_axiom_state(pipeline.slots[ai], AxiomState::Complete);
+    pipeline.progress.record(
+        JournalEventKind::AxiomComplete,
+        Some(pipeline.slots[ai] as u32),
+        stats.shards.iter().map(|s| s.items as u64).sum(),
+        0,
+        0,
+    );
     ctx.sinks[ai].run_done(&stats);
     *ctx.finished[ai]
         .lock()
@@ -762,7 +800,21 @@ pub(crate) fn run_fused(
     let deadline = opts.timeout.map(|t| start + t);
     let space = crate::space_for(opts, jobs);
     let branch_co_pa = branches_co_pa(mtm);
-    let pipeline = Pipeline::new(&space, axioms, progress, deadline, jobs, opts.partition_size);
+    let pipeline = Pipeline::new(
+        &space,
+        axioms,
+        progress,
+        deadline,
+        jobs,
+        opts.partition_size,
+    );
+    pipeline.progress.record(
+        JournalEventKind::RunStart,
+        None,
+        space.partition_count() as u64,
+        space.total_mass(),
+        jobs as u64,
+    );
     let claimed: Vec<crate::dedup::KeySet> =
         axioms.iter().map(|_| crate::dedup::KeySet::new()).collect();
     let shard_stats: Vec<Mutex<Vec<ShardStats>>> =
@@ -834,6 +886,13 @@ pub(crate) fn run_fused(
             }
         })
         .collect();
+    progress.record(
+        JournalEventKind::RunEnd,
+        None,
+        st.admitter.programs as u64,
+        st.admitter.next_index as u64,
+        st.batches as u64,
+    );
     // The returned metrics ARE the final progress snapshot — one set of
     // counters from first live sample to final record.
     let mut metrics = StreamMetrics::from_snapshot(&progress.snapshot());
@@ -1066,10 +1125,7 @@ mod tests {
         let space = EnumSpace::with_target_partitions(&eo, 8);
         let masses = space.masses();
         let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None);
-        assert_eq!(
-            pipeline.progress.snapshot().mass_total,
-            space.total_mass()
-        );
+        assert_eq!(pipeline.progress.snapshot().mass_total, space.total_mass());
         for ordinal in 0..space.partition_count() {
             loop {
                 match pipeline.next_task() {
@@ -1087,10 +1143,7 @@ mod tests {
             pipeline.resolve(ordinal, Some(space.enumerate_keyed(ordinal)));
             let snap = pipeline.progress.snapshot();
             assert_eq!(snap.partitions_retired, ordinal + 1);
-            assert_eq!(
-                snap.mass_retired,
-                masses[..=ordinal].iter().sum::<u64>()
-            );
+            assert_eq!(snap.mass_retired, masses[..=ordinal].iter().sum::<u64>());
         }
         let st = pipeline.state.into_inner().expect("lock");
         let snap = pipeline.progress.snapshot();

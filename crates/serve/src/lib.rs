@@ -21,6 +21,9 @@
 //! | `HEAD /v1/suite/<fingerprint>` | `200` when sealed, `404` otherwise |
 //! | `GET /v1/suite/<fingerprint>` | the sealed entry's bytes, streamed |
 //! | `PUT /v1/suite/<fingerprint>` | validate **every byte**, seal atomically; idempotent |
+//! | `GET /v1/runs` | recent run manifests (`transform_store::encode_run_list` bytes) |
+//! | `GET /v1/runs/<id>` | one run's full journal, checksummed |
+//! | `PUT /v1/runs/<id>` | validate and publish a run journal (rewritable — live runs heartbeat) |
 //!
 //! The client half ([`transform_store::HttpTier`]) lives in the store
 //! crate, wired behind its [`transform_store::CacheTier`] abstraction,
@@ -41,4 +44,7 @@
 pub mod http;
 pub mod server;
 
-pub use server::{RouteMetrics, ServeMetrics, ServeOptions, Server, ServerHandle, ROUTE_NAMES};
+pub use server::{
+    RouteMetrics, ServeMetrics, ServeOptions, Server, ServerHandle, LATENCY_BUCKETS_SECONDS,
+    ROUTE_NAMES,
+};

@@ -32,7 +32,17 @@ use transform_store::{Fingerprint, Store, StoreError};
 /// The route classes `/v1/metrics` breaks request and latency counters
 /// down by, in rendering order. `other` absorbs unknown paths and
 /// disallowed methods.
-pub const ROUTE_NAMES: [&str; 6] = ["healthz", "metrics", "index", "suite_get", "suite_put", "other"];
+pub const ROUTE_NAMES: [&str; 9] = [
+    "healthz",
+    "metrics",
+    "index",
+    "suite_get",
+    "suite_put",
+    "runs_list",
+    "run_get",
+    "run_put",
+    "other",
+];
 
 /// Classifies a parsed request into a [`ROUTE_NAMES`] slot.
 fn route_slot(method: &str, path: &str) -> usize {
@@ -42,19 +52,36 @@ fn route_slot(method: &str, path: &str) -> usize {
         ("GET", "/v1/index") => 2,
         ("GET" | "HEAD", p) if p.starts_with("/v1/suite/") => 3,
         ("PUT", p) if p.starts_with("/v1/suite/") => 4,
-        _ => 5,
+        ("GET" | "HEAD", "/v1/runs") => 5,
+        ("GET" | "HEAD", p) if p.starts_with("/v1/runs/") => 6,
+        ("PUT", p) if p.starts_with("/v1/runs/") => 7,
+        _ => 8,
     }
 }
 
+/// The route-latency histogram's fixed upper bounds, in seconds —
+/// the `le` labels of `transform_serve_route_latency_seconds_bucket`
+/// (the implicit `+Inf` bucket rides on the request count). Chosen to
+/// bracket the server's real spread: sub-millisecond metadata routes
+/// through multi-second cold suite transfers.
+pub const LATENCY_BUCKETS_SECONDS: [f64; 6] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5];
+
 /// One route class's share of the traffic: how many requests it
-/// answered and how long answering took, summed.
+/// answered, how long answering took (summed), and the latency
+/// distribution over [`LATENCY_BUCKETS_SECONDS`].
 #[derive(Debug, Default)]
 pub struct RouteMetrics {
     /// Requests dispatched to this route.
     pub requests: AtomicU64,
-    /// Total time spent answering them, in microseconds (the summary's
-    /// `_sum` sample, rendered in seconds).
+    /// Total time spent answering them, in microseconds (the
+    /// histogram's `_sum` sample, rendered in seconds).
     pub latency_micros: AtomicU64,
+    /// Requests whose latency landed in each
+    /// [`LATENCY_BUCKETS_SECONDS`] band (non-cumulative; the render
+    /// step accumulates them into Prometheus' cumulative `_bucket`
+    /// convention). Latencies above the last bound count only toward
+    /// the implicit `+Inf` bucket, i.e. [`RouteMetrics::requests`].
+    pub latency_buckets: [AtomicU64; 6],
 }
 
 /// Request counters, readable while the server runs (`/healthz`
@@ -83,7 +110,7 @@ pub struct ServeMetrics {
     /// Per-route request and latency counters, indexed like
     /// [`ROUTE_NAMES`]. Parse failures never reach a route, so the
     /// route totals can lag `requests` by the malformed share.
-    pub routes: [RouteMetrics; 6],
+    pub routes: [RouteMetrics; 9],
 }
 
 impl ServeMetrics {
@@ -93,6 +120,10 @@ impl ServeMetrics {
         slot.requests.fetch_add(1, Ordering::Relaxed);
         slot.latency_micros
             .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        let seconds = elapsed.as_secs_f64();
+        if let Some(band) = LATENCY_BUCKETS_SECONDS.iter().position(|&le| seconds <= le) {
+            slot.latency_buckets[band].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The Prometheus text-format (0.0.4) rendering `/v1/metrics`
@@ -163,14 +194,26 @@ impl ServeMetrics {
         }
         out.push_str(
             "# HELP transform_serve_route_latency_seconds Time spent answering requests, by route class.\n\
-             # TYPE transform_serve_route_latency_seconds summary\n",
+             # TYPE transform_serve_route_latency_seconds histogram\n",
         );
         for (name, route) in ROUTE_NAMES.iter().zip(&self.routes) {
+            let requests = route.requests.load(Ordering::Relaxed);
+            // Prometheus buckets are cumulative, and the +Inf bucket
+            // must equal the count — accumulate the per-band counters.
+            let mut below = 0u64;
+            for (le, band) in LATENCY_BUCKETS_SECONDS.iter().zip(&route.latency_buckets) {
+                below += band.load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "transform_serve_route_latency_seconds_bucket{{route=\"{name}\",le=\"{le}\"}} {below}\n",
+                ));
+            }
+            out.push_str(&format!(
+                "transform_serve_route_latency_seconds_bucket{{route=\"{name}\",le=\"+Inf\"}} {requests}\n",
+            ));
             let sum = route.latency_micros.load(Ordering::Relaxed) as f64 / 1e6;
             out.push_str(&format!(
                 "transform_serve_route_latency_seconds_sum{{route=\"{name}\"}} {sum:.6}\n\
-                 transform_serve_route_latency_seconds_count{{route=\"{name}\"}} {}\n",
-                route.requests.load(Ordering::Relaxed),
+                 transform_serve_route_latency_seconds_count{{route=\"{name}\"}} {requests}\n",
             ));
         }
         out
@@ -599,8 +642,87 @@ fn route(
                 }
             }
         }
+        (method @ ("GET" | "HEAD"), "/v1/runs") => {
+            // Scan-backed (corrupt journals are skipped, never served);
+            // the encoding carries its own checksum, like the index.
+            match store.runs() {
+                Ok(manifests) => {
+                    let bytes = transform_store::encode_run_list(&manifests);
+                    if method == "HEAD" {
+                        write_head(stream, 200, bytes.len() as u64, "application/octet-stream")?;
+                    } else {
+                        respond(stream, 200, &bytes, "application/octet-stream")?;
+                        metrics
+                            .bytes_served
+                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    }
+                    Ok(200)
+                }
+                Err(e) => {
+                    respond_text(stream, 500, &format!("{e}\n"))?;
+                    Ok(500)
+                }
+            }
+        }
+        (method @ ("GET" | "HEAD"), path) if path.starts_with("/v1/runs/") => {
+            let Some(id) = parse_run_path(path) else {
+                respond_text(stream, 400, "malformed run id\n")?;
+                return Ok(400);
+            };
+            match store.run_bytes(id) {
+                Ok(Some(bytes)) => {
+                    if method == "HEAD" {
+                        write_head(stream, 200, bytes.len() as u64, "application/octet-stream")?;
+                    } else {
+                        respond(stream, 200, &bytes, "application/octet-stream")?;
+                        metrics
+                            .bytes_served
+                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    }
+                    Ok(200)
+                }
+                Ok(None) => {
+                    respond_text(stream, 404, "no such run\n")?;
+                    Ok(404)
+                }
+                Err(e) => {
+                    respond_text(stream, 500, &format!("{e}\n"))?;
+                    Ok(500)
+                }
+            }
+        }
+        ("PUT", path) if path.starts_with("/v1/runs/") => {
+            // The body crossed the wire regardless of what happens to
+            // it — count it before any refusal.
+            metrics
+                .bytes_received
+                .fetch_add(request.body.len() as u64, Ordering::Relaxed);
+            let Some(id) = parse_run_path(path) else {
+                respond_text(stream, 400, "malformed run id\n")?;
+                return Ok(400);
+            };
+            let already = store.run_path(id).is_file();
+            match store.install_run_bytes(id, &request.body) {
+                Ok(()) => {
+                    // 200 on a rewrite (run journals heartbeat in
+                    // place), 201 on first sight — mirroring suite PUT.
+                    let status = if already { 200 } else { 201 };
+                    respond_text(stream, status, "journaled\n")?;
+                    Ok(status)
+                }
+                Err(e @ (StoreError::Corrupt(_) | StoreError::Version { .. })) => {
+                    respond_text(stream, 400, &format!("{e}\n"))?;
+                    Ok(400)
+                }
+                Err(e) => {
+                    respond_text(stream, 500, &format!("{e}\n"))?;
+                    Ok(500)
+                }
+            }
+        }
         (_, path)
             if path.starts_with("/v1/suite/")
+                || path.starts_with("/v1/runs")
                 || path == "/v1/index"
                 || path == "/v1/metrics"
                 || path == "/healthz" =>
@@ -618,4 +740,13 @@ fn route(
 /// `/v1/suite/<32 hex chars>` → the fingerprint.
 fn parse_suite_path(path: &str) -> Option<Fingerprint> {
     Fingerprint::from_hex(path.strip_prefix("/v1/suite/")?)
+}
+
+/// `/v1/runs/<16 hex chars>` → the run id.
+fn parse_run_path(path: &str) -> Option<u64> {
+    let hex = path.strip_prefix("/v1/runs/")?;
+    if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
 }

@@ -456,6 +456,125 @@ fn http_get_raw(addr: std::net::SocketAddr, path: &str) -> (String, String) {
     (head.to_string(), body.to_string())
 }
 
+/// One raw HTTP/1.1 PUT, returning the status code.
+fn http_put(addr: std::net::SocketAddr, path: &str, body: &[u8]) -> u16 {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connects");
+    write!(
+        stream,
+        "PUT {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("writes head");
+    stream.write_all(body).expect("writes body");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("reads");
+    let head = String::from_utf8_lossy(&response);
+    head.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status parses")
+}
+
+/// The run-journal fleet path end to end: a client publishes a journal
+/// (`PUT /v1/runs/<id>`), the fleet list serves its manifest
+/// (`GET /v1/runs`), the full journal round-trips byte-identically
+/// (`GET /v1/runs/<id>`), and damaged uploads are refused.
+#[test]
+fn run_journals_publish_list_and_fetch_over_loopback() {
+    use transform_par::{JournalEvent, JournalEventKind};
+    use transform_store::{decode_run, decode_run_list, encode_run, RunJournal, RunOutcome};
+
+    let root = temp_dir("runs");
+    let server = Server::bind(&root, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let addr = server.local_addr();
+    let url = format!("http://{}", addr);
+    let handle = server.spawn();
+    let client = HttpTier::new(&url).expect("valid URL");
+
+    // An empty server lists no runs and 404s unknown ids.
+    assert_eq!(client.runs().expect("empty list decodes").len(), 0);
+    assert_eq!(client.fetch_run(0x1234).expect("fetch works"), None);
+
+    // Build a small journal by hand (the CLI layer normally does this
+    // from a live ProgressState) and publish it.
+    let manifest = transform_store::RunManifest {
+        id: 0xfeed_f00d,
+        mtm: "x86t_elt".into(),
+        bound: 4,
+        allow_fences: false,
+        allow_rmw: false,
+        jobs: 2,
+        started_unix_micros: 1_700_000_000_000_000,
+        elapsed_micros: 250_000,
+        outcome: RunOutcome::Complete,
+        partitions_total: 10,
+        partitions_retired: 10,
+        mass_total: 100,
+        mass_retired: 100,
+        programs: 42,
+        items_planned: 17,
+        batches: 3,
+        peak_live_candidates: 5,
+        final_batch_size: 64,
+        cut_at_partition: None,
+        axioms: Vec::new(),
+    };
+    let journal = RunJournal {
+        manifest,
+        events: vec![JournalEvent {
+            t_micros: 1,
+            kind: JournalEventKind::RunStart,
+            axiom: None,
+            a: 10,
+            b: 100,
+            c: 2,
+        }],
+    };
+    let bytes = encode_run(&journal);
+    client
+        .publish_run(journal.manifest.id, &bytes)
+        .expect("publishes");
+
+    // The fleet list now carries the manifest, and the journal fetches
+    // back byte-identically.
+    let listed = client.runs().expect("list decodes");
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0], journal.manifest);
+    let fetched = client
+        .fetch_run(journal.manifest.id)
+        .expect("fetches")
+        .expect("present");
+    assert_eq!(fetched, bytes);
+    assert_eq!(decode_run(&fetched).expect("decodes"), journal);
+
+    // Re-publishing (the heartbeat path) is accepted with 200.
+    let path = format!("/v1/runs/{:016x}", journal.manifest.id);
+    assert_eq!(http_put(addr, &path, &bytes), 200);
+
+    // Damage is refused: wrong id in the URL, corrupt bytes, bad id.
+    assert_eq!(http_put(addr, "/v1/runs/0000000000000001", &bytes), 400);
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    assert_eq!(http_put(addr, &path, &corrupt), 400);
+    assert_eq!(http_put(addr, "/v1/runs/not-hex", &bytes), 400);
+    // The list still serves only the intact journal.
+    assert_eq!(client.runs().expect("list decodes").len(), 1);
+    // And unsupported methods on runs paths answer 405, not 404.
+    let still_listed = decode_run_list(
+        &Store::open(&root)
+            .expect("store opens")
+            .runs()
+            .map(|m| transform_store::encode_run_list(&m))
+            .expect("encodes"),
+    )
+    .expect("decodes");
+    assert_eq!(still_listed.len(), 1);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// A legal Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
 fn is_metric_name(name: &str) -> bool {
     let mut chars = name.chars();
@@ -503,7 +622,10 @@ fn metrics_conform_to_prometheus_text_format() {
             let family = parts.next().expect("TYPE names a family");
             let kind = parts.next().expect("TYPE names a kind");
             assert!(
-                matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped"),
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ),
                 "unknown TYPE: {line}"
             );
             typed.insert(family.to_string(), kind.to_string());
@@ -514,18 +636,33 @@ fn metrics_conform_to_prometheus_text_format() {
 
         // `name{labels} value` or `name value`.
         let (name_and_labels, value) = line.rsplit_once(' ').expect("sample has a value");
-        value.parse::<f64>().unwrap_or_else(|_| panic!("unparseable value: {line}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable value: {line}"));
         let name = name_and_labels
             .split_once('{')
             .map_or(name_and_labels, |(n, _)| n);
         assert!(is_metric_name(name), "illegal metric name: {name}");
-        // A summary family declares `x` but samples `x_sum`/`x_count`.
+        // A summary or histogram family declares `x` but samples
+        // `x_sum`/`x_count` — and, for histograms, `x_bucket`.
         let family = name
-            .strip_suffix("_sum")
-            .or_else(|| name.strip_suffix("_count"))
-            .filter(|f| typed.get(*f).map(String::as_str) == Some("summary"))
+            .strip_suffix("_bucket")
+            .filter(|f| typed.get(*f).map(String::as_str) == Some("histogram"))
+            .or_else(|| {
+                name.strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|f| {
+                        matches!(
+                            typed.get(*f).map(String::as_str),
+                            Some("summary") | Some("histogram")
+                        )
+                    })
+            })
             .unwrap_or(name);
-        assert!(typed.contains_key(family), "sample before its # TYPE: {line}");
+        assert!(
+            typed.contains_key(family),
+            "sample before its # TYPE: {line}"
+        );
         assert!(helped.contains(family), "sample before its # HELP: {line}");
         samples += 1;
     }
@@ -549,9 +686,7 @@ fn metrics_conform_to_prometheus_text_format() {
     assert!(metric(&body, "transform_serve_in_flight") <= 1);
     // Latency counts mirror the request counts, per route.
     for route in transform_serve::ROUTE_NAMES {
-        let needle = format!(
-            "transform_serve_route_latency_seconds_count{{route=\"{route}\"}} "
-        );
+        let needle = format!("transform_serve_route_latency_seconds_count{{route=\"{route}\"}} ");
         let count: u64 = body
             .lines()
             .find_map(|l| l.strip_prefix(needle.as_str()))
@@ -559,6 +694,29 @@ fn metrics_conform_to_prometheus_text_format() {
             .parse()
             .expect("count parses");
         assert_eq!(count, labeled(route), "{route}");
+    }
+    // Histogram buckets are cumulative per route, and the +Inf bucket
+    // equals the request count (Prometheus' histogram invariant).
+    let bucket = |route: &str, le: &str| -> u64 {
+        let needle = format!(
+            "transform_serve_route_latency_seconds_bucket{{route=\"{route}\",le=\"{le}\"}} "
+        );
+        body.lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .unwrap_or_else(|| panic!("bucket le={le} for {route} missing"))
+            .parse()
+            .expect("bucket parses")
+    };
+    for route in transform_serve::ROUTE_NAMES {
+        let mut prev = 0u64;
+        for le in transform_serve::LATENCY_BUCKETS_SECONDS {
+            let v = bucket(route, &le.to_string());
+            assert!(v >= prev, "{route}: buckets must be cumulative");
+            prev = v;
+        }
+        let inf = bucket(route, "+Inf");
+        assert!(inf >= prev, "{route}: +Inf caps the finite buckets");
+        assert_eq!(inf, labeled(route), "{route}: +Inf equals the count");
     }
 
     handle.shutdown();

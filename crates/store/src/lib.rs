@@ -24,6 +24,10 @@
 //! * [`cache`] — the policy: serve sealed entries, stream cold runs in,
 //!   and rebuild (never serve) corrupt, truncated, or
 //!   version-mismatched files.
+//! * [`journal`] — synthesis runs as durable artifacts: a checksummed
+//!   binary journal per run (manifest + timestamped pipeline events)
+//!   written alongside the sealed suites, the substrate for
+//!   `transform runs` and the serve fleet view.
 //! * [`index`] — the advisory entry index (fingerprint → key metadata),
 //!   rewritten atomically on every seal, so `query`/`export` filter
 //!   entries without opening each header; a missing or stale index
@@ -70,6 +74,7 @@ pub mod cache;
 pub mod codec;
 pub mod fingerprint;
 pub mod index;
+pub mod journal;
 pub mod remote;
 pub mod store;
 pub mod tier;
@@ -81,6 +86,10 @@ pub use cache::{
 pub use codec::{CodecError, FORMAT_VERSION};
 pub use fingerprint::{suite_fingerprint, Fingerprint};
 pub use index::{IndexEntry, INDEX_FILE};
+pub use journal::{
+    decode_run, decode_run_list, encode_run, encode_run_list, fresh_run_id, RunAxiom, RunJournal,
+    RunManifest, RunOutcome, RUNS_FILE,
+};
 pub use remote::HttpTier;
 pub use store::{read_suite, EntryMeta, PendingSuite, Store, StoreError, SuiteReader};
 pub use tier::{CacheTier, TieredCache};

@@ -9,6 +9,9 @@
 //! | `HEAD /v1/suite/<fingerprint>` | does a sealed entry exist? |
 //! | `GET /v1/suite/<fingerprint>` | the sealed entry's bytes |
 //! | `PUT /v1/suite/<fingerprint>` | upload a sealed entry (idempotent) |
+//! | `GET /v1/runs` | recent run manifests ([`crate::journal::encode_run_list`] bytes) |
+//! | `GET /v1/runs/<id>` | one run's full journal ([`crate::journal::encode_run`] bytes) |
+//! | `PUT /v1/runs/<id>` | upload a run journal (rewritable — heartbeats) |
 //!
 //! Every payload is already self-validating (the sealed suite format and
 //! the index encoding both carry checksums), so the transport adds no
@@ -19,6 +22,7 @@
 
 use crate::fingerprint::Fingerprint;
 use crate::index::IndexEntry;
+use crate::journal::RunManifest;
 use crate::store::StoreError;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -266,11 +270,79 @@ impl HttpTier {
             ))),
         }
     }
+
+    /// `GET /v1/runs`: the remote's recent run manifests,
+    /// checksum-valid — what `transform top` merges into its fleet view
+    /// and `transform runs list --url` renders.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] on transport trouble;
+    /// [`StoreError::Corrupt`]/[`StoreError::Version`] when the list
+    /// bytes fail validation.
+    pub fn runs(&self) -> Result<Vec<RunManifest>, StoreError> {
+        let (status, body) = self.exchange("GET", "/v1/runs", None)?;
+        if status != 200 {
+            return Err(StoreError::Remote(format!(
+                "{}/v1/runs returned status {status}",
+                self.url()
+            )));
+        }
+        crate::journal::decode_run_list(&body)
+    }
+
+    /// `GET /v1/runs/<id>`: one run's full journal bytes, or `None`
+    /// when the remote does not hold it. The bytes are *not yet
+    /// validated* — decode them through [`crate::journal::decode_run`]
+    /// or install via [`crate::Store::install_run_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable, truncates
+    /// the response, or answers with an unexpected status.
+    pub fn fetch_run(&self, id: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let (status, body) = self.exchange("GET", &run_path(id), None)?;
+        match status {
+            200 => Ok(Some(body)),
+            404 => Ok(None),
+            other => Err(StoreError::Remote(format!(
+                "GET {}{} returned status {other}",
+                self.url(),
+                run_path(id)
+            ))),
+        }
+    }
+
+    /// `PUT /v1/runs/<id>`: uploads a run journal. Unlike suites, run
+    /// journals are rewritable — a live run heartbeats its `Running`
+    /// manifest and the final write replaces it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Remote`] when the server is unreachable or rejects
+    /// the upload (it validates every byte before publishing).
+    pub fn publish_run(&self, id: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        let (status, body) = self.exchange("PUT", &run_path(id), Some(bytes))?;
+        match status {
+            200 | 201 => Ok(()),
+            other => Err(StoreError::Remote(format!(
+                "PUT {}{} returned status {other}: {}",
+                self.url(),
+                run_path(id),
+                String::from_utf8_lossy(&body).trim()
+            ))),
+        }
+    }
 }
 
 /// The wire path of one sealed entry.
 fn suite_path(fp: Fingerprint) -> String {
     format!("/v1/suite/{}", fp.hex())
+}
+
+/// The wire path of one run journal.
+fn run_path(id: u64) -> String {
+    format!("/v1/runs/{id:016x}")
 }
 
 /// A parsed response head: status code, lowercased headers, and any

@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use transform_core::axiom::Mtm;
 use transform_par::{
     synthesize_axioms_streamed, synthesize_axioms_streamed_observed, synthesize_suite_streamed,
-    synthesize_suite_streamed_observed, ProgressState, SuiteSink,
+    synthesize_suite_streamed_observed, JournalEventKind, ProgressState, SuiteSink,
 };
 use transform_synth::{ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions};
 
@@ -320,12 +320,15 @@ pub(crate) fn run_tiered(
         ));
     }
     pending.seal(&stats)?;
+    record_seal(progress, axiom, local, fp);
     if let Some(remote) = remote {
         if completed {
             // Best-effort: a failed push costs the fleet a warm entry,
             // never this run its result.
             if let Ok(Some(bytes)) = local.entry_bytes(fp) {
-                let _ = remote.publish(fp, &bytes);
+                if remote.publish(fp, &bytes).is_ok() {
+                    record_push(progress, axiom);
+                }
             }
         }
     }
@@ -440,7 +443,9 @@ pub(crate) fn run_tiered_all(
         .iter()
         .map(|(axiom, fp, _)| {
             let pending = local.begin(*fp, EntryMeta::describe(mtm, axiom, opts))?;
-            Ok(SealOnDone::new(local, remote, *fp, pending))
+            Ok(SealOnDone::new(
+                local, remote, *fp, pending, axiom, progress,
+            ))
         })
         .collect::<Result<_, StoreError>>()?;
     let axiom_refs: Vec<&str> = misses.iter().map(|(a, _, _)| a.as_str()).collect();
@@ -493,6 +498,10 @@ struct SealOnDone<'a> {
     pending: Mutex<Option<PendingSuite>>,
     /// The seal's outcome, surfaced to the driver after the run.
     sealed: Mutex<Option<Result<(), StoreError>>>,
+    /// The axiom this gate seals, for journal events.
+    axiom: String,
+    /// The run's journal target, when the run is observed.
+    progress: Option<&'a Arc<ProgressState>>,
 }
 
 impl<'a> SealOnDone<'a> {
@@ -501,6 +510,8 @@ impl<'a> SealOnDone<'a> {
         remote: Option<&'a dyn CacheTier>,
         fp: Fingerprint,
         pending: PendingSuite,
+        axiom: &str,
+        progress: Option<&'a Arc<ProgressState>>,
     ) -> SealOnDone<'a> {
         SealOnDone {
             local,
@@ -508,6 +519,8 @@ impl<'a> SealOnDone<'a> {
             fp,
             pending: Mutex::new(Some(pending)),
             sealed: Mutex::new(None),
+            axiom: axiom.to_string(),
+            progress,
         }
     }
 
@@ -552,11 +565,14 @@ impl SuiteSink for SealOnDone<'_> {
         };
         let result = pending.seal(stats).map(|_| ());
         if result.is_ok() {
+            record_seal(self.progress, &self.axiom, self.local, self.fp);
             if let Some(remote) = self.remote {
                 // Best-effort: a failed push costs the fleet a warm
                 // entry, never this run its result.
                 if let Ok(Some(bytes)) = self.local.entry_bytes(self.fp) {
-                    let _ = remote.publish(self.fp, &bytes);
+                    if remote.publish(self.fp, &bytes).is_ok() {
+                        record_push(self.progress, &self.axiom);
+                    }
                 }
             }
         }
@@ -597,6 +613,38 @@ impl SuiteSink for PushGate<'_> {
             self.complete.store(true, Ordering::Release);
         }
     }
+}
+
+/// The progress slot of `axiom`, for axiom-scoped journal events. The
+/// slot table is small (one entry per axiom of the MTM), so a linear
+/// scan is fine on this once-per-seal path.
+fn axiom_slot(progress: &ProgressState, axiom: &str) -> Option<u32> {
+    (0..progress.axiom_count())
+        .find(|&slot| progress.axiom_name(slot) == Some(axiom))
+        .and_then(|slot| u32::try_from(slot).ok())
+}
+
+/// Journals a [`JournalEventKind::Seal`] for `axiom` (`a` = sealed
+/// entry bytes). A no-op when the run is unobserved or unjournaled.
+fn record_seal(progress: Option<&Arc<ProgressState>>, axiom: &str, local: &Store, fp: Fingerprint) {
+    let Some(progress) = progress else { return };
+    let sealed_bytes = std::fs::metadata(local.entry_path(fp))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    progress.record(
+        JournalEventKind::Seal,
+        axiom_slot(progress, axiom),
+        sealed_bytes,
+        0,
+        0,
+    );
+}
+
+/// Journals a [`JournalEventKind::Push`] for `axiom`. A no-op when the
+/// run is unobserved or unjournaled.
+fn record_push(progress: Option<&Arc<ProgressState>>, axiom: &str) {
+    let Some(progress) = progress else { return };
+    progress.record(JournalEventKind::Push, axiom_slot(progress, axiom), 0, 0, 0);
 }
 
 /// Reads and fully validates one sealed local entry, also cross-checking

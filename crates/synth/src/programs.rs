@@ -927,9 +927,7 @@ impl EnumSpace {
     /// [`EnumSpace::masses`] — the denominator of mass-based progress
     /// reporting ([`mass_eta`]).
     pub fn total_mass(&self) -> u64 {
-        self.masses()
-            .iter()
-            .fold(0u64, |a, &m| a.saturating_add(m))
+        self.masses().iter().fold(0u64, |a, &m| a.saturating_add(m))
     }
 
     /// The enumeration options the space was built for.
@@ -1312,10 +1310,7 @@ mod tests {
         assert_eq!(mass_eta(0, 100, Duration::from_secs(1)), None);
         assert_eq!(mass_eta(0, 0, Duration::from_secs(1)), None);
         // Fully retired → done, even if the clock reads zero.
-        assert_eq!(
-            mass_eta(100, 100, Duration::ZERO),
-            Some(Duration::ZERO)
-        );
+        assert_eq!(mass_eta(100, 100, Duration::ZERO), Some(Duration::ZERO));
     }
 
     #[test]
