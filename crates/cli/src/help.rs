@@ -92,7 +92,7 @@ usage: transform synthesize --axiom A|--all --bound N [--mtm M]
            [--max-threads T] [--fences] [--rmw] [--timeout-secs S]
            [--quiet] [--jobs N|auto] [--backend explicit|relational]
            [--partition-size N|auto] [--balance mass|depth]
-           [--progress[=human|json]]
+           [--progress[=human|json]] [--warm-start[=auto]]
            [--cache DIR] [--cache-url URL] [--out FILE]
 
 Synthesize the per-axiom spanning-set suite of enhanced litmus tests at
@@ -119,6 +119,13 @@ flags:
 {PARTITION_FLAG}
 {BALANCE_FLAG}
 {PROGRESS_FLAG}
+  --warm-start[=auto]    seed the run from the sealed bound-N\u{2212}1 suite in
+                         the cache (needs --cache): fully-covered partitions
+                         are skipped and the result seals as a delta entry
+                         referencing the parent, byte-identical to a cold
+                         run when served. Bare --warm-start errors when the
+                         parent or its admission digest is missing; `=auto`
+                         falls back to a cold full run instead
 
 caching:
 {CACHE_FLAGS}
@@ -126,6 +133,10 @@ caching:
 example:
   transform synthesize --all --bound 5 --fences --rmw --jobs auto \\
       --progress --cache store --cache-url http://cache.internal:7171
+
+  # step a cache through bounds, each bound warm-started on the last:
+  transform synthesize --all --bound 4 --cache store
+  transform synthesize --all --bound 5 --warm-start --cache store
 "
         ),
         "compare" => format!(
@@ -309,11 +320,16 @@ usage: transform store verify --cache DIR [--remove-corrupt]
 
 Re-checksum every sealed suite of a local store offline: header, every
 record, and the trailer — and every recorded run journal end to end.
-Reports (and with --remove-corrupt deletes) entries and journals that
-fail.
+Delta entries are validated twice: their own bytes, then the parent
+chain they materialize through. Reports (and with --remove-corrupt
+deletes) entries and journals that fail.
 
 flags:
-  --remove-corrupt       delete entries that fail validation
+  --remove-corrupt       delete entries whose own bytes fail validation.
+                         An intact delta above a damaged parent is
+                         reported as BROKEN CHAIN but kept — removing
+                         the damaged parent is what quarantines the
+                         fault
 
 caching:
   --cache DIR            the local suite store to verify (required)
@@ -327,8 +343,11 @@ usage: transform store gc --cache DIR [--older-than-days N]
            [--keep-list FILE] [--dry-run]
 
 Age out cached suites by mtime and/or a keep-list of fingerprints,
-sweep leftover tmp-* shard directories, and (with --older-than-days)
-age out run journals by the same cutoff.
+sweep leftover tmp-* shard directories and orphaned admission digests,
+and (with --older-than-days) age out run journals by the same cutoff.
+Keeping a delta entry pins its whole parent chain: an entry some kept
+delta references survives whatever its own age or list status, so a
+served chain never breaks mid-collection.
 
 flags:
   --older-than-days N    remove entries and run journals older than N days
@@ -351,7 +370,8 @@ usage: transform store push --cache DIR --url URL [--fingerprint FP]
 Upload sealed entries of a local store to a shared `transform serve`
 cache. Entries the remote already holds are skipped (content addressing
 makes them immutable); the server validates every uploaded byte before
-sealing.
+sealing. Delta entries land parent-first, so the server can resolve
+each chain as it validates.
 
 flags:
   --fingerprint FP       push one entry instead of all

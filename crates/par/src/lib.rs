@@ -95,7 +95,7 @@ use transform_synth::{
 pub use progress::{
     AxiomSnapshot, AxiomState, JournalEvent, JournalEventKind, ProgressSnapshot, ProgressState,
 };
-pub use stream::StreamMetrics;
+pub use stream::{RunArtifacts, StreamMetrics, WarmParent, WarmSeed};
 
 /// Shards per worker: enough granularity for stealing to balance uneven
 /// shards without shrinking them into solver-reuse-defeating slivers.
@@ -121,6 +121,16 @@ pub(crate) fn space_for(opts: &SynthOptions, jobs: usize) -> EnumSpace {
         Balance::Mass => EnumSpace::balanced_for_target(&opts.enumeration, target),
         Balance::Depth => EnumSpace::with_target_partitions(&opts.enumeration, target),
     }
+}
+
+/// The exact enumeration-node count of the space `opts` describes.
+/// Node counts are partition-invariant (any `--jobs` or balance mode
+/// yields the same figure), so this is the cross-check a warm-start
+/// caller runs against a persisted admission digest before trusting
+/// it: a digest with any other node count belongs to different
+/// enumeration options and must not seed a warm run.
+pub fn enumeration_nodes(opts: &SynthOptions) -> u64 {
+    space_for(opts, 1).total_mass()
 }
 
 /// Parallel plan construction over the prefix-partitioned enumeration:
@@ -485,7 +495,39 @@ pub fn synthesize_axioms_streamed_metrics(
     jobs: usize,
     sinks: &[&dyn SuiteSink],
 ) -> (Vec<SuiteStats>, StreamMetrics) {
-    stream::run_fused(mtm, axioms, opts, jobs, sinks, None)
+    let (stats, metrics, _) = stream::run_fused(mtm, axioms, opts, jobs, sinks, None, None);
+    (stats, metrics)
+}
+
+/// Like [`synthesize_axioms_streamed_metrics`] with the incremental
+/// cross-bound machinery exposed: an optional [`WarmSeed`] derived from
+/// a sealed bound-N−1 run warm-starts the pipeline (covered enumeration
+/// nodes replay the parent's admission digest instead of
+/// re-enumerating, fully covered partitions are skipped outright, and
+/// each parent suite is spliced back in as one synthetic shard), and
+/// the returned [`RunArtifacts`] carry this run's own digest — the seed
+/// of the *next* bound — plus, on warm runs, the parent-record index
+/// maps a delta store entry encodes. Warm output is byte-identical to
+/// the cold run's records and semantic totals at every worker count;
+/// only the scheduling-dependent shard breakdown (and `elapsed`)
+/// differs. `progress` is optional, exactly as in the `_observed`
+/// variant.
+///
+/// # Panics
+///
+/// Panics when any axiom is not part of `mtm`, `axioms` and `sinks`
+/// disagree in length, a warm seed's parent count disagrees with
+/// `axioms`, or `progress` is given but does not track every axiom.
+pub fn synthesize_axioms_streamed_incremental(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    jobs: usize,
+    sinks: &[&dyn SuiteSink],
+    progress: Option<&std::sync::Arc<ProgressState>>,
+    warm: Option<&WarmSeed>,
+) -> (Vec<SuiteStats>, StreamMetrics, RunArtifacts) {
+    stream::run_fused(mtm, axioms, opts, jobs, sinks, progress, warm)
 }
 
 /// Like [`synthesize_axioms_streamed_metrics`], publishing live
@@ -506,7 +548,9 @@ pub fn synthesize_axioms_streamed_observed(
     sinks: &[&dyn SuiteSink],
     progress: &std::sync::Arc<ProgressState>,
 ) -> (Vec<SuiteStats>, StreamMetrics) {
-    stream::run_fused(mtm, axioms, opts, jobs, sinks, Some(progress))
+    let (stats, metrics, _) =
+        stream::run_fused(mtm, axioms, opts, jobs, sinks, Some(progress), None);
+    (stats, metrics)
 }
 
 /// The pre-streaming two-phase reference: the full plan is materialized

@@ -115,6 +115,14 @@ pub enum JournalEventKind {
     Seal,
     /// A sealed suite for `axiom` was pushed to a remote tier.
     Push,
+    /// The run warm-started from a cached smaller-bound suite: `a` =
+    /// covered recursion nodes (skipped, spliced from the parent), `b`
+    /// = parent plan items inherited, `c` = the parent bound.
+    WarmStart,
+    /// A partition every one of whose nodes the parent bound covers was
+    /// skipped without enumerating: `a` = its ordinal, `b` = its
+    /// covered node count.
+    WarmSkip,
 }
 
 impl JournalEventKind {
@@ -132,6 +140,8 @@ impl JournalEventKind {
             JournalEventKind::RunEnd => 7,
             JournalEventKind::Seal => 8,
             JournalEventKind::Push => 9,
+            JournalEventKind::WarmStart => 10,
+            JournalEventKind::WarmSkip => 11,
         }
     }
 
@@ -148,6 +158,8 @@ impl JournalEventKind {
             7 => JournalEventKind::RunEnd,
             8 => JournalEventKind::Seal,
             9 => JournalEventKind::Push,
+            10 => JournalEventKind::WarmStart,
+            11 => JournalEventKind::WarmSkip,
             _ => return None,
         })
     }
@@ -165,6 +177,8 @@ impl JournalEventKind {
             JournalEventKind::RunEnd => "run_end",
             JournalEventKind::Seal => "seal",
             JournalEventKind::Push => "push",
+            JournalEventKind::WarmStart => "warm_start",
+            JournalEventKind::WarmSkip => "warm_skip",
         }
     }
 }
@@ -570,6 +584,8 @@ mod tests {
             JournalEventKind::RunEnd,
             JournalEventKind::Seal,
             JournalEventKind::Push,
+            JournalEventKind::WarmStart,
+            JournalEventKind::WarmSkip,
         ] {
             assert_eq!(JournalEventKind::from_u8(kind.as_u8()), Some(kind));
             assert!(!kind.name().is_empty());

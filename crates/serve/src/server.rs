@@ -631,6 +631,14 @@ fn route(
                     respond_text(stream, status, "sealed\n")?;
                     Ok(status)
                 }
+                // A delta whose parent this store does not (yet) hold is
+                // not damage — the client pushed out of order. 409 tells
+                // it to land the parent chain first and retry.
+                Err(e @ StoreError::Corrupt(_)) if is_missing_parent(&e) => {
+                    metrics.puts_rejected.fetch_add(1, Ordering::Relaxed);
+                    respond_text(stream, 409, &format!("{e} (push the parent first)\n"))?;
+                    Ok(409)
+                }
                 Err(e @ (StoreError::Corrupt(_) | StoreError::Version { .. })) => {
                     metrics.puts_rejected.fetch_add(1, Ordering::Relaxed);
                     respond_text(stream, 400, &format!("{e}\n"))?;
@@ -735,6 +743,13 @@ fn route(
             Ok(404)
         }
     }
+}
+
+/// Whether an install failure is the out-of-order-delta case: the
+/// uploaded bytes are intact but reference a parent entry this store
+/// does not hold.
+fn is_missing_parent(e: &StoreError) -> bool {
+    matches!(e, StoreError::Corrupt(m) if m.contains("not in store"))
 }
 
 /// `/v1/suite/<32 hex chars>` → the fingerprint.

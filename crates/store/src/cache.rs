@@ -82,7 +82,16 @@ pub fn cached_or_synthesize(
     opts: &SynthOptions,
     jobs: usize,
 ) -> Result<(Suite, CacheStatus), StoreError> {
-    crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs, None)
+    crate::tier::run_tiered(
+        store,
+        None,
+        mtm,
+        axiom,
+        opts,
+        jobs,
+        None,
+        crate::tier::WarmMode::Off,
+    )
 }
 
 /// [`cached_or_synthesize`] with live telemetry: a cache hit marks the
@@ -105,7 +114,16 @@ pub fn cached_or_synthesize_observed(
     jobs: usize,
     progress: &std::sync::Arc<transform_par::ProgressState>,
 ) -> Result<(Suite, CacheStatus), StoreError> {
-    crate::tier::run_tiered(store, None, mtm, axiom, opts, jobs, Some(progress))
+    crate::tier::run_tiered(
+        store,
+        None,
+        mtm,
+        axiom,
+        opts,
+        jobs,
+        Some(progress),
+        crate::tier::WarmMode::Off,
+    )
 }
 
 /// Serves **every** per-axiom suite of `mtm` from the store in one
@@ -125,7 +143,15 @@ pub fn cached_or_synthesize_all(
     opts: &SynthOptions,
     jobs: usize,
 ) -> Result<std::collections::BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
-    crate::tier::run_tiered_all(store, None, mtm, opts, jobs, None)
+    crate::tier::run_tiered_all(
+        store,
+        None,
+        mtm,
+        opts,
+        jobs,
+        None,
+        crate::tier::WarmMode::Off,
+    )
 }
 
 /// [`cached_or_synthesize_all`] with live telemetry: cache-served
@@ -143,5 +169,13 @@ pub fn cached_or_synthesize_all_observed(
     jobs: usize,
     progress: &std::sync::Arc<transform_par::ProgressState>,
 ) -> Result<std::collections::BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
-    crate::tier::run_tiered_all(store, None, mtm, opts, jobs, Some(progress))
+    crate::tier::run_tiered_all(
+        store,
+        None,
+        mtm,
+        opts,
+        jobs,
+        Some(progress),
+        crate::tier::WarmMode::Off,
+    )
 }

@@ -1,0 +1,703 @@
+//! Delta-encoded store entries and warm-start admission digests — the
+//! persistence half of incremental cross-bound synthesis.
+//!
+//! A bound-N suite embeds almost all of bound N−1: the enumeration is
+//! prefix-stable across bounds, so every bound-N−1 record reappears in
+//! the bound-N suite with only its plan index rebased. A **delta
+//! entry** exploits that: it references the sealed bound-N−1 entry by
+//! fingerprint as an immutable parent link and encodes only the records
+//! *new* at bound N, plus the index map that rebases the parent's
+//! records into the child numbering. Chained decode resolves parents
+//! recursively (a parent may itself be a delta) up to
+//! [`MAX_PARENT_CHAIN`] links, and **materialization** — splicing the
+//! rebased parent payloads between the new ones — reproduces the full
+//! sealed entry byte-for-byte in its record region, so a delta-backed
+//! read is indistinguishable from a full one.
+//!
+//! The **admission digest** is the other warm-start artifact: per
+//! enumeration node, in admission order, the (programs admitted, plan
+//! items created) counts of a sealed run. The next bound's warm start
+//! replays this digest over the covered nodes instead of re-enumerating
+//! them — it never needs the parent's programs or canonical keys, only
+//! these counts (enumeration-order prefix stability makes covered-node
+//! keys disjoint from new ones). Digests are written alongside sealed
+//! entries (`<fingerprint>.tfd`) and carry their own checksum; a
+//! missing or damaged digest only costs a warm start, never
+//! correctness.
+//!
+//! Every validation failure surfaces as a [`StoreError`] — rebuild,
+//! never serve: a truncated delta, a flipped byte, a missing or
+//! version-skewed parent, and an over-deep chain all refuse to decode.
+
+use crate::codec::{
+    decode_suite_stats, encode_suite_stats, fnv1a64, Dec, Enc, Fnv64, FORMAT_VERSION,
+};
+use crate::fingerprint::Fingerprint;
+use crate::store::{EntryMeta, Store, StoreError};
+use transform_synth::SuiteStats;
+
+/// Magic prefix of a delta entry (same `.tfs` extension and
+/// content-addressed file name as full entries; the magic is the
+/// discriminator).
+pub(crate) const DELTA_MAGIC: &[u8; 8] = b"TFDELTA\0";
+/// Magic prefix of an admission-digest artifact (`.tfd`).
+pub(crate) const DIGEST_MAGIC: &[u8; 8] = b"TFDIGST\0";
+
+/// The delta entry format version. Bump on any encoding change;
+/// readers reject other versions and the cache resynthesizes.
+pub const DELTA_FORMAT_VERSION: u32 = 1;
+/// The digest artifact format version.
+pub const DIGEST_FORMAT_VERSION: u32 = 1;
+
+/// Hard cap on parent-chain length during materialization: a cycle (or
+/// a pathological chain) errors instead of recursing forever.
+pub const MAX_PARENT_CHAIN: usize = 32;
+
+/// Whether sealed-entry bytes are a delta entry (as opposed to a full
+/// [`crate::store::SuiteReader`]-readable one).
+pub fn is_delta(bytes: &[u8]) -> bool {
+    bytes.starts_with(DELTA_MAGIC)
+}
+
+/// The decoded header of a delta entry: everything except the new
+/// records' payloads.
+#[derive(Clone, Debug)]
+pub struct DeltaHeader {
+    /// The child suite's fingerprint (the entry's own address).
+    pub fingerprint: Fingerprint,
+    /// The sealed parent entry this delta rebases — an immutable link.
+    pub parent: Fingerprint,
+    /// The child suite's key metadata.
+    pub meta: EntryMeta,
+    /// The child suite's full statistics.
+    pub stats: SuiteStats,
+    /// Child plan index of each parent record, in parent-record order
+    /// (strictly increasing).
+    pub parent_map: Vec<u64>,
+    /// Number of new (non-parent) records framed after the header.
+    pub new_records: u64,
+}
+
+fn corrupt(msg: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(msg.into())
+}
+
+/// Encodes a delta entry. `new_records` are the still-encoded record
+/// payloads new at this bound, keyed by child plan index, strictly
+/// increasing and disjoint from `parent_map`.
+pub(crate) fn encode_delta(
+    fp: Fingerprint,
+    parent: Fingerprint,
+    meta: &EntryMeta,
+    stats: &SuiteStats,
+    parent_map: &[u64],
+    new_records: &[(u64, Vec<u8>)],
+) -> Vec<u8> {
+    let mut h = Enc::new();
+    h.u64((fp.0 >> 64) as u64);
+    h.u64(fp.0 as u64);
+    h.u64((parent.0 >> 64) as u64);
+    h.u64(parent.0 as u64);
+    meta.encode(&mut h);
+    encode_suite_stats(&mut h, stats);
+    h.size(parent_map.len());
+    let mut prev: Option<u64> = None;
+    for &index in parent_map {
+        match prev {
+            None => h.varint(index),
+            Some(p) => {
+                debug_assert!(index > p, "parent map strictly increasing");
+                h.varint(index - p);
+            }
+        }
+        prev = Some(index);
+    }
+    h.varint(new_records.len() as u64);
+    let header = h.into_bytes();
+
+    let mut e = Enc::new();
+    e.raw(DELTA_MAGIC);
+    e.u32(DELTA_FORMAT_VERSION);
+    e.size(header.len());
+    e.raw(&header);
+    let mut checksum = Fnv64::new();
+    checksum.update(DELTA_MAGIC);
+    checksum.update(&DELTA_FORMAT_VERSION.to_le_bytes());
+    checksum.update(&header);
+    e.u64(checksum.finish());
+    let mut trailer = Fnv64::new();
+    for (_, payload) in new_records {
+        e.size(payload.len());
+        let record_checksum = fnv1a64(payload);
+        e.raw(payload);
+        e.u64(record_checksum);
+        trailer.update(&record_checksum.to_le_bytes());
+    }
+    e.u64(trailer.finish());
+    e.into_bytes()
+}
+
+/// A delta's framed new records, each as (checksum, payload bytes).
+pub(crate) type NewRecords = Vec<(u64, Vec<u8>)>;
+
+/// Decodes and fully validates a delta entry: magic, version, header
+/// checksum, the fingerprint (against `expect` when given), every new
+/// record's frame and checksum, index ordering and disjointness, and
+/// the trailer. Returns the header and the framed new records.
+///
+/// # Errors
+///
+/// [`StoreError::Version`] on a delta version skew,
+/// [`StoreError::Corrupt`] on any other validation failure.
+pub(crate) fn decode_delta(
+    bytes: &[u8],
+    expect: Option<Fingerprint>,
+) -> Result<(DeltaHeader, NewRecords), StoreError> {
+    let mut d = Dec::new(bytes);
+    let magic = d.bytes(8).map_err(StoreError::from)?;
+    if magic != DELTA_MAGIC.as_slice() {
+        return Err(corrupt("bad delta magic"));
+    }
+    let version = d.u32().map_err(StoreError::from)?;
+    if version != DELTA_FORMAT_VERSION {
+        return Err(StoreError::Version { found: version });
+    }
+    let header_len = d
+        .size_bounded(1 << 24, "delta header")
+        .map_err(StoreError::from)?;
+    let header = d.bytes(header_len).map_err(StoreError::from)?.to_vec();
+    let stored = d.u64().map_err(StoreError::from)?;
+    let mut checksum = Fnv64::new();
+    checksum.update(DELTA_MAGIC);
+    checksum.update(&DELTA_FORMAT_VERSION.to_le_bytes());
+    checksum.update(&header);
+    if checksum.finish() != stored {
+        return Err(corrupt("delta header checksum mismatch"));
+    }
+
+    let mut hd = Dec::new(&header);
+    let hi = hd.u64().map_err(StoreError::from)?;
+    let lo = hd.u64().map_err(StoreError::from)?;
+    let fingerprint = Fingerprint((u128::from(hi) << 64) | u128::from(lo));
+    if expect.is_some_and(|fp| fp != fingerprint) {
+        return Err(corrupt("delta fingerprint does not match its address"));
+    }
+    let hi = hd.u64().map_err(StoreError::from)?;
+    let lo = hd.u64().map_err(StoreError::from)?;
+    let parent = Fingerprint((u128::from(hi) << 64) | u128::from(lo));
+    if parent == fingerprint {
+        return Err(corrupt("delta entry is its own parent"));
+    }
+    let meta = EntryMeta::decode(&mut hd).map_err(StoreError::from)?;
+    let stats = decode_suite_stats(&mut hd).map_err(StoreError::from)?;
+    let map_len = hd
+        .size_bounded(1 << 24, "delta parent map")
+        .map_err(StoreError::from)?;
+    let mut parent_map = Vec::with_capacity(map_len);
+    let mut prev: Option<u64> = None;
+    for _ in 0..map_len {
+        let v = hd.varint().map_err(StoreError::from)?;
+        let index = match prev {
+            None => v,
+            Some(p) => {
+                if v == 0 {
+                    return Err(corrupt("delta parent map not strictly increasing"));
+                }
+                p.checked_add(v)
+                    .ok_or_else(|| corrupt("delta parent map index overflow"))?
+            }
+        };
+        parent_map.push(index);
+        prev = Some(index);
+    }
+    let new_count = hd.varint().map_err(StoreError::from)?;
+    if !hd.at_end() {
+        return Err(corrupt("trailing bytes in delta header"));
+    }
+
+    let mut new_records = Vec::with_capacity(new_count.min(1 << 20) as usize);
+    let mut trailer = Fnv64::new();
+    let mut last_index: Option<u64> = None;
+    for _ in 0..new_count {
+        let len = d
+            .size_bounded(1 << 28, "delta record")
+            .map_err(StoreError::from)?;
+        let payload = d.bytes(len).map_err(StoreError::from)?.to_vec();
+        let stored = d.u64().map_err(StoreError::from)?;
+        if fnv1a64(&payload) != stored {
+            return Err(corrupt("delta record checksum mismatch"));
+        }
+        trailer.update(&stored.to_le_bytes());
+        let index = payload_index(&payload)?;
+        if last_index.is_some_and(|last| index <= last) {
+            return Err(corrupt("delta records out of canonical order"));
+        }
+        last_index = Some(index);
+        new_records.push((index, payload));
+    }
+    let stored = d.u64().map_err(StoreError::from)?;
+    if trailer.finish() != stored {
+        return Err(corrupt("delta trailer mismatch"));
+    }
+    if !d.at_end() {
+        return Err(corrupt("bytes after delta trailer"));
+    }
+    // Parent and new indices must be disjoint: a collision would merge
+    // two records into one plan slot at materialization.
+    let mut mi = 0usize;
+    for &(index, _) in &new_records {
+        while mi < parent_map.len() && parent_map[mi] < index {
+            mi += 1;
+        }
+        if mi < parent_map.len() && parent_map[mi] == index {
+            return Err(corrupt("delta record index collides with parent map"));
+        }
+    }
+    let header = DeltaHeader {
+        fingerprint,
+        parent,
+        meta,
+        stats,
+        parent_map,
+        new_records: new_count,
+    };
+    Ok((header, new_records))
+}
+
+/// Validates delta-entry bytes in isolation — header, every new
+/// record's frame and checksum, the trailer — without touching the
+/// parent chain, and returns the decoded header. `store verify` uses
+/// this to distinguish a damaged delta (quarantine it) from an intact
+/// delta whose chain is broken (keep it, report the chain).
+///
+/// # Errors
+///
+/// [`StoreError::Version`] on a delta version skew,
+/// [`StoreError::Corrupt`] on any other validation failure.
+pub fn validate_delta(
+    bytes: &[u8],
+    expect: Option<Fingerprint>,
+) -> Result<DeltaHeader, StoreError> {
+    decode_delta(bytes, expect).map(|(h, _)| h)
+}
+
+/// The parent link of sealed-entry bytes: `Some` for a delta entry
+/// (even a damaged one, when the header still decodes), `None` for a
+/// full entry or undecodable bytes. `store gc` uses this to pin parent
+/// chains without fully validating every entry.
+pub fn entry_parent(bytes: &[u8]) -> Option<Fingerprint> {
+    if !is_delta(bytes) {
+        return None;
+    }
+    decode_delta(bytes, None).ok().map(|(h, _)| h.parent)
+}
+
+/// The number of LEB128 bytes at the head of `payload` — the record's
+/// encoded plan index, which rebasing replaces.
+fn head_varint_len(payload: &[u8]) -> Result<usize, StoreError> {
+    for (i, b) in payload.iter().enumerate().take(10) {
+        if b & 0x80 == 0 {
+            return Ok(i + 1);
+        }
+    }
+    Err(corrupt("record payload has no index varint"))
+}
+
+/// The plan index a record payload encodes (its leading varint).
+fn payload_index(payload: &[u8]) -> Result<u64, StoreError> {
+    let mut d = Dec::new(payload);
+    d.varint().map_err(StoreError::from)
+}
+
+/// Rebases a record payload onto a new plan index by replacing its
+/// leading varint — no decode of the program or witness, so the
+/// rebased payload is byte-identical to what a full seal of the child
+/// suite would have written.
+fn rebase_payload(payload: &[u8], new_index: u64) -> Result<Vec<u8>, StoreError> {
+    let skip = head_varint_len(payload)?;
+    let mut e = Enc::new();
+    e.varint(new_index);
+    e.raw(&payload[skip..]);
+    Ok(e.into_bytes())
+}
+
+/// A fully parsed *full* entry: header metadata and the still-encoded
+/// record payloads keyed by plan index.
+pub(crate) struct FullEntry {
+    pub(crate) meta: EntryMeta,
+    pub(crate) records: Vec<(u64, Vec<u8>)>,
+}
+
+/// Parses full-entry bytes (magic `TFSUITE\0`), validating every layer
+/// exactly like [`crate::store::SuiteReader`] but keeping the record
+/// payloads encoded — the parent side of a materialization.
+pub(crate) fn parse_full_entry(
+    bytes: &[u8],
+    expect: Option<Fingerprint>,
+) -> Result<FullEntry, StoreError> {
+    let mut d = Dec::new(bytes);
+    let magic = d.bytes(8).map_err(StoreError::from)?;
+    if magic != crate::store::SUITE_MAGIC.as_slice() {
+        return Err(corrupt("bad suite magic"));
+    }
+    let version = d.u32().map_err(StoreError::from)?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Version { found: version });
+    }
+    let header_len = d
+        .size_bounded(1 << 24, "suite header")
+        .map_err(StoreError::from)?;
+    let header = d.bytes(header_len).map_err(StoreError::from)?.to_vec();
+    let stored = d.u64().map_err(StoreError::from)?;
+    let mut checksum = Fnv64::new();
+    checksum.update(magic);
+    checksum.update(&version.to_le_bytes());
+    checksum.update(&header);
+    if checksum.finish() != stored {
+        return Err(corrupt("header checksum mismatch"));
+    }
+    let mut hd = Dec::new(&header);
+    let hi = hd.u64().map_err(StoreError::from)?;
+    let lo = hd.u64().map_err(StoreError::from)?;
+    let fingerprint = Fingerprint((u128::from(hi) << 64) | u128::from(lo));
+    if expect.is_some_and(|fp| fp != fingerprint) {
+        return Err(corrupt("entry fingerprint does not match its address"));
+    }
+    let meta = EntryMeta::decode(&mut hd).map_err(StoreError::from)?;
+    let _stats = decode_suite_stats(&mut hd).map_err(StoreError::from)?;
+    let record_count = hd.varint().map_err(StoreError::from)?;
+    if !hd.at_end() {
+        return Err(corrupt("trailing bytes in header"));
+    }
+    let mut records = Vec::with_capacity(record_count.min(1 << 20) as usize);
+    let mut trailer = Fnv64::new();
+    let mut last_index: Option<u64> = None;
+    for _ in 0..record_count {
+        let len = d
+            .size_bounded(1 << 28, "record payload")
+            .map_err(StoreError::from)?;
+        let payload = d.bytes(len).map_err(StoreError::from)?.to_vec();
+        let stored = d.u64().map_err(StoreError::from)?;
+        if fnv1a64(&payload) != stored {
+            return Err(corrupt("record checksum mismatch"));
+        }
+        trailer.update(&stored.to_le_bytes());
+        let index = payload_index(&payload)?;
+        if last_index.is_some_and(|last| index <= last) {
+            return Err(corrupt("records out of canonical order"));
+        }
+        last_index = Some(index);
+        records.push((index, payload));
+    }
+    let stored = d.u64().map_err(StoreError::from)?;
+    if trailer.finish() != stored {
+        return Err(corrupt("suite trailer mismatch"));
+    }
+    if !d.at_end() {
+        return Err(corrupt("bytes after suite trailer"));
+    }
+    Ok(FullEntry { meta, records })
+}
+
+/// Assembles full-entry bytes from a header and sorted record payloads
+/// — the exact byte layout [`crate::store::PendingSuite::seal`] writes.
+fn assemble_full(
+    fp: Fingerprint,
+    meta: &EntryMeta,
+    stats: &SuiteStats,
+    records: &[(u64, Vec<u8>)],
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.raw(crate::store::SUITE_MAGIC);
+    e.u32(FORMAT_VERSION);
+    let header = crate::store::header_bytes(fp, meta, stats, records.len() as u64);
+    e.size(header.len());
+    e.raw(&header);
+    let mut checksum = Fnv64::new();
+    checksum.update(crate::store::SUITE_MAGIC);
+    checksum.update(&FORMAT_VERSION.to_le_bytes());
+    checksum.update(&header);
+    e.u64(checksum.finish());
+    let mut trailer = Fnv64::new();
+    for (_, payload) in records {
+        e.size(payload.len());
+        let record_checksum = fnv1a64(payload);
+        e.raw(payload);
+        e.u64(record_checksum);
+        trailer.update(&record_checksum.to_le_bytes());
+    }
+    e.u64(trailer.finish());
+    e.into_bytes()
+}
+
+/// Materializes delta-entry bytes into the full sealed form, resolving
+/// the parent chain through `store` (each link validated completely;
+/// parents may themselves be deltas, up to [`MAX_PARENT_CHAIN`] deep).
+/// The record region of the result is byte-identical to what a full
+/// seal of the same suite would have written.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] when any link of the chain is damaged,
+/// missing (`delta parent … not in store`), inconsistent with the
+/// delta's parent map, or the chain exceeds [`MAX_PARENT_CHAIN`];
+/// [`StoreError::Version`] on any version skew along the chain.
+pub fn materialize(
+    store: &Store,
+    bytes: &[u8],
+    expect: Option<Fingerprint>,
+) -> Result<Vec<u8>, StoreError> {
+    materialize_depth(store, bytes, expect, MAX_PARENT_CHAIN)
+}
+
+fn materialize_depth(
+    store: &Store,
+    bytes: &[u8],
+    expect: Option<Fingerprint>,
+    depth: usize,
+) -> Result<Vec<u8>, StoreError> {
+    let (header, new_records) = decode_delta(bytes, expect)?;
+    if depth == 0 {
+        return Err(corrupt(format!(
+            "delta parent chain exceeds {MAX_PARENT_CHAIN} links"
+        )));
+    }
+    let parent_bytes = store
+        .entry_bytes(header.parent)?
+        .ok_or_else(|| corrupt(format!("delta parent {} not in store", header.parent)))?;
+    let parent_full = if is_delta(&parent_bytes) {
+        materialize_depth(store, &parent_bytes, Some(header.parent), depth - 1)?
+    } else {
+        parent_bytes
+    };
+    let parent = parse_full_entry(&parent_full, Some(header.parent))?;
+    // The parent must be the same synthesis key at a lower bound — a
+    // parent link into an unrelated suite would splice foreign records.
+    let (c, p) = (&header.meta, &parent.meta);
+    let same_key = p.mtm == c.mtm
+        && p.axiom == c.axiom
+        && p.max_threads == c.max_threads
+        && p.allow_fences == c.allow_fences
+        && p.allow_rmw == c.allow_rmw
+        && p.allow_identity_remap == c.allow_identity_remap
+        && p.symmetry_reduction == c.symmetry_reduction
+        && p.backend == c.backend;
+    if !same_key || p.bound >= c.bound {
+        return Err(corrupt(format!(
+            "delta parent {} is not a lower-bound entry of the same key",
+            header.parent
+        )));
+    }
+    if parent.records.len() != header.parent_map.len() {
+        return Err(corrupt(format!(
+            "delta parent map covers {} records but parent holds {}",
+            header.parent_map.len(),
+            parent.records.len()
+        )));
+    }
+    // Merge: rebased parent records and new records, both strictly
+    // increasing in child index and mutually disjoint (validated), so a
+    // linear two-way merge yields the canonical order.
+    let mut merged: Vec<(u64, Vec<u8>)> =
+        Vec::with_capacity(parent.records.len() + new_records.len());
+    let mut pi = parent.records.iter().zip(&header.parent_map).peekable();
+    let mut ni = new_records.into_iter().peekable();
+    loop {
+        match (pi.peek(), ni.peek()) {
+            (Some(&((_, _), &pidx)), Some(&(nidx, _))) => {
+                if pidx < nidx {
+                    let ((_, payload), _) = pi.next().expect("peeked");
+                    merged.push((pidx, rebase_payload(payload, pidx)?));
+                } else {
+                    merged.push(ni.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                let ((_, payload), &pidx) = pi.next().expect("peeked");
+                merged.push((pidx, rebase_payload(payload, pidx)?));
+            }
+            (None, Some(_)) => merged.push(ni.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    debug_assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+    Ok(assemble_full(
+        header.fingerprint,
+        &header.meta,
+        &header.stats,
+        &merged,
+    ))
+}
+
+/// A decoded admission digest: the per-node warm-start counts of one
+/// sealed run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Digest {
+    /// The instruction bound the run was synthesized at.
+    pub bound: usize,
+    /// Per enumeration node, in admission order: (programs admitted,
+    /// plan items created).
+    pub counts: Vec<(u64, u64)>,
+}
+
+/// Encodes a digest artifact for the entry `fp`.
+pub(crate) fn encode_digest(fp: Fingerprint, digest: &Digest) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.raw(DIGEST_MAGIC);
+    e.u32(DIGEST_FORMAT_VERSION);
+    e.u64((fp.0 >> 64) as u64);
+    e.u64(fp.0 as u64);
+    e.size(digest.bound);
+    e.size(digest.counts.len());
+    for &(programs, items) in &digest.counts {
+        e.varint(programs);
+        e.varint(items);
+    }
+    let mut bytes = e.into_bytes();
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Decodes and validates a digest artifact for the entry `fp`.
+///
+/// # Errors
+///
+/// [`StoreError::Version`] on a digest version skew,
+/// [`StoreError::Corrupt`] on any other validation failure (bad magic,
+/// checksum mismatch, wrong fingerprint, truncation).
+pub(crate) fn decode_digest(bytes: &[u8], fp: Fingerprint) -> Result<Digest, StoreError> {
+    if bytes.len() < 8 {
+        return Err(corrupt("truncated digest"));
+    }
+    let (body, stored) = bytes.split_at(bytes.len() - 8);
+    if fnv1a64(body) != u64::from_le_bytes(stored.try_into().expect("8 bytes")) {
+        return Err(corrupt("digest checksum mismatch"));
+    }
+    let mut d = Dec::new(body);
+    let magic = d.bytes(8).map_err(StoreError::from)?;
+    if magic != DIGEST_MAGIC.as_slice() {
+        return Err(corrupt("bad digest magic"));
+    }
+    let version = d.u32().map_err(StoreError::from)?;
+    if version != DIGEST_FORMAT_VERSION {
+        return Err(StoreError::Version { found: version });
+    }
+    let hi = d.u64().map_err(StoreError::from)?;
+    let lo = d.u64().map_err(StoreError::from)?;
+    if Fingerprint((u128::from(hi) << 64) | u128::from(lo)) != fp {
+        return Err(corrupt("digest belongs to a different entry"));
+    }
+    let bound = d.size().map_err(StoreError::from)?;
+    let len = d
+        .size_bounded(1 << 28, "digest nodes")
+        .map_err(StoreError::from)?;
+    let mut counts = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        let programs = d.varint().map_err(StoreError::from)?;
+        let items = d.varint().map_err(StoreError::from)?;
+        counts.push((programs, items));
+    }
+    if !d.at_end() {
+        return Err(corrupt("trailing bytes in digest"));
+    }
+    Ok(Digest { bound, counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn meta(bound: usize) -> EntryMeta {
+        EntryMeta {
+            mtm: "chain".into(),
+            axiom: "ax".into(),
+            bound,
+            max_threads: None,
+            allow_fences: false,
+            allow_rmw: false,
+            allow_identity_remap: false,
+            symmetry_reduction: true,
+            backend: "explicit".into(),
+        }
+    }
+
+    fn stats() -> SuiteStats {
+        SuiteStats {
+            programs: 0,
+            executions: 0,
+            forbidden: 0,
+            minimal: 0,
+            elapsed: Duration::ZERO,
+            timed_out: false,
+            shards: Vec::new(),
+        }
+    }
+
+    fn fp(i: usize) -> Fingerprint {
+        Fingerprint(0xDE17A0000 + i as u128)
+    }
+
+    #[test]
+    fn parent_chains_resolve_up_to_the_cap_and_no_further() {
+        // Synthetic empty-suite chain: a full root plus one delta link
+        // per bound, written straight into a store directory (the
+        // sealing API can't produce over-deep chains, so the cap is
+        // only reachable with hand-built files).
+        let dir = std::env::temp_dir().join(format!("tfs-chain-{}", std::process::id()));
+        let store = Store::open(&dir).expect("store opens");
+        let root = assemble_full(fp(0), &meta(1), &stats(), &[]);
+        std::fs::write(store.entry_path(fp(0)), &root).expect("root written");
+        for i in 1..=MAX_PARENT_CHAIN + 1 {
+            let bytes = encode_delta(fp(i), fp(i - 1), &meta(1 + i), &stats(), &[], &[]);
+            std::fs::write(store.entry_path(fp(i)), &bytes).expect("link written");
+        }
+
+        let at_cap = std::fs::read(store.entry_path(fp(MAX_PARENT_CHAIN))).expect("read");
+        materialize(&store, &at_cap, Some(fp(MAX_PARENT_CHAIN)))
+            .expect("a chain at the cap resolves");
+
+        let beyond = std::fs::read(store.entry_path(fp(MAX_PARENT_CHAIN + 1))).expect("read");
+        let err = materialize(&store, &beyond, Some(fp(MAX_PARENT_CHAIN + 1)))
+            .expect_err("a chain beyond the cap is refused");
+        match err {
+            StoreError::Corrupt(m) => assert!(m.contains("chain exceeds"), "got {m}"),
+            other => panic!("got {other} instead of Corrupt"),
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_self_parenting_delta_is_rejected_outright() {
+        // A delta naming itself as parent would recurse forever without
+        // the explicit rejection in decode_delta.
+        let bytes = encode_delta(fp(7), fp(7), &meta(2), &stats(), &[], &[]);
+        let err = decode_delta(&bytes, Some(fp(7))).expect_err("self-parent");
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+    }
+
+    #[test]
+    fn digest_round_trips_and_rejects_damage() {
+        let digest = Digest {
+            bound: 4,
+            counts: vec![(3, 1), (0, 0), (250, 128)],
+        };
+        let bytes = encode_digest(fp(1), &digest);
+        let back = decode_digest(&bytes, fp(1)).expect("round trip");
+        assert_eq!(back.bound, digest.bound);
+        assert_eq!(back.counts, digest.counts);
+
+        // Wrong owner, truncation, and any bit flip are all detected.
+        assert!(decode_digest(&bytes, fp(2)).is_err());
+        for cut in 0..bytes.len() {
+            assert!(decode_digest(&bytes[..cut], fp(1)).is_err(), "cut {cut}");
+        }
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            assert!(decode_digest(&bad, fp(1)).is_err(), "flip {at}");
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! Only genuine local i/o failures surface as errors.
 
 use crate::cache::CacheStatus;
+use crate::delta::{self, Digest, MAX_PARENT_CHAIN};
 use crate::fingerprint::{suite_fingerprint, Fingerprint};
 use crate::store::{read_suite, EntryMeta, PendingSuite, Store, StoreError};
 use std::collections::BTreeMap;
@@ -29,10 +30,32 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use transform_core::axiom::Mtm;
 use transform_par::{
-    synthesize_axioms_streamed, synthesize_axioms_streamed_observed, synthesize_suite_streamed,
-    synthesize_suite_streamed_observed, JournalEventKind, ProgressState, SuiteSink,
+    enumeration_nodes, synthesize_axioms_streamed_incremental, JournalEventKind, ProgressState,
+    SuiteSink, WarmParent, WarmSeed,
 };
 use transform_synth::{ShardStats, Suite, SuiteRecord, SuiteStats, SynthOptions};
+
+/// How a tiered synthesis should use the previous bound's sealed suite.
+///
+/// A warm start needs two artifacts for the same key at bound N−1: the
+/// sealed parent suite (local or remote) and its admission digest
+/// (local, recorded at seal time by this build). When both are present
+/// and consistent, the run skips every enumeration node already covered
+/// at bound N−1 and replays the digest instead, then seals the result
+/// as a delta entry referencing the parent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WarmMode {
+    /// Cold synthesis; delta entries already sealed are still served.
+    #[default]
+    Off,
+    /// Warm-start when the parent suite and digest are available and
+    /// consistent; silently fall back to a cold run otherwise.
+    Auto,
+    /// Warm-start or fail with [`StoreError::WarmStart`] — the mode for
+    /// benchmarking and CI, where a silent cold fallback would hide a
+    /// regression.
+    Require,
+}
 
 /// One tier of a layered suite cache: somewhere sealed-suite bytes can
 /// be fetched from and published to, keyed by [`Fingerprint`].
@@ -185,6 +208,70 @@ impl TieredCache {
             opts,
             jobs,
             None,
+            WarmMode::Off,
+        )
+    }
+
+    /// [`TieredCache::cached_or_synthesize`] with an explicit
+    /// [`WarmMode`]: on a miss, `Auto`/`Require` seed the run from the
+    /// sealed bound-N−1 suite (pulled through the tiers if needed) and
+    /// seal the result as a delta entry referencing it.
+    ///
+    /// # Errors
+    ///
+    /// Local i/o failures, plus [`StoreError::WarmStart`] when
+    /// [`WarmMode::Require`] finds no usable parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axiom` is not part of `mtm`.
+    pub fn cached_or_synthesize_warm(
+        &self,
+        mtm: &Mtm,
+        axiom: &str,
+        opts: &SynthOptions,
+        jobs: usize,
+        warm: WarmMode,
+        progress: Option<&Arc<ProgressState>>,
+    ) -> Result<(Suite, CacheStatus), StoreError> {
+        run_tiered(
+            &self.local,
+            self.remote.as_deref(),
+            mtm,
+            axiom,
+            opts,
+            jobs,
+            progress,
+            warm,
+        )
+    }
+
+    /// [`TieredCache::cached_or_synthesize_all`] with an explicit
+    /// [`WarmMode`]: the fused run over all missing axioms warm-starts
+    /// from their bound-N−1 parents when every parent (and the shared
+    /// admission digest) is available, and each missing axiom seals as
+    /// a delta entry.
+    ///
+    /// # Errors
+    ///
+    /// Local i/o failures, plus [`StoreError::WarmStart`] when
+    /// [`WarmMode::Require`] finds no usable parent set.
+    pub fn cached_or_synthesize_all_warm(
+        &self,
+        mtm: &Mtm,
+        opts: &SynthOptions,
+        jobs: usize,
+        warm: WarmMode,
+        progress: Option<&Arc<ProgressState>>,
+    ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
+        run_tiered_all(
+            &self.local,
+            self.remote.as_deref(),
+            mtm,
+            opts,
+            jobs,
+            progress,
+            warm,
         )
     }
 
@@ -214,6 +301,7 @@ impl TieredCache {
             opts,
             jobs,
             Some(progress),
+            WarmMode::Off,
         )
     }
 
@@ -235,7 +323,15 @@ impl TieredCache {
         opts: &SynthOptions,
         jobs: usize,
     ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
-        run_tiered_all(&self.local, self.remote.as_deref(), mtm, opts, jobs, None)
+        run_tiered_all(
+            &self.local,
+            self.remote.as_deref(),
+            mtm,
+            opts,
+            jobs,
+            None,
+            WarmMode::Off,
+        )
     }
 
     /// [`TieredCache::cached_or_synthesize_all`] with live telemetry:
@@ -263,6 +359,7 @@ impl TieredCache {
             opts,
             jobs,
             Some(progress),
+            WarmMode::Off,
         )
     }
 }
@@ -270,6 +367,7 @@ impl TieredCache {
 /// The tiered lookup shared by [`TieredCache::cached_or_synthesize`] and
 /// the local-only [`crate::cached_or_synthesize`] (which passes no
 /// remote).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_tiered(
     local: &Store,
     remote: Option<&dyn CacheTier>,
@@ -278,6 +376,7 @@ pub(crate) fn run_tiered(
     opts: &SynthOptions,
     jobs: usize,
     progress: Option<&Arc<ProgressState>>,
+    warm: WarmMode,
 ) -> Result<(Suite, CacheStatus), StoreError> {
     assert!(
         mtm.axiom(axiom).is_some(),
@@ -295,20 +394,26 @@ pub(crate) fn run_tiered(
         Lookup::Absent(status) => status,
     };
 
-    // Tier 3: synthesize, seal locally, push the sealed bytes.
+    // Tier 3: synthesize (warm-started when possible), seal locally,
+    // push the sealed bytes.
+    let warm_plan = prepare_warm(local, remote, mtm, &[axiom], opts, warm)?;
     let pending = local.begin(fp, EntryMeta::describe(mtm, axiom, opts))?;
     // The gate's scope ends before `pending` is sealed or dismantled —
     // it only lives for the streaming run it observes.
-    let (stats, completed) = {
+    let (stats, completed, artifacts) = {
         let gate = PushGate::new(&pending);
-        let stats = match progress {
-            Some(progress) => {
-                synthesize_suite_streamed_observed(mtm, axiom, opts, jobs, &gate, progress).0
-            }
-            None => synthesize_suite_streamed(mtm, axiom, opts, jobs, &gate),
-        };
+        let sinks: [&dyn SuiteSink; 1] = [&gate];
+        let (mut all_stats, _metrics, artifacts) = synthesize_axioms_streamed_incremental(
+            mtm,
+            &[axiom],
+            opts,
+            jobs,
+            &sinks,
+            progress,
+            warm_plan.as_ref().map(|plan| &plan.seed),
+        );
         let completed = gate.completed();
-        (stats, completed)
+        (all_stats.remove(0), completed, artifacts)
     };
     if stats.timed_out {
         let suite = pending.into_suite(&stats)?;
@@ -319,16 +424,34 @@ pub(crate) fn run_tiered(
             },
         ));
     }
-    pending.seal(&stats)?;
+    match &warm_plan {
+        Some(plan) => {
+            let maps = artifacts
+                .parent_maps
+                .as_ref()
+                .expect("warm runs report parent maps");
+            pending.seal_delta(&stats, plan.parent_fps[0], &maps[0])?;
+        }
+        None => {
+            pending.seal(&stats)?;
+        }
+    }
+    // Record the run's admission digest alongside the sealed entry —
+    // the seed the next bound's warm start replays.
+    local.write_digest(
+        fp,
+        &Digest {
+            bound: opts.enumeration.bound,
+            counts: artifacts.node_counts.clone(),
+        },
+    )?;
     record_seal(progress, axiom, local, fp);
     if let Some(remote) = remote {
         if completed {
             // Best-effort: a failed push costs the fleet a warm entry,
             // never this run its result.
-            if let Ok(Some(bytes)) = local.entry_bytes(fp) {
-                if remote.publish(fp, &bytes).is_ok() {
-                    record_push(progress, axiom);
-                }
+            if push_with_parents(local, remote, fp) {
+                record_push(progress, axiom);
             }
         }
     }
@@ -374,10 +497,11 @@ fn lookup_tiers(
         }
     }
 
-    // Tier 2: the remote, read-through.
+    // Tier 2: the remote, read-through. Delta entries pull their
+    // parent chain first (each link installed and validated in order).
     if let Some(remote) = remote {
         if let Ok(Some(bytes)) = remote.fetch(fp) {
-            match local.install_bytes(fp, &bytes) {
+            match install_with_parents(local, remote, fp, &bytes, MAX_PARENT_CHAIN) {
                 Ok(()) => match read_entry(local, fp, axiom) {
                     Ok(suite) => return Ok(Lookup::Served(suite, CacheStatus::RemoteHit)),
                     Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
@@ -414,6 +538,7 @@ pub(crate) fn run_tiered_all(
     opts: &SynthOptions,
     jobs: usize,
     progress: Option<&Arc<ProgressState>>,
+    warm: WarmMode,
 ) -> Result<BTreeMap<String, (Suite, CacheStatus)>, StoreError> {
     let axioms: Vec<String> = mtm.axioms().iter().map(|a| a.name.clone()).collect();
     let mut out = BTreeMap::new();
@@ -438,27 +563,41 @@ pub(crate) fn run_tiered_all(
     }
 
     // One fused run for every miss: enumerate once, examine per axiom,
-    // seal each suite from inside the pool as its axiom finishes.
+    // seal each suite from inside the pool as its axiom finishes. A
+    // warm run defers its seals to the driver loop below instead — the
+    // delta seal needs the parent maps, which the run reports only
+    // once it drains.
+    let axiom_refs: Vec<&str> = misses.iter().map(|(a, _, _)| a.as_str()).collect();
+    let warm_plan = prepare_warm(local, remote, mtm, &axiom_refs, opts, warm)?;
     let gates: Vec<SealOnDone<'_>> = misses
         .iter()
         .map(|(axiom, fp, _)| {
             let pending = local.begin(*fp, EntryMeta::describe(mtm, axiom, opts))?;
             Ok(SealOnDone::new(
-                local, remote, *fp, pending, axiom, progress,
+                local,
+                remote,
+                *fp,
+                pending,
+                axiom,
+                progress,
+                warm_plan.is_some(),
             ))
         })
         .collect::<Result<_, StoreError>>()?;
-    let axiom_refs: Vec<&str> = misses.iter().map(|(a, _, _)| a.as_str()).collect();
     let sink_refs: Vec<&dyn SuiteSink> = gates.iter().map(|g| g as &dyn SuiteSink).collect();
-    let all_stats = match progress {
-        Some(progress) => {
-            synthesize_axioms_streamed_observed(mtm, &axiom_refs, opts, jobs, &sink_refs, progress)
-                .0
-        }
-        None => synthesize_axioms_streamed(mtm, &axiom_refs, opts, jobs, &sink_refs),
-    };
+    let (all_stats, _metrics, artifacts) = synthesize_axioms_streamed_incremental(
+        mtm,
+        &axiom_refs,
+        opts,
+        jobs,
+        &sink_refs,
+        progress,
+        warm_plan.as_ref().map(|plan| &plan.seed),
+    );
 
-    for (((axiom, fp, status), gate), stats) in misses.into_iter().zip(gates).zip(all_stats) {
+    for (i, (((axiom, fp, status), gate), stats)) in
+        misses.into_iter().zip(gates).zip(all_stats).enumerate()
+    {
         let (pending, seal_outcome) = gate.into_parts();
         if stats.timed_out {
             let pending = pending.expect("timed-out runs are never sealed");
@@ -474,13 +613,269 @@ pub(crate) fn run_tiered_all(
             );
             continue;
         }
-        // A completed axiom was sealed from the pool; surface any seal
-        // failure now (local disk trouble is hard, as ever).
-        seal_outcome.expect("run_done seals every completed axiom")?;
+        match &warm_plan {
+            Some(plan) => {
+                // Deferred warm seal: the delta entry references the
+                // bound-N−1 parent and carries only the new records.
+                let pending = pending.expect("deferred warm seals keep the pending entry");
+                let maps = artifacts
+                    .parent_maps
+                    .as_ref()
+                    .expect("warm runs report parent maps");
+                pending.seal_delta(&stats, plan.parent_fps[i], &maps[i])?;
+                record_seal(progress, &axiom, local, fp);
+                if let Some(remote) = remote {
+                    if push_with_parents(local, remote, fp) {
+                        record_push(progress, &axiom);
+                    }
+                }
+            }
+            None => {
+                // A completed axiom was sealed from the pool; surface
+                // any seal failure now (local disk trouble is hard, as
+                // ever).
+                seal_outcome.expect("run_done seals every completed axiom")?;
+            }
+        }
+        local.write_digest(
+            fp,
+            &Digest {
+                bound: opts.enumeration.bound,
+                counts: artifacts.node_counts.clone(),
+            },
+        )?;
         let suite = read_entry(local, fp, &axiom)?;
         out.insert(axiom, (suite, status));
     }
     Ok(out)
+}
+
+/// The warm-start inputs of one tiered run: the seed replayed by the
+/// pipeline, plus each missing axiom's parent fingerprint (same order
+/// as the run's axioms) for the delta seals.
+struct WarmPlan {
+    seed: WarmSeed,
+    parent_fps: Vec<Fingerprint>,
+}
+
+/// Assembles a [`WarmPlan`] per [`WarmMode`]: `Off` never warm-starts,
+/// `Auto` turns every missing prerequisite into a cold run, `Require`
+/// surfaces it as [`StoreError::WarmStart`].
+fn prepare_warm(
+    local: &Store,
+    remote: Option<&dyn CacheTier>,
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    mode: WarmMode,
+) -> Result<Option<WarmPlan>, StoreError> {
+    if mode == WarmMode::Off {
+        return Ok(None);
+    }
+    match gather_warm(local, remote, mtm, axioms, opts) {
+        Ok(plan) => Ok(Some(plan)),
+        Err(reason) => match mode {
+            WarmMode::Require => Err(StoreError::WarmStart(reason)),
+            _ => Ok(None),
+        },
+    }
+}
+
+/// Collects and cross-validates everything a warm start rests on: the
+/// sealed bound-N−1 suite of every axiom (pulled through the remote
+/// tier, parents first, when absent locally) and the shared admission
+/// digest, checked against the parent space's node count and each
+/// parent's own counters. Any inconsistency is a reason to run cold —
+/// a warm start must never be able to produce a different suite.
+fn gather_warm(
+    local: &Store,
+    remote: Option<&dyn CacheTier>,
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+) -> Result<WarmPlan, String> {
+    let bound = opts.enumeration.bound;
+    if bound < 2 {
+        // A bound-0 parent space is empty: its seed would degenerate to
+        // a cold run and could never seal a meaningful delta.
+        return Err(format!("warm starts need bound >= 2, got {bound}"));
+    }
+    let parent_bound = bound - 1;
+    let mut popts = opts.clone();
+    popts.enumeration.bound = parent_bound;
+    let expected_nodes = enumeration_nodes(&popts);
+
+    let mut digest: Option<Digest> = None;
+    let mut parent_fps = Vec::with_capacity(axioms.len());
+    let mut parents = Vec::with_capacity(axioms.len());
+    let mut parent_programs = Vec::with_capacity(axioms.len());
+    for &axiom in axioms {
+        let pfp = suite_fingerprint(mtm, axiom, &popts);
+        if !local.contains(pfp) {
+            let Some(remote) = remote else {
+                return Err(format!(
+                    "no sealed bound-{parent_bound} suite for axiom `{axiom}`"
+                ));
+            };
+            let Some(bytes) = remote.fetch(pfp).ok().flatten() else {
+                return Err(format!(
+                    "no sealed bound-{parent_bound} suite for axiom `{axiom}` in any tier"
+                ));
+            };
+            install_with_parents(local, remote, pfp, &bytes, MAX_PARENT_CHAIN).map_err(|e| {
+                format!("bound-{parent_bound} parent for `{axiom}` failed to install: {e}")
+            })?;
+        }
+        if digest.is_none() {
+            // The admission digest is axiom-independent (admission
+            // happens before axioms examine), so any parent's copy
+            // seeds the run.
+            digest = local.read_digest(pfp).ok().flatten();
+        }
+        let reader = local
+            .open_suite(pfp)
+            .map_err(|e| format!("bound-{parent_bound} parent for `{axiom}` unreadable: {e}"))?;
+        if reader.meta().axiom != axiom {
+            return Err(format!(
+                "bound-{parent_bound} entry for `{axiom}` names axiom `{}`",
+                reader.meta().axiom
+            ));
+        }
+        let stats = reader.stats().clone();
+        let mut records = Vec::with_capacity(reader.record_count() as usize);
+        for record in reader {
+            records.push(record.map_err(|e| {
+                format!("bound-{parent_bound} parent for `{axiom}` unreadable: {e}")
+            })?);
+        }
+        parent_fps.push(pfp);
+        parent_programs.push(stats.programs);
+        parents.push(WarmParent {
+            records,
+            items: stats.shards.iter().map(|s| s.items).sum(),
+            executions: stats.executions,
+            forbidden: stats.forbidden,
+            minimal: stats.minimal,
+        });
+    }
+
+    let digest = digest.ok_or_else(|| {
+        format!(
+            "no admission digest for the bound-{parent_bound} parents \
+             (seal them with this build to record one)"
+        )
+    })?;
+    if digest.bound != parent_bound {
+        return Err(format!(
+            "admission digest is for bound {}, expected {parent_bound}",
+            digest.bound
+        ));
+    }
+    if digest.counts.len() as u64 != expected_nodes {
+        return Err(format!(
+            "admission digest covers {} nodes, the bound-{parent_bound} space has {expected_nodes}",
+            digest.counts.len()
+        ));
+    }
+    let planned: u64 = digest.counts.iter().map(|&(_, items)| items).sum();
+    let admitted: u64 = digest.counts.iter().map(|&(programs, _)| programs).sum();
+    for ((&axiom, parent), &programs) in axioms.iter().zip(&parents).zip(&parent_programs) {
+        if parent.items as u64 != planned {
+            return Err(format!(
+                "parent for `{axiom}` examined {} plan items, its digest planned {planned}",
+                parent.items
+            ));
+        }
+        if programs as u64 != admitted {
+            return Err(format!(
+                "parent for `{axiom}` admitted {programs} programs, its digest admitted {admitted}"
+            ));
+        }
+        if let Some(last) = parent.records.last() {
+            if last.index as u64 >= planned {
+                return Err(format!(
+                    "parent record index {} for `{axiom}` is outside its digest's {planned} plan items",
+                    last.index
+                ));
+            }
+        }
+    }
+    Ok(WarmPlan {
+        seed: WarmSeed {
+            parent_bound,
+            node_counts: digest.counts,
+            parents,
+        },
+        parent_fps,
+    })
+}
+
+/// Installs possibly-delta bytes into the local tier, fetching and
+/// installing missing parents from `remote` first (deepest ancestor
+/// first, each link fully validated by [`Store::install_bytes`]).
+fn install_with_parents(
+    local: &Store,
+    remote: &dyn CacheTier,
+    fp: Fingerprint,
+    bytes: &[u8],
+    depth: usize,
+) -> Result<(), StoreError> {
+    match local.install_bytes(fp, bytes) {
+        Ok(()) => Ok(()),
+        Err(first) => {
+            if depth == 0 {
+                return Err(first);
+            }
+            // Only a delta whose parent is absent can be rescued by
+            // pulling more; anything else is a genuine failure.
+            let Some(parent) = delta::entry_parent(bytes) else {
+                return Err(first);
+            };
+            if local.contains(parent) {
+                return Err(first);
+            }
+            let Some(parent_bytes) = remote.fetch(parent)? else {
+                return Err(first);
+            };
+            install_with_parents(local, remote, parent, &parent_bytes, depth - 1)?;
+            local.install_bytes(fp, bytes)
+        }
+    }
+}
+
+/// Publishes a sealed entry to the remote tier, retrying once with its
+/// parent chain (deepest first) when the remote refuses a delta whose
+/// parent it does not hold. Returns whether the entry itself landed.
+fn push_with_parents(local: &Store, remote: &dyn CacheTier, fp: Fingerprint) -> bool {
+    let Ok(Some(bytes)) = local.entry_bytes(fp) else {
+        return false;
+    };
+    if remote.publish(fp, &bytes).is_ok() {
+        return true;
+    }
+    // Walk the chain bottom-up, then publish it top-down so every
+    // delta's parent precedes it.
+    let mut chain: Vec<(Fingerprint, Vec<u8>)> = Vec::new();
+    let mut cursor = delta::entry_parent(&bytes);
+    while let Some(parent) = cursor {
+        if chain.len() >= MAX_PARENT_CHAIN {
+            return false;
+        }
+        let Ok(Some(parent_bytes)) = local.entry_bytes(parent) else {
+            return false;
+        };
+        cursor = delta::entry_parent(&parent_bytes);
+        chain.push((parent, parent_bytes));
+    }
+    if chain.is_empty() {
+        return false;
+    }
+    for (parent, parent_bytes) in chain.into_iter().rev() {
+        if remote.publish(parent, &parent_bytes).is_err() {
+            return false;
+        }
+    }
+    remote.publish(fp, &bytes).is_ok()
 }
 
 /// The per-axiom [`SuiteSink`] of a fused cached run: streams shards
@@ -502,9 +897,14 @@ struct SealOnDone<'a> {
     axiom: String,
     /// The run's journal target, when the run is observed.
     progress: Option<&'a Arc<ProgressState>>,
+    /// Warm runs defer sealing to the driver (the delta seal needs the
+    /// parent maps, reported only when the whole run drains); the gate
+    /// then only streams shards.
+    defer: bool,
 }
 
 impl<'a> SealOnDone<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         local: &'a Store,
         remote: Option<&'a dyn CacheTier>,
@@ -512,6 +912,7 @@ impl<'a> SealOnDone<'a> {
         pending: PendingSuite,
         axiom: &str,
         progress: Option<&'a Arc<ProgressState>>,
+        defer: bool,
     ) -> SealOnDone<'a> {
         SealOnDone {
             local,
@@ -521,6 +922,7 @@ impl<'a> SealOnDone<'a> {
             sealed: Mutex::new(None),
             axiom: axiom.to_string(),
             progress,
+            defer,
         }
     }
 
@@ -554,6 +956,9 @@ impl SuiteSink for SealOnDone<'_> {
     fn run_done(&self, stats: &SuiteStats) {
         if stats.timed_out {
             return; // never sealed; the driver assembles the partial suite
+        }
+        if self.defer {
+            return; // a warm run's delta seal happens in the driver
         }
         let Some(pending) = self
             .pending

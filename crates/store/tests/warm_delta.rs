@@ -1,0 +1,557 @@
+//! Warm-start + delta-entry pinning: warm-started suites must be
+//! byte-identical to cold synthesis (satellite of the incremental
+//! cross-bound path), the delta codec must reject every damaged or
+//! unresolvable input (rebuild, never serve), and parent-aware tier
+//! transfer must move whole chains.
+//!
+//! Byte-identity caveat: a sealed header carries `elapsed` and the
+//! per-shard breakdown, both scheduling artifacts. The comparisons here
+//! therefore byte-compare the *record region* (everything after the
+//! header checksum — the suite content) and check the semantic totals
+//! field-by-field with elapsed/shards excluded.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use transform_core::axiom::Mtm;
+use transform_core::spec::parse_mtm;
+use transform_store::{
+    entry_parent, is_delta, materialize, suite_fingerprint, validate_delta, Fingerprint, Store,
+    StoreError, TieredCache, WarmMode,
+};
+use transform_synth::{Balance, Suite, SuiteStats, SynthOptions};
+use transform_x86::x86t_elt;
+
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_store(tag: &str) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!(
+        "tfs-warm-{tag}-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = Store::open(&dir).expect("store opens");
+    (dir, store)
+}
+
+fn opts(bound: usize) -> SynthOptions {
+    let mut o = SynthOptions::new(bound);
+    o.enumeration.allow_fences = false;
+    o.enumeration.allow_rmw = false;
+    o
+}
+
+fn render(suite: &Suite) -> String {
+    let mut out = format!("axiom {}\n", suite.axiom);
+    for elt in &suite.elts {
+        out.push_str(&format!(
+            "program {:?}\nwitness {:?}\nviolated {:?}\n",
+            elt.program,
+            elt.witness.to_parts(),
+            elt.violated,
+        ));
+    }
+    out
+}
+
+/// The semantic (scheduling-independent) half of the sealed stats.
+fn totals(stats: &SuiteStats) -> (usize, usize, usize, usize, bool) {
+    (
+        stats.programs,
+        stats.executions,
+        stats.forbidden,
+        stats.minimal,
+        stats.timed_out,
+    )
+}
+
+/// The bytes after the header checksum of a sealed full entry: the
+/// framed records plus the trailer — exactly the content that must not
+/// depend on how the suite was produced.
+fn record_region(bytes: &[u8]) -> &[u8] {
+    // magic(8) + version(4), then varint(header_len), header, fnv64(8).
+    let mut at = 12usize;
+    let mut len: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let b = bytes[at];
+        at += 1;
+        len |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    &bytes[at + len as usize + 8..]
+}
+
+fn entry_bytes(store: &Store, fp: Fingerprint) -> Vec<u8> {
+    store
+        .entry_bytes(fp)
+        .expect("entry readable")
+        .expect("entry present")
+}
+
+/// Cold-seals `bound` into `cold`, warm-seals it into `warm` (whose
+/// store must already hold the sealed bound−1 parent), and pins the
+/// warm result against the cold one: same suite, same semantic totals,
+/// byte-identical record region once the delta is materialized.
+fn assert_warm_matches_cold(
+    cold: &TieredCache,
+    warm: &TieredCache,
+    mtm: &Mtm,
+    axiom: &str,
+    o: &SynthOptions,
+    jobs: usize,
+) {
+    let (cold_suite, cold_status) = cold
+        .cached_or_synthesize(mtm, axiom, o, jobs)
+        .expect("cold synthesis");
+    assert!(!cold_status.is_hit(), "cold store must actually synthesize");
+    let (warm_suite, warm_status) = warm
+        .cached_or_synthesize_warm(mtm, axiom, o, jobs, WarmMode::Require, None)
+        .expect("warm synthesis");
+    assert!(!warm_status.is_hit(), "warm store must actually synthesize");
+
+    assert_eq!(render(&cold_suite), render(&warm_suite));
+    assert_eq!(totals(&cold_suite.stats), totals(&warm_suite.stats));
+
+    let fp = suite_fingerprint(mtm, axiom, o);
+    assert_eq!(cold.local().entry_is_delta(fp).unwrap(), Some(false));
+    assert_eq!(warm.local().entry_is_delta(fp).unwrap(), Some(true));
+
+    let cold_bytes = entry_bytes(cold.local(), fp);
+    let delta_bytes = entry_bytes(warm.local(), fp);
+    // Tiny suites can be all header, where the delta's parent-map
+    // overhead dominates; the size win only materializes (and is only
+    // asserted) once the record region carries real weight.
+    if record_region(&cold_bytes).len() >= 1024 {
+        assert!(
+            delta_bytes.len() < cold_bytes.len(),
+            "delta ({}) must undercut the full entry ({})",
+            delta_bytes.len(),
+            cold_bytes.len()
+        );
+    }
+    let full = materialize(warm.local(), &delta_bytes, Some(fp)).expect("delta materializes");
+    assert_eq!(
+        record_region(&cold_bytes),
+        record_region(&full),
+        "materialized warm entry must be byte-identical to the cold seal"
+    );
+}
+
+#[test]
+fn warm_chain_matches_cold_bound_by_bound() {
+    // The tentpole pin: step bounds 2→5 warm (each sealing a delta on
+    // the previous bound) against independent cold seals. By bound 5
+    // the warm store's parent chain is three deltas deep, so reading it
+    // also exercises recursive materialization.
+    let mtm = x86t_elt();
+    let (cold_dir, cold) = temp_store("chain-cold");
+    let (warm_dir, warm) = temp_store("chain-warm");
+    let cold = TieredCache::new(cold);
+    let warm = TieredCache::new(warm);
+
+    let o2 = opts(2);
+    let (c2, _) = cold
+        .cached_or_synthesize(&mtm, "sc_per_loc", &o2, 2)
+        .expect("cold bound 2");
+    let (w2, _) = warm
+        .cached_or_synthesize(&mtm, "sc_per_loc", &o2, 2)
+        .expect("warm-store bound 2 (cold seed)");
+    assert_eq!(render(&c2), render(&w2));
+
+    for bound in 3..=5 {
+        assert_warm_matches_cold(&cold, &warm, &mtm, "sc_per_loc", &opts(bound), 2);
+    }
+
+    // The deepest entry re-reads as a hit through the chain.
+    let (again, status) = warm
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(5), 2)
+        .expect("chained delta re-read");
+    assert!(status.is_hit());
+    let (cold5, _) = cold
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(5), 2)
+        .expect("cold bound 5 re-read");
+    assert_eq!(render(&cold5), render(&again));
+
+    fs::remove_dir_all(cold_dir).ok();
+    fs::remove_dir_all(warm_dir).ok();
+}
+
+#[test]
+fn warm_all_axioms_matches_cold() {
+    // The fused all-axiom path: every x86t_elt axiom warm-starts from
+    // its own bound-2 parent in one run, and each seals a delta whose
+    // materialization matches the cold full seal byte-for-byte.
+    let mtm = x86t_elt();
+    let (cold_dir, cold) = temp_store("all-cold");
+    let (warm_dir, warm) = temp_store("all-warm");
+    let cold = TieredCache::new(cold);
+    let warm = TieredCache::new(warm);
+
+    let o2 = opts(2);
+    cold.cached_or_synthesize_all(&mtm, &o2, 2)
+        .expect("cold bound 2");
+    warm.cached_or_synthesize_all(&mtm, &o2, 2)
+        .expect("warm-store bound 2 (cold seed)");
+
+    let o3 = opts(3);
+    let cold3 = cold
+        .cached_or_synthesize_all(&mtm, &o3, 2)
+        .expect("cold bound 3");
+    let warm3 = warm
+        .cached_or_synthesize_all_warm(&mtm, &o3, 2, WarmMode::Require, None)
+        .expect("warm bound 3");
+    assert_eq!(cold3.len(), warm3.len());
+    for (axiom, (cold_suite, _)) in &cold3 {
+        let (warm_suite, _) = &warm3[axiom];
+        assert_eq!(render(cold_suite), render(warm_suite), "axiom {axiom}");
+        assert_eq!(totals(&cold_suite.stats), totals(&warm_suite.stats));
+        let fp = suite_fingerprint(&mtm, axiom, &o3);
+        assert_eq!(warm.local().entry_is_delta(fp).unwrap(), Some(true));
+        let full = materialize(warm.local(), &entry_bytes(warm.local(), fp), Some(fp))
+            .expect("delta materializes");
+        assert_eq!(
+            record_region(&entry_bytes(cold.local(), fp)),
+            record_region(&full),
+            "axiom {axiom}"
+        );
+    }
+
+    fs::remove_dir_all(cold_dir).ok();
+    fs::remove_dir_all(warm_dir).ok();
+}
+
+#[test]
+fn warm_require_without_parent_errors_and_auto_falls_back_cold() {
+    let mtm = x86t_elt();
+    let (dir, store) = temp_store("modes");
+    let cache = TieredCache::new(store);
+    let o = opts(3);
+
+    // No bound-2 parent sealed: Require refuses, Auto runs cold.
+    let err = cache
+        .cached_or_synthesize_warm(&mtm, "sc_per_loc", &o, 2, WarmMode::Require, None)
+        .expect_err("Require without a parent must error");
+    assert!(
+        matches!(err, StoreError::WarmStart(_)),
+        "got {err} instead of WarmStart"
+    );
+    let (_, status) = cache
+        .cached_or_synthesize_warm(&mtm, "sc_per_loc", &o, 2, WarmMode::Auto, None)
+        .expect("Auto degrades to cold");
+    assert!(!status.is_hit());
+    let fp = suite_fingerprint(&mtm, "sc_per_loc", &o);
+    assert_eq!(
+        cache.local().entry_is_delta(fp).unwrap(),
+        Some(false),
+        "the Auto fallback must seal a full entry"
+    );
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corrupt_digest_disables_warm_start_but_not_the_cache() {
+    let mtm = x86t_elt();
+    let (dir, store) = temp_store("digest");
+    let cache = TieredCache::new(store);
+    cache
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(2), 2)
+        .expect("seed bound 2");
+
+    let parent_fp = suite_fingerprint(&mtm, "sc_per_loc", &opts(2));
+    let digest_path = cache.local().digest_path(parent_fp);
+    let mut bytes = fs::read(&digest_path).expect("digest written at seal");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    fs::write(&digest_path, &bytes).expect("plant damaged digest");
+
+    let o = opts(3);
+    let err = cache
+        .cached_or_synthesize_warm(&mtm, "sc_per_loc", &o, 2, WarmMode::Require, None)
+        .expect_err("Require on a damaged digest must refuse");
+    assert!(matches!(err, StoreError::WarmStart(_)));
+    let (_, status) = cache
+        .cached_or_synthesize_warm(&mtm, "sc_per_loc", &o, 2, WarmMode::Auto, None)
+        .expect("Auto shrugs and runs cold");
+    assert!(!status.is_hit());
+    assert_eq!(
+        cache
+            .local()
+            .entry_is_delta(suite_fingerprint(&mtm, "sc_per_loc", &o))
+            .unwrap(),
+        Some(false)
+    );
+
+    fs::remove_dir_all(dir).ok();
+}
+
+/// Seals bound 4 cold and bound 5 warm into one store (both suites are
+/// non-empty at these bounds, so the delta carries a real parent map
+/// AND real new records); returns the cache plus the child and parent
+/// fingerprints.
+fn delta_fixture(tag: &str) -> (PathBuf, TieredCache, Mtm, Fingerprint, Fingerprint) {
+    let mtm = x86t_elt();
+    let (dir, store) = temp_store(tag);
+    let cache = TieredCache::new(store);
+    cache
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(4), 2)
+        .expect("parent seals");
+    cache
+        .cached_or_synthesize_warm(&mtm, "sc_per_loc", &opts(5), 2, WarmMode::Require, None)
+        .expect("delta seals");
+    let parent = suite_fingerprint(&mtm, "sc_per_loc", &opts(4));
+    let child = suite_fingerprint(&mtm, "sc_per_loc", &opts(5));
+    (dir, cache, mtm, child, parent)
+}
+
+#[test]
+fn delta_round_trip_reports_its_parent() {
+    let (dir, cache, _mtm, child, parent) = delta_fixture("roundtrip");
+    let bytes = entry_bytes(cache.local(), child);
+    assert!(is_delta(&bytes));
+    assert_eq!(entry_parent(&bytes), Some(parent));
+    let header = validate_delta(&bytes, Some(child)).expect("delta self-validates");
+    assert_eq!(header.fingerprint, child);
+    assert_eq!(header.parent, parent);
+    assert!(header.meta.bound == 5);
+    assert!(
+        !header.parent_map.is_empty() && header.new_records > 0,
+        "the fixture delta must exercise both halves of the format"
+    );
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn truncated_delta_never_materializes() {
+    let (dir, cache, _mtm, child, _parent) = delta_fixture("truncate");
+    let bytes = entry_bytes(cache.local(), child);
+    // Every prefix must fail; sample densely rather than exhaustively.
+    let mut cuts: Vec<usize> = (0..bytes.len()).step_by(41).collect();
+    cuts.extend([0, 1, 7, 8, 11, 12, bytes.len() - 9, bytes.len() - 1]);
+    for cut in cuts {
+        let err = materialize(cache.local(), &bytes[..cut], Some(child))
+            .expect_err("truncated delta must be rejected");
+        assert!(
+            matches!(err, StoreError::Corrupt(_) | StoreError::Io(_)),
+            "cut at {cut}: got {err}"
+        );
+    }
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn missing_parent_refuses_to_serve_and_rebuilds() {
+    let (dir, cache, mtm, child, parent) = delta_fixture("missing-parent");
+    cache.local().remove(parent).expect("drop the parent");
+
+    match cache.local().open_suite(child) {
+        Err(StoreError::Corrupt(_)) => {}
+        Err(other) => panic!("got {other} instead of Corrupt"),
+        Ok(_) => panic!("an unresolvable delta must not be served"),
+    }
+
+    // The cache path treats the broken chain like any damaged entry:
+    // rebuild, then serve the fresh seal.
+    let (suite, status) = cache
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(5), 2)
+        .expect("rebuild through the cache");
+    assert!(matches!(
+        status,
+        transform_store::CacheStatus::Rebuilt { .. }
+    ));
+    assert!(!suite.elts.is_empty());
+    // The rebuild had no parent to delta against, so it sealed full.
+    assert_eq!(cache.local().entry_is_delta(child).unwrap(), Some(false));
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corrupt_parent_breaks_the_chain_but_not_the_delta() {
+    let (dir, cache, _mtm, child, parent) = delta_fixture("corrupt-parent");
+    let path = cache.local().entry_path(parent);
+    let mut bytes = fs::read(&path).expect("parent bytes");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&path, &bytes).expect("plant damaged parent");
+
+    let delta_bytes = entry_bytes(cache.local(), child);
+    validate_delta(&delta_bytes, Some(child)).expect("the delta itself is still intact");
+    let err = materialize(cache.local(), &delta_bytes, Some(child))
+        .expect_err("a damaged parent must break materialization");
+    assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn version_skew_is_detected_on_delta_and_parent() {
+    let (dir, cache, _mtm, child, parent) = delta_fixture("skew");
+
+    // Bump the parent's format version field (bytes 8..12 after magic).
+    let path = cache.local().entry_path(parent);
+    let mut bytes = fs::read(&path).expect("parent bytes");
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    fs::write(&path, &bytes).expect("plant skewed parent");
+    let delta_bytes = entry_bytes(cache.local(), child);
+    let err = materialize(cache.local(), &delta_bytes, Some(child))
+        .expect_err("a skewed parent must break materialization");
+    assert!(matches!(err, StoreError::Version { found: 2 }), "got {err}");
+
+    // And a skewed delta version field is rejected up front.
+    let mut skewed = delta_bytes.clone();
+    skewed[8..12].copy_from_slice(&9u32.to_le_bytes());
+    let err = validate_delta(&skewed, Some(child)).expect_err("skewed delta");
+    assert!(matches!(err, StoreError::Version { found: 9 }), "got {err}");
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn install_bytes_validates_delta_chains() {
+    let (dir, cache, _mtm, child, parent) = delta_fixture("install");
+    let delta_bytes = entry_bytes(cache.local(), child);
+    let parent_bytes = entry_bytes(cache.local(), parent);
+
+    // A fresh store without the parent must refuse the delta...
+    let (other_dir, other) = temp_store("install-fresh");
+    let err = other
+        .install_bytes(child, &delta_bytes)
+        .expect_err("delta without its parent must not install");
+    assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+    assert!(other.entry_bytes(child).unwrap().is_none());
+
+    // ...and accept it once the parent landed.
+    other
+        .install_bytes(parent, &parent_bytes)
+        .expect("parent installs");
+    other
+        .install_bytes(child, &delta_bytes)
+        .expect("delta installs after its parent");
+    assert_eq!(other.entry_is_delta(child).unwrap(), Some(true));
+
+    fs::remove_dir_all(other_dir).ok();
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn delta_push_and_parent_aware_pull_move_whole_chains() {
+    let mtm = x86t_elt();
+
+    // Machine A seals bound 2 cold + bound 3 warm, pushing both to a
+    // shared remote (a plain Store used as the loopback tier).
+    let (remote_dir, _) = temp_store("xfer-remote");
+    let remote = || Box::new(Store::open(&remote_dir).expect("remote opens"));
+    let (a_dir, a_store) = temp_store("xfer-a");
+    let a = TieredCache::new(a_store).with_remote(remote());
+    a.cached_or_synthesize(&mtm, "sc_per_loc", &opts(2), 2)
+        .expect("A seals bound 2");
+    let (a3, _) = a
+        .cached_or_synthesize_warm(&mtm, "sc_per_loc", &opts(3), 2, WarmMode::Require, None)
+        .expect("A seals bound 3 delta");
+
+    let parent = suite_fingerprint(&mtm, "sc_per_loc", &opts(2));
+    let child = suite_fingerprint(&mtm, "sc_per_loc", &opts(3));
+    let remote_view = Store::open(&remote_dir).expect("remote reopens");
+    assert_eq!(remote_view.entry_is_delta(parent).unwrap(), Some(false));
+    assert_eq!(
+        remote_view.entry_is_delta(child).unwrap(),
+        Some(true),
+        "the delta must cross the wire as a delta"
+    );
+
+    // Machine B holds neither entry: a bound-3 read must pull the delta
+    // AND its parent, then serve the materialized suite.
+    let (b_dir, b_store) = temp_store("xfer-b");
+    let b = TieredCache::new(b_store).with_remote(remote());
+    let (b3, status) = b
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(3), 2)
+        .expect("B pulls the chain");
+    assert!(
+        status.is_remote_hit(),
+        "B must be served from the remote, got {status:?}"
+    );
+    assert_eq!(render(&a3), render(&b3));
+    assert_eq!(b.local().entry_is_delta(child).unwrap(), Some(true));
+    assert_eq!(
+        b.local().entry_is_delta(parent).unwrap(),
+        Some(false),
+        "the pull must land the parent too"
+    );
+
+    // Machine C faces a remote whose parent vanished: the delta cannot
+    // be validated locally, so C falls through to cold synthesis rather
+    // than serving a broken chain.
+    remote_view.remove(parent).expect("drop remote parent");
+    let (c_dir, c_store) = temp_store("xfer-c");
+    let c = TieredCache::new(c_store).with_remote(remote());
+    let (c3, status) = c
+        .cached_or_synthesize(&mtm, "sc_per_loc", &opts(3), 2)
+        .expect("C resynthesizes");
+    assert!(!status.is_hit(), "an unresolvable remote delta must miss");
+    assert_eq!(render(&a3), render(&c3));
+
+    fs::remove_dir_all(a_dir).ok();
+    fs::remove_dir_all(b_dir).ok();
+    fs::remove_dir_all(c_dir).ok();
+    fs::remove_dir_all(remote_dir).ok();
+}
+
+proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+    // The cross-bound equivalence property (the issue's headline pin):
+    // for random bounds, worker counts, balance modes, and instruction
+    // vocabularies, a warm-started suite is byte-identical to the cold
+    // one in its record region and identical in its semantic totals.
+    #[test]
+    fn warm_start_is_byte_identical_to_cold(
+        bound in 3usize..=4,
+        jobs_idx in 0usize..3,
+        mass in any::<bool>(),
+        fences in any::<bool>(),
+        rmw in any::<bool>(),
+        demo_spec in any::<bool>(),
+    ) {
+        let jobs = [1usize, 2, 4][jobs_idx];
+        let (mtm, axiom) = if demo_spec {
+            (
+                parse_mtm(
+                    "mtm demo {
+                       axiom sc_per_loc: acyclic(rf | co | fr | po_loc)
+                     }",
+                )
+                .expect("spec parses"),
+                "sc_per_loc",
+            )
+        } else {
+            (x86t_elt(), "causality")
+        };
+        // Fences/rmw widen the space sharply; keep those cases at the
+        // smaller bound so the 8-case run stays quick.
+        let bound = if fences || rmw { bound.min(3) } else { bound };
+        let mut o = opts(bound);
+        o.enumeration.allow_fences = fences;
+        o.enumeration.allow_rmw = rmw;
+        o.balance = if mass { Balance::Mass } else { Balance::Depth };
+        let mut parent_o = o.clone();
+        parent_o.enumeration.bound = bound - 1;
+
+        let (cold_dir, cold) = temp_store("prop-cold");
+        let (warm_dir, warm) = temp_store("prop-warm");
+        let cold = TieredCache::new(cold);
+        let warm = TieredCache::new(warm);
+        warm.cached_or_synthesize(&mtm, axiom, &parent_o, jobs)
+            .expect("parent seals cold");
+        assert_warm_matches_cold(&cold, &warm, &mtm, axiom, &o, jobs);
+
+        fs::remove_dir_all(cold_dir).ok();
+        fs::remove_dir_all(warm_dir).ok();
+    }
+}
