@@ -94,6 +94,8 @@ usage: transform synthesize --axiom A|--all --bound N [--mtm M]
            [--partition-size N|auto] [--balance mass|depth]
            [--progress[=human|json]] [--warm-start[=auto]]
            [--cache DIR] [--cache-url URL] [--out FILE]
+           [--workers URL[,URL...]] [--lease-ttl-secs S]
+           [--fleet-ranges N]
 
 Synthesize the per-axiom spanning-set suite of enhanced litmus tests at
 an instruction bound — one axiom, or with --all every axiom of the MTM
@@ -127,6 +129,23 @@ flags:
                          parent or its admission digest is missing; `=auto`
                          falls back to a cold full run instead
 
+fleet (distributed synthesis):
+  --workers URL[,URL...]  run the synthesis on a worker fleet instead of
+                         locally: the run is registered as a job on the
+                         coordinator (a `transform serve` instance; the
+                         first URL), `transform worker` processes lease
+                         its mass-balanced partition ranges and upload
+                         shard results, and the fleet-sealed suites are
+                         pulled back into --cache (required) — byte-
+                         identical to a local run at any worker count,
+                         including under worker death and lease expiry.
+                         --timeout-secs cuts the job instead of sealing
+  --lease-ttl-secs S     how long a worker may go without a heartbeat
+                         before its range is reclaimed (default 30)
+  --fleet-ranges N       how many leasable ranges the plan splits into
+                         (default 2x --jobs, at least 4); scheduling
+                         only — it never changes the suite
+
 caching:
 {CACHE_FLAGS}
 
@@ -137,6 +156,10 @@ example:
   # step a cache through bounds, each bound warm-started on the last:
   transform synthesize --all --bound 4 --cache store
   transform synthesize --all --bound 5 --warm-start --cache store
+
+  # drive a worker fleet from one invocation (workers run elsewhere):
+  transform synthesize --all --bound 5 --jobs auto --cache store \\
+      --workers http://coordinator:7171
 "
         ),
         "compare" => format!(
@@ -242,6 +265,15 @@ GET/PUT /v1/runs/<id> fetch and publish full journals (validated, and
 rewritable so live runs can heartbeat). Entries are content-addressed
 and immutable, so serving is replication-safe by construction.
 
+The same instance is the synthesis-fleet coordinator: POST /v1/jobs
+registers a job (`synthesize --workers` does this), POST /v1/lease
+hands mass-balanced partition ranges to `transform worker` processes,
+heartbeats renew leases (a silent worker's range is reclaimed and
+reassigned), PUT /v1/shard/... stages checksummed shard results
+idempotently, and the last range in triggers the deterministic merge
+that seals suites byte-identical to a single-machine run. Admission
+digests replicate over GET/PUT /v1/digest/<fingerprint>.
+
 flags:
   --root DIR             the store directory to serve (required; created
                          if missing)
@@ -252,6 +284,39 @@ flags:
 
 example:
   transform serve --root /srv/transform-store --addr 0.0.0.0:7171
+"
+        .to_string(),
+        "worker" => "\
+usage: transform worker --url URL [--jobs N|auto] [--poll-secs N]
+           [--drain] [--idle-secs N] [--name NAME]
+
+A synthesis-fleet worker. Polls the coordinator (a `transform serve`
+instance) for leases over POST /v1/lease, runs the fused pipeline over
+each leased partition range (the admission prefix is replayed for
+global dedup, so the shard is byte-identical to the same range of a
+single-machine run), heartbeats while computing, and uploads the
+checksummed shard result over PUT /v1/shard. Uploads are idempotent:
+retries and duplicate completions (for example after this worker's
+lease expired and the range was reassigned) merge conflict-free. A
+failed range is abandoned so its lease expires and the coordinator
+reassigns it.
+
+flags:
+  --url URL              the coordinator endpoint (http://host:port)
+  --jobs N|auto          worker threads per leased range (`auto` = all
+                         cores); never changes the uploaded shard
+  --poll-secs N          how often to re-poll an idle coordinator
+                         (default 1)
+  --drain                exit once the coordinator has had no work for
+                         --idle-secs; without it the worker serves
+                         forever
+  --idle-secs N          the --drain grace period (default 5) — long
+                         enough for a fleet client to register its job
+  --name NAME            the worker name in coordinator logs (default
+                         worker-<pid>)
+
+example:
+  transform worker --url http://coordinator:7171 --jobs auto --drain
 "
         .to_string(),
         "top" => "\
@@ -276,7 +341,8 @@ example:
 "
         .to_string(),
         "runs" => "\
-usage: transform runs list|show ID|export ID --chrome [--out FILE]
+usage: transform runs list [--outcome O] [--since ISO8601]
+           |show ID|export ID --chrome [--out FILE]
            (--cache DIR | --url URL)
 
 Every `--cache` synthesis run records a checksummed run journal — a
@@ -288,6 +354,11 @@ event counts, and `export --chrome` turns its journal into a Chrome
 trace-event JSON file (load it in about://tracing or Perfetto).
 
 flags:
+  --outcome O            keep `list` rows with one outcome: `running`,
+                         `complete`, `cut`, or `crashed`
+  --since ISO8601        keep `list` rows started at or after a UTC
+                         instant (`2026-08-01` or
+                         `2026-08-01T12:30:00`; trailing `Z` optional)
   --chrome               export as Chrome trace-event JSON (required
                          for `export`; the only format today)
   --out FILE             write the trace to FILE instead of stdout
@@ -371,7 +442,9 @@ Upload sealed entries of a local store to a shared `transform serve`
 cache. Entries the remote already holds are skipped (content addressing
 makes them immutable); the server validates every uploaded byte before
 sealing. Delta entries land parent-first, so the server can resolve
-each chain as it validates.
+each chain as it validates. Each pushed entry's admission digest rides
+along, so a later `store pull` elsewhere can seed `--warm-start` from
+the replicated parent.
 
 flags:
   --fingerprint FP       push one entry instead of all
@@ -389,7 +462,10 @@ usage: transform store pull --cache DIR --url URL [--fingerprint FP]
 
 Download sealed entries from a shared `transform serve` cache into a
 local store. Every fetched entry is validated byte-for-byte before it
-is installed; entries already present locally are skipped.
+is installed; entries already present locally are skipped. Admission
+digests are pulled alongside their entries when the remote holds them,
+so a pulled parent seeds `--warm-start` exactly like a locally
+synthesized one.
 
 flags:
   --fingerprint FP       pull one entry instead of the remote's index

@@ -18,7 +18,11 @@
 //! * `store gc` — age out cached suites by mtime and/or a keep-list of
 //!   fingerprints, and sweep leftover shard directories;
 //! * `serve` — serve a suite store over HTTP as a fleet-wide shared
-//!   cache (`transform-serve`); clients point `--cache-url` at it;
+//!   cache (`transform-serve`); clients point `--cache-url` at it; the
+//!   same instance doubles as the synthesis-fleet coordinator;
+//! * `worker` — a fleet worker: lease mass-balanced partition ranges
+//!   from a coordinator, run the fused pipeline over each, heartbeat
+//!   while computing, and upload content-addressed shard results;
 //! * `top` — a live fleet view of a `serve` instance, polled from its
 //!   Prometheus `/v1/metrics` endpoint and merged with the recent run
 //!   manifests of `/v1/runs`;
@@ -56,8 +60,8 @@ use transform_par::{
 use transform_sim::{check_conformance, explore, Bugs, SimConfig, SimProgram};
 use transform_store::{
     cached_or_synthesize, cached_or_synthesize_all, cached_or_synthesize_all_observed,
-    cached_or_synthesize_observed, is_delta, validate_delta, CacheTier, EntryMeta, Fingerprint,
-    HttpTier, Store, TieredCache, WarmMode,
+    cached_or_synthesize_observed, execute_lease, is_delta, validate_delta, CacheTier, EntryMeta,
+    Fingerprint, HttpTier, JobSpec, Store, TieredCache, WarmMode,
 };
 use transform_synth::engine::{Backend, Suite, SynthOptions};
 use transform_synth::programs::{Balance, Program, SlotOp};
@@ -78,6 +82,8 @@ commands:
              [--partition-size N|auto] [--balance mass|depth]
              [--progress[=human|json]] [--warm-start[=auto]]
              [--cache DIR] [--cache-url URL] [--out FILE]
+             [--workers URL[,URL...]] [--lease-ttl-secs S]
+             [--fleet-ranges N]
   compare --bound N [--timeout-secs S] [--jobs N|auto]
           [--partition-size N|auto] [--balance mass|depth]
           [--progress[=human|json]]
@@ -87,8 +93,11 @@ commands:
         [--backend B] [--shape S] [--fences] [--rmw]
   export --cache DIR [same filters as query] [--out FILE]
   serve --root DIR [--addr HOST:PORT] [--threads N] [--verbose]
+  worker --url URL [--jobs N|auto] [--poll-secs N] [--drain]
+         [--idle-secs N] [--name NAME]
   top --url URL [--interval-secs N] [--once]
-  runs list|show ID|export ID --chrome [--out FILE]
+  runs list [--outcome O] [--since ISO8601]
+       |show ID|export ID --chrome [--out FILE]
        (--cache DIR | --url URL)
   store verify --cache DIR [--remove-corrupt]
   store gc --cache DIR [--older-than-days N] [--keep-list FILE]
@@ -130,7 +139,13 @@ turns one into a Chrome trace-event file. --cache-url adds a shared
 fetch (validated byte-for-byte), push-on-seal. `check -` and
 `simulate -` read the ELT from stdin. `serve` exposes a store directory
 over HTTP for a fleet-wide shared cache; `store push`/`store pull`
-bulk-replicate sealed entries to/from one.";
+bulk-replicate sealed entries (admission digests included, so pulled
+parents seed --warm-start) to/from one. A `serve` instance is also the
+synthesis-fleet coordinator: `synthesize --workers URL` registers the
+run as a fleet job there, `transform worker --url URL` processes lease
+partition ranges and upload shard results, and the client pulls the
+fleet-sealed suites — byte-identical to a single-machine run at any
+worker count, including under worker death and lease expiry.";
 
 /// Runs a command line, returning its stdout text.
 ///
@@ -158,6 +173,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "query" => cmd_query(opts),
         "export" => cmd_export(opts),
         "serve" => cmd_serve(opts),
+        "worker" => cmd_worker(opts),
         "top" => cmd_top(opts),
         "runs" => cmd_runs(opts),
         "store" => cmd_store(opts),
@@ -276,6 +292,20 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     let cache = opts.value("--cache");
     let cache_url = opts.value("--cache-url");
     let out_file = opts.value("--out");
+    let workers = opts.value("--workers");
+    let lease_ttl = Duration::from_secs(
+        opts.value("--lease-ttl-secs")
+            .map(|s| s.parse().map_err(|_| "--lease-ttl-secs must be a number"))
+            .transpose()?
+            .unwrap_or(30)
+            .max(1),
+    );
+    let fleet_ranges: usize = opts
+        .value("--fleet-ranges")
+        .map(|s| s.parse().map_err(|_| "--fleet-ranges must be a number"))
+        .transpose()?
+        .unwrap_or_else(|| (jobs * 2).max(4))
+        .max(1);
     opts.finish()?;
     if warm != WarmMode::Off && cache.is_none() {
         return Err(
@@ -303,6 +333,33 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
         }
         (None, true) => mtm.axioms().iter().map(|a| a.name.clone()).collect(),
     };
+    // --workers: the fleet client. The run becomes a coordinator job;
+    // remote `transform worker` processes compute the leased ranges and
+    // the sealed suites are pulled back — byte-identical to the local
+    // paths below at any worker count.
+    if let Some(urls) = workers {
+        if warm != WarmMode::Off {
+            return Err(
+                "--warm-start does not combine with --workers (leased ranges always run cold; \
+                 `store pull` replicates the parent digest for local warm starts instead)"
+                    .into(),
+            );
+        }
+        if cache_url.is_some() {
+            return Err(
+                "--workers and --cache-url are mutually exclusive (the first --workers URL \
+                 already serves as the shared remote tier)"
+                    .into(),
+            );
+        }
+        let dir = cache.as_deref().ok_or(
+            "--workers needs --cache DIR for the local tier (the fleet-sealed suites are \
+             pulled and validated into it)",
+        )?;
+        let suites =
+            fleet_synthesize(&mtm, &axioms, &sopts, jobs, dir, &urls, fleet_ranges, lease_ttl, progress_mode)?;
+        return render_synthesize_output(&axioms, bound, jobs, &suites, quiet, out_file.as_deref());
+    }
     // --progress: a shared atomics block the run publishes into and a
     // reporter thread renders from (stderr only — stdout is identical
     // to an unobserved run). Cached runs observe unconditionally so the
@@ -348,19 +405,313 @@ fn cmd_synthesize(mut opts: Opts) -> Result<String, String> {
     if let Some(recorder) = recorder {
         recorder.finish();
     }
+    render_synthesize_output(&axioms, bound, jobs, &suites, quiet, out_file.as_deref())
+}
+
+/// The tail every `synthesize` path shares — fleet-pulled and locally
+/// synthesized suites print identically.
+fn render_synthesize_output(
+    axioms: &[String],
+    bound: usize,
+    jobs: usize,
+    suites: &BTreeMap<String, Suite>,
+    quiet: bool,
+    out_file: Option<&str>,
+) -> Result<String, String> {
     let mut out = String::new();
     let render_all = || -> String { axioms.iter().map(|ax| render_suite(&suites[ax])).collect() };
-    if let Some(path) = &out_file {
+    if let Some(path) = out_file {
         std::fs::write(path, render_all()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         let elts: usize = suites.values().map(|s| s.elts.len()).sum();
         out.push_str(&format!("wrote {elts} ELTs to {path}\n"));
     } else if !quiet {
         out.push_str(&render_all());
     }
-    for ax in &axioms {
+    for ax in axioms {
         out.push_str(&suite_summary(ax, bound, &suites[ax], jobs));
     }
     Ok(out)
+}
+
+/// The `--workers` client: registers the run as a fleet job on every
+/// listed coordinator (idempotent — the job id is the spec's content
+/// hash), waits while `transform worker` processes lease the
+/// mass-balanced partition ranges and upload shard results, and pulls
+/// the fleet-sealed suites (validated byte-for-byte) through the tiered
+/// cache. The coordinator's deterministic ordinal merge makes the
+/// sealed suites byte-identical to a single-machine run at any worker
+/// count, including under worker death, lease expiry, and duplicate
+/// uploads.
+#[allow(clippy::too_many_arguments)]
+fn fleet_synthesize(
+    mtm: &Mtm,
+    axioms: &[String],
+    sopts: &SynthOptions,
+    jobs: usize,
+    dir: &str,
+    urls: &str,
+    ranges: usize,
+    lease_ttl: Duration,
+    progress: Option<ProgressMode>,
+) -> Result<BTreeMap<String, Suite>, String> {
+    let urls: Vec<&str> = urls
+        .split(',')
+        .map(str::trim)
+        .filter(|u| !u.is_empty())
+        .collect();
+    if urls.is_empty() {
+        return Err("--workers needs at least one coordinator URL".into());
+    }
+    // URLs first: a bad URL must not leave an empty store behind.
+    let coordinators: Vec<HttpTier> = urls
+        .iter()
+        .map(|u| HttpTier::new(u).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let store = Store::open(dir).map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+
+    let names: Vec<&str> = axioms.iter().map(String::as_str).collect();
+    let spec = JobSpec::for_run(
+        mtm,
+        &names,
+        sopts,
+        jobs.max(1) as u32,
+        ranges,
+        lease_ttl.as_millis() as u64,
+    );
+    let job = spec.id();
+    for c in &coordinators {
+        let accepted = c
+            .create_job(&spec.encode())
+            .map_err(|e| format!("coordinator `{}`: {e}", c.url()))?;
+        if accepted != job {
+            return Err(format!(
+                "coordinator `{}` registered job {accepted:016x} for spec {job:016x} — \
+                 coordinator/client version skew",
+                c.url()
+            ));
+        }
+    }
+    // Poll the primary coordinator until every range's shard is staged
+    // and the merge sealed the suites (or the deadline cuts the job).
+    let primary = &coordinators[0];
+    let started = std::time::Instant::now();
+    let mut last = String::new();
+    loop {
+        let status = primary
+            .job_status(job)
+            .map_err(|e| format!("coordinator `{}`: {e}", primary.url()))?
+            .ok_or_else(|| {
+                format!(
+                    "coordinator `{}` lost job {job:016x} (restarted?); re-run to re-register",
+                    primary.url()
+                )
+            })?;
+        if let Some(mode) = progress {
+            let line = match mode {
+                ProgressMode::Human => format!(
+                    "fleet {job:016x}: {}/{} ranges staged, {} leased",
+                    status.staged, status.ranges, status.leased
+                ),
+                ProgressMode::Json => format!(
+                    "{{\"fleet\":\"{job:016x}\",\"ranges\":{},\"staged\":{},\"leased\":{},\
+                     \"complete\":{}}}",
+                    status.ranges, status.staged, status.leased, status.complete
+                ),
+            };
+            if line != last {
+                eprintln!("{line}");
+                last = line;
+            }
+        }
+        if status.cut {
+            return Err(format!(
+                "fleet job {job:016x} was cut on the coordinator; the suites never sealed"
+            ));
+        }
+        if status.complete {
+            break;
+        }
+        if let Some(deadline) = sopts.timeout {
+            if started.elapsed() >= deadline {
+                for c in &coordinators {
+                    c.cut_job(job).ok();
+                }
+                return Err(format!(
+                    "fleet job {job:016x} hit the --timeout-secs deadline after {:.0?}; cut on \
+                     the coordinator with {}/{} ranges staged",
+                    started.elapsed(),
+                    status.staged,
+                    status.ranges,
+                ));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    // Every suite is sealed on the coordinator: read each through the
+    // tiered cache, so the bytes are validated into the local store and
+    // served exactly like any other remote hit.
+    let remote = HttpTier::new(urls[0]).map_err(|e| e.to_string())?;
+    let tiered = TieredCache::new(store).with_remote(Box::new(remote));
+    let mut suites = BTreeMap::new();
+    for axiom in axioms {
+        let (suite, _status) = tiered
+            .cached_or_synthesize(mtm, axiom, sopts, jobs)
+            .map_err(|e| format!("cache `{dir}` + `{}`: {e}", urls[0]))?;
+        suites.insert(axiom.clone(), suite);
+    }
+    Ok(suites)
+}
+
+/// `transform worker`: the fleet worker loop. Leases mass-balanced
+/// partition ranges from a coordinator, runs the fused pipeline over
+/// each leased range (the whole admission prefix is replayed for global
+/// dedup, only the leased range is examined), heartbeats while it
+/// computes, and uploads the content-addressed shard result. Uploads
+/// are idempotent and checksummed, so retries and duplicate completions
+/// are conflict-free.
+fn cmd_worker(mut opts: Opts) -> Result<String, String> {
+    let url = opts
+        .value("--url")
+        .ok_or("worker needs --url http://host:port (the coordinator)")?;
+    let jobs = opts.jobs()?;
+    let poll = Duration::from_secs(
+        opts.value("--poll-secs")
+            .map(|s| s.parse().map_err(|_| "--poll-secs must be a number"))
+            .transpose()?
+            .unwrap_or(1)
+            .max(1),
+    );
+    let drain = opts.flag("--drain");
+    let idle = Duration::from_secs(
+        opts.value("--idle-secs")
+            .map(|s| s.parse().map_err(|_| "--idle-secs must be a number"))
+            .transpose()?
+            .unwrap_or(5)
+            .max(1),
+    );
+    let name = opts
+        .value("--name")
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    opts.finish()?;
+    let client = HttpTier::new(&url).map_err(|e| e.to_string())?;
+    let mut completed = 0usize;
+    let mut idle_since: Option<std::time::Instant> = None;
+    loop {
+        let grant = match client.lease(&name) {
+            Ok(grant) => grant,
+            Err(e) => {
+                if drain {
+                    return Err(format!("coordinator `{url}`: {e}"));
+                }
+                eprintln!("transform worker: coordinator `{url}`: {e}");
+                std::thread::sleep(poll);
+                continue;
+            }
+        };
+        let Some(grant) = grant else {
+            // No work right now. A draining worker waits out the idle
+            // grace first — a fleet client may still be registering the
+            // job, or a peer's death may put a range back on offer.
+            let since = *idle_since.get_or_insert_with(std::time::Instant::now);
+            if drain && since.elapsed() >= idle {
+                break;
+            }
+            std::thread::sleep(poll.min(Duration::from_millis(250)));
+            continue;
+        };
+        idle_since = None;
+        eprintln!(
+            "transform worker: leased job {:016x} range {}..{} (lease {:016x}, ttl {}ms)",
+            grant.job, grant.lo, grant.hi, grant.lease, grant.ttl_ms
+        );
+        if work_one_lease(&url, &grant, jobs)? {
+            completed += 1;
+        }
+    }
+    Ok(format!(
+        "worker `{name}`: {completed} range{} computed and uploaded\n",
+        if completed == 1 { "" } else { "s" }
+    ))
+}
+
+/// Computes one leased range and uploads its shard result, renewing the
+/// lease from a side thread the whole time. Returns whether the upload
+/// landed; a failed range is abandoned (`false`) so its lease expires
+/// and the coordinator reassigns it.
+fn work_one_lease(
+    url: &str,
+    grant: &transform_store::LeaseGrant,
+    jobs: usize,
+) -> Result<bool, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let stop = Arc::clone(&stop);
+        let client = HttpTier::new(url).map_err(|e| e.to_string())?;
+        let lease = grant.lease;
+        // Renew at a third of the TTL, floored so tiny TTLs still beat.
+        let cadence = Duration::from_millis((grant.ttl_ms / 3).clamp(50, 10_000));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // A refused renewal means the lease lapsed and the range
+                // was reassigned. Keep computing anyway — uploads are
+                // idempotent, so a duplicate completion is harmless —
+                // but stop beating a dead lease.
+                if let Ok(false) = client.heartbeat(lease) {
+                    return;
+                }
+                let mut slept = Duration::ZERO;
+                while slept < cadence && !stop.load(Ordering::Relaxed) {
+                    let slice = Duration::from_millis(25).min(cadence - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        })
+    };
+    let result = execute_lease(grant, jobs);
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    let result = match result {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!(
+                "transform worker: range {}..{} failed: {e} (lease left to expire)",
+                grant.lo, grant.hi
+            );
+            return Ok(false);
+        }
+    };
+    let bytes = result.encode();
+    let client = HttpTier::new(url).map_err(|e| e.to_string())?;
+    let mut delay = Duration::from_millis(200);
+    for attempt in 1..=3 {
+        match client.put_shard(grant.job, grant.lo, grant.hi, &bytes) {
+            Ok(outcome) => {
+                eprintln!(
+                    "transform worker: uploaded job {:016x} range {}..{} ({} bytes, {:?})",
+                    grant.job,
+                    grant.lo,
+                    grant.hi,
+                    bytes.len(),
+                    outcome
+                );
+                return Ok(true);
+            }
+            Err(e) if attempt < 3 => {
+                eprintln!("transform worker: upload attempt {attempt} failed: {e}; retrying");
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "upload of job {:016x} range {}..{} failed after {attempt} attempts: {e}",
+                    grant.job, grant.lo, grant.hi
+                ))
+            }
+        }
+    }
+    unreachable!("the retry loop returns on success or final failure")
 }
 
 /// The one-line per-suite summary `synthesize` prints (per axiom, for
@@ -801,9 +1152,24 @@ fn cmd_runs(mut opts: Opts) -> Result<String, String> {
         .ok_or("runs needs a subcommand: list | show | export")?;
     match sub.as_str() {
         "list" => {
+            let outcome = opts
+                .value("--outcome")
+                .map(|s| runs::parse_outcome(&s))
+                .transpose()?;
+            let since = opts
+                .value("--since")
+                .map(|s| runs::parse_since(&s))
+                .transpose()?;
             let source = RunSource::parse(&mut opts)?;
             opts.finish()?;
-            Ok(runs::render_runs_list(&source.manifests()?))
+            let mut manifests = source.manifests()?;
+            if let Some(outcome) = outcome {
+                manifests.retain(|m| m.outcome == outcome);
+            }
+            if let Some(since) = since {
+                manifests.retain(|m| m.started_unix_micros >= since);
+            }
+            Ok(runs::render_runs_list(&manifests))
         }
         "show" => {
             let id = opts.positional().ok_or("runs show needs a run id")?;
@@ -1163,6 +1529,15 @@ fn push_chain(
     CacheTier::publish(remote, fp, &bytes).map_err(|e| e.to_string())?;
     out.push_str(&format!("pushed {fp} ({} bytes)\n", bytes.len()));
     *pushed += 1;
+    // Digest-aware push: the entry's admission digest rides along, so
+    // a `store pull` on another machine can seed `--warm-start` from
+    // the replicated parent exactly like a locally synthesized one.
+    if let Some(digest) = store.digest_bytes(fp).map_err(|e| e.to_string())? {
+        remote
+            .publish_digest(fp, &digest)
+            .map_err(|e| format!("digest {fp}: {e}"))?;
+        out.push_str(&format!("pushed digest for {fp} ({} bytes)\n", digest.len()));
+    }
     on_remote.insert(fp);
     Ok(false)
 }
@@ -1238,6 +1613,32 @@ fn pull_chain(
         .map_err(|e| format!("{fp}: {e}"))?;
     out.push_str(&format!("pulled {fp} ({} bytes)\n", bytes.len()));
     *pulled += 1;
+    pull_digest(store, remote, out, fp)?;
+    Ok(())
+}
+
+/// Digest-aware pull: fetches `fp`'s admission digest when the remote
+/// holds one and the local store does not, so a pulled parent entry
+/// seeds `--warm-start` exactly like a locally synthesized one. A
+/// remote without the digest endpoint (or without the digest) is not an
+/// error — the entry is still fully usable, just not warm-startable.
+fn pull_digest(
+    store: &Store,
+    remote: &HttpTier,
+    out: &mut String,
+    fp: Fingerprint,
+) -> Result<(), String> {
+    if store.digest_bytes(fp).map_err(|e| e.to_string())?.is_some() {
+        return Ok(());
+    }
+    let Ok(Some(bytes)) = remote.fetch_digest(fp) else {
+        return Ok(());
+    };
+    // Checksum-validated before install, like every pulled artifact.
+    store
+        .install_digest_bytes(fp, &bytes)
+        .map_err(|e| format!("digest {fp}: {e}"))?;
+    out.push_str(&format!("pulled digest for {fp} ({} bytes)\n", bytes.len()));
     Ok(())
 }
 
@@ -1258,6 +1659,9 @@ fn cmd_store_pull(mut opts: Opts) -> Result<String, String> {
     let (mut pulled, mut skipped) = (0usize, 0usize);
     for fp in wanted {
         if store.contains(fp) {
+            // Already-present entries may still be missing their
+            // admission digest (pulled before digests replicated).
+            pull_digest(&store, &remote, &mut out, fp)?;
             skipped += 1;
             continue;
         }
@@ -2212,6 +2616,7 @@ mod tests {
             "query",
             "export",
             "serve",
+            "worker",
             "top",
             "runs",
             "store",
@@ -2279,6 +2684,16 @@ mod tests {
         assert!(runs_help.contains("--chrome"), "{runs_help}");
         assert!(runs_help.contains("--cache DIR"), "{runs_help}");
         assert!(runs_help.contains("--url URL"), "{runs_help}");
+        assert!(runs_help.contains("--outcome O"), "{runs_help}");
+        assert!(runs_help.contains("--since ISO8601"), "{runs_help}");
+        // The fleet trio: client flag, worker daemon, coordinator routes.
+        assert!(synth.contains("--workers URL"), "{synth}");
+        assert!(synth.contains("--lease-ttl-secs S"), "{synth}");
+        let worker = run_str("worker --help").expect("help");
+        assert!(worker.contains("--url URL"), "{worker}");
+        assert!(worker.contains("--drain"), "{worker}");
+        assert!(serve.contains("/v1/lease"), "{serve}");
+        assert!(serve.contains("/v1/shard"), "{serve}");
     }
 
     #[test]
@@ -2385,6 +2800,135 @@ mod tests {
         }
         handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The tentpole's end-to-end acceptance: one `synthesize --workers`
+    /// invocation drives a loopback coordinator plus two `transform
+    /// worker` loops, and the fleet-sealed suites print identically to
+    /// a single-machine run — then replicate digest-aware over `store
+    /// push`/`store pull` so a pulled parent could seed a warm start.
+    #[test]
+    fn fleet_workers_and_client_reproduce_the_local_run() {
+        use transform_serve::{ServeOptions, Server};
+        let dir = temp_dir("fleet");
+        let origin = dir.join("origin");
+        let local = dir.join("local");
+        let server = Server::bind(&origin, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+
+        // Two draining workers; their idle grace outlives the moment
+        // the client registers the job.
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let url = url.clone();
+                std::thread::spawn(move || {
+                    run_str(&format!(
+                        "worker --url {url} --jobs 2 --poll-secs 1 --drain --idle-secs 3 \
+                         --name w{i}"
+                    ))
+                })
+            })
+            .collect();
+
+        // One fleet invocation drives the whole run.
+        let fleet = run_str(&format!(
+            "synthesize --all --bound 4 --jobs 2 --cache {} --workers {url} --fleet-ranges 3",
+            local.display()
+        ))
+        .expect("the fleet run completes");
+        let local_run = run_str("synthesize --all --bound 4 --jobs 2").expect("local run");
+
+        // Byte-identical ELT listings; summary counters equal up to the
+        // wall-clock tail.
+        let split = |s: &str| {
+            let elts: Vec<&str> = s.lines().filter(|l| !l.starts_with("suite `")).collect();
+            let sums: Vec<&str> = s
+                .lines()
+                .filter(|l| l.starts_with("suite `"))
+                .map(|l| l.split(" in ").next().expect("summary has a duration"))
+                .collect();
+            (elts.join("\n"), sums.join("\n"))
+        };
+        assert_eq!(split(&fleet), split(&local_run));
+
+        // Between them, the drained workers computed every range once.
+        let mut ranges = 0usize;
+        for worker in workers {
+            let out = worker.join().expect("joins").expect("the worker drains");
+            let n: usize = out
+                .split_whitespace()
+                .nth(2)
+                .expect("worker summary counts ranges")
+                .parse()
+                .expect("a number");
+            ranges += n;
+        }
+        assert_eq!(ranges, 3, "three leasable ranges, each computed once");
+
+        // The client's local tier now serves the suites with the fleet
+        // gone entirely.
+        handle.shutdown();
+        let warm = run_str(&format!(
+            "synthesize --all --bound 4 --jobs 2 --cache {}",
+            local.display()
+        ))
+        .expect("warm local run");
+        assert_eq!(split(&warm).0, split(&local_run).0);
+
+        // Digest-aware replication: the fleet merge wrote admission
+        // digests into the coordinator store; `store pull` fetches them
+        // alongside the entries, and `store push` sends them on.
+        let server = Server::bind(&origin, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+        let mirror = dir.join("mirror");
+        let out =
+            run_str(&format!("store pull --cache {} --url {url}", mirror.display())).expect("pulls");
+        assert!(out.contains("pulled digest for"), "{out}");
+        handle.shutdown();
+
+        let second = dir.join("second");
+        let server = Server::bind(&second, "127.0.0.1:0", ServeOptions::default()).expect("binds");
+        let url = format!("http://{}", server.local_addr());
+        let handle = server.spawn();
+        let out =
+            run_str(&format!("store push --cache {} --url {url}", mirror.display())).expect("pushes");
+        assert!(out.contains("pushed digest for"), "{out}");
+        handle.shutdown();
+        // The digests arrived byte-identical at the second coordinator.
+        let a = Store::open(&origin).expect("opens");
+        let b = Store::open(&second).expect("opens");
+        for fp in a.entries().expect("lists") {
+            assert_eq!(
+                a.digest_bytes(fp).expect("readable"),
+                b.digest_bytes(fp).expect("readable"),
+                "{fp}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_flag_misuse_is_rejected() {
+        let e = run_str("synthesize --axiom invlpg --bound 4 --workers http://127.0.0.1:1")
+            .unwrap_err();
+        assert!(e.contains("--cache"), "{e}");
+        let e = run_str(
+            "synthesize --axiom invlpg --bound 4 --cache x --cache-url http://127.0.0.1:1 \
+             --workers http://127.0.0.1:1",
+        )
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = run_str(
+            "synthesize --axiom invlpg --bound 4 --cache x --warm-start \
+             --workers http://127.0.0.1:1",
+        )
+        .unwrap_err();
+        assert!(e.contains("--warm-start"), "{e}");
+        // A draining worker against a dead coordinator reports it.
+        let e = run_str("worker --url http://127.0.0.1:1 --drain").unwrap_err();
+        assert!(e.contains("coordinator"), "{e}");
     }
 
     /// The tentpole's acceptance bar: `--progress` may only ever add a

@@ -200,6 +200,91 @@ pub fn parse_run_id(s: &str) -> Result<u64, String> {
     }
 }
 
+/// Parses `--outcome` exactly as `transform runs list` prints outcomes.
+pub fn parse_outcome(s: &str) -> Result<RunOutcome, String> {
+    match s {
+        "running" => Ok(RunOutcome::Running),
+        "complete" => Ok(RunOutcome::Complete),
+        "cut" => Ok(RunOutcome::Cut),
+        "crashed" => Ok(RunOutcome::Crashed),
+        other => Err(format!(
+            "unknown --outcome `{other}` (expected `running`, `complete`, `cut`, or `crashed`)"
+        )),
+    }
+}
+
+/// Parses a `--since` instant — ISO 8601 UTC, date or date-time
+/// (`2026-08-01`, `2026-08-01T12:30:00`, seconds and a trailing `Z`
+/// optional) — to microseconds since the Unix epoch, the unit run
+/// manifests carry.
+pub fn parse_since(s: &str) -> Result<u64, String> {
+    let bad = || {
+        format!(
+            "`{s}` is not an ISO 8601 UTC instant (expected YYYY-MM-DD or \
+             YYYY-MM-DDTHH:MM[:SS], optionally suffixed Z)"
+        )
+    };
+    let text = s.strip_suffix('Z').unwrap_or(s);
+    let (date, time) = match text.split_once('T') {
+        Some((date, time)) => (date, Some(time)),
+        None => (text, None),
+    };
+    let date: Vec<u64> = date
+        .split('-')
+        .map(|p| p.parse().map_err(|_| bad()))
+        .collect::<Result<_, _>>()?;
+    let [year, month, day] = date[..] else {
+        return Err(bad());
+    };
+    let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+    let month_days = [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ];
+    if year < 1970 || !(1..=12).contains(&month) || day < 1 || day > month_days[month as usize - 1]
+    {
+        return Err(bad());
+    }
+    let (hour, minute, second) = match time {
+        None => (0, 0, 0),
+        Some(time) => {
+            let parts: Vec<u64> = time
+                .split(':')
+                .map(|p| p.parse().map_err(|_| bad()))
+                .collect::<Result<_, _>>()?;
+            match parts[..] {
+                [h, m] => (h, m, 0),
+                [h, m, s] => (h, m, s),
+                _ => return Err(bad()),
+            }
+        }
+    };
+    if hour > 23 || minute > 59 || second > 59 {
+        return Err(bad());
+    }
+    // Days since the epoch: whole years first, then whole months.
+    let mut days = 0u64;
+    for y in 1970..year {
+        days += if y % 4 == 0 && (y % 100 != 0 || y % 400 == 0) {
+            366
+        } else {
+            365
+        };
+    }
+    days += month_days[..month as usize - 1].iter().sum::<u64>() + (day - 1);
+    Ok((days * 86_400 + hour * 3_600 + minute * 60 + second) * 1_000_000)
+}
+
 /// `mass_retired / mass_total` as a percentage, `100.0` for an empty
 /// space.
 fn mass_pct(m: &RunManifest) -> f64 {
@@ -481,6 +566,41 @@ mod tests {
                     batches_done: 0,
                 },
             ],
+        }
+    }
+
+    #[test]
+    fn outcome_filters_parse_the_printed_spellings() {
+        assert_eq!(parse_outcome("running"), Ok(RunOutcome::Running));
+        assert_eq!(parse_outcome("complete"), Ok(RunOutcome::Complete));
+        assert_eq!(parse_outcome("cut"), Ok(RunOutcome::Cut));
+        assert_eq!(parse_outcome("crashed"), Ok(RunOutcome::Crashed));
+        assert!(parse_outcome("done").is_err());
+    }
+
+    #[test]
+    fn since_instants_parse_iso8601_utc() {
+        assert_eq!(parse_since("1970-01-01"), Ok(0));
+        assert_eq!(parse_since("1970-01-02T00:00:01"), Ok(86_401_000_000));
+        // A known fixed point: 2020-01-01T00:00:00Z.
+        assert_eq!(parse_since("2020-01-01T00:00Z"), Ok(1_577_836_800_000_000));
+        // Leap day 2024 parses; the same day in 2023 does not exist.
+        assert_eq!(
+            parse_since("2024-02-29"),
+            Ok((1_577_836_800 + (366 + 365 + 365 + 365 + 59) as u64 * 86_400) * 1_000_000)
+        );
+        assert!(parse_since("2023-02-29").is_err());
+        for bad in [
+            "yesterday",
+            "2026-13-01",
+            "2026-00-01",
+            "2026-01-32",
+            "1969-12-31",
+            "2026-08-08T24:00",
+            "2026-08-08T12",
+            "2026-08",
+        ] {
+            assert!(parse_since(bad).is_err(), "{bad}");
         }
     }
 

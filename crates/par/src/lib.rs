@@ -115,7 +115,7 @@ pub fn default_jobs() -> usize {
 /// configured balance mode: mass-estimated splitting aims the same
 /// `jobs × PARTITIONS_PER_WORKER` partition count as the depth split,
 /// but sizes each partition by its exact shape-combination node count.
-pub(crate) fn space_for(opts: &SynthOptions, jobs: usize) -> EnumSpace {
+pub fn space_for(opts: &SynthOptions, jobs: usize) -> EnumSpace {
     let target = jobs * PARTITIONS_PER_WORKER;
     match opts.balance {
         Balance::Mass => EnumSpace::balanced_for_target(&opts.enumeration, target),
@@ -528,6 +528,49 @@ pub fn synthesize_axioms_streamed_incremental(
     warm: Option<&WarmSeed>,
 ) -> (Vec<SuiteStats>, StreamMetrics, RunArtifacts) {
     stream::run_fused(mtm, axioms, opts, jobs, sinks, progress, warm)
+}
+
+/// The fleet's per-worker entry: a fused run restricted to the
+/// partition range `[range.0, range.1)` of the plan a `plan_jobs`-way
+/// partitioning produces (global ordinals of [`space_for`]`(opts,
+/// plan_jobs)`). The whole prefix `[0, range.1)` is enumerated and
+/// admitted — dedup state and plan indices stay global — but only items
+/// admitted inside the range are examined and delivered to the sinks,
+/// so ranges that tile `[0, partition_count)` yield records and
+/// semantic counters whose ordinal-ordered concatenation is exactly the
+/// single-machine fused run, at any worker count.
+///
+/// `jobs` is this worker's local thread count and never affects the
+/// output; `plan_jobs` (fixed by the coordinator for the whole fleet)
+/// alone determines the partition shape. Range runs are always cold —
+/// fleet jobs carry no warm seed. The returned [`RunArtifacts`] hold
+/// this run's admission digest over `[0, range.1)` enumeration nodes.
+///
+/// # Panics
+///
+/// Panics when any axiom is not part of `mtm`, `axioms` and `sinks`
+/// disagree in length, or the range is not ordered inside
+/// `[0, partition_count]`.
+pub fn synthesize_axioms_fused_range(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    plan_jobs: usize,
+    jobs: usize,
+    range: (usize, usize),
+    sinks: &[&dyn SuiteSink],
+) -> (Vec<SuiteStats>, StreamMetrics, RunArtifacts) {
+    stream::run_fused_range(
+        mtm,
+        axioms,
+        opts,
+        plan_jobs,
+        jobs,
+        sinks,
+        None,
+        None,
+        Some(range),
+    )
 }
 
 /// Like [`synthesize_axioms_streamed_metrics`], publishing live

@@ -123,6 +123,19 @@ pub enum JournalEventKind {
     /// skipped without enumerating: `a` = its ordinal, `b` = its
     /// covered node count.
     WarmSkip,
+    /// A fleet coordinator granted a partition-range lease: `a` = the
+    /// job id, `b` = the packed range (`lo << 32 | hi`), `c` = the
+    /// lease id.
+    LeaseGranted,
+    /// A lease's heartbeat lapsed and its range returned to the queue:
+    /// `a` = the job id, `b` = the packed range, `c` = the lease id.
+    LeaseExpired,
+    /// A worker's shard result was accepted: `a` = the job id, `b` =
+    /// the packed range, `c` = the shard payload bytes.
+    ShardUploaded,
+    /// A worker retried a shard upload (or re-ran an expired range):
+    /// `a` = the job id, `b` = the packed range, `c` = the attempt.
+    ShardRetry,
 }
 
 impl JournalEventKind {
@@ -142,6 +155,10 @@ impl JournalEventKind {
             JournalEventKind::Push => 9,
             JournalEventKind::WarmStart => 10,
             JournalEventKind::WarmSkip => 11,
+            JournalEventKind::LeaseGranted => 12,
+            JournalEventKind::LeaseExpired => 13,
+            JournalEventKind::ShardUploaded => 14,
+            JournalEventKind::ShardRetry => 15,
         }
     }
 
@@ -160,6 +177,10 @@ impl JournalEventKind {
             9 => JournalEventKind::Push,
             10 => JournalEventKind::WarmStart,
             11 => JournalEventKind::WarmSkip,
+            12 => JournalEventKind::LeaseGranted,
+            13 => JournalEventKind::LeaseExpired,
+            14 => JournalEventKind::ShardUploaded,
+            15 => JournalEventKind::ShardRetry,
             _ => return None,
         })
     }
@@ -179,6 +200,10 @@ impl JournalEventKind {
             JournalEventKind::Push => "push",
             JournalEventKind::WarmStart => "warm_start",
             JournalEventKind::WarmSkip => "warm_skip",
+            JournalEventKind::LeaseGranted => "lease_granted",
+            JournalEventKind::LeaseExpired => "lease_expired",
+            JournalEventKind::ShardUploaded => "shard_uploaded",
+            JournalEventKind::ShardRetry => "shard_retry",
         }
     }
 }
@@ -586,6 +611,10 @@ mod tests {
             JournalEventKind::Push,
             JournalEventKind::WarmStart,
             JournalEventKind::WarmSkip,
+            JournalEventKind::LeaseGranted,
+            JournalEventKind::LeaseExpired,
+            JournalEventKind::ShardUploaded,
+            JournalEventKind::ShardRetry,
         ] {
             assert_eq!(JournalEventKind::from_u8(kind.as_u8()), Some(kind));
             assert!(!kind.name().is_empty());

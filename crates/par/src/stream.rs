@@ -261,46 +261,90 @@ impl Admitter {
 
 /// Wall-clock slice one examine batch should fill.
 const TARGET_BATCH: Duration = Duration::from_millis(50);
-/// Batch-size clamp and the pre-measurement default.
+/// Batch-size clamp (in items) and the pre-measurement default.
 const MIN_BATCH: usize = 8;
 const MAX_BATCH: usize = 8192;
 const DEFAULT_BATCH: usize = 64;
 /// EWMA smoothing for the observed examination rate.
 const EWMA_ALPHA: f64 = 0.3;
 
-/// Adapts examine-batch granularity to the measured per-item cost.
+/// Static examination-cost proxy of one plan item: exponential in the
+/// program's event count, because the candidate-execution count a
+/// [`Examiner`] walks grows with the interleavings of those events —
+/// a bound-6 item is worth many bound-4 items, not one more. The
+/// absolute scale is irrelevant (the tuner calibrates weight/second
+/// from measurements); only the ranking matters.
+pub(crate) fn item_weight(item: &WorkItem) -> u64 {
+    1u64 << item.program.size().min(24)
+}
+
+/// Adapts examine-batch granularity to the measured examination cost.
+///
+/// Batches are sized by *mass* (summed [`item_weight`]), not by item
+/// count: the tuner smooths the observed examination weight/second and
+/// aims each batch at the weight filling [`TARGET_BATCH`], so a chunk
+/// of cheap small-bound items becomes one large batch while the same
+/// item count of expensive deep items splits into small, stealable
+/// ones. A fixed `partition_size` still pins the granularity in items
+/// (the documented knob). Neither changes any result, only scheduling.
 struct Tuner {
     fixed: Option<usize>,
-    /// Items per second, exponentially smoothed.
+    /// Examination weight per second, exponentially smoothed.
     rate: Option<f64>,
+    /// Mean static weight of one plan item, exponentially smoothed —
+    /// only for rendering the equivalent batch size in items.
+    per_item: Option<f64>,
+}
+
+fn ewma(prev: Option<f64>, sample: f64) -> f64 {
+    match prev {
+        Some(prev) => prev + EWMA_ALPHA * (sample - prev),
+        None => sample,
+    }
 }
 
 impl Tuner {
     fn new(fixed: Option<usize>) -> Tuner {
-        Tuner { fixed, rate: None }
+        Tuner {
+            fixed,
+            rate: None,
+            per_item: None,
+        }
     }
 
+    /// The weight one batch should carry to fill the target slice, or
+    /// `None` before the first measurement / with a fixed item count.
+    fn target_weight(&self) -> Option<f64> {
+        if self.fixed.is_some() {
+            return None;
+        }
+        self.rate.map(|rate| rate * TARGET_BATCH.as_secs_f64())
+    }
+
+    /// The equivalent batch size in items — the fixed size when pinned,
+    /// the measurement-derived estimate otherwise (progress reporting
+    /// and the pre-measurement default).
     fn batch_size(&self) -> usize {
         if let Some(n) = self.fixed {
             return n.max(1);
         }
-        match self.rate {
-            Some(rate) => {
-                ((rate * TARGET_BATCH.as_secs_f64()) as usize).clamp(MIN_BATCH, MAX_BATCH)
+        match (self.target_weight(), self.per_item) {
+            (Some(target), Some(per_item)) => {
+                ((target / per_item.max(1e-9)) as usize).clamp(MIN_BATCH, MAX_BATCH)
             }
-            None => DEFAULT_BATCH,
+            _ => DEFAULT_BATCH,
         }
     }
 
-    fn observe(&mut self, items: usize, elapsed: Duration) {
+    /// One retired batch: `weight` is the summed [`item_weight`] of the
+    /// `items` actually examined (the prefix, on a deadline cut).
+    fn observe(&mut self, items: usize, weight: u64, elapsed: Duration) {
         if self.fixed.is_some() || items == 0 {
             return;
         }
-        let rate = items as f64 / elapsed.as_secs_f64().max(1e-9);
-        self.rate = Some(match self.rate {
-            Some(prev) => prev + EWMA_ALPHA * (rate - prev),
-            None => rate,
-        });
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        self.rate = Some(ewma(self.rate, weight as f64 / secs));
+        self.per_item = Some(ewma(self.per_item, weight as f64 / items as f64));
     }
 }
 
@@ -440,6 +484,16 @@ struct Pipeline<'s> {
     /// meant to avoid. With it, live candidates are bounded by
     /// `window` × the largest partition, independent of the bound.
     window: usize,
+    /// The partition-ordinal range this run *examines*: items admitted
+    /// from partitions below `range.0` are dropped after feeding the
+    /// dedup frontier (their admission state is what keeps plan indices
+    /// global), and enumeration stops at `range.1`. A whole-space run
+    /// is `(0, partition_count)`. This is the fleet's work unit: a
+    /// worker leasing `[lo, hi)` replays the admission prefix `[0, lo)`
+    /// and examines exactly the items planned in `[lo, hi)`, so
+    /// per-range records concatenate into the byte-identical
+    /// whole-space suite.
+    range: (usize, usize),
     /// Warm-start context, `None` on cold runs.
     warm: Option<WarmCtx>,
     /// Warm runs: per-partition covered-node count (empty when cold) —
@@ -451,6 +505,7 @@ struct Pipeline<'s> {
 }
 
 impl<'s> Pipeline<'s> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         space: &'s EnumSpace,
         axiom_names: &[&str],
@@ -459,7 +514,18 @@ impl<'s> Pipeline<'s> {
         jobs: usize,
         fixed_batch: Option<usize>,
         warm: Option<&WarmSeed>,
+        range: Option<(usize, usize)>,
     ) -> Self {
+        let range = range.unwrap_or((0, space.partition_count()));
+        assert!(
+            range.0 <= range.1 && range.1 <= space.partition_count(),
+            "examine range {range:?} must lie within the {}-partition space",
+            space.partition_count()
+        );
+        assert!(
+            warm.is_none() || range == (0, space.partition_count()),
+            "range-restricted runs are always cold (fleet jobs carry no warm seed)"
+        );
         let axioms = axiom_names.len();
         // A seed with no covered nodes warms nothing: run cold.
         let warm = warm.filter(|w| !w.node_counts.is_empty());
@@ -521,6 +587,7 @@ impl<'s> Pipeline<'s> {
             slots,
             deadline,
             window: (2 * jobs).max(2),
+            range,
             warm: warm_ctx,
             covered,
             state: Mutex::new(State {
@@ -633,7 +700,7 @@ impl<'s> Pipeline<'s> {
                 return Some(Task::Examine(batch));
             }
             if !st.expired
-                && st.next_enum < self.space.partition_count()
+                && st.next_enum < self.range.1
                 && st.next_enum < st.frontier + self.window
             {
                 let ord = st.next_enum;
@@ -641,7 +708,7 @@ impl<'s> Pipeline<'s> {
                 st.enumerating += 1;
                 return Some(Task::Enumerate(ord));
             }
-            let enumeration_settled = st.expired || st.enum_settled(self.space.partition_count());
+            let enumeration_settled = st.expired || st.enum_settled(self.range.1);
             if enumeration_settled && st.exam.is_empty() {
                 return None;
             }
@@ -716,9 +783,34 @@ impl<'s> Pipeline<'s> {
                         self.masses[st.frontier],
                         0,
                     );
-                    let size = st.tuner.batch_size();
+                    if st.frontier < self.range.0 {
+                        // Below the leased range: this prefix partition
+                        // only feeds the dedup frontier so plan indices
+                        // stay global; nothing here is examined.
+                        st.live -= items.len();
+                        items.clear();
+                    }
+                    let target = st.tuner.target_weight();
                     while !items.is_empty() {
-                        let rest = items.split_off(size.min(items.len()));
+                        let take = match target {
+                            // Greedy mass-weighted split: take items
+                            // until the chunk's examination weight
+                            // reaches the calibrated 50ms target.
+                            Some(tw) => {
+                                let mut weight = 0.0f64;
+                                let mut n = 0usize;
+                                while n < items.len()
+                                    && n < MAX_BATCH
+                                    && (n < MIN_BATCH || weight < tw)
+                                {
+                                    weight += item_weight(&items[n]) as f64;
+                                    n += 1;
+                                }
+                                n
+                            }
+                            None => st.tuner.batch_size(),
+                        };
+                        let rest = items.split_off(take.min(items.len()).max(1));
                         let chunk = Arc::new(std::mem::replace(&mut items, rest));
                         let shard = st.next_shard;
                         st.next_shard += 1;
@@ -779,7 +871,7 @@ impl<'s> Pipeline<'s> {
                 0,
             );
         }
-        let done = st.newly_complete(self.space.partition_count());
+        let done = st.newly_complete(self.range.1);
         self.publish(&st);
         self.cv.notify_all();
         (done, flush)
@@ -864,7 +956,7 @@ impl<'s> Pipeline<'s> {
         for ai in 0..self.axioms {
             st.remaining[ai] -= 1;
         }
-        let done = st.newly_complete(self.space.partition_count());
+        let done = st.newly_complete(self.range.1);
         self.publish(&st);
         self.cv.notify_all();
         done
@@ -873,11 +965,13 @@ impl<'s> Pipeline<'s> {
     /// One batch retired (possibly cut short by the deadline),
     /// `examined` of its plan items absorbed and `found` suite members
     /// emitted. Returns the axioms this completes.
+    #[allow(clippy::too_many_arguments)]
     fn batch_done(
         &self,
         axiom: usize,
         shard: usize,
         examined: usize,
+        weight: u64,
         found: usize,
         elapsed: Duration,
         cut: bool,
@@ -897,7 +991,7 @@ impl<'s> Pipeline<'s> {
                 st.live = st.live.saturating_sub(len);
             }
         }
-        st.tuner.observe(examined, elapsed);
+        st.tuner.observe(examined, weight, elapsed);
         self.progress.record(
             JournalEventKind::BatchExamined,
             Some(self.slots[axiom] as u32),
@@ -912,14 +1006,14 @@ impl<'s> Pipeline<'s> {
             // abandoned. Axioms whose schedule already retired stay
             // complete.
             st.axiom_cut[axiom] = true;
-            if st.cut_at.is_none() && st.frontier < self.space.partition_count() {
+            if st.cut_at.is_none() && st.frontier < self.range.1 {
                 st.cut_at = Some(st.frontier);
                 self.progress
                     .record(JournalEventKind::Cut, None, st.frontier as u64, 0, 0);
             }
             Self::expire(&mut st);
         }
-        let done = st.newly_complete(self.space.partition_count());
+        let done = st.newly_complete(self.range.1);
         self.publish(&st);
         self.cv.notify_all();
         done
@@ -1015,11 +1109,13 @@ fn worker(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>) {
                 let mut stats = ShardStats::new(batch.shard);
                 let mut records = Vec::new();
                 let mut cut = false;
+                let mut weight = 0u64;
                 for item in batch.items.iter() {
                     if pipeline.past_deadline() {
                         cut = true;
                         break;
                     }
+                    weight += item_weight(item);
                     let mut examined = examiner.examine(&item.program);
                     stats.absorb(&examined);
                     if examined.witness.is_some() && !ctx.claimed[ai].claim(&item.key) {
@@ -1047,9 +1143,15 @@ fn worker(pipeline: &Pipeline<'_>, ctx: &RunCtx<'_>) {
                     .push(stats);
                 let found = records.len();
                 ctx.sinks[ai].shard_done(stats, records);
-                for done in
-                    pipeline.batch_done(ai, batch.shard, stats.items, found, start.elapsed(), cut)
-                {
+                for done in pipeline.batch_done(
+                    ai,
+                    batch.shard,
+                    stats.items,
+                    weight,
+                    found,
+                    start.elapsed(),
+                    cut,
+                ) {
                     finish_axiom(pipeline, ctx, done);
                 }
             }
@@ -1115,6 +1217,31 @@ pub(crate) fn run_fused(
     progress: Option<&Arc<ProgressState>>,
     warm: Option<&WarmSeed>,
 ) -> (Vec<SuiteStats>, StreamMetrics, RunArtifacts) {
+    run_fused_range(mtm, axioms, opts, jobs, jobs, sinks, progress, warm, None)
+}
+
+/// [`run_fused`] restricted to the partition range `range` (global
+/// ordinals of the plan produced by `plan_jobs`-way partitioning): the
+/// whole prefix `[0, range.1)` is enumerated and admitted so dedup
+/// state and plan indices stay global, but only items admitted inside
+/// `[range.0, range.1)` are examined and emitted. Ranges that tile the
+/// space therefore produce shard results whose concatenation is exactly
+/// the single-machine run — the fleet's work unit. `plan_jobs` fixes
+/// the partition shape (the coordinator's choice, shared fleet-wide);
+/// `jobs` is only this run's local thread count and never affects the
+/// output.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_fused_range(
+    mtm: &Mtm,
+    axioms: &[&str],
+    opts: &SynthOptions,
+    plan_jobs: usize,
+    jobs: usize,
+    sinks: &[&dyn SuiteSink],
+    progress: Option<&Arc<ProgressState>>,
+    warm: Option<&WarmSeed>,
+    range: Option<(usize, usize)>,
+) -> (Vec<SuiteStats>, StreamMetrics, RunArtifacts) {
     assert_eq!(axioms.len(), sinks.len(), "one sink per axiom");
     for axiom in axioms {
         assert!(
@@ -1126,7 +1253,8 @@ pub(crate) fn run_fused(
     let jobs = jobs.max(1);
     let start = Instant::now();
     let deadline = opts.timeout.map(|t| start + t);
-    let space = crate::space_for(opts, jobs);
+    let space = crate::space_for(opts, plan_jobs.max(1));
+    let range = range.unwrap_or((0, space.partition_count()));
     let branch_co_pa = branches_co_pa(mtm);
     let pipeline = Pipeline::new(
         &space,
@@ -1136,6 +1264,7 @@ pub(crate) fn run_fused(
         jobs,
         opts.partition_size,
         warm,
+        Some(range),
     );
     pipeline.progress.record(
         JournalEventKind::RunStart,
@@ -1203,7 +1332,7 @@ pub(crate) fn run_fused(
                     // trivially). Its run_done still fires exactly once
                     // — sinks never seal timed-out runs.
                     let complete = !st.expired
-                        && st.enum_settled(space.partition_count())
+                        && st.enum_settled(range.1)
                         && st.remaining[ai] == 0
                         && !st.axiom_cut[ai];
                     progress.set_axiom_state(
@@ -1351,7 +1480,7 @@ mod tests {
         let eo = enum_opts(4, true);
         let space = EnumSpace::with_target_partitions(&eo, 8);
         assert!(space.partition_count() >= 3, "space too small for the test");
-        let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None, None);
+        let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None, None, None);
         // Claim the first three enumeration tasks.
         for expect in 0..3 {
             match pipeline.next_task() {
@@ -1390,6 +1519,7 @@ mod tests {
             space.partition_count(),
             None,
             None,
+            None,
         );
         for ordinal in 0..space.partition_count() {
             match pipeline.next_task() {
@@ -1426,7 +1556,7 @@ mod tests {
         let eo = enum_opts(4, true);
         let space = EnumSpace::with_target_partitions(&eo, 8);
         assert!(space.partition_count() >= 3, "space too small for the test");
-        let pipeline = Pipeline::new(&space, &["a"], None, None, 3, None, None);
+        let pipeline = Pipeline::new(&space, &["a"], None, None, 3, None, None, None);
         for expect in 0..3 {
             match pipeline.next_task() {
                 Some(Task::Enumerate(ord)) => assert_eq!(ord, expect),
@@ -1474,7 +1604,7 @@ mod tests {
         let eo = enum_opts(4, true);
         let space = EnumSpace::with_target_partitions(&eo, 8);
         let masses = space.masses();
-        let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None, None);
+        let pipeline = Pipeline::new(&space, &["a"], None, None, 2, None, None, None);
         assert_eq!(pipeline.progress.snapshot().mass_total, space.total_mass());
         for ordinal in 0..space.partition_count() {
             loop {
@@ -1485,7 +1615,7 @@ mod tests {
                     }
                     Some(Task::Examine(b)) => {
                         // Examination has pop priority; retire it untouched.
-                        pipeline.batch_done(b.axiom, b.shard, 0, 0, Duration::ZERO, false);
+                        pipeline.batch_done(b.axiom, b.shard, 0, 0, 0, Duration::ZERO, false);
                     }
                     None => panic!("pipeline drained early"),
                 }
@@ -1632,6 +1762,70 @@ mod tests {
         }
     }
 
+    /// The fleet invariant at the pipeline level: partition ranges that
+    /// tile the space produce shard results whose concatenation is
+    /// exactly the single-machine run — same records at the same global
+    /// plan indices, semantic counters summing to the full totals — at
+    /// several worker counts and split points.
+    #[test]
+    fn range_runs_tile_into_the_full_suite() {
+        let m = mtm();
+        let opts = synth_opts(4);
+        for jobs in [1usize, 2, 3] {
+            let space = crate::space_for(&opts, jobs);
+            let n = space.partition_count();
+            let (full_records, full_stats, full_art) = run_cold(&m, 4, jobs);
+            for split in [1, n / 3, n / 2, n - 1] {
+                let split = split.clamp(1, n - 1);
+                let mut records = Vec::new();
+                let mut executions = 0usize;
+                let mut forbidden = 0usize;
+                let mut minimal = 0usize;
+                let mut arts = Vec::new();
+                for range in [(0, split), (split, n)] {
+                    let sink = RecordSink::new();
+                    let (mut stats, _, art) = run_fused_range(
+                        &m,
+                        &["sc_per_loc"],
+                        &opts,
+                        jobs,
+                        2,
+                        &[&sink],
+                        None,
+                        None,
+                        Some(range),
+                    );
+                    let stats = stats.remove(0);
+                    assert!(!stats.timed_out, "jobs {jobs} split {split}");
+                    executions += stats.executions;
+                    forbidden += stats.forbidden;
+                    minimal += stats.minimal;
+                    records.extend(sink.take());
+                    arts.push(art);
+                }
+                records.sort_by_key(|r| r.index);
+                assert_eq!(records.len(), full_records.len(), "jobs {jobs} split {split}");
+                for (r, f) in records.iter().zip(&full_records) {
+                    assert_eq!(r.index, f.index, "jobs {jobs} split {split}");
+                    assert_eq!(r.elt.program, f.elt.program, "jobs {jobs} split {split}");
+                    assert_eq!(r.elt.violated, f.elt.violated, "jobs {jobs} split {split}");
+                }
+                assert_eq!(executions, full_stats.executions, "jobs {jobs} split {split}");
+                assert_eq!(forbidden, full_stats.forbidden, "jobs {jobs} split {split}");
+                assert_eq!(minimal, full_stats.minimal, "jobs {jobs} split {split}");
+                // The digest each range run accumulates is a prefix of
+                // the full run's — the tail range admits the whole
+                // prefix, so its digest IS the full digest.
+                assert_eq!(
+                    arts[0].node_counts[..],
+                    full_art.node_counts[..arts[0].node_counts.len()],
+                    "jobs {jobs} split {split}"
+                );
+                assert_eq!(arts[1].node_counts, full_art.node_counts, "jobs {jobs} split {split}");
+            }
+        }
+    }
+
     /// A warm run journals its provenance: one `WarmStart` event with
     /// the digest size and parent bound, and (for this space, where
     /// early partitions sit fully under the parent bound) `WarmSkip`
@@ -1736,19 +1930,37 @@ mod tests {
     fn tuner_targets_the_batch_slice() {
         let mut tuner = Tuner::new(None);
         assert_eq!(tuner.batch_size(), DEFAULT_BATCH);
-        // 1000 items/second → 50 items per 50 ms slice, clamped to ≥ 8.
-        tuner.observe(1000, Duration::from_secs(1));
+        assert!(tuner.target_weight().is_none(), "uncalibrated until observed");
+        // 1000 items of uniform weight 32 in one second → rate 32000
+        // weight/sec, 32 weight/item → 50 items per 50 ms slice.
+        tuner.observe(1000, 32_000, Duration::from_secs(1));
         assert_eq!(tuner.batch_size(), 50);
+        let tw = tuner.target_weight().expect("calibrated");
+        assert!((tw - 1600.0).abs() < 1e-6, "50 ms of 32000 weight/sec");
         // Very slow items clamp to the minimum, very fast to the maximum.
         let mut slow = Tuner::new(None);
-        slow.observe(1, Duration::from_secs(10));
+        slow.observe(1, 16, Duration::from_secs(10));
         assert_eq!(slow.batch_size(), MIN_BATCH);
         let mut fast = Tuner::new(None);
-        fast.observe(10_000_000, Duration::from_millis(1));
+        fast.observe(10_000_000, 10_000_000, Duration::from_millis(1));
         assert_eq!(fast.batch_size(), MAX_BATCH);
-        // A fixed size ignores observations.
+        // A fixed size ignores observations and disables weight targets.
         let mut fixed = Tuner::new(Some(5));
-        fixed.observe(1000, Duration::from_secs(1));
+        fixed.observe(1000, 32_000, Duration::from_secs(1));
         assert_eq!(fixed.batch_size(), 5);
+        assert!(fixed.target_weight().is_none());
+    }
+
+    /// Heavier programs shrink the batch: after observing a heavy mix,
+    /// the same weight target takes fewer items per chunk.
+    #[test]
+    fn tuner_weights_shrink_batches_for_heavy_items() {
+        let mut light = Tuner::new(None);
+        let mut heavy = Tuner::new(None);
+        // Same wall-clock rate in weight/sec, but heavy items carry 16×
+        // the weight each — so a 50 ms slice holds 16× fewer of them.
+        light.observe(16_000, 512_000, Duration::from_secs(1));
+        heavy.observe(1_000, 512_000, Duration::from_secs(1));
+        assert_eq!(light.batch_size(), 16 * heavy.batch_size());
     }
 }

@@ -43,6 +43,10 @@
 //! * [`remote`] — the dependency-free HTTP/1.1 client for a
 //!   `transform serve` endpoint ([`HttpTier`]), the remote half of a
 //!   fleet-wide shared cache.
+//! * [`fleet`] — the distributed-synthesis wire format: job specs,
+//!   lease grants, checksummed shard results, idempotent shard
+//!   staging, and the coordinator's deterministic merge-to-seal
+//!   ([`merge_fleet_job`]).
 //!
 //! # Examples
 //!
@@ -78,6 +82,7 @@ pub mod cache;
 pub mod codec;
 pub mod delta;
 pub mod fingerprint;
+pub mod fleet;
 pub mod index;
 pub mod journal;
 pub mod remote;
@@ -94,6 +99,10 @@ pub use delta::{
     MAX_PARENT_CHAIN,
 };
 pub use fingerprint::{suite_fingerprint, Fingerprint};
+pub use fleet::{
+    balanced_ranges, execute_lease, merge_fleet_job, AxiomShard, JobSpec, LeaseGrant, ShardResult,
+    StageOutcome,
+};
 pub use index::{IndexEntry, INDEX_FILE};
 pub use journal::{
     decode_run, decode_run_list, encode_run, encode_run_list, fresh_run_id, RunAxiom, RunJournal,

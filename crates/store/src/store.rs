@@ -320,6 +320,44 @@ impl Store {
         }
     }
 
+    /// The raw encoded digest bytes for `fp`, or `None` when no digest
+    /// was recorded — the wire form `GET /v1/digest/<fp>` serves.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read trouble other than absence.
+    pub fn digest_bytes(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.digest_path(fp)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Validates and installs digest bytes received over the wire
+    /// (`PUT /v1/digest/<fp>`, or a digest-aware `store pull`): the
+    /// bytes must decode as a digest for exactly `fp` before anything
+    /// lands on disk, then install atomically like [`Store::write_digest`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`]/[`StoreError::Version`] when the bytes
+    /// fail validation; [`StoreError::Io`] when staging or renaming
+    /// fails.
+    pub fn install_digest_bytes(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        crate::delta::decode_digest(bytes, fp)?;
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let nonce = NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let staged = self.root.join(format!(
+            "tmp-digest-{}-{}-{nonce}",
+            fp.hex(),
+            std::process::id()
+        ));
+        fs::write(&staged, bytes)?;
+        fs::rename(&staged, self.digest_path(fp))?;
+        Ok(())
+    }
+
     /// Digest artifacts whose sealed entry is gone — leftovers `store
     /// gc` sweeps.
     ///

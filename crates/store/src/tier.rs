@@ -87,6 +87,32 @@ pub trait CacheTier: Sync {
     /// Tier-specific trouble, or validation failure for tiers that
     /// verify on ingest.
     fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// The encoded admission digest for `fp`, or `None` when this tier
+    /// does not hold one (including tiers that never store digests —
+    /// the default). Digests ride beside sealed entries so a pulled
+    /// parent can seed a warm start on another machine.
+    ///
+    /// # Errors
+    ///
+    /// Tier-specific trouble, as for [`CacheTier::fetch`].
+    fn fetch_digest(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        let _ = fp;
+        Ok(None)
+    }
+
+    /// Publishes the encoded admission digest for `fp`. Digests are as
+    /// immutable as their entries, so republishing is idempotent. The
+    /// default drops the digest (a tier that can't store them is still
+    /// a valid suite tier).
+    ///
+    /// # Errors
+    ///
+    /// Tier-specific trouble, as for [`CacheTier::publish`].
+    fn publish_digest(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        let _ = (fp, bytes);
+        Ok(())
+    }
 }
 
 impl CacheTier for Store {
@@ -101,6 +127,14 @@ impl CacheTier for Store {
     fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
         self.install_bytes(fp, bytes)
     }
+
+    fn fetch_digest(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        self.digest_bytes(fp)
+    }
+
+    fn publish_digest(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        self.install_digest_bytes(fp, bytes)
+    }
 }
 
 impl CacheTier for crate::remote::HttpTier {
@@ -114,6 +148,14 @@ impl CacheTier for crate::remote::HttpTier {
 
     fn publish(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
         crate::remote::HttpTier::publish(self, fp, bytes)
+    }
+
+    fn fetch_digest(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        crate::remote::HttpTier::fetch_digest(self, fp)
+    }
+
+    fn publish_digest(&self, fp: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        crate::remote::HttpTier::publish_digest(self, fp, bytes)
     }
 }
 
@@ -453,6 +495,7 @@ pub(crate) fn run_tiered(
             if push_with_parents(local, remote, fp) {
                 record_push(progress, axiom);
             }
+            push_digest(local, remote, fp);
         }
     }
     let suite = read_entry(local, fp, axiom)?;
@@ -644,6 +687,9 @@ pub(crate) fn run_tiered_all(
                 counts: artifacts.node_counts.clone(),
             },
         )?;
+        if let Some(remote) = remote {
+            push_digest(local, remote, fp);
+        }
         let suite = read_entry(local, fp, &axiom)?;
         out.insert(axiom, (suite, status));
     }
@@ -731,6 +777,19 @@ fn gather_warm(
             // happens before axioms examine), so any parent's copy
             // seeds the run.
             digest = local.read_digest(pfp).ok().flatten();
+            if digest.is_none() {
+                // A pulled parent leaves its digest behind on the
+                // machine that sealed it — fetch the replica so the
+                // warm start works here too. Validation happens on
+                // install; a bad replica just means running cold.
+                if let Some(remote) = remote {
+                    if let Some(bytes) = remote.fetch_digest(pfp).ok().flatten() {
+                        if local.install_digest_bytes(pfp, &bytes).is_ok() {
+                            digest = local.read_digest(pfp).ok().flatten();
+                        }
+                    }
+                }
+            }
         }
         let reader = local
             .open_suite(pfp)
@@ -876,6 +935,15 @@ fn push_with_parents(local: &Store, remote: &dyn CacheTier, fp: Fingerprint) -> 
         }
     }
     remote.publish(fp, &bytes).is_ok()
+}
+
+/// Replicates the sealed entry's admission digest to the remote tier,
+/// best-effort: a missing replica only costs a remote machine its warm
+/// start, never a run its result.
+fn push_digest(local: &Store, remote: &dyn CacheTier, fp: Fingerprint) {
+    if let Ok(Some(bytes)) = local.digest_bytes(fp) {
+        let _ = remote.publish_digest(fp, &bytes);
+    }
 }
 
 /// The per-axiom [`SuiteSink`] of a fused cached run: streams shards
